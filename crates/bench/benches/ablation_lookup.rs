@@ -1,0 +1,40 @@
+//! Ablation — the ELT lookup-structure design decision (paper §III.B).
+//!
+//! The paper argues the direct access table minimises memory accesses per
+//! lookup at the cost of memory; this benchmark measures all four
+//! implemented representations (direct, sorted/binary-search, open-addressing
+//! hash, cuckoo hash) on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_engine::parallel::ParallelEngine;
+use catrisk_lookup::LookupKind;
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 100_000,
+        trials: 1_000,
+        events_per_trial: 1_000.0,
+        num_elts: 15,
+        elt_records: 10_000,
+        num_layers: 1,
+        elts_per_layer: 15,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn lookup_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lookup_structure");
+    group.sample_size(10);
+    for kind in LookupKind::ALL {
+        let input = build_input(&workload().with_lookup(kind));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &input, |b, input| {
+            b.iter(|| ParallelEngine::new().run(input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, lookup_structures);
+criterion_main!(ablation);

@@ -1,0 +1,45 @@
+//! Ablation — real-time pricing latency vs trial count (paper §IV).
+//!
+//! The paper argues 50 K trials are enough for a sub-second interactive
+//! quote; this benchmark measures the end-to-end quote latency (engine run +
+//! pricing) at several trial counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_finterms::treaty::Treaty;
+use catrisk_portfolio::pricing::PricingConfig;
+use catrisk_portfolio::realtime::RealTimeQuoter;
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 100_000,
+        trials: 50_000,
+        events_per_trial: 200.0,
+        num_elts: 6,
+        elt_records: 10_000,
+        num_layers: 1,
+        elts_per_layer: 6,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn quote_latency(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let mut group = c.benchmark_group("ablation_realtime_quote");
+    group.sample_size(10);
+    for trials in [1_000usize, 5_000, 10_000, 50_000] {
+        let quoter = RealTimeQuoter::new(&input, Some(trials), PricingConfig::default()).expect("quoter");
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &quoter, |b, quoter| {
+            b.iter(|| {
+                quoter
+                    .quote(Treaty::cat_xl(20.0e6, 60.0e6), &[0, 1, 2, 3, 4, 5])
+                    .expect("quote")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, quote_latency);
+criterion_main!(ablation);

@@ -1,0 +1,73 @@
+//! Fig. 2 — scaling of the sequential engine in the four workload
+//! parameters: ELTs per layer (2a), trials (2b), layers (2c) and events per
+//! trial (2d).  The paper reports linear scaling in all four.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_engine::sequential::SequentialEngine;
+
+/// Reduced-size base workload so the full sweep stays benchmarkable.
+fn base() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 50_000,
+        trials: 400,
+        events_per_trial: 1_000.0,
+        num_elts: 15,
+        elt_records: 5_000,
+        num_layers: 1,
+        elts_per_layer: 15,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn fig2a_elts_per_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a_elts_per_layer");
+    group.sample_size(10);
+    for elts in [3usize, 6, 9, 12, 15] {
+        let input = build_input(&base().with_elts_per_layer(elts));
+        group.bench_with_input(BenchmarkId::from_parameter(elts), &input, |b, input| {
+            b.iter(|| SequentialEngine::new().run(input))
+        });
+    }
+    group.finish();
+}
+
+fn fig2b_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_trials");
+    group.sample_size(10);
+    for trials in [100usize, 200, 300, 400] {
+        let input = build_input(&base().with_trials(trials));
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &input, |b, input| {
+            b.iter(|| SequentialEngine::new().run(input))
+        });
+    }
+    group.finish();
+}
+
+fn fig2c_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2c_layers");
+    group.sample_size(10);
+    for layers in [1usize, 2, 3, 4, 5] {
+        let input = build_input(&base().with_layers(layers));
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &input, |b, input| {
+            b.iter(|| SequentialEngine::new().run(input))
+        });
+    }
+    group.finish();
+}
+
+fn fig2d_events_per_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2d_events_per_trial");
+    group.sample_size(10);
+    for events in [800u32, 900, 1000, 1100, 1200] {
+        let input = build_input(&base().with_events_per_trial(f64::from(events)).with_trials(200));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &input, |b, input| {
+            b.iter(|| SequentialEngine::new().run(input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig2, fig2a_elts_per_layer, fig2b_trials, fig2c_layers, fig2d_events_per_trial);
+criterion_main!(fig2);

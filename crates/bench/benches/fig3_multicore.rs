@@ -1,0 +1,48 @@
+//! Fig. 3 — the multi-core (OpenMP-analogue) engine: runtime vs worker
+//! threads (3a) and vs logical-thread oversubscription on a fixed core
+//! count (3b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_engine::parallel::ParallelEngine;
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 50_000,
+        trials: 2_000,
+        events_per_trial: 1_000.0,
+        num_elts: 15,
+        elt_records: 5_000,
+        num_layers: 1,
+        elts_per_layer: 15,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn fig3a_cores(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let mut group = c.benchmark_group("fig3a_cores");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| ParallelEngine::with_threads(threads).run(&input))
+        });
+    }
+    group.finish();
+}
+
+fn fig3b_oversubscription(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let mut group = c.benchmark_group("fig3b_threads_per_core");
+    group.sample_size(10);
+    for items in [1usize, 4, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(8 * items), &items, |b, &items| {
+            b.iter(|| ParallelEngine::oversubscribed(8, items).run(&input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig3, fig3a_cores, fig3b_oversubscription);
+criterion_main!(fig3);

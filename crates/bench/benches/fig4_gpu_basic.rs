@@ -1,0 +1,63 @@
+//! Fig. 4 — the basic GPU kernel: simulated Tesla C2075 execution time vs
+//! threads per CUDA block.
+//!
+//! The measured quantity is the *simulated* device time produced by the
+//! `catrisk-gpusim` cost model (reported through Criterion's `iter_custom`),
+//! not the wall-clock time of running the simulation on the host.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_gpusim::executor::Executor;
+use catrisk_gpusim::kernel::LaunchConfig;
+use catrisk_gpusim::kernels::{run_gpu_analysis, total_simulated_seconds, GpuVariant};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 50_000,
+        trials: 1_000,
+        events_per_trial: 1_000.0,
+        num_elts: 15,
+        elt_records: 5_000,
+        num_layers: 1,
+        elts_per_layer: 15,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn fig4_threads_per_block(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let executor = Executor::tesla_c2075();
+    let mut group = c.benchmark_group("fig4_gpu_basic_threads_per_block");
+    group.sample_size(10);
+    for tpb in [128u32, 192, 256, 320, 384, 512, 640] {
+        group.bench_with_input(BenchmarkId::from_parameter(tpb), &tpb, |b, &tpb| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (_, launches) = run_gpu_analysis(
+                        &executor,
+                        &input,
+                        GpuVariant::Basic,
+                        LaunchConfig::with_block_size(tpb),
+                    )
+                    .expect("launch");
+                    total += Duration::from_secs_f64(total_simulated_seconds(&launches));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = fig4;
+    // The simulated-GPU measurements are deterministic (zero variance), which
+    // criterion's plotting backend cannot density-estimate; disable plots.
+    config = Criterion::default().without_plots();
+    targets = fig4_threads_per_block
+}
+criterion_main!(fig4);

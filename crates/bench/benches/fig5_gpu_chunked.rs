@@ -1,0 +1,77 @@
+//! Fig. 5 — the optimised (chunked) GPU kernel: simulated execution time vs
+//! chunk size (5a) and vs threads per block at chunk size 4 (5b).
+//!
+//! As with Fig. 4, the reported time is the simulated Tesla C2075 time from
+//! the `catrisk-gpusim` cost model via `iter_custom`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_gpusim::executor::Executor;
+use catrisk_gpusim::kernel::LaunchConfig;
+use catrisk_gpusim::kernels::{run_gpu_analysis, total_simulated_seconds, GpuVariant};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 50_000,
+        trials: 1_000,
+        events_per_trial: 1_000.0,
+        num_elts: 15,
+        elt_records: 5_000,
+        num_layers: 1,
+        elts_per_layer: 15,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn simulated(executor: &Executor, input: &catrisk_engine::input::AnalysisInput, chunk: usize, tpb: u32, iters: u64) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let (_, launches) = run_gpu_analysis(
+            executor,
+            input,
+            GpuVariant::Chunked { chunk_size: chunk },
+            LaunchConfig::with_block_size(tpb),
+        )
+        .expect("launch");
+        total += Duration::from_secs_f64(total_simulated_seconds(&launches));
+    }
+    total
+}
+
+fn fig5a_chunk_size(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let executor = Executor::tesla_c2075();
+    let mut group = c.benchmark_group("fig5a_gpu_chunk_size");
+    group.sample_size(10);
+    for chunk in [1usize, 2, 4, 6, 8, 12, 16, 24, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter_custom(|iters| simulated(&executor, &input, chunk, 64, iters))
+        });
+    }
+    group.finish();
+}
+
+fn fig5b_threads_per_block(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let executor = Executor::tesla_c2075();
+    let mut group = c.benchmark_group("fig5b_gpu_chunked_threads_per_block");
+    group.sample_size(10);
+    for tpb in [32u32, 64, 96, 128, 160, 192] {
+        group.bench_with_input(BenchmarkId::from_parameter(tpb), &tpb, |b, &tpb| {
+            b.iter_custom(|iters| simulated(&executor, &input, 4, tpb, iters))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = fig5;
+    // The simulated-GPU measurements are deterministic (zero variance), which
+    // criterion's plotting backend cannot density-estimate; disable plots.
+    config = Criterion::default().without_plots();
+    targets = fig5a_chunk_size, fig5b_threads_per_block
+}
+criterion_main!(fig5);

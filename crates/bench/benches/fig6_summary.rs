@@ -1,0 +1,98 @@
+//! Fig. 6 — summary comparison of every engine variant on the standard
+//! workload (6a) and the phase breakdown of the algorithm (6b).
+//!
+//! CPU engines are measured in wall-clock time; the two GPU variants report
+//! the simulated Tesla C2075 time via `iter_custom`.  The phase breakdown is
+//! exercised by benchmarking the instrumented sequential run (its output
+//! feeds the `figures fig6b` report).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use catrisk_bench::{build_input, WorkloadSpec};
+use catrisk_engine::chunked::ChunkedEngine;
+use catrisk_engine::parallel::ParallelEngine;
+use catrisk_engine::sequential::SequentialEngine;
+use catrisk_gpusim::executor::Executor;
+use catrisk_gpusim::kernel::LaunchConfig;
+use catrisk_gpusim::kernels::{run_gpu_analysis, total_simulated_seconds, GpuVariant};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        num_events: 50_000,
+        trials: 1_000,
+        events_per_trial: 1_000.0,
+        num_elts: 15,
+        elt_records: 5_000,
+        num_layers: 1,
+        elts_per_layer: 15,
+        ..WorkloadSpec::bench_scale()
+    }
+}
+
+fn fig6a_engines(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let executor = Executor::tesla_c2075();
+    let mut group = c.benchmark_group("fig6a_total_time");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| b.iter(|| SequentialEngine::new().run(&input)));
+    group.bench_function("parallel_8_cores", |b| {
+        b.iter(|| ParallelEngine::with_threads(8).run(&input))
+    });
+    group.bench_function("parallel_all_cores", |b| b.iter(|| ParallelEngine::new().run(&input)));
+    group.bench_function("chunked_cpu", |b| b.iter(|| ChunkedEngine::new(64).run(&input)));
+    group.bench_function("gpu_basic_simulated", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let (_, launches) = run_gpu_analysis(
+                    &executor,
+                    &input,
+                    GpuVariant::Basic,
+                    LaunchConfig::with_block_size(256),
+                )
+                .expect("launch");
+                total += Duration::from_secs_f64(total_simulated_seconds(&launches));
+            }
+            total
+        })
+    });
+    group.bench_function("gpu_chunked_simulated", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let (_, launches) = run_gpu_analysis(
+                    &executor,
+                    &input,
+                    GpuVariant::Chunked { chunk_size: 4 },
+                    LaunchConfig::with_block_size(64),
+                )
+                .expect("launch");
+                total += Duration::from_secs_f64(total_simulated_seconds(&launches));
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn fig6b_phase_breakdown(c: &mut Criterion) {
+    let input = build_input(&workload());
+    let mut group = c.benchmark_group("fig6b_phase_breakdown");
+    group.sample_size(10);
+    group.bench_function("instrumented_sequential", |b| {
+        b.iter(|| SequentialEngine::new().run_instrumented(&input))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = fig6;
+    // The simulated-GPU measurements are deterministic (zero variance), which
+    // criterion's plotting backend cannot density-estimate; disable plots.
+    config = Criterion::default().without_plots();
+    targets = fig6a_engines, fig6b_phase_breakdown
+}
+criterion_main!(fig6);

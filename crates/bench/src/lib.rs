@@ -1,0 +1,32 @@
+//! # catrisk-bench
+//!
+//! Workload generation and the benchmark harness that regenerates every
+//! table and figure of the paper's evaluation (Section III).
+//!
+//! The [`workload`] module builds synthetic analysis inputs whose *shape*
+//! (trials, events per trial, ELTs per layer, ELT record counts, catalog
+//! size, layer count) is controlled exactly — the knobs the paper sweeps in
+//! Fig. 2 — without running the full catastrophe-model pipeline, so the
+//! benchmarks measure the aggregate risk engine rather than data
+//! preparation.
+//!
+//! The Criterion benches under `benches/` and the `figures` binary under
+//! `src/bin/` consume these workloads:
+//!
+//! | experiment | bench target | figures subcommand |
+//! |---|---|---|
+//! | Table I | – (definition) | `figures table1` |
+//! | Fig. 2a–d | `fig2_sequential` | `figures fig2a` … `fig2d` |
+//! | Fig. 3a–b | `fig3_multicore` | `figures fig3a`, `fig3b` |
+//! | Fig. 4 | `fig4_gpu_basic` | `figures fig4` |
+//! | Fig. 5a–b | `fig5_gpu_chunked` | `figures fig5a`, `fig5b` |
+//! | Fig. 6a–b | `fig6_summary` | `figures fig6a`, `fig6b` |
+//! | lookup-structure ablation | `ablation_lookup` | `figures ablation-lookup` |
+//! | real-time pricing ablation | `ablation_realtime` | `figures ablation-realtime` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod workload;
+
+pub use workload::{build_input, WorkloadSpec};

@@ -1,0 +1,203 @@
+//! The Event Loss Table (ELT): the catastrophe model's output and the
+//! aggregate risk engine's second input.
+//!
+//! `ELT = { EL_i = {E_i, l_i}, I = (I_1, I_2, ...) }` — a set of event
+//! losses for one exposure set plus per-ELT financial terms and metadata
+//! (paper §II.A).  "An event may be part of multiple ELTs and associated
+//! with a different loss in each ELT."
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_eventgen::EventId;
+use catrisk_finterms::currency::Currency;
+use catrisk_finterms::terms::FinancialTerms;
+
+/// One record of an ELT: an event and its expected loss for the exposure set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EltRecord {
+    /// Identifier of the catalog event.
+    pub event: EventId,
+    /// Expected (mean) loss of the event for this exposure set, in the ELT's
+    /// currency.
+    pub mean_loss: f64,
+    /// Standard deviation of the loss (secondary uncertainty), retained for
+    /// the loss-distribution extension discussed in the paper's §IV.
+    pub std_dev: f64,
+    /// Total exposed value of the affected locations, used for reporting.
+    pub exposure_value: f64,
+}
+
+/// An Event Loss Table with its metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLossTable {
+    /// Name of the exposure set this ELT was built from.
+    pub name: String,
+    /// Currency the losses are denominated in.
+    pub currency: Currency,
+    /// Financial terms `I` applied to each event loss during aggregation.
+    pub financial_terms: FinancialTerms,
+    records: Vec<EltRecord>,
+}
+
+impl EventLossTable {
+    /// Creates an ELT from records (sorted by event id internally).
+    pub fn new(
+        name: impl Into<String>,
+        currency: Currency,
+        financial_terms: FinancialTerms,
+        mut records: Vec<EltRecord>,
+    ) -> Self {
+        records.sort_by_key(|r| r.event);
+        records.dedup_by_key(|r| r.event);
+        Self { name: name.into(), currency, financial_terms, records }
+    }
+
+    /// Number of event-loss records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the ELT has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, sorted by event id.
+    pub fn records(&self) -> &[EltRecord] {
+        &self.records
+    }
+
+    /// `(event, mean_loss)` pairs, the form consumed by the lookup builders.
+    pub fn loss_pairs(&self) -> Vec<(EventId, f64)> {
+        self.records.iter().map(|r| (r.event, r.mean_loss)).collect()
+    }
+
+    /// Sum of all mean losses (a scale indicator, not an expected annual
+    /// loss — that requires the event rates).
+    pub fn total_mean_loss(&self) -> f64 {
+        self.records.iter().map(|r| r.mean_loss).sum()
+    }
+
+    /// Largest single event loss in the table.
+    pub fn max_loss(&self) -> f64 {
+        self.records.iter().map(|r| r.mean_loss).fold(0.0, f64::max)
+    }
+
+    /// Expected annual loss given a function returning each event's annual
+    /// occurrence rate.
+    pub fn expected_annual_loss(&self, rate_of: impl Fn(EventId) -> f64) -> f64 {
+        self.records.iter().map(|r| r.mean_loss * rate_of(r.event)).sum()
+    }
+
+    /// Looks up the mean loss of one event (0 when absent); a reference
+    /// implementation used in tests — the engines use `catrisk-lookup`
+    /// structures instead.
+    pub fn loss_of(&self, event: EventId) -> f64 {
+        match self.records.binary_search_by_key(&event, |r| r.event) {
+            Ok(i) => self.records[i].mean_loss,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts all losses into the base currency using the given rate and
+    /// returns a new ELT denominated in `base`.
+    pub fn converted(&self, base: Currency, rate: f64) -> EventLossTable {
+        let records = self
+            .records
+            .iter()
+            .map(|r| EltRecord {
+                event: r.event,
+                mean_loss: r.mean_loss * rate,
+                std_dev: r.std_dev * rate,
+                exposure_value: r.exposure_value * rate,
+            })
+            .collect();
+        EventLossTable {
+            name: self.name.clone(),
+            currency: base,
+            financial_terms: FinancialTerms { fx_rate: 1.0, ..self.financial_terms },
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(event: EventId, loss: f64) -> EltRecord {
+        EltRecord { event, mean_loss: loss, std_dev: loss * 0.5, exposure_value: loss * 10.0 }
+    }
+
+    #[test]
+    fn records_sorted_and_deduplicated() {
+        let elt = EventLossTable::new(
+            "a",
+            Currency::Usd,
+            FinancialTerms::pass_through(),
+            vec![record(9, 1.0), record(3, 2.0), record(9, 5.0), record(1, 4.0)],
+        );
+        assert_eq!(elt.len(), 3);
+        let events: Vec<EventId> = elt.records().iter().map(|r| r.event).collect();
+        assert_eq!(events, vec![1, 3, 9]);
+        assert_eq!(elt.loss_of(1), 4.0);
+        assert_eq!(elt.loss_of(2), 0.0);
+        assert!(!elt.is_empty());
+    }
+
+    #[test]
+    fn aggregates() {
+        let elt = EventLossTable::new(
+            "agg",
+            Currency::Usd,
+            FinancialTerms::pass_through(),
+            vec![record(0, 10.0), record(1, 30.0), record(2, 20.0)],
+        );
+        assert_eq!(elt.total_mean_loss(), 60.0);
+        assert_eq!(elt.max_loss(), 30.0);
+        assert_eq!(elt.loss_pairs().len(), 3);
+        // EAL with rate 0.1 for every event.
+        assert!((elt.expected_annual_loss(|_| 0.1) - 6.0).abs() < 1e-12);
+        // Rate depends on event id.
+        let eal = elt.expected_annual_loss(|e| if e == 1 { 1.0 } else { 0.0 });
+        assert_eq!(eal, 30.0);
+    }
+
+    #[test]
+    fn currency_conversion() {
+        let elt = EventLossTable::new(
+            "eur-book",
+            Currency::Eur,
+            FinancialTerms::new(0.0, f64::INFINITY, 1.0, 1.08).unwrap(),
+            vec![record(5, 100.0)],
+        );
+        let usd = elt.converted(Currency::Usd, 1.08);
+        assert_eq!(usd.currency, Currency::Usd);
+        assert!((usd.loss_of(5) - 108.0).abs() < 1e-9);
+        assert_eq!(usd.financial_terms.fx_rate, 1.0);
+        assert_eq!(usd.name, "eur-book");
+        assert!((usd.records()[0].std_dev - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_elt() {
+        let elt = EventLossTable::new("empty", Currency::Usd, FinancialTerms::pass_through(), vec![]);
+        assert!(elt.is_empty());
+        assert_eq!(elt.total_mean_loss(), 0.0);
+        assert_eq!(elt.max_loss(), 0.0);
+        assert_eq!(elt.loss_of(0), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let elt = EventLossTable::new(
+            "rt",
+            Currency::Gbp,
+            FinancialTerms::new(10.0, 1000.0, 0.8, 1.27).unwrap(),
+            vec![record(2, 7.0), record(8, 3.0)],
+        );
+        let json = serde_json::to_string(&elt).unwrap();
+        let back: EventLossTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(elt, back);
+    }
+}

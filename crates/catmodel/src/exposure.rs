@@ -1,0 +1,271 @@
+//! Exposure databases: the insured properties analysed by the model.
+//!
+//! "Exposure databases ... describe thousands or millions of buildings to be
+//! analysed, their construction types, location, value, use, and coverage"
+//! (paper §I).
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_eventgen::peril::Region;
+
+/// Serde helpers mapping an unlimited (`+∞`) site limit to JSON `null` and
+/// back, since JSON has no representation for IEEE infinities.
+mod maybe_unlimited {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(value: &f64, serializer: S) -> Result<S::Ok, S::Error> {
+        if value.is_finite() {
+            serializer.serialize_some(value)
+        } else {
+            serializer.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<f64, D::Error> {
+        let opt = Option::<f64>::deserialize(deserializer)?;
+        Ok(opt.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// Construction class of a building, the primary driver of vulnerability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Construction {
+    /// Light wood frame.
+    WoodFrame,
+    /// Unreinforced or reinforced masonry.
+    Masonry,
+    /// Cast-in-place or precast concrete.
+    Concrete,
+    /// Steel frame.
+    Steel,
+    /// Light metal / engineered industrial structures.
+    LightMetal,
+}
+
+impl Construction {
+    /// All construction classes.
+    pub const ALL: [Construction; 5] = [
+        Construction::WoodFrame,
+        Construction::Masonry,
+        Construction::Concrete,
+        Construction::Steel,
+        Construction::LightMetal,
+    ];
+
+    /// Typical share of a property portfolio in this class (sums to 1).
+    pub fn portfolio_share(&self) -> f64 {
+        match self {
+            Construction::WoodFrame => 0.35,
+            Construction::Masonry => 0.25,
+            Construction::Concrete => 0.20,
+            Construction::Steel => 0.12,
+            Construction::LightMetal => 0.08,
+        }
+    }
+}
+
+/// Occupancy (use) of a building, a secondary driver of vulnerability and
+/// of the insured-value distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Occupancy {
+    /// Single-family and multi-family residential.
+    Residential,
+    /// Offices, retail, hospitality.
+    Commercial,
+    /// Manufacturing, warehouses, utilities.
+    Industrial,
+    /// Schools, hospitals, public administration.
+    Public,
+}
+
+impl Occupancy {
+    /// All occupancy classes.
+    pub const ALL: [Occupancy; 4] = [
+        Occupancy::Residential,
+        Occupancy::Commercial,
+        Occupancy::Industrial,
+        Occupancy::Public,
+    ];
+
+    /// Typical share of a property portfolio in this class (sums to 1).
+    pub fn portfolio_share(&self) -> f64 {
+        match self {
+            Occupancy::Residential => 0.55,
+            Occupancy::Commercial => 0.25,
+            Occupancy::Industrial => 0.12,
+            Occupancy::Public => 0.08,
+        }
+    }
+
+    /// Median total insured value of a single location of this occupancy,
+    /// in the analysis base currency.
+    pub fn median_tiv(&self) -> f64 {
+        match self {
+            Occupancy::Residential => 0.4e6,
+            Occupancy::Commercial => 3.0e6,
+            Occupancy::Industrial => 8.0e6,
+            Occupancy::Public => 5.0e6,
+        }
+    }
+}
+
+/// One insured location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// Identifier within the exposure database.
+    pub id: u32,
+    /// Geographic region of the location.
+    pub region: Region,
+    /// Latitude-like coordinate in `[0, 1]` within the region's bounding box.
+    pub x: f64,
+    /// Longitude-like coordinate in `[0, 1]` within the region's bounding box.
+    pub y: f64,
+    /// Construction class.
+    pub construction: Construction,
+    /// Occupancy class.
+    pub occupancy: Occupancy,
+    /// Year the building was constructed (affects vulnerability).
+    pub year_built: u16,
+    /// Total insured value in the base currency.
+    pub tiv: f64,
+    /// Site deductible applied to every event's ground-up loss.
+    pub site_deductible: f64,
+    /// Site limit applied after the deductible (`f64::INFINITY` = none).
+    #[serde(with = "maybe_unlimited")]
+    pub site_limit: f64,
+}
+
+impl Location {
+    /// Age of the building relative to a 2012 analysis date (the paper's
+    /// publication year), clamped at zero.
+    pub fn age(&self) -> u16 {
+        2012_u16.saturating_sub(self.year_built)
+    }
+}
+
+/// An exposure database: the set of locations covered by one cedant /
+/// exposure set, from which one ELT is produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExposureDatabase {
+    /// Name of the exposure set (cedant or portfolio identifier).
+    pub name: String,
+    locations: Vec<Location>,
+}
+
+impl ExposureDatabase {
+    /// Creates a database from explicit locations.
+    pub fn new(name: impl Into<String>, locations: Vec<Location>) -> Self {
+        Self { name: name.into(), locations }
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// True when the database has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// All locations.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Total insured value across all locations.
+    pub fn total_tiv(&self) -> f64 {
+        self.locations.iter().map(|l| l.tiv).sum()
+    }
+
+    /// Locations in a given region (the hazard module only evaluates
+    /// locations in the event's region).
+    pub fn locations_in(&self, region: Region) -> impl Iterator<Item = &Location> + '_ {
+        self.locations.iter().filter(move |l| l.region == region)
+    }
+
+    /// Number of locations per region, in `Region::ALL` order.
+    pub fn region_counts(&self) -> Vec<(Region, usize)> {
+        Region::ALL
+            .iter()
+            .map(|r| (*r, self.locations.iter().filter(|l| l.region == *r).count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(id: u32, region: Region, tiv: f64) -> Location {
+        Location {
+            id,
+            region,
+            x: 0.5,
+            y: 0.5,
+            construction: Construction::WoodFrame,
+            occupancy: Occupancy::Residential,
+            year_built: 1995,
+            tiv,
+            site_deductible: 0.0,
+            site_limit: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let c: f64 = Construction::ALL.iter().map(|c| c.portfolio_share()).sum();
+        assert!((c - 1.0).abs() < 1e-12);
+        let o: f64 = Occupancy::ALL.iter().map(|o| o.portfolio_share()).sum();
+        assert!((o - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_tiv_positive_and_ordered() {
+        assert!(Occupancy::ALL.iter().all(|o| o.median_tiv() > 0.0));
+        assert!(Occupancy::Industrial.median_tiv() > Occupancy::Residential.median_tiv());
+    }
+
+    #[test]
+    fn location_age() {
+        assert_eq!(loc(0, Region::Europe, 1.0).age(), 17);
+        let new_build = Location { year_built: 2020, ..loc(0, Region::Europe, 1.0) };
+        assert_eq!(new_build.age(), 0);
+    }
+
+    #[test]
+    fn database_aggregates() {
+        let db = ExposureDatabase::new(
+            "test",
+            vec![
+                loc(0, Region::Europe, 1.0e6),
+                loc(1, Region::Europe, 2.0e6),
+                loc(2, Region::Japan, 3.0e6),
+            ],
+        );
+        assert_eq!(db.len(), 3);
+        assert!(!db.is_empty());
+        assert_eq!(db.total_tiv(), 6.0e6);
+        assert_eq!(db.locations_in(Region::Europe).count(), 2);
+        assert_eq!(db.locations_in(Region::Caribbean).count(), 0);
+        let counts = db.region_counts();
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 3);
+        assert_eq!(db.locations().len(), 3);
+        assert_eq!(db.name, "test");
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = ExposureDatabase::new("empty", vec![]);
+        assert!(db.is_empty());
+        assert_eq!(db.total_tiv(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let db = ExposureDatabase::new("rt", vec![loc(0, Region::Oceania, 5.0)]);
+        let json = serde_json::to_string(&db).unwrap();
+        let back: ExposureDatabase = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+}

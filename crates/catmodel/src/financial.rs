@@ -1,0 +1,84 @@
+//! Site-level financial terms: ground-up loss to gross loss.
+//!
+//! The catastrophe model's final step computes "the resultant expected loss,
+//! given the customer's financial terms" (paper §I).  At the location level
+//! this means applying the site deductible and site limit to the ground-up
+//! loss (TIV × damage ratio); the result summed over locations is the
+//! event's gross loss for the exposure set, which is what lands in the ELT.
+
+use crate::exposure::Location;
+
+/// Applies a location's site terms to a ground-up loss.
+#[inline]
+pub fn site_gross_loss(location: &Location, ground_up: f64) -> f64 {
+    debug_assert!(ground_up >= 0.0);
+    (ground_up - location.site_deductible).max(0.0).min(location.site_limit)
+}
+
+/// Ground-up loss of a location for a given damage ratio.
+#[inline]
+pub fn ground_up_loss(location: &Location, damage_ratio: f64) -> f64 {
+    location.tiv * damage_ratio.clamp(0.0, 1.0)
+}
+
+/// Convenience composition: damage ratio → gross loss at a location.
+#[inline]
+pub fn location_gross_loss(location: &Location, damage_ratio: f64) -> f64 {
+    site_gross_loss(location, ground_up_loss(location, damage_ratio))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exposure::{Construction, Occupancy};
+    use catrisk_eventgen::peril::Region;
+
+    fn location(tiv: f64, deductible: f64, limit: f64) -> Location {
+        Location {
+            id: 0,
+            region: Region::Europe,
+            x: 0.0,
+            y: 0.0,
+            construction: Construction::Concrete,
+            occupancy: Occupancy::Commercial,
+            year_built: 2000,
+            tiv,
+            site_deductible: deductible,
+            site_limit: limit,
+        }
+    }
+
+    #[test]
+    fn ground_up_is_tiv_times_damage() {
+        let loc = location(2.0e6, 0.0, f64::INFINITY);
+        assert_eq!(ground_up_loss(&loc, 0.25), 0.5e6);
+        assert_eq!(ground_up_loss(&loc, 0.0), 0.0);
+        assert_eq!(ground_up_loss(&loc, 1.5), 2.0e6, "damage ratio clamped to 1");
+    }
+
+    #[test]
+    fn site_terms_apply_deductible_then_limit() {
+        let loc = location(1.0e6, 50_000.0, 400_000.0);
+        assert_eq!(site_gross_loss(&loc, 30_000.0), 0.0);
+        assert_eq!(site_gross_loss(&loc, 50_000.0), 0.0);
+        assert_eq!(site_gross_loss(&loc, 250_000.0), 200_000.0);
+        assert_eq!(site_gross_loss(&loc, 900_000.0), 400_000.0);
+    }
+
+    #[test]
+    fn composition_matches_manual() {
+        let loc = location(1.0e6, 100_000.0, 500_000.0);
+        // 40% damage = 400k ground-up, minus 100k deductible = 300k.
+        assert_eq!(location_gross_loss(&loc, 0.4), 300_000.0);
+        // 90% damage = 900k ground-up, capped at 500k after deductible.
+        assert_eq!(location_gross_loss(&loc, 0.9), 500_000.0);
+        // No damage, no loss.
+        assert_eq!(location_gross_loss(&loc, 0.0), 0.0);
+    }
+
+    #[test]
+    fn unlimited_site_terms_pass_through() {
+        let loc = location(3.0e6, 0.0, f64::INFINITY);
+        assert_eq!(location_gross_loss(&loc, 0.5), 1.5e6);
+    }
+}

@@ -1,0 +1,195 @@
+//! Hazard footprints: translating catalog events into local intensities.
+//!
+//! A catastrophe model "quantifies the hazard intensity at the exposure
+//! site" (paper §I).  Real models use physical wind fields, ground-motion
+//! prediction equations and hydraulic models; this substrate uses compact
+//! parametric stand-ins with the same interface and qualitative behaviour:
+//! every catalog event has a deterministic footprint centre inside its
+//! region, an intensity that decays with distance, and a peril-specific
+//! footprint radius, so severe events affect many locations strongly and
+//! small events affect few locations weakly.
+
+use catrisk_eventgen::catalog::CatalogEvent;
+use catrisk_eventgen::peril::Peril;
+use catrisk_simkit::rng::mix;
+
+use crate::exposure::Location;
+
+/// Peril-specific footprint parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FootprintParams {
+    /// Radius (in normalised region coordinates) within which the event
+    /// produces damaging intensities, for the most severe event of the peril.
+    pub max_radius: f64,
+    /// Exponent of the distance decay (higher = faster decay).
+    pub decay: f64,
+}
+
+impl FootprintParams {
+    /// Default parameters of a peril.
+    pub fn for_peril(peril: Peril) -> Self {
+        match peril {
+            // Hurricanes have very large footprints with gradual decay.
+            Peril::Hurricane => Self { max_radius: 0.60, decay: 1.5 },
+            // Earthquake shaking attenuates quickly with distance.
+            Peril::Earthquake => Self { max_radius: 0.35, decay: 2.5 },
+            // Floods are spatially extensive but shallow at the margins.
+            Peril::Flood => Self { max_radius: 0.40, decay: 2.0 },
+            // Tornado outbreak swaths are comparatively narrow.
+            Peril::Tornado => Self { max_radius: 0.15, decay: 3.0 },
+            // Winter storms cover very large areas.
+            Peril::WinterStorm => Self { max_radius: 0.70, decay: 1.2 },
+            // Wildfire perimeters are localised.
+            Peril::Wildfire => Self { max_radius: 0.20, decay: 2.5 },
+        }
+    }
+}
+
+/// The hazard model: computes local intensities of catalog events at
+/// exposure locations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HazardModel;
+
+impl HazardModel {
+    /// Creates the default hazard model.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Deterministic footprint centre of an event, derived from the event id
+    /// so that every ELT built from the same catalog sees the same footprint
+    /// (the catalog does not carry explicit coordinates).
+    pub fn footprint_center(&self, event: &CatalogEvent) -> (f64, f64) {
+        let h = mix(0xF00D_F00D, u64::from(event.id));
+        let x = (h >> 32) as f64 / u32::MAX as f64;
+        let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+        (x, y)
+    }
+
+    /// Local hazard intensity of `event` at `location`, in `[0, 1]`.
+    ///
+    /// Returns 0 when the location is outside the event's region or outside
+    /// the footprint radius.
+    pub fn local_intensity(&self, event: &CatalogEvent, location: &Location) -> f64 {
+        if event.region != location.region {
+            return 0.0;
+        }
+        let params = FootprintParams::for_peril(event.peril);
+        let (cx, cy) = self.footprint_center(event);
+        let dx = location.x - cx;
+        let dy = location.y - cy;
+        let distance = (dx * dx + dy * dy).sqrt();
+        // Footprint radius scales with the event's severity.
+        let radius = params.max_radius * (0.25 + 0.75 * event.intensity);
+        if distance >= radius {
+            return 0.0;
+        }
+        // Smooth decay from full intensity at the centre to zero at the edge.
+        let falloff = (1.0 - distance / radius).powf(params.decay);
+        (event.intensity * falloff).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of the unit square covered by the event's footprint; a cheap
+    /// upper bound used by tests and by the runner's statistics.
+    pub fn footprint_area(&self, event: &CatalogEvent) -> f64 {
+        let params = FootprintParams::for_peril(event.peril);
+        let radius = params.max_radius * (0.25 + 0.75 * event.intensity);
+        (std::f64::consts::PI * radius * radius).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_eventgen::peril::Region;
+    use crate::exposure::{Construction, Occupancy};
+
+    fn event(id: u32, peril: Peril, region: Region, intensity: f64) -> CatalogEvent {
+        CatalogEvent { id, peril, region, annual_rate: 0.01, intensity }
+    }
+
+    fn location(region: Region, x: f64, y: f64) -> Location {
+        Location {
+            id: 0,
+            region,
+            x,
+            y,
+            construction: Construction::Masonry,
+            occupancy: Occupancy::Commercial,
+            year_built: 1990,
+            tiv: 1.0e6,
+            site_deductible: 0.0,
+            site_limit: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn wrong_region_has_zero_intensity() {
+        let hazard = HazardModel::new();
+        let ev = event(1, Peril::Hurricane, Region::Caribbean, 0.9);
+        let loc = location(Region::Europe, 0.5, 0.5);
+        assert_eq!(hazard.local_intensity(&ev, &loc), 0.0);
+    }
+
+    #[test]
+    fn intensity_peaks_at_center_and_decays() {
+        let hazard = HazardModel::new();
+        let ev = event(7, Peril::Earthquake, Region::Japan, 1.0);
+        let (cx, cy) = hazard.footprint_center(&ev);
+        let at_center = hazard.local_intensity(&ev, &location(Region::Japan, cx, cy));
+        assert!(at_center > 0.9, "intensity at epicentre {at_center}");
+        let near = hazard.local_intensity(&ev, &location(Region::Japan, cx + 0.05, cy));
+        let far = hazard.local_intensity(&ev, &location(Region::Japan, cx + 0.2, cy));
+        assert!(at_center >= near && near >= far, "{at_center} >= {near} >= {far}");
+        let outside = hazard.local_intensity(&ev, &location(Region::Japan, cx + 0.9, cy + 0.9));
+        assert_eq!(outside, 0.0);
+    }
+
+    #[test]
+    fn footprint_center_is_deterministic_and_in_unit_square() {
+        let hazard = HazardModel::new();
+        for id in 0..100u32 {
+            let ev = event(id, Peril::Flood, Region::Europe, 0.5);
+            let (x, y) = hazard.footprint_center(&ev);
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+            assert_eq!(hazard.footprint_center(&ev), (x, y));
+        }
+        let a = hazard.footprint_center(&event(1, Peril::Flood, Region::Europe, 0.5));
+        let b = hazard.footprint_center(&event(2, Peril::Flood, Region::Europe, 0.5));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn severe_events_reach_further() {
+        let hazard = HazardModel::new();
+        let weak = event(11, Peril::Hurricane, Region::Caribbean, 0.1);
+        let strong = event(11, Peril::Hurricane, Region::Caribbean, 1.0);
+        let (cx, cy) = hazard.footprint_center(&weak);
+        let probe = location(Region::Caribbean, (cx + 0.3).min(1.0), cy);
+        assert!(hazard.local_intensity(&strong, &probe) >= hazard.local_intensity(&weak, &probe));
+        assert!(hazard.footprint_area(&strong) > hazard.footprint_area(&weak));
+    }
+
+    #[test]
+    fn intensity_bounded_by_unit_interval() {
+        let hazard = HazardModel::new();
+        for peril in Peril::ALL {
+            let ev = event(3, peril, Region::NorthAmericaEast, 1.0);
+            let (cx, cy) = hazard.footprint_center(&ev);
+            for dx in [0.0, 0.01, 0.1, 0.3, 0.7] {
+                let v = hazard.local_intensity(&ev, &location(Region::NorthAmericaEast, (cx + dx).min(1.0), cy));
+                assert!((0.0..=1.0).contains(&v), "{peril} at dx={dx}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_area_bounded() {
+        let hazard = HazardModel::new();
+        for peril in Peril::ALL {
+            let ev = event(9, peril, Region::Oceania, 1.0);
+            let a = hazard.footprint_area(&ev);
+            assert!(a > 0.0 && a <= 1.0, "{peril}: {a}");
+        }
+    }
+}

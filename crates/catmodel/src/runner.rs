@@ -1,0 +1,287 @@
+//! The catastrophe model runner: catalog × exposure → Event Loss Table.
+//!
+//! "Each event-exposure pair is then analysed by a risk model that
+//! quantifies the hazard intensity at the exposure site, the vulnerability
+//! of the building and resulting damage level, and the resultant expected
+//! loss, given the customer's financial terms" (paper §I).  The runner
+//! evaluates every catalog event against every location of an exposure set
+//! (in parallel over events) and keeps the events whose gross loss exceeds a
+//! reporting threshold — producing ELTs with the 10k–30k non-zero records
+//! the paper describes.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use catrisk_eventgen::catalog::EventCatalog;
+use catrisk_finterms::currency::{Currency, ExchangeRates};
+use catrisk_finterms::terms::FinancialTerms;
+use catrisk_simkit::rng::RngFactory;
+
+use crate::elt::{EltRecord, EventLossTable};
+use crate::exposure::ExposureDatabase;
+use crate::hazard::HazardModel;
+use crate::vulnerability::VulnerabilityModel;
+use crate::{ModelError, Result};
+
+/// Configuration of the catastrophe model runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatModelConfig {
+    /// Currency the produced ELT is denominated in.
+    pub currency: Currency,
+    /// Financial terms `I` attached to the produced ELT (applied later by
+    /// the aggregate engine, not by the runner).
+    pub elt_financial_terms: FinancialTerms,
+    /// Events whose total gross loss falls below this threshold are dropped
+    /// from the ELT (keeps the table sparse, as in production systems).
+    pub loss_threshold: f64,
+    /// Coefficient of variation of the damage ratio (secondary uncertainty);
+    /// 0 makes the model deterministic.
+    pub damage_cv: f64,
+}
+
+impl Default for CatModelConfig {
+    fn default() -> Self {
+        Self {
+            currency: Currency::Usd,
+            elt_financial_terms: FinancialTerms::pass_through(),
+            loss_threshold: 1.0,
+            damage_cv: 0.6,
+        }
+    }
+}
+
+impl CatModelConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.loss_threshold.is_finite() && self.loss_threshold >= 0.0) {
+            return Err(ModelError::InvalidConfig("loss_threshold must be non-negative".into()));
+        }
+        if !(self.damage_cv.is_finite() && self.damage_cv >= 0.0) {
+            return Err(ModelError::InvalidConfig("damage_cv must be non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The catastrophe model: hazard + vulnerability + site financial terms.
+pub struct CatModel {
+    hazard: HazardModel,
+    vulnerability: VulnerabilityModel,
+    config: CatModelConfig,
+}
+
+impl CatModel {
+    /// Creates a model with the given configuration.
+    pub fn new(config: CatModelConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            hazard: HazardModel::new(),
+            vulnerability: VulnerabilityModel { damage_cv: config.damage_cv },
+            config,
+        })
+    }
+
+    /// Runs the model for one exposure database against the full catalog,
+    /// producing that exposure set's ELT.  Parallelised over catalog events.
+    pub fn run(
+        &self,
+        catalog: &EventCatalog,
+        exposure: &ExposureDatabase,
+        factory: &RngFactory,
+    ) -> EventLossTable {
+        let factory = factory.derive("catmodel").derive(&exposure.name);
+        let records: Vec<EltRecord> = catalog
+            .events()
+            .par_iter()
+            .filter_map(|event| {
+                let mut rng = factory.stream(u64::from(event.id));
+                let mut total_loss = 0.0;
+                let mut total_sq = 0.0;
+                let mut exposed_value = 0.0;
+                for location in exposure.locations_in(event.region) {
+                    let intensity = self.hazard.local_intensity(event, location);
+                    if intensity <= 0.0 {
+                        continue;
+                    }
+                    let damage = self.vulnerability.sample_damage_ratio(
+                        event.peril,
+                        location,
+                        intensity,
+                        &mut rng,
+                    );
+                    let loss = crate::financial::location_gross_loss(location, damage);
+                    if loss > 0.0 {
+                        total_loss += loss;
+                        total_sq += loss * loss;
+                        exposed_value += location.tiv;
+                    }
+                }
+                if total_loss >= self.config.loss_threshold && total_loss > 0.0 {
+                    Some(EltRecord {
+                        event: event.id,
+                        mean_loss: total_loss,
+                        std_dev: total_sq.sqrt(),
+                        exposure_value: exposed_value,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        EventLossTable::new(
+            exposure.name.clone(),
+            self.config.currency,
+            self.config.elt_financial_terms,
+            records,
+        )
+    }
+
+    /// Runs the model for several exposure databases, producing one ELT per
+    /// database (the input shape of an aggregate analysis, where a layer
+    /// covers 3–30 ELTs).
+    pub fn run_portfolio(
+        &self,
+        catalog: &EventCatalog,
+        exposures: &[ExposureDatabase],
+        factory: &RngFactory,
+    ) -> Vec<EventLossTable> {
+        exposures.iter().map(|e| self.run(catalog, e, factory)).collect()
+    }
+
+    /// Converts a set of ELTs into a common base currency.
+    pub fn normalise_currency(
+        elts: &[EventLossTable],
+        rates: &ExchangeRates,
+    ) -> std::result::Result<Vec<EventLossTable>, catrisk_finterms::TermsError> {
+        elts.iter()
+            .map(|elt| {
+                let rate = rates
+                    .rate(elt.currency)
+                    .ok_or(catrisk_finterms::TermsError::UnknownCurrency(elt.currency))?;
+                Ok(elt.converted(rates.base(), rate))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ExposureConfig;
+    use catrisk_eventgen::catalog::CatalogConfig;
+    use catrisk_eventgen::peril::Region;
+
+    fn catalog() -> EventCatalog {
+        EventCatalog::generate(
+            &CatalogConfig { num_events: 5_000, annual_event_budget: 500.0, rate_tail_index: 1.2 },
+            &RngFactory::new(100),
+        )
+        .unwrap()
+    }
+
+    fn exposure(name: &str, region: Region) -> ExposureDatabase {
+        ExposureConfig::regional(name, region, 800)
+            .generate(&RngFactory::new(200))
+            .unwrap()
+    }
+
+    #[test]
+    fn elt_has_reasonable_shape() {
+        let cat = catalog();
+        let exp = exposure("gulf-book", Region::NorthAmericaEast);
+        let model = CatModel::new(CatModelConfig::default()).unwrap();
+        let elt = model.run(&cat, &exp, &RngFactory::new(300));
+        // Sparse: far fewer events than the catalog, but not trivial.
+        assert!(elt.len() > 50, "got {} records", elt.len());
+        assert!(elt.len() < cat.len() / 2, "got {} records", elt.len());
+        // Losses positive, bounded by the book's TIV.
+        for r in elt.records() {
+            assert!(r.mean_loss > 0.0);
+            assert!(r.mean_loss <= exp.total_tiv());
+            assert!(r.exposure_value > 0.0);
+        }
+        assert_eq!(elt.name, "gulf-book");
+        assert_eq!(elt.currency, Currency::Usd);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let cat = catalog();
+        let exp = exposure("det-book", Region::Japan);
+        let model = CatModel::new(CatModelConfig::default()).unwrap();
+        let a = model.run(&cat, &exp, &RngFactory::new(9));
+        let b = model.run(&cat, &exp, &RngFactory::new(9));
+        assert_eq!(a, b);
+        let c = model.run(&cat, &exp, &RngFactory::new(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_exposures_share_events_with_different_losses() {
+        let cat = catalog();
+        let exp_a = exposure("book-a", Region::Europe);
+        let exp_b = ExposureConfig::regional("book-b", Region::Europe, 400)
+            .generate(&RngFactory::new(201))
+            .unwrap();
+        let model = CatModel::new(CatModelConfig::default()).unwrap();
+        let elts = model.run_portfolio(&cat, &[exp_a, exp_b], &RngFactory::new(5));
+        assert_eq!(elts.len(), 2);
+        // "An event may be part of multiple ELTs and associated with a
+        // different loss in each ELT."
+        let shared: Vec<_> = elts[0]
+            .records()
+            .iter()
+            .filter(|r| elts[1].loss_of(r.event) > 0.0)
+            .collect();
+        assert!(!shared.is_empty(), "the two books should share some events");
+        assert!(shared.iter().any(|r| (r.mean_loss - elts[1].loss_of(r.event)).abs() > 1e-6));
+    }
+
+    #[test]
+    fn loss_threshold_filters_small_events() {
+        let cat = catalog();
+        let exp = exposure("threshold-book", Region::Caribbean);
+        let low = CatModel::new(CatModelConfig { loss_threshold: 1.0, ..Default::default() })
+            .unwrap()
+            .run(&cat, &exp, &RngFactory::new(1));
+        let high = CatModel::new(CatModelConfig { loss_threshold: 1.0e6, ..Default::default() })
+            .unwrap()
+            .run(&cat, &exp, &RngFactory::new(1));
+        assert!(high.len() < low.len());
+        assert!(high.records().iter().all(|r| r.mean_loss >= 1.0e6));
+    }
+
+    #[test]
+    fn deterministic_damage_model() {
+        let cat = catalog();
+        let exp = exposure("no-uncertainty", Region::Oceania);
+        let config = CatModelConfig { damage_cv: 0.0, ..Default::default() };
+        let model = CatModel::new(config).unwrap();
+        // With no secondary uncertainty, results do not depend on the seed.
+        let a = model.run(&cat, &exp, &RngFactory::new(1));
+        let b = model.run(&cat, &exp, &RngFactory::new(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn currency_normalisation() {
+        let elt = EventLossTable::new(
+            "eur",
+            Currency::Eur,
+            FinancialTerms::pass_through(),
+            vec![EltRecord { event: 0, mean_loss: 100.0, std_dev: 0.0, exposure_value: 0.0 }],
+        );
+        let rates = ExchangeRates::representative();
+        let out = CatModel::normalise_currency(&[elt], &rates).unwrap();
+        assert_eq!(out[0].currency, Currency::Usd);
+        assert!((out[0].loss_of(0) - 108.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CatModelConfig { loss_threshold: -1.0, ..Default::default() }.validate().is_err());
+        assert!(CatModelConfig { damage_cv: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(CatModelConfig::default().validate().is_ok());
+        assert!(CatModel::new(CatModelConfig { damage_cv: -0.5, ..Default::default() }).is_err());
+    }
+}

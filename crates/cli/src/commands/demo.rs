@@ -1,0 +1,112 @@
+//! `catrisk demo` — end-to-end synthetic pipeline.
+
+use std::sync::Arc;
+
+use catrisk_lookup::LookupKind;
+use catrisk_metrics::report::RiskReport;
+use catrisk_portfolio::contract::{Contract, ContractId};
+use catrisk_portfolio::portfolio::{Portfolio, PortfolioAnalysis};
+use catrisk_portfolio::pricing::{price_ylt, PricingConfig};
+use catrisk_finterms::treaty::Treaty;
+use catrisk_simkit::timing::Stopwatch;
+
+use super::world::{World, WorldConfig};
+use super::Options;
+
+/// Runs the demo pipeline.
+pub fn run(options: &Options) -> Result<(), String> {
+    let config = WorldConfig {
+        seed: options.get("seed", 2012u64)?,
+        num_events: options.get("events", 50_000u32)?,
+        locations: options.get("locations", 2_000usize)?,
+        trials: options.get("trials", 20_000usize)?,
+    };
+    let as_json = options.has_flag("json");
+
+    eprintln!(
+        "building synthetic world: {} events, {} locations/book, {} trials ...",
+        config.num_events, config.locations, config.trials
+    );
+    let sw = Stopwatch::start();
+    let world = World::build(&config)?;
+    eprintln!(
+        "  catalog {} events, {} ELTs ({} records total), YET {} trials x {:.0} events avg  [{:.2}s]",
+        world.catalog.len(),
+        world.elts.len(),
+        world.elts.iter().map(|e| e.len()).sum::<usize>(),
+        world.yet.num_trials(),
+        world.yet.avg_events_per_trial(),
+        sw.elapsed_secs()
+    );
+
+    // A small book of contracts over the synthetic ELTs.
+    let scale = world.elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
+    let mut portfolio = Portfolio::new("demo underwriting year");
+    portfolio.add(Contract::new(
+        ContractId(0),
+        "gulf wind cat xl",
+        Treaty::cat_xl(0.05 * scale, 0.4 * scale),
+        vec![0],
+    ));
+    portfolio.add(Contract::new(
+        ContractId(1),
+        "west coast quake cat xl",
+        Treaty::cat_xl(0.08 * scale, 0.5 * scale),
+        vec![1],
+    ));
+    portfolio.add(Contract::new(
+        ContractId(2),
+        "europe stop loss",
+        Treaty::AggregateXl { retention: 0.1 * scale, limit: 0.6 * scale },
+        vec![2],
+    ));
+    portfolio.add(Contract::new(
+        ContractId(3),
+        "worldwide combined",
+        Treaty::Combined {
+            occ_retention: 0.05 * scale,
+            occ_limit: 0.3 * scale,
+            agg_retention: 0.05 * scale,
+            agg_limit: 0.9 * scale,
+        },
+        vec![0, 1, 2, 3],
+    ));
+
+    let sw = Stopwatch::start();
+    let analysis = PortfolioAnalysis::build(portfolio, &world.elts, Arc::clone(&world.yet), LookupKind::Direct)
+        .map_err(|e| e.to_string())?;
+    let result = analysis.run();
+    eprintln!("aggregate analysis of {} contracts completed in {:.2}s", result.ylts().len(), sw.elapsed_secs());
+
+    let pricing = PricingConfig::default();
+    for (i, contract) in result.portfolio.contracts.iter().enumerate() {
+        let ylt = result.contract_ylt(i);
+        let quote = price_ylt(ylt, contract.layer_terms().max_annual_recovery(), &pricing);
+        println!("\n=== {} ({}) ===", contract.name, contract.treaty.describe());
+        println!("{}", result.contract_report(i).to_text());
+        println!(
+            "  technical premium: {:>15.2}   rate on line: {:.4}",
+            quote.gross_premium, quote.rate_on_line
+        );
+    }
+
+    let portfolio_report = result.portfolio_report();
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&portfolio_report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("\n=== portfolio ===");
+        println!("{}", portfolio_report.to_text());
+    }
+    print_convergence(&portfolio_report);
+    Ok(())
+}
+
+fn print_convergence(report: &RiskReport) {
+    println!(
+        "portfolio expected annual loss {:.2} over {} trials",
+        report.expected_loss, report.trials
+    );
+}

@@ -1,0 +1,79 @@
+//! `catrisk engines` — compare every engine variant on one workload.
+
+use catrisk_engine::chunked::ChunkedEngine;
+use catrisk_engine::parallel::ParallelEngine;
+use catrisk_engine::sequential::SequentialEngine;
+use catrisk_engine::phases::PhaseBreakdown;
+use catrisk_gpusim::executor::Executor;
+use catrisk_gpusim::kernel::LaunchConfig;
+use catrisk_gpusim::kernels::{run_gpu_analysis, total_simulated_seconds, GpuVariant};
+use catrisk_simkit::timing::Stopwatch;
+
+use super::world::{World, WorldConfig};
+use super::Options;
+
+/// Runs the engine comparison.
+pub fn run(options: &Options) -> Result<(), String> {
+    let config = WorldConfig {
+        seed: options.get("seed", 2012u64)?,
+        num_events: options.get("events", 20_000u32)?,
+        locations: options.get("locations", 1_000usize)?,
+        trials: options.get("trials", 20_000usize)?,
+    };
+    eprintln!("building workload ({} trials) ...", config.trials);
+    let world = World::build(&config)?;
+    let input = world.standard_input()?;
+    eprintln!(
+        "workload: {} trials x {:.0} events, {} ELTs, {:.1} billion lookups per full sweep",
+        input.num_trials(),
+        input.yet().avg_events_per_trial(),
+        input.elts().len(),
+        input.total_lookups() as f64 / 1.0e9
+    );
+
+    println!("{:<18} {:>12} {:>10}", "engine", "seconds", "speedup");
+
+    let sw = Stopwatch::start();
+    let reference = SequentialEngine::new().run(&input);
+    let t_seq = sw.elapsed_secs();
+    println!("{:<18} {:>12.3} {:>10.2}", "sequential", t_seq, 1.0);
+
+    let sw = Stopwatch::start();
+    let parallel = ParallelEngine::new().run(&input);
+    let t_par = sw.elapsed_secs();
+    println!("{:<18} {:>12.3} {:>10.2}", "parallel-cpu", t_par, t_seq / t_par);
+    assert_eq!(reference.max_abs_difference(&parallel), 0.0);
+
+    let sw = Stopwatch::start();
+    let chunked = ChunkedEngine::new(64).run(&input);
+    let t_chunk = sw.elapsed_secs();
+    println!("{:<18} {:>12.3} {:>10.2}", "chunked-cpu", t_chunk, t_seq / t_chunk);
+    assert_eq!(reference.max_abs_difference(&chunked), 0.0);
+
+    let executor = Executor::tesla_c2075();
+    let (gpu_basic, basic_launches) =
+        run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(256))
+            .map_err(|e| e.to_string())?;
+    assert_eq!(reference.max_abs_difference(&gpu_basic), 0.0);
+    let t_basic = total_simulated_seconds(&basic_launches);
+    println!("{:<18} {:>12.3} {:>10.2}", "gpu-basic (sim)", t_basic, t_seq / t_basic);
+
+    let (gpu_chunked, chunked_launches) = run_gpu_analysis(
+        &executor,
+        &input,
+        GpuVariant::Chunked { chunk_size: 4 },
+        LaunchConfig::with_block_size(64),
+    )
+    .map_err(|e| e.to_string())?;
+    assert_eq!(reference.max_abs_difference(&gpu_chunked), 0.0);
+    let t_gchunk = total_simulated_seconds(&chunked_launches);
+    println!("{:<18} {:>12.3} {:>10.2}", "gpu-chunked (sim)", t_gchunk, t_seq / t_gchunk);
+
+    // Phase breakdown (Fig. 6b).
+    let (_, timer) = SequentialEngine::new().run_instrumented(&input);
+    println!("\nphase breakdown of the sequential engine (paper Fig. 6b):");
+    print!("{}", PhaseBreakdown::from_timer(&timer).to_table());
+    println!("\nnote: GPU rows report the simulated Tesla C2075 time from catrisk-gpusim,");
+    println!("      CPU rows report wall-clock time on this host.");
+    Ok(())
+}

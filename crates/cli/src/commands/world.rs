@@ -1,0 +1,111 @@
+//! Shared synthetic-world construction for the CLI commands.
+
+use std::sync::Arc;
+
+use catrisk_catmodel::elt::EventLossTable;
+use catrisk_catmodel::generator::ExposureConfig;
+use catrisk_catmodel::runner::{CatModel, CatModelConfig};
+use catrisk_engine::input::{AnalysisInput, AnalysisInputBuilder};
+use catrisk_eventgen::catalog::{CatalogConfig, EventCatalog};
+use catrisk_eventgen::peril::Region;
+use catrisk_eventgen::simulate::{YetConfig, YetGenerator};
+use catrisk_eventgen::yet::YearEventTable;
+use catrisk_finterms::terms::LayerTerms;
+use catrisk_simkit::rng::RngFactory;
+
+/// Parameters of the synthetic world.
+pub struct WorldConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Catalog size (number of stochastic events).
+    pub num_events: u32,
+    /// Locations per exposure set.
+    pub locations: usize,
+    /// Number of YET trials.
+    pub trials: usize,
+}
+
+/// A fully synthesised analysis world: the ELTs of several regional books
+/// and a Year Event Table.
+pub struct World {
+    /// The stochastic event catalog.
+    pub catalog: EventCatalog,
+    /// One ELT per exposure set.
+    pub elts: Vec<EventLossTable>,
+    /// The pre-simulated Year Event Table.
+    pub yet: Arc<YearEventTable>,
+}
+
+impl World {
+    /// Builds the synthetic world: catalog, four regional exposure books,
+    /// their ELTs, and the YET.
+    pub fn build(config: &WorldConfig) -> Result<World, String> {
+        let factory = RngFactory::new(config.seed);
+        let catalog = EventCatalog::generate(
+            &CatalogConfig {
+                num_events: config.num_events,
+                annual_event_budget: 1_000.0,
+                rate_tail_index: 1.2,
+            },
+            &factory,
+        )
+        .map_err(|e| e.to_string())?;
+
+        let books = [
+            ("us-gulf-wind", Region::NorthAmericaEast),
+            ("us-west-quake", Region::NorthAmericaWest),
+            ("europe-all-perils", Region::Europe),
+            ("japan-quake-wind", Region::Japan),
+        ];
+        let model = CatModel::new(CatModelConfig::default()).map_err(|e| e.to_string())?;
+        let mut elts = Vec::new();
+        for (name, region) in books {
+            let exposure = ExposureConfig::regional(name, region, config.locations)
+                .generate(&factory)
+                .map_err(|e| e.to_string())?;
+            elts.push(model.run(&catalog, &exposure, &factory));
+        }
+
+        let yet = YetGenerator::new(&catalog, YetConfig::with_trials(config.trials))
+            .map_err(|e| e.to_string())?
+            .generate(&factory);
+        Ok(World { catalog, elts, yet: Arc::new(yet) })
+    }
+
+    /// Builds an engine input covering all ELTs under a representative
+    /// combined per-occurrence / aggregate layer.
+    pub fn standard_input(&self) -> Result<AnalysisInput, String> {
+        let mean_loss: f64 =
+            self.elts.iter().map(|e| e.total_mean_loss()).sum::<f64>() / self.elts.len().max(1) as f64;
+        let scale = (mean_loss / 1_000.0).max(1.0);
+        let mut builder = AnalysisInputBuilder::new();
+        builder.set_yet_shared(Arc::clone(&self.yet));
+        let mut indices = Vec::new();
+        for elt in &self.elts {
+            indices.push(builder.add_elt(&elt.loss_pairs(), elt.financial_terms));
+        }
+        builder.add_layer_over(
+            &indices,
+            LayerTerms::new(0.05 * scale, 5.0 * scale, 0.0, 20.0 * scale).map_err(|e| e.to_string())?,
+        );
+        builder.build().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_consistently() {
+        let config = WorldConfig { seed: 1, num_events: 3_000, locations: 200, trials: 100 };
+        let world = World::build(&config).unwrap();
+        assert_eq!(world.catalog.len(), 3_000);
+        assert_eq!(world.elts.len(), 4);
+        assert!(world.elts.iter().all(|e| !e.is_empty()));
+        assert_eq!(world.yet.num_trials(), 100);
+        let input = world.standard_input().unwrap();
+        assert_eq!(input.elts().len(), 4);
+        assert_eq!(input.layers().len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! `catrisk` — command-line front end for the aggregate risk analysis
+//! library.
+//!
+//! Subcommands:
+//!
+//! * `demo`    — run the full synthetic pipeline (catalog → exposures → ELTs
+//!               → YET → aggregate analysis → risk report);
+//! * `engines` — run every engine variant on the same workload and print a
+//!               timing comparison (a miniature of the paper's Fig. 6a);
+//! * `quote`   — interactive-speed quoting of a Cat XL layer with varying
+//!               terms (the paper's real-time pricing scenario);
+//! * `info`    — print the simulated device and the default configuration.
+//!
+//! Run `catrisk <command> --help` for the options of each command.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

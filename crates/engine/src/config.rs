@@ -1,0 +1,146 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_lookup::LookupKind;
+
+/// Which engine implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Single-threaded reference implementation.
+    Sequential,
+    /// Multi-core implementation (one logical thread per trial).
+    Parallel,
+    /// Blocked/chunked multi-core implementation.
+    Chunked,
+    /// Basic kernel on the simulated many-core device (`catrisk-gpusim`).
+    GpuBasic,
+    /// Optimised/chunked kernel on the simulated many-core device.
+    GpuChunked,
+}
+
+impl EngineKind {
+    /// All engine kinds in the order used by the Fig. 6a summary.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Sequential,
+        EngineKind::Parallel,
+        EngineKind::Chunked,
+        EngineKind::GpuBasic,
+        EngineKind::GpuChunked,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Sequential => "sequential",
+            EngineKind::Parallel => "parallel-cpu",
+            EngineKind::Chunked => "chunked-cpu",
+            EngineKind::GpuBasic => "gpu-basic",
+            EngineKind::GpuChunked => "gpu-chunked",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration shared by the CPU engine variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Which implementation to run.
+    pub kind: EngineKind,
+    /// Lookup structure used to represent the ELTs.
+    pub lookup: LookupKind,
+    /// Number of worker threads (0 = one per logical CPU).  Ignored by the
+    /// sequential engine.
+    pub threads: usize,
+    /// Number of logical work items per worker thread (the paper's
+    /// "threads per core" oversubscription sweep, Fig. 3b).  1 = plain
+    /// work-stealing.
+    pub work_items_per_thread: usize,
+    /// Events processed per chunk by the chunked engine.
+    pub chunk_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            kind: EngineKind::Parallel,
+            lookup: LookupKind::Direct,
+            threads: 0,
+            work_items_per_thread: 1,
+            chunk_size: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration of the sequential reference engine.
+    pub fn sequential() -> Self {
+        Self { kind: EngineKind::Sequential, threads: 1, ..Default::default() }
+    }
+
+    /// Configuration of the parallel engine with an explicit thread count.
+    pub fn parallel(threads: usize) -> Self {
+        Self { kind: EngineKind::Parallel, threads, ..Default::default() }
+    }
+
+    /// Configuration of the chunked engine with an explicit chunk size.
+    pub fn chunked(chunk_size: usize) -> Self {
+        Self { kind: EngineKind::Chunked, chunk_size, ..Default::default() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.work_items_per_thread == 0 {
+            return Err(crate::EngineError::InvalidInput(
+                "work_items_per_thread must be at least 1".into(),
+            ));
+        }
+        if self.kind == EngineKind::Chunked && self.chunk_size == 0 {
+            return Err(crate::EngineError::InvalidInput("chunk_size must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique_and_display() {
+        let mut labels: Vec<&str> = EngineKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EngineKind::ALL.len());
+        assert_eq!(EngineKind::GpuChunked.to_string(), "gpu-chunked");
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(EngineConfig::sequential().kind, EngineKind::Sequential);
+        assert_eq!(EngineConfig::parallel(4).threads, 4);
+        assert_eq!(EngineConfig::chunked(16).chunk_size, 16);
+        assert_eq!(EngineConfig::default().lookup, LookupKind::Direct);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EngineConfig::default().validate().is_ok());
+        let bad = EngineConfig { work_items_per_thread: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = EngineConfig { kind: EngineKind::Chunked, chunk_size: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = EngineConfig::chunked(8);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<EngineConfig>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,96 @@
+//! Phase names and breakdown reporting (paper Fig. 6b).
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_simkit::timing::PhaseTimer;
+
+/// Phase: fetching the trial's events from memory.
+pub const PHASE_EVENT_FETCH: &str = "event-fetch";
+/// Phase: looking up event losses in the ELT tables (the dominant cost).
+pub const PHASE_LOOKUP: &str = "elt-lookup";
+/// Phase: applying the ELT financial terms and accumulating across ELTs.
+pub const PHASE_FINANCIAL_TERMS: &str = "financial-terms";
+/// Phase: applying the occurrence and aggregate layer terms.
+pub const PHASE_LAYER_TERMS: &str = "layer-terms";
+
+/// All phases in the order of the paper's Fig. 6b.
+pub const ALL_PHASES: [&str; 4] =
+    [PHASE_EVENT_FETCH, PHASE_LOOKUP, PHASE_FINANCIAL_TERMS, PHASE_LAYER_TERMS];
+
+/// The share of total runtime spent in each phase of the algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// `(phase name, fraction of total time)`, in [`ALL_PHASES`] order.
+    pub shares: Vec<(String, f64)>,
+    /// Total instrumented time in seconds.
+    pub total_seconds: f64,
+}
+
+impl PhaseBreakdown {
+    /// Builds a breakdown from an accumulated phase timer.
+    pub fn from_timer(timer: &PhaseTimer) -> Self {
+        let total = timer.total().as_secs_f64();
+        let shares = ALL_PHASES
+            .iter()
+            .map(|phase| {
+                let share = if total > 0.0 {
+                    timer.get(phase).as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (phase.to_string(), share)
+            })
+            .collect();
+        Self { shares, total_seconds: total }
+    }
+
+    /// The fraction of time spent in one phase (0 when unknown).
+    pub fn share_of(&self, phase: &str) -> f64 {
+        self.shares
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the breakdown as percentage lines (the format of Fig. 6b).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for (phase, share) in &self.shares {
+            out.push_str(&format!("{phase:<16} {:6.1}%\n", share * 100.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn breakdown_from_timer() {
+        let mut timer = PhaseTimer::new();
+        timer.add(PHASE_LOOKUP, Duration::from_millis(780));
+        timer.add(PHASE_EVENT_FETCH, Duration::from_millis(100));
+        timer.add(PHASE_FINANCIAL_TERMS, Duration::from_millis(70));
+        timer.add(PHASE_LAYER_TERMS, Duration::from_millis(50));
+        let breakdown = PhaseBreakdown::from_timer(&timer);
+        assert!((breakdown.share_of(PHASE_LOOKUP) - 0.78).abs() < 1e-9);
+        assert!((breakdown.total_seconds - 1.0).abs() < 1e-9);
+        let sum: f64 = breakdown.shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(breakdown.shares.len(), 4);
+        let table = breakdown.to_table();
+        assert!(table.contains("elt-lookup"));
+        assert!(table.contains("78.0%"));
+        assert_eq!(breakdown.share_of("unknown-phase"), 0.0);
+    }
+
+    #[test]
+    fn empty_timer_gives_zero_shares() {
+        let breakdown = PhaseBreakdown::from_timer(&PhaseTimer::new());
+        assert_eq!(breakdown.total_seconds, 0.0);
+        assert!(breakdown.shares.iter().all(|(_, s)| *s == 0.0));
+    }
+}

@@ -1,0 +1,334 @@
+//! The stochastic event catalog.
+//!
+//! "Stochastic event catalogs ... are a mathematical representation of the
+//! natural occurrence patterns and characteristics of catastrophe perils"
+//! (paper §I).  Each catalog event carries an annual occurrence rate and a
+//! hazard intensity; the catastrophe-model substrate turns intensity into
+//! losses per exposure set, and the YET generator samples occurrence
+//! sequences from the rates.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+
+use catrisk_simkit::distributions::{Distribution, Pareto, Uniform};
+use catrisk_simkit::rng::RngFactory;
+
+use crate::peril::{Peril, Region};
+use crate::{EventId, GenError, Result};
+
+/// One event of the stochastic catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEvent {
+    /// Dense identifier, equal to the event's index in the catalog.
+    pub id: EventId,
+    /// Peril class of the event.
+    pub peril: Peril,
+    /// Region where the event occurs.
+    pub region: Region,
+    /// Mean annual occurrence rate of the event (events/year).
+    pub annual_rate: f64,
+    /// Normalised hazard intensity in `(0, 1]`: 1 is the most severe event
+    /// of its peril in the catalog (e.g. a category-5 landfall or a M9
+    /// rupture).
+    pub intensity: f64,
+}
+
+/// Configuration of the synthetic catalog generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Total number of events in the catalog (the paper discusses catalogs
+    /// of around 2 million events; tests use much smaller ones).
+    pub num_events: u32,
+    /// Expected total number of event occurrences per year across the whole
+    /// catalog, which determines the YET's events-per-trial (≈800–1500 in
+    /// the paper).
+    pub annual_event_budget: f64,
+    /// Tail index of the rate distribution: smaller values concentrate the
+    /// annual budget on fewer, more frequent events.
+    pub rate_tail_index: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            num_events: 100_000,
+            annual_event_budget: 1_000.0,
+            rate_tail_index: 1.2,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_events == 0 {
+            return Err(GenError::InvalidConfig("num_events must be positive".into()));
+        }
+        if !(self.annual_event_budget.is_finite() && self.annual_event_budget > 0.0) {
+            return Err(GenError::InvalidConfig("annual_event_budget must be positive".into()));
+        }
+        if !(self.rate_tail_index.is_finite() && self.rate_tail_index > 0.0) {
+            return Err(GenError::InvalidConfig("rate_tail_index must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A complete stochastic event catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventCatalog {
+    events: Vec<CatalogEvent>,
+}
+
+impl EventCatalog {
+    /// Wraps an explicit list of events (ids must equal indices).
+    pub fn from_events(events: Vec<CatalogEvent>) -> Result<Self> {
+        for (i, e) in events.iter().enumerate() {
+            if e.id as usize != i {
+                return Err(GenError::InvalidConfig(format!(
+                    "event at index {i} has id {} (ids must be dense)",
+                    e.id
+                )));
+            }
+            if !(e.annual_rate.is_finite() && e.annual_rate >= 0.0) {
+                return Err(GenError::InvalidConfig(format!("event {i} has invalid rate")));
+            }
+        }
+        Ok(Self { events })
+    }
+
+    /// Generates a synthetic multi-peril catalog.
+    ///
+    /// Events are allocated to perils according to [`Peril::catalog_share`],
+    /// assigned to regions where the peril is active, given Pareto-tailed
+    /// annual rates normalised so that the catalog-wide expected annual
+    /// occurrence count equals `config.annual_event_budget`, and given an
+    /// intensity that is anti-correlated with the rate (rare events are the
+    /// severe ones).
+    pub fn generate(config: &CatalogConfig, factory: &RngFactory) -> Result<Self> {
+        config.validate()?;
+        let factory = factory.derive("event-catalog");
+        let n = config.num_events as usize;
+        let mut events = Vec::with_capacity(n);
+
+        // Allocate contiguous id blocks per peril so that per-peril slices
+        // are cheap to obtain; the catalog order is otherwise irrelevant.
+        let mut peril_of: Vec<Peril> = Vec::with_capacity(n);
+        for (pi, peril) in Peril::ALL.iter().enumerate() {
+            let share = peril.catalog_share();
+            let count = if pi + 1 == Peril::ALL.len() {
+                n - peril_of.len()
+            } else {
+                ((n as f64) * share).round() as usize
+            };
+            peril_of.extend(std::iter::repeat(*peril).take(count.min(n - peril_of.len())));
+        }
+        // Rounding may leave a shortfall; pad with the last peril.
+        while peril_of.len() < n {
+            peril_of.push(*Peril::ALL.last().expect("non-empty"));
+        }
+
+        let rate_dist = Pareto::new(1.0, config.rate_tail_index).expect("validated");
+        let uniform = Uniform::new(0.0, 1.0).expect("static");
+
+        let mut raw_rates = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = factory.stream(i as u64);
+            raw_rates.push(rate_dist.sample(&mut rng));
+        }
+        let total_raw: f64 = raw_rates.iter().sum();
+        let scale = config.annual_event_budget / total_raw;
+
+        for (i, peril) in peril_of.iter().enumerate().take(n) {
+            let mut rng = factory.stream2(1, i as u64);
+            // Pick a region uniformly among the regions where the peril occurs.
+            let candidates: Vec<Region> = Region::ALL
+                .iter()
+                .copied()
+                .filter(|r| r.active_perils().contains(peril))
+                .collect();
+            let region = candidates[rng.gen_range(0..candidates.len())];
+            let rate = raw_rates[i] * scale;
+            // Severity rank: rarer events are more intense.  Normalise the
+            // raw rate into (0,1] and invert, with some noise.
+            let rarity = 1.0 / (1.0 + raw_rates[i]);
+            let noise = 0.15 * uniform.sample(&mut rng);
+            let intensity = (rarity * 0.85 + noise).clamp(1e-3, 1.0);
+            events.push(CatalogEvent {
+                id: i as EventId,
+                peril: *peril,
+                region,
+                annual_rate: rate,
+                intensity,
+            });
+        }
+        Ok(Self { events })
+    }
+
+    /// Number of events in the catalog.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the catalog has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[CatalogEvent] {
+        &self.events
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> Option<&CatalogEvent> {
+        self.events.get(id as usize)
+    }
+
+    /// Sum of all annual rates: the expected number of event occurrences in
+    /// one year (≈ the YET's mean events per trial).
+    pub fn total_annual_rate(&self) -> f64 {
+        self.events.iter().map(|e| e.annual_rate).sum()
+    }
+
+    /// Expected annual occurrence count restricted to one peril.
+    pub fn annual_rate_of(&self, peril: Peril) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.peril == peril)
+            .map(|e| e.annual_rate)
+            .sum()
+    }
+
+    /// Event ids and rates of one peril (used by the trial simulator).
+    pub fn peril_events(&self, peril: Peril) -> Vec<(EventId, f64)> {
+        self.events
+            .iter()
+            .filter(|e| e.peril == peril)
+            .map(|e| (e.id, e.annual_rate))
+            .collect()
+    }
+
+    /// The perils actually present in the catalog.
+    pub fn perils(&self) -> Vec<Peril> {
+        let mut perils: Vec<Peril> = self.events.iter().map(|e| e.peril).collect();
+        perils.sort_unstable();
+        perils.dedup();
+        perils
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_catalog() -> EventCatalog {
+        EventCatalog::generate(
+            &CatalogConfig { num_events: 5_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+            &RngFactory::new(42),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generate_respects_size_and_budget() {
+        let cat = small_catalog();
+        assert_eq!(cat.len(), 5_000);
+        assert!(!cat.is_empty());
+        assert!((cat.total_annual_rate() - 1_000.0).abs() < 1e-6);
+        // Ids are dense.
+        for (i, e) in cat.events().iter().enumerate() {
+            assert_eq!(e.id as usize, i);
+            assert!(e.annual_rate >= 0.0);
+            assert!(e.intensity > 0.0 && e.intensity <= 1.0);
+            assert!(e.region.active_perils().contains(&e.peril));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_catalog();
+        let b = small_catalog();
+        assert_eq!(a, b);
+        let c = EventCatalog::generate(
+            &CatalogConfig { num_events: 5_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+            &RngFactory::new(43),
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn peril_mix_roughly_matches_shares() {
+        let cat = small_catalog();
+        for peril in Peril::ALL {
+            let count = cat.events().iter().filter(|e| e.peril == peril).count();
+            let share = count as f64 / cat.len() as f64;
+            assert!(
+                (share - peril.catalog_share()).abs() < 0.02,
+                "{peril}: {share} vs {}",
+                peril.catalog_share()
+            );
+        }
+        assert_eq!(cat.perils().len(), Peril::ALL.len());
+    }
+
+    #[test]
+    fn peril_events_consistent_with_rates() {
+        let cat = small_catalog();
+        let hu = cat.peril_events(Peril::Hurricane);
+        assert!(!hu.is_empty());
+        let sum: f64 = hu.iter().map(|(_, r)| r).sum();
+        assert!((sum - cat.annual_rate_of(Peril::Hurricane)).abs() < 1e-9);
+        let total: f64 = Peril::ALL.iter().map(|p| cat.annual_rate_of(*p)).sum();
+        assert!((total - cat.total_annual_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_lookup_by_id() {
+        let cat = small_catalog();
+        assert_eq!(cat.event(0).unwrap().id, 0);
+        assert_eq!(cat.event(4_999).unwrap().id, 4_999);
+        assert!(cat.event(5_000).is_none());
+    }
+
+    #[test]
+    fn from_events_validates_ids_and_rates() {
+        let good = vec![CatalogEvent {
+            id: 0,
+            peril: Peril::Flood,
+            region: Region::Europe,
+            annual_rate: 0.5,
+            intensity: 0.2,
+        }];
+        assert!(EventCatalog::from_events(good.clone()).is_ok());
+        let bad_id = vec![CatalogEvent { id: 3, ..good[0] }];
+        assert!(EventCatalog::from_events(bad_id).is_err());
+        let bad_rate = vec![CatalogEvent { annual_rate: f64::NAN, ..good[0] }];
+        assert!(EventCatalog::from_events(bad_rate).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CatalogConfig { num_events: 0, ..Default::default() }.validate().is_err());
+        assert!(CatalogConfig { annual_event_budget: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(CatalogConfig { rate_tail_index: f64::NAN, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(CatalogConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cat = EventCatalog::generate(
+            &CatalogConfig { num_events: 50, annual_event_budget: 10.0, rate_tail_index: 1.1 },
+            &RngFactory::new(1),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&cat).unwrap();
+        let back: EventCatalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(cat, back);
+    }
+}

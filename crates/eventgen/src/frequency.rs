@@ -1,0 +1,201 @@
+//! Annual event-count (frequency) models.
+//!
+//! A Year Event Table trial is an alternative realisation of one contractual
+//! year, so the first quantity to simulate is *how many* events of each
+//! peril occur in that year.  The classical choices are the Poisson model
+//! and the negative binomial model (over-dispersed, capturing clustered
+//! seasons such as active hurricane years); a simple cluster model layers
+//! outbreak behaviour on top of Poisson primaries.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_simkit::distributions::{Distribution, NegativeBinomial, Poisson};
+use catrisk_simkit::rng::SimRng;
+
+use crate::{GenError, Result};
+
+/// Annual event-count model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FrequencyModel {
+    /// Poisson counts: variance equals the mean.
+    Poisson,
+    /// Negative binomial counts with the given variance-to-mean ratio
+    /// (> 1; at exactly 1 it degenerates to Poisson).
+    NegativeBinomial {
+        /// Ratio of variance to mean of the annual counts.
+        dispersion: f64,
+    },
+    /// Poisson-distributed primary events, each spawning a Poisson number of
+    /// additional clustered events (a Neyman–Scott style outbreak model,
+    /// appropriate for tornado outbreaks or aftershock sequences).
+    Clustered {
+        /// Mean number of secondary events triggered by each primary event.
+        cluster_mean: f64,
+    },
+}
+
+impl FrequencyModel {
+    /// Validates the model parameters.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            FrequencyModel::Poisson => Ok(()),
+            FrequencyModel::NegativeBinomial { dispersion } => {
+                if dispersion.is_finite() && dispersion >= 1.0 {
+                    Ok(())
+                } else {
+                    Err(GenError::InvalidConfig(format!(
+                        "negative binomial dispersion must be >= 1, got {dispersion}"
+                    )))
+                }
+            }
+            FrequencyModel::Clustered { cluster_mean } => {
+                if cluster_mean.is_finite() && cluster_mean >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(GenError::InvalidConfig(format!(
+                        "cluster_mean must be non-negative, got {cluster_mean}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Samples the number of events in one year given the mean annual rate.
+    pub fn sample_count(&self, mean_rate: f64, rng: &mut SimRng) -> u64 {
+        debug_assert!(mean_rate >= 0.0);
+        if mean_rate == 0.0 {
+            return 0;
+        }
+        match *self {
+            FrequencyModel::Poisson => {
+                Poisson::new(mean_rate).expect("non-negative rate").sample(rng)
+            }
+            FrequencyModel::NegativeBinomial { dispersion } => {
+                if dispersion <= 1.0 + 1e-9 {
+                    return Poisson::new(mean_rate).expect("non-negative rate").sample(rng);
+                }
+                let variance = mean_rate * dispersion;
+                NegativeBinomial::from_mean_variance(mean_rate, variance)
+                    .expect("dispersion > 1")
+                    .sample(rng)
+            }
+            FrequencyModel::Clustered { cluster_mean } => {
+                // Primary rate chosen so the total mean matches `mean_rate`:
+                // E[total] = E[primaries] * (1 + cluster_mean).
+                let primary_rate = mean_rate / (1.0 + cluster_mean);
+                let primaries = Poisson::new(primary_rate).expect("non-negative").sample(rng);
+                let mut total = primaries;
+                if cluster_mean > 0.0 {
+                    let secondary = Poisson::new(cluster_mean).expect("non-negative");
+                    for _ in 0..primaries {
+                        total += secondary.sample(rng);
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// Theoretical variance-to-mean ratio of the model.
+    pub fn dispersion_ratio(&self) -> f64 {
+        match *self {
+            FrequencyModel::Poisson => 1.0,
+            FrequencyModel::NegativeBinomial { dispersion } => dispersion,
+            // For a Poisson cluster process: Var/Mean = 1 + cluster_mean
+            // (each primary contributes an independent Poisson cluster).
+            FrequencyModel::Clustered { cluster_mean } => 1.0 + cluster_mean,
+        }
+    }
+}
+
+impl Default for FrequencyModel {
+    fn default() -> Self {
+        FrequencyModel::Poisson
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_simkit::rng::RngFactory;
+    use catrisk_simkit::stats::RunningStats;
+
+    fn empirical(model: FrequencyModel, mean_rate: f64, n: usize, seed: u64) -> RunningStats {
+        let factory = RngFactory::new(seed);
+        let mut stats = RunningStats::new();
+        for i in 0..n {
+            let mut rng = factory.stream(i as u64);
+            stats.push(model.sample_count(mean_rate, &mut rng) as f64);
+        }
+        stats
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let s = empirical(FrequencyModel::Poisson, 12.0, 50_000, 1);
+        assert!((s.mean() - 12.0).abs() < 0.1);
+        assert!((s.variance() / s.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn negative_binomial_overdispersion() {
+        let model = FrequencyModel::NegativeBinomial { dispersion: 2.5 };
+        model.validate().unwrap();
+        let s = empirical(model, 10.0, 80_000, 2);
+        assert!((s.mean() - 10.0).abs() < 0.1, "mean {}", s.mean());
+        let ratio = s.variance() / s.mean();
+        assert!((ratio - 2.5).abs() < 0.2, "dispersion {ratio}");
+    }
+
+    #[test]
+    fn negative_binomial_degenerates_to_poisson_at_one() {
+        let model = FrequencyModel::NegativeBinomial { dispersion: 1.0 };
+        let s = empirical(model, 7.0, 50_000, 3);
+        assert!((s.variance() / s.mean() - 1.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn clustered_mean_and_overdispersion() {
+        let model = FrequencyModel::Clustered { cluster_mean: 1.5 };
+        model.validate().unwrap();
+        let s = empirical(model, 10.0, 80_000, 4);
+        assert!((s.mean() - 10.0).abs() < 0.15, "mean {}", s.mean());
+        let ratio = s.variance() / s.mean();
+        assert!(ratio > 1.5, "clustered counts should be over-dispersed, got {ratio}");
+        assert!((model.dispersion_ratio() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_gives_zero_count() {
+        let mut rng = RngFactory::new(5).stream(0);
+        for model in [
+            FrequencyModel::Poisson,
+            FrequencyModel::NegativeBinomial { dispersion: 2.0 },
+            FrequencyModel::Clustered { cluster_mean: 1.0 },
+        ] {
+            assert_eq!(model.sample_count(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FrequencyModel::NegativeBinomial { dispersion: 0.5 }.validate().is_err());
+        assert!(FrequencyModel::NegativeBinomial { dispersion: f64::NAN }.validate().is_err());
+        assert!(FrequencyModel::Clustered { cluster_mean: -1.0 }.validate().is_err());
+        assert!(FrequencyModel::Poisson.validate().is_ok());
+        assert_eq!(FrequencyModel::default(), FrequencyModel::Poisson);
+    }
+
+    #[test]
+    fn dispersion_ratio_reported() {
+        assert_eq!(FrequencyModel::Poisson.dispersion_ratio(), 1.0);
+        assert_eq!(FrequencyModel::NegativeBinomial { dispersion: 3.0 }.dispersion_ratio(), 3.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = FrequencyModel::NegativeBinomial { dispersion: 1.7 };
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<FrequencyModel>(&json).unwrap(), m);
+    }
+}

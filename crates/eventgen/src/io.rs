@@ -1,0 +1,215 @@
+//! Compact binary serialization for Year Event Tables.
+//!
+//! A paper-scale YET (10⁶ trials × ~1000 events) holds on the order of a
+//! billion occurrences, which makes JSON impractical; the production systems
+//! the paper describes keep the YET as a packed binary table.  This module
+//! provides a simple length-prefixed little-endian binary format built on
+//! the [`bytes`] crate plus convenience JSON helpers for the (much smaller)
+//! event catalogs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::catalog::EventCatalog;
+use crate::yet::{EventOccurrence, YearEventTable, YetBuilder};
+use crate::{GenError, Result};
+
+/// Magic bytes identifying the YET binary format.
+const MAGIC: &[u8; 4] = b"CYET";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Serializes a YET into the compact binary format.
+pub fn yet_to_bytes(yet: &YearEventTable) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        4 + 4 + 4 + 8 + 8 + yet.num_trials() * 4 + yet.total_events() * 8,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(yet.catalog_size());
+    buf.put_u64_le(yet.num_trials() as u64);
+    buf.put_u64_le(yet.total_events() as u64);
+    // Per-trial occurrence counts (u32 is ample: the paper's trials hold
+    // ~800–1500 events).
+    for i in 0..yet.num_trials() {
+        buf.put_u32_le(yet.trial(i).len() as u32);
+    }
+    for occ in yet.occurrences_flat() {
+        buf.put_u32_le(occ.event);
+        buf.put_f32_le(occ.time);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a YET from the compact binary format, validating the result.
+pub fn yet_from_bytes(mut data: &[u8]) -> Result<YearEventTable> {
+    if data.len() < 28 {
+        return Err(GenError::Corrupt("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GenError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(GenError::Corrupt(format!("unsupported version {version}")));
+    }
+    let catalog_size = data.get_u32_le();
+    let num_trials = data.get_u64_le() as usize;
+    let total_events = data.get_u64_le() as usize;
+
+    if data.remaining() < num_trials * 4 {
+        return Err(GenError::Corrupt("truncated trial counts".into()));
+    }
+    let mut counts = Vec::with_capacity(num_trials);
+    for _ in 0..num_trials {
+        counts.push(data.get_u32_le() as usize);
+    }
+    if counts.iter().sum::<usize>() != total_events {
+        return Err(GenError::Corrupt("trial counts do not sum to total events".into()));
+    }
+    if data.remaining() < total_events * 8 {
+        return Err(GenError::Corrupt("truncated occurrence data".into()));
+    }
+    let mut builder = YetBuilder::new(catalog_size, num_trials, total_events / num_trials.max(1));
+    let mut trial = Vec::new();
+    for count in counts {
+        trial.clear();
+        trial.reserve(count);
+        for _ in 0..count {
+            let event = data.get_u32_le();
+            let time = data.get_f32_le();
+            trial.push(EventOccurrence { event, time });
+        }
+        builder.push_sorted_trial(&trial);
+    }
+    let yet = builder.build();
+    yet.validate()?;
+    Ok(yet)
+}
+
+/// Writes a YET to a file in the binary format.
+pub fn write_yet(path: &std::path::Path, yet: &YearEventTable) -> Result<()> {
+    std::fs::write(path, yet_to_bytes(yet))?;
+    Ok(())
+}
+
+/// Reads a YET from a file in the binary format.
+pub fn read_yet(path: &std::path::Path) -> Result<YearEventTable> {
+    let data = std::fs::read(path)?;
+    yet_from_bytes(&data)
+}
+
+/// Writes an event catalog as JSON.
+pub fn write_catalog_json(path: &std::path::Path, catalog: &EventCatalog) -> Result<()> {
+    let json = serde_json::to_vec(catalog)
+        .map_err(|e| GenError::Corrupt(format!("serialization failed: {e}")))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads an event catalog from JSON.
+pub fn read_catalog_json(path: &std::path::Path) -> Result<EventCatalog> {
+    let data = std::fs::read(path)?;
+    serde_json::from_slice(&data).map_err(|e| GenError::Corrupt(format!("deserialization failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::simulate::{YetConfig, YetGenerator};
+    use catrisk_simkit::rng::RngFactory;
+
+    fn sample_yet() -> YearEventTable {
+        let catalog = EventCatalog::generate(
+            &CatalogConfig { num_events: 500, annual_event_budget: 50.0, rate_tail_index: 1.3 },
+            &RngFactory::new(21),
+        )
+        .unwrap();
+        YetGenerator::new(&catalog, YetConfig::with_trials(100))
+            .unwrap()
+            .generate(&RngFactory::new(22))
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let yet = sample_yet();
+        let bytes = yet_to_bytes(&yet);
+        let back = yet_from_bytes(&bytes).unwrap();
+        assert_eq!(yet, back);
+    }
+
+    #[test]
+    fn binary_round_trip_empty_trials() {
+        let mut b = YetBuilder::new(10, 3, 0);
+        b.push_trial(vec![]);
+        b.push_trial(vec![EventOccurrence { event: 3, time: 12.5 }]);
+        b.push_trial(vec![]);
+        let yet = b.build();
+        let back = yet_from_bytes(&yet_to_bytes(&yet)).unwrap();
+        assert_eq!(yet, back);
+    }
+
+    #[test]
+    fn corrupt_data_rejected() {
+        let yet = sample_yet();
+        let bytes = yet_to_bytes(&yet);
+
+        // Truncated header.
+        assert!(yet_from_bytes(&bytes[..10]).is_err());
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(yet_from_bytes(&bad).is_err());
+        // Bad version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 99;
+        assert!(yet_from_bytes(&bad).is_err());
+        // Truncated body.
+        assert!(yet_from_bytes(&bytes[..bytes.len() - 5]).is_err());
+        // Empty input.
+        assert!(yet_from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("catrisk-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let yet = sample_yet();
+        let path = dir.join("test.yet");
+        write_yet(&path, &yet).unwrap();
+        let back = read_yet(&path).unwrap();
+        assert_eq!(yet, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn catalog_json_round_trip() {
+        let dir = std::env::temp_dir().join("catrisk-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let catalog = EventCatalog::generate(
+            &CatalogConfig { num_events: 64, annual_event_budget: 10.0, rate_tail_index: 1.5 },
+            &RngFactory::new(5),
+        )
+        .unwrap();
+        let path = dir.join("catalog.json");
+        write_catalog_json(&path, &catalog).unwrap();
+        let back = read_catalog_json(&path).unwrap();
+        assert_eq!(catalog, back);
+        std::fs::remove_file(&path).ok();
+        // Missing file surfaces as an error.
+        assert!(read_catalog_json(&dir.join("missing.json")).is_err());
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let yet = sample_yet();
+        let bytes = yet_to_bytes(&yet);
+        // 8 bytes per occurrence + 4 bytes per trial + 28-byte header.
+        let expected = 28 + yet.num_trials() * 4 + yet.total_events() * 8;
+        assert_eq!(bytes.len(), expected);
+        let json_size = serde_json::to_vec(&yet).unwrap().len();
+        assert!(json_size > 2 * bytes.len(), "binary should be much smaller than JSON");
+    }
+}

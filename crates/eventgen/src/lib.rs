@@ -1,0 +1,78 @@
+//! # catrisk-eventgen
+//!
+//! Stochastic event catalogs and Year Event Table (YET) generation.
+//!
+//! The first input of the aggregate risk engine is a *pre-simulated* Year
+//! Event Table: "a database of pre-simulated occurrences of events from a
+//! catalog of stochastic events ... each trial represents a possible
+//! sequence of event occurrences for any given year" (paper §II.A).  A
+//! typical YET holds 10⁵–10⁶ trials with roughly 800–1500 `(event id,
+//! timestamp)` pairs per trial, drawn from a global multi-peril catalog.
+//!
+//! The production systems the paper builds on obtain the YET from
+//! proprietary vendor models; this crate provides the synthetic equivalent:
+//!
+//! * [`peril`] — perils and geographic regions;
+//! * [`catalog`] — the stochastic event catalog: every event carries a
+//!   peril, region, annual occurrence rate and hazard intensity;
+//! * [`frequency`] — annual event-count models (Poisson, negative binomial
+//!   and clustered);
+//! * [`seasonality`] — within-year occurrence timing by peril;
+//! * [`yet`] — the compact CSR-layout [`YearEventTable`] consumed by every
+//!   engine implementation;
+//! * [`simulate`] — the trial simulator that combines all of the above,
+//!   parallelised over trials with deterministic per-trial random streams;
+//! * [`io`] — compact binary serialization for large YETs plus serde for
+//!   catalogs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod frequency;
+pub mod io;
+pub mod peril;
+pub mod seasonality;
+pub mod simulate;
+pub mod yet;
+
+pub use catalog::{CatalogConfig, CatalogEvent, EventCatalog};
+pub use frequency::FrequencyModel;
+pub use peril::{Peril, Region};
+pub use simulate::{YetConfig, YetGenerator};
+pub use yet::{EventOccurrence, Trial, YearEventTable, YetBuilder};
+
+/// Identifier of an event in the stochastic catalog (dense, `0..catalog_size`).
+pub type EventId = u32;
+
+/// Errors produced by generators and serialization.
+#[derive(Debug)]
+pub enum GenError {
+    /// Invalid generator configuration.
+    InvalidConfig(String),
+    /// Binary (de)serialization failure.
+    Io(std::io::Error),
+    /// Malformed binary payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GenError::Io(e) => write!(f, "i/o error: {e}"),
+            GenError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+impl From<std::io::Error> for GenError {
+    fn from(e: std::io::Error) -> Self {
+        GenError::Io(e)
+    }
+}
+
+/// Result alias for generator operations.
+pub type Result<T> = std::result::Result<T, GenError>;

@@ -1,0 +1,199 @@
+//! Perils and regions covered by the synthetic global event catalog.
+
+use serde::{Deserialize, Serialize};
+
+/// Catastrophe peril classes covered by the catalog.
+///
+/// The paper's catalog "covers multiple perils" — hurricanes, tornadoes,
+/// severe winter storms, earthquakes and floods are the examples named in
+/// §I/§II.A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Peril {
+    /// Tropical cyclone / hurricane wind and surge.
+    Hurricane,
+    /// Earthquake ground shaking.
+    Earthquake,
+    /// Riverine and flash flood.
+    Flood,
+    /// Severe convective storm / tornado outbreaks.
+    Tornado,
+    /// Winter storm (wind, snow load, freeze).
+    WinterStorm,
+    /// Wildfire.
+    Wildfire,
+}
+
+impl Peril {
+    /// All perils, in catalog order.
+    pub const ALL: [Peril; 6] = [
+        Peril::Hurricane,
+        Peril::Earthquake,
+        Peril::Flood,
+        Peril::Tornado,
+        Peril::WinterStorm,
+        Peril::Wildfire,
+    ];
+
+    /// Short code used in reports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Peril::Hurricane => "HU",
+            Peril::Earthquake => "EQ",
+            Peril::Flood => "FL",
+            Peril::Tornado => "TO",
+            Peril::WinterStorm => "WS",
+            Peril::Wildfire => "WF",
+        }
+    }
+
+    /// Typical share of a global multi-peril catalog's annual event count
+    /// attributable to this peril.  Used by the synthetic catalog generator;
+    /// shares sum to 1.
+    pub fn catalog_share(&self) -> f64 {
+        match self {
+            Peril::Hurricane => 0.10,
+            Peril::Earthquake => 0.15,
+            Peril::Flood => 0.25,
+            Peril::Tornado => 0.30,
+            Peril::WinterStorm => 0.15,
+            Peril::Wildfire => 0.05,
+        }
+    }
+
+    /// Over-dispersion of annual counts relative to Poisson
+    /// (1.0 = Poisson; > 1 = clustered seasons).
+    pub fn dispersion(&self) -> f64 {
+        match self {
+            Peril::Hurricane => 1.8,
+            Peril::Earthquake => 1.0,
+            Peril::Flood => 1.4,
+            Peril::Tornado => 2.0,
+            Peril::WinterStorm => 1.5,
+            Peril::Wildfire => 1.6,
+        }
+    }
+}
+
+impl std::fmt::Display for Peril {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Broad geographic regions used by the synthetic exposure and catalog
+/// generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// United States gulf and atlantic coast.
+    NorthAmericaEast,
+    /// United States west coast.
+    NorthAmericaWest,
+    /// Caribbean islands and Central America.
+    Caribbean,
+    /// Western and central Europe.
+    Europe,
+    /// Japan.
+    Japan,
+    /// Australia and New Zealand.
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in catalog order.
+    pub const ALL: [Region; 6] = [
+        Region::NorthAmericaEast,
+        Region::NorthAmericaWest,
+        Region::Caribbean,
+        Region::Europe,
+        Region::Japan,
+        Region::Oceania,
+    ];
+
+    /// Short code used in reports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Region::NorthAmericaEast => "NAE",
+            Region::NorthAmericaWest => "NAW",
+            Region::Caribbean => "CAR",
+            Region::Europe => "EUR",
+            Region::Japan => "JPN",
+            Region::Oceania => "OCE",
+        }
+    }
+
+    /// Which perils are active in this region (used by the catalog and
+    /// exposure generators to keep the synthetic world geographically
+    /// plausible).
+    pub fn active_perils(&self) -> &'static [Peril] {
+        match self {
+            Region::NorthAmericaEast => {
+                &[Peril::Hurricane, Peril::Tornado, Peril::WinterStorm, Peril::Flood]
+            }
+            Region::NorthAmericaWest => &[Peril::Earthquake, Peril::Wildfire, Peril::Flood],
+            Region::Caribbean => &[Peril::Hurricane, Peril::Earthquake, Peril::Flood],
+            Region::Europe => &[Peril::WinterStorm, Peril::Flood, Peril::Earthquake],
+            Region::Japan => &[Peril::Earthquake, Peril::Hurricane, Peril::Flood],
+            Region::Oceania => &[Peril::Earthquake, Peril::Wildfire, Peril::Hurricane, Peril::Flood],
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peril_shares_sum_to_one() {
+        let total: f64 = Peril::ALL.iter().map(|p| p.catalog_share()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peril_codes_unique() {
+        let mut codes: Vec<&str> = Peril::ALL.iter().map(|p| p.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Peril::ALL.len());
+        assert_eq!(Peril::Hurricane.to_string(), "HU");
+    }
+
+    #[test]
+    fn dispersion_at_least_poisson() {
+        for p in Peril::ALL {
+            assert!(p.dispersion() >= 1.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn every_region_has_active_perils() {
+        for r in Region::ALL {
+            assert!(!r.active_perils().is_empty(), "{r}");
+            assert_eq!(r.code().len(), 3);
+        }
+        assert_eq!(Region::Japan.to_string(), "JPN");
+    }
+
+    #[test]
+    fn every_peril_active_somewhere() {
+        for p in Peril::ALL {
+            assert!(
+                Region::ALL.iter().any(|r| r.active_perils().contains(&p)),
+                "{p} not active in any region"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&Peril::Earthquake).unwrap();
+        assert_eq!(serde_json::from_str::<Peril>(&json).unwrap(), Peril::Earthquake);
+        let json = serde_json::to_string(&Region::Caribbean).unwrap();
+        assert_eq!(serde_json::from_str::<Region>(&json).unwrap(), Region::Caribbean);
+    }
+}

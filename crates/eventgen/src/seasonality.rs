@@ -1,0 +1,222 @@
+//! Within-year occurrence timing.
+//!
+//! Each YET record carries the time-stamp of the event occurrence within the
+//! contractual year, and trials are "ordered by ascending time-stamp values"
+//! (paper §II.A).  The timing matters because aggregate terms depend on the
+//! sequence of prior events in the trial.  Perils are strongly seasonal
+//! (hurricane season, winter storms, spring tornado outbreaks), so the
+//! simulator samples a day-of-year from a peril-specific monthly profile and
+//! a uniform time within that day.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_simkit::rng::SimRng;
+use catrisk_simkit::sampling::AliasTable;
+
+use crate::peril::Peril;
+
+/// Days in each month of the modelled (non-leap) contractual year.
+pub const DAYS_IN_MONTH: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Number of days in the modelled contractual year.
+pub const DAYS_IN_YEAR: f64 = 365.0;
+
+/// Monthly occurrence profile of a peril (12 non-negative weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalProfile {
+    weights: [f64; 12],
+}
+
+impl SeasonalProfile {
+    /// A uniform (season-free) profile.
+    pub fn uniform() -> Self {
+        Self { weights: [1.0; 12] }
+    }
+
+    /// Creates a profile from explicit monthly weights.
+    pub fn new(weights: [f64; 12]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
+            "seasonal weights must be non-negative and not all zero"
+        );
+        Self { weights }
+    }
+
+    /// The northern-hemisphere-centric default profile of a peril.
+    pub fn for_peril(peril: Peril) -> Self {
+        // Weights are relative; absolute scale is irrelevant.
+        let weights = match peril {
+            // Atlantic hurricane season peaks Aug–Oct.
+            Peril::Hurricane => [0.1, 0.1, 0.1, 0.2, 0.5, 1.5, 3.0, 6.0, 7.0, 4.0, 1.5, 0.3],
+            // Earthquakes are not seasonal.
+            Peril::Earthquake => [1.0; 12],
+            // Floods peak in spring and late summer.
+            Peril::Flood => [1.0, 1.2, 2.0, 2.5, 2.0, 1.5, 1.5, 2.0, 2.0, 1.5, 1.2, 1.0],
+            // Tornado outbreaks peak Apr–Jun.
+            Peril::Tornado => [0.5, 0.8, 2.0, 4.0, 5.0, 4.0, 2.0, 1.5, 1.0, 0.8, 0.8, 0.5],
+            // Winter storms peak Dec–Feb.
+            Peril::WinterStorm => [6.0, 5.0, 2.5, 0.8, 0.2, 0.1, 0.1, 0.1, 0.2, 1.0, 3.0, 5.5],
+            // Wildfire season peaks late summer/autumn.
+            Peril::Wildfire => [0.3, 0.3, 0.5, 0.8, 1.2, 2.0, 3.5, 4.5, 4.0, 2.5, 1.0, 0.4],
+        };
+        Self { weights }
+    }
+
+    /// Monthly weights.
+    pub fn weights(&self) -> &[f64; 12] {
+        &self.weights
+    }
+
+    /// Probability of an occurrence falling in each month (normalised).
+    pub fn monthly_probabilities(&self) -> [f64; 12] {
+        let total: f64 = self.weights.iter().sum();
+        let mut out = [0.0; 12];
+        for (o, w) in out.iter_mut().zip(&self.weights) {
+            *o = w / total;
+        }
+        out
+    }
+}
+
+/// Samples occurrence time-stamps (in fractional days since the start of the
+/// contractual year) from seasonal profiles.
+#[derive(Debug, Clone)]
+pub struct TimestampSampler {
+    tables: Vec<(Peril, AliasTable)>,
+}
+
+impl Default for TimestampSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimestampSampler {
+    /// Builds a sampler with the default profile of every peril.
+    pub fn new() -> Self {
+        let tables = Peril::ALL
+            .iter()
+            .map(|p| {
+                let profile = SeasonalProfile::for_peril(*p);
+                (*p, AliasTable::new(profile.weights()).expect("valid weights"))
+            })
+            .collect();
+        Self { tables }
+    }
+
+    /// Builds a sampler from explicit profiles (perils not listed fall back
+    /// to a uniform profile).
+    pub fn with_profiles(profiles: &[(Peril, SeasonalProfile)]) -> Self {
+        let tables = Peril::ALL
+            .iter()
+            .map(|p| {
+                let profile = profiles
+                    .iter()
+                    .find(|(q, _)| q == p)
+                    .map(|(_, prof)| prof.clone())
+                    .unwrap_or_else(SeasonalProfile::uniform);
+                (*p, AliasTable::new(profile.weights()).expect("valid weights"))
+            })
+            .collect();
+        Self { tables }
+    }
+
+    /// Samples a time-stamp in `[0, 365)` days for an occurrence of `peril`.
+    pub fn sample(&self, peril: Peril, rng: &mut SimRng) -> f64 {
+        let table = &self
+            .tables
+            .iter()
+            .find(|(p, _)| *p == peril)
+            .expect("all perils have tables")
+            .1;
+        let month = table.sample(rng);
+        let start: u32 = DAYS_IN_MONTH[..month].iter().sum();
+        let day_in_month = rng.uniform() * f64::from(DAYS_IN_MONTH[month]);
+        f64::from(start) + day_in_month
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_simkit::rng::RngFactory;
+
+    #[test]
+    fn month_lengths_sum_to_year() {
+        assert_eq!(DAYS_IN_MONTH.iter().sum::<u32>() as f64, DAYS_IN_YEAR);
+    }
+
+    #[test]
+    fn profiles_normalise() {
+        for p in Peril::ALL {
+            let probs = SeasonalProfile::for_peril(p).monthly_probabilities();
+            let sum: f64 = probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{p}");
+        }
+    }
+
+    #[test]
+    fn hurricane_season_peaks_in_autumn() {
+        let probs = SeasonalProfile::for_peril(Peril::Hurricane).monthly_probabilities();
+        let aug_sep_oct = probs[7] + probs[8] + probs[9];
+        assert!(aug_sep_oct > 0.6, "Aug–Oct share {aug_sep_oct}");
+        let winter = SeasonalProfile::for_peril(Peril::WinterStorm).monthly_probabilities();
+        let djf = winter[11] + winter[0] + winter[1];
+        assert!(djf > 0.6, "DJF share {djf}");
+    }
+
+    #[test]
+    fn sampled_timestamps_in_range_and_seasonal() {
+        let sampler = TimestampSampler::new();
+        let mut rng = RngFactory::new(9).stream(0);
+        let mut autumn = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            let t = sampler.sample(Peril::Hurricane, &mut rng);
+            assert!((0.0..DAYS_IN_YEAR).contains(&t));
+            // Aug 1 is day 212; Oct 31 is day 303.
+            if (212.0..304.0).contains(&t) {
+                autumn += 1;
+            }
+        }
+        assert!(f64::from(autumn) / f64::from(n) > 0.55);
+    }
+
+    #[test]
+    fn earthquake_timestamps_roughly_uniform() {
+        let sampler = TimestampSampler::new();
+        let mut rng = RngFactory::new(10).stream(0);
+        let mut first_half = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if sampler.sample(Peril::Earthquake, &mut rng) < DAYS_IN_YEAR / 2.0 {
+                first_half += 1;
+            }
+        }
+        let share = f64::from(first_half) / f64::from(n);
+        assert!((share - 0.5).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn with_profiles_overrides_and_falls_back() {
+        // Force hurricanes entirely into January.
+        let mut weights = [0.0; 12];
+        weights[0] = 1.0;
+        let sampler =
+            TimestampSampler::with_profiles(&[(Peril::Hurricane, SeasonalProfile::new(weights))]);
+        let mut rng = RngFactory::new(11).stream(0);
+        for _ in 0..100 {
+            let t = sampler.sample(Peril::Hurricane, &mut rng);
+            assert!(t < 31.0);
+        }
+        // Other perils fall back to uniform and can land anywhere.
+        let t = sampler.sample(Peril::Earthquake, &mut rng);
+        assert!((0.0..DAYS_IN_YEAR).contains(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        SeasonalProfile::new([-1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+}

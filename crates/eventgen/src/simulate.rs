@@ -1,0 +1,318 @@
+//! The Year Event Table simulator.
+//!
+//! For every trial (one alternative realisation of the contractual year) the
+//! simulator draws, per peril, an annual event count from the peril's
+//! frequency model, samples that many catalog events proportionally to their
+//! annual rates, attaches seasonal time-stamps and sorts the trial by time.
+//! Trials are generated in parallel with one deterministic random stream per
+//! trial, so the same configuration and seed always produce the same YET
+//! regardless of thread count.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use catrisk_simkit::rng::RngFactory;
+use catrisk_simkit::sampling::AliasTable;
+
+use crate::catalog::EventCatalog;
+use crate::frequency::FrequencyModel;
+use crate::peril::Peril;
+use crate::seasonality::TimestampSampler;
+use crate::yet::{EventOccurrence, YearEventTable, YetBuilder};
+use crate::{EventId, GenError, Result};
+
+/// Configuration of the YET simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YetConfig {
+    /// Number of trials to simulate (the paper uses 10⁵–10⁶).
+    pub num_trials: usize,
+    /// Frequency model applied to every peril unless overridden.
+    pub frequency: FrequencyModel,
+    /// Per-peril overrides of the frequency model.
+    pub peril_frequency: Vec<(Peril, FrequencyModel)>,
+    /// Multiplier applied to every event rate, used to scale the expected
+    /// events-per-trial without regenerating the catalog (the paper's
+    /// Fig. 2d varies 800–1200 events per trial this way).
+    pub rate_multiplier: f64,
+}
+
+impl Default for YetConfig {
+    fn default() -> Self {
+        Self {
+            num_trials: 10_000,
+            frequency: FrequencyModel::Poisson,
+            peril_frequency: Vec::new(),
+            rate_multiplier: 1.0,
+        }
+    }
+}
+
+impl YetConfig {
+    /// Configuration with just a trial count and defaults elsewhere.
+    pub fn with_trials(num_trials: usize) -> Self {
+        Self { num_trials, ..Default::default() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_trials == 0 {
+            return Err(GenError::InvalidConfig("num_trials must be positive".into()));
+        }
+        if !(self.rate_multiplier.is_finite() && self.rate_multiplier > 0.0) {
+            return Err(GenError::InvalidConfig("rate_multiplier must be positive".into()));
+        }
+        self.frequency.validate()?;
+        for (_, m) in &self.peril_frequency {
+            m.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The frequency model effective for a peril.
+    pub fn frequency_for(&self, peril: Peril) -> FrequencyModel {
+        self.peril_frequency
+            .iter()
+            .find(|(p, _)| *p == peril)
+            .map(|(_, m)| *m)
+            .unwrap_or(self.frequency)
+    }
+}
+
+/// Pre-processed per-peril sampling tables.
+struct PerilSampler {
+    peril: Peril,
+    /// Expected annual occurrence count of the peril (already scaled).
+    annual_rate: f64,
+    /// Event ids of the peril.
+    events: Vec<EventId>,
+    /// Alias table over the peril's events weighted by annual rate.
+    alias: AliasTable,
+}
+
+/// Generates Year Event Tables from an event catalog.
+pub struct YetGenerator {
+    samplers: Vec<PerilSampler>,
+    timestamps: TimestampSampler,
+    catalog_size: u32,
+    config: YetConfig,
+}
+
+impl YetGenerator {
+    /// Prepares a generator for the given catalog and configuration.
+    pub fn new(catalog: &EventCatalog, config: YetConfig) -> Result<Self> {
+        config.validate()?;
+        if catalog.is_empty() {
+            return Err(GenError::InvalidConfig("catalog must not be empty".into()));
+        }
+        let mut samplers = Vec::new();
+        for peril in catalog.perils() {
+            let pairs = catalog.peril_events(peril);
+            let total: f64 = pairs.iter().map(|(_, r)| r).sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let events: Vec<EventId> = pairs.iter().map(|(e, _)| *e).collect();
+            let weights: Vec<f64> = pairs.iter().map(|(_, r)| *r).collect();
+            samplers.push(PerilSampler {
+                peril,
+                annual_rate: total * config.rate_multiplier,
+                events,
+                alias: AliasTable::new(&weights)
+                    .map_err(|e| GenError::InvalidConfig(e.message))?,
+            });
+        }
+        if samplers.is_empty() {
+            return Err(GenError::InvalidConfig("catalog has no events with positive rates".into()));
+        }
+        Ok(Self {
+            samplers,
+            timestamps: TimestampSampler::new(),
+            catalog_size: catalog.len() as u32,
+            config,
+        })
+    }
+
+    /// Expected number of events per trial under this configuration.
+    pub fn expected_events_per_trial(&self) -> f64 {
+        self.samplers.iter().map(|s| s.annual_rate).sum()
+    }
+
+    /// Simulates one trial with the given random stream index.
+    fn simulate_trial(&self, factory: &RngFactory, trial_index: u64) -> Vec<EventOccurrence> {
+        let mut rng = factory.stream(trial_index);
+        let mut occurrences =
+            Vec::with_capacity(self.expected_events_per_trial().ceil() as usize + 8);
+        for sampler in &self.samplers {
+            let model = self.config.frequency_for(sampler.peril);
+            let count = model.sample_count(sampler.annual_rate, &mut rng);
+            for _ in 0..count {
+                let event = sampler.events[sampler.alias.sample(&mut rng)];
+                let time = self.timestamps.sample(sampler.peril, &mut rng) as f32;
+                occurrences.push(EventOccurrence { event, time });
+            }
+        }
+        occurrences.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite timestamps"));
+        occurrences
+    }
+
+    /// Generates the full YET in parallel (one random stream per trial).
+    pub fn generate(&self, factory: &RngFactory) -> YearEventTable {
+        let factory = factory.derive("yet");
+        let trials: Vec<Vec<EventOccurrence>> = (0..self.config.num_trials)
+            .into_par_iter()
+            .map(|i| self.simulate_trial(&factory, i as u64))
+            .collect();
+        let mut builder = YetBuilder::new(
+            self.catalog_size,
+            self.config.num_trials,
+            self.expected_events_per_trial().ceil() as usize,
+        );
+        for trial in &trials {
+            builder.push_sorted_trial(trial);
+        }
+        builder.build()
+    }
+
+    /// Generates the YET on a single thread (used by tests to verify that
+    /// parallel generation is deterministic).
+    pub fn generate_sequential(&self, factory: &RngFactory) -> YearEventTable {
+        let factory = factory.derive("yet");
+        let mut builder = YetBuilder::new(
+            self.catalog_size,
+            self.config.num_trials,
+            self.expected_events_per_trial().ceil() as usize,
+        );
+        for i in 0..self.config.num_trials {
+            let trial = self.simulate_trial(&factory, i as u64);
+            builder.push_sorted_trial(&trial);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+
+    fn catalog() -> EventCatalog {
+        EventCatalog::generate(
+            &CatalogConfig { num_events: 2_000, annual_event_budget: 100.0, rate_tail_index: 1.2 },
+            &RngFactory::new(7),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_yet_matches_configuration() {
+        let cat = catalog();
+        let config = YetConfig::with_trials(500);
+        let generator = YetGenerator::new(&cat, config).unwrap();
+        assert!((generator.expected_events_per_trial() - 100.0).abs() < 1e-6);
+        let yet = generator.generate(&RngFactory::new(11));
+        yet.validate().unwrap();
+        assert_eq!(yet.num_trials(), 500);
+        assert_eq!(yet.catalog_size(), 2_000);
+        // Events per trial should be near the catalog's annual budget.
+        let avg = yet.avg_events_per_trial();
+        assert!((avg - 100.0).abs() < 5.0, "avg events/trial {avg}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_generation_identical() {
+        let cat = catalog();
+        let generator = YetGenerator::new(&cat, YetConfig::with_trials(200)).unwrap();
+        let factory = RngFactory::new(3);
+        let a = generator.generate(&factory);
+        let b = generator.generate_sequential(&factory);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_multiplier_scales_events_per_trial() {
+        let cat = catalog();
+        let mut config = YetConfig::with_trials(300);
+        config.rate_multiplier = 2.0;
+        let generator = YetGenerator::new(&cat, config).unwrap();
+        let yet = generator.generate(&RngFactory::new(5));
+        let avg = yet.avg_events_per_trial();
+        assert!((avg - 200.0).abs() < 8.0, "avg events/trial {avg}");
+    }
+
+    #[test]
+    fn overdispersed_frequency_increases_variance() {
+        let cat = catalog();
+        let factory = RngFactory::new(13);
+
+        let poisson = YetGenerator::new(&cat, YetConfig::with_trials(2_000)).unwrap();
+        let yet_p = poisson.generate(&factory);
+        let var_p = trial_count_variance(&yet_p);
+
+        let mut config = YetConfig::with_trials(2_000);
+        config.frequency = FrequencyModel::NegativeBinomial { dispersion: 3.0 };
+        let nb = YetGenerator::new(&cat, config).unwrap();
+        let yet_nb = nb.generate(&factory);
+        let var_nb = trial_count_variance(&yet_nb);
+
+        assert!(
+            var_nb > 1.5 * var_p,
+            "negative binomial variance {var_nb} should exceed Poisson variance {var_p}"
+        );
+    }
+
+    fn trial_count_variance(yet: &YearEventTable) -> f64 {
+        let mut stats = catrisk_simkit::stats::RunningStats::new();
+        for t in yet.trials() {
+            stats.push(t.len() as f64);
+        }
+        stats.variance()
+    }
+
+    #[test]
+    fn per_peril_frequency_override() {
+        let cat = catalog();
+        let mut config = YetConfig::with_trials(10);
+        config.peril_frequency = vec![(Peril::Hurricane, FrequencyModel::Clustered { cluster_mean: 2.0 })];
+        assert_eq!(
+            config.frequency_for(Peril::Hurricane),
+            FrequencyModel::Clustered { cluster_mean: 2.0 }
+        );
+        assert_eq!(config.frequency_for(Peril::Flood), FrequencyModel::Poisson);
+        let generator = YetGenerator::new(&cat, config).unwrap();
+        generator.generate(&RngFactory::new(1)).validate().unwrap();
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(YetConfig { num_trials: 0, ..Default::default() }.validate().is_err());
+        assert!(YetConfig { rate_multiplier: 0.0, ..Default::default() }.validate().is_err());
+        assert!(YetConfig {
+            frequency: FrequencyModel::NegativeBinomial { dispersion: 0.2 },
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(YetConfig {
+            peril_frequency: vec![(Peril::Flood, FrequencyModel::Clustered { cluster_mean: -1.0 })],
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(YetConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        let cat = EventCatalog::from_events(vec![]).unwrap();
+        assert!(YetGenerator::new(&cat, YetConfig::with_trials(10)).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_tables() {
+        let cat = catalog();
+        let generator = YetGenerator::new(&cat, YetConfig::with_trials(50)).unwrap();
+        let a = generator.generate(&RngFactory::new(1));
+        let b = generator.generate(&RngFactory::new(2));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,191 @@
+//! Scalar term-application kernels shared by all engine implementations.
+//!
+//! Every engine variant — sequential CPU, multi-core CPU, and the simulated
+//! GPU kernels — calls these same functions, which is what makes the
+//! cross-engine bit-equality tests meaningful.
+
+/// `min(max(x − retention, 0), limit)` — the fundamental excess-of-loss
+/// transformation used by both occurrence terms (paper line 11) and
+/// aggregate terms (paper line 15).
+#[inline]
+pub fn retention_and_limit(x: f64, retention: f64, limit: f64) -> f64 {
+    (x - retention).max(0.0).min(limit)
+}
+
+/// Applies occurrence terms to a whole trial's per-occurrence losses in place
+/// (paper lines 10–11).
+pub fn apply_occurrence_terms(losses: &mut [f64], retention: f64, limit: f64) {
+    for l in losses.iter_mut() {
+        *l = retention_and_limit(*l, retention, limit);
+    }
+}
+
+/// Replaces a slice of per-occurrence losses by its cumulative sums in place
+/// (paper lines 12–13).
+pub fn cumulative_sums(losses: &mut [f64]) {
+    let mut acc = 0.0;
+    for l in losses.iter_mut() {
+        acc += *l;
+        *l = acc;
+    }
+}
+
+/// Applies aggregate terms to a cumulative-loss series in place
+/// (paper lines 14–15).
+pub fn apply_aggregate_terms(cumulative: &mut [f64], retention: f64, limit: f64) {
+    for c in cumulative.iter_mut() {
+        *c = retention_and_limit(*c, retention, limit);
+    }
+}
+
+/// Differences a capped cumulative series back into per-occurrence
+/// contributions in place (paper lines 16–17) and returns their sum — the
+/// trial's aggregate loss net of all layer terms (paper lines 18–19).
+///
+/// Because the capped cumulative series is non-decreasing, the sum of the
+/// differences telescopes to the last element; the differences themselves are
+/// still materialised because downstream consumers (per-occurrence
+/// reporting, reinstatement accounting) need them.
+pub fn difference_and_sum(capped_cumulative: &mut [f64]) -> f64 {
+    let mut prev = 0.0;
+    let mut total = 0.0;
+    for c in capped_cumulative.iter_mut() {
+        let current = *c;
+        *c = current - prev;
+        total += *c;
+        prev = current;
+    }
+    total
+}
+
+/// Convenience composition of the full per-trial layer-terms pipeline
+/// (paper lines 10–19): occurrence terms, cumulative sum, aggregate terms,
+/// differencing, final sum.
+///
+/// `occurrence_losses` must contain the per-occurrence losses already net of
+/// the ELT financial terms and accumulated across the layer's ELTs.  The
+/// slice is consumed as scratch space.
+pub fn layer_terms_pipeline(
+    occurrence_losses: &mut [f64],
+    occ_retention: f64,
+    occ_limit: f64,
+    agg_retention: f64,
+    agg_limit: f64,
+) -> f64 {
+    apply_occurrence_terms(occurrence_losses, occ_retention, occ_limit);
+    cumulative_sums(occurrence_losses);
+    apply_aggregate_terms(occurrence_losses, agg_retention, agg_limit);
+    difference_and_sum(occurrence_losses)
+}
+
+/// Reference implementation of the same pipeline using per-occurrence
+/// "remaining limit" accounting instead of the cumulative-difference
+/// formulation.  Used only by tests and property tests to cross-validate
+/// [`layer_terms_pipeline`]; the two must agree for every input.
+pub fn layer_terms_reference(
+    occurrence_losses: &[f64],
+    occ_retention: f64,
+    occ_limit: f64,
+    agg_retention: f64,
+    agg_limit: f64,
+) -> f64 {
+    let mut remaining_retention = agg_retention;
+    let mut remaining_limit = agg_limit;
+    let mut total = 0.0;
+    for &gross in occurrence_losses {
+        let occ = retention_and_limit(gross, occ_retention, occ_limit);
+        // The aggregate retention erodes first.
+        let after_retention = if occ <= remaining_retention {
+            remaining_retention -= occ;
+            0.0
+        } else {
+            let net = occ - remaining_retention;
+            remaining_retention = 0.0;
+            net
+        };
+        // Whatever remains consumes the aggregate limit.
+        let paid = after_retention.min(remaining_limit);
+        remaining_limit -= paid;
+        total += paid;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_and_limit_cases() {
+        assert_eq!(retention_and_limit(5.0, 10.0, 100.0), 0.0);
+        assert_eq!(retention_and_limit(50.0, 10.0, 100.0), 40.0);
+        assert_eq!(retention_and_limit(500.0, 10.0, 100.0), 100.0);
+        assert_eq!(retention_and_limit(500.0, 0.0, f64::INFINITY), 500.0);
+        assert_eq!(retention_and_limit(0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cumulative_sums_basic() {
+        let mut v = [1.0, 2.0, 3.0];
+        cumulative_sums(&mut v);
+        assert_eq!(v, [1.0, 3.0, 6.0]);
+        let mut empty: [f64; 0] = [];
+        cumulative_sums(&mut empty);
+    }
+
+    #[test]
+    fn difference_recovers_increments_and_sum() {
+        let mut v = [1.0, 3.0, 6.0, 6.0, 10.0];
+        let total = difference_and_sum(&mut v);
+        assert_eq!(v, [1.0, 2.0, 3.0, 0.0, 4.0]);
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn pipeline_matches_hand_computation() {
+        // Occurrence terms: 10 xs 5; aggregate terms: 20 xs 10.
+        let losses = [4.0, 12.0, 30.0, 8.0];
+        // Net of occurrence terms: [0, 7, 10, 3]; cumulative: [0, 7, 17, 20]
+        // Net of aggregate (20 xs 10): [0, 0, 7, 10]; differences: [0,0,7,3]; sum 10.
+        let mut scratch = losses;
+        let total = layer_terms_pipeline(&mut scratch, 5.0, 10.0, 10.0, 20.0);
+        assert_eq!(total, 10.0);
+        assert_eq!(scratch, [0.0, 0.0, 7.0, 3.0]);
+    }
+
+    #[test]
+    fn pipeline_with_unlimited_terms_is_plain_sum() {
+        let losses = [1.5, 2.5, 10.0];
+        let mut scratch = losses;
+        let total = layer_terms_pipeline(&mut scratch, 0.0, f64::INFINITY, 0.0, f64::INFINITY);
+        assert!((total - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_agrees_with_reference_on_examples() {
+        let cases: Vec<(Vec<f64>, f64, f64, f64, f64)> = vec![
+            (vec![4.0, 12.0, 30.0, 8.0], 5.0, 10.0, 10.0, 20.0),
+            (vec![0.0, 0.0], 1.0, 2.0, 3.0, 4.0),
+            (vec![100.0], 0.0, f64::INFINITY, 0.0, f64::INFINITY),
+            (vec![10.0, 10.0, 10.0], 0.0, 5.0, 7.0, 6.0),
+            (vec![1.0, 2.0, 3.0, 4.0, 5.0], 2.0, 2.0, 1.0, 100.0),
+            (vec![1e9, 2e9, 3e9], 5e8, 1e9, 1e9, 2e9),
+        ];
+        for (losses, or_, ol, ar, al) in cases {
+            let mut scratch = losses.clone();
+            let a = layer_terms_pipeline(&mut scratch, or_, ol, ar, al);
+            let b = layer_terms_reference(&losses, or_, ol, ar, al);
+            assert!((a - b).abs() < 1e-6, "mismatch for {losses:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn occurrence_and_aggregate_term_helpers() {
+        let mut v = [5.0, 15.0, 25.0];
+        apply_occurrence_terms(&mut v, 10.0, 10.0);
+        assert_eq!(v, [0.0, 5.0, 10.0]);
+        let mut c = [5.0, 15.0, 25.0];
+        apply_aggregate_terms(&mut c, 10.0, 10.0);
+        assert_eq!(c, [0.0, 5.0, 10.0]);
+    }
+}

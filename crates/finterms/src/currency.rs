@@ -1,0 +1,184 @@
+//! Currencies and exchange-rate tables.
+//!
+//! Each ELT carries metadata "including information about currency exchange
+//! rates ... applied at the level of each individual event loss" (paper
+//! §II.A).  The engine therefore converts every looked-up loss into the
+//! analysis base currency by multiplying with the ELT's exchange rate.
+
+use serde::{Deserialize, Serialize};
+
+/// ISO-4217-style currency identifier for the currencies commonly seen in
+/// catastrophe reinsurance programmes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Currency {
+    /// United States dollar (the conventional base currency).
+    Usd,
+    /// Euro.
+    Eur,
+    /// Pound sterling.
+    Gbp,
+    /// Japanese yen.
+    Jpy,
+    /// Canadian dollar.
+    Cad,
+    /// Australian dollar.
+    Aud,
+    /// Swiss franc.
+    Chf,
+}
+
+impl Currency {
+    /// All supported currencies.
+    pub const ALL: [Currency; 7] = [
+        Currency::Usd,
+        Currency::Eur,
+        Currency::Gbp,
+        Currency::Jpy,
+        Currency::Cad,
+        Currency::Aud,
+        Currency::Chf,
+    ];
+
+    /// Three-letter code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Currency::Usd => "USD",
+            Currency::Eur => "EUR",
+            Currency::Gbp => "GBP",
+            Currency::Jpy => "JPY",
+            Currency::Cad => "CAD",
+            Currency::Aud => "AUD",
+            Currency::Chf => "CHF",
+        }
+    }
+}
+
+impl std::fmt::Display for Currency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A table of exchange rates into a base currency.
+///
+/// `rate(c)` is the multiplier converting an amount denominated in `c` into
+/// the base currency: `amount_base = amount_c * rate(c)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeRates {
+    base: Currency,
+    rates: Vec<(Currency, f64)>,
+}
+
+impl ExchangeRates {
+    /// Creates an empty table with the given base currency (rate 1.0).
+    pub fn new(base: Currency) -> Self {
+        Self { base, rates: vec![(base, 1.0)] }
+    }
+
+    /// A representative USD-based table useful for tests and synthetic data.
+    pub fn representative() -> Self {
+        let mut t = Self::new(Currency::Usd);
+        t.set(Currency::Eur, 1.08);
+        t.set(Currency::Gbp, 1.27);
+        t.set(Currency::Jpy, 0.0065);
+        t.set(Currency::Cad, 0.73);
+        t.set(Currency::Aud, 0.66);
+        t.set(Currency::Chf, 1.12);
+        t
+    }
+
+    /// Base currency of this table.
+    pub fn base(&self) -> Currency {
+        self.base
+    }
+
+    /// Sets (or replaces) the rate converting `currency` into the base.
+    pub fn set(&mut self, currency: Currency, rate: f64) {
+        assert!(rate.is_finite() && rate > 0.0, "exchange rate must be positive");
+        if let Some(slot) = self.rates.iter_mut().find(|(c, _)| *c == currency) {
+            slot.1 = rate;
+        } else {
+            self.rates.push((currency, rate));
+        }
+    }
+
+    /// Returns the rate converting `currency` into the base, if known.
+    pub fn rate(&self, currency: Currency) -> Option<f64> {
+        self.rates.iter().find(|(c, _)| *c == currency).map(|(_, r)| *r)
+    }
+
+    /// Converts an amount from `currency` into the base currency.
+    pub fn convert(&self, amount: f64, currency: Currency) -> crate::Result<f64> {
+        self.rate(currency)
+            .map(|r| amount * r)
+            .ok_or(crate::TermsError::UnknownCurrency(currency))
+    }
+
+    /// Number of currencies with known rates (including the base).
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when only the base currency is known.
+    pub fn is_empty(&self) -> bool {
+        self.rates.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_three_letters() {
+        let mut codes: Vec<&str> = Currency::ALL.iter().map(|c| c.code()).collect();
+        assert!(codes.iter().all(|c| c.len() == 3));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Currency::ALL.len());
+        assert_eq!(format!("{}", Currency::Eur), "EUR");
+    }
+
+    #[test]
+    fn base_rate_is_identity() {
+        let t = ExchangeRates::new(Currency::Usd);
+        assert_eq!(t.base(), Currency::Usd);
+        assert_eq!(t.rate(Currency::Usd), Some(1.0));
+        assert_eq!(t.convert(250.0, Currency::Usd).unwrap(), 250.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn convert_uses_rate() {
+        let t = ExchangeRates::representative();
+        assert!(!t.is_empty());
+        assert!(t.len() >= 7);
+        let eur = t.convert(100.0, Currency::Eur).unwrap();
+        assert!((eur - 108.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_currency_is_an_error() {
+        let t = ExchangeRates::new(Currency::Usd);
+        assert_eq!(
+            t.convert(1.0, Currency::Jpy),
+            Err(crate::TermsError::UnknownCurrency(Currency::Jpy))
+        );
+    }
+
+    #[test]
+    fn set_replaces_existing_rate() {
+        let mut t = ExchangeRates::representative();
+        t.set(Currency::Eur, 2.0);
+        assert_eq!(t.rate(Currency::Eur), Some(2.0));
+        let n = t.len();
+        t.set(Currency::Eur, 3.0);
+        assert_eq!(t.len(), n, "replacing must not grow the table");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_rate_panics() {
+        ExchangeRates::new(Currency::Usd).set(Currency::Eur, 0.0);
+    }
+}

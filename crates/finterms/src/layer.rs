@@ -1,0 +1,242 @@
+//! Layers: the unit of analysis of the aggregate risk engine.
+//!
+//! A layer `L = (E, T)` covers a collection of Event Loss Tables `E`
+//! (typically 3–30 of them, paper §II.A) under a set of layer terms `T`.
+//! Within an [`AnalysisInput`](https://docs.rs/catrisk-engine) the covered
+//! ELTs are referenced by index into the analysis' ELT list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::terms::{FinancialTerms, LayerTerms};
+use crate::treaty::Treaty;
+use crate::{Result, TermsError};
+
+/// Identifier of a layer within a portfolio or analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LayerId(pub u32);
+
+impl std::fmt::Display for LayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A reinsurance layer: a set of covered ELTs plus layer terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Identifier of the layer.
+    pub id: LayerId,
+    /// Indices of the covered ELTs within the analysis' ELT list.
+    pub elt_indices: Vec<usize>,
+    /// Layer terms `T` applied to the combined losses of the covered ELTs.
+    pub terms: LayerTerms,
+    /// Participation share of this layer in `[0, 1]` (1.0 = 100% placement).
+    pub participation: f64,
+    /// Optional human-readable description (treaty wording).
+    pub description: String,
+}
+
+impl Layer {
+    /// Creates a layer covering `elt_indices` with the given terms and 100%
+    /// participation.
+    pub fn new(id: LayerId, elt_indices: Vec<usize>, terms: LayerTerms) -> Result<Self> {
+        if elt_indices.is_empty() {
+            return Err(TermsError::EmptyLayer);
+        }
+        Ok(Self { id, elt_indices, terms, participation: 1.0, description: String::new() })
+    }
+
+    /// Number of ELTs covered by this layer.
+    pub fn num_elts(&self) -> usize {
+        self.elt_indices.len()
+    }
+
+    /// Validates the layer against the number of ELTs available in the
+    /// analysis input.
+    pub fn validate(&self, available_elts: usize) -> Result<()> {
+        if self.elt_indices.is_empty() {
+            return Err(TermsError::EmptyLayer);
+        }
+        if !(0.0..=1.0).contains(&self.participation) {
+            return Err(TermsError::InvalidParameter {
+                field: "participation",
+                value: self.participation,
+            });
+        }
+        for &i in &self.elt_indices {
+            if i >= available_elts {
+                return Err(TermsError::InvalidParameter {
+                    field: "elt_indices",
+                    value: i as f64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Layer`] providing a fluent construction API.
+#[derive(Debug, Clone)]
+pub struct LayerBuilder {
+    id: LayerId,
+    elt_indices: Vec<usize>,
+    terms: LayerTerms,
+    participation: f64,
+    description: String,
+    elt_financial_terms: Vec<FinancialTerms>,
+}
+
+impl LayerBuilder {
+    /// Starts building a layer with the given identifier.
+    pub fn new(id: LayerId) -> Self {
+        Self {
+            id,
+            elt_indices: Vec::new(),
+            terms: LayerTerms::unlimited(),
+            participation: 1.0,
+            description: String::new(),
+            elt_financial_terms: Vec::new(),
+        }
+    }
+
+    /// Adds one covered ELT by index.
+    pub fn covering(mut self, elt_index: usize) -> Self {
+        self.elt_indices.push(elt_index);
+        self
+    }
+
+    /// Adds a contiguous range of covered ELT indices.
+    pub fn covering_range(mut self, range: std::ops::Range<usize>) -> Self {
+        self.elt_indices.extend(range);
+        self
+    }
+
+    /// Sets the layer terms directly.
+    pub fn with_terms(mut self, terms: LayerTerms) -> Self {
+        self.terms = terms;
+        self
+    }
+
+    /// Sets the layer terms (and description) from a treaty structure.
+    pub fn with_treaty(mut self, treaty: Treaty) -> Self {
+        self.terms = treaty.layer_terms();
+        self.description = treaty.describe();
+        self
+    }
+
+    /// Sets the participation share.
+    pub fn with_participation(mut self, participation: f64) -> Self {
+        self.participation = participation;
+        self
+    }
+
+    /// Sets a human-readable description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Records the financial terms of a covered ELT (optional; callers that
+    /// keep financial terms with the ELTs themselves can ignore this).
+    pub fn with_elt_terms(mut self, terms: FinancialTerms) -> Self {
+        self.elt_financial_terms.push(terms);
+        self
+    }
+
+    /// Financial terms collected so far (parallel to the covered ELTs when
+    /// used consistently).
+    pub fn elt_terms(&self) -> &[FinancialTerms] {
+        &self.elt_financial_terms
+    }
+
+    /// Finalises the layer.
+    pub fn build(self) -> Result<Layer> {
+        if self.elt_indices.is_empty() {
+            return Err(TermsError::EmptyLayer);
+        }
+        if !(0.0..=1.0).contains(&self.participation) {
+            return Err(TermsError::InvalidParameter {
+                field: "participation",
+                value: self.participation,
+            });
+        }
+        Ok(Layer {
+            id: self.id,
+            elt_indices: self.elt_indices,
+            terms: self.terms,
+            participation: self.participation,
+            description: self.description,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_construction_and_validation() {
+        let layer = Layer::new(LayerId(1), vec![0, 1, 2], LayerTerms::unlimited()).unwrap();
+        assert_eq!(layer.num_elts(), 3);
+        layer.validate(3).unwrap();
+        assert!(layer.validate(2).is_err(), "index 2 out of bounds for 2 ELTs");
+        assert_eq!(Layer::new(LayerId(1), vec![], LayerTerms::unlimited()), Err(TermsError::EmptyLayer));
+    }
+
+    #[test]
+    fn layer_id_display() {
+        assert_eq!(LayerId(7).to_string(), "L7");
+    }
+
+    #[test]
+    fn builder_fluent_construction() {
+        let layer = LayerBuilder::new(LayerId(3))
+            .covering(5)
+            .covering_range(10..13)
+            .with_treaty(Treaty::cat_xl(1.0e6, 9.0e6))
+            .with_participation(0.8)
+            .build()
+            .unwrap();
+        assert_eq!(layer.elt_indices, vec![5, 10, 11, 12]);
+        assert_eq!(layer.terms.occ_retention, 1.0e6);
+        assert_eq!(layer.terms.occ_limit, 9.0e6);
+        assert_eq!(layer.participation, 0.8);
+        assert!(layer.description.contains("Cat XL"));
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_bad_participation() {
+        assert_eq!(LayerBuilder::new(LayerId(0)).build(), Err(TermsError::EmptyLayer));
+        let err = LayerBuilder::new(LayerId(0))
+            .covering(0)
+            .with_participation(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TermsError::InvalidParameter { field: "participation", .. }));
+    }
+
+    #[test]
+    fn builder_collects_elt_terms() {
+        let b = LayerBuilder::new(LayerId(0))
+            .covering(0)
+            .with_elt_terms(FinancialTerms::pass_through())
+            .with_elt_terms(FinancialTerms::new(1.0, 2.0, 0.5, 1.0).unwrap());
+        assert_eq!(b.elt_terms().len(), 2);
+        assert!(b.with_description("custom").build().unwrap().description.contains("custom"));
+    }
+
+    #[test]
+    fn participation_validation_in_validate() {
+        let mut layer = Layer::new(LayerId(1), vec![0], LayerTerms::unlimited()).unwrap();
+        layer.participation = -0.1;
+        assert!(layer.validate(1).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let layer = Layer::new(LayerId(9), vec![1, 4], LayerTerms::per_occurrence(1.0, 2.0).unwrap()).unwrap();
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: Layer = serde_json::from_str(&json).unwrap();
+        assert_eq!(layer, back);
+    }
+}

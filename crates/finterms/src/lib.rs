@@ -1,0 +1,69 @@
+//! # catrisk-finterms
+//!
+//! Financial terms, layer terms and reinsurance treaty structures.
+//!
+//! The aggregate analysis of the paper applies two groups of contractual
+//! terms to simulated losses:
+//!
+//! * **financial terms `I`** attached to each Event Loss Table — an event
+//!   level deductible, limit and participation share, plus a currency
+//!   exchange rate from the ELT metadata ([`terms::FinancialTerms`]);
+//! * **layer terms `T = (OccR, OccL, AggR, AggL)`** attached to each layer —
+//!   the occurrence retention/limit of a Cat XL / Per-Occurrence XL treaty
+//!   and the aggregate retention/limit of an Aggregate XL (stop-loss)
+//!   treaty ([`terms::LayerTerms`], the paper's Table I).
+//!
+//! The [`treaty`] module expresses the common treaty shapes (Cat XL,
+//! Aggregate XL, quota share, combined Per-Occurrence + Aggregate contracts,
+//! reinstatements) and lowers them onto `LayerTerms`, while [`layer`]
+//! describes which ELTs a layer covers.  The [`apply`] module holds the
+//! scalar kernels shared by every engine implementation (sequential,
+//! multi-core and simulated GPU), so all of them apply exactly the same
+//! arithmetic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apply;
+pub mod currency;
+pub mod layer;
+pub mod terms;
+pub mod treaty;
+
+pub use currency::{Currency, ExchangeRates};
+pub use layer::{Layer, LayerBuilder, LayerId};
+pub use terms::{FinancialTerms, LayerTerms};
+pub use treaty::Treaty;
+
+/// Errors produced while building or validating contract structures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermsError {
+    /// A numeric parameter was negative, NaN or otherwise out of range.
+    InvalidParameter {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A layer was built without any covered ELTs.
+    EmptyLayer,
+    /// A requested currency has no exchange rate.
+    UnknownCurrency(Currency),
+}
+
+impl std::fmt::Display for TermsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TermsError::InvalidParameter { field, value } => {
+                write!(f, "invalid value {value} for parameter `{field}`")
+            }
+            TermsError::EmptyLayer => write!(f, "a layer must cover at least one ELT"),
+            TermsError::UnknownCurrency(c) => write!(f, "no exchange rate for currency {c}"),
+        }
+    }
+}
+
+impl std::error::Error for TermsError {}
+
+/// Result alias for contract-construction operations.
+pub type Result<T> = std::result::Result<T, TermsError>;

@@ -1,0 +1,313 @@
+//! Financial terms `I` and layer terms `T` (the paper's Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TermsError};
+
+/// Serde helpers mapping an unlimited (`+∞`) limit to JSON `null` and back,
+/// since JSON has no representation for IEEE infinities.
+mod maybe_unlimited {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(value: &f64, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        if value.is_finite() {
+            serializer.serialize_some(value)
+        } else {
+            serializer.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> std::result::Result<f64, D::Error> {
+        let opt = Option::<f64>::deserialize(deserializer)?;
+        Ok(opt.unwrap_or(f64::INFINITY))
+    }
+}
+
+fn check(field: &'static str, value: f64) -> Result<f64> {
+    if value.is_nan() || value < 0.0 {
+        Err(TermsError::InvalidParameter { field, value })
+    } else {
+        Ok(value)
+    }
+}
+
+/// Financial terms `I` attached to an Event Loss Table.
+///
+/// These are contractual terms "applied at the level of each individual
+/// event loss" (paper §II.A): the engine's second step transforms every
+/// looked-up loss `l` into
+///
+/// ```text
+/// l' = min(max(l − deductible, 0), limit) × share × fx_rate
+/// ```
+///
+/// before accumulating across the layer's ELTs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinancialTerms {
+    /// Event-level deductible (retention) subtracted from every loss.
+    pub deductible: f64,
+    /// Event-level limit capping every loss after the deductible.
+    #[serde(with = "maybe_unlimited")]
+    pub limit: f64,
+    /// Participation share in `[0, 1]` applied after deductible and limit.
+    pub share: f64,
+    /// Exchange-rate multiplier converting the ELT's currency into the
+    /// analysis base currency.
+    pub fx_rate: f64,
+}
+
+impl Default for FinancialTerms {
+    fn default() -> Self {
+        Self::pass_through()
+    }
+}
+
+impl FinancialTerms {
+    /// Terms that leave losses unchanged (zero deductible, unlimited,
+    /// full share, unit exchange rate).
+    pub fn pass_through() -> Self {
+        Self {
+            deductible: 0.0,
+            limit: f64::INFINITY,
+            share: 1.0,
+            fx_rate: 1.0,
+        }
+    }
+
+    /// Builds validated financial terms.
+    pub fn new(deductible: f64, limit: f64, share: f64, fx_rate: f64) -> Result<Self> {
+        check("deductible", deductible)?;
+        if limit.is_nan() || limit < 0.0 {
+            return Err(TermsError::InvalidParameter { field: "limit", value: limit });
+        }
+        if !(0.0..=1.0).contains(&share) {
+            return Err(TermsError::InvalidParameter { field: "share", value: share });
+        }
+        if !(fx_rate.is_finite() && fx_rate > 0.0) {
+            return Err(TermsError::InvalidParameter { field: "fx_rate", value: fx_rate });
+        }
+        Ok(Self { deductible, limit, share, fx_rate })
+    }
+
+    /// Applies the terms to a single event loss.
+    #[inline]
+    pub fn apply(&self, loss: f64) -> f64 {
+        crate::apply::retention_and_limit(loss, self.deductible, self.limit) * self.share * self.fx_rate
+    }
+
+    /// True when [`apply`](Self::apply) is the identity function.
+    pub fn is_pass_through(&self) -> bool {
+        self.deductible == 0.0 && self.limit.is_infinite() && self.share == 1.0 && self.fx_rate == 1.0
+    }
+}
+
+/// Layer terms `T = (OccR, OccL, AggR, AggL)` — the paper's Table I.
+///
+/// | Notation | Term | Description |
+/// |---|---|---|
+/// | `TOccR` | Occurrence retention | Retention/deductible of the insured for an individual occurrence loss |
+/// | `TOccL` | Occurrence limit | Limit the insurer will pay for occurrence losses in excess of the retention |
+/// | `TAggR` | Aggregate retention | Retention/deductible of the insured for an annual cumulative loss |
+/// | `TAggL` | Aggregate limit | Limit the insurer will pay for annual cumulative losses in excess of the aggregate retention |
+///
+/// Occurrence terms capture Cat XL / Per-Occurrence XL treaties and apply to
+/// each event occurrence independently; aggregate terms capture Aggregate XL
+/// (stop-loss) treaties and apply to the running cumulative loss within a
+/// trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTerms {
+    /// Occurrence retention `TOccR`.
+    pub occ_retention: f64,
+    /// Occurrence limit `TOccL`.
+    #[serde(with = "maybe_unlimited")]
+    pub occ_limit: f64,
+    /// Aggregate retention `TAggR`.
+    pub agg_retention: f64,
+    /// Aggregate limit `TAggL`.
+    #[serde(with = "maybe_unlimited")]
+    pub agg_limit: f64,
+}
+
+impl Default for LayerTerms {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl LayerTerms {
+    /// Terms that pass every loss through unchanged: zero retentions and
+    /// infinite limits.  Applying these terms is the identity on the trial's
+    /// aggregate loss.
+    pub fn unlimited() -> Self {
+        Self {
+            occ_retention: 0.0,
+            occ_limit: f64::INFINITY,
+            agg_retention: 0.0,
+            agg_limit: f64::INFINITY,
+        }
+    }
+
+    /// Builds validated layer terms.
+    pub fn new(occ_retention: f64, occ_limit: f64, agg_retention: f64, agg_limit: f64) -> Result<Self> {
+        check("occ_retention", occ_retention)?;
+        check("agg_retention", agg_retention)?;
+        if occ_limit.is_nan() || occ_limit < 0.0 {
+            return Err(TermsError::InvalidParameter { field: "occ_limit", value: occ_limit });
+        }
+        if agg_limit.is_nan() || agg_limit < 0.0 {
+            return Err(TermsError::InvalidParameter { field: "agg_limit", value: agg_limit });
+        }
+        Ok(Self { occ_retention, occ_limit, agg_retention, agg_limit })
+    }
+
+    /// Terms of a pure per-occurrence (Cat XL) layer: `limit xs retention`
+    /// per event, no aggregate terms.
+    pub fn per_occurrence(retention: f64, limit: f64) -> Result<Self> {
+        Self::new(retention, limit, 0.0, f64::INFINITY)
+    }
+
+    /// Terms of a pure aggregate (stop-loss) layer: `limit xs retention`
+    /// on the annual cumulative loss, no occurrence terms.
+    pub fn aggregate(retention: f64, limit: f64) -> Result<Self> {
+        Self::new(0.0, f64::INFINITY, retention, limit)
+    }
+
+    /// Applies the occurrence terms to one occurrence loss:
+    /// `min(max(loss − OccR, 0), OccL)` (paper line 11).
+    #[inline]
+    pub fn apply_occurrence(&self, loss: f64) -> f64 {
+        crate::apply::retention_and_limit(loss, self.occ_retention, self.occ_limit)
+    }
+
+    /// Applies the aggregate terms to a cumulative loss:
+    /// `min(max(cum − AggR, 0), AggL)` (paper line 15).
+    #[inline]
+    pub fn apply_aggregate(&self, cumulative: f64) -> f64 {
+        crate::apply::retention_and_limit(cumulative, self.agg_retention, self.agg_limit)
+    }
+
+    /// True when both pairs of terms pass losses through unchanged.
+    pub fn is_unlimited(&self) -> bool {
+        self.occ_retention == 0.0
+            && self.agg_retention == 0.0
+            && self.occ_limit.is_infinite()
+            && self.agg_limit.is_infinite()
+    }
+
+    /// The maximum possible annual recovery under these terms
+    /// (the aggregate limit, itself bounded by `∞` when unlimited).
+    pub fn max_annual_recovery(&self) -> f64 {
+        self.agg_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn financial_terms_pass_through_is_identity() {
+        let t = FinancialTerms::pass_through();
+        assert!(t.is_pass_through());
+        for loss in [0.0, 1.0, 123.456, 1e12] {
+            assert_eq!(t.apply(loss), loss);
+        }
+        assert_eq!(FinancialTerms::default(), FinancialTerms::pass_through());
+    }
+
+    #[test]
+    fn financial_terms_apply_order() {
+        // deductible 100, limit 500, share 50%, fx 2.0
+        let t = FinancialTerms::new(100.0, 500.0, 0.5, 2.0).unwrap();
+        assert_eq!(t.apply(50.0), 0.0); // below deductible
+        assert_eq!(t.apply(100.0), 0.0);
+        assert_eq!(t.apply(300.0), (300.0 - 100.0) * 0.5 * 2.0);
+        assert_eq!(t.apply(10_000.0), 500.0 * 0.5 * 2.0); // capped at limit
+        assert!(!t.is_pass_through());
+    }
+
+    #[test]
+    fn financial_terms_validation() {
+        assert!(FinancialTerms::new(-1.0, 10.0, 1.0, 1.0).is_err());
+        assert!(FinancialTerms::new(0.0, -10.0, 1.0, 1.0).is_err());
+        assert!(FinancialTerms::new(0.0, 10.0, 1.5, 1.0).is_err());
+        assert!(FinancialTerms::new(0.0, 10.0, 1.0, 0.0).is_err());
+        assert!(FinancialTerms::new(0.0, 10.0, 1.0, f64::NAN).is_err());
+        assert!(FinancialTerms::new(0.0, f64::INFINITY, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn layer_terms_table_one_semantics() {
+        // 40M xs 10M per occurrence, 80M xs 0 aggregate.
+        let t = LayerTerms::new(10.0e6, 40.0e6, 0.0, 80.0e6).unwrap();
+        // Occurrence below retention.
+        assert_eq!(t.apply_occurrence(5.0e6), 0.0);
+        // In the layer.
+        assert_eq!(t.apply_occurrence(30.0e6), 20.0e6);
+        // Above the top of the layer.
+        assert_eq!(t.apply_occurrence(100.0e6), 40.0e6);
+        // Aggregate caps at 80M.
+        assert_eq!(t.apply_aggregate(200.0e6), 80.0e6);
+        assert_eq!(t.max_annual_recovery(), 80.0e6);
+    }
+
+    #[test]
+    fn unlimited_terms_are_identity() {
+        let t = LayerTerms::unlimited();
+        assert!(t.is_unlimited());
+        for x in [0.0, 1.5, 9e9] {
+            assert_eq!(t.apply_occurrence(x), x);
+            assert_eq!(t.apply_aggregate(x), x);
+        }
+        assert_eq!(LayerTerms::default(), LayerTerms::unlimited());
+    }
+
+    #[test]
+    fn per_occurrence_and_aggregate_constructors() {
+        let occ = LayerTerms::per_occurrence(1_000.0, 5_000.0).unwrap();
+        assert_eq!(occ.agg_retention, 0.0);
+        assert!(occ.agg_limit.is_infinite());
+        assert_eq!(occ.apply_occurrence(3_000.0), 2_000.0);
+
+        let agg = LayerTerms::aggregate(10_000.0, 50_000.0).unwrap();
+        assert_eq!(agg.occ_retention, 0.0);
+        assert!(agg.occ_limit.is_infinite());
+        assert_eq!(agg.apply_aggregate(70_000.0), 50_000.0);
+    }
+
+    #[test]
+    fn layer_terms_validation() {
+        assert!(LayerTerms::new(-1.0, 1.0, 0.0, 1.0).is_err());
+        assert!(LayerTerms::new(0.0, -1.0, 0.0, 1.0).is_err());
+        assert!(LayerTerms::new(0.0, 1.0, -1.0, 1.0).is_err());
+        assert!(LayerTerms::new(0.0, 1.0, 0.0, f64::NAN).is_err());
+        let err = LayerTerms::new(0.0, 1.0, 0.0, f64::NAN).unwrap_err();
+        assert!(err.to_string().contains("agg_limit"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = LayerTerms::new(1.0, 2.0, 3.0, 4.0).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: LayerTerms = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        let ft = FinancialTerms::new(1.0, 2.0, 0.5, 1.1).unwrap();
+        let json = serde_json::to_string(&ft).unwrap();
+        let back: FinancialTerms = serde_json::from_str(&json).unwrap();
+        assert_eq!(ft, back);
+    }
+
+    #[test]
+    fn serde_round_trip_with_unlimited_terms() {
+        // JSON has no infinity; unlimited limits round-trip through `null`.
+        let t = LayerTerms::per_occurrence(10.0, f64::INFINITY).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("null"));
+        let back: LayerTerms = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        let ft = FinancialTerms::pass_through();
+        let back: FinancialTerms =
+            serde_json::from_str(&serde_json::to_string(&ft).unwrap()).unwrap();
+        assert_eq!(ft, back);
+    }
+}

@@ -1,0 +1,368 @@
+//! Reinsurance treaty structures and their lowering onto layer terms.
+//!
+//! The paper's introduction motivates three contract families:
+//!
+//! * **Cat XL / Per-Occurrence XL** — coverage for single event occurrences
+//!   up to a limit with an optional retention;
+//! * **Aggregate XL (stop-loss)** — coverage for the annual cumulative loss
+//!   up to an aggregate limit with an optional aggregate retention;
+//! * **combinations** of the two, which is what the generic
+//!   `T = (OccR, OccL, AggR, AggL)` layer terms express.
+//!
+//! This module adds the treaty vocabulary on top of [`LayerTerms`]:
+//! proportional treaties (quota share and surplus), reinstatement
+//! provisions, and the lowering of each treaty to the layer terms consumed
+//! by the engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::terms::LayerTerms;
+use crate::{Result, TermsError};
+
+/// A reinstatement provision on a per-occurrence treaty: after the layer
+/// limit is exhausted it is restored (`count` times), usually against an
+/// additional premium expressed as a percentage of the original premium.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reinstatements {
+    /// Number of reinstatements (0 = none).
+    pub count: u32,
+    /// Premium for each reinstatement as a fraction of the original premium
+    /// (e.g. 1.0 = "one at 100%").
+    pub premium_pct: f64,
+}
+
+impl Reinstatements {
+    /// No reinstatements.
+    pub fn none() -> Self {
+        Self { count: 0, premium_pct: 0.0 }
+    }
+
+    /// Builds a validated reinstatement provision.
+    pub fn new(count: u32, premium_pct: f64) -> Result<Self> {
+        if !(premium_pct.is_finite() && premium_pct >= 0.0) {
+            return Err(TermsError::InvalidParameter { field: "premium_pct", value: premium_pct });
+        }
+        Ok(Self { count, premium_pct })
+    }
+
+    /// Total annual capacity of a per-occurrence layer with this provision:
+    /// the occurrence limit is available `count + 1` times.
+    pub fn annual_capacity(&self, occurrence_limit: f64) -> f64 {
+        occurrence_limit * f64::from(self.count + 1)
+    }
+}
+
+/// A reinsurance treaty.
+///
+/// Every variant can be lowered to [`LayerTerms`] via [`Treaty::layer_terms`];
+/// proportional treaties additionally expose a cession share that the engine
+/// applies through the ELT financial terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Treaty {
+    /// Catastrophe excess-of-loss: `limit` xs `retention` per occurrence,
+    /// with optional reinstatements.
+    CatXl {
+        /// Occurrence retention (attachment point).
+        retention: f64,
+        /// Occurrence limit.
+        limit: f64,
+        /// Reinstatement provision.
+        reinstatements: Reinstatements,
+    },
+    /// Aggregate excess-of-loss (stop loss): `limit` xs `retention` on the
+    /// annual aggregate loss.
+    AggregateXl {
+        /// Aggregate retention.
+        retention: f64,
+        /// Aggregate limit.
+        limit: f64,
+    },
+    /// Per-occurrence and aggregate terms combined in one contract.
+    Combined {
+        /// Occurrence retention.
+        occ_retention: f64,
+        /// Occurrence limit.
+        occ_limit: f64,
+        /// Aggregate retention.
+        agg_retention: f64,
+        /// Aggregate limit.
+        agg_limit: f64,
+    },
+    /// Quota share: the reinsurer takes `cession` of every loss, optionally
+    /// capped per event.
+    QuotaShare {
+        /// Ceded proportion in `[0, 1]`.
+        cession: f64,
+        /// Optional per-event cap on the ceded loss (`f64::INFINITY` = none).
+        event_limit: f64,
+    },
+    /// Surplus share: cession derived from how far the insured value exceeds
+    /// the cedant's retained line.
+    Surplus {
+        /// Value of one line (the cedant's retention per risk).
+        retained_line: f64,
+        /// Maximum number of lines ceded.
+        lines: f64,
+        /// Representative insured value used to derive the effective cession.
+        insured_value: f64,
+    },
+}
+
+impl Treaty {
+    /// A conventional working-layer Cat XL treaty without reinstatements.
+    pub fn cat_xl(retention: f64, limit: f64) -> Self {
+        Treaty::CatXl { retention, limit, reinstatements: Reinstatements::none() }
+    }
+
+    /// Validates the treaty's numeric parameters.
+    pub fn validate(&self) -> Result<()> {
+        let check = |field: &'static str, v: f64, allow_inf: bool| -> Result<()> {
+            let ok = !v.is_nan() && v >= 0.0 && (allow_inf || v.is_finite());
+            if ok {
+                Ok(())
+            } else {
+                Err(TermsError::InvalidParameter { field, value: v })
+            }
+        };
+        match *self {
+            Treaty::CatXl { retention, limit, reinstatements } => {
+                check("retention", retention, false)?;
+                check("limit", limit, true)?;
+                check("premium_pct", reinstatements.premium_pct, false)
+            }
+            Treaty::AggregateXl { retention, limit } => {
+                check("retention", retention, false)?;
+                check("limit", limit, true)
+            }
+            Treaty::Combined { occ_retention, occ_limit, agg_retention, agg_limit } => {
+                check("occ_retention", occ_retention, false)?;
+                check("occ_limit", occ_limit, true)?;
+                check("agg_retention", agg_retention, false)?;
+                check("agg_limit", agg_limit, true)
+            }
+            Treaty::QuotaShare { cession, event_limit } => {
+                if !(0.0..=1.0).contains(&cession) {
+                    return Err(TermsError::InvalidParameter { field: "cession", value: cession });
+                }
+                check("event_limit", event_limit, true)
+            }
+            Treaty::Surplus { retained_line, lines, insured_value } => {
+                if !(retained_line.is_finite() && retained_line > 0.0) {
+                    return Err(TermsError::InvalidParameter { field: "retained_line", value: retained_line });
+                }
+                check("lines", lines, false)?;
+                check("insured_value", insured_value, false)
+            }
+        }
+    }
+
+    /// The proportional share this treaty cedes to the reinsurer (1.0 for
+    /// non-proportional treaties).
+    pub fn cession_share(&self) -> f64 {
+        match *self {
+            Treaty::QuotaShare { cession, .. } => cession,
+            Treaty::Surplus { retained_line, lines, insured_value } => {
+                if insured_value <= retained_line {
+                    0.0
+                } else {
+                    let surplus = (insured_value - retained_line).min(retained_line * lines);
+                    surplus / insured_value
+                }
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Lowers the treaty onto the layer terms `T` consumed by the engine.
+    ///
+    /// Reinstatements extend the annual capacity of a Cat XL layer: the
+    /// aggregate limit becomes `(count + 1) × occurrence limit`.
+    pub fn layer_terms(&self) -> LayerTerms {
+        match *self {
+            Treaty::CatXl { retention, limit, reinstatements } => LayerTerms {
+                occ_retention: retention,
+                occ_limit: limit,
+                agg_retention: 0.0,
+                agg_limit: if limit.is_finite() {
+                    reinstatements.annual_capacity(limit)
+                } else {
+                    f64::INFINITY
+                },
+            },
+            Treaty::AggregateXl { retention, limit } => LayerTerms {
+                occ_retention: 0.0,
+                occ_limit: f64::INFINITY,
+                agg_retention: retention,
+                agg_limit: limit,
+            },
+            Treaty::Combined { occ_retention, occ_limit, agg_retention, agg_limit } => LayerTerms {
+                occ_retention,
+                occ_limit,
+                agg_retention,
+                agg_limit,
+            },
+            Treaty::QuotaShare { event_limit, .. } => LayerTerms {
+                occ_retention: 0.0,
+                occ_limit: event_limit,
+                agg_retention: 0.0,
+                agg_limit: f64::INFINITY,
+            },
+            Treaty::Surplus { .. } => LayerTerms::unlimited(),
+        }
+    }
+
+    /// Human-readable description, e.g. `"40M xs 10M Cat XL, 1 reinstatement"`.
+    pub fn describe(&self) -> String {
+        fn millions(v: f64) -> String {
+            if v.is_infinite() {
+                "Unlimited".to_string()
+            } else if v >= 1.0e6 {
+                format!("{:.0}M", v / 1.0e6)
+            } else {
+                format!("{v:.0}")
+            }
+        }
+        match *self {
+            Treaty::CatXl { retention, limit, reinstatements } => {
+                let r = if reinstatements.count > 0 {
+                    format!(", {} reinstatement(s)", reinstatements.count)
+                } else {
+                    String::new()
+                };
+                format!("{} xs {} Cat XL{}", millions(limit), millions(retention), r)
+            }
+            Treaty::AggregateXl { retention, limit } => {
+                format!("{} xs {} Aggregate XL", millions(limit), millions(retention))
+            }
+            Treaty::Combined { occ_retention, occ_limit, agg_retention, agg_limit } => format!(
+                "{} xs {} per occurrence / {} xs {} aggregate",
+                millions(occ_limit),
+                millions(occ_retention),
+                millions(agg_limit),
+                millions(agg_retention)
+            ),
+            Treaty::QuotaShare { cession, .. } => format!("{:.0}% quota share", cession * 100.0),
+            Treaty::Surplus { lines, .. } => format!("{lines:.0}-line surplus share"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_xl_lowering() {
+        let t = Treaty::cat_xl(10.0e6, 40.0e6);
+        t.validate().unwrap();
+        let lt = t.layer_terms();
+        assert_eq!(lt.occ_retention, 10.0e6);
+        assert_eq!(lt.occ_limit, 40.0e6);
+        assert_eq!(lt.agg_retention, 0.0);
+        assert_eq!(lt.agg_limit, 40.0e6, "no reinstatements: one limit per year");
+        assert_eq!(t.cession_share(), 1.0);
+        assert!(t.describe().contains("Cat XL"));
+    }
+
+    #[test]
+    fn cat_xl_with_reinstatements_extends_capacity() {
+        let t = Treaty::CatXl {
+            retention: 10.0e6,
+            limit: 40.0e6,
+            reinstatements: Reinstatements::new(2, 1.0).unwrap(),
+        };
+        let lt = t.layer_terms();
+        assert_eq!(lt.agg_limit, 120.0e6);
+        assert!(t.describe().contains("2 reinstatement"));
+    }
+
+    #[test]
+    fn aggregate_xl_lowering() {
+        let t = Treaty::AggregateXl { retention: 50.0e6, limit: 100.0e6 };
+        t.validate().unwrap();
+        let lt = t.layer_terms();
+        assert!(lt.occ_limit.is_infinite());
+        assert_eq!(lt.agg_retention, 50.0e6);
+        assert_eq!(lt.agg_limit, 100.0e6);
+    }
+
+    #[test]
+    fn combined_lowering_is_identity_on_fields() {
+        let t = Treaty::Combined {
+            occ_retention: 1.0,
+            occ_limit: 2.0,
+            agg_retention: 3.0,
+            agg_limit: 4.0,
+        };
+        assert_eq!(
+            t.layer_terms(),
+            LayerTerms { occ_retention: 1.0, occ_limit: 2.0, agg_retention: 3.0, agg_limit: 4.0 }
+        );
+    }
+
+    #[test]
+    fn quota_share_cession() {
+        let t = Treaty::QuotaShare { cession: 0.3, event_limit: f64::INFINITY };
+        t.validate().unwrap();
+        assert_eq!(t.cession_share(), 0.3);
+        assert!(t.layer_terms().is_unlimited());
+        assert!(Treaty::QuotaShare { cession: 1.3, event_limit: 1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn surplus_cession_share() {
+        // Retained line 1M, 4 lines, insured value 3M: surplus = 2M, share = 2/3.
+        let t = Treaty::Surplus { retained_line: 1.0e6, lines: 4.0, insured_value: 3.0e6 };
+        t.validate().unwrap();
+        assert!((t.cession_share() - 2.0 / 3.0).abs() < 1e-12);
+        // Value below the retained line cedes nothing.
+        let t = Treaty::Surplus { retained_line: 1.0e6, lines: 4.0, insured_value: 0.5e6 };
+        assert_eq!(t.cession_share(), 0.0);
+        // Value far above the capacity is capped at lines × line.
+        let t = Treaty::Surplus { retained_line: 1.0e6, lines: 2.0, insured_value: 10.0e6 };
+        assert!((t.cession_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(Treaty::cat_xl(-1.0, 10.0).validate().is_err());
+        assert!(Treaty::AggregateXl { retention: 0.0, limit: f64::NAN }.validate().is_err());
+        assert!(Treaty::Surplus { retained_line: 0.0, lines: 2.0, insured_value: 1.0 }
+            .validate()
+            .is_err());
+        assert!(Treaty::CatXl {
+            retention: 1.0,
+            limit: 2.0,
+            reinstatements: Reinstatements { count: 1, premium_pct: f64::NAN },
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn reinstatements_capacity() {
+        assert_eq!(Reinstatements::none().annual_capacity(10.0), 10.0);
+        assert_eq!(Reinstatements::new(3, 1.0).unwrap().annual_capacity(10.0), 40.0);
+        assert!(Reinstatements::new(1, -0.5).is_err());
+    }
+
+    #[test]
+    fn describe_formats_magnitudes() {
+        assert_eq!(Treaty::cat_xl(10.0e6, 40.0e6).describe(), "40M xs 10M Cat XL");
+        assert!(Treaty::AggregateXl { retention: 0.0, limit: f64::INFINITY }
+            .describe()
+            .contains("Unlimited"));
+        assert_eq!(
+            Treaty::QuotaShare { cession: 0.25, event_limit: f64::INFINITY }.describe(),
+            "25% quota share"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Treaty::Combined { occ_retention: 1.0, occ_limit: 2.0, agg_retention: 3.0, agg_limit: 4.0 };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Treaty = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

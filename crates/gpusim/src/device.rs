@@ -1,0 +1,184 @@
+//! Device specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated many-core device.
+///
+/// The defaults model the NVIDIA Tesla C2075 used in the paper's evaluation:
+/// 448 CUDA cores organised as 14 streaming multiprocessors of 32 lanes,
+/// 5.375 GB of global memory, 48 KB of shared memory and 64 KB of constant
+/// memory per SM, and Fermi-generation occupancy limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name of the device.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Scalar lanes (CUDA cores) per SM.
+    pub lanes_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Usable global memory in bytes.
+    pub global_mem_bytes: u64,
+    /// Latency of an uncached global memory access, in cycles.
+    pub global_latency_cycles: f64,
+    /// Peak global memory bandwidth in GB/s.
+    pub global_bandwidth_gbps: f64,
+    /// Size of a global memory transaction in bytes (the granularity at
+    /// which random accesses consume bandwidth).
+    pub transaction_bytes: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Constant memory in bytes.
+    pub constant_mem_bytes: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum outstanding global-memory requests per SM that can be used to
+    /// hide latency (memory-level parallelism across the SM's resident
+    /// threads).
+    pub max_outstanding_requests: u32,
+    /// Fixed scheduling overhead per launched block, in cycles.
+    pub block_overhead_cycles: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA Tesla C2075 (Fermi) used in the paper's evaluation.
+    pub fn tesla_c2075() -> Self {
+        Self {
+            name: "Tesla C2075 (simulated)".to_string(),
+            num_sms: 14,
+            lanes_per_sm: 32,
+            warp_size: 32,
+            clock_ghz: 1.15,
+            global_mem_bytes: 5_375 * 1024 * 1024,
+            global_latency_cycles: 600.0,
+            global_bandwidth_gbps: 144.0,
+            transaction_bytes: 128,
+            shared_mem_per_sm: 48 * 1024,
+            constant_mem_bytes: 64 * 1024,
+            max_threads_per_sm: 1_536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1_024,
+            max_outstanding_requests: 2_048,
+            block_overhead_cycles: 2_000.0,
+        }
+    }
+
+    /// A smaller embedded-class device used by tests that need low limits.
+    pub fn small_test_device() -> Self {
+        Self {
+            name: "test device".to_string(),
+            num_sms: 2,
+            lanes_per_sm: 8,
+            warp_size: 8,
+            clock_ghz: 1.0,
+            global_mem_bytes: 64 * 1024 * 1024,
+            global_latency_cycles: 100.0,
+            global_bandwidth_gbps: 10.0,
+            transaction_bytes: 32,
+            shared_mem_per_sm: 4 * 1024,
+            constant_mem_bytes: 4 * 1024,
+            max_threads_per_sm: 128,
+            max_blocks_per_sm: 4,
+            max_threads_per_block: 64,
+            max_outstanding_requests: 64,
+            block_overhead_cycles: 100.0,
+        }
+    }
+
+    /// Total scalar lanes across the device.
+    pub fn total_lanes(&self) -> u32 {
+        self.num_sms * self.lanes_per_sm
+    }
+
+    /// Cycles per second.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1.0e9
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> crate::Result<()> {
+        let positive = [
+            ("num_sms", f64::from(self.num_sms)),
+            ("lanes_per_sm", f64::from(self.lanes_per_sm)),
+            ("warp_size", f64::from(self.warp_size)),
+            ("clock_ghz", self.clock_ghz),
+            ("global_latency_cycles", self.global_latency_cycles),
+            ("global_bandwidth_gbps", self.global_bandwidth_gbps),
+            ("transaction_bytes", f64::from(self.transaction_bytes)),
+            ("max_threads_per_sm", f64::from(self.max_threads_per_sm)),
+            ("max_blocks_per_sm", f64::from(self.max_blocks_per_sm)),
+            ("max_threads_per_block", f64::from(self.max_threads_per_block)),
+            ("max_outstanding_requests", f64::from(self.max_outstanding_requests)),
+        ];
+        for (field, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(crate::GpuError::InvalidLaunch(format!(
+                    "device field {field} must be positive, got {value}"
+                )));
+            }
+        }
+        if self.max_threads_per_block > self.max_threads_per_sm {
+            return Err(crate::GpuError::InvalidLaunch(
+                "max_threads_per_block cannot exceed max_threads_per_sm".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::tesla_c2075()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tesla_preset_matches_paper_hardware() {
+        let d = DeviceSpec::tesla_c2075();
+        d.validate().unwrap();
+        assert_eq!(d.total_lanes(), 448, "448 processor cores");
+        assert_eq!(d.num_sms, 14, "14 streaming multiprocessors");
+        assert_eq!(d.lanes_per_sm, 32, "32 symmetric multiprocessors each");
+        assert!(d.global_mem_bytes >= 5 * 1024 * 1024 * 1024, "5.375 GB global memory");
+        assert_eq!(d.shared_mem_per_sm, 48 * 1024);
+        assert_eq!(d.constant_mem_bytes, 64 * 1024);
+        assert!((d.clock_hz() - 1.15e9).abs() < 1.0);
+        assert_eq!(DeviceSpec::default(), d);
+    }
+
+    #[test]
+    fn small_device_valid() {
+        DeviceSpec::small_test_device().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut d = DeviceSpec::tesla_c2075();
+        d.clock_ghz = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_c2075();
+        d.max_threads_per_block = d.max_threads_per_sm + 1;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_c2075();
+        d.global_latency_cycles = f64::NAN;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = DeviceSpec::tesla_c2075();
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<DeviceSpec>(&json).unwrap(), d);
+    }
+}

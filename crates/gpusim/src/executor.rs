@@ -1,0 +1,250 @@
+//! The kernel executor: functional execution plus cost accounting.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::kernel::{Kernel, LaunchConfig, ThreadTracker};
+use crate::memory::MemoryCounters;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::timing::{simulate_time, TimingBreakdown};
+use crate::{GpuError, Result};
+
+/// The result of launching a kernel on the simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchResult {
+    /// Name of the kernel.
+    pub kernel: String,
+    /// The launch configuration used.
+    pub config: LaunchConfig,
+    /// Number of blocks launched.
+    pub blocks: usize,
+    /// Occupancy achieved on each SM.
+    pub occupancy: Occupancy,
+    /// Aggregated memory and compute counters.
+    pub counters: MemoryCounters,
+    /// Simulated execution time.
+    pub timing: TimingBreakdown,
+}
+
+impl LaunchResult {
+    /// Simulated execution time in seconds.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.timing.total_seconds
+    }
+}
+
+/// Executes kernels against a device specification.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    device: DeviceSpec,
+    /// Host-side parallelism used to *run* the simulation (does not affect
+    /// the simulated timing).
+    host_threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor for the given device.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self { device, host_threads: 0 }
+    }
+
+    /// Creates an executor for the paper's Tesla C2075.
+    pub fn tesla_c2075() -> Self {
+        Self::new(DeviceSpec::tesla_c2075())
+    }
+
+    /// Limits the host-side threads used to run the simulation.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads;
+        self
+    }
+
+    /// The device this executor simulates.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Validates a launch configuration against the device limits.
+    pub fn validate_launch<K: Kernel>(&self, kernel: &K, config: &LaunchConfig) -> Result<()> {
+        self.device.validate()?;
+        if config.threads_per_block == 0 {
+            return Err(GpuError::InvalidLaunch("threads_per_block must be positive".into()));
+        }
+        if config.threads_per_block > self.device.max_threads_per_block {
+            return Err(GpuError::InvalidLaunch(format!(
+                "threads_per_block {} exceeds the device limit {}",
+                config.threads_per_block, self.device.max_threads_per_block
+            )));
+        }
+        if config.threads_per_block % self.device.warp_size != 0 {
+            return Err(GpuError::InvalidLaunch(format!(
+                "threads_per_block {} must be a multiple of the warp size {}",
+                config.threads_per_block, self.device.warp_size
+            )));
+        }
+        if kernel.total_threads() == 0 {
+            return Err(GpuError::InvalidLaunch("kernel has no threads to launch".into()));
+        }
+        Ok(())
+    }
+
+    /// Launches a kernel: executes every logical thread (on the host, in
+    /// parallel), aggregates its memory counters, and computes the simulated
+    /// execution time.
+    pub fn launch<K: Kernel>(&self, kernel: &K, config: LaunchConfig) -> Result<LaunchResult> {
+        self.validate_launch(kernel, &config)?;
+        let total_threads = kernel.total_threads();
+        let tpb = config.threads_per_block as usize;
+        let blocks = config.blocks_for(total_threads);
+        let shared_per_block = kernel.shared_mem_per_block(config.threads_per_block);
+        let occ = occupancy(&self.device, config.threads_per_block, shared_per_block);
+
+        // Execute block by block on the host.  Blocks are independent, so we
+        // parallelise over them for host speed; this has no effect on the
+        // simulated timing.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.host_threads)
+            .build()
+            .expect("host thread pool");
+        let mut counters: MemoryCounters = pool.install(|| {
+            (0..blocks)
+                .into_par_iter()
+                .map(|block_id| {
+                    let mut block_counters = MemoryCounters::new();
+                    let start = block_id * tpb;
+                    let end = (start + tpb).min(total_threads);
+                    for thread_id in start..end {
+                        let mut tracker =
+                            ThreadTracker::new(thread_id, block_id, (thread_id - start) as u32);
+                        kernel.execute_thread(&mut tracker);
+                        block_counters.merge(&tracker.counters);
+                    }
+                    block_counters
+                })
+                .reduce(MemoryCounters::new, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        });
+
+        // Shared-memory requests beyond the per-SM budget spill to global
+        // memory (the paper's explanation of the chunk-size cliff).
+        if occ.shared_overflow_fraction > 0.0 {
+            counters.spill_shared(occ.shared_overflow_fraction);
+        }
+
+        let timing = simulate_time(&self.device, &counters, &occ, blocks, kernel.memory_parallelism());
+        Ok(LaunchResult {
+            kernel: kernel.name().to_string(),
+            config,
+            blocks,
+            occupancy: occ,
+            counters,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A toy kernel: each thread performs a fixed amount of traffic and adds
+    /// its id into a shared accumulator so tests can verify every thread ran.
+    struct ToyKernel {
+        threads: usize,
+        sum: AtomicU64,
+        shared_per_thread: u32,
+    }
+
+    impl ToyKernel {
+        fn new(threads: usize, shared_per_thread: u32) -> Self {
+            Self { threads, sum: AtomicU64::new(0), shared_per_thread }
+        }
+    }
+
+    impl Kernel for ToyKernel {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn total_threads(&self) -> usize {
+            self.threads
+        }
+
+        fn shared_mem_per_block(&self, threads_per_block: u32) -> u32 {
+            threads_per_block * self.shared_per_thread
+        }
+
+        fn execute_thread(&self, tracker: &mut ThreadTracker) {
+            self.sum.fetch_add(tracker.thread_id as u64, Ordering::Relaxed);
+            tracker.global_read(8);
+            tracker.global_write(8);
+            tracker.shared_access(8);
+            tracker.constant_access();
+            tracker.compute(4);
+        }
+    }
+
+    #[test]
+    fn launch_executes_every_thread_and_counts_traffic() {
+        let executor = Executor::tesla_c2075().with_host_threads(2);
+        let kernel = ToyKernel::new(1_000, 0);
+        let result = executor.launch(&kernel, LaunchConfig::with_block_size(256)).unwrap();
+        assert_eq!(kernel.sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        assert_eq!(result.blocks, 4);
+        assert_eq!(result.counters.global_reads, 1_000);
+        assert_eq!(result.counters.global_writes, 1_000);
+        assert_eq!(result.counters.shared_accesses, 1_000);
+        assert_eq!(result.counters.constant_accesses, 1_000);
+        assert_eq!(result.counters.compute_ops, 4_000);
+        assert!(result.simulated_seconds() > 0.0);
+        assert_eq!(result.kernel, "toy");
+        assert_eq!(result.occupancy.shared_overflow_fraction, 0.0);
+    }
+
+    #[test]
+    fn oversized_shared_request_spills_traffic() {
+        let executor = Executor::tesla_c2075();
+        // 1 KB of shared memory per thread: a 64-thread block wants 64 KB,
+        // more than the 48 KB budget.
+        let kernel = ToyKernel::new(640, 1024);
+        let result = executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+        assert!(result.occupancy.shared_overflow_fraction > 0.0);
+        assert!(result.counters.spilled_accesses > 0);
+        // The spilled portion of the toy kernel's shared accesses migrated
+        // into global accesses.
+        assert!(result.counters.global_accesses() > 2 * 640 - 10);
+    }
+
+    #[test]
+    fn launch_validation() {
+        let executor = Executor::tesla_c2075();
+        let kernel = ToyKernel::new(100, 0);
+        assert!(executor.launch(&kernel, LaunchConfig::with_block_size(0)).is_err());
+        assert!(executor.launch(&kernel, LaunchConfig::with_block_size(100)).is_err(), "not a warp multiple");
+        assert!(executor.launch(&kernel, LaunchConfig::with_block_size(2048)).is_err(), "exceeds device limit");
+        let empty = ToyKernel::new(0, 0);
+        assert!(executor.launch(&empty, LaunchConfig::with_block_size(256)).is_err());
+    }
+
+    #[test]
+    fn higher_occupancy_launch_is_not_slower() {
+        let executor = Executor::tesla_c2075();
+        let kernel = ToyKernel::new(100_000, 0);
+        let narrow = executor.launch(&kernel, LaunchConfig::with_block_size(128)).unwrap();
+        let wide = executor.launch(&kernel, LaunchConfig::with_block_size(256)).unwrap();
+        assert!(wide.simulated_seconds() <= narrow.simulated_seconds() * 1.001);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let executor = Executor::tesla_c2075();
+        let kernel = ToyKernel::new(64, 0);
+        let result = executor.launch(&kernel, LaunchConfig::with_block_size(32)).unwrap();
+        let json = serde_json::to_string(&result).unwrap();
+        assert_eq!(serde_json::from_str::<LaunchResult>(&json).unwrap(), result);
+    }
+}

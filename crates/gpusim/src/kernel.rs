@@ -1,0 +1,146 @@
+//! Kernel and launch abstractions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::MemoryCounters;
+
+/// A kernel launch configuration: the CUDA `<<<grid, block, shared>>>`
+/// triple of the paper's implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// A launch with the given block size.
+    pub fn with_block_size(threads_per_block: u32) -> Self {
+        Self { threads_per_block }
+    }
+
+    /// Number of blocks needed to cover `total_threads` logical threads.
+    pub fn blocks_for(&self, total_threads: usize) -> usize {
+        total_threads.div_ceil(self.threads_per_block as usize)
+    }
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        // The paper finds 256 threads per block to be the sweet spot for the
+        // basic kernel (Fig. 4).
+        Self { threads_per_block: 256 }
+    }
+}
+
+/// Per-thread execution context handed to a kernel: identifies the thread
+/// and records its memory traffic.
+#[derive(Debug)]
+pub struct ThreadTracker {
+    /// Global (linear) thread index.
+    pub thread_id: usize,
+    /// Block index this thread belongs to.
+    pub block_id: usize,
+    /// Thread index within its block.
+    pub lane_id: u32,
+    /// Memory and compute counters for this thread.
+    pub counters: MemoryCounters,
+}
+
+impl ThreadTracker {
+    /// Creates a tracker for one simulated thread.
+    pub fn new(thread_id: usize, block_id: usize, lane_id: u32) -> Self {
+        Self { thread_id, block_id, lane_id, counters: MemoryCounters::new() }
+    }
+
+    /// Records a global read of `bytes` bytes.
+    #[inline]
+    pub fn global_read(&mut self, bytes: u64) {
+        self.counters.global_read(bytes);
+    }
+
+    /// Records a global write of `bytes` bytes.
+    #[inline]
+    pub fn global_write(&mut self, bytes: u64) {
+        self.counters.global_write(bytes);
+    }
+
+    /// Records a shared-memory access of `bytes` bytes.
+    #[inline]
+    pub fn shared_access(&mut self, bytes: u64) {
+        self.counters.shared_access(bytes);
+    }
+
+    /// Records a constant-memory access.
+    #[inline]
+    pub fn constant_access(&mut self) {
+        self.counters.constant_access();
+    }
+
+    /// Records `ops` arithmetic operations.
+    #[inline]
+    pub fn compute(&mut self, ops: u64) {
+        self.counters.compute(ops);
+    }
+}
+
+/// A kernel that can run on the simulated device.
+///
+/// The executor calls [`Kernel::execute_thread`] once per logical thread; a
+/// kernel is expected to perform its *real* computation there (storing
+/// results through interior mutability or by returning them via
+/// [`Kernel::output`]-style accessors defined on the concrete type) while
+/// reporting its memory behaviour through the [`ThreadTracker`].
+pub trait Kernel: Sync {
+    /// Human-readable kernel name (for reports).
+    fn name(&self) -> &str;
+
+    /// Total number of logical threads the kernel needs (the paper launches
+    /// one thread per trial).
+    fn total_threads(&self) -> usize;
+
+    /// Shared memory requested per block for a given block size, in bytes.
+    fn shared_mem_per_block(&self, threads_per_block: u32) -> u32;
+
+    /// Average number of independent global loads each thread keeps in
+    /// flight (memory-level parallelism).  1.0 for kernels whose global
+    /// accesses are serialised by read-modify-write dependences; the chunked
+    /// kernel exposes roughly one in-flight load per staged chunk element.
+    fn memory_parallelism(&self) -> f64 {
+        1.0
+    }
+
+    /// Executes one logical thread.
+    fn execute_thread(&self, tracker: &mut ThreadTracker);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_config_block_count() {
+        let cfg = LaunchConfig::with_block_size(256);
+        assert_eq!(cfg.blocks_for(1_000_000), 3_907, "paper: ~3906 blocks for 1M trials");
+        assert_eq!(cfg.blocks_for(256), 1);
+        assert_eq!(cfg.blocks_for(257), 2);
+        assert_eq!(cfg.blocks_for(0), 0);
+        assert_eq!(LaunchConfig::default().threads_per_block, 256);
+    }
+
+    #[test]
+    fn tracker_records_traffic() {
+        let mut t = ThreadTracker::new(10, 0, 10);
+        t.global_read(8);
+        t.global_write(8);
+        t.shared_access(8);
+        t.constant_access();
+        t.compute(3);
+        assert_eq!(t.counters.global_accesses(), 2);
+        assert_eq!(t.counters.shared_accesses, 1);
+        assert_eq!(t.counters.constant_accesses, 1);
+        assert_eq!(t.counters.compute_ops, 3);
+        assert_eq!(t.thread_id, 10);
+        assert_eq!(t.lane_id, 10);
+        assert_eq!(t.block_id, 0);
+    }
+}

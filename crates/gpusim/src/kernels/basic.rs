@@ -1,0 +1,177 @@
+//! The basic aggregate-analysis kernel: all intermediates in global memory.
+
+use std::sync::OnceLock;
+
+use catrisk_engine::input::{AnalysisInput, PreparedElt};
+use catrisk_engine::steps;
+use catrisk_engine::ylt::TrialOutcome;
+use catrisk_finterms::terms::LayerTerms;
+
+use crate::kernel::{Kernel, ThreadTracker};
+
+/// The paper's basic GPU implementation of the aggregate analysis for one
+/// layer: one thread per trial, every data structure (the YET, the direct
+/// access tables, and the intermediate per-occurrence loss vectors `lx_d`
+/// and `lox_d`) resident in global memory.
+///
+/// "In the basic implementation, `lx_d` and `lox_d` are represented in the
+/// global memory and therefore, in each step while applying the financial
+/// and layer terms the global memory has to be accessed and updated adding
+/// considerable overhead" (paper §III.B.2).
+pub struct BasicAreKernel<'a> {
+    input: &'a AnalysisInput,
+    elts: Vec<&'a PreparedElt>,
+    terms: LayerTerms,
+    outcomes: Vec<OnceLock<TrialOutcome>>,
+}
+
+impl<'a> BasicAreKernel<'a> {
+    /// Creates the kernel for one layer of the analysis.
+    pub fn new(input: &'a AnalysisInput, layer_index: usize) -> Self {
+        let layer = &input.layers()[layer_index];
+        let elts = input.layer_elts(layer);
+        let outcomes = (0..input.num_trials()).map(|_| OnceLock::new()).collect();
+        Self { input, elts, terms: layer.terms, outcomes }
+    }
+
+    /// Extracts the per-trial outcomes after the launch.
+    pub fn into_outcomes(self) -> Vec<TrialOutcome> {
+        self.outcomes
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_default())
+            .collect()
+    }
+}
+
+impl Kernel for BasicAreKernel<'_> {
+    fn name(&self) -> &str {
+        "are-basic"
+    }
+
+    fn total_threads(&self) -> usize {
+        self.input.num_trials()
+    }
+
+    fn shared_mem_per_block(&self, _threads_per_block: u32) -> u32 {
+        // The basic kernel does not use shared memory.
+        0
+    }
+
+    fn memory_parallelism(&self) -> f64 {
+        // Every intermediate update is a read-modify-write on global memory,
+        // serialising the thread's memory operations.
+        1.0
+    }
+
+    fn execute_thread(&self, tracker: &mut ThreadTracker) {
+        let trial_index = tracker.thread_id;
+        let trial = self.input.yet().trial(trial_index).occurrences;
+        let k = trial.len() as u64;
+        let m = self.elts.len() as u64;
+
+        // --- Functional execution (identical arithmetic to the CPU engines).
+        let mut scratch = Vec::new();
+        let outcome = steps::trial_outcome(&self.elts, &self.terms, trial, &mut scratch);
+        self.outcomes[trial_index]
+            .set(outcome)
+            .expect("each trial is executed exactly once");
+
+        // --- Memory accounting.
+        // Trial boundaries.
+        tracker.global_read(16);
+        // Event fetch: the trial's (event, time) pairs, read once; the L1
+        // cache serves the re-reads of later passes.
+        for _ in 0..k {
+            tracker.global_read(8);
+        }
+        // Lookup + financial-term pass per ELT: one random lookup per
+        // (event, ELT) plus a read-modify-write of the global `lox_d`
+        // accumulator.
+        for _ in 0..(k * m) {
+            tracker.global_read(8); // direct access table lookup
+            tracker.global_read(8); // lox_d read
+            tracker.global_write(8); // lox_d write
+            tracker.compute(6);
+        }
+        // Layer-term passes over `lox_d` in global memory: occurrence terms,
+        // cumulative sum, aggregate terms, differencing, final sum.
+        for _ in 0..(5 * k) {
+            tracker.global_read(8);
+            tracker.compute(3);
+        }
+        for _ in 0..(4 * k) {
+            tracker.global_write(8);
+        }
+        // Layer terms live in global memory for the basic kernel.
+        tracker.global_read(32);
+        // Result write.
+        tracker.global_write(8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::kernel::LaunchConfig;
+    use catrisk_engine::input::AnalysisInputBuilder;
+    use catrisk_engine::sequential::SequentialEngine;
+    use catrisk_finterms::terms::FinancialTerms;
+
+    fn input() -> AnalysisInput {
+        let mut b = AnalysisInputBuilder::new();
+        b.set_yet_from_trials(
+            100,
+            vec![
+                vec![(1, 10.0), (3, 40.0), (7, 100.0)],
+                vec![(2, 5.0)],
+                vec![],
+                vec![(1, 1.0), (3, 3.0), (9, 4.0)],
+            ],
+        );
+        let a = b.add_elt(&[(1, 100.0), (3, 400.0), (9, 30.0)], FinancialTerms::pass_through());
+        let c = b.add_elt(&[(2, 75.0), (7, 900.0)], FinancialTerms::pass_through());
+        b.add_layer_over(&[a, c], LayerTerms::per_occurrence(50.0, 500.0).unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn kernel_matches_cpu_engine() {
+        let input = input();
+        let reference = SequentialEngine::new().run(&input);
+        let kernel = BasicAreKernel::new(&input, 0);
+        let executor = Executor::tesla_c2075();
+        executor.launch(&kernel, LaunchConfig::with_block_size(32)).unwrap();
+        let outcomes = kernel.into_outcomes();
+        assert_eq!(outcomes.len(), 4);
+        for (a, b) in outcomes.iter().zip(reference.layer(0).outcomes()) {
+            assert_eq!(a.year_loss, b.year_loss);
+            assert_eq!(a.max_occurrence_loss, b.max_occurrence_loss);
+        }
+    }
+
+    #[test]
+    fn traffic_scales_with_events_and_elts() {
+        let input = input();
+        let kernel = BasicAreKernel::new(&input, 0);
+        let executor = Executor::tesla_c2075();
+        let result = executor.launch(&kernel, LaunchConfig::with_block_size(32)).unwrap();
+        // 7 events total, 2 ELTs: at least k*m*3 = 42 global accesses for the
+        // lookup pass alone, plus fetches and layer passes.
+        assert!(result.counters.global_reads > 60, "{}", result.counters.global_reads);
+        assert_eq!(result.counters.shared_accesses, 0, "basic kernel uses no shared memory");
+        assert!(result.counters.compute_ops > 0);
+    }
+
+    #[test]
+    fn empty_trial_default_outcome() {
+        let input = input();
+        let kernel = BasicAreKernel::new(&input, 0);
+        Executor::tesla_c2075()
+            .launch(&kernel, LaunchConfig::with_block_size(32))
+            .unwrap();
+        let outcomes = kernel.into_outcomes();
+        assert_eq!(outcomes[2].year_loss, 0.0);
+        assert_eq!(outcomes[2].nonzero_events, 0);
+    }
+}

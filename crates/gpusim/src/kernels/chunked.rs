@@ -1,0 +1,221 @@
+//! The optimised ("chunked") aggregate-analysis kernel: intermediates staged
+//! through shared memory, terms in constant memory.
+
+use std::sync::OnceLock;
+
+use catrisk_engine::input::{AnalysisInput, PreparedElt};
+use catrisk_engine::steps;
+use catrisk_engine::ylt::TrialOutcome;
+use catrisk_finterms::terms::LayerTerms;
+
+use crate::kernel::{Kernel, ThreadTracker};
+
+/// Shared-memory bytes the kernel stages per thread per chunk element: the
+/// double-buffered `lx_d`/`lox_d` values plus the staged event id and
+/// time-stamp, padded for bank alignment.  With this footprint a 192-thread
+/// block at chunk size 4 uses exactly the Fermi SM's 48 KB — which is why
+/// the paper reports 192 as the maximum thread count for chunk size 4
+/// (Fig. 5b), and why chunk sizes beyond ~12 overflow and spill (Fig. 5a).
+pub const SHARED_BYTES_PER_THREAD_PER_CHUNK_ELEMENT: u32 = 64;
+
+/// The paper's optimised GPU implementation for one layer: one thread per
+/// trial, events processed in fixed-size chunks whose intermediate
+/// per-occurrence losses live in shared memory, with the financial terms `I`
+/// and layer terms `T` read from constant memory.
+pub struct ChunkedAreKernel<'a> {
+    input: &'a AnalysisInput,
+    elts: Vec<&'a PreparedElt>,
+    terms: LayerTerms,
+    chunk_size: usize,
+    outcomes: Vec<OnceLock<TrialOutcome>>,
+}
+
+impl<'a> ChunkedAreKernel<'a> {
+    /// Creates the kernel for one layer with the given chunk size.
+    pub fn new(input: &'a AnalysisInput, layer_index: usize, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let layer = &input.layers()[layer_index];
+        let elts = input.layer_elts(layer);
+        let outcomes = (0..input.num_trials()).map(|_| OnceLock::new()).collect();
+        Self { input, elts, terms: layer.terms, chunk_size, outcomes }
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Extracts the per-trial outcomes after the launch.
+    pub fn into_outcomes(self) -> Vec<TrialOutcome> {
+        self.outcomes
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_default())
+            .collect()
+    }
+}
+
+impl Kernel for ChunkedAreKernel<'_> {
+    fn name(&self) -> &str {
+        "are-chunked"
+    }
+
+    fn total_threads(&self) -> usize {
+        self.input.num_trials()
+    }
+
+    fn shared_mem_per_block(&self, threads_per_block: u32) -> u32 {
+        threads_per_block * self.chunk_size as u32 * SHARED_BYTES_PER_THREAD_PER_CHUNK_ELEMENT
+    }
+
+    fn memory_parallelism(&self) -> f64 {
+        // The lookups of one staged chunk are independent, so a thread keeps
+        // roughly one outstanding load per chunk element.
+        self.chunk_size as f64
+    }
+
+    fn execute_thread(&self, tracker: &mut ThreadTracker) {
+        let trial_index = tracker.thread_id;
+        let trial = self.input.yet().trial(trial_index).occurrences;
+        let k = trial.len() as u64;
+        let m = self.elts.len() as u64;
+        let chunks = (trial.len().div_ceil(self.chunk_size)) as u64;
+
+        // --- Functional execution: the chunked per-trial kernel, identical
+        // results to every other engine.
+        let mut scratch = Vec::new();
+        let outcome = steps::trial_outcome_chunked(
+            &self.elts,
+            &self.terms,
+            trial,
+            self.chunk_size,
+            &mut scratch,
+        );
+        self.outcomes[trial_index]
+            .set(outcome)
+            .expect("each trial is executed exactly once");
+
+        // --- Memory accounting.
+        // Trial boundaries.
+        tracker.global_read(16);
+        // Stage the trial's events chunk by chunk: each event is read from
+        // global memory exactly once and parked in shared memory.
+        for _ in 0..k {
+            tracker.global_read(8);
+            tracker.shared_access(8);
+        }
+        // ELT lookups remain random global reads; the accumulation into the
+        // shared-memory `lox` staging buffer replaces the basic kernel's
+        // global read-modify-write.
+        for _ in 0..(k * m) {
+            tracker.global_read(8);
+            tracker.shared_access(8);
+            tracker.compute(6);
+        }
+        // Financial and layer terms are served from constant memory, read
+        // once per ELT per chunk (broadcast within the block).
+        for _ in 0..(m * chunks) {
+            tracker.constant_access();
+        }
+        tracker.constant_access(); // layer terms
+        // Per-chunk bookkeeping: the running cumulative state is
+        // check-pointed to global memory at each chunk boundary.
+        for _ in 0..chunks {
+            tracker.global_read(8);
+            tracker.global_read(8);
+            tracker.global_write(8);
+            tracker.global_write(8);
+            tracker.compute(4);
+        }
+        // Layer-term passes run over the shared-memory staging buffers.
+        for _ in 0..(6 * k) {
+            tracker.shared_access(8);
+            tracker.compute(3);
+        }
+        // Result write.
+        tracker.global_write(8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::kernel::LaunchConfig;
+    use catrisk_engine::input::AnalysisInputBuilder;
+    use catrisk_engine::sequential::SequentialEngine;
+    use catrisk_finterms::terms::FinancialTerms;
+
+    fn input() -> AnalysisInput {
+        let mut b = AnalysisInputBuilder::new();
+        let trials: Vec<Vec<(u32, f32)>> = (0..64)
+            .map(|t: u32| {
+                (0..(t % 11))
+                    .map(|i| ((t.wrapping_mul(29).wrapping_add(i * 3)) % 300, i as f32))
+                    .collect()
+            })
+            .collect();
+        b.set_yet_from_trials(300, trials);
+        let pairs_a: Vec<(u32, f64)> = (0..300).step_by(2).map(|e| (e, 10.0 + f64::from(e))).collect();
+        let pairs_b: Vec<(u32, f64)> = (0..300).step_by(5).map(|e| (e, 5.0 + f64::from(e))).collect();
+        let a = b.add_elt(&pairs_a, FinancialTerms::new(5.0, 250.0, 0.8, 1.0).unwrap());
+        let c = b.add_elt(&pairs_b, FinancialTerms::pass_through());
+        b.add_layer_over(&[a, c], LayerTerms::new(20.0, 200.0, 50.0, 800.0).unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn kernel_matches_cpu_engine_for_various_chunk_sizes() {
+        let input = input();
+        let reference = SequentialEngine::new().run(&input);
+        let executor = Executor::tesla_c2075();
+        for chunk_size in [1, 2, 4, 8, 16] {
+            let kernel = ChunkedAreKernel::new(&input, 0, chunk_size);
+            assert_eq!(kernel.chunk_size(), chunk_size);
+            executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+            let outcomes = kernel.into_outcomes();
+            for (a, b) in outcomes.iter().zip(reference.layer(0).outcomes()) {
+                assert_eq!(a.year_loss, b.year_loss, "chunk {chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_memory_request_follows_chunk_size() {
+        let input = input();
+        let kernel = ChunkedAreKernel::new(&input, 0, 4);
+        assert_eq!(kernel.shared_mem_per_block(192), 48 * 1024, "paper: 192 threads max at chunk 4");
+        assert_eq!(kernel.shared_mem_per_block(64), 16 * 1024);
+        assert_eq!(kernel.memory_parallelism(), 4.0);
+    }
+
+    #[test]
+    fn uses_shared_and_constant_memory() {
+        let input = input();
+        let executor = Executor::tesla_c2075();
+        let kernel = ChunkedAreKernel::new(&input, 0, 4);
+        let result = executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+        assert!(result.counters.shared_accesses > 0);
+        assert!(result.counters.constant_accesses > 0);
+        // Far fewer global accesses than the basic kernel on the same input.
+        let basic = super::super::BasicAreKernel::new(&input, 0);
+        let basic_result = executor.launch(&basic, LaunchConfig::with_block_size(64)).unwrap();
+        assert!(result.counters.global_accesses() < basic_result.counters.global_accesses());
+    }
+
+    #[test]
+    fn oversized_chunk_spills_to_global() {
+        let input = input();
+        let executor = Executor::tesla_c2075();
+        // chunk 16 at 64 threads/block requests 64 KB > 48 KB.
+        let kernel = ChunkedAreKernel::new(&input, 0, 16);
+        let result = executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+        assert!(result.occupancy.shared_overflow_fraction > 0.0);
+        assert!(result.counters.spilled_accesses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        ChunkedAreKernel::new(&input(), 0, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Occupancy calculation: how many blocks and warps fit on one SM.
+//!
+//! The paper's launch-configuration discussion (§III.C.2) is an occupancy
+//! argument: "If we have a smaller number of threads, each thread can have a
+//! larger amount of shared and constant memory, but with a small number of
+//! threads we have less opportunity to hide the latency of accessing the
+//! global memory."  This module applies the Fermi resource limits to a
+//! launch configuration and reports the number of active warps available for
+//! latency hiding.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+
+/// The result of an occupancy calculation for one launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the SM's maximum resident threads that are occupied.
+    pub occupancy: f64,
+    /// Fraction of the requested shared memory per block that exceeds the
+    /// per-SM budget when at least one block is resident (0 unless the
+    /// request itself is larger than the SM's shared memory).
+    pub shared_overflow_fraction: f64,
+    /// Which resource limits the number of resident blocks.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// The per-SM thread limit.
+    Threads,
+    /// The per-SM block limit.
+    Blocks,
+    /// The per-SM shared-memory budget.
+    SharedMemory,
+}
+
+/// Computes the occupancy of a launch configuration.
+///
+/// `shared_mem_per_block` is the shared memory requested by each block.  If
+/// a single block requests more shared memory than the SM provides the
+/// launch is still admitted (with one resident block), and the excess
+/// fraction is reported so the timing model can charge the overflow to
+/// global memory — this is how the paper describes the behaviour beyond a
+/// chunk size of ~12 (Fig. 5a).
+pub fn occupancy(device: &DeviceSpec, threads_per_block: u32, shared_mem_per_block: u32) -> Occupancy {
+    assert!(threads_per_block > 0, "threads_per_block must be positive");
+    let by_threads = device.max_threads_per_sm / threads_per_block;
+    let by_blocks = device.max_blocks_per_sm;
+    let by_shared = if shared_mem_per_block == 0 {
+        u32::MAX
+    } else {
+        device.shared_mem_per_sm / shared_mem_per_block
+    };
+
+    let (blocks_per_sm, limiter) = if by_shared <= by_threads && by_shared <= by_blocks {
+        (by_shared, OccupancyLimiter::SharedMemory)
+    } else if by_threads <= by_blocks {
+        (by_threads, OccupancyLimiter::Threads)
+    } else {
+        (by_blocks, OccupancyLimiter::Blocks)
+    };
+
+    // A block that does not fit at all still runs alone, spilling the excess.
+    let (blocks_per_sm, shared_overflow_fraction) = if blocks_per_sm == 0 {
+        let overflow = f64::from(shared_mem_per_block - device.shared_mem_per_sm)
+            / f64::from(shared_mem_per_block);
+        (1, overflow)
+    } else {
+        (blocks_per_sm, 0.0)
+    };
+
+    let threads_per_sm = (blocks_per_sm * threads_per_block).min(device.max_threads_per_sm);
+    let warps_per_sm = threads_per_sm.div_ceil(device.warp_size);
+    Occupancy {
+        blocks_per_sm,
+        threads_per_sm,
+        warps_per_sm,
+        occupancy: f64::from(threads_per_sm) / f64::from(device.max_threads_per_sm),
+        shared_overflow_fraction,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_block_limit_at_small_blocks() {
+        let d = DeviceSpec::tesla_c2075();
+        // 128 threads/block: 8-block limit binds -> 1024 threads (67%).
+        let o = occupancy(&d, 128, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.threads_per_sm, 1024);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        assert!((o.occupancy - 1024.0 / 1536.0).abs() < 1e-12);
+        assert_eq!(o.shared_overflow_fraction, 0.0);
+    }
+
+    #[test]
+    fn full_occupancy_at_256_threads() {
+        let d = DeviceSpec::tesla_c2075();
+        let o = occupancy(&d, 256, 0);
+        assert_eq!(o.blocks_per_sm, 6);
+        assert_eq!(o.threads_per_sm, 1536);
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(o.warps_per_sm, 48);
+    }
+
+    #[test]
+    fn large_blocks_lose_occupancy() {
+        let d = DeviceSpec::tesla_c2075();
+        let o = occupancy(&d, 640, 0);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.threads_per_sm, 1280);
+        assert!(o.occupancy < 0.9);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        let d = DeviceSpec::tesla_c2075();
+        // 20 KB/block: only 2 blocks fit in 48 KB.
+        let o = occupancy(&d, 128, 20 * 1024);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+        assert_eq!(o.shared_overflow_fraction, 0.0);
+    }
+
+    #[test]
+    fn oversized_shared_request_spills() {
+        let d = DeviceSpec::tesla_c2075();
+        // 96 KB requested but only 48 KB available: half the traffic spills.
+        let o = occupancy(&d, 64, 96 * 1024);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert!((o.shared_overflow_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn chunked_kernel_constraint_from_paper() {
+        // The paper states that with a chunk size of 4 the maximum number of
+        // threads per block the optimised kernel supports is 192.  With the
+        // kernel's 64 bytes of shared staging per (thread, chunk element),
+        // 192 × 4 × 64 B = 48 KB exactly fills the SM's shared memory.
+        let d = DeviceSpec::tesla_c2075();
+        let per_block = 192 * 4 * 64;
+        assert_eq!(per_block, 48 * 1024);
+        let o = occupancy(&d, 192, per_block);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.shared_overflow_fraction, 0.0);
+        // One more chunk element per thread no longer fits without spilling.
+        let o = occupancy(&d, 192, 192 * 5 * 64);
+        assert!(o.shared_overflow_fraction > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads_per_block must be positive")]
+    fn zero_threads_panics() {
+        occupancy(&DeviceSpec::tesla_c2075(), 0, 0);
+    }
+}

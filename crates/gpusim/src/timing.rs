@@ -1,0 +1,238 @@
+//! The analytical timing model.
+//!
+//! The simulated execution time of a kernel launch is derived from the
+//! recorded memory traffic and the device specification:
+//!
+//! * **compute time** — arithmetic operations spread across every scalar
+//!   lane of the device, derated by occupancy;
+//! * **global memory time** — the larger of
+//!   * the bandwidth-bound time: every random access moves one full
+//!     transaction (an L1 line), and the achievable fraction of peak
+//!     bandwidth grows with occupancy (an underpopulated device cannot keep
+//!     the memory system saturated), and
+//!   * the latency-bound time: accesses × latency ÷ the number of requests
+//!     the resident threads can keep in flight (their count × the kernel's
+//!     per-thread memory-level parallelism, capped by the device);
+//! * **shared memory time** — one access per lane per cycle per SM;
+//! * **constant memory time** — cached broadcast reads;
+//! * **block overhead** — a fixed scheduling cost per launched block.
+//!
+//! This is deliberately a first-order model, not a cycle-accurate simulator,
+//! but it captures the effects the paper's GPU results turn on: random
+//! global accesses dominate, occupancy determines how much of the memory
+//! system can be kept busy, staging intermediates in shared memory removes
+//! global traffic, and overflowing the shared budget pushes that traffic
+//! back to global memory.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::device::DeviceSpec;
+use crate::memory::MemoryCounters;
+use crate::occupancy::Occupancy;
+
+/// Breakdown of the simulated execution time of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Time spent on arithmetic.
+    pub compute_seconds: f64,
+    /// Time global memory traffic takes (max of bandwidth- and latency-bound).
+    pub global_memory_seconds: f64,
+    /// Time spent on shared-memory accesses.
+    pub shared_memory_seconds: f64,
+    /// Time spent on constant-memory accesses.
+    pub constant_memory_seconds: f64,
+    /// Fixed per-block scheduling overhead.
+    pub block_overhead_seconds: f64,
+    /// Total simulated time in seconds.
+    pub total_seconds: f64,
+}
+
+impl TimingBreakdown {
+    /// Total simulated time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_secs_f64(self.total_seconds)
+    }
+}
+
+/// Computes the simulated execution time of a launch.
+///
+/// `memory_parallelism` is the kernel's average number of independent global
+/// loads each thread can keep in flight (1.0 for a kernel whose loads are
+/// serialised by read-modify-write dependences; the chunked kernel exposes
+/// roughly one per staged chunk element).
+pub fn simulate_time(
+    device: &DeviceSpec,
+    counters: &MemoryCounters,
+    occupancy: &Occupancy,
+    blocks: usize,
+    memory_parallelism: f64,
+) -> TimingBreakdown {
+    let clock = device.clock_hz();
+    let sms = f64::from(device.num_sms);
+    let occ = occupancy.occupancy.clamp(1e-3, 1.0);
+
+    // Compute: one op per lane per cycle across the whole device, derated by
+    // occupancy (an underpopulated SM leaves lanes idle).
+    let effective_lanes = f64::from(device.total_lanes()) * occ.max(0.25);
+    let compute_seconds = counters.compute_ops as f64 / effective_lanes / clock;
+
+    // Global memory, bandwidth bound: every random access moves one full
+    // transaction; achievable bandwidth grows with occupancy.
+    let transactions = counters.global_accesses() as f64;
+    let bytes_moved = transactions * f64::from(device.transaction_bytes);
+    let bandwidth_factor = 0.7 + 0.3 * occ;
+    let bandwidth_seconds =
+        bytes_moved / (device.global_bandwidth_gbps * 1.0e9 * bandwidth_factor);
+
+    // Global memory, latency bound: the resident threads of each SM can keep
+    // `threads × MLP` requests in flight, capped by the device.
+    let in_flight_per_sm = (f64::from(occupancy.threads_per_sm) * memory_parallelism.max(1.0))
+        .min(f64::from(device.max_outstanding_requests))
+        .max(1.0);
+    let latency_seconds = counters.global_reads as f64 * device.global_latency_cycles
+        / clock
+        / (in_flight_per_sm * sms);
+
+    let global_memory_seconds = bandwidth_seconds.max(latency_seconds);
+
+    // Shared memory: each SM services one access per lane per cycle.
+    let shared_rate = f64::from(device.lanes_per_sm) * sms * clock;
+    let shared_memory_seconds = counters.shared_accesses as f64 / shared_rate;
+
+    // Constant memory: broadcast per warp, effectively one cycle per access
+    // per SM once cached.
+    let constant_memory_seconds =
+        counters.constant_accesses as f64 / (f64::from(device.warp_size) * sms * clock);
+
+    // Fixed per-block scheduling overhead, spread across SMs.
+    let block_overhead_seconds = blocks as f64 * device.block_overhead_cycles / clock / sms;
+
+    let total_seconds = compute_seconds
+        + global_memory_seconds
+        + shared_memory_seconds
+        + constant_memory_seconds
+        + block_overhead_seconds;
+
+    TimingBreakdown {
+        compute_seconds,
+        global_memory_seconds,
+        shared_memory_seconds,
+        constant_memory_seconds,
+        block_overhead_seconds,
+        total_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2075()
+    }
+
+    fn counters_with(global_reads: u64, shared: u64, compute: u64) -> MemoryCounters {
+        let mut c = MemoryCounters::new();
+        c.global_reads = global_reads;
+        c.global_read_bytes = 8 * global_reads;
+        c.shared_accesses = shared;
+        c.shared_bytes = 8 * shared;
+        c.compute_ops = compute;
+        c
+    }
+
+    #[test]
+    fn higher_occupancy_is_faster() {
+        let d = device();
+        let c = counters_with(100_000_000, 0, 0);
+        let low = occupancy(&d, 128, 0); // 67% occupancy
+        let high = occupancy(&d, 256, 0); // 100% occupancy
+        let t_low = simulate_time(&d, &c, &low, 1000, 1.0);
+        let t_high = simulate_time(&d, &c, &high, 500, 1.0);
+        assert!(
+            t_high.global_memory_seconds < t_low.global_memory_seconds,
+            "{} vs {}",
+            t_high.global_memory_seconds,
+            t_low.global_memory_seconds
+        );
+        assert!(t_high.total_seconds < t_low.total_seconds);
+    }
+
+    #[test]
+    fn memory_parallelism_helps_latency_bound_kernels() {
+        let d = device();
+        // Low occupancy launch: latency bound unless MLP compensates.
+        let occ = occupancy(&d, 64, 16 * 1024);
+        let c = counters_with(50_000_000, 0, 0);
+        let serial = simulate_time(&d, &c, &occ, 1000, 1.0);
+        let pipelined = simulate_time(&d, &c, &occ, 1000, 8.0);
+        assert!(pipelined.global_memory_seconds <= serial.global_memory_seconds);
+    }
+
+    #[test]
+    fn shared_memory_much_cheaper_than_global() {
+        let d = device();
+        let occ = occupancy(&d, 256, 0);
+        let global_heavy = counters_with(10_000_000, 0, 0);
+        let shared_heavy = counters_with(0, 10_000_000, 0);
+        let tg = simulate_time(&d, &global_heavy, &occ, 1000, 1.0);
+        let ts = simulate_time(&d, &shared_heavy, &occ, 1000, 1.0);
+        assert!(
+            tg.total_seconds > 5.0 * ts.total_seconds,
+            "global {} vs shared {}",
+            tg.total_seconds,
+            ts.total_seconds
+        );
+    }
+
+    #[test]
+    fn time_scales_with_traffic() {
+        let d = device();
+        let occ = occupancy(&d, 256, 0);
+        let small = simulate_time(&d, &counters_with(1_000_000, 0, 1_000_000), &occ, 100, 1.0);
+        let large = simulate_time(&d, &counters_with(10_000_000, 0, 10_000_000), &occ, 100, 1.0);
+        let ratio = large.total_seconds / small.total_seconds;
+        assert!((5.0..15.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let d = device();
+        let occ = occupancy(&d, 192, 1024);
+        let mut c = counters_with(1_000, 5_000, 20_000);
+        c.constant_accesses = 17;
+        c.global_writes = 500;
+        c.global_write_bytes = 4_000;
+        let t = simulate_time(&d, &c, &occ, 10, 2.0);
+        let sum = t.compute_seconds
+            + t.global_memory_seconds
+            + t.shared_memory_seconds
+            + t.constant_memory_seconds
+            + t.block_overhead_seconds;
+        assert!((sum - t.total_seconds).abs() < 1e-15);
+        assert!(t.total().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn paper_scale_magnitude_is_tens_of_seconds() {
+        // The paper's standard workload performs ~15 billion ELT lookups per
+        // layer plus intermediate traffic; the basic kernel should land in
+        // the tens of seconds on the simulated C2075 (paper: 38.47 s).
+        let d = device();
+        let occ = occupancy(&d, 256, 0);
+        let mut c = MemoryCounters::new();
+        c.global_reads = 37_000_000_000;
+        c.global_read_bytes = 8 * c.global_reads;
+        c.global_writes = 21_000_000_000;
+        c.global_write_bytes = 8 * c.global_writes;
+        c.compute_ops = 100_000_000_000;
+        let t = simulate_time(&d, &c, &occ, 3907, 1.0);
+        assert!(
+            (20.0..90.0).contains(&t.total_seconds),
+            "simulated paper-scale time {} s",
+            t.total_seconds
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Instrumented wrapper counting lookups performed against a table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{EventId, EventLookup, LookupKind};
+
+/// Wraps any [`EventLookup`] and counts the number of `get` calls and how
+/// many of them hit a non-zero loss.
+///
+/// The counters are atomic so the wrapper can be shared across the parallel
+/// engine's worker threads; the counts feed the Fig. 6b style breakdowns and
+/// the ablation benchmark reports.
+pub struct CountingLookup<L> {
+    inner: L,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<L: EventLookup> CountingLookup<L> {
+    /// Wraps a lookup structure.
+    pub fn new(inner: L) -> Self {
+        Self { inner, lookups: AtomicU64::new(0), hits: AtomicU64::new(0) }
+    }
+
+    /// Total number of lookups performed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that returned a non-zero loss.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups that returned a non-zero loss (0 when no lookups
+    /// have been performed).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Consumes the wrapper and returns the wrapped structure.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+
+    /// Borrow the wrapped structure.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: EventLookup> EventLookup for CountingLookup<L> {
+    #[inline]
+    fn get(&self, event: EventId) -> f64 {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let loss = self.inner.get(event);
+        if loss != 0.0 {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        loss
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn kind(&self) -> LookupKind {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectAccessTable;
+
+    #[test]
+    fn counts_lookups_and_hits() {
+        let table = CountingLookup::new(DirectAccessTable::from_pairs(&[(1, 5.0), (3, 2.0)], 8));
+        assert_eq!(table.get(1), 5.0);
+        assert_eq!(table.get(2), 0.0);
+        assert_eq!(table.get(3), 2.0);
+        assert_eq!(table.get(7), 0.0);
+        assert_eq!(table.lookups(), 4);
+        assert_eq!(table.hits(), 2);
+        assert!((table.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.kind(), LookupKind::Direct);
+        assert!(table.memory_bytes() > 0);
+        table.reset();
+        assert_eq!(table.lookups(), 0);
+        assert_eq!(table.hit_rate(), 0.0);
+        assert_eq!(table.inner().len(), 2);
+        assert_eq!(table.into_inner().len(), 2);
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let table = CountingLookup::new(DirectAccessTable::from_pairs(&[(0, 1.0)], 4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u32 {
+                        table.get(i % 4);
+                    }
+                });
+            }
+        });
+        assert_eq!(table.lookups(), 4000);
+        assert_eq!(table.hits(), 1000);
+    }
+}

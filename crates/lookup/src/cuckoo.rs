@@ -1,0 +1,210 @@
+//! Cuckoo-hashing ELT representation.
+//!
+//! The paper explicitly cites cuckoo hashing (Pagh & Rodler 2004) as the
+//! constant-time, space-efficient alternative to the direct access table,
+//! and rejects it because of "considerable implementation and run-time
+//! performance complexity ... particularly high on GPUs".  Implementing it
+//! lets the ablation benchmark quantify that trade-off.
+
+use crate::{EventId, EventLookup, LookupKind};
+
+const EMPTY: EventId = EventId::MAX;
+/// Maximum displacement chain length before the table is rebuilt larger.
+const MAX_KICKS: usize = 64;
+
+/// A two-table cuckoo hash map from event id to loss.
+///
+/// Every lookup inspects at most two slots (one per table), giving a
+/// worst-case constant lookup cost; insertion may displace existing keys
+/// and occasionally triggers a rebuild with a larger capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuckooTable {
+    // Two half-tables laid out separately; slot i of table t is keys[t][i].
+    keys: [Vec<EventId>; 2],
+    values: [Vec<f64>; 2],
+    entries: usize,
+    side_mask: usize,
+    // Seeds for the two hash functions; changed on rebuild after a cycle.
+    seeds: [u64; 2],
+}
+
+impl CuckooTable {
+    /// Builds the table from `(event, loss)` pairs; duplicate ids keep the
+    /// last value.
+    pub fn from_pairs(pairs: &[(EventId, f64)]) -> Self {
+        // Each side sized to the next power of two above the entry count,
+        // giving an overall load factor of at most 50%.
+        let side = pairs.len().max(4).next_power_of_two();
+        let mut table = Self::with_side_capacity(side, [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F]);
+        for &(event, loss) in pairs {
+            assert!(event != EMPTY, "event id {event} collides with the empty sentinel");
+            table.insert(event, loss);
+        }
+        table
+    }
+
+    fn with_side_capacity(side: usize, seeds: [u64; 2]) -> Self {
+        Self {
+            keys: [vec![EMPTY; side], vec![EMPTY; side]],
+            values: [vec![0.0; side], vec![0.0; side]],
+            entries: 0,
+            side_mask: side - 1,
+            seeds,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, table: usize, event: EventId) -> usize {
+        let mut h = u64::from(event) ^ self.seeds[table];
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^= h >> 33;
+        (h as usize) & self.side_mask
+    }
+
+    fn insert(&mut self, event: EventId, loss: f64) {
+        // Replace an existing entry in place.
+        for t in 0..2 {
+            let i = self.slot(t, event);
+            if self.keys[t][i] == event {
+                self.values[t][i] = loss;
+                return;
+            }
+        }
+        let mut key = event;
+        let mut value = loss;
+        let mut table = 0usize;
+        for _ in 0..MAX_KICKS {
+            let i = self.slot(table, key);
+            if self.keys[table][i] == EMPTY {
+                self.keys[table][i] = key;
+                self.values[table][i] = value;
+                self.entries += 1;
+                return;
+            }
+            std::mem::swap(&mut key, &mut self.keys[table][i]);
+            std::mem::swap(&mut value, &mut self.values[table][i]);
+            table ^= 1;
+        }
+        // Displacement cycle: rebuild with double capacity and new seeds,
+        // then retry the displaced key.
+        self.rebuild();
+        self.insert(key, value);
+    }
+
+    fn rebuild(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_values = std::mem::take(&mut self.values);
+        let new_side = (self.side_mask + 1) * 2;
+        let new_seeds = [
+            self.seeds[0].rotate_left(13) ^ 0x0123_4567_89AB_CDEF,
+            self.seeds[1].rotate_left(29) ^ 0xFEDC_BA98_7654_3210,
+        ];
+        *self = Self::with_side_capacity(new_side, new_seeds);
+        for t in 0..2 {
+            for (i, &k) in old_keys[t].iter().enumerate() {
+                if k != EMPTY {
+                    self.insert(k, old_values[t][i]);
+                }
+            }
+        }
+    }
+
+    /// Total number of slots across both half-tables.
+    pub fn capacity(&self) -> usize {
+        2 * (self.side_mask + 1)
+    }
+}
+
+impl EventLookup for CuckooTable {
+    #[inline]
+    fn get(&self, event: EventId) -> f64 {
+        let i0 = self.slot(0, event);
+        if self.keys[0][i0] == event {
+            return self.values[0][i0];
+        }
+        let i1 = self.slot(1, event);
+        if self.keys[1][i1] == event {
+            return self.values[1][i1];
+        }
+        0.0
+    }
+
+    fn len(&self) -> usize {
+        self.entries
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.capacity() * (std::mem::size_of::<EventId>() + std::mem::size_of::<f64>())
+    }
+
+    fn kind(&self) -> LookupKind {
+        LookupKind::Cuckoo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_present_and_absent() {
+        let t = CuckooTable::from_pairs(&[(2, 5.0), (7, 1.5), (900_000, 3.25)]);
+        assert_eq!(t.get(2), 5.0);
+        assert_eq!(t.get(7), 1.5);
+        assert_eq!(t.get(900_000), 3.25);
+        assert_eq!(t.get(3), 0.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.kind(), LookupKind::Cuckoo);
+    }
+
+    #[test]
+    fn duplicates_keep_last_value() {
+        let t = CuckooTable::from_pairs(&[(5, 1.0), (5, 2.0), (5, 3.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), 3.0);
+    }
+
+    #[test]
+    fn large_insert_all_found() {
+        let pairs: Vec<(EventId, f64)> = (0..50_000).map(|i| (i * 37 + 11, f64::from(i))).collect();
+        let t = CuckooTable::from_pairs(&pairs);
+        assert_eq!(t.len(), pairs.len());
+        for &(e, l) in pairs.iter().step_by(97) {
+            assert_eq!(t.get(e), l);
+        }
+        // Absent keys.
+        assert_eq!(t.get(1), 0.0);
+        assert_eq!(t.get(2), 0.0);
+        // Load factor stays at or below 50%.
+        assert!(t.capacity() >= 2 * t.len());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = CuckooTable::from_pairs(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), 0.0);
+    }
+
+    #[test]
+    fn rebuild_preserves_entries() {
+        // Enough keys to force at least one rebuild with high probability
+        // while keeping the initial side capacity tiny is hard to arrange
+        // deterministically; instead verify correctness on a dense block
+        // which exercises heavy displacement.
+        let pairs: Vec<(EventId, f64)> = (0..10_000).map(|i| (i, f64::from(i) * 0.5)).collect();
+        let t = CuckooTable::from_pairs(&pairs);
+        for &(e, l) in &pairs {
+            assert_eq!(t.get(e), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_key_rejected() {
+        CuckooTable::from_pairs(&[(EventId::MAX, 1.0)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Direct access table: the paper's chosen ELT representation.
+
+use crate::{EventId, EventLookup, LookupKind};
+
+/// A dense array of losses indexed by event id.
+///
+/// "A direct access table is a highly sparse representation of an ELT, one
+/// that provides very fast lookup performance at the cost of high memory
+/// usage" (paper §III.B).  Every lookup is exactly one memory access, which
+/// is why the paper selects this structure for a workload that performs
+/// billions of random lookups with no locality of reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectAccessTable {
+    losses: Vec<f64>,
+    entries: usize,
+}
+
+impl DirectAccessTable {
+    /// Builds a table covering event ids `0..catalog_size` from sparse
+    /// `(event, loss)` pairs.  Events not present in `pairs` have loss 0.
+    ///
+    /// Panics if any event id is outside the catalog.
+    pub fn from_pairs(pairs: &[(EventId, f64)], catalog_size: u32) -> Self {
+        let mut losses = vec![0.0f64; catalog_size as usize];
+        for &(event, loss) in pairs {
+            assert!(
+                (event as usize) < losses.len(),
+                "event id {event} outside catalog of size {catalog_size}"
+            );
+            losses[event as usize] = loss;
+        }
+        Self { losses, entries: pairs.len() }
+    }
+
+    /// Size of the catalog this table covers (length of the dense array).
+    pub fn catalog_size(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Direct slice access for engines that want to bypass the trait object.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.losses
+    }
+
+    /// Unchecked-style fast path used by the hot loops; still bounds-checked
+    /// in debug builds via the slice index.
+    #[inline]
+    pub fn get_fast(&self, event: EventId) -> f64 {
+        self.losses[event as usize]
+    }
+}
+
+impl EventLookup for DirectAccessTable {
+    #[inline]
+    fn get(&self, event: EventId) -> f64 {
+        // Events beyond the catalog produce no loss rather than a panic so
+        // that a YET built on a larger catalog degrades gracefully.
+        self.losses.get(event as usize).copied().unwrap_or(0.0)
+    }
+
+    fn len(&self) -> usize {
+        self.entries
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.losses.len() * std::mem::size_of::<f64>()
+    }
+
+    fn kind(&self) -> LookupKind {
+        LookupKind::Direct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_present_and_absent() {
+        let t = DirectAccessTable::from_pairs(&[(2, 5.0), (7, 1.5)], 10);
+        assert_eq!(t.get(2), 5.0);
+        assert_eq!(t.get(7), 1.5);
+        assert_eq!(t.get(0), 0.0);
+        assert_eq!(t.get(9), 0.0);
+        assert_eq!(t.get(100), 0.0, "out-of-catalog event yields zero loss");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.catalog_size(), 10);
+        assert_eq!(t.kind(), LookupKind::Direct);
+    }
+
+    #[test]
+    fn get_fast_matches_get_inside_catalog() {
+        let t = DirectAccessTable::from_pairs(&[(0, 1.0), (9, 2.0)], 10);
+        for ev in 0..10u32 {
+            assert_eq!(t.get(ev), t.get_fast(ev));
+        }
+        assert_eq!(t.as_slice().len(), 10);
+    }
+
+    #[test]
+    fn memory_is_proportional_to_catalog() {
+        let t = DirectAccessTable::from_pairs(&[(0, 1.0)], 2_000_000);
+        assert_eq!(t.memory_bytes(), 2_000_000 * 8);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = DirectAccessTable::from_pairs(&[], 4);
+        assert!(t.is_empty());
+        assert_eq!(t.get(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalog")]
+    fn event_outside_catalog_panics_on_construction() {
+        DirectAccessTable::from_pairs(&[(10, 1.0)], 10);
+    }
+}

@@ -1,0 +1,184 @@
+//! Open-addressing hash table ELT representation.
+
+use crate::{EventId, EventLookup, LookupKind};
+
+/// Sentinel key for an empty slot.  Event ids are catalog indices and real
+/// catalogs are far smaller than `u32::MAX`, so the sentinel never collides
+/// with a real id; `from_pairs` asserts this.
+const EMPTY: EventId = EventId::MAX;
+
+/// An open-addressing hash table with linear probing and a Fibonacci
+/// multiplicative hash.
+///
+/// This is the "constant number of memory accesses" compromise between the
+/// sorted table and the direct access table: compact (a power-of-two slot
+/// array at ≤50% load factor) with amortised O(1) probes, but each probe is
+/// still a dependent random memory access and the probe count is variable —
+/// the run-time complexity the paper alludes to when discussing hashing
+/// schemes on GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashedTable {
+    keys: Vec<EventId>,
+    values: Vec<f64>,
+    entries: usize,
+    mask: usize,
+}
+
+impl HashedTable {
+    /// Builds the table from `(event, loss)` pairs; duplicate ids keep the
+    /// last value.
+    pub fn from_pairs(pairs: &[(EventId, f64)]) -> Self {
+        // ≤ 50% load factor, minimum 8 slots.
+        let capacity = (pairs.len().max(4) * 2).next_power_of_two();
+        let mut table = Self {
+            keys: vec![EMPTY; capacity],
+            values: vec![0.0; capacity],
+            entries: 0,
+            mask: capacity - 1,
+        };
+        for &(event, loss) in pairs {
+            assert!(event != EMPTY, "event id {event} collides with the empty sentinel");
+            table.insert(event, loss);
+        }
+        table
+    }
+
+    /// Fibonacci multiplicative hash of a 32-bit key into a table index.
+    #[inline]
+    fn slot(&self, event: EventId) -> usize {
+        // 2^64 / phi, the canonical Fibonacci hashing multiplier.
+        let h = (u64::from(event).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32;
+        (h as usize) & self.mask
+    }
+
+    fn insert(&mut self, event: EventId, loss: f64) {
+        let mut i = self.slot(event);
+        loop {
+            if self.keys[i] == EMPTY {
+                self.keys[i] = event;
+                self.values[i] = loss;
+                self.entries += 1;
+                return;
+            }
+            if self.keys[i] == event {
+                self.values[i] = loss;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Number of probes needed to find `event` (used by instrumentation and
+    /// tests; 1 = found or ruled out in the first slot).
+    pub fn probes(&self, event: EventId) -> usize {
+        let mut i = self.slot(event);
+        let mut probes = 1;
+        loop {
+            if self.keys[i] == EMPTY || self.keys[i] == event {
+                return probes;
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+        }
+    }
+
+    /// Number of slots in the backing array.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl EventLookup for HashedTable {
+    #[inline]
+    fn get(&self, event: EventId) -> f64 {
+        let mut i = self.slot(event);
+        loop {
+            let k = self.keys[i];
+            if k == event {
+                return self.values[i];
+            }
+            if k == EMPTY {
+                return 0.0;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<EventId>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    fn kind(&self) -> LookupKind {
+        LookupKind::Hashed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_present_and_absent() {
+        let t = HashedTable::from_pairs(&[(2, 5.0), (7, 1.5), (1_000_000, 9.0)]);
+        assert_eq!(t.get(2), 5.0);
+        assert_eq!(t.get(7), 1.5);
+        assert_eq!(t.get(1_000_000), 9.0);
+        assert_eq!(t.get(3), 0.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.kind(), LookupKind::Hashed);
+    }
+
+    #[test]
+    fn duplicates_keep_last_value() {
+        let t = HashedTable::from_pairs(&[(5, 1.0), (5, 2.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), 2.0);
+    }
+
+    #[test]
+    fn load_factor_at_most_half() {
+        let pairs: Vec<(EventId, f64)> = (0..1000).map(|i| (i, i as f64)).collect();
+        let t = HashedTable::from_pairs(&pairs);
+        assert!(t.capacity() >= 2 * t.len());
+        assert!(t.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn dense_collision_heavy_keys_all_found() {
+        // Keys that collide heavily under any low-bit masking.
+        let pairs: Vec<(EventId, f64)> = (0..2_000).map(|i| (i * 4096, f64::from(i) + 0.5)).collect();
+        let t = HashedTable::from_pairs(&pairs);
+        for &(e, l) in &pairs {
+            assert_eq!(t.get(e), l);
+        }
+        assert_eq!(t.get(123), 0.0);
+    }
+
+    #[test]
+    fn probe_counts_are_positive_and_bounded() {
+        let pairs: Vec<(EventId, f64)> = (0..512).map(|i| (i * 3, 1.0)).collect();
+        let t = HashedTable::from_pairs(&pairs);
+        let max_probes = (0..512u32).map(|i| t.probes(i * 3)).max().unwrap();
+        assert!(max_probes >= 1);
+        assert!(max_probes < 64, "pathological probe chain: {max_probes}");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = HashedTable::from_pairs(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.get(42), 0.0);
+        assert!(t.memory_bytes() > 0, "even an empty table allocates its slot array");
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_key_rejected() {
+        HashedTable::from_pairs(&[(EventId::MAX, 1.0)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Sorted-array ELT representation with binary search lookups.
+
+use crate::{EventId, EventLookup, LookupKind};
+
+/// A compact `(event, loss)` table sorted by event id, searched with binary
+/// search.
+///
+/// This is the `O(log n)`-accesses-per-lookup alternative the paper
+/// discusses: memory-proportional to the number of non-zero losses, but each
+/// lookup costs ~`log2(n)` dependent memory accesses, which is exactly what
+/// the memory-bound aggregate analysis cannot afford.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedTable {
+    events: Vec<EventId>,
+    losses: Vec<f64>,
+}
+
+impl SortedTable {
+    /// Builds the table from `(event, loss)` pairs (need not be sorted;
+    /// duplicate event ids keep the last value).
+    pub fn from_pairs(pairs: &[(EventId, f64)]) -> Self {
+        let mut sorted: Vec<(EventId, f64)> = pairs.to_vec();
+        sorted.sort_by_key(|(e, _)| *e);
+        // Keep the last occurrence of each duplicate id.
+        let mut events: Vec<EventId> = Vec::with_capacity(sorted.len());
+        let mut losses: Vec<f64> = Vec::with_capacity(sorted.len());
+        for (e, l) in sorted {
+            if events.last() == Some(&e) {
+                *losses.last_mut().expect("non-empty") = l;
+            } else {
+                events.push(e);
+                losses.push(l);
+            }
+        }
+        Self { events, losses }
+    }
+
+    /// The sorted event ids.
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+}
+
+impl EventLookup for SortedTable {
+    #[inline]
+    fn get(&self, event: EventId) -> f64 {
+        match self.events.binary_search(&event) {
+            Ok(i) => self.losses[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<EventId>()
+            + self.losses.len() * std::mem::size_of::<f64>()
+    }
+
+    fn kind(&self) -> LookupKind {
+        LookupKind::Sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_present_and_absent() {
+        let t = SortedTable::from_pairs(&[(9, 3.0), (2, 5.0), (7, 1.5)]);
+        assert_eq!(t.get(2), 5.0);
+        assert_eq!(t.get(7), 1.5);
+        assert_eq!(t.get(9), 3.0);
+        assert_eq!(t.get(0), 0.0);
+        assert_eq!(t.get(8), 0.0);
+        assert_eq!(t.get(10_000), 0.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.kind(), LookupKind::Sorted);
+        assert_eq!(t.events(), &[2, 7, 9]);
+    }
+
+    #[test]
+    fn duplicates_keep_last_value() {
+        let t = SortedTable::from_pairs(&[(5, 1.0), (5, 2.0), (1, 9.0)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(5), 2.0);
+        assert_eq!(t.get(1), 9.0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SortedTable::from_pairs(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), 0.0);
+        assert_eq!(t.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_is_proportional_to_entries() {
+        let pairs: Vec<(EventId, f64)> = (0..1000).map(|i| (i * 7, i as f64)).collect();
+        let t = SortedTable::from_pairs(&pairs);
+        assert_eq!(t.memory_bytes(), 1000 * (4 + 8));
+    }
+}

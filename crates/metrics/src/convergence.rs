@@ -1,0 +1,168 @@
+//! Monte-Carlo convergence diagnostics.
+//!
+//! The paper motivates trial counts operationally: 1 M trials for full
+//! pricing fidelity, 50 K trials when a sub-second real-time quote is needed
+//! (§IV).  These diagnostics quantify that trade-off: how much sampling
+//! error a metric carries at a given trial count.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_simkit::rng::RngFactory;
+use catrisk_simkit::stats::RunningStats;
+
+/// The estimate of one metric at one trial count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Number of trials used.
+    pub trials: usize,
+    /// Estimated mean loss over those trials.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Relative standard error (std_error / mean, 0 when the mean is 0).
+    pub relative_error: f64,
+}
+
+/// Computes the running estimate of the mean loss at increasing prefixes of
+/// the trial set (e.g. 10 %, 20 %, … 100 % of the trials), showing how the
+/// estimate converges as more trials are added.
+pub fn convergence_table(losses: &[f64], steps: usize) -> Vec<ConvergencePoint> {
+    assert!(!losses.is_empty(), "convergence table of an empty loss vector");
+    assert!(steps >= 1, "need at least one step");
+    let mut out = Vec::with_capacity(steps);
+    for i in 1..=steps {
+        let n = (losses.len() * i / steps).max(1);
+        let mut stats = RunningStats::new();
+        stats.extend(&losses[..n]);
+        let mean = stats.mean();
+        let std_error = stats.std_error();
+        out.push(ConvergencePoint {
+            trials: n,
+            mean,
+            std_error,
+            relative_error: if mean == 0.0 { 0.0 } else { std_error / mean },
+        });
+    }
+    out
+}
+
+/// Bootstrap confidence interval of an arbitrary statistic of the losses.
+///
+/// Resamples the losses with replacement `resamples` times, applies
+/// `statistic` to each resample, and returns `(lower, upper)` at the given
+/// confidence (e.g. 0.90 for a 90 % interval).
+pub fn bootstrap_ci(
+    losses: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(!losses.is_empty(), "bootstrap of an empty loss vector");
+    assert!(resamples >= 2, "need at least two resamples");
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+    let factory = RngFactory::new(seed).derive("bootstrap");
+    let mut estimates: Vec<f64> = (0..resamples)
+        .map(|r| {
+            let mut rng = factory.stream(r as u64);
+            let resample: Vec<f64> = (0..losses.len())
+                .map(|_| losses[rng.below(losses.len() as u64) as usize])
+                .collect();
+            statistic(&resample)
+        })
+        .collect();
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - confidence) / 2.0;
+    (
+        catrisk_simkit::stats::quantile_sorted(&estimates, alpha),
+        catrisk_simkit::stats::quantile_sorted(&estimates, 1.0 - alpha),
+    )
+}
+
+/// Number of trials needed so the standard error of the mean falls below
+/// `target_relative_error × mean`, estimated from a pilot sample.
+pub fn trials_for_relative_error(pilot_losses: &[f64], target_relative_error: f64) -> usize {
+    assert!(!pilot_losses.is_empty(), "pilot sample must not be empty");
+    assert!(target_relative_error > 0.0, "target relative error must be positive");
+    let mut stats = RunningStats::new();
+    stats.extend(pilot_losses);
+    if stats.mean() == 0.0 {
+        return pilot_losses.len();
+    }
+    let cv = stats.std_dev() / stats.mean();
+    ((cv / target_relative_error).powi(2)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_simkit::distributions::{Distribution, LogNormal};
+
+    fn simulated_losses(n: usize) -> Vec<f64> {
+        let d = LogNormal::from_mean_cv(100.0, 2.0).unwrap();
+        let factory = RngFactory::new(77);
+        (0..n)
+            .map(|i| {
+                let mut rng = factory.stream(i as u64);
+                d.sample(&mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn convergence_error_shrinks_with_trials() {
+        let losses = simulated_losses(20_000);
+        let table = convergence_table(&losses, 10);
+        assert_eq!(table.len(), 10);
+        assert_eq!(table.last().unwrap().trials, 20_000);
+        assert!(table[0].std_error > table[9].std_error);
+        assert!(table[9].relative_error < 0.05);
+        for w in table.windows(2) {
+            assert!(w[1].trials > w[0].trials);
+        }
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_the_truth() {
+        let losses = simulated_losses(5_000);
+        let sample_mean = losses.iter().sum::<f64>() / losses.len() as f64;
+        let (lo, hi) = bootstrap_ci(&losses, |l| l.iter().sum::<f64>() / l.len() as f64, 200, 0.9, 1);
+        assert!(lo < sample_mean && sample_mean < hi, "{lo} < {sample_mean} < {hi}");
+        assert!(hi - lo < 0.2 * sample_mean, "interval should be reasonably tight");
+        // Bootstrap of a quantile also works.
+        let (qlo, qhi) = bootstrap_ci(&losses, |l| crate::var(l, 0.9), 100, 0.9, 2);
+        assert!(qlo <= qhi);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let losses = simulated_losses(500);
+        let a = bootstrap_ci(&losses, |l| crate::var(l, 0.95), 50, 0.8, 9);
+        let b = bootstrap_ci(&losses, |l| crate::var(l, 0.95), 50, 0.8, 9);
+        let c = bootstrap_ci(&losses, |l| crate::var(l, 0.95), 50, 0.8, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trials_for_relative_error_scales_inversely_squared() {
+        let losses = simulated_losses(2_000);
+        let loose = trials_for_relative_error(&losses, 0.10);
+        let tight = trials_for_relative_error(&losses, 0.01);
+        assert!(tight > 50 * loose, "{tight} vs {loose}");
+        // Constant losses need no more trials.
+        assert_eq!(trials_for_relative_error(&[5.0, 5.0, 5.0], 0.01), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_inputs_panic() {
+        convergence_table(&[], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        bootstrap_ci(&[1.0, 2.0], |l| l[0], 10, 1.5, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # catrisk-metrics
+//!
+//! Portfolio risk metrics derived from Year Loss Tables.
+//!
+//! "From a YLT, a reinsurer can derive important portfolio risk metrics such
+//! as the Probable Maximum Loss (PML) and the Tail Value at Risk (TVAR)
+//! which are used for both internal risk management and reporting to
+//! regulators and rating agencies" (paper §I).  This crate implements those
+//! filters (the paper's "financial functions applied on the aggregate loss
+//! values"):
+//!
+//! * [`ep`] — exceedance-probability curves: AEP (annual aggregate) built
+//!   from year losses and OEP (occurrence) built from per-trial maximum
+//!   occurrence losses;
+//! * [`pml`] — Probable Maximum Loss at standard return periods;
+//! * [`var`] — Value at Risk and Tail Value at Risk estimators;
+//! * [`convergence`] — Monte-Carlo standard errors and bootstrap confidence
+//!   intervals, quantifying how many trials a given quote needs;
+//! * [`report`] — a combined risk report for a layer or portfolio.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod convergence;
+pub mod ep;
+pub mod pml;
+pub mod report;
+pub mod var;
+
+pub use convergence::{bootstrap_ci, convergence_table, ConvergencePoint};
+pub use ep::ExceedanceCurve;
+pub use pml::{pml_table, PmlPoint, STANDARD_RETURN_PERIODS};
+pub use report::RiskReport;
+pub use var::{tvar, var};

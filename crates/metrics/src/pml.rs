@@ -1,0 +1,87 @@
+//! Probable Maximum Loss (PML) at standard return periods.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ep::ExceedanceCurve;
+
+/// The return periods conventionally reported to management, regulators and
+/// rating agencies.
+pub const STANDARD_RETURN_PERIODS: [f64; 7] = [10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
+
+/// One row of a PML table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmlPoint {
+    /// Return period in years.
+    pub return_period: f64,
+    /// Exceedance probability (1 / return period).
+    pub probability: f64,
+    /// Loss at that return period.
+    pub loss: f64,
+}
+
+/// Computes the PML table of an exceedance curve at the given return
+/// periods.  Return periods beyond the resolution of the simulation (fewer
+/// trials than the return period) are still reported — they saturate at the
+/// largest simulated loss — because that is what production systems do;
+/// [`crate::convergence`] quantifies the sampling error instead.
+pub fn pml_table(curve: &ExceedanceCurve, return_periods: &[f64]) -> Vec<PmlPoint> {
+    return_periods
+        .iter()
+        .map(|&rp| PmlPoint {
+            return_period: rp,
+            probability: 1.0 / rp,
+            loss: curve.loss_at_return_period(rp),
+        })
+        .collect()
+}
+
+/// Computes the PML table at the standard return periods.
+pub fn standard_pml_table(curve: &ExceedanceCurve) -> Vec<PmlPoint> {
+    pml_table(curve, &STANDARD_RETURN_PERIODS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> ExceedanceCurve {
+        // 1000 trials: losses 1..=1000.
+        ExceedanceCurve::new((1..=1000).map(f64::from).collect())
+    }
+
+    #[test]
+    fn standard_table_has_all_rows_and_is_monotone() {
+        let table = standard_pml_table(&curve());
+        assert_eq!(table.len(), STANDARD_RETURN_PERIODS.len());
+        for w in table.windows(2) {
+            assert!(w[1].loss >= w[0].loss, "PML must not decrease with return period");
+            assert!(w[1].return_period > w[0].return_period);
+        }
+        for p in &table {
+            assert!((p.probability - 1.0 / p.return_period).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn values_match_quantiles() {
+        let table = pml_table(&curve(), &[10.0, 100.0]);
+        // 1-in-10: 90th percentile of 1..=1000 ≈ 900.1
+        assert!((table[0].loss - 900.1).abs() < 0.5, "{}", table[0].loss);
+        // 1-in-100: 99th percentile ≈ 990.01
+        assert!((table[1].loss - 990.0).abs() < 0.5, "{}", table[1].loss);
+    }
+
+    #[test]
+    fn beyond_resolution_saturates_at_max() {
+        let small = ExceedanceCurve::new(vec![10.0, 20.0, 30.0]);
+        let table = pml_table(&small, &[1000.0]);
+        assert!((table[0].loss - 30.0).abs() < 0.1, "{}", table[0].loss);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let table = standard_pml_table(&curve());
+        let json = serde_json::to_string(&table).unwrap();
+        assert_eq!(serde_json::from_str::<Vec<PmlPoint>>(&json).unwrap(), table);
+    }
+}

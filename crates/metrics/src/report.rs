@@ -1,0 +1,176 @@
+//! Combined risk reports for a layer or portfolio.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_engine::ylt::YearLossTable;
+
+use crate::ep::ExceedanceCurve;
+use crate::pml::{standard_pml_table, PmlPoint};
+use crate::var::var_tvar_profile;
+
+/// Confidence levels reported by default.
+pub const REPORT_LEVELS: [f64; 4] = [0.90, 0.95, 0.99, 0.996];
+
+/// A complete risk report for one Year Loss Table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskReport {
+    /// Name of the layer or portfolio reported on.
+    pub name: String,
+    /// Number of trials underlying the report.
+    pub trials: usize,
+    /// Expected (mean) annual loss.
+    pub expected_loss: f64,
+    /// Standard deviation of the annual loss.
+    pub std_dev: f64,
+    /// Probability of a non-zero annual loss.
+    pub attachment_probability: f64,
+    /// `(level, VaR, TVaR)` at the standard confidence levels (AEP basis).
+    pub var_tvar: Vec<(f64, f64, f64)>,
+    /// AEP (aggregate) PML at the standard return periods.
+    pub aep_pml: Vec<PmlPoint>,
+    /// OEP (occurrence) PML at the standard return periods.
+    pub oep_pml: Vec<PmlPoint>,
+}
+
+impl RiskReport {
+    /// Builds a report from a layer's Year Loss Table.
+    pub fn from_ylt(name: impl Into<String>, ylt: &YearLossTable) -> Self {
+        let losses = ylt.losses();
+        let occ_losses = ylt.max_occurrence_losses();
+        Self::from_losses(name, &losses, Some(&occ_losses))
+    }
+
+    /// Builds a report from raw per-trial losses (portfolio roll-ups).
+    pub fn from_losses(name: impl Into<String>, losses: &[f64], occurrence_losses: Option<&[f64]>) -> Self {
+        assert!(!losses.is_empty(), "cannot report on zero trials");
+        let aep = ExceedanceCurve::new(losses.to_vec());
+        let oep = occurrence_losses
+            .filter(|l| !l.is_empty())
+            .map(|l| ExceedanceCurve::new(l.to_vec()));
+        let mean = aep.mean();
+        let variance = losses.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / losses.len() as f64;
+        let nonzero = losses.iter().filter(|&&l| l > 0.0).count() as f64 / losses.len() as f64;
+        Self {
+            name: name.into(),
+            trials: losses.len(),
+            expected_loss: mean,
+            std_dev: variance.sqrt(),
+            attachment_probability: nonzero,
+            var_tvar: var_tvar_profile(losses, &REPORT_LEVELS),
+            aep_pml: standard_pml_table(&aep),
+            oep_pml: oep.map(|c| standard_pml_table(&c)).unwrap_or_default(),
+        }
+    }
+
+    /// The AEP PML at a given return period (None when not reported).
+    pub fn aep_pml_at(&self, return_period: f64) -> Option<f64> {
+        self.aep_pml
+            .iter()
+            .find(|p| (p.return_period - return_period).abs() < 1e-9)
+            .map(|p| p.loss)
+    }
+
+    /// The TVaR at a given confidence level (None when not reported).
+    pub fn tvar_at(&self, level: f64) -> Option<f64> {
+        self.var_tvar
+            .iter()
+            .find(|(l, _, _)| (l - level).abs() < 1e-9)
+            .map(|(_, _, t)| *t)
+    }
+
+    /// Renders the report as a plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Risk report: {} ({} trials)\n", self.name, self.trials));
+        out.push_str(&format!("  expected annual loss : {:>15.2}\n", self.expected_loss));
+        out.push_str(&format!("  standard deviation   : {:>15.2}\n", self.std_dev));
+        out.push_str(&format!("  attachment prob.     : {:>15.4}\n", self.attachment_probability));
+        out.push_str("  level      VaR              TVaR\n");
+        for (level, v, t) in &self.var_tvar {
+            out.push_str(&format!("  {:<9} {v:>15.2} {t:>16.2}\n", format!("{:.1}%", level * 100.0)));
+        }
+        out.push_str("  return period   AEP PML          OEP PML\n");
+        for (i, p) in self.aep_pml.iter().enumerate() {
+            let oep = self.oep_pml.get(i).map(|o| o.loss).unwrap_or(f64::NAN);
+            out.push_str(&format!("  {:>10}yr {:>15.2} {oep:>16.2}\n", p.return_period, p.loss));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_engine::ylt::TrialOutcome;
+    use catrisk_finterms::layer::LayerId;
+
+    fn ylt() -> YearLossTable {
+        let outcomes: Vec<TrialOutcome> = (0..1000)
+            .map(|i| {
+                let loss = if i % 4 == 0 { 0.0 } else { f64::from(i) };
+                TrialOutcome {
+                    year_loss: loss,
+                    max_occurrence_loss: loss * 0.6,
+                    nonzero_events: u32::from(loss > 0.0),
+                }
+            })
+            .collect();
+        YearLossTable::new(LayerId(0), outcomes)
+    }
+
+    #[test]
+    fn report_from_ylt_consistent() {
+        let ylt = ylt();
+        let report = RiskReport::from_ylt("test-layer", &ylt);
+        assert_eq!(report.trials, 1000);
+        assert!((report.expected_loss - ylt.mean_loss()).abs() < 1e-9);
+        assert!((report.std_dev - ylt.loss_std_dev()).abs() < 1e-9);
+        assert!((report.attachment_probability - 0.75).abs() < 1e-9);
+        assert_eq!(report.var_tvar.len(), REPORT_LEVELS.len());
+        assert_eq!(report.aep_pml.len(), 7);
+        assert_eq!(report.oep_pml.len(), 7);
+        // OEP losses were 60% of AEP losses in this synthetic YLT.
+        for (a, o) in report.aep_pml.iter().zip(&report.oep_pml) {
+            assert!(o.loss <= a.loss);
+        }
+        // TVaR dominates VaR everywhere.
+        for (_, v, t) in &report.var_tvar {
+            assert!(t >= v);
+        }
+    }
+
+    #[test]
+    fn accessors_and_text_rendering() {
+        let report = RiskReport::from_ylt("layer-x", &ylt());
+        assert!(report.aep_pml_at(100.0).unwrap() > 0.0);
+        assert!(report.aep_pml_at(123.0).is_none());
+        assert!(report.tvar_at(0.99).unwrap() >= report.tvar_at(0.95).unwrap());
+        assert!(report.tvar_at(0.42).is_none());
+        let text = report.to_text();
+        assert!(text.contains("layer-x"));
+        assert!(text.contains("expected annual loss"));
+        assert!(text.contains("250yr") || text.contains("250"));
+    }
+
+    #[test]
+    fn report_from_portfolio_losses_without_oep() {
+        let losses: Vec<f64> = (0..500).map(f64::from).collect();
+        let report = RiskReport::from_losses("portfolio", &losses, None);
+        assert!(report.oep_pml.is_empty());
+        assert_eq!(report.trials, 500);
+        assert!(report.expected_loss > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn empty_losses_panic() {
+        RiskReport::from_losses("x", &[], None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = RiskReport::from_ylt("rt", &ylt());
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(serde_json::from_str::<RiskReport>(&json).unwrap(), report);
+    }
+}

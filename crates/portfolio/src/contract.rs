@@ -1,0 +1,139 @@
+//! Reinsurance contracts.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_finterms::terms::LayerTerms;
+use catrisk_finterms::treaty::Treaty;
+
+/// Identifier of a contract within a portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ContractId(pub u32);
+
+impl std::fmt::Display for ContractId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A reinsurance contract: a treaty written over a set of exposure ELTs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contract {
+    /// Identifier of the contract.
+    pub id: ContractId,
+    /// Cedant / programme name.
+    pub name: String,
+    /// The treaty structure (Cat XL, Aggregate XL, ...).
+    pub treaty: Treaty,
+    /// Indices of the covered ELTs within the portfolio's ELT list.
+    pub elt_indices: Vec<usize>,
+    /// Share of the layer written by this reinsurer, in `[0, 1]`.
+    pub written_share: f64,
+    /// Annual premium charged for the written share.
+    pub premium: f64,
+}
+
+impl Contract {
+    /// Creates a contract with 100% share and zero premium (to be priced).
+    pub fn new(id: ContractId, name: impl Into<String>, treaty: Treaty, elt_indices: Vec<usize>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            treaty,
+            elt_indices,
+            written_share: 1.0,
+            premium: 0.0,
+        }
+    }
+
+    /// Sets the written share.
+    pub fn with_share(mut self, share: f64) -> Self {
+        self.written_share = share;
+        self
+    }
+
+    /// Sets the premium.
+    pub fn with_premium(mut self, premium: f64) -> Self {
+        self.premium = premium;
+        self
+    }
+
+    /// The layer terms implied by the treaty.
+    pub fn layer_terms(&self) -> LayerTerms {
+        self.treaty.layer_terms()
+    }
+
+    /// Validates the contract against the number of available ELTs.
+    pub fn validate(&self, available_elts: usize) -> crate::Result<()> {
+        self.treaty
+            .validate()
+            .map_err(|e| crate::PortfolioError::Invalid(format!("{}: {e}", self.id)))?;
+        if self.elt_indices.is_empty() {
+            return Err(crate::PortfolioError::Invalid(format!("{}: no covered ELTs", self.id)));
+        }
+        if let Some(&bad) = self.elt_indices.iter().find(|&&i| i >= available_elts) {
+            return Err(crate::PortfolioError::Invalid(format!(
+                "{}: ELT index {bad} out of range ({available_elts} available)",
+                self.id
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.written_share) {
+            return Err(crate::PortfolioError::Invalid(format!(
+                "{}: written share {} outside [0, 1]",
+                self.id, self.written_share
+            )));
+        }
+        if !(self.premium.is_finite() && self.premium >= 0.0) {
+            return Err(crate::PortfolioError::Invalid(format!(
+                "{}: premium {} must be non-negative",
+                self.id, self.premium
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contract() -> Contract {
+        Contract::new(ContractId(1), "Gulf Wind 2012", Treaty::cat_xl(10.0e6, 40.0e6), vec![0, 1, 2])
+            .with_share(0.25)
+            .with_premium(3.0e6)
+    }
+
+    #[test]
+    fn construction_and_terms() {
+        let c = contract();
+        assert_eq!(c.id.to_string(), "C1");
+        assert_eq!(c.written_share, 0.25);
+        assert_eq!(c.premium, 3.0e6);
+        assert_eq!(c.layer_terms().occ_retention, 10.0e6);
+        assert_eq!(c.layer_terms().occ_limit, 40.0e6);
+        c.validate(3).unwrap();
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(contract().validate(2).is_err(), "ELT index out of range");
+        let mut c = contract();
+        c.elt_indices.clear();
+        assert!(c.validate(5).is_err());
+        let mut c = contract();
+        c.written_share = 1.5;
+        assert!(c.validate(5).is_err());
+        let mut c = contract();
+        c.premium = f64::NAN;
+        assert!(c.validate(5).is_err());
+        let mut c = contract();
+        c.treaty = Treaty::cat_xl(-1.0, 1.0);
+        assert!(c.validate(5).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = contract();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Contract>(&json).unwrap(), c);
+    }
+}

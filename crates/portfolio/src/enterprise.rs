@@ -1,0 +1,277 @@
+//! Enterprise risk roll-up: stage 3 of the analytical pipeline.
+//!
+//! "These metrics then flow into the final stage in the risk analysis
+//! pipeline, namely Enterprise Risk Management, where liability, asset, and
+//! other forms of risks are combined and correlated to generate an
+//! enterprise wide view of risk" (paper §I).  Because every business unit is
+//! simulated against the same Year Event Table, combining them is a
+//! per-trial sum and the dependence between units is captured exactly.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_metrics::report::RiskReport;
+use catrisk_metrics::var::{tvar, var};
+
+/// One business unit's simulated annual losses (aligned to the common YET).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusinessUnit {
+    /// Name of the unit (e.g. "US property cat", "International marine").
+    pub name: String,
+    /// Per-trial annual losses.
+    pub losses: Vec<f64>,
+}
+
+impl BusinessUnit {
+    /// Creates a unit.
+    pub fn new(name: impl Into<String>, losses: Vec<f64>) -> Self {
+        Self { name: name.into(), losses }
+    }
+
+    /// Expected annual loss of the unit.
+    pub fn expected_loss(&self) -> f64 {
+        if self.losses.is_empty() {
+            0.0
+        } else {
+            self.losses.iter().sum::<f64>() / self.losses.len() as f64
+        }
+    }
+}
+
+/// The enterprise-wide view across business units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnterpriseView {
+    units: Vec<BusinessUnit>,
+    total_losses: Vec<f64>,
+    /// Confidence level used for capital.
+    pub capital_level: f64,
+}
+
+impl EnterpriseView {
+    /// Combines business units that share the same trial set.
+    pub fn new(units: Vec<BusinessUnit>, capital_level: f64) -> crate::Result<Self> {
+        if units.is_empty() {
+            return Err(crate::PortfolioError::Invalid("no business units".into()));
+        }
+        let trials = units[0].losses.len();
+        if trials == 0 {
+            return Err(crate::PortfolioError::Invalid("business units have no trials".into()));
+        }
+        if units.iter().any(|u| u.losses.len() != trials) {
+            return Err(crate::PortfolioError::Invalid(
+                "all business units must share the same trial count".into(),
+            ));
+        }
+        if !(capital_level > 0.0 && capital_level < 1.0) {
+            return Err(crate::PortfolioError::Invalid(format!(
+                "capital level must be in (0, 1), got {capital_level}"
+            )));
+        }
+        let mut total = vec![0.0; trials];
+        for unit in &units {
+            for (acc, l) in total.iter_mut().zip(&unit.losses) {
+                *acc += l;
+            }
+        }
+        Ok(Self { units, total_losses: total, capital_level })
+    }
+
+    /// The combined per-trial enterprise losses.
+    pub fn total_losses(&self) -> &[f64] {
+        &self.total_losses
+    }
+
+    /// The business units.
+    pub fn units(&self) -> &[BusinessUnit] {
+        &self.units
+    }
+
+    /// Enterprise capital requirement: TVaR of the combined losses at the
+    /// capital level.
+    pub fn required_capital(&self) -> f64 {
+        tvar(&self.total_losses, self.capital_level)
+    }
+
+    /// Sum of the units' standalone TVaRs (the undiversified capital).
+    pub fn standalone_capital(&self) -> f64 {
+        self.units.iter().map(|u| tvar(&u.losses, self.capital_level)).sum()
+    }
+
+    /// Diversification benefit: `1 − required / standalone` (0 when there is
+    /// no standalone capital).
+    pub fn diversification_benefit(&self) -> f64 {
+        let standalone = self.standalone_capital();
+        if standalone <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.required_capital() / standalone
+        }
+    }
+
+    /// Allocates the enterprise capital to units by their co-TVaR: each
+    /// unit's average loss in the trials where the enterprise loss is at or
+    /// beyond its VaR.  The allocations sum to the required capital.
+    pub fn capital_allocation(&self) -> Vec<(String, f64)> {
+        let threshold = var(&self.total_losses, self.capital_level);
+        let tail_trials: Vec<usize> = self
+            .total_losses
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l >= threshold)
+            .map(|(i, _)| i)
+            .collect();
+        if tail_trials.is_empty() {
+            return self.units.iter().map(|u| (u.name.clone(), 0.0)).collect();
+        }
+        let co_tvars: Vec<f64> = self
+            .units
+            .iter()
+            .map(|u| tail_trials.iter().map(|&i| u.losses[i]).sum::<f64>() / tail_trials.len() as f64)
+            .collect();
+        // Scale so the allocation adds up to the reported required capital
+        // (co-TVaR of the sum equals the sum of co-TVaRs up to the tie-break
+        // at the threshold, so the scaling is a small correction).
+        let total_co: f64 = co_tvars.iter().sum();
+        let required = self.required_capital();
+        let scale = if total_co > 0.0 { required / total_co } else { 0.0 };
+        self.units
+            .iter()
+            .zip(co_tvars)
+            .map(|(u, c)| (u.name.clone(), c * scale))
+            .collect()
+    }
+
+    /// Pearson correlation between two units' annual losses.
+    pub fn correlation(&self, a: usize, b: usize) -> f64 {
+        let x = &self.units[a].losses;
+        let y = &self.units[b].losses;
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (xi, yi) in x.iter().zip(y) {
+            cov += (xi - mx) * (yi - my);
+            vx += (xi - mx).powi(2);
+            vy += (yi - my).powi(2);
+        }
+        if vx <= 0.0 || vy <= 0.0 {
+            0.0
+        } else {
+            cov / (vx.sqrt() * vy.sqrt())
+        }
+    }
+
+    /// Full correlation matrix between units.
+    pub fn correlation_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.units.len();
+        (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { self.correlation(i, j) }).collect())
+            .collect()
+    }
+
+    /// Risk report of the combined enterprise losses.
+    pub fn report(&self) -> RiskReport {
+        RiskReport::from_losses("enterprise", &self.total_losses, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_simkit::rng::RngFactory;
+
+    fn units(n_trials: usize) -> Vec<BusinessUnit> {
+        let factory = RngFactory::new(5);
+        let mut us = Vec::new();
+        let mut eu = Vec::new();
+        let mut marine = Vec::new();
+        for i in 0..n_trials {
+            let mut rng = factory.stream(i as u64);
+            let shared_event = rng.uniform() < 0.05;
+            let shared_loss = if shared_event { 50.0 + 100.0 * rng.uniform() } else { 0.0 };
+            us.push(shared_loss * 2.0 + if rng.uniform() < 0.1 { 30.0 } else { 0.0 });
+            eu.push(shared_loss + if rng.uniform() < 0.1 { 20.0 } else { 0.0 });
+            marine.push(if rng.uniform() < 0.08 { 25.0 * rng.uniform() } else { 0.0 });
+        }
+        vec![
+            BusinessUnit::new("US cat", us),
+            BusinessUnit::new("EU cat", eu),
+            BusinessUnit::new("Marine", marine),
+        ]
+    }
+
+    #[test]
+    fn enterprise_aggregation_and_capital() {
+        let view = EnterpriseView::new(units(10_000), 0.99).unwrap();
+        assert_eq!(view.units().len(), 3);
+        assert_eq!(view.total_losses().len(), 10_000);
+        // Total expected loss equals the sum of units.
+        let total_mean = view.total_losses().iter().sum::<f64>() / 10_000.0;
+        let unit_sum: f64 = view.units().iter().map(|u| u.expected_loss()).sum();
+        assert!((total_mean - unit_sum).abs() < 1e-9);
+        // Sub-additivity of the tail measure.
+        assert!(view.required_capital() <= view.standalone_capital() + 1e-9);
+        assert!(view.diversification_benefit() >= 0.0);
+        assert!(view.diversification_benefit() < 1.0);
+    }
+
+    #[test]
+    fn capital_allocation_sums_to_required() {
+        let view = EnterpriseView::new(units(10_000), 0.99).unwrap();
+        let allocation = view.capital_allocation();
+        assert_eq!(allocation.len(), 3);
+        let sum: f64 = allocation.iter().map(|(_, c)| c).sum();
+        assert!((sum - view.required_capital()).abs() < 1e-6);
+        // The correlated, larger US book should consume the most capital.
+        let us = allocation.iter().find(|(n, _)| n == "US cat").unwrap().1;
+        let marine = allocation.iter().find(|(n, _)| n == "Marine").unwrap().1;
+        assert!(us > marine);
+    }
+
+    #[test]
+    fn correlation_structure() {
+        let view = EnterpriseView::new(units(20_000), 0.99).unwrap();
+        let m = view.correlation_matrix();
+        assert_eq!(m.len(), 3);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+        }
+        // US and EU share the common shock; marine is independent.
+        assert!(m[0][1] > 0.3, "US-EU correlation {}", m[0][1]);
+        assert!(m[0][2].abs() < 0.1, "US-Marine correlation {}", m[0][2]);
+        assert!((m[0][1] - m[1][0]).abs() < 1e-12, "symmetry");
+    }
+
+    #[test]
+    fn report_covers_total() {
+        let view = EnterpriseView::new(units(5_000), 0.99).unwrap();
+        let report = view.report();
+        assert_eq!(report.trials, 5_000);
+        assert_eq!(report.name, "enterprise");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(EnterpriseView::new(vec![], 0.99).is_err());
+        assert!(EnterpriseView::new(vec![BusinessUnit::new("a", vec![])], 0.99).is_err());
+        let mismatched = vec![
+            BusinessUnit::new("a", vec![1.0, 2.0]),
+            BusinessUnit::new("b", vec![1.0]),
+        ];
+        assert!(EnterpriseView::new(mismatched, 0.99).is_err());
+        let ok = vec![BusinessUnit::new("a", vec![1.0, 2.0])];
+        assert!(EnterpriseView::new(ok.clone(), 1.5).is_err());
+        assert!(EnterpriseView::new(ok, 0.9).is_ok());
+    }
+
+    #[test]
+    fn constant_unit_has_zero_correlation() {
+        let u = vec![
+            BusinessUnit::new("const", vec![5.0; 100]),
+            BusinessUnit::new("varying", (0..100).map(f64::from).collect()),
+        ];
+        let view = EnterpriseView::new(u, 0.9).unwrap();
+        assert_eq!(view.correlation(0, 1), 0.0);
+    }
+}

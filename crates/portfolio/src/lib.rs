@@ -1,0 +1,61 @@
+//! # catrisk-portfolio
+//!
+//! Portfolio management, contract pricing and enterprise risk roll-up —
+//! stages 2 and 3 of the analytical pipeline described in the paper's
+//! introduction.
+//!
+//! The aggregate risk engine answers "what does this layer lose in each
+//! simulated year"; this crate turns that into the business quantities a
+//! reinsurer actually acts on:
+//!
+//! * [`contract`] — reinsurance contracts: a layer over a set of exposure
+//!   ELTs plus premium and treaty metadata;
+//! * [`portfolio`] — a book of contracts analysed against a common Year
+//!   Event Table, producing per-contract and portfolio-level Year Loss
+//!   Tables in one engine run;
+//! * [`pricing`] — technical pricing from a contract's YLT: expected loss,
+//!   volatility and tail loadings, rate on line;
+//! * [`marginal`] — marginal/diversification analysis: how much portfolio
+//!   tail risk a candidate contract adds, and the capital-based price that
+//!   implies;
+//! * [`realtime`] — the paper's real-time pricing scenario (§IV): quote a
+//!   contract at 50 K trials fast enough for an underwriter on the phone;
+//! * [`enterprise`] — combine business-unit portfolios sharing the same YET
+//!   into an enterprise view with capital allocation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod contract;
+pub mod enterprise;
+pub mod marginal;
+pub mod portfolio;
+pub mod pricing;
+pub mod realtime;
+
+pub use contract::{Contract, ContractId};
+pub use enterprise::{BusinessUnit, EnterpriseView};
+pub use marginal::MarginalAnalysis;
+pub use portfolio::{Portfolio, PortfolioAnalysis};
+pub use pricing::{PricingConfig, Quote};
+pub use realtime::RealTimeQuoter;
+
+/// Errors produced by portfolio assembly and pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortfolioError {
+    /// The portfolio or one of its contracts is inconsistent.
+    Invalid(String),
+}
+
+impl std::fmt::Display for PortfolioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortfolioError::Invalid(msg) => write!(f, "invalid portfolio: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PortfolioError {}
+
+/// Result alias for portfolio operations.
+pub type Result<T> = std::result::Result<T, PortfolioError>;

@@ -1,0 +1,359 @@
+//! Portfolios of contracts and their analysis.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_catmodel::elt::EventLossTable;
+use catrisk_engine::input::{AnalysisInput, AnalysisInputBuilder};
+use catrisk_engine::parallel::ParallelEngine;
+use catrisk_engine::sequential::SequentialEngine;
+use catrisk_engine::ylt::{AnalysisOutput, TrialOutcome, YearLossTable};
+use catrisk_eventgen::yet::YearEventTable;
+use catrisk_finterms::layer::{Layer, LayerId};
+use catrisk_lookup::LookupKind;
+use catrisk_metrics::report::RiskReport;
+
+use crate::contract::Contract;
+use crate::{PortfolioError, Result};
+
+/// A book of reinsurance contracts written against a common set of exposure
+/// ELTs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Portfolio {
+    /// Name of the portfolio / underwriting year.
+    pub name: String,
+    /// The contracts in the book.
+    pub contracts: Vec<Contract>,
+}
+
+impl Portfolio {
+    /// Creates an empty portfolio.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), contracts: Vec::new() }
+    }
+
+    /// Adds a contract and returns its index within the portfolio.
+    pub fn add(&mut self, contract: Contract) -> usize {
+        self.contracts.push(contract);
+        self.contracts.len() - 1
+    }
+
+    /// Number of contracts.
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// True when the portfolio has no contracts.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+
+    /// Total annual premium of the book.
+    pub fn total_premium(&self) -> f64 {
+        self.contracts.iter().map(|c| c.premium).sum()
+    }
+
+    /// Validates every contract against the number of available ELTs.
+    pub fn validate(&self, available_elts: usize) -> Result<()> {
+        if self.contracts.is_empty() {
+            return Err(PortfolioError::Invalid("portfolio has no contracts".into()));
+        }
+        for c in &self.contracts {
+            c.validate(available_elts)?;
+        }
+        Ok(())
+    }
+}
+
+/// The effective share of losses retained by the reinsurer for a contract:
+/// its written share times the treaty's proportional cession.
+fn effective_share(contract: &Contract) -> f64 {
+    contract.written_share * contract.treaty.cession_share()
+}
+
+/// A portfolio prepared for analysis: the engine input plus the contract
+/// metadata needed to scale and report results.
+pub struct PortfolioAnalysis {
+    portfolio: Portfolio,
+    input: AnalysisInput,
+}
+
+impl PortfolioAnalysis {
+    /// Preprocesses a portfolio: builds the engine input covering every
+    /// contract as one layer over the shared Year Event Table.
+    pub fn build(
+        portfolio: Portfolio,
+        elts: &[EventLossTable],
+        yet: Arc<YearEventTable>,
+        lookup: LookupKind,
+    ) -> Result<Self> {
+        portfolio.validate(elts.len())?;
+        let mut builder = AnalysisInputBuilder::new();
+        builder.with_lookup(lookup);
+        builder.set_yet_shared(yet);
+        for elt in elts {
+            builder.add_elt(&elt.loss_pairs(), elt.financial_terms);
+        }
+        for (i, contract) in portfolio.contracts.iter().enumerate() {
+            builder.add_layer(Layer {
+                id: LayerId(i as u32),
+                elt_indices: contract.elt_indices.clone(),
+                terms: contract.layer_terms(),
+                participation: effective_share(contract),
+                description: contract.treaty.describe(),
+            });
+        }
+        let input = builder
+            .build()
+            .map_err(|e| PortfolioError::Invalid(e.to_string()))?;
+        Ok(Self { portfolio, input })
+    }
+
+    /// The underlying engine input (one layer per contract).
+    pub fn input(&self) -> &AnalysisInput {
+        &self.input
+    }
+
+    /// The portfolio being analysed.
+    pub fn portfolio(&self) -> &Portfolio {
+        &self.portfolio
+    }
+
+    /// Runs the analysis on all cores and returns the per-contract results
+    /// scaled by each contract's effective share.
+    pub fn run(&self) -> PortfolioResult {
+        let output = ParallelEngine::new().run(&self.input);
+        self.assemble(output)
+    }
+
+    /// Runs the analysis on a single core (reference / small portfolios).
+    pub fn run_sequential(&self) -> PortfolioResult {
+        let output = SequentialEngine::new().run(&self.input);
+        self.assemble(output)
+    }
+
+    fn assemble(&self, output: AnalysisOutput) -> PortfolioResult {
+        let ylts: Vec<YearLossTable> = output
+            .layers()
+            .iter()
+            .zip(&self.portfolio.contracts)
+            .map(|(ylt, contract)| {
+                let share = effective_share(contract);
+                let outcomes = ylt
+                    .outcomes()
+                    .iter()
+                    .map(|o| TrialOutcome {
+                        year_loss: o.year_loss * share,
+                        max_occurrence_loss: o.max_occurrence_loss * share,
+                        nonzero_events: o.nonzero_events,
+                    })
+                    .collect();
+                YearLossTable::new(ylt.layer_id, outcomes)
+            })
+            .collect();
+        PortfolioResult { portfolio: self.portfolio.clone(), ylts }
+    }
+}
+
+/// The result of analysing a portfolio: one (share-scaled) Year Loss Table
+/// per contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioResult {
+    /// The analysed portfolio.
+    pub portfolio: Portfolio,
+    ylts: Vec<YearLossTable>,
+}
+
+impl PortfolioResult {
+    /// The Year Loss Table of contract `i` (scaled to the written share).
+    pub fn contract_ylt(&self, i: usize) -> &YearLossTable {
+        &self.ylts[i]
+    }
+
+    /// All contract Year Loss Tables.
+    pub fn ylts(&self) -> &[YearLossTable] {
+        &self.ylts
+    }
+
+    /// Per-trial portfolio losses (sum over contracts).
+    pub fn portfolio_losses(&self) -> Vec<f64> {
+        if self.ylts.is_empty() {
+            return vec![];
+        }
+        let trials = self.ylts[0].num_trials();
+        let mut total = vec![0.0; trials];
+        for ylt in &self.ylts {
+            for (acc, o) in total.iter_mut().zip(ylt.outcomes()) {
+                *acc += o.year_loss;
+            }
+        }
+        total
+    }
+
+    /// Expected annual loss of the whole book.
+    pub fn expected_loss(&self) -> f64 {
+        self.ylts.iter().map(|y| y.mean_loss()).sum()
+    }
+
+    /// Underwriting margin: premium minus expected loss.
+    pub fn expected_underwriting_result(&self) -> f64 {
+        self.portfolio.total_premium() - self.expected_loss()
+    }
+
+    /// Risk report for one contract.
+    pub fn contract_report(&self, i: usize) -> RiskReport {
+        RiskReport::from_ylt(self.portfolio.contracts[i].name.clone(), &self.ylts[i])
+    }
+
+    /// Risk report for the whole portfolio.
+    pub fn portfolio_report(&self) -> RiskReport {
+        RiskReport::from_losses(self.portfolio.name.clone(), &self.portfolio_losses(), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_catmodel::elt::EltRecord;
+    use catrisk_eventgen::yet::{EventOccurrence, YetBuilder};
+    use catrisk_finterms::currency::Currency;
+    use catrisk_finterms::terms::FinancialTerms;
+    use catrisk_finterms::treaty::Treaty;
+    use crate::contract::ContractId;
+
+    fn test_elts() -> Vec<EventLossTable> {
+        let make = |name: &str, step: u32, scale: f64| {
+            let records = (0..500u32)
+                .step_by(step as usize)
+                .map(|e| EltRecord {
+                    event: e,
+                    mean_loss: scale * (1_000.0 + 10.0 * f64::from(e)),
+                    std_dev: 0.0,
+                    exposure_value: 0.0,
+                })
+                .collect();
+            EventLossTable::new(name, Currency::Usd, FinancialTerms::pass_through(), records)
+        };
+        vec![make("book-a", 2, 1.0), make("book-b", 3, 2.0), make("book-c", 5, 0.5)]
+    }
+
+    fn test_yet() -> Arc<YearEventTable> {
+        let mut b = YetBuilder::new(500, 200, 6);
+        for t in 0..200u32 {
+            let events: Vec<EventOccurrence> = (0..(t % 9))
+                .map(|i| EventOccurrence {
+                    event: (t.wrapping_mul(37).wrapping_add(i * 11)) % 500,
+                    time: f32::from(i as u8),
+                })
+                .collect();
+            b.push_trial(events);
+        }
+        Arc::new(b.build())
+    }
+
+    fn test_portfolio() -> Portfolio {
+        let mut p = Portfolio::new("UW-2012");
+        p.add(
+            Contract::new(ContractId(0), "alpha", Treaty::cat_xl(2_000.0, 20_000.0), vec![0, 1])
+                .with_premium(5_000.0),
+        );
+        p.add(
+            Contract::new(
+                ContractId(1),
+                "beta",
+                Treaty::AggregateXl { retention: 5_000.0, limit: 50_000.0 },
+                vec![1, 2],
+            )
+            .with_share(0.5)
+            .with_premium(3_000.0),
+        );
+        p
+    }
+
+    #[test]
+    fn portfolio_basics() {
+        let p = test_portfolio();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.total_premium(), 8_000.0);
+        p.validate(3).unwrap();
+        assert!(p.validate(1).is_err());
+        assert!(Portfolio::new("empty").validate(3).is_err());
+    }
+
+    #[test]
+    fn analysis_produces_scaled_ylts() {
+        let analysis =
+            PortfolioAnalysis::build(test_portfolio(), &test_elts(), test_yet(), LookupKind::Direct)
+                .unwrap();
+        assert_eq!(analysis.input().layers().len(), 2);
+        assert_eq!(analysis.portfolio().len(), 2);
+        let result = analysis.run_sequential();
+        assert_eq!(result.ylts().len(), 2);
+        assert_eq!(result.contract_ylt(0).num_trials(), 200);
+        // Contract 1 has a 50% share: its YLT must be half of an unscaled run.
+        let full =
+            PortfolioAnalysis::build(
+                {
+                    let mut p = test_portfolio();
+                    p.contracts[1].written_share = 1.0;
+                    p
+                },
+                &test_elts(),
+                test_yet(),
+                LookupKind::Direct,
+            )
+            .unwrap()
+            .run_sequential();
+        for (half, whole) in result.contract_ylt(1).outcomes().iter().zip(full.contract_ylt(1).outcomes()) {
+            assert!((half.year_loss - 0.5 * whole.year_loss).abs() < 1e-9);
+        }
+        // Portfolio roll-up equals the sum of contract means.
+        let total: f64 = result.portfolio_losses().iter().sum::<f64>() / 200.0;
+        assert!((total - result.expected_loss()).abs() < 1e-9);
+        assert!((result.expected_underwriting_result() - (8_000.0 - result.expected_loss())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let analysis =
+            PortfolioAnalysis::build(test_portfolio(), &test_elts(), test_yet(), LookupKind::Direct)
+                .unwrap();
+        let a = analysis.run_sequential();
+        let b = analysis.run();
+        for (x, y) in a.ylts().iter().zip(b.ylts()) {
+            for (o1, o2) in x.outcomes().iter().zip(y.outcomes()) {
+                assert_eq!(o1.year_loss, o2.year_loss);
+            }
+        }
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let analysis =
+            PortfolioAnalysis::build(test_portfolio(), &test_elts(), test_yet(), LookupKind::Direct)
+                .unwrap();
+        let result = analysis.run_sequential();
+        let c0 = result.contract_report(0);
+        assert_eq!(c0.name, "alpha");
+        assert!((c0.expected_loss - result.contract_ylt(0).mean_loss()).abs() < 1e-9);
+        let pr = result.portfolio_report();
+        assert_eq!(pr.name, "UW-2012");
+        assert!((pr.expected_loss - result.expected_loss()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_rejects_bad_portfolios() {
+        let mut bad = test_portfolio();
+        bad.contracts[0].elt_indices = vec![99];
+        assert!(PortfolioAnalysis::build(bad, &test_elts(), test_yet(), LookupKind::Direct).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = test_portfolio();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Portfolio>(&json).unwrap(), p);
+    }
+}

@@ -1,0 +1,211 @@
+//! Technical pricing of reinsurance contracts from their Year Loss Tables.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_engine::ylt::YearLossTable;
+use catrisk_metrics::var::{tvar, var};
+
+/// Loadings applied on top of the expected loss to reach a technical
+/// premium.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingConfig {
+    /// Loading proportional to the standard deviation of the annual loss.
+    pub volatility_load: f64,
+    /// Loading proportional to the tail capital consumed
+    /// (`TVaR(level) − expected loss`).
+    pub capital_load: f64,
+    /// Confidence level defining tail capital.
+    pub capital_level: f64,
+    /// Expenses and brokerage as a fraction of the technical premium.
+    pub expense_ratio: f64,
+}
+
+impl Default for PricingConfig {
+    fn default() -> Self {
+        Self {
+            volatility_load: 0.15,
+            capital_load: 0.06,
+            capital_level: 0.99,
+            expense_ratio: 0.10,
+        }
+    }
+}
+
+impl PricingConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        let fields = [
+            ("volatility_load", self.volatility_load),
+            ("capital_load", self.capital_load),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(crate::PortfolioError::Invalid(format!("{name} must be non-negative, got {v}")));
+            }
+        }
+        if !(self.capital_level > 0.0 && self.capital_level < 1.0) {
+            return Err(crate::PortfolioError::Invalid(format!(
+                "capital_level must be in (0, 1), got {}",
+                self.capital_level
+            )));
+        }
+        if !(self.expense_ratio >= 0.0 && self.expense_ratio < 1.0) {
+            return Err(crate::PortfolioError::Invalid(format!(
+                "expense_ratio must be in [0, 1), got {}",
+                self.expense_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A priced quote for one contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quote {
+    /// Expected annual loss to the layer (the pure premium).
+    pub expected_loss: f64,
+    /// Standard deviation of the annual loss.
+    pub std_dev: f64,
+    /// VaR at the capital level.
+    pub var: f64,
+    /// TVaR at the capital level.
+    pub tvar: f64,
+    /// Volatility loading.
+    pub volatility_loading: f64,
+    /// Capital (tail) loading.
+    pub capital_loading: f64,
+    /// Technical premium before expenses.
+    pub risk_premium: f64,
+    /// Premium including expenses.
+    pub gross_premium: f64,
+    /// Rate on line: gross premium divided by the layer's annual limit
+    /// (`NaN` when the limit is unlimited).
+    pub rate_on_line: f64,
+    /// Probability the layer attaches (non-zero annual loss).
+    pub attachment_probability: f64,
+}
+
+/// Prices a contract from its (share-scaled) Year Loss Table.
+pub fn price_ylt(ylt: &YearLossTable, annual_limit: f64, config: &PricingConfig) -> Quote {
+    price_losses(&ylt.losses(), annual_limit, config)
+}
+
+/// Prices a contract from raw per-trial losses.
+pub fn price_losses(losses: &[f64], annual_limit: f64, config: &PricingConfig) -> Quote {
+    assert!(!losses.is_empty(), "cannot price with zero trials");
+    let n = losses.len() as f64;
+    let expected_loss = losses.iter().sum::<f64>() / n;
+    let variance = losses.iter().map(|l| (l - expected_loss).powi(2)).sum::<f64>() / n;
+    let std_dev = variance.sqrt();
+    let v = var(losses, config.capital_level);
+    let t = tvar(losses, config.capital_level);
+    let volatility_loading = config.volatility_load * std_dev;
+    let capital_loading = config.capital_load * (t - expected_loss).max(0.0);
+    let risk_premium = expected_loss + volatility_loading + capital_loading;
+    let gross_premium = risk_premium / (1.0 - config.expense_ratio);
+    let attachment_probability = losses.iter().filter(|&&l| l > 0.0).count() as f64 / n;
+    Quote {
+        expected_loss,
+        std_dev,
+        var: v,
+        tvar: t,
+        volatility_loading,
+        capital_loading,
+        risk_premium,
+        gross_premium,
+        rate_on_line: if annual_limit.is_finite() && annual_limit > 0.0 {
+            gross_premium / annual_limit
+        } else {
+            f64::NAN
+        },
+        attachment_probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_engine::ylt::TrialOutcome;
+    use catrisk_finterms::layer::LayerId;
+
+    fn losses() -> Vec<f64> {
+        // 80% of years: no loss; 20%: between 1M and 10M.
+        (0..1000)
+            .map(|i| if i % 5 == 0 { 1.0e6 + 9.0e6 * f64::from(i) / 1000.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn quote_components_are_consistent() {
+        let config = PricingConfig::default();
+        config.validate().unwrap();
+        let q = price_losses(&losses(), 10.0e6, &config);
+        assert!(q.expected_loss > 0.0);
+        assert!(q.tvar >= q.var);
+        assert!(q.risk_premium >= q.expected_loss);
+        assert!(q.gross_premium > q.risk_premium);
+        assert!((q.risk_premium
+            - (q.expected_loss + q.volatility_loading + q.capital_loading))
+            .abs()
+            < 1e-9);
+        assert!((q.gross_premium * (1.0 - config.expense_ratio) - q.risk_premium).abs() < 1e-9);
+        assert!((q.attachment_probability - 0.2).abs() < 1e-9);
+        assert!((q.rate_on_line - q.gross_premium / 10.0e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_layer_has_no_rate_on_line() {
+        let q = price_losses(&losses(), f64::INFINITY, &PricingConfig::default());
+        assert!(q.rate_on_line.is_nan());
+    }
+
+    #[test]
+    fn zero_loadings_price_at_expected_loss() {
+        let config = PricingConfig {
+            volatility_load: 0.0,
+            capital_load: 0.0,
+            expense_ratio: 0.0,
+            ..Default::default()
+        };
+        let q = price_losses(&losses(), 10.0e6, &config);
+        assert!((q.gross_premium - q.expected_loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn riskier_layers_cost_more() {
+        let config = PricingConfig::default();
+        let calm: Vec<f64> = vec![1.0e6; 1000];
+        let volatile: Vec<f64> = (0..1000).map(|i| if i % 100 == 0 { 100.0e6 } else { 0.0 }).collect();
+        // Same expected loss, very different volatility.
+        let q_calm = price_losses(&calm, 100.0e6, &config);
+        let q_vol = price_losses(&volatile, 100.0e6, &config);
+        assert!((q_calm.expected_loss - q_vol.expected_loss).abs() < 1e-6);
+        assert!(q_vol.gross_premium > 2.0 * q_calm.gross_premium);
+    }
+
+    #[test]
+    fn price_from_ylt_matches_losses() {
+        let outcomes: Vec<TrialOutcome> = losses()
+            .into_iter()
+            .map(|l| TrialOutcome { year_loss: l, max_occurrence_loss: l, nonzero_events: 1 })
+            .collect();
+        let ylt = YearLossTable::new(LayerId(3), outcomes);
+        let a = price_ylt(&ylt, 10.0e6, &PricingConfig::default());
+        let b = price_losses(&ylt.losses(), 10.0e6, &PricingConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PricingConfig { volatility_load: -0.1, ..Default::default() }.validate().is_err());
+        assert!(PricingConfig { capital_level: 1.0, ..Default::default() }.validate().is_err());
+        assert!(PricingConfig { expense_ratio: 1.0, ..Default::default() }.validate().is_err());
+        assert!(PricingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn empty_losses_panic() {
+        price_losses(&[], 1.0, &PricingConfig::default());
+    }
+}

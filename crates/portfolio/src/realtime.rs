@@ -1,0 +1,197 @@
+//! Real-time pricing: the paper's motivating interactive scenario.
+//!
+//! "This is sufficiently fast to support a real-time pricing scenario in
+//! which an underwriter can evaluate different contractual terms and pricing
+//! while discussing a deal with a client over the phone.  In many
+//! applications 50K trials may be sufficient in which case sub one second
+//! response time can be achieved" (paper §IV).  The quoter below keeps the
+//! prepared ELT lookup structures and a (possibly subsampled) Year Event
+//! Table resident, and re-runs the aggregate analysis for each alternative
+//! set of layer terms the underwriter wants to try.
+
+use std::time::Duration;
+
+use catrisk_engine::input::AnalysisInput;
+use catrisk_engine::parallel::ParallelEngine;
+use catrisk_finterms::layer::{Layer, LayerId};
+use catrisk_finterms::treaty::Treaty;
+use catrisk_simkit::timing::Stopwatch;
+
+use crate::pricing::{price_losses, PricingConfig, Quote};
+use crate::{PortfolioError, Result};
+
+/// A quote plus the wall-clock time it took to produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedQuote {
+    /// The technical quote.
+    pub quote: Quote,
+    /// Number of trials used.
+    pub trials: usize,
+    /// Wall-clock time of the engine run plus pricing.
+    pub elapsed: Duration,
+}
+
+/// Interactive quoting engine over a fixed exposure / trial set.
+pub struct RealTimeQuoter {
+    input: AnalysisInput,
+    pricing: PricingConfig,
+    engine: ParallelEngine,
+}
+
+impl RealTimeQuoter {
+    /// Creates a quoter over a prepared analysis input (its layers are
+    /// ignored; each quote supplies its own).
+    ///
+    /// `max_trials` caps the number of trials used per quote (the paper's
+    /// 50 K-trial quick-quote mode); pass `None` to use every trial.
+    pub fn new(input: &AnalysisInput, max_trials: Option<usize>, pricing: PricingConfig) -> Result<Self> {
+        pricing.validate()?;
+        let input = match max_trials {
+            Some(n) if n < input.num_trials() => {
+                let sliced = input.yet().slice_trials(0..n);
+                input.with_yet_slice(sliced)
+            }
+            _ => input.clone(),
+        };
+        Ok(Self { input, pricing, engine: ParallelEngine::new() })
+    }
+
+    /// Number of trials each quote will use.
+    pub fn trials(&self) -> usize {
+        self.input.num_trials()
+    }
+
+    /// Quotes a treaty over the given covered ELT indices.
+    pub fn quote(&self, treaty: Treaty, elt_indices: &[usize]) -> Result<TimedQuote> {
+        treaty
+            .validate()
+            .map_err(|e| PortfolioError::Invalid(e.to_string()))?;
+        let terms = treaty.layer_terms();
+        let layer = Layer {
+            id: LayerId(0),
+            elt_indices: elt_indices.to_vec(),
+            terms,
+            participation: treaty.cession_share(),
+            description: treaty.describe(),
+        };
+        let sw = Stopwatch::start();
+        let input = self
+            .input
+            .with_layers(vec![layer])
+            .map_err(|e| PortfolioError::Invalid(e.to_string()))?;
+        let output = self.engine.run(&input);
+        let share = treaty.cession_share();
+        let losses: Vec<f64> = output
+            .layer(0)
+            .outcomes()
+            .iter()
+            .map(|o| o.year_loss * share)
+            .collect();
+        let annual_limit = if terms.agg_limit.is_finite() {
+            terms.agg_limit
+        } else {
+            terms.occ_limit
+        };
+        let quote = price_losses(&losses, annual_limit * share, &self.pricing);
+        Ok(TimedQuote { quote, trials: losses.len(), elapsed: sw.elapsed() })
+    }
+
+    /// Quotes several alternative retention/limit structures in one call —
+    /// the "discussing a deal over the phone" loop.
+    pub fn quote_alternatives(
+        &self,
+        alternatives: &[Treaty],
+        elt_indices: &[usize],
+    ) -> Result<Vec<TimedQuote>> {
+        alternatives
+            .iter()
+            .map(|t| self.quote(*t, elt_indices))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_engine::input::AnalysisInputBuilder;
+    use catrisk_finterms::terms::{FinancialTerms, LayerTerms};
+
+    fn base_input(trials: usize) -> AnalysisInput {
+        let mut b = AnalysisInputBuilder::new();
+        let yet_trials: Vec<Vec<(u32, f32)>> = (0..trials)
+            .map(|t| {
+                (0..((t % 7) as u32))
+                    .map(|i| (((t as u32).wrapping_mul(23).wrapping_add(i * 13)) % 400, i as f32))
+                    .collect()
+            })
+            .collect();
+        b.set_yet_from_trials(400, yet_trials);
+        let pairs_a: Vec<(u32, f64)> = (0..400).step_by(2).map(|e| (e, 5_000.0 + 100.0 * f64::from(e))).collect();
+        let pairs_b: Vec<(u32, f64)> = (0..400).step_by(3).map(|e| (e, 2_000.0 + 50.0 * f64::from(e))).collect();
+        b.add_elt(&pairs_a, FinancialTerms::pass_through());
+        b.add_elt(&pairs_b, FinancialTerms::pass_through());
+        // Placeholder layer (the quoter replaces layers per quote).
+        b.add_layer_over(&[0], LayerTerms::unlimited());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn quoting_respects_trial_cap() {
+        let input = base_input(500);
+        let quoter = RealTimeQuoter::new(&input, Some(100), PricingConfig::default()).unwrap();
+        assert_eq!(quoter.trials(), 100);
+        let full = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
+        assert_eq!(full.trials(), 500);
+        let capped_above = RealTimeQuoter::new(&input, Some(10_000), PricingConfig::default()).unwrap();
+        assert_eq!(capped_above.trials(), 500);
+    }
+
+    #[test]
+    fn quote_produces_sensible_numbers_quickly() {
+        let input = base_input(400);
+        let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
+        let quoted = quoter.quote(Treaty::cat_xl(10_000.0, 100_000.0), &[0, 1]).unwrap();
+        assert_eq!(quoted.trials, 400);
+        assert!(quoted.quote.expected_loss >= 0.0);
+        assert!(quoted.quote.gross_premium >= quoted.quote.expected_loss);
+        assert!(quoted.elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn higher_retention_costs_less() {
+        let input = base_input(400);
+        let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
+        let alternatives = [
+            Treaty::cat_xl(5_000.0, 100_000.0),
+            Treaty::cat_xl(20_000.0, 100_000.0),
+            Treaty::cat_xl(50_000.0, 100_000.0),
+        ];
+        let quotes = quoter.quote_alternatives(&alternatives, &[0, 1]).unwrap();
+        assert_eq!(quotes.len(), 3);
+        assert!(quotes[0].quote.expected_loss >= quotes[1].quote.expected_loss);
+        assert!(quotes[1].quote.expected_loss >= quotes[2].quote.expected_loss);
+    }
+
+    #[test]
+    fn quota_share_scales_losses() {
+        let input = base_input(300);
+        let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
+        let full = quoter
+            .quote(Treaty::QuotaShare { cession: 1.0, event_limit: f64::INFINITY }, &[0])
+            .unwrap();
+        let half = quoter
+            .quote(Treaty::QuotaShare { cession: 0.5, event_limit: f64::INFINITY }, &[0])
+            .unwrap();
+        assert!((half.quote.expected_loss - 0.5 * full.quote.expected_loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let input = base_input(100);
+        let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
+        assert!(quoter.quote(Treaty::cat_xl(-1.0, 10.0), &[0]).is_err());
+        assert!(quoter.quote(Treaty::cat_xl(1.0, 10.0), &[7]).is_err(), "bad ELT index");
+        let bad_pricing = PricingConfig { capital_level: 2.0, ..Default::default() };
+        assert!(RealTimeQuoter::new(&input, None, bad_pricing).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Portfolio pricing: analyse a multi-contract book against a shared Year
+//! Event Table, price every contract, measure the marginal impact of a new
+//! deal, and roll the book up into an enterprise view.
+//!
+//! ```text
+//! cargo run --release --example portfolio_pricing
+//! ```
+
+use std::sync::Arc;
+
+use catrisk::catmodel::generator::ExposureConfig;
+use catrisk::catmodel::runner::{CatModel, CatModelConfig};
+use catrisk::eventgen::catalog::{CatalogConfig, EventCatalog};
+use catrisk::eventgen::peril::Region;
+use catrisk::eventgen::simulate::{YetConfig, YetGenerator};
+use catrisk::finterms::treaty::{Reinstatements, Treaty};
+use catrisk::lookup::LookupKind;
+use catrisk::portfolio::contract::{Contract, ContractId};
+use catrisk::portfolio::enterprise::{BusinessUnit, EnterpriseView};
+use catrisk::portfolio::marginal::MarginalAnalysis;
+use catrisk::portfolio::portfolio::{Portfolio, PortfolioAnalysis};
+use catrisk::portfolio::pricing::{price_ylt, PricingConfig};
+use catrisk::prelude::RngFactory;
+
+fn main() {
+    let factory = RngFactory::new(7);
+
+    // Shared catalog and YET for the whole book ("a consistent lens").
+    let catalog = EventCatalog::generate(
+        &CatalogConfig { num_events: 30_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+        &factory,
+    )
+    .expect("catalog");
+    let yet = Arc::new(
+        YetGenerator::new(&catalog, YetConfig::with_trials(30_000))
+            .expect("generator")
+            .generate(&factory),
+    );
+
+    // Four regional exposure books -> four ELTs.
+    let books = [
+        ("us-gulf", Region::NorthAmericaEast),
+        ("us-west", Region::NorthAmericaWest),
+        ("europe", Region::Europe),
+        ("japan", Region::Japan),
+    ];
+    let model = CatModel::new(CatModelConfig::default()).expect("model");
+    let elts: Vec<_> = books
+        .iter()
+        .map(|(name, region)| {
+            let exposure = ExposureConfig::regional(*name, *region, 1_500)
+                .generate(&factory)
+                .expect("exposure");
+            model.run(&catalog, &exposure, &factory)
+        })
+        .collect();
+    let scale = elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
+
+    // The book: three in-force contracts.
+    let mut portfolio = Portfolio::new("UW year 2012");
+    portfolio.add(
+        Contract::new(ContractId(0), "US wind 40 xs 10", Treaty::cat_xl(0.10 * scale, 0.40 * scale), vec![0])
+            .with_premium(0.06 * scale),
+    );
+    portfolio.add(
+        Contract::new(
+            ContractId(1),
+            "US quake with reinstatement",
+            Treaty::CatXl {
+                retention: 0.15 * scale,
+                limit: 0.35 * scale,
+                reinstatements: Reinstatements::new(1, 1.0).expect("valid"),
+            },
+            vec![1],
+        )
+        .with_premium(0.05 * scale),
+    );
+    portfolio.add(
+        Contract::new(
+            ContractId(2),
+            "Europe stop loss",
+            Treaty::AggregateXl { retention: 0.2 * scale, limit: 0.6 * scale },
+            vec![2],
+        )
+        .with_premium(0.04 * scale),
+    );
+
+    let analysis = PortfolioAnalysis::build(portfolio, &elts, Arc::clone(&yet), LookupKind::Direct)
+        .expect("analysis");
+    let result = analysis.run();
+
+    // Price each contract technically and compare with the booked premium.
+    let pricing = PricingConfig::default();
+    println!("{:<30} {:>14} {:>14} {:>14}", "contract", "expected loss", "tech premium", "booked premium");
+    for (i, contract) in result.portfolio.contracts.iter().enumerate() {
+        let quote = price_ylt(result.contract_ylt(i), contract.layer_terms().max_annual_recovery(), &pricing);
+        println!(
+            "{:<30} {:>14.0} {:>14.0} {:>14.0}",
+            contract.name, quote.expected_loss, quote.gross_premium, contract.premium
+        );
+    }
+    println!(
+        "\nportfolio expected loss {:.0}, premium {:.0}, expected UW result {:.0}",
+        result.expected_loss(),
+        result.portfolio.total_premium(),
+        result.expected_underwriting_result()
+    );
+
+    // Marginal impact of adding a Japan quake layer to the book.
+    let candidate = Contract::new(
+        ContractId(3),
+        "Japan quake 30 xs 10 (candidate)",
+        Treaty::cat_xl(0.10 * scale, 0.30 * scale),
+        vec![3],
+    );
+    let mut with_candidate = result.portfolio.clone();
+    with_candidate.add(candidate);
+    let candidate_result = PortfolioAnalysis::build(with_candidate, &elts, Arc::clone(&yet), LookupKind::Direct)
+        .expect("analysis")
+        .run();
+    let candidate_losses = candidate_result.contract_ylt(3).losses();
+    let marginal = MarginalAnalysis::new(&result.portfolio_losses(), &candidate_losses, 0.99);
+    println!(
+        "\ncandidate standalone TVaR99 {:.0}, marginal TVaR99 {:.0}, diversification benefit {:.0}%",
+        marginal.standalone_tvar,
+        marginal.marginal_tvar,
+        100.0 * marginal.diversification_benefit
+    );
+    println!("marginal-capital price at 8% cost of capital: {:.0}", marginal.marginal_capital_price(0.08));
+
+    // Enterprise roll-up by business unit.
+    let units = vec![
+        BusinessUnit::new("US cat", {
+            let mut v = result.contract_ylt(0).losses();
+            for (a, b) in v.iter_mut().zip(result.contract_ylt(1).losses()) {
+                *a += b;
+            }
+            v
+        }),
+        BusinessUnit::new("International cat", result.contract_ylt(2).losses()),
+    ];
+    let enterprise = EnterpriseView::new(units, 0.99).expect("enterprise");
+    println!(
+        "\nenterprise capital (TVaR99): {:.0}; undiversified {:.0}; diversification benefit {:.0}%",
+        enterprise.required_capital(),
+        enterprise.standalone_capital(),
+        100.0 * enterprise.diversification_benefit()
+    );
+    for (unit, capital) in enterprise.capital_allocation() {
+        println!("  capital allocated to {unit}: {capital:.0}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the full aggregate risk analysis pipeline on a small
+//! synthetic book.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Steps (mirroring the paper's pipeline):
+//! 1. generate a stochastic event catalog;
+//! 2. generate a synthetic exposure database and run the catastrophe model
+//!    to obtain an Event Loss Table (ELT);
+//! 3. pre-simulate a Year Event Table (YET);
+//! 4. describe a reinsurance layer (Cat XL) over the ELT;
+//! 5. run the Aggregate Risk Engine in parallel;
+//! 6. derive PML / TVaR from the Year Loss Table.
+
+use std::sync::Arc;
+
+use catrisk::catmodel::generator::ExposureConfig;
+use catrisk::catmodel::runner::{CatModel, CatModelConfig};
+use catrisk::engine::input::AnalysisInputBuilder;
+use catrisk::engine::parallel::ParallelEngine;
+use catrisk::eventgen::catalog::{CatalogConfig, EventCatalog};
+use catrisk::eventgen::peril::Region;
+use catrisk::eventgen::simulate::{YetConfig, YetGenerator};
+use catrisk::finterms::treaty::Treaty;
+use catrisk::metrics::report::RiskReport;
+use catrisk::prelude::RngFactory;
+
+fn main() {
+    let factory = RngFactory::new(2012);
+
+    // 1. Stochastic event catalog (20k events, ~1000 occurrences/year).
+    let catalog = EventCatalog::generate(
+        &CatalogConfig { num_events: 20_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+        &factory,
+    )
+    .expect("catalog");
+    println!("catalog: {} events, {:.0} expected occurrences/year", catalog.len(), catalog.total_annual_rate());
+
+    // 2. Exposure database + catastrophe model -> ELT.
+    let exposure = ExposureConfig::regional("gulf-coast-book", Region::NorthAmericaEast, 2_000)
+        .generate(&factory)
+        .expect("exposure");
+    println!("exposure: {} locations, {:.1}M total insured value", exposure.len(), exposure.total_tiv() / 1.0e6);
+    let model = CatModel::new(CatModelConfig::default()).expect("model");
+    let elt = model.run(&catalog, &exposure, &factory);
+    println!("ELT: {} events with non-zero loss, largest {:.1}M", elt.len(), elt.max_loss() / 1.0e6);
+
+    // 3. Year Event Table: 50k alternative views of the contractual year.
+    let yet = YetGenerator::new(&catalog, YetConfig::with_trials(50_000))
+        .expect("generator")
+        .generate(&factory);
+    println!("YET: {} trials, {:.0} events/trial on average", yet.num_trials(), yet.avg_events_per_trial());
+
+    // 4. A Cat XL layer over the ELT.
+    let attachment = 0.05 * elt.max_loss();
+    let limit = 0.50 * elt.max_loss();
+    let treaty = Treaty::cat_xl(attachment, limit);
+    println!("layer: {}", treaty.describe());
+
+    let mut builder = AnalysisInputBuilder::new();
+    builder.set_yet_shared(Arc::new(yet));
+    let elt_index = builder.add_elt(&elt.loss_pairs(), elt.financial_terms);
+    builder.add_layer_over(&[elt_index], treaty.layer_terms());
+    let input = builder.build().expect("analysis input");
+
+    // 5. Aggregate analysis on all cores.
+    let output = ParallelEngine::new().run(&input);
+    let ylt = output.layer(0);
+    println!(
+        "aggregate analysis: {} trials, expected annual loss {:.1}M, attaches in {:.1}% of years",
+        ylt.num_trials(),
+        ylt.mean_loss() / 1.0e6,
+        100.0 * ylt.nonzero_fraction()
+    );
+
+    // 6. Risk metrics.
+    let report = RiskReport::from_ylt("gulf-coast Cat XL", ylt);
+    println!("\n{}", report.to_text());
+}

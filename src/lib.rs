@@ -1,0 +1,36 @@
+//! # catrisk
+//!
+//! A parallel aggregate risk analysis library for portfolios of catastrophic
+//! event risk, reproducing *"Parallel Simulations for Analysing Portfolios of
+//! Catastrophic Event Risk"* (Bahl, Baltzer, Rau-Chaplin, Varghese — SC 2012).
+//!
+//! This facade crate re-exports the individual subsystem crates and provides
+//! a [`prelude`] with the types used by a typical analysis:
+//!
+//! 1. build (or load) a stochastic **event catalog** and synthesize **Event
+//!    Loss Tables** with the catastrophe-model substrate ([`catmodel`]);
+//! 2. pre-simulate a **Year Event Table** ([`eventgen`]);
+//! 3. describe reinsurance **layers** over the ELTs ([`finterms`]);
+//! 4. run the **Aggregate Risk Engine** sequentially, on all cores, or on the
+//!    simulated many-core device ([`engine`], [`gpusim`]);
+//! 5. derive **PML / VaR / TVaR** and price contracts ([`metrics`],
+//!    [`portfolio`]).
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+#![warn(missing_docs)]
+
+pub use catrisk_catmodel as catmodel;
+pub use catrisk_engine as engine;
+pub use catrisk_eventgen as eventgen;
+pub use catrisk_finterms as finterms;
+pub use catrisk_gpusim as gpusim;
+pub use catrisk_lookup as lookup;
+pub use catrisk_metrics as metrics;
+pub use catrisk_portfolio as portfolio;
+pub use catrisk_simkit as simkit;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use catrisk_simkit::rng::RngFactory;
+}

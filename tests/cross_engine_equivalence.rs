@@ -1,0 +1,143 @@
+//! Cross-engine equivalence: every engine implementation — sequential,
+//! parallel CPU (any thread count, with or without oversubscription),
+//! chunked CPU (any chunk size), streaming, and the two simulated-GPU
+//! kernels — must produce bit-identical Year Loss Tables on the same input.
+//!
+//! This is the correctness backbone of the reproduction: the paper compares
+//! the *performance* of these implementations, which is only meaningful
+//! because they compute the same thing.
+
+use std::sync::Arc;
+
+use catrisk::catmodel::generator::ExposureConfig;
+use catrisk::catmodel::runner::{CatModel, CatModelConfig};
+use catrisk::engine::chunked::ChunkedEngine;
+use catrisk::engine::input::{AnalysisInput, AnalysisInputBuilder};
+use catrisk::engine::parallel::ParallelEngine;
+use catrisk::engine::sequential::SequentialEngine;
+use catrisk::engine::streaming::StreamingEngine;
+use catrisk::engine::ylt::TrialOutcome;
+use catrisk::eventgen::catalog::{CatalogConfig, EventCatalog};
+use catrisk::eventgen::peril::Region;
+use catrisk::eventgen::simulate::{YetConfig, YetGenerator};
+use catrisk::finterms::terms::LayerTerms;
+use catrisk::finterms::treaty::Treaty;
+use catrisk::gpusim::executor::Executor;
+use catrisk::gpusim::kernel::LaunchConfig;
+use catrisk::gpusim::kernels::{run_gpu_analysis, GpuVariant};
+use catrisk::lookup::LookupKind;
+use catrisk::prelude::RngFactory;
+
+/// A realistic (but small) analysis input built through the full
+/// catastrophe-model pipeline rather than synthetic tables.
+fn pipeline_input(lookup: LookupKind) -> AnalysisInput {
+    let factory = RngFactory::new(424242);
+    let catalog = EventCatalog::generate(
+        &CatalogConfig { num_events: 8_000, annual_event_budget: 400.0, rate_tail_index: 1.2 },
+        &factory,
+    )
+    .expect("catalog");
+    let model = CatModel::new(CatModelConfig::default()).expect("model");
+    let regions = [Region::NorthAmericaEast, Region::Europe, Region::Japan];
+    let elts: Vec<_> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, region)| {
+            let exposure = ExposureConfig::regional(format!("book-{i}"), *region, 600)
+                .generate(&factory)
+                .expect("exposure");
+            model.run(&catalog, &exposure, &factory)
+        })
+        .collect();
+    let yet = YetGenerator::new(&catalog, YetConfig::with_trials(800))
+        .expect("generator")
+        .generate(&factory);
+
+    let scale = elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
+    let mut builder = AnalysisInputBuilder::new();
+    builder.with_lookup(lookup);
+    builder.set_yet_shared(Arc::new(yet));
+    let indices: Vec<usize> = elts
+        .iter()
+        .map(|elt| builder.add_elt(&elt.loss_pairs(), elt.financial_terms))
+        .collect();
+    builder.add_layer_over(&indices, Treaty::cat_xl(0.05 * scale, 0.4 * scale).layer_terms());
+    builder.add_layer_over(&indices[..2], LayerTerms::aggregate(0.1 * scale, 0.8 * scale).unwrap());
+    builder.add_layer_over(
+        &[indices[2]],
+        LayerTerms::new(0.02 * scale, 0.3 * scale, 0.05 * scale, 0.5 * scale).unwrap(),
+    );
+    builder.build().expect("input")
+}
+
+#[test]
+fn all_cpu_engines_match_sequential() {
+    let input = pipeline_input(LookupKind::Direct);
+    let reference = SequentialEngine::new().run(&input);
+    assert!(reference.layers().iter().any(|ylt| ylt.mean_loss() > 0.0), "workload must be non-trivial");
+
+    for threads in [1, 2, 5, 16] {
+        let out = ParallelEngine::with_threads(threads).run(&input);
+        assert_eq!(reference.max_abs_difference(&out), 0.0, "parallel {threads} threads");
+    }
+    for (threads, items) in [(2, 8), (4, 32)] {
+        let out = ParallelEngine::oversubscribed(threads, items).run(&input);
+        assert_eq!(reference.max_abs_difference(&out), 0.0, "oversubscribed {threads}x{items}");
+    }
+    for chunk in [1, 3, 4, 16, 500] {
+        let out = ChunkedEngine::new(chunk).run(&input);
+        assert_eq!(reference.max_abs_difference(&out), 0.0, "chunked {chunk}");
+    }
+}
+
+#[test]
+fn streaming_engine_matches_sequential() {
+    let input = pipeline_input(LookupKind::Direct);
+    let reference = SequentialEngine::new().run(&input);
+    let mut collected: Vec<Vec<TrialOutcome>> = vec![Vec::new(); input.layers().len()];
+    StreamingEngine::new(97).run_with(&input, |_, _, block| {
+        for (i, ylt) in block.layers().iter().enumerate() {
+            collected[i].extend_from_slice(ylt.outcomes());
+        }
+    });
+    for (i, outcomes) in collected.iter().enumerate() {
+        assert_eq!(outcomes.len(), reference.layer(i).num_trials());
+        for (a, b) in outcomes.iter().zip(reference.layer(i).outcomes()) {
+            assert_eq!(a.year_loss, b.year_loss);
+        }
+    }
+}
+
+#[test]
+fn gpu_kernels_match_sequential() {
+    let input = pipeline_input(LookupKind::Direct);
+    let reference = SequentialEngine::new().run(&input);
+    let executor = Executor::tesla_c2075();
+
+    for tpb in [64u32, 256, 512] {
+        let (out, launches) =
+            run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(tpb))
+                .expect("basic launch");
+        assert_eq!(reference.max_abs_difference(&out), 0.0, "gpu basic tpb={tpb}");
+        assert!(launches.iter().all(|l| l.simulated_seconds() > 0.0));
+    }
+    for chunk in [1usize, 4, 12, 32] {
+        let (out, _) = run_gpu_analysis(
+            &executor,
+            &input,
+            GpuVariant::Chunked { chunk_size: chunk },
+            LaunchConfig::with_block_size(64),
+        )
+        .expect("chunked launch");
+        assert_eq!(reference.max_abs_difference(&out), 0.0, "gpu chunked chunk={chunk}");
+    }
+}
+
+#[test]
+fn all_lookup_structures_give_identical_results() {
+    let reference = SequentialEngine::new().run(&pipeline_input(LookupKind::Direct));
+    for kind in [LookupKind::Sorted, LookupKind::Hashed, LookupKind::Cuckoo] {
+        let out = SequentialEngine::new().run(&pipeline_input(kind));
+        assert_eq!(reference.max_abs_difference(&out), 0.0, "{kind}");
+    }
+}

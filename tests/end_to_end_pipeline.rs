@@ -1,0 +1,179 @@
+//! End-to-end pipeline test: catalog → exposure → ELT → YET → aggregate
+//! analysis → portfolio metrics, with sanity checks on every stage and on
+//! the economic consistency of the outputs.
+
+use std::sync::Arc;
+
+use catrisk::catmodel::generator::ExposureConfig;
+use catrisk::catmodel::runner::{CatModel, CatModelConfig};
+use catrisk::eventgen::catalog::{CatalogConfig, EventCatalog};
+use catrisk::eventgen::peril::Region;
+use catrisk::eventgen::simulate::{YetConfig, YetGenerator};
+use catrisk::finterms::treaty::Treaty;
+use catrisk::lookup::LookupKind;
+use catrisk::metrics::ep::ExceedanceCurve;
+use catrisk::metrics::var::{tvar, var};
+use catrisk::portfolio::contract::{Contract, ContractId};
+use catrisk::portfolio::portfolio::{Portfolio, PortfolioAnalysis};
+use catrisk::portfolio::pricing::{price_ylt, PricingConfig};
+use catrisk::prelude::RngFactory;
+
+struct Pipeline {
+    elts: Vec<catrisk::catmodel::elt::EventLossTable>,
+    yet: Arc<catrisk::eventgen::yet::YearEventTable>,
+}
+
+fn build_pipeline(trials: usize) -> Pipeline {
+    let factory = RngFactory::new(20_120_101);
+    let catalog = EventCatalog::generate(
+        &CatalogConfig { num_events: 10_000, annual_event_budget: 600.0, rate_tail_index: 1.2 },
+        &factory,
+    )
+    .expect("catalog");
+    assert_eq!(catalog.len(), 10_000);
+    assert!((catalog.total_annual_rate() - 600.0).abs() < 1e-6);
+
+    let model = CatModel::new(CatModelConfig::default()).expect("model");
+    let regions = [Region::NorthAmericaEast, Region::NorthAmericaWest, Region::Europe];
+    let elts: Vec<_> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, region)| {
+            let exposure = ExposureConfig::regional(format!("book-{i}"), *region, 800)
+                .generate(&factory)
+                .expect("exposure");
+            let elt = model.run(&catalog, &exposure, &factory);
+            assert!(!elt.is_empty(), "every regional book should see some events");
+            assert!(elt.max_loss() <= exposure.total_tiv(), "losses bounded by insured value");
+            elt
+        })
+        .collect();
+
+    let yet = YetGenerator::new(&catalog, YetConfig::with_trials(trials))
+        .expect("generator")
+        .generate(&factory);
+    yet.validate().expect("structurally valid YET");
+    assert_eq!(yet.num_trials(), trials);
+    let avg = yet.avg_events_per_trial();
+    assert!((avg - 600.0).abs() < 30.0, "events per trial should match the catalog budget, got {avg}");
+
+    Pipeline { elts, yet: Arc::new(yet) }
+}
+
+#[test]
+fn full_pipeline_produces_consistent_portfolio_metrics() {
+    let pipeline = build_pipeline(4_000);
+    let scale = pipeline.elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
+
+    let mut portfolio = Portfolio::new("integration");
+    portfolio.add(Contract::new(
+        ContractId(0),
+        "wind xl",
+        Treaty::cat_xl(0.05 * scale, 0.5 * scale),
+        vec![0],
+    ));
+    portfolio.add(Contract::new(
+        ContractId(1),
+        "quake stop loss",
+        Treaty::AggregateXl { retention: 0.05 * scale, limit: 0.7 * scale },
+        vec![1],
+    ));
+    portfolio.add(Contract::new(
+        ContractId(2),
+        "worldwide",
+        Treaty::Combined {
+            occ_retention: 0.02 * scale,
+            occ_limit: 0.4 * scale,
+            agg_retention: 0.0,
+            agg_limit: 1.2 * scale,
+        },
+        vec![0, 1, 2],
+    ));
+
+    let analysis =
+        PortfolioAnalysis::build(portfolio, &pipeline.elts, Arc::clone(&pipeline.yet), LookupKind::Direct)
+            .expect("analysis");
+    let result = analysis.run();
+
+    // Per-contract sanity.
+    for (i, contract) in result.portfolio.contracts.iter().enumerate() {
+        let ylt = result.contract_ylt(i);
+        assert_eq!(ylt.num_trials(), 4_000);
+        let terms = contract.layer_terms();
+        let cap = terms.max_annual_recovery();
+        for outcome in ylt.outcomes() {
+            assert!(outcome.year_loss >= 0.0);
+            if cap.is_finite() {
+                assert!(outcome.year_loss <= cap + 1e-6, "annual loss must respect the aggregate limit");
+            }
+            if terms.occ_limit.is_finite() {
+                assert!(outcome.max_occurrence_loss <= terms.occ_limit + 1e-6);
+            }
+        }
+        // Pricing is internally consistent.
+        let quote = price_ylt(ylt, cap, &PricingConfig::default());
+        assert!(quote.gross_premium >= quote.expected_loss, "{quote:?}");
+        // TVaR dominates VaR up to floating-point rounding (the two coincide
+        // exactly when the tail is saturated at the aggregate limit).
+        assert!(
+            quote.tvar >= quote.var - 1e-9 * quote.var.abs().max(1.0),
+            "contract {i}: {quote:?}"
+        );
+    }
+
+    // Portfolio roll-up equals the sum of contracts per trial.
+    let portfolio_losses = result.portfolio_losses();
+    let recomputed: f64 = (0..3).map(|i| result.contract_ylt(i).mean_loss()).sum();
+    let mean = portfolio_losses.iter().sum::<f64>() / portfolio_losses.len() as f64;
+    assert!((mean - recomputed).abs() < 1e-6);
+
+    // Exceedance curve / VaR / TVaR consistency on the portfolio.
+    let curve = ExceedanceCurve::new(portfolio_losses.clone());
+    let pml100 = curve.loss_at_return_period(100.0);
+    let pml250 = curve.loss_at_return_period(250.0);
+    assert!(pml250 >= pml100, "PML grows with return period");
+    let v99 = var(&portfolio_losses, 0.99);
+    let t99 = tvar(&portfolio_losses, 0.99);
+    assert!(t99 >= v99);
+    assert!((v99 - pml100).abs() < 1e-6, "VaR99 equals the 100-year PML by construction");
+
+    // The portfolio report reflects the same numbers.
+    let report = result.portfolio_report();
+    assert_eq!(report.trials, 4_000);
+    assert!((report.expected_loss - mean).abs() < 1e-6);
+    assert!((report.aep_pml_at(100.0).unwrap() - pml100).abs() < 1e-6);
+}
+
+#[test]
+fn more_trials_reduce_sampling_error_of_the_mean() {
+    let small = build_pipeline(500);
+    let large = build_pipeline(5_000);
+    let scale = small.elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
+
+    let run_mean = |pipeline: &Pipeline| {
+        let mut portfolio = Portfolio::new("conv");
+        portfolio.add(Contract::new(
+            ContractId(0),
+            "all books",
+            Treaty::cat_xl(0.01 * scale, scale),
+            vec![0, 1, 2],
+        ));
+        let analysis =
+            PortfolioAnalysis::build(portfolio, &pipeline.elts, Arc::clone(&pipeline.yet), LookupKind::Direct)
+                .expect("analysis");
+        let result = analysis.run();
+        let losses = result.contract_ylt(0).losses();
+        let report = catrisk::metrics::convergence::convergence_table(&losses, 1);
+        report[0]
+    };
+
+    let small_point = run_mean(&small);
+    let large_point = run_mean(&large);
+    assert!(small_point.mean > 0.0 && large_point.mean > 0.0);
+    assert!(
+        large_point.std_error < small_point.std_error,
+        "standard error must shrink with more trials: {} vs {}",
+        large_point.std_error,
+        small_point.std_error
+    );
+}

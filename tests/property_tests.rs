@@ -1,0 +1,222 @@
+//! Property-based tests of the core invariants, run with proptest.
+//!
+//! These cover the arithmetic heart of the engine (term application and the
+//! cumulative-difference formulation), the interchangeable lookup
+//! structures, the statistics the metrics are built on, and the engine
+//! itself on randomly shaped inputs.
+
+use proptest::prelude::*;
+
+use catrisk::engine::input::AnalysisInputBuilder;
+use catrisk::engine::parallel::ParallelEngine;
+use catrisk::engine::sequential::SequentialEngine;
+use catrisk::finterms::apply::{layer_terms_pipeline, layer_terms_reference, retention_and_limit};
+use catrisk::finterms::terms::{FinancialTerms, LayerTerms};
+use catrisk::lookup::{build_lookup, EventLookup, LookupKind};
+use catrisk::metrics::ep::ExceedanceCurve;
+use catrisk::metrics::var::{tvar, var};
+use catrisk::simkit::stats::{quantile_sorted, RunningStats};
+
+// ---------------------------------------------------------------------------
+// Term application
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The excess-of-loss transform is bounded, monotone and zero below the
+    /// retention.
+    #[test]
+    fn retention_and_limit_properties(
+        x in 0.0..1.0e9f64,
+        y in 0.0..1.0e9f64,
+        retention in 0.0..1.0e8f64,
+        limit in 0.0..1.0e8f64,
+    ) {
+        let fx = retention_and_limit(x, retention, limit);
+        prop_assert!(fx >= 0.0);
+        prop_assert!(fx <= limit);
+        prop_assert!(fx <= x);
+        if x <= retention {
+            prop_assert_eq!(fx, 0.0);
+        }
+        // Monotonicity.
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(retention_and_limit(lo, retention, limit) <= retention_and_limit(hi, retention, limit));
+    }
+
+    /// The cumulative-difference formulation of the layer terms (paper lines
+    /// 10–19) agrees with direct "remaining retention / remaining limit"
+    /// accounting for arbitrary loss sequences and terms.
+    #[test]
+    fn layer_pipeline_matches_reference(
+        losses in proptest::collection::vec(0.0..1.0e7f64, 0..40),
+        occ_retention in 0.0..1.0e6f64,
+        occ_limit in 1.0..1.0e7f64,
+        agg_retention in 0.0..2.0e6f64,
+        agg_limit in 1.0..2.0e7f64,
+    ) {
+        let mut scratch = losses.clone();
+        let pipeline = layer_terms_pipeline(&mut scratch, occ_retention, occ_limit, agg_retention, agg_limit);
+        let reference = layer_terms_reference(&losses, occ_retention, occ_limit, agg_retention, agg_limit);
+        prop_assert!((pipeline - reference).abs() < 1e-6 * (1.0 + reference.abs()),
+            "pipeline {} vs reference {}", pipeline, reference);
+        // The year loss respects the aggregate limit (up to floating-point
+        // rounding of the cumulative sums) and non-negativity.
+        prop_assert!(pipeline >= 0.0);
+        prop_assert!(pipeline <= agg_limit * (1.0 + 1e-12) + 1e-9);
+    }
+
+    /// Financial terms: output bounded by share × limit × fx and by the
+    /// gross loss scaled by share × fx.
+    #[test]
+    fn financial_terms_bounds(
+        loss in 0.0..1.0e9f64,
+        deductible in 0.0..1.0e6f64,
+        limit in 1.0..1.0e8f64,
+        share in 0.0..1.0f64,
+        fx in 0.1..10.0f64,
+    ) {
+        let terms = FinancialTerms::new(deductible, limit, share, fx).unwrap();
+        let net = terms.apply(loss);
+        prop_assert!(net >= 0.0);
+        prop_assert!(net <= limit * share * fx + 1e-9);
+        prop_assert!(net <= loss * share * fx + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup structures
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Every lookup structure answers exactly like a BTreeMap reference for
+    /// both present and absent keys.
+    #[test]
+    fn lookup_structures_match_reference(
+        pairs in proptest::collection::vec((0u32..5_000, 0.01..1.0e6f64), 0..300),
+        probes in proptest::collection::vec(0u32..6_000, 0..100),
+    ) {
+        let mut reference = std::collections::BTreeMap::new();
+        for (event, loss) in &pairs {
+            reference.insert(*event, *loss);
+        }
+        // Deduplicate keeping the last value, as the builders do.
+        let deduped: Vec<(u32, f64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        for kind in LookupKind::ALL {
+            let table = build_lookup(kind, &deduped, 5_000);
+            prop_assert_eq!(table.len(), deduped.len());
+            for probe in &probes {
+                let expected = reference.get(probe).copied().unwrap_or(0.0);
+                prop_assert_eq!(table.get(*probe), expected, "{} event {}", kind, probe);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics and risk metrics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Quantiles are monotone in the probability and bounded by min/max;
+    /// TVaR dominates VaR; exceedance curves are consistent with quantiles.
+    #[test]
+    fn risk_metric_invariants(
+        mut losses in proptest::collection::vec(0.0..1.0e6f64, 2..400),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = var(&losses, lo);
+        let v_hi = var(&losses, hi);
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        // TVaR dominates VaR up to floating-point rounding of the tail mean.
+        prop_assert!(tvar(&losses, lo) >= v_lo - 1e-9 * (1.0 + v_lo.abs()));
+        prop_assert!(tvar(&losses, hi) >= v_hi - 1e-9 * (1.0 + v_hi.abs()));
+
+        losses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = losses[0];
+        let max = *losses.last().unwrap();
+        prop_assert!(quantile_sorted(&losses, lo) >= min - 1e-9);
+        prop_assert!(quantile_sorted(&losses, hi) <= max + 1e-9);
+
+        let curve = ExceedanceCurve::new(losses.clone());
+        // Exceedance probability is a non-increasing function of the threshold.
+        let p_small = curve.exceedance_probability(min);
+        let p_large = curve.exceedance_probability(max);
+        prop_assert!(p_small >= p_large);
+        prop_assert_eq!(curve.exceedance_probability(max), 0.0);
+    }
+
+    /// Welford merging equals single-pass accumulation.
+    #[test]
+    fn running_stats_merge_property(
+        a in proptest::collection::vec(-1.0e6..1.0e6f64, 1..200),
+        b in proptest::collection::vec(-1.0e6..1.0e6f64, 1..200),
+    ) {
+        let mut whole = RunningStats::new();
+        whole.extend(&a);
+        whole.extend(&b);
+        let mut left = RunningStats::new();
+        left.extend(&a);
+        let mut right = RunningStats::new();
+        right.extend(&b);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine itself on randomly shaped inputs
+// ---------------------------------------------------------------------------
+
+fn arbitrary_input() -> impl Strategy<Value = (Vec<Vec<(u32, f32)>>, Vec<Vec<(u32, f64)>>, LayerTerms)> {
+    let trials = proptest::collection::vec(
+        proptest::collection::vec((0u32..800, 0.0f32..365.0), 0..30),
+        1..40,
+    );
+    let elts = proptest::collection::vec(
+        proptest::collection::vec((0u32..800, 1.0..1.0e6f64), 1..120),
+        1..5,
+    );
+    let terms = (0.0..1.0e5f64, 1.0..1.0e6f64, 0.0..2.0e5f64, 1.0..2.0e6f64)
+        .prop_map(|(or_, ol, ar, al)| LayerTerms::new(or_, ol, ar, al).unwrap());
+    (trials, elts, terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any randomly shaped input: the parallel engine matches the
+    /// sequential engine exactly, year losses are non-negative and respect
+    /// the aggregate limit, and removing the terms (unlimited layer) never
+    /// decreases the loss.
+    #[test]
+    fn engine_invariants_on_random_inputs((trials, elts, terms) in arbitrary_input()) {
+        let build = |layer_terms: LayerTerms| {
+            let mut builder = AnalysisInputBuilder::new();
+            builder.set_yet_from_trials(800, trials.clone());
+            let indices: Vec<usize> = elts
+                .iter()
+                .map(|pairs| builder.add_elt(pairs, FinancialTerms::pass_through()))
+                .collect();
+            builder.add_layer_over(&indices, layer_terms);
+            builder.build().unwrap()
+        };
+
+        let input = build(terms);
+        let sequential = SequentialEngine::new().run(&input);
+        let parallel = ParallelEngine::with_threads(3).run(&input);
+        prop_assert_eq!(sequential.max_abs_difference(&parallel), 0.0);
+
+        let unlimited = SequentialEngine::new().run(&build(LayerTerms::unlimited()));
+        for (capped, gross) in sequential.layer(0).outcomes().iter().zip(unlimited.layer(0).outcomes()) {
+            prop_assert!(capped.year_loss >= 0.0);
+            prop_assert!(capped.year_loss <= terms.agg_limit * (1.0 + 1e-12) + 1e-9);
+            prop_assert!(capped.year_loss <= gross.year_loss * (1.0 + 1e-12) + 1e-9,
+                "applying terms can only reduce the loss");
+            prop_assert!(capped.max_occurrence_loss <= terms.occ_limit * (1.0 + 1e-12) + 1e-9);
+        }
+    }
+}

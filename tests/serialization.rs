@@ -1,0 +1,93 @@
+//! Serialization round trips across crates: binary YETs, JSON catalogs,
+//! ELTs, portfolios and risk reports.
+
+use catrisk::catmodel::elt::{EltRecord, EventLossTable};
+use catrisk::eventgen::catalog::{CatalogConfig, EventCatalog};
+use catrisk::eventgen::io::{read_yet, write_yet, yet_from_bytes, yet_to_bytes};
+use catrisk::eventgen::simulate::{YetConfig, YetGenerator};
+use catrisk::finterms::currency::Currency;
+use catrisk::finterms::terms::FinancialTerms;
+use catrisk::finterms::treaty::Treaty;
+use catrisk::metrics::report::RiskReport;
+use catrisk::portfolio::contract::{Contract, ContractId};
+use catrisk::portfolio::portfolio::Portfolio;
+use catrisk::prelude::RngFactory;
+
+#[test]
+fn yet_binary_round_trip_at_moderate_size() {
+    let factory = RngFactory::new(31);
+    let catalog = EventCatalog::generate(
+        &CatalogConfig { num_events: 5_000, annual_event_budget: 800.0, rate_tail_index: 1.2 },
+        &factory,
+    )
+    .unwrap();
+    let yet = YetGenerator::new(&catalog, YetConfig::with_trials(2_000))
+        .unwrap()
+        .generate(&factory);
+    assert!(yet.total_events() > 1_000_000, "moderately large table");
+
+    let bytes = yet_to_bytes(&yet);
+    let back = yet_from_bytes(&bytes).unwrap();
+    assert_eq!(yet, back);
+
+    // File round trip.
+    let path = std::env::temp_dir().join("catrisk-integration.yet");
+    write_yet(&path, &yet).unwrap();
+    let from_file = read_yet(&path).unwrap();
+    assert_eq!(yet, from_file);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn catalog_and_elt_json_round_trip() {
+    let factory = RngFactory::new(32);
+    let catalog = EventCatalog::generate(
+        &CatalogConfig { num_events: 300, annual_event_budget: 50.0, rate_tail_index: 1.4 },
+        &factory,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&catalog).unwrap();
+    let back: EventCatalog = serde_json::from_str(&json).unwrap();
+    assert_eq!(catalog, back);
+
+    let elt = EventLossTable::new(
+        "json-book",
+        Currency::Gbp,
+        FinancialTerms::new(1_000.0, f64::INFINITY, 0.9, 1.27).unwrap(),
+        (0..100)
+            .map(|i| EltRecord {
+                event: i * 3,
+                mean_loss: 1_000.0 * f64::from(i),
+                std_dev: 10.0 * f64::from(i),
+                exposure_value: 1.0e6,
+            })
+            .collect(),
+    );
+    let json = serde_json::to_string(&elt).unwrap();
+    let back: EventLossTable = serde_json::from_str(&json).unwrap();
+    assert_eq!(elt, back);
+    assert!(back.financial_terms.limit.is_infinite(), "unlimited terms survive JSON");
+}
+
+#[test]
+fn portfolio_and_report_json_round_trip() {
+    let mut portfolio = Portfolio::new("serde-book");
+    portfolio.add(
+        Contract::new(ContractId(0), "wind", Treaty::cat_xl(1.0e6, 5.0e6), vec![0, 1]).with_premium(4.0e5),
+    );
+    portfolio.add(Contract::new(
+        ContractId(1),
+        "stop loss",
+        Treaty::AggregateXl { retention: 2.0e6, limit: 8.0e6 },
+        vec![1],
+    ));
+    let json = serde_json::to_string_pretty(&portfolio).unwrap();
+    let back: Portfolio = serde_json::from_str(&json).unwrap();
+    assert_eq!(portfolio, back);
+
+    let losses: Vec<f64> = (0..2_000).map(|i| if i % 3 == 0 { f64::from(i) * 7.0 } else { 0.0 }).collect();
+    let report = RiskReport::from_losses("serde-report", &losses, None);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RiskReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
