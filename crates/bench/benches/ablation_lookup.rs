@@ -29,9 +29,11 @@ fn lookup_structures(c: &mut Criterion) {
     group.sample_size(10);
     for kind in LookupKind::ALL {
         let input = build_input(&workload().with_lookup(kind));
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &input, |b, input| {
-            b.iter(|| ParallelEngine::new().run(input))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &input,
+            |b, input| b.iter(|| ParallelEngine::new().run(input)),
+        );
     }
     group.finish();
 }

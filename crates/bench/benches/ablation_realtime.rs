@@ -29,7 +29,8 @@ fn quote_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_realtime_quote");
     group.sample_size(10);
     for trials in [1_000usize, 5_000, 10_000, 50_000] {
-        let quoter = RealTimeQuoter::new(&input, Some(trials), PricingConfig::default()).expect("quoter");
+        let quoter =
+            RealTimeQuoter::new(&input, Some(trials), PricingConfig::default()).expect("quoter");
         group.bench_with_input(BenchmarkId::from_parameter(trials), &quoter, |b, quoter| {
             b.iter(|| {
                 quoter

@@ -61,7 +61,11 @@ fn fig2d_events_per_trial(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2d_events_per_trial");
     group.sample_size(10);
     for events in [800u32, 900, 1000, 1100, 1200] {
-        let input = build_input(&base().with_events_per_trial(f64::from(events)).with_trials(200));
+        let input = build_input(
+            &base()
+                .with_events_per_trial(f64::from(events))
+                .with_trials(200),
+        );
         group.bench_with_input(BenchmarkId::from_parameter(events), &input, |b, input| {
             b.iter(|| SequentialEngine::new().run(input))
         });
@@ -69,5 +73,11 @@ fn fig2d_events_per_trial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(fig2, fig2a_elts_per_layer, fig2b_trials, fig2c_layers, fig2d_events_per_trial);
+criterion_group!(
+    fig2,
+    fig2a_elts_per_layer,
+    fig2b_trials,
+    fig2c_layers,
+    fig2d_events_per_trial
+);
 criterion_main!(fig2);

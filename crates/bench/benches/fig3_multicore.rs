@@ -25,9 +25,11 @@ fn fig3a_cores(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3a_cores");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| ParallelEngine::with_threads(threads).run(&input))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| ParallelEngine::with_threads(threads).run(&input)),
+        );
     }
     group.finish();
 }
@@ -37,9 +39,11 @@ fn fig3b_oversubscription(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3b_threads_per_core");
     group.sample_size(10);
     for items in [1usize, 4, 16, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(8 * items), &items, |b, &items| {
-            b.iter(|| ParallelEngine::oversubscribed(8, items).run(&input))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(8 * items),
+            &items,
+            |b, &items| b.iter(|| ParallelEngine::oversubscribed(8, items).run(&input)),
+        );
     }
     group.finish();
 }

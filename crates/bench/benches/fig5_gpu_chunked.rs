@@ -26,7 +26,13 @@ fn workload() -> WorkloadSpec {
     }
 }
 
-fn simulated(executor: &Executor, input: &catrisk_engine::input::AnalysisInput, chunk: usize, tpb: u32, iters: u64) -> Duration {
+fn simulated(
+    executor: &Executor,
+    input: &catrisk_engine::input::AnalysisInput,
+    chunk: usize,
+    tpb: u32,
+    iters: u64,
+) -> Duration {
     let mut total = Duration::ZERO;
     for _ in 0..iters {
         let (_, launches) = run_gpu_analysis(

@@ -37,12 +37,18 @@ fn fig6a_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6a_total_time");
     group.sample_size(10);
 
-    group.bench_function("sequential", |b| b.iter(|| SequentialEngine::new().run(&input)));
+    group.bench_function("sequential", |b| {
+        b.iter(|| SequentialEngine::new().run(&input))
+    });
     group.bench_function("parallel_8_cores", |b| {
         b.iter(|| ParallelEngine::with_threads(8).run(&input))
     });
-    group.bench_function("parallel_all_cores", |b| b.iter(|| ParallelEngine::new().run(&input)));
-    group.bench_function("chunked_cpu", |b| b.iter(|| ChunkedEngine::new(64).run(&input)));
+    group.bench_function("parallel_all_cores", |b| {
+        b.iter(|| ParallelEngine::new().run(&input))
+    });
+    group.bench_function("chunked_cpu", |b| {
+        b.iter(|| ChunkedEngine::new(64).run(&input))
+    });
     group.bench_function("gpu_basic_simulated", |b| {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;

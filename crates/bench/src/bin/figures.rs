@@ -76,10 +76,22 @@ fn main() {
         .map(|s| s.as_str())
         .filter(|s| !s.starts_with("--") && *s != scale.as_str())
         .collect();
-    if requested.iter().any(|r| *r == "all") {
+    if requested.contains(&"all") {
         requested = vec![
-            "table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4", "fig5a",
-            "fig5b", "fig6a", "fig6b", "ablation-lookup", "ablation-realtime",
+            "table1",
+            "fig2a",
+            "fig2b",
+            "fig2c",
+            "fig2d",
+            "fig3a",
+            "fig3b",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "fig6a",
+            "fig6b",
+            "ablation-lookup",
+            "ablation-realtime",
         ];
     }
     println!("# catrisk figure harness (scale = {scale})");
@@ -116,11 +128,20 @@ fn wall<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 fn table1() {
     println!("\n## Table I — layer terms applicable to aggregate risk analysis");
-    println!("{:<10} {:<22} {}", "notation", "term", "description");
-    println!("{:<10} {:<22} {}", "TOccR", "Occurrence Retention", "retention/deductible of the insured for an individual occurrence loss");
-    println!("{:<10} {:<22} {}", "TOccL", "Occurrence Limit", "limit the insurer will pay for occurrence losses in excess of the retention");
-    println!("{:<10} {:<22} {}", "TAggR", "Aggregate Retention", "retention/deductible of the insured for an annual cumulative loss");
-    println!("{:<10} {:<22} {}", "TAggL", "Aggregate Limit", "limit the insurer will pay for annual cumulative losses in excess of the aggregate retention");
+    println!("{:<10} {:<22} description", "notation", "term");
+    println!(
+        "{:<10} {:<22} retention/deductible of the insured for an individual occurrence loss",
+        "TOccR", "Occurrence Retention"
+    );
+    println!(
+        "{:<10} {:<22} limit the insurer will pay for occurrence losses in excess of the retention",
+        "TOccL", "Occurrence Limit"
+    );
+    println!(
+        "{:<10} {:<22} retention/deductible of the insured for an annual cumulative loss",
+        "TAggR", "Aggregate Retention"
+    );
+    println!("{:<10} {:<22} limit the insurer will pay for annual cumulative losses in excess of the aggregate retention", "TAggL", "Aggregate Limit");
 }
 
 fn run_sequential_seconds(spec: &WorkloadSpec) -> f64 {
@@ -164,7 +185,9 @@ fn fig2d(base: &WorkloadSpec) {
     println!("{:>14} {:>12}", "events/trial", "seconds");
     for events in [800.0, 900.0, 1000.0, 1100.0, 1200.0] {
         // The paper runs this sweep at a reduced trial count (100k of 1M).
-        let spec = base.with_events_per_trial(events).with_trials(base.trials / 2);
+        let spec = base
+            .with_events_per_trial(events)
+            .with_trials(base.trials / 2);
         println!("{events:>14.0} {:>12.3}", run_sequential_seconds(&spec));
     }
 }
@@ -202,12 +225,23 @@ fn fig4(base: &WorkloadSpec) {
     println!("\n## Fig 4 — GPU basic kernel vs threads per block (paper: best at 256, diminishing beyond)");
     let input = build_input(base);
     let executor = Executor::tesla_c2075();
-    println!("{:>14} {:>14} {:>18}", "threads/block", "sim seconds", "est. paper-scale s");
+    println!(
+        "{:>14} {:>14} {:>18}",
+        "threads/block", "sim seconds", "est. paper-scale s"
+    );
     for tpb in [128u32, 192, 256, 320, 384, 512, 640] {
-        let (_, launches) =
-            run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(tpb))
-                .expect("launch");
-        gpu_row(format!("{tpb:>14}"), total_simulated_seconds(&launches), &input);
+        let (_, launches) = run_gpu_analysis(
+            &executor,
+            &input,
+            GpuVariant::Basic,
+            LaunchConfig::with_block_size(tpb),
+        )
+        .expect("launch");
+        gpu_row(
+            format!("{tpb:>14}"),
+            total_simulated_seconds(&launches),
+            &input,
+        );
     }
 }
 
@@ -216,7 +250,10 @@ fn fig5a(base: &WorkloadSpec) {
     println!("##          (paper: 38.47s -> 22.72s at chunk 4, flat to 12, degrades beyond)");
     let input = build_input(base);
     let executor = Executor::tesla_c2075();
-    println!("{:>14} {:>14} {:>18}", "chunk size", "sim seconds", "est. paper-scale s");
+    println!(
+        "{:>14} {:>14} {:>18}",
+        "chunk size", "sim seconds", "est. paper-scale s"
+    );
     for chunk in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 24, 32] {
         let (_, launches) = run_gpu_analysis(
             &executor,
@@ -225,7 +262,11 @@ fn fig5a(base: &WorkloadSpec) {
             LaunchConfig::with_block_size(64),
         )
         .expect("launch");
-        gpu_row(format!("{chunk:>14}"), total_simulated_seconds(&launches), &input);
+        gpu_row(
+            format!("{chunk:>14}"),
+            total_simulated_seconds(&launches),
+            &input,
+        );
     }
 }
 
@@ -234,7 +275,10 @@ fn fig5b(base: &WorkloadSpec) {
     println!("##          (paper: max 192 threads, small gradual improvement)");
     let input = build_input(base);
     let executor = Executor::tesla_c2075();
-    println!("{:>14} {:>14} {:>18}", "threads/block", "sim seconds", "est. paper-scale s");
+    println!(
+        "{:>14} {:>14} {:>18}",
+        "threads/block", "sim seconds", "est. paper-scale s"
+    );
     for tpb in [32u32, 64, 96, 128, 160, 192] {
         let (_, launches) = run_gpu_analysis(
             &executor,
@@ -243,7 +287,11 @@ fn fig5b(base: &WorkloadSpec) {
             LaunchConfig::with_block_size(tpb),
         )
         .expect("launch");
-        gpu_row(format!("{tpb:>14}"), total_simulated_seconds(&launches), &input);
+        gpu_row(
+            format!("{tpb:>14}"),
+            total_simulated_seconds(&launches),
+            &input,
+        );
     }
 }
 
@@ -257,8 +305,13 @@ fn fig6a(base: &WorkloadSpec) {
     let (_, t_par) = wall(|| ParallelEngine::with_threads(8).run(&input));
     let (_, t_all) = wall(|| ParallelEngine::new().run(&input));
     let (_, t_chunk_cpu) = wall(|| ChunkedEngine::new(64).run(&input));
-    let (_, basic) = run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(256))
-        .expect("launch");
+    let (_, basic) = run_gpu_analysis(
+        &executor,
+        &input,
+        GpuVariant::Basic,
+        LaunchConfig::with_block_size(256),
+    )
+    .expect("launch");
     let (_, chunked) = run_gpu_analysis(
         &executor,
         &input,
@@ -269,15 +322,56 @@ fn fig6a(base: &WorkloadSpec) {
     let t_basic = total_simulated_seconds(&basic);
     let t_chunked = total_simulated_seconds(&chunked);
 
-    println!("{:<26} {:>12} {:>12} {:>20}", "engine", "seconds", "vs seq", "est. paper-scale s");
+    println!(
+        "{:<26} {:>12} {:>12} {:>20}",
+        "engine", "seconds", "vs seq", "est. paper-scale s"
+    );
     let paper = |t: f64| t * PAPER_LOOKUPS / lookups;
-    println!("{:<26} {:>12.3} {:>12.2} {:>20.1}", "sequential (wall)", t_seq, 1.0, paper(t_seq));
-    println!("{:<26} {:>12.3} {:>12.2} {:>20.1}", "parallel 8 cores (wall)", t_par, t_seq / t_par, paper(t_par));
-    println!("{:<26} {:>12.3} {:>12.2} {:>20.1}", "parallel all cores (wall)", t_all, t_seq / t_all, paper(t_all));
-    println!("{:<26} {:>12.3} {:>12.2} {:>20.1}", "chunked cpu (wall)", t_chunk_cpu, t_seq / t_chunk_cpu, paper(t_chunk_cpu));
-    println!("{:<26} {:>12.3} {:>12.2} {:>20.1}", "gpu basic (simulated)", t_basic, t_seq / t_basic, paper(t_basic));
-    println!("{:<26} {:>12.3} {:>12.2} {:>20.1}", "gpu chunked (simulated)", t_chunked, t_seq / t_chunked, paper(t_chunked));
-    println!("(simulated GPU rows are Tesla C2075 model time; CPU rows are wall clock on this host)");
+    println!(
+        "{:<26} {:>12.3} {:>12.2} {:>20.1}",
+        "sequential (wall)",
+        t_seq,
+        1.0,
+        paper(t_seq)
+    );
+    println!(
+        "{:<26} {:>12.3} {:>12.2} {:>20.1}",
+        "parallel 8 cores (wall)",
+        t_par,
+        t_seq / t_par,
+        paper(t_par)
+    );
+    println!(
+        "{:<26} {:>12.3} {:>12.2} {:>20.1}",
+        "parallel all cores (wall)",
+        t_all,
+        t_seq / t_all,
+        paper(t_all)
+    );
+    println!(
+        "{:<26} {:>12.3} {:>12.2} {:>20.1}",
+        "chunked cpu (wall)",
+        t_chunk_cpu,
+        t_seq / t_chunk_cpu,
+        paper(t_chunk_cpu)
+    );
+    println!(
+        "{:<26} {:>12.3} {:>12.2} {:>20.1}",
+        "gpu basic (simulated)",
+        t_basic,
+        t_seq / t_basic,
+        paper(t_basic)
+    );
+    println!(
+        "{:<26} {:>12.3} {:>12.2} {:>20.1}",
+        "gpu chunked (simulated)",
+        t_chunked,
+        t_seq / t_chunked,
+        paper(t_chunked)
+    );
+    println!(
+        "(simulated GPU rows are Tesla C2075 model time; CPU rows are wall clock on this host)"
+    );
 }
 
 fn fig6b(base: &WorkloadSpec) {
@@ -290,7 +384,10 @@ fn fig6b(base: &WorkloadSpec) {
 
 fn ablation_lookup(base: &WorkloadSpec) {
     println!("\n## Ablation — ELT lookup structure (paper §III.B design discussion)");
-    println!("{:<10} {:>12} {:>10} {:>16}", "structure", "seconds", "vs direct", "lookup mem (MB)");
+    println!(
+        "{:<10} {:>12} {:>10} {:>16}",
+        "structure", "seconds", "vs direct", "lookup mem (MB)"
+    );
     let mut direct_time = None;
     for kind in LookupKind::ALL {
         let spec = base.with_lookup(kind);
@@ -298,21 +395,36 @@ fn ablation_lookup(base: &WorkloadSpec) {
         let mem = input.lookup_memory_bytes() as f64 / 1.0e6;
         let (_, t) = wall(|| ParallelEngine::new().run(&input));
         let baseline = *direct_time.get_or_insert(t);
-        println!("{:<10} {t:>12.3} {:>10.2} {mem:>16.1}", kind.label(), t / baseline);
+        println!(
+            "{:<10} {t:>12.3} {:>10.2} {mem:>16.1}",
+            kind.label(),
+            t / baseline
+        );
     }
 }
 
 fn ablation_realtime(base: &WorkloadSpec) {
     println!("\n## Ablation — real-time pricing latency vs trial count (paper §IV: 50k trials, sub-second)");
-    let spec = WorkloadSpec { trials: base.trials.max(50_000), ..*base };
+    let spec = WorkloadSpec {
+        trials: base.trials.max(50_000),
+        ..*base
+    };
     let input = build_input(&spec);
     println!("{:>10} {:>14} {:>16}", "trials", "quote seconds", "premium");
     for trials in [1_000usize, 5_000, 10_000, 50_000] {
         let trials = trials.min(input.num_trials());
-        let quoter = RealTimeQuoter::new(&input, Some(trials), PricingConfig::default()).expect("quoter");
+        let quoter =
+            RealTimeQuoter::new(&input, Some(trials), PricingConfig::default()).expect("quoter");
         let quoted = quoter
-            .quote(Treaty::cat_xl(20.0e6, 60.0e6), &(0..spec.elts_per_layer).collect::<Vec<_>>())
+            .quote(
+                Treaty::cat_xl(20.0e6, 60.0e6),
+                &(0..spec.elts_per_layer).collect::<Vec<_>>(),
+            )
             .expect("quote");
-        println!("{trials:>10} {:>14.3} {:>16.0}", quoted.elapsed.as_secs_f64(), quoted.quote.gross_premium);
+        println!(
+            "{trials:>10} {:>14.3} {:>16.0}",
+            quoted.elapsed.as_secs_f64(),
+            quoted.quote.gross_premium
+        );
     }
 }

@@ -139,14 +139,21 @@ impl WorkloadSpec {
 /// per-occurrence and aggregate terms so all four steps of the algorithm do
 /// real work.
 pub fn build_input(spec: &WorkloadSpec) -> AnalysisInput {
-    assert!(spec.elts_per_layer <= spec.num_elts, "layers cannot cover more ELTs than exist");
+    assert!(
+        spec.elts_per_layer <= spec.num_elts,
+        "layers cannot cover more ELTs than exist"
+    );
     let factory = RngFactory::new(spec.seed).derive("bench-workload");
     let mut builder = AnalysisInputBuilder::new();
     builder.with_lookup(spec.lookup);
 
     // Year Event Table: Poisson number of uniformly drawn events per trial.
     let count_dist = Poisson::new(spec.events_per_trial).expect("positive mean");
-    let mut yet = YetBuilder::new(spec.num_events, spec.trials, spec.events_per_trial as usize + 8);
+    let mut yet = YetBuilder::new(
+        spec.num_events,
+        spec.trials,
+        spec.events_per_trial as usize + 8,
+    );
     let yet_factory = factory.derive("yet");
     let mut trial_buffer: Vec<EventOccurrence> = Vec::new();
     for t in 0..spec.trials {
@@ -185,11 +192,14 @@ pub fn build_input(spec: &WorkloadSpec) -> AnalysisInput {
         let indices: Vec<usize> = (0..spec.elts_per_layer)
             .map(|i| (l + i) % spec.num_elts)
             .collect();
-        let terms = LayerTerms::new(100_000.0, 2_000_000.0, 500_000.0, 10_000_000.0).expect("valid");
+        let terms =
+            LayerTerms::new(100_000.0, 2_000_000.0, 500_000.0, 10_000_000.0).expect("valid");
         builder.add_layer_over(&indices, terms);
     }
 
-    builder.build().expect("workload construction is internally consistent")
+    builder
+        .build()
+        .expect("workload construction is internally consistent")
 }
 
 #[cfg(test)]
@@ -222,7 +232,9 @@ mod tests {
 
     #[test]
     fn sweep_helpers_adjust_shape() {
-        let spec = WorkloadSpec::tiny().with_trials(77).with_events_per_trial(20.0);
+        let spec = WorkloadSpec::tiny()
+            .with_trials(77)
+            .with_events_per_trial(20.0);
         let input = build_input(&spec);
         assert_eq!(input.num_trials(), 77);
         assert!(input.yet().avg_events_per_trial() < 30.0);

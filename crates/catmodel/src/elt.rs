@@ -49,7 +49,12 @@ impl EventLossTable {
     ) -> Self {
         records.sort_by_key(|r| r.event);
         records.dedup_by_key(|r| r.event);
-        Self { name: name.into(), currency, financial_terms, records }
+        Self {
+            name: name.into(),
+            currency,
+            financial_terms,
+            records,
+        }
     }
 
     /// Number of event-loss records.
@@ -69,7 +74,10 @@ impl EventLossTable {
 
     /// `(event, mean_loss)` pairs, the form consumed by the lookup builders.
     pub fn loss_pairs(&self) -> Vec<(EventId, f64)> {
-        self.records.iter().map(|r| (r.event, r.mean_loss)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.event, r.mean_loss))
+            .collect()
     }
 
     /// Sum of all mean losses (a scale indicator, not an expected annual
@@ -86,7 +94,10 @@ impl EventLossTable {
     /// Expected annual loss given a function returning each event's annual
     /// occurrence rate.
     pub fn expected_annual_loss(&self, rate_of: impl Fn(EventId) -> f64) -> f64 {
-        self.records.iter().map(|r| r.mean_loss * rate_of(r.event)).sum()
+        self.records
+            .iter()
+            .map(|r| r.mean_loss * rate_of(r.event))
+            .sum()
     }
 
     /// Looks up the mean loss of one event (0 when absent); a reference
@@ -115,7 +126,10 @@ impl EventLossTable {
         EventLossTable {
             name: self.name.clone(),
             currency: base,
-            financial_terms: FinancialTerms { fx_rate: 1.0, ..self.financial_terms },
+            financial_terms: FinancialTerms {
+                fx_rate: 1.0,
+                ..self.financial_terms
+            },
             records,
         }
     }
@@ -126,7 +140,12 @@ mod tests {
     use super::*;
 
     fn record(event: EventId, loss: f64) -> EltRecord {
-        EltRecord { event, mean_loss: loss, std_dev: loss * 0.5, exposure_value: loss * 10.0 }
+        EltRecord {
+            event,
+            mean_loss: loss,
+            std_dev: loss * 0.5,
+            exposure_value: loss * 10.0,
+        }
     }
 
     #[test]
@@ -135,7 +154,12 @@ mod tests {
             "a",
             Currency::Usd,
             FinancialTerms::pass_through(),
-            vec![record(9, 1.0), record(3, 2.0), record(9, 5.0), record(1, 4.0)],
+            vec![
+                record(9, 1.0),
+                record(3, 2.0),
+                record(9, 5.0),
+                record(1, 4.0),
+            ],
         );
         assert_eq!(elt.len(), 3);
         let events: Vec<EventId> = elt.records().iter().map(|r| r.event).collect();
@@ -181,7 +205,12 @@ mod tests {
 
     #[test]
     fn empty_elt() {
-        let elt = EventLossTable::new("empty", Currency::Usd, FinancialTerms::pass_through(), vec![]);
+        let elt = EventLossTable::new(
+            "empty",
+            Currency::Usd,
+            FinancialTerms::pass_through(),
+            vec![],
+        );
         assert!(elt.is_empty());
         assert_eq!(elt.total_mean_loss(), 0.0);
         assert_eq!(elt.max_loss(), 0.0);

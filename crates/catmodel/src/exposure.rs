@@ -155,7 +155,10 @@ pub struct ExposureDatabase {
 impl ExposureDatabase {
     /// Creates a database from explicit locations.
     pub fn new(name: impl Into<String>, locations: Vec<Location>) -> Self {
-        Self { name: name.into(), locations }
+        Self {
+            name: name.into(),
+            locations,
+        }
     }
 
     /// Number of locations.
@@ -229,7 +232,10 @@ mod tests {
     #[test]
     fn location_age() {
         assert_eq!(loc(0, Region::Europe, 1.0).age(), 17);
-        let new_build = Location { year_built: 2020, ..loc(0, Region::Europe, 1.0) };
+        let new_build = Location {
+            year_built: 2020,
+            ..loc(0, Region::Europe, 1.0)
+        };
         assert_eq!(new_build.age(), 0);
     }
 

@@ -12,7 +12,9 @@ use crate::exposure::Location;
 #[inline]
 pub fn site_gross_loss(location: &Location, ground_up: f64) -> f64 {
     debug_assert!(ground_up >= 0.0);
-    (ground_up - location.site_deductible).max(0.0).min(location.site_limit)
+    (ground_up - location.site_deductible)
+        .max(0.0)
+        .min(location.site_limit)
 }
 
 /// Ground-up loss of a location for a given damage ratio.
@@ -53,7 +55,11 @@ mod tests {
         let loc = location(2.0e6, 0.0, f64::INFINITY);
         assert_eq!(ground_up_loss(&loc, 0.25), 0.5e6);
         assert_eq!(ground_up_loss(&loc, 0.0), 0.0);
-        assert_eq!(ground_up_loss(&loc, 1.5), 2.0e6, "damage ratio clamped to 1");
+        assert_eq!(
+            ground_up_loss(&loc, 1.5),
+            2.0e6,
+            "damage ratio clamped to 1"
+        );
     }
 
     #[test]

@@ -57,22 +57,35 @@ impl ExposureConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.num_locations == 0 {
-            return Err(ModelError::InvalidConfig("num_locations must be positive".into()));
+            return Err(ModelError::InvalidConfig(
+                "num_locations must be positive".into(),
+            ));
         }
         if self.region_weights.is_empty()
-            || self.region_weights.iter().any(|(_, w)| !w.is_finite() || *w < 0.0)
+            || self
+                .region_weights
+                .iter()
+                .any(|(_, w)| !w.is_finite() || *w < 0.0)
             || self.region_weights.iter().map(|(_, w)| w).sum::<f64>() <= 0.0
         {
-            return Err(ModelError::InvalidConfig("region_weights must be non-empty, non-negative and not all zero".into()));
+            return Err(ModelError::InvalidConfig(
+                "region_weights must be non-empty, non-negative and not all zero".into(),
+            ));
         }
         if !(self.tiv_cv.is_finite() && self.tiv_cv >= 0.0) {
-            return Err(ModelError::InvalidConfig("tiv_cv must be non-negative".into()));
+            return Err(ModelError::InvalidConfig(
+                "tiv_cv must be non-negative".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.site_deductible_pct) {
-            return Err(ModelError::InvalidConfig("site_deductible_pct must be in [0, 1]".into()));
+            return Err(ModelError::InvalidConfig(
+                "site_deductible_pct must be in [0, 1]".into(),
+            ));
         }
         if self.site_limit_multiple.is_nan() || self.site_limit_multiple <= 0.0 {
-            return Err(ModelError::InvalidConfig("site_limit_multiple must be positive".into()));
+            return Err(ModelError::InvalidConfig(
+                "site_limit_multiple must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -83,15 +96,25 @@ impl ExposureConfig {
         let factory = factory.derive("exposure").derive(&self.name);
 
         let region_table = AliasTable::new(
-            &self.region_weights.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
+            &self
+                .region_weights
+                .iter()
+                .map(|(_, w)| *w)
+                .collect::<Vec<_>>(),
         )
         .map_err(|e| ModelError::InvalidConfig(e.message))?;
         let construction_table = AliasTable::new(
-            &Construction::ALL.iter().map(|c| c.portfolio_share()).collect::<Vec<_>>(),
+            &Construction::ALL
+                .iter()
+                .map(|c| c.portfolio_share())
+                .collect::<Vec<_>>(),
         )
         .expect("static weights");
         let occupancy_table = AliasTable::new(
-            &Occupancy::ALL.iter().map(|o| o.portfolio_share()).collect::<Vec<_>>(),
+            &Occupancy::ALL
+                .iter()
+                .map(|o| o.portfolio_share())
+                .collect::<Vec<_>>(),
         )
         .expect("static weights");
         let coord = Uniform::new(0.0, 1.0).expect("static");
@@ -103,8 +126,8 @@ impl ExposureConfig {
             let region = self.region_weights[region_table.sample(&mut rng)].0;
             let construction = Construction::ALL[construction_table.sample(&mut rng)];
             let occupancy = Occupancy::ALL[occupancy_table.sample(&mut rng)];
-            let tiv_dist = LogNormal::from_mean_cv(occupancy.median_tiv(), self.tiv_cv)
-                .expect("validated cv");
+            let tiv_dist =
+                LogNormal::from_mean_cv(occupancy.median_tiv(), self.tiv_cv).expect("validated cv");
             let tiv = tiv_dist.sample(&mut rng);
             locations.push(Location {
                 id: i as u32,
@@ -136,7 +159,10 @@ mod tests {
         let config = ExposureConfig::regional("gulf", Region::NorthAmericaEast, 2_000);
         let db = config.generate(&RngFactory::new(3)).unwrap();
         assert_eq!(db.len(), 2_000);
-        assert!(db.locations().iter().all(|l| l.region == Region::NorthAmericaEast));
+        assert!(db
+            .locations()
+            .iter()
+            .all(|l| l.region == Region::NorthAmericaEast));
         assert!(db.total_tiv() > 0.0);
     }
 
@@ -146,7 +172,11 @@ mod tests {
         let db = config.generate(&RngFactory::new(4)).unwrap();
         let counts = db.region_counts();
         let nonzero = counts.iter().filter(|(_, c)| *c > 0).count();
-        assert_eq!(nonzero, Region::ALL.len(), "all regions populated: {counts:?}");
+        assert_eq!(
+            nonzero,
+            Region::ALL.len(),
+            "all regions populated: {counts:?}"
+        );
     }
 
     #[test]
@@ -183,20 +213,51 @@ mod tests {
         let tivs: Vec<f64> = db.locations().iter().map(|l| l.tiv).collect();
         let mean = tivs.iter().sum::<f64>() / tivs.len() as f64;
         let max = tivs.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 10.0 * mean, "heavy tail expected: max {max}, mean {mean}");
+        assert!(
+            max > 10.0 * mean,
+            "heavy tail expected: max {max}, mean {mean}"
+        );
     }
 
     #[test]
     fn validation_rejects_bad_configs() {
         let base = ExposureConfig::global("v", 100);
-        assert!(ExposureConfig { num_locations: 0, ..base.clone() }.validate().is_err());
-        assert!(ExposureConfig { region_weights: vec![], ..base.clone() }.validate().is_err());
-        assert!(ExposureConfig { region_weights: vec![(Region::Japan, -1.0)], ..base.clone() }
-            .validate()
-            .is_err());
-        assert!(ExposureConfig { tiv_cv: f64::NAN, ..base.clone() }.validate().is_err());
-        assert!(ExposureConfig { site_deductible_pct: 1.5, ..base.clone() }.validate().is_err());
-        assert!(ExposureConfig { site_limit_multiple: 0.0, ..base.clone() }.validate().is_err());
+        assert!(ExposureConfig {
+            num_locations: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ExposureConfig {
+            region_weights: vec![],
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ExposureConfig {
+            region_weights: vec![(Region::Japan, -1.0)],
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ExposureConfig {
+            tiv_cv: f64::NAN,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ExposureConfig {
+            site_deductible_pct: 1.5,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ExposureConfig {
+            site_limit_multiple: 0.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
         assert!(base.validate().is_ok());
     }
 
@@ -204,6 +265,9 @@ mod tests {
     fn year_built_in_expected_range() {
         let config = ExposureConfig::global("years", 1_000);
         let db = config.generate(&RngFactory::new(9)).unwrap();
-        assert!(db.locations().iter().all(|l| (1950..2012).contains(&l.year_built)));
+        assert!(db
+            .locations()
+            .iter()
+            .all(|l| (1950..2012).contains(&l.year_built)));
     }
 }

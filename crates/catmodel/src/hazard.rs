@@ -30,17 +30,35 @@ impl FootprintParams {
     pub fn for_peril(peril: Peril) -> Self {
         match peril {
             // Hurricanes have very large footprints with gradual decay.
-            Peril::Hurricane => Self { max_radius: 0.60, decay: 1.5 },
+            Peril::Hurricane => Self {
+                max_radius: 0.60,
+                decay: 1.5,
+            },
             // Earthquake shaking attenuates quickly with distance.
-            Peril::Earthquake => Self { max_radius: 0.35, decay: 2.5 },
+            Peril::Earthquake => Self {
+                max_radius: 0.35,
+                decay: 2.5,
+            },
             // Floods are spatially extensive but shallow at the margins.
-            Peril::Flood => Self { max_radius: 0.40, decay: 2.0 },
+            Peril::Flood => Self {
+                max_radius: 0.40,
+                decay: 2.0,
+            },
             // Tornado outbreak swaths are comparatively narrow.
-            Peril::Tornado => Self { max_radius: 0.15, decay: 3.0 },
+            Peril::Tornado => Self {
+                max_radius: 0.15,
+                decay: 3.0,
+            },
             // Winter storms cover very large areas.
-            Peril::WinterStorm => Self { max_radius: 0.70, decay: 1.2 },
+            Peril::WinterStorm => Self {
+                max_radius: 0.70,
+                decay: 1.2,
+            },
             // Wildfire perimeters are localised.
-            Peril::Wildfire => Self { max_radius: 0.20, decay: 2.5 },
+            Peril::Wildfire => Self {
+                max_radius: 0.20,
+                decay: 2.5,
+            },
         }
     }
 }
@@ -101,11 +119,17 @@ impl HazardModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use catrisk_eventgen::peril::Region;
     use crate::exposure::{Construction, Occupancy};
+    use catrisk_eventgen::peril::Region;
 
     fn event(id: u32, peril: Peril, region: Region, intensity: f64) -> CatalogEvent {
-        CatalogEvent { id, peril, region, annual_rate: 0.01, intensity }
+        CatalogEvent {
+            id,
+            peril,
+            region,
+            annual_rate: 0.01,
+            intensity,
+        }
     }
 
     fn location(region: Region, x: f64, y: f64) -> Location {
@@ -140,7 +164,10 @@ mod tests {
         assert!(at_center > 0.9, "intensity at epicentre {at_center}");
         let near = hazard.local_intensity(&ev, &location(Region::Japan, cx + 0.05, cy));
         let far = hazard.local_intensity(&ev, &location(Region::Japan, cx + 0.2, cy));
-        assert!(at_center >= near && near >= far, "{at_center} >= {near} >= {far}");
+        assert!(
+            at_center >= near && near >= far,
+            "{at_center} >= {near} >= {far}"
+        );
         let outside = hazard.local_intensity(&ev, &location(Region::Japan, cx + 0.9, cy + 0.9));
         assert_eq!(outside, 0.0);
     }
@@ -177,7 +204,10 @@ mod tests {
             let ev = event(3, peril, Region::NorthAmericaEast, 1.0);
             let (cx, cy) = hazard.footprint_center(&ev);
             for dx in [0.0, 0.01, 0.1, 0.3, 0.7] {
-                let v = hazard.local_intensity(&ev, &location(Region::NorthAmericaEast, (cx + dx).min(1.0), cy));
+                let v = hazard.local_intensity(
+                    &ev,
+                    &location(Region::NorthAmericaEast, (cx + dx).min(1.0), cy),
+                );
                 assert!((0.0..=1.0).contains(&v), "{peril} at dx={dx}: {v}");
             }
         }

@@ -54,10 +54,14 @@ impl CatModelConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if !(self.loss_threshold.is_finite() && self.loss_threshold >= 0.0) {
-            return Err(ModelError::InvalidConfig("loss_threshold must be non-negative".into()));
+            return Err(ModelError::InvalidConfig(
+                "loss_threshold must be non-negative".into(),
+            ));
         }
         if !(self.damage_cv.is_finite() && self.damage_cv >= 0.0) {
-            return Err(ModelError::InvalidConfig("damage_cv must be non-negative".into()));
+            return Err(ModelError::InvalidConfig(
+                "damage_cv must be non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -76,7 +80,9 @@ impl CatModel {
         config.validate()?;
         Ok(Self {
             hazard: HazardModel::new(),
-            vulnerability: VulnerabilityModel { damage_cv: config.damage_cv },
+            vulnerability: VulnerabilityModel {
+                damage_cv: config.damage_cv,
+            },
             config,
         })
     }
@@ -145,7 +151,10 @@ impl CatModel {
         exposures: &[ExposureDatabase],
         factory: &RngFactory,
     ) -> Vec<EventLossTable> {
-        exposures.iter().map(|e| self.run(catalog, e, factory)).collect()
+        exposures
+            .iter()
+            .map(|e| self.run(catalog, e, factory))
+            .collect()
     }
 
     /// Converts a set of ELTs into a common base currency.
@@ -173,7 +182,11 @@ mod tests {
 
     fn catalog() -> EventCatalog {
         EventCatalog::generate(
-            &CatalogConfig { num_events: 5_000, annual_event_budget: 500.0, rate_tail_index: 1.2 },
+            &CatalogConfig {
+                num_events: 5_000,
+                annual_event_budget: 500.0,
+                rate_tail_index: 1.2,
+            },
             &RngFactory::new(100),
         )
         .unwrap()
@@ -234,19 +247,27 @@ mod tests {
             .filter(|r| elts[1].loss_of(r.event) > 0.0)
             .collect();
         assert!(!shared.is_empty(), "the two books should share some events");
-        assert!(shared.iter().any(|r| (r.mean_loss - elts[1].loss_of(r.event)).abs() > 1e-6));
+        assert!(shared
+            .iter()
+            .any(|r| (r.mean_loss - elts[1].loss_of(r.event)).abs() > 1e-6));
     }
 
     #[test]
     fn loss_threshold_filters_small_events() {
         let cat = catalog();
         let exp = exposure("threshold-book", Region::Caribbean);
-        let low = CatModel::new(CatModelConfig { loss_threshold: 1.0, ..Default::default() })
-            .unwrap()
-            .run(&cat, &exp, &RngFactory::new(1));
-        let high = CatModel::new(CatModelConfig { loss_threshold: 1.0e6, ..Default::default() })
-            .unwrap()
-            .run(&cat, &exp, &RngFactory::new(1));
+        let low = CatModel::new(CatModelConfig {
+            loss_threshold: 1.0,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&cat, &exp, &RngFactory::new(1));
+        let high = CatModel::new(CatModelConfig {
+            loss_threshold: 1.0e6,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&cat, &exp, &RngFactory::new(1));
         assert!(high.len() < low.len());
         assert!(high.records().iter().all(|r| r.mean_loss >= 1.0e6));
     }
@@ -255,7 +276,10 @@ mod tests {
     fn deterministic_damage_model() {
         let cat = catalog();
         let exp = exposure("no-uncertainty", Region::Oceania);
-        let config = CatModelConfig { damage_cv: 0.0, ..Default::default() };
+        let config = CatModelConfig {
+            damage_cv: 0.0,
+            ..Default::default()
+        };
         let model = CatModel::new(config).unwrap();
         // With no secondary uncertainty, results do not depend on the seed.
         let a = model.run(&cat, &exp, &RngFactory::new(1));
@@ -269,7 +293,12 @@ mod tests {
             "eur",
             Currency::Eur,
             FinancialTerms::pass_through(),
-            vec![EltRecord { event: 0, mean_loss: 100.0, std_dev: 0.0, exposure_value: 0.0 }],
+            vec![EltRecord {
+                event: 0,
+                mean_loss: 100.0,
+                std_dev: 0.0,
+                exposure_value: 0.0,
+            }],
         );
         let rates = ExchangeRates::representative();
         let out = CatModel::normalise_currency(&[elt], &rates).unwrap();
@@ -279,9 +308,23 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(CatModelConfig { loss_threshold: -1.0, ..Default::default() }.validate().is_err());
-        assert!(CatModelConfig { damage_cv: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(CatModelConfig {
+            loss_threshold: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CatModelConfig {
+            damage_cv: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(CatModelConfig::default().validate().is_ok());
-        assert!(CatModel::new(CatModelConfig { damage_cv: -0.5, ..Default::default() }).is_err());
+        assert!(CatModel::new(CatModelConfig {
+            damage_cv: -0.5,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

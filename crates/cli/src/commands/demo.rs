@@ -2,12 +2,12 @@
 
 use std::sync::Arc;
 
+use catrisk_finterms::treaty::Treaty;
 use catrisk_lookup::LookupKind;
 use catrisk_metrics::report::RiskReport;
 use catrisk_portfolio::contract::{Contract, ContractId};
 use catrisk_portfolio::portfolio::{Portfolio, PortfolioAnalysis};
 use catrisk_portfolio::pricing::{price_ylt, PricingConfig};
-use catrisk_finterms::treaty::Treaty;
 use catrisk_simkit::timing::Stopwatch;
 
 use super::world::{World, WorldConfig};
@@ -57,7 +57,10 @@ pub fn run(options: &Options) -> Result<(), String> {
     portfolio.add(Contract::new(
         ContractId(2),
         "europe stop loss",
-        Treaty::AggregateXl { retention: 0.1 * scale, limit: 0.6 * scale },
+        Treaty::AggregateXl {
+            retention: 0.1 * scale,
+            limit: 0.6 * scale,
+        },
         vec![2],
     ));
     portfolio.add(Contract::new(
@@ -73,16 +76,29 @@ pub fn run(options: &Options) -> Result<(), String> {
     ));
 
     let sw = Stopwatch::start();
-    let analysis = PortfolioAnalysis::build(portfolio, &world.elts, Arc::clone(&world.yet), LookupKind::Direct)
-        .map_err(|e| e.to_string())?;
+    let analysis = PortfolioAnalysis::build(
+        portfolio,
+        &world.elts,
+        Arc::clone(&world.yet),
+        LookupKind::Direct,
+    )
+    .map_err(|e| e.to_string())?;
     let result = analysis.run();
-    eprintln!("aggregate analysis of {} contracts completed in {:.2}s", result.ylts().len(), sw.elapsed_secs());
+    eprintln!(
+        "aggregate analysis of {} contracts completed in {:.2}s",
+        result.ylts().len(),
+        sw.elapsed_secs()
+    );
 
     let pricing = PricingConfig::default();
     for (i, contract) in result.portfolio.contracts.iter().enumerate() {
         let ylt = result.contract_ylt(i);
         let quote = price_ylt(ylt, contract.layer_terms().max_annual_recovery(), &pricing);
-        println!("\n=== {} ({}) ===", contract.name, contract.treaty.describe());
+        println!(
+            "\n=== {} ({}) ===",
+            contract.name,
+            contract.treaty.describe()
+        );
         println!("{}", result.contract_report(i).to_text());
         println!(
             "  technical premium: {:>15.2}   rate on line: {:.4}",

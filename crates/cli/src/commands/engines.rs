@@ -2,8 +2,8 @@
 
 use catrisk_engine::chunked::ChunkedEngine;
 use catrisk_engine::parallel::ParallelEngine;
-use catrisk_engine::sequential::SequentialEngine;
 use catrisk_engine::phases::PhaseBreakdown;
+use catrisk_engine::sequential::SequentialEngine;
 use catrisk_gpusim::executor::Executor;
 use catrisk_gpusim::kernel::LaunchConfig;
 use catrisk_gpusim::kernels::{run_gpu_analysis, total_simulated_seconds, GpuVariant};
@@ -41,22 +41,41 @@ pub fn run(options: &Options) -> Result<(), String> {
     let sw = Stopwatch::start();
     let parallel = ParallelEngine::new().run(&input);
     let t_par = sw.elapsed_secs();
-    println!("{:<18} {:>12.3} {:>10.2}", "parallel-cpu", t_par, t_seq / t_par);
+    println!(
+        "{:<18} {:>12.3} {:>10.2}",
+        "parallel-cpu",
+        t_par,
+        t_seq / t_par
+    );
     assert_eq!(reference.max_abs_difference(&parallel), 0.0);
 
     let sw = Stopwatch::start();
     let chunked = ChunkedEngine::new(64).run(&input);
     let t_chunk = sw.elapsed_secs();
-    println!("{:<18} {:>12.3} {:>10.2}", "chunked-cpu", t_chunk, t_seq / t_chunk);
+    println!(
+        "{:<18} {:>12.3} {:>10.2}",
+        "chunked-cpu",
+        t_chunk,
+        t_seq / t_chunk
+    );
     assert_eq!(reference.max_abs_difference(&chunked), 0.0);
 
     let executor = Executor::tesla_c2075();
-    let (gpu_basic, basic_launches) =
-        run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(256))
-            .map_err(|e| e.to_string())?;
+    let (gpu_basic, basic_launches) = run_gpu_analysis(
+        &executor,
+        &input,
+        GpuVariant::Basic,
+        LaunchConfig::with_block_size(256),
+    )
+    .map_err(|e| e.to_string())?;
     assert_eq!(reference.max_abs_difference(&gpu_basic), 0.0);
     let t_basic = total_simulated_seconds(&basic_launches);
-    println!("{:<18} {:>12.3} {:>10.2}", "gpu-basic (sim)", t_basic, t_seq / t_basic);
+    println!(
+        "{:<18} {:>12.3} {:>10.2}",
+        "gpu-basic (sim)",
+        t_basic,
+        t_seq / t_basic
+    );
 
     let (gpu_chunked, chunked_launches) = run_gpu_analysis(
         &executor,
@@ -67,7 +86,12 @@ pub fn run(options: &Options) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     assert_eq!(reference.max_abs_difference(&gpu_chunked), 0.0);
     let t_gchunk = total_simulated_seconds(&chunked_launches);
-    println!("{:<18} {:>12.3} {:>10.2}", "gpu-chunked (sim)", t_gchunk, t_seq / t_gchunk);
+    println!(
+        "{:<18} {:>12.3} {:>10.2}",
+        "gpu-chunked (sim)",
+        t_gchunk,
+        t_seq / t_gchunk
+    );
 
     // Phase breakdown (Fig. 6b).
     let (_, timer) = SequentialEngine::new().run_instrumented(&input);

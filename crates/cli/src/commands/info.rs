@@ -9,12 +9,29 @@ use super::Options;
 pub fn run(_options: &Options) -> Result<(), String> {
     let device = DeviceSpec::tesla_c2075();
     println!("simulated device: {}", device.name);
-    println!("  SMs x lanes        : {} x {} = {} cores", device.num_sms, device.lanes_per_sm, device.total_lanes());
+    println!(
+        "  SMs x lanes        : {} x {} = {} cores",
+        device.num_sms,
+        device.lanes_per_sm,
+        device.total_lanes()
+    );
     println!("  clock              : {:.2} GHz", device.clock_ghz);
-    println!("  global memory      : {:.3} GB", device.global_mem_bytes as f64 / 1024.0 / 1024.0 / 1024.0);
-    println!("  global bandwidth   : {:.0} GB/s", device.global_bandwidth_gbps);
-    println!("  shared mem per SM  : {} KB", device.shared_mem_per_sm / 1024);
-    println!("  constant memory    : {} KB", device.constant_mem_bytes / 1024);
+    println!(
+        "  global memory      : {:.3} GB",
+        device.global_mem_bytes as f64 / 1024.0 / 1024.0 / 1024.0
+    );
+    println!(
+        "  global bandwidth   : {:.0} GB/s",
+        device.global_bandwidth_gbps
+    );
+    println!(
+        "  shared mem per SM  : {} KB",
+        device.shared_mem_per_sm / 1024
+    );
+    println!(
+        "  constant memory    : {} KB",
+        device.constant_mem_bytes / 1024
+    );
     println!("  max threads per SM : {}", device.max_threads_per_sm);
     println!("  max blocks per SM  : {}", device.max_blocks_per_sm);
 
@@ -28,7 +45,9 @@ pub fn run(_options: &Options) -> Result<(), String> {
     println!("\nhost:");
     println!(
         "  logical CPUs       : {}",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     Ok(())
 }

@@ -1,10 +1,11 @@
 //! Subcommand dispatch and shared option parsing.
 
 mod demo;
-mod world;
 mod engines;
 mod info;
+mod query;
 mod quote;
+mod world;
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage: catrisk <command> [options]
@@ -24,6 +25,11 @@ commands:
              --limit X      occurrence limit (default 20e6)
              --trials N     trials per quote (default 50000)
              --seed S       master random seed (default 2012)
+  query    ad-hoc aggregate risk queries over a columnar YLT store
+             --select LIST  aggregates, e.g. \"mean,tvar(0.99),aep(10)\"
+             --where EXPR   filter, e.g. \"peril=HU|FL region=EUR trial=0..10000\"
+             --group-by D   group dimensions: layer, peril, region, lob
+             run `catrisk query --help` for the full reference and examples
   info     print the simulated device and default configuration";
 
 /// Parsed `--key value` style options.
@@ -85,6 +91,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "demo" => demo::run(&options),
         "engines" => engines::run(&options),
         "quote" => quote::run(&options),
+        "query" => query::run(&options),
         "info" => info::run(&options),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -130,7 +137,15 @@ mod tests {
     #[test]
     fn demo_command_runs_small() {
         dispatch(&strings(&[
-            "demo", "--trials", "200", "--locations", "150", "--events", "2000", "--seed", "3",
+            "demo",
+            "--trials",
+            "200",
+            "--locations",
+            "150",
+            "--events",
+            "2000",
+            "--seed",
+            "3",
         ]))
         .unwrap();
     }
@@ -143,7 +158,15 @@ mod tests {
     #[test]
     fn quote_command_runs_small() {
         dispatch(&strings(&[
-            "quote", "--trials", "200", "--retention", "1e6", "--limit", "5e6", "--seed", "3",
+            "quote",
+            "--trials",
+            "200",
+            "--retention",
+            "1e6",
+            "--limit",
+            "5e6",
+            "--seed",
+            "3",
         ]))
         .unwrap();
     }

@@ -21,8 +21,8 @@ pub fn run(options: &Options) -> Result<(), String> {
     eprintln!("preparing quoting world ({} trials) ...", config.trials);
     let world = World::build(&config)?;
     let input = world.standard_input()?;
-    let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default())
-        .map_err(|e| e.to_string())?;
+    let quoter =
+        RealTimeQuoter::new(&input, None, PricingConfig::default()).map_err(|e| e.to_string())?;
     let elt_indices: Vec<usize> = (0..world.elts.len()).collect();
 
     // The underwriter tries the requested structure plus two alternatives.
@@ -36,7 +36,9 @@ pub fn run(options: &Options) -> Result<(), String> {
         "structure", "expected loss", "tech premium", "TVaR99", "RoL", "seconds"
     );
     for treaty in alternatives {
-        let quoted = quoter.quote(treaty, &elt_indices).map_err(|e| e.to_string())?;
+        let quoted = quoter
+            .quote(treaty, &elt_indices)
+            .map_err(|e| e.to_string())?;
         println!(
             "{:<28} {:>14.0} {:>14.0} {:>14.0} {:>10.4} {:>9.3}",
             treaty.describe(),

@@ -32,6 +32,8 @@ pub struct World {
     pub catalog: EventCatalog,
     /// One ELT per exposure set.
     pub elts: Vec<EventLossTable>,
+    /// `(name, region)` of each exposure book, aligned with `elts`.
+    pub books: Vec<(String, Region)>,
     /// The pre-simulated Year Event Table.
     pub yet: Arc<YearEventTable>,
 }
@@ -69,14 +71,23 @@ impl World {
         let yet = YetGenerator::new(&catalog, YetConfig::with_trials(config.trials))
             .map_err(|e| e.to_string())?
             .generate(&factory);
-        Ok(World { catalog, elts, yet: Arc::new(yet) })
+        let books = books
+            .iter()
+            .map(|(name, region)| (name.to_string(), *region))
+            .collect();
+        Ok(World {
+            catalog,
+            elts,
+            books,
+            yet: Arc::new(yet),
+        })
     }
 
     /// Builds an engine input covering all ELTs under a representative
     /// combined per-occurrence / aggregate layer.
     pub fn standard_input(&self) -> Result<AnalysisInput, String> {
-        let mean_loss: f64 =
-            self.elts.iter().map(|e| e.total_mean_loss()).sum::<f64>() / self.elts.len().max(1) as f64;
+        let mean_loss: f64 = self.elts.iter().map(|e| e.total_mean_loss()).sum::<f64>()
+            / self.elts.len().max(1) as f64;
         let scale = (mean_loss / 1_000.0).max(1.0);
         let mut builder = AnalysisInputBuilder::new();
         builder.set_yet_shared(Arc::clone(&self.yet));
@@ -86,7 +97,8 @@ impl World {
         }
         builder.add_layer_over(
             &indices,
-            LayerTerms::new(0.05 * scale, 5.0 * scale, 0.0, 20.0 * scale).map_err(|e| e.to_string())?,
+            LayerTerms::new(0.05 * scale, 5.0 * scale, 0.0, 20.0 * scale)
+                .map_err(|e| e.to_string())?,
         );
         builder.build().map_err(|e| e.to_string())
     }
@@ -98,7 +110,12 @@ mod tests {
 
     #[test]
     fn world_builds_consistently() {
-        let config = WorldConfig { seed: 1, num_events: 3_000, locations: 200, trials: 100 };
+        let config = WorldConfig {
+            seed: 1,
+            num_events: 3_000,
+            locations: 200,
+            trials: 100,
+        };
         let world = World::build(&config).unwrap();
         assert_eq!(world.catalog.len(), 3_000);
         assert_eq!(world.elts.len(), 4);

@@ -3,13 +3,15 @@
 //!
 //! Subcommands:
 //!
-//! * `demo`    — run the full synthetic pipeline (catalog → exposures → ELTs
-//!               → YET → aggregate analysis → risk report);
+//! * `demo` — run the full synthetic pipeline (catalog → exposures → ELTs →
+//!   YET → aggregate analysis → risk report);
 //! * `engines` — run every engine variant on the same workload and print a
-//!               timing comparison (a miniature of the paper's Fig. 6a);
-//! * `quote`   — interactive-speed quoting of a Cat XL layer with varying
-//!               terms (the paper's real-time pricing scenario);
-//! * `info`    — print the simulated device and the default configuration.
+//!   timing comparison (a miniature of the paper's Fig. 6a);
+//! * `quote` — interactive-speed quoting of a Cat XL layer with varying
+//!   terms (the paper's real-time pricing scenario);
+//! * `query` — ad-hoc aggregate risk queries (filters, group-bys, EP
+//!   curves, VaR/TVaR, PML) over a columnar YLT store;
+//! * `info` — print the simulated device and the default configuration.
 //!
 //! Run `catrisk <command> --help` for the options of each command.
 

@@ -27,19 +27,28 @@ pub struct ChunkedEngine {
 
 impl Default for ChunkedEngine {
     fn default() -> Self {
-        Self { chunk_size: 64, threads: 0 }
+        Self {
+            chunk_size: 64,
+            threads: 0,
+        }
     }
 }
 
 impl ChunkedEngine {
     /// Engine with the given chunk size on all cores.
     pub fn new(chunk_size: usize) -> Self {
-        Self { chunk_size, ..Default::default() }
+        Self {
+            chunk_size,
+            ..Default::default()
+        }
     }
 
     /// Engine with explicit chunk size and thread count.
     pub fn with_threads(chunk_size: usize, threads: usize) -> Self {
-        Self { chunk_size, threads }
+        Self {
+            chunk_size,
+            threads,
+        }
     }
 
     /// Runs the analysis; results are identical to the other engines.
@@ -90,11 +99,23 @@ mod tests {
             })
             .collect();
         b.set_yet_from_trials(900, trials);
-        let pairs_a: Vec<(u32, f64)> = (0..900).step_by(3).map(|e| (e, 100.0 + f64::from(e))).collect();
-        let pairs_b: Vec<(u32, f64)> = (0..900).step_by(5).map(|e| (e, 50.0 + 2.0 * f64::from(e))).collect();
-        let a = b.add_elt(&pairs_a, FinancialTerms::new(10.0, 800.0, 0.75, 1.0).unwrap());
+        let pairs_a: Vec<(u32, f64)> = (0..900)
+            .step_by(3)
+            .map(|e| (e, 100.0 + f64::from(e)))
+            .collect();
+        let pairs_b: Vec<(u32, f64)> = (0..900)
+            .step_by(5)
+            .map(|e| (e, 50.0 + 2.0 * f64::from(e)))
+            .collect();
+        let a = b.add_elt(
+            &pairs_a,
+            FinancialTerms::new(10.0, 800.0, 0.75, 1.0).unwrap(),
+        );
         let c = b.add_elt(&pairs_b, FinancialTerms::pass_through());
-        b.add_layer_over(&[a, c], LayerTerms::new(100.0, 1_000.0, 200.0, 5_000.0).unwrap());
+        b.add_layer_over(
+            &[a, c],
+            LayerTerms::new(100.0, 1_000.0, 200.0, 5_000.0).unwrap(),
+        );
         b.add_layer_over(&[c], LayerTerms::unlimited());
         b.build().unwrap()
     }
@@ -105,7 +126,11 @@ mod tests {
         let reference = SequentialEngine::new().run(&input);
         for chunk_size in [1, 2, 4, 8, 12, 16, 64, 1024] {
             let out = ChunkedEngine::new(chunk_size).run(&input);
-            assert_eq!(reference.max_abs_difference(&out), 0.0, "chunk {chunk_size}");
+            assert_eq!(
+                reference.max_abs_difference(&out),
+                0.0,
+                "chunk {chunk_size}"
+            );
         }
     }
 

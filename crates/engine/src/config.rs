@@ -80,17 +80,29 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Configuration of the sequential reference engine.
     pub fn sequential() -> Self {
-        Self { kind: EngineKind::Sequential, threads: 1, ..Default::default() }
+        Self {
+            kind: EngineKind::Sequential,
+            threads: 1,
+            ..Default::default()
+        }
     }
 
     /// Configuration of the parallel engine with an explicit thread count.
     pub fn parallel(threads: usize) -> Self {
-        Self { kind: EngineKind::Parallel, threads, ..Default::default() }
+        Self {
+            kind: EngineKind::Parallel,
+            threads,
+            ..Default::default()
+        }
     }
 
     /// Configuration of the chunked engine with an explicit chunk size.
     pub fn chunked(chunk_size: usize) -> Self {
-        Self { kind: EngineKind::Chunked, chunk_size, ..Default::default() }
+        Self {
+            kind: EngineKind::Chunked,
+            chunk_size,
+            ..Default::default()
+        }
     }
 
     /// Validates the configuration.
@@ -101,7 +113,9 @@ impl EngineConfig {
             ));
         }
         if self.kind == EngineKind::Chunked && self.chunk_size == 0 {
-            return Err(crate::EngineError::InvalidInput("chunk_size must be at least 1".into()));
+            return Err(crate::EngineError::InvalidInput(
+                "chunk_size must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -131,9 +145,16 @@ mod tests {
     #[test]
     fn validation() {
         assert!(EngineConfig::default().validate().is_ok());
-        let bad = EngineConfig { work_items_per_thread: 0, ..Default::default() };
+        let bad = EngineConfig {
+            work_items_per_thread: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = EngineConfig { kind: EngineKind::Chunked, chunk_size: 0, ..Default::default() };
+        let bad = EngineConfig {
+            kind: EngineKind::Chunked,
+            chunk_size: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
     }
 

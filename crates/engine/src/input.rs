@@ -177,14 +177,20 @@ impl AnalysisInput {
     /// Every layer must reference only existing ELT indices.
     pub fn with_layers(&self, layers: Vec<Layer>) -> Result<AnalysisInput> {
         if layers.is_empty() {
-            return Err(EngineError::InvalidInput("at least one layer is required".into()));
+            return Err(EngineError::InvalidInput(
+                "at least one layer is required".into(),
+            ));
         }
         for layer in &layers {
             layer
                 .validate(self.elts.len())
                 .map_err(|e| EngineError::InvalidInput(format!("layer {}: {e}", layer.id)))?;
         }
-        Ok(AnalysisInput { yet: Arc::clone(&self.yet), elts: self.elts.clone(), layers })
+        Ok(AnalysisInput {
+            yet: Arc::clone(&self.yet),
+            elts: self.elts.clone(),
+            layers,
+        })
     }
 
     /// Average number of ELTs per layer.
@@ -192,7 +198,8 @@ impl AnalysisInput {
         if self.layers.is_empty() {
             0.0
         } else {
-            self.layers.iter().map(|l| l.num_elts()).sum::<usize>() as f64 / self.layers.len() as f64
+            self.layers.iter().map(|l| l.num_elts()).sum::<usize>() as f64
+                / self.layers.len() as f64
         }
     }
 }
@@ -205,6 +212,12 @@ pub struct AnalysisInputBuilder {
     catalog_size: Option<u32>,
     elt_pairs: Vec<(Vec<(EventId, f64)>, FinancialTerms)>,
     layers: Vec<Layer>,
+}
+
+impl Default for AnalysisInputBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AnalysisInputBuilder {
@@ -246,8 +259,7 @@ impl AnalysisInputBuilder {
         catalog_size: u32,
         trials: Vec<Vec<(EventId, f32)>>,
     ) -> &mut Self {
-        let mut builder =
-            catrisk_eventgen::yet::YetBuilder::new(catalog_size, trials.len(), 8);
+        let mut builder = catrisk_eventgen::yet::YetBuilder::new(catalog_size, trials.len(), 8);
         for trial in trials {
             builder.push_trial(
                 trial
@@ -300,10 +312,14 @@ impl AnalysisInputBuilder {
             .take()
             .ok_or_else(|| EngineError::InvalidInput("a Year Event Table is required".into()))?;
         if self.elt_pairs.is_empty() {
-            return Err(EngineError::InvalidInput("at least one ELT is required".into()));
+            return Err(EngineError::InvalidInput(
+                "at least one ELT is required".into(),
+            ));
         }
         if self.layers.is_empty() {
-            return Err(EngineError::InvalidInput("at least one layer is required".into()));
+            return Err(EngineError::InvalidInput(
+                "at least one layer is required".into(),
+            ));
         }
         let catalog_size = self.catalog_size.unwrap_or_else(|| yet.catalog_size());
         for (i, (pairs, _)) in self.elt_pairs.iter().enumerate() {
@@ -327,7 +343,11 @@ impl AnalysisInputBuilder {
                 record_count: pairs.len(),
             })
             .collect();
-        Ok(AnalysisInput { yet, elts, layers: std::mem::take(&mut self.layers) })
+        Ok(AnalysisInput {
+            yet,
+            elts,
+            layers: std::mem::take(&mut self.layers),
+        })
     }
 }
 

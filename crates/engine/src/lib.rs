@@ -58,7 +58,9 @@ pub use chunked::ChunkedEngine;
 pub use config::{EngineConfig, EngineKind};
 pub use input::{AnalysisInput, AnalysisInputBuilder, PreparedElt, PreparedLookup};
 pub use parallel::ParallelEngine;
-pub use phases::{PhaseBreakdown, PHASE_EVENT_FETCH, PHASE_FINANCIAL_TERMS, PHASE_LAYER_TERMS, PHASE_LOOKUP};
+pub use phases::{
+    PhaseBreakdown, PHASE_EVENT_FETCH, PHASE_FINANCIAL_TERMS, PHASE_LAYER_TERMS, PHASE_LOOKUP,
+};
 pub use sequential::SequentialEngine;
 pub use streaming::StreamingEngine;
 pub use ylt::{AnalysisOutput, TrialOutcome, YearLossTable};

@@ -27,7 +27,10 @@ pub struct ParallelEngine {
 
 impl Default for ParallelEngine {
     fn default() -> Self {
-        Self { threads: 0, work_items_per_thread: 1 }
+        Self {
+            threads: 0,
+            work_items_per_thread: 1,
+        }
     }
 }
 
@@ -39,14 +42,20 @@ impl ParallelEngine {
 
     /// Engine with an explicit worker-thread count (the Fig. 3a sweep).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads, work_items_per_thread: 1 }
+        Self {
+            threads,
+            work_items_per_thread: 1,
+        }
     }
 
     /// Engine with explicit oversubscription (the Fig. 3b sweep): each of
     /// the `threads` workers is assigned `work_items_per_thread` logical
     /// work items.
     pub fn oversubscribed(threads: usize, work_items_per_thread: usize) -> Self {
-        Self { threads, work_items_per_thread: work_items_per_thread.max(1) }
+        Self {
+            threads,
+            work_items_per_thread: work_items_per_thread.max(1),
+        }
     }
 
     /// Runs the analysis: one YLT per layer, identical to the sequential
@@ -87,7 +96,9 @@ impl ParallelEngine {
     fn run_oversubscribed(&self, input: &AnalysisInput) -> AnalysisOutput {
         let yet = input.yet();
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.threads
         };
@@ -198,9 +209,18 @@ mod tests {
             elt_indices.push(b.add_elt(&pairs, terms));
         }
 
-        b.add_layer_over(&elt_indices[0..3], LayerTerms::new(1.0e4, 5.0e5, 0.0, 2.0e6).unwrap());
-        b.add_layer_over(&elt_indices[2..6], LayerTerms::per_occurrence(5.0e4, 8.0e5).unwrap());
-        b.add_layer_over(&elt_indices[..], LayerTerms::aggregate(1.0e5, 3.0e6).unwrap());
+        b.add_layer_over(
+            &elt_indices[0..3],
+            LayerTerms::new(1.0e4, 5.0e5, 0.0, 2.0e6).unwrap(),
+        );
+        b.add_layer_over(
+            &elt_indices[2..6],
+            LayerTerms::per_occurrence(5.0e4, 8.0e5).unwrap(),
+        );
+        b.add_layer_over(
+            &elt_indices[..],
+            LayerTerms::aggregate(1.0e5, 3.0e6).unwrap(),
+        );
         b.build().unwrap()
     }
 
@@ -225,7 +245,11 @@ mod tests {
         for (threads, items) in [(2, 4), (4, 16), (3, 1)] {
             let engine = ParallelEngine::oversubscribed(threads, items);
             let out = engine.run(&input);
-            assert_eq!(sequential.max_abs_difference(&out), 0.0, "{threads}x{items}");
+            assert_eq!(
+                sequential.max_abs_difference(&out),
+                0.0,
+                "{threads}x{items}"
+            );
         }
     }
 

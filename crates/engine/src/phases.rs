@@ -14,8 +14,12 @@ pub const PHASE_FINANCIAL_TERMS: &str = "financial-terms";
 pub const PHASE_LAYER_TERMS: &str = "layer-terms";
 
 /// All phases in the order of the paper's Fig. 6b.
-pub const ALL_PHASES: [&str; 4] =
-    [PHASE_EVENT_FETCH, PHASE_LOOKUP, PHASE_FINANCIAL_TERMS, PHASE_LAYER_TERMS];
+pub const ALL_PHASES: [&str; 4] = [
+    PHASE_EVENT_FETCH,
+    PHASE_LOOKUP,
+    PHASE_FINANCIAL_TERMS,
+    PHASE_LAYER_TERMS,
+];
 
 /// The share of total runtime spent in each phase of the algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,7 +45,10 @@ impl PhaseBreakdown {
                 (phase.to_string(), share)
             })
             .collect();
-        Self { shares, total_seconds: total }
+        Self {
+            shares,
+            total_seconds: total,
+        }
     }
 
     /// The fraction of time spent in one phase (0 when unknown).

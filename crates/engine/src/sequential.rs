@@ -34,7 +34,12 @@ impl SequentialEngine {
                 let elts = input.layer_elts(layer);
                 let outcomes: Vec<TrialOutcome> = (0..yet.num_trials())
                     .map(|t| {
-                        steps::trial_outcome(&elts, &layer.terms, yet.trial(t).occurrences, &mut scratch)
+                        steps::trial_outcome(
+                            &elts,
+                            &layer.terms,
+                            yet.trial(t).occurrences,
+                            &mut scratch,
+                        )
                     })
                     .collect();
                 YearLossTable::new(layer.id, outcomes)
@@ -173,7 +178,10 @@ mod tests {
         assert_eq!(plain.max_abs_difference(&instrumented), 0.0);
         // All four phases were recorded.
         for phase in crate::phases::ALL_PHASES {
-            assert!(timer.get(phase) > std::time::Duration::ZERO, "{phase} not recorded");
+            assert!(
+                timer.get(phase) > std::time::Duration::ZERO,
+                "{phase} not recorded"
+            );
         }
     }
 

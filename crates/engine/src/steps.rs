@@ -60,7 +60,11 @@ pub fn apply_layer_terms(occurrence_losses: &mut [f64], terms: &LayerTerms) -> T
     apply::cumulative_sums(occurrence_losses);
     apply::apply_aggregate_terms(occurrence_losses, terms.agg_retention, terms.agg_limit);
     let year_loss = apply::difference_and_sum(occurrence_losses);
-    TrialOutcome { year_loss, max_occurrence_loss, nonzero_events }
+    TrialOutcome {
+        year_loss,
+        max_occurrence_loss,
+        nonzero_events,
+    }
 }
 
 /// The full per-trial kernel (paper lines 3–19): lookup + financial terms +
@@ -131,7 +135,10 @@ mod tests {
         events
             .iter()
             .enumerate()
-            .map(|(i, &event)| EventOccurrence { event, time: i as f32 })
+            .map(|(i, &event)| EventOccurrence {
+                event,
+                time: i as f32,
+            })
             .collect()
     }
 
@@ -148,7 +155,10 @@ mod tests {
     #[test]
     fn financial_terms_applied_per_elt() {
         // ELT terms: 10 deductible, 100 limit, 50% share.
-        let a = elt(&[(1, 60.0)], FinancialTerms::new(10.0, 100.0, 0.5, 1.0).unwrap());
+        let a = elt(
+            &[(1, 60.0)],
+            FinancialTerms::new(10.0, 100.0, 0.5, 1.0).unwrap(),
+        );
         let trial = occurrences(&[1]);
         let mut scratch = Vec::new();
         accumulate_occurrence_losses(&[&a], &trial, &mut scratch);
@@ -189,8 +199,14 @@ mod tests {
 
     #[test]
     fn chunked_matches_unchunked_for_all_chunk_sizes() {
-        let a = elt(&[(1, 100.0), (2, 250.0), (3, 400.0), (9, 30.0)], FinancialTerms::new(5.0, 350.0, 0.9, 1.1).unwrap());
-        let b = elt(&[(2, 75.0), (7, 900.0), (9, 60.0)], FinancialTerms::pass_through());
+        let a = elt(
+            &[(1, 100.0), (2, 250.0), (3, 400.0), (9, 30.0)],
+            FinancialTerms::new(5.0, 350.0, 0.9, 1.1).unwrap(),
+        );
+        let b = elt(
+            &[(2, 75.0), (7, 900.0), (9, 60.0)],
+            FinancialTerms::pass_through(),
+        );
         let terms = LayerTerms::new(50.0, 400.0, 100.0, 600.0).unwrap();
         let trial = occurrences(&[1, 2, 3, 4, 7, 9, 2, 3, 1, 9, 7]);
         let mut scratch = Vec::new();
@@ -207,14 +223,25 @@ mod tests {
     fn chunked_zero_chunk_panics() {
         let a = elt(&[(1, 1.0)], FinancialTerms::pass_through());
         let mut scratch = Vec::new();
-        trial_outcome_chunked(&[&a], &LayerTerms::unlimited(), &occurrences(&[1]), 0, &mut scratch);
+        trial_outcome_chunked(
+            &[&a],
+            &LayerTerms::unlimited(),
+            &occurrences(&[1]),
+            0,
+            &mut scratch,
+        );
     }
 
     #[test]
     fn unlimited_terms_sum_gross_losses() {
         let a = elt(&[(1, 10.0), (2, 20.0)], FinancialTerms::pass_through());
         let mut scratch = Vec::new();
-        let o = trial_outcome(&[&a], &LayerTerms::unlimited(), &occurrences(&[1, 2, 2]), &mut scratch);
+        let o = trial_outcome(
+            &[&a],
+            &LayerTerms::unlimited(),
+            &occurrences(&[1, 2, 2]),
+            &mut scratch,
+        );
         assert_eq!(o.year_loss, 50.0);
         assert_eq!(o.max_occurrence_loss, 20.0);
         assert_eq!(o.nonzero_events, 3);

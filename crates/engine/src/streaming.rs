@@ -41,14 +41,20 @@ pub struct StreamingEngine {
 
 impl Default for StreamingEngine {
     fn default() -> Self {
-        Self { block_size: 10_000, threads: 0 }
+        Self {
+            block_size: 10_000,
+            threads: 0,
+        }
     }
 }
 
 impl StreamingEngine {
     /// Engine processing `block_size` trials at a time.
     pub fn new(block_size: usize) -> Self {
-        Self { block_size, ..Default::default() }
+        Self {
+            block_size,
+            ..Default::default()
+        }
     }
 
     /// Streams the analysis, calling `on_block(block_index, trial_range,
@@ -125,12 +131,20 @@ mod tests {
         let yet_trials: Vec<Vec<(u32, f32)>> = (0..trials)
             .map(|t| {
                 (0..((t % 13) as u32))
-                    .map(|i| (((t as u32).wrapping_mul(17).wrapping_add(i * 3)) % 500, i as f32))
+                    .map(|i| {
+                        (
+                            ((t as u32).wrapping_mul(17).wrapping_add(i * 3)) % 500,
+                            i as f32,
+                        )
+                    })
                     .collect()
             })
             .collect();
         b.set_yet_from_trials(500, yet_trials);
-        let pairs: Vec<(u32, f64)> = (0..500).step_by(2).map(|e| (e, 10.0 + f64::from(e))).collect();
+        let pairs: Vec<(u32, f64)> = (0..500)
+            .step_by(2)
+            .map(|e| (e, 10.0 + f64::from(e)))
+            .collect();
         let a = b.add_elt(&pairs, FinancialTerms::pass_through());
         b.add_layer_over(&[a], LayerTerms::per_occurrence(50.0, 400.0).unwrap());
         b.add_layer_over(&[a], LayerTerms::unlimited());
@@ -142,7 +156,10 @@ mod tests {
         let input = input(105);
         let reference = SequentialEngine::new().run(&input);
         let mut collected: Vec<Vec<TrialOutcome>> = vec![Vec::new(); input.layers().len()];
-        let engine = StreamingEngine { block_size: 20, threads: 1 };
+        let engine = StreamingEngine {
+            block_size: 20,
+            threads: 1,
+        };
         engine.run_with(&input, |_, range, block| {
             assert!(range.len() <= 20);
             for (layer_idx, ylt) in block.layers().iter().enumerate() {

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use catrisk_finterms::layer::LayerId;
+use catrisk_simkit::stats;
 
 /// The result of analysing one trial for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -50,47 +51,34 @@ impl YearLossTable {
 
     /// Per-trial maximum occurrence losses in trial order.
     pub fn max_occurrence_losses(&self) -> Vec<f64> {
-        self.outcomes.iter().map(|o| o.max_occurrence_loss).collect()
+        self.outcomes
+            .iter()
+            .map(|o| o.max_occurrence_loss)
+            .collect()
     }
 
     /// Mean year loss across trials — the layer's expected annual loss under
-    /// the simulation measure.
+    /// the simulation measure.  Shares its kernel with the query engine's
+    /// `mean` aggregate.
     pub fn mean_loss(&self) -> f64 {
-        if self.outcomes.is_empty() {
-            0.0
-        } else {
-            self.outcomes.iter().map(|o| o.year_loss).sum::<f64>() / self.outcomes.len() as f64
-        }
+        stats::mean_or_zero(&self.losses())
     }
 
-    /// Standard deviation of the year loss across trials.
+    /// Standard deviation of the year loss across trials (population
+    /// formula, shared with the query engine's `stddev` aggregate).
     pub fn loss_std_dev(&self) -> f64 {
-        let n = self.outcomes.len();
-        if n < 2 {
-            return 0.0;
-        }
-        let mean = self.mean_loss();
-        let var = self
-            .outcomes
-            .iter()
-            .map(|o| (o.year_loss - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
-        var.sqrt()
+        stats::population_std_dev(&self.losses())
     }
 
     /// Fraction of trials with a non-zero year loss (the layer's annual
     /// attachment probability under the simulation measure).
     pub fn nonzero_fraction(&self) -> f64 {
-        if self.outcomes.is_empty() {
-            return 0.0;
-        }
-        self.outcomes.iter().filter(|o| o.year_loss > 0.0).count() as f64 / self.outcomes.len() as f64
+        stats::positive_fraction(&self.losses())
     }
 
     /// Largest year loss across trials.
     pub fn max_loss(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.year_loss).fold(0.0, f64::max)
+        stats::max_or_zero(&self.losses())
     }
 }
 
@@ -165,13 +153,22 @@ mod tests {
     use super::*;
 
     fn outcome(loss: f64, max_occ: f64) -> TrialOutcome {
-        TrialOutcome { year_loss: loss, max_occurrence_loss: max_occ, nonzero_events: u32::from(loss > 0.0) }
+        TrialOutcome {
+            year_loss: loss,
+            max_occurrence_loss: max_occ,
+            nonzero_events: u32::from(loss > 0.0),
+        }
     }
 
     fn sample_ylt() -> YearLossTable {
         YearLossTable::new(
             LayerId(0),
-            vec![outcome(0.0, 0.0), outcome(10.0, 8.0), outcome(30.0, 30.0), outcome(0.0, 0.0)],
+            vec![
+                outcome(0.0, 0.0),
+                outcome(10.0, 8.0),
+                outcome(30.0, 30.0),
+                outcome(0.0, 0.0),
+            ],
         )
     }
 
@@ -202,7 +199,12 @@ mod tests {
         let a = sample_ylt();
         let b = YearLossTable::new(
             LayerId(1),
-            vec![outcome(5.0, 5.0), outcome(0.0, 0.0), outcome(10.0, 10.0), outcome(1.0, 1.0)],
+            vec![
+                outcome(5.0, 5.0),
+                outcome(0.0, 0.0),
+                outcome(10.0, 10.0),
+                outcome(1.0, 1.0),
+            ],
         );
         let out = AnalysisOutput::new(vec![a, b]);
         assert_eq!(out.num_layers(), 2);

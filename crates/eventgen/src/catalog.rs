@@ -62,13 +62,19 @@ impl CatalogConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.num_events == 0 {
-            return Err(GenError::InvalidConfig("num_events must be positive".into()));
+            return Err(GenError::InvalidConfig(
+                "num_events must be positive".into(),
+            ));
         }
         if !(self.annual_event_budget.is_finite() && self.annual_event_budget > 0.0) {
-            return Err(GenError::InvalidConfig("annual_event_budget must be positive".into()));
+            return Err(GenError::InvalidConfig(
+                "annual_event_budget must be positive".into(),
+            ));
         }
         if !(self.rate_tail_index.is_finite() && self.rate_tail_index > 0.0) {
-            return Err(GenError::InvalidConfig("rate_tail_index must be positive".into()));
+            return Err(GenError::InvalidConfig(
+                "rate_tail_index must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -91,7 +97,9 @@ impl EventCatalog {
                 )));
             }
             if !(e.annual_rate.is_finite() && e.annual_rate >= 0.0) {
-                return Err(GenError::InvalidConfig(format!("event {i} has invalid rate")));
+                return Err(GenError::InvalidConfig(format!(
+                    "event {i} has invalid rate"
+                )));
             }
         }
         Ok(Self { events })
@@ -121,7 +129,7 @@ impl EventCatalog {
             } else {
                 ((n as f64) * share).round() as usize
             };
-            peril_of.extend(std::iter::repeat(*peril).take(count.min(n - peril_of.len())));
+            peril_of.extend(std::iter::repeat_n(*peril, count.min(n - peril_of.len())));
         }
         // Rounding may leave a shortfall; pad with the last peril.
         while peril_of.len() < n {
@@ -224,7 +232,11 @@ mod tests {
 
     fn small_catalog() -> EventCatalog {
         EventCatalog::generate(
-            &CatalogConfig { num_events: 5_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+            &CatalogConfig {
+                num_events: 5_000,
+                annual_event_budget: 1_000.0,
+                rate_tail_index: 1.2,
+            },
             &RngFactory::new(42),
         )
         .unwrap()
@@ -251,7 +263,11 @@ mod tests {
         let b = small_catalog();
         assert_eq!(a, b);
         let c = EventCatalog::generate(
-            &CatalogConfig { num_events: 5_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+            &CatalogConfig {
+                num_events: 5_000,
+                annual_event_budget: 1_000.0,
+                rate_tail_index: 1.2,
+            },
             &RngFactory::new(43),
         )
         .unwrap();
@@ -304,26 +320,44 @@ mod tests {
         assert!(EventCatalog::from_events(good.clone()).is_ok());
         let bad_id = vec![CatalogEvent { id: 3, ..good[0] }];
         assert!(EventCatalog::from_events(bad_id).is_err());
-        let bad_rate = vec![CatalogEvent { annual_rate: f64::NAN, ..good[0] }];
+        let bad_rate = vec![CatalogEvent {
+            annual_rate: f64::NAN,
+            ..good[0]
+        }];
         assert!(EventCatalog::from_events(bad_rate).is_err());
     }
 
     #[test]
     fn config_validation() {
-        assert!(CatalogConfig { num_events: 0, ..Default::default() }.validate().is_err());
-        assert!(CatalogConfig { annual_event_budget: 0.0, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(CatalogConfig { rate_tail_index: f64::NAN, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(CatalogConfig {
+            num_events: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CatalogConfig {
+            annual_event_budget: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CatalogConfig {
+            rate_tail_index: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(CatalogConfig::default().validate().is_ok());
     }
 
     #[test]
     fn serde_round_trip() {
         let cat = EventCatalog::generate(
-            &CatalogConfig { num_events: 50, annual_event_budget: 10.0, rate_tail_index: 1.1 },
+            &CatalogConfig {
+                num_events: 50,
+                annual_event_budget: 10.0,
+                rate_tail_index: 1.1,
+            },
             &RngFactory::new(1),
         )
         .unwrap();

@@ -15,9 +15,10 @@ use catrisk_simkit::rng::SimRng;
 use crate::{GenError, Result};
 
 /// Annual event-count model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum FrequencyModel {
     /// Poisson counts: variance equals the mean.
+    #[default]
     Poisson,
     /// Negative binomial counts with the given variance-to-mean ratio
     /// (> 1; at exactly 1 it degenerates to Poisson).
@@ -67,12 +68,14 @@ impl FrequencyModel {
             return 0;
         }
         match *self {
-            FrequencyModel::Poisson => {
-                Poisson::new(mean_rate).expect("non-negative rate").sample(rng)
-            }
+            FrequencyModel::Poisson => Poisson::new(mean_rate)
+                .expect("non-negative rate")
+                .sample(rng),
             FrequencyModel::NegativeBinomial { dispersion } => {
                 if dispersion <= 1.0 + 1e-9 {
-                    return Poisson::new(mean_rate).expect("non-negative rate").sample(rng);
+                    return Poisson::new(mean_rate)
+                        .expect("non-negative rate")
+                        .sample(rng);
                 }
                 let variance = mean_rate * dispersion;
                 NegativeBinomial::from_mean_variance(mean_rate, variance)
@@ -83,7 +86,9 @@ impl FrequencyModel {
                 // Primary rate chosen so the total mean matches `mean_rate`:
                 // E[total] = E[primaries] * (1 + cluster_mean).
                 let primary_rate = mean_rate / (1.0 + cluster_mean);
-                let primaries = Poisson::new(primary_rate).expect("non-negative").sample(rng);
+                let primaries = Poisson::new(primary_rate)
+                    .expect("non-negative")
+                    .sample(rng);
                 let mut total = primaries;
                 if cluster_mean > 0.0 {
                     let secondary = Poisson::new(cluster_mean).expect("non-negative");
@@ -105,12 +110,6 @@ impl FrequencyModel {
             // (each primary contributes an independent Poisson cluster).
             FrequencyModel::Clustered { cluster_mean } => 1.0 + cluster_mean,
         }
-    }
-}
-
-impl Default for FrequencyModel {
-    fn default() -> Self {
-        FrequencyModel::Poisson
     }
 }
 
@@ -161,7 +160,10 @@ mod tests {
         let s = empirical(model, 10.0, 80_000, 4);
         assert!((s.mean() - 10.0).abs() < 0.15, "mean {}", s.mean());
         let ratio = s.variance() / s.mean();
-        assert!(ratio > 1.5, "clustered counts should be over-dispersed, got {ratio}");
+        assert!(
+            ratio > 1.5,
+            "clustered counts should be over-dispersed, got {ratio}"
+        );
         assert!((model.dispersion_ratio() - 2.5).abs() < 1e-12);
     }
 
@@ -179,9 +181,17 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(FrequencyModel::NegativeBinomial { dispersion: 0.5 }.validate().is_err());
-        assert!(FrequencyModel::NegativeBinomial { dispersion: f64::NAN }.validate().is_err());
-        assert!(FrequencyModel::Clustered { cluster_mean: -1.0 }.validate().is_err());
+        assert!(FrequencyModel::NegativeBinomial { dispersion: 0.5 }
+            .validate()
+            .is_err());
+        assert!(FrequencyModel::NegativeBinomial {
+            dispersion: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(FrequencyModel::Clustered { cluster_mean: -1.0 }
+            .validate()
+            .is_err());
         assert!(FrequencyModel::Poisson.validate().is_ok());
         assert_eq!(FrequencyModel::default(), FrequencyModel::Poisson);
     }
@@ -189,7 +199,10 @@ mod tests {
     #[test]
     fn dispersion_ratio_reported() {
         assert_eq!(FrequencyModel::Poisson.dispersion_ratio(), 1.0);
-        assert_eq!(FrequencyModel::NegativeBinomial { dispersion: 3.0 }.dispersion_ratio(), 3.0);
+        assert_eq!(
+            FrequencyModel::NegativeBinomial { dispersion: 3.0 }.dispersion_ratio(),
+            3.0
+        );
     }
 
     #[test]

@@ -20,9 +20,8 @@ const VERSION: u32 = 1;
 
 /// Serializes a YET into the compact binary format.
 pub fn yet_to_bytes(yet: &YearEventTable) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        4 + 4 + 4 + 8 + 8 + yet.num_trials() * 4 + yet.total_events() * 8,
-    );
+    let mut buf =
+        BytesMut::with_capacity(4 + 4 + 4 + 8 + 8 + yet.num_trials() * 4 + yet.total_events() * 8);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(yet.catalog_size());
@@ -66,7 +65,9 @@ pub fn yet_from_bytes(mut data: &[u8]) -> Result<YearEventTable> {
         counts.push(data.get_u32_le() as usize);
     }
     if counts.iter().sum::<usize>() != total_events {
-        return Err(GenError::Corrupt("trial counts do not sum to total events".into()));
+        return Err(GenError::Corrupt(
+            "trial counts do not sum to total events".into(),
+        ));
     }
     if data.remaining() < total_events * 8 {
         return Err(GenError::Corrupt("truncated occurrence data".into()));
@@ -111,7 +112,8 @@ pub fn write_catalog_json(path: &std::path::Path, catalog: &EventCatalog) -> Res
 /// Reads an event catalog from JSON.
 pub fn read_catalog_json(path: &std::path::Path) -> Result<EventCatalog> {
     let data = std::fs::read(path)?;
-    serde_json::from_slice(&data).map_err(|e| GenError::Corrupt(format!("deserialization failed: {e}")))
+    serde_json::from_slice(&data)
+        .map_err(|e| GenError::Corrupt(format!("deserialization failed: {e}")))
 }
 
 #[cfg(test)]
@@ -123,7 +125,11 @@ mod tests {
 
     fn sample_yet() -> YearEventTable {
         let catalog = EventCatalog::generate(
-            &CatalogConfig { num_events: 500, annual_event_budget: 50.0, rate_tail_index: 1.3 },
+            &CatalogConfig {
+                num_events: 500,
+                annual_event_budget: 50.0,
+                rate_tail_index: 1.3,
+            },
             &RngFactory::new(21),
         )
         .unwrap();
@@ -144,7 +150,10 @@ mod tests {
     fn binary_round_trip_empty_trials() {
         let mut b = YetBuilder::new(10, 3, 0);
         b.push_trial(vec![]);
-        b.push_trial(vec![EventOccurrence { event: 3, time: 12.5 }]);
+        b.push_trial(vec![EventOccurrence {
+            event: 3,
+            time: 12.5,
+        }]);
         b.push_trial(vec![]);
         let yet = b.build();
         let back = yet_from_bytes(&yet_to_bytes(&yet)).unwrap();
@@ -189,7 +198,11 @@ mod tests {
         let dir = std::env::temp_dir().join("catrisk-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let catalog = EventCatalog::generate(
-            &CatalogConfig { num_events: 64, annual_event_budget: 10.0, rate_tail_index: 1.5 },
+            &CatalogConfig {
+                num_events: 64,
+                annual_event_budget: 10.0,
+                rate_tail_index: 1.5,
+            },
             &RngFactory::new(5),
         )
         .unwrap();
@@ -210,6 +223,9 @@ mod tests {
         let expected = 28 + yet.num_trials() * 4 + yet.total_events() * 8;
         assert_eq!(bytes.len(), expected);
         let json_size = serde_json::to_vec(&yet).unwrap().len();
-        assert!(json_size > 2 * bytes.len(), "binary should be much smaller than JSON");
+        assert!(
+            json_size > 2 * bytes.len(),
+            "binary should be much smaller than JSON"
+        );
     }
 }

@@ -126,14 +126,22 @@ impl Region {
     /// plausible).
     pub fn active_perils(&self) -> &'static [Peril] {
         match self {
-            Region::NorthAmericaEast => {
-                &[Peril::Hurricane, Peril::Tornado, Peril::WinterStorm, Peril::Flood]
-            }
+            Region::NorthAmericaEast => &[
+                Peril::Hurricane,
+                Peril::Tornado,
+                Peril::WinterStorm,
+                Peril::Flood,
+            ],
             Region::NorthAmericaWest => &[Peril::Earthquake, Peril::Wildfire, Peril::Flood],
             Region::Caribbean => &[Peril::Hurricane, Peril::Earthquake, Peril::Flood],
             Region::Europe => &[Peril::WinterStorm, Peril::Flood, Peril::Earthquake],
             Region::Japan => &[Peril::Earthquake, Peril::Hurricane, Peril::Flood],
-            Region::Oceania => &[Peril::Earthquake, Peril::Wildfire, Peril::Hurricane, Peril::Flood],
+            Region::Oceania => &[
+                Peril::Earthquake,
+                Peril::Wildfire,
+                Peril::Hurricane,
+                Peril::Flood,
+            ],
         }
     }
 }
@@ -192,8 +200,14 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let json = serde_json::to_string(&Peril::Earthquake).unwrap();
-        assert_eq!(serde_json::from_str::<Peril>(&json).unwrap(), Peril::Earthquake);
+        assert_eq!(
+            serde_json::from_str::<Peril>(&json).unwrap(),
+            Peril::Earthquake
+        );
         let json = serde_json::to_string(&Region::Caribbean).unwrap();
-        assert_eq!(serde_json::from_str::<Region>(&json).unwrap(), Region::Caribbean);
+        assert_eq!(
+            serde_json::from_str::<Region>(&json).unwrap(),
+            Region::Caribbean
+        );
     }
 }

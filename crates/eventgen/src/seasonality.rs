@@ -98,7 +98,10 @@ impl TimestampSampler {
             .iter()
             .map(|p| {
                 let profile = SeasonalProfile::for_peril(*p);
-                (*p, AliasTable::new(profile.weights()).expect("valid weights"))
+                (
+                    *p,
+                    AliasTable::new(profile.weights()).expect("valid weights"),
+                )
             })
             .collect();
         Self { tables }
@@ -115,7 +118,10 @@ impl TimestampSampler {
                     .find(|(q, _)| q == p)
                     .map(|(_, prof)| prof.clone())
                     .unwrap_or_else(SeasonalProfile::uniform);
-                (*p, AliasTable::new(profile.weights()).expect("valid weights"))
+                (
+                    *p,
+                    AliasTable::new(profile.weights()).expect("valid weights"),
+                )
             })
             .collect();
         Self { tables }

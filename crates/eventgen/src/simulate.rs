@@ -50,16 +50,23 @@ impl Default for YetConfig {
 impl YetConfig {
     /// Configuration with just a trial count and defaults elsewhere.
     pub fn with_trials(num_trials: usize) -> Self {
-        Self { num_trials, ..Default::default() }
+        Self {
+            num_trials,
+            ..Default::default()
+        }
     }
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.num_trials == 0 {
-            return Err(GenError::InvalidConfig("num_trials must be positive".into()));
+            return Err(GenError::InvalidConfig(
+                "num_trials must be positive".into(),
+            ));
         }
         if !(self.rate_multiplier.is_finite() && self.rate_multiplier > 0.0) {
-            return Err(GenError::InvalidConfig("rate_multiplier must be positive".into()));
+            return Err(GenError::InvalidConfig(
+                "rate_multiplier must be positive".into(),
+            ));
         }
         self.frequency.validate()?;
         for (_, m) in &self.peril_frequency {
@@ -117,12 +124,13 @@ impl YetGenerator {
                 peril,
                 annual_rate: total * config.rate_multiplier,
                 events,
-                alias: AliasTable::new(&weights)
-                    .map_err(|e| GenError::InvalidConfig(e.message))?,
+                alias: AliasTable::new(&weights).map_err(|e| GenError::InvalidConfig(e.message))?,
             });
         }
         if samplers.is_empty() {
-            return Err(GenError::InvalidConfig("catalog has no events with positive rates".into()));
+            return Err(GenError::InvalidConfig(
+                "catalog has no events with positive rates".into(),
+            ));
         }
         Ok(Self {
             samplers,
@@ -197,7 +205,11 @@ mod tests {
 
     fn catalog() -> EventCatalog {
         EventCatalog::generate(
-            &CatalogConfig { num_events: 2_000, annual_event_budget: 100.0, rate_tail_index: 1.2 },
+            &CatalogConfig {
+                num_events: 2_000,
+                annual_event_budget: 100.0,
+                rate_tail_index: 1.2,
+            },
             &RngFactory::new(7),
         )
         .unwrap()
@@ -272,7 +284,10 @@ mod tests {
     fn per_peril_frequency_override() {
         let cat = catalog();
         let mut config = YetConfig::with_trials(10);
-        config.peril_frequency = vec![(Peril::Hurricane, FrequencyModel::Clustered { cluster_mean: 2.0 })];
+        config.peril_frequency = vec![(
+            Peril::Hurricane,
+            FrequencyModel::Clustered { cluster_mean: 2.0 },
+        )];
         assert_eq!(
             config.frequency_for(Peril::Hurricane),
             FrequencyModel::Clustered { cluster_mean: 2.0 }
@@ -284,8 +299,18 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(YetConfig { num_trials: 0, ..Default::default() }.validate().is_err());
-        assert!(YetConfig { rate_multiplier: 0.0, ..Default::default() }.validate().is_err());
+        assert!(YetConfig {
+            num_trials: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(YetConfig {
+            rate_multiplier: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(YetConfig {
             frequency: FrequencyModel::NegativeBinomial { dispersion: 0.2 },
             ..Default::default()
@@ -293,7 +318,10 @@ mod tests {
         .validate()
         .is_err());
         assert!(YetConfig {
-            peril_frequency: vec![(Peril::Flood, FrequencyModel::Clustered { cluster_mean: -1.0 })],
+            peril_frequency: vec![(
+                Peril::Flood,
+                FrequencyModel::Clustered { cluster_mean: -1.0 }
+            )],
             ..Default::default()
         }
         .validate()

@@ -85,7 +85,10 @@ impl YearEventTable {
     pub fn trial(&self, i: usize) -> Trial<'_> {
         let start = self.offsets[i];
         let end = self.offsets[i + 1];
-        Trial { index: i, occurrences: &self.occurrences[start..end] }
+        Trial {
+            index: i,
+            occurrences: &self.occurrences[start..end],
+        }
     }
 
     /// Iterator over all trials in order.
@@ -122,7 +125,11 @@ impl YearEventTable {
             .iter()
             .map(|o| o - start_off)
             .collect();
-        YearEventTable { occurrences, offsets, catalog_size: self.catalog_size }
+        YearEventTable {
+            occurrences,
+            offsets,
+            catalog_size: self.catalog_size,
+        }
     }
 
     /// Checks the structural invariants (ordered offsets, time-stamps sorted
@@ -133,10 +140,14 @@ impl YearEventTable {
             return Err(crate::GenError::Corrupt("offsets must start at 0".into()));
         }
         if *self.offsets.last().expect("non-empty") != self.occurrences.len() {
-            return Err(crate::GenError::Corrupt("last offset must equal occurrence count".into()));
+            return Err(crate::GenError::Corrupt(
+                "last offset must equal occurrence count".into(),
+            ));
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(crate::GenError::Corrupt("offsets must be non-decreasing".into()));
+            return Err(crate::GenError::Corrupt(
+                "offsets must be non-decreasing".into(),
+            ));
         }
         for (i, w) in self.offsets.windows(2).enumerate() {
             let trial = &self.occurrences[w[0]..w[1]];
@@ -166,7 +177,11 @@ pub struct YetBuilder {
 impl YetBuilder {
     /// Starts a builder for a catalog of the given size, reserving space for
     /// an expected number of trials and events per trial.
-    pub fn new(catalog_size: u32, expected_trials: usize, expected_events_per_trial: usize) -> Self {
+    pub fn new(
+        catalog_size: u32,
+        expected_trials: usize,
+        expected_events_per_trial: usize,
+    ) -> Self {
         let mut offsets = Vec::with_capacity(expected_trials + 1);
         offsets.push(0);
         Self {

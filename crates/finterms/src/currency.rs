@@ -72,7 +72,10 @@ pub struct ExchangeRates {
 impl ExchangeRates {
     /// Creates an empty table with the given base currency (rate 1.0).
     pub fn new(base: Currency) -> Self {
-        Self { base, rates: vec![(base, 1.0)] }
+        Self {
+            base,
+            rates: vec![(base, 1.0)],
+        }
     }
 
     /// A representative USD-based table useful for tests and synthetic data.
@@ -94,7 +97,10 @@ impl ExchangeRates {
 
     /// Sets (or replaces) the rate converting `currency` into the base.
     pub fn set(&mut self, currency: Currency, rate: f64) {
-        assert!(rate.is_finite() && rate > 0.0, "exchange rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exchange rate must be positive"
+        );
         if let Some(slot) = self.rates.iter_mut().find(|(c, _)| *c == currency) {
             slot.1 = rate;
         } else {
@@ -104,7 +110,10 @@ impl ExchangeRates {
 
     /// Returns the rate converting `currency` into the base, if known.
     pub fn rate(&self, currency: Currency) -> Option<f64> {
-        self.rates.iter().find(|(c, _)| *c == currency).map(|(_, r)| *r)
+        self.rates
+            .iter()
+            .find(|(c, _)| *c == currency)
+            .map(|(_, r)| *r)
     }
 
     /// Converts an amount from `currency` into the base currency.

@@ -43,7 +43,13 @@ impl Layer {
         if elt_indices.is_empty() {
             return Err(TermsError::EmptyLayer);
         }
-        Ok(Self { id, elt_indices, terms, participation: 1.0, description: String::new() })
+        Ok(Self {
+            id,
+            elt_indices,
+            terms,
+            participation: 1.0,
+            description: String::new(),
+        })
     }
 
     /// Number of ELTs covered by this layer.
@@ -179,8 +185,14 @@ mod tests {
         let layer = Layer::new(LayerId(1), vec![0, 1, 2], LayerTerms::unlimited()).unwrap();
         assert_eq!(layer.num_elts(), 3);
         layer.validate(3).unwrap();
-        assert!(layer.validate(2).is_err(), "index 2 out of bounds for 2 ELTs");
-        assert_eq!(Layer::new(LayerId(1), vec![], LayerTerms::unlimited()), Err(TermsError::EmptyLayer));
+        assert!(
+            layer.validate(2).is_err(),
+            "index 2 out of bounds for 2 ELTs"
+        );
+        assert_eq!(
+            Layer::new(LayerId(1), vec![], LayerTerms::unlimited()),
+            Err(TermsError::EmptyLayer)
+        );
     }
 
     #[test]
@@ -206,13 +218,22 @@ mod tests {
 
     #[test]
     fn builder_rejects_empty_and_bad_participation() {
-        assert_eq!(LayerBuilder::new(LayerId(0)).build(), Err(TermsError::EmptyLayer));
+        assert_eq!(
+            LayerBuilder::new(LayerId(0)).build(),
+            Err(TermsError::EmptyLayer)
+        );
         let err = LayerBuilder::new(LayerId(0))
             .covering(0)
             .with_participation(1.5)
             .build()
             .unwrap_err();
-        assert!(matches!(err, TermsError::InvalidParameter { field: "participation", .. }));
+        assert!(matches!(
+            err,
+            TermsError::InvalidParameter {
+                field: "participation",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -222,7 +243,12 @@ mod tests {
             .with_elt_terms(FinancialTerms::pass_through())
             .with_elt_terms(FinancialTerms::new(1.0, 2.0, 0.5, 1.0).unwrap());
         assert_eq!(b.elt_terms().len(), 2);
-        assert!(b.with_description("custom").build().unwrap().description.contains("custom"));
+        assert!(b
+            .with_description("custom")
+            .build()
+            .unwrap()
+            .description
+            .contains("custom"));
     }
 
     #[test]
@@ -234,7 +260,12 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let layer = Layer::new(LayerId(9), vec![1, 4], LayerTerms::per_occurrence(1.0, 2.0).unwrap()).unwrap();
+        let layer = Layer::new(
+            LayerId(9),
+            vec![1, 4],
+            LayerTerms::per_occurrence(1.0, 2.0).unwrap(),
+        )
+        .unwrap();
         let json = serde_json::to_string(&layer).unwrap();
         let back: Layer = serde_json::from_str(&json).unwrap();
         assert_eq!(layer, back);

@@ -9,7 +9,10 @@ use crate::{Result, TermsError};
 mod maybe_unlimited {
     use serde::{Deserialize, Deserializer, Serializer};
 
-    pub fn serialize<S: Serializer>(value: &f64, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    pub fn serialize<S: Serializer>(
+        value: &f64,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         if value.is_finite() {
             serializer.serialize_some(value)
         } else {
@@ -17,7 +20,9 @@ mod maybe_unlimited {
         }
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> std::result::Result<f64, D::Error> {
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<f64, D::Error> {
         let opt = Option::<f64>::deserialize(deserializer)?;
         Ok(opt.unwrap_or(f64::INFINITY))
     }
@@ -78,26 +83,45 @@ impl FinancialTerms {
     pub fn new(deductible: f64, limit: f64, share: f64, fx_rate: f64) -> Result<Self> {
         check("deductible", deductible)?;
         if limit.is_nan() || limit < 0.0 {
-            return Err(TermsError::InvalidParameter { field: "limit", value: limit });
+            return Err(TermsError::InvalidParameter {
+                field: "limit",
+                value: limit,
+            });
         }
         if !(0.0..=1.0).contains(&share) {
-            return Err(TermsError::InvalidParameter { field: "share", value: share });
+            return Err(TermsError::InvalidParameter {
+                field: "share",
+                value: share,
+            });
         }
         if !(fx_rate.is_finite() && fx_rate > 0.0) {
-            return Err(TermsError::InvalidParameter { field: "fx_rate", value: fx_rate });
+            return Err(TermsError::InvalidParameter {
+                field: "fx_rate",
+                value: fx_rate,
+            });
         }
-        Ok(Self { deductible, limit, share, fx_rate })
+        Ok(Self {
+            deductible,
+            limit,
+            share,
+            fx_rate,
+        })
     }
 
     /// Applies the terms to a single event loss.
     #[inline]
     pub fn apply(&self, loss: f64) -> f64 {
-        crate::apply::retention_and_limit(loss, self.deductible, self.limit) * self.share * self.fx_rate
+        crate::apply::retention_and_limit(loss, self.deductible, self.limit)
+            * self.share
+            * self.fx_rate
     }
 
     /// True when [`apply`](Self::apply) is the identity function.
     pub fn is_pass_through(&self) -> bool {
-        self.deductible == 0.0 && self.limit.is_infinite() && self.share == 1.0 && self.fx_rate == 1.0
+        self.deductible == 0.0
+            && self.limit.is_infinite()
+            && self.share == 1.0
+            && self.fx_rate == 1.0
     }
 }
 
@@ -148,16 +172,32 @@ impl LayerTerms {
     }
 
     /// Builds validated layer terms.
-    pub fn new(occ_retention: f64, occ_limit: f64, agg_retention: f64, agg_limit: f64) -> Result<Self> {
+    pub fn new(
+        occ_retention: f64,
+        occ_limit: f64,
+        agg_retention: f64,
+        agg_limit: f64,
+    ) -> Result<Self> {
         check("occ_retention", occ_retention)?;
         check("agg_retention", agg_retention)?;
         if occ_limit.is_nan() || occ_limit < 0.0 {
-            return Err(TermsError::InvalidParameter { field: "occ_limit", value: occ_limit });
+            return Err(TermsError::InvalidParameter {
+                field: "occ_limit",
+                value: occ_limit,
+            });
         }
         if agg_limit.is_nan() || agg_limit < 0.0 {
-            return Err(TermsError::InvalidParameter { field: "agg_limit", value: agg_limit });
+            return Err(TermsError::InvalidParameter {
+                field: "agg_limit",
+                value: agg_limit,
+            });
         }
-        Ok(Self { occ_retention, occ_limit, agg_retention, agg_limit })
+        Ok(Self {
+            occ_retention,
+            occ_limit,
+            agg_retention,
+            agg_limit,
+        })
     }
 
     /// Terms of a pure per-occurrence (Cat XL) layer: `limit xs retention`

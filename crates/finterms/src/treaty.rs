@@ -34,13 +34,19 @@ pub struct Reinstatements {
 impl Reinstatements {
     /// No reinstatements.
     pub fn none() -> Self {
-        Self { count: 0, premium_pct: 0.0 }
+        Self {
+            count: 0,
+            premium_pct: 0.0,
+        }
     }
 
     /// Builds a validated reinstatement provision.
     pub fn new(count: u32, premium_pct: f64) -> Result<Self> {
         if !(premium_pct.is_finite() && premium_pct >= 0.0) {
-            return Err(TermsError::InvalidParameter { field: "premium_pct", value: premium_pct });
+            return Err(TermsError::InvalidParameter {
+                field: "premium_pct",
+                value: premium_pct,
+            });
         }
         Ok(Self { count, premium_pct })
     }
@@ -111,7 +117,11 @@ pub enum Treaty {
 impl Treaty {
     /// A conventional working-layer Cat XL treaty without reinstatements.
     pub fn cat_xl(retention: f64, limit: f64) -> Self {
-        Treaty::CatXl { retention, limit, reinstatements: Reinstatements::none() }
+        Treaty::CatXl {
+            retention,
+            limit,
+            reinstatements: Reinstatements::none(),
+        }
     }
 
     /// Validates the treaty's numeric parameters.
@@ -125,7 +135,11 @@ impl Treaty {
             }
         };
         match *self {
-            Treaty::CatXl { retention, limit, reinstatements } => {
+            Treaty::CatXl {
+                retention,
+                limit,
+                reinstatements,
+            } => {
                 check("retention", retention, false)?;
                 check("limit", limit, true)?;
                 check("premium_pct", reinstatements.premium_pct, false)
@@ -134,21 +148,39 @@ impl Treaty {
                 check("retention", retention, false)?;
                 check("limit", limit, true)
             }
-            Treaty::Combined { occ_retention, occ_limit, agg_retention, agg_limit } => {
+            Treaty::Combined {
+                occ_retention,
+                occ_limit,
+                agg_retention,
+                agg_limit,
+            } => {
                 check("occ_retention", occ_retention, false)?;
                 check("occ_limit", occ_limit, true)?;
                 check("agg_retention", agg_retention, false)?;
                 check("agg_limit", agg_limit, true)
             }
-            Treaty::QuotaShare { cession, event_limit } => {
+            Treaty::QuotaShare {
+                cession,
+                event_limit,
+            } => {
                 if !(0.0..=1.0).contains(&cession) {
-                    return Err(TermsError::InvalidParameter { field: "cession", value: cession });
+                    return Err(TermsError::InvalidParameter {
+                        field: "cession",
+                        value: cession,
+                    });
                 }
                 check("event_limit", event_limit, true)
             }
-            Treaty::Surplus { retained_line, lines, insured_value } => {
+            Treaty::Surplus {
+                retained_line,
+                lines,
+                insured_value,
+            } => {
                 if !(retained_line.is_finite() && retained_line > 0.0) {
-                    return Err(TermsError::InvalidParameter { field: "retained_line", value: retained_line });
+                    return Err(TermsError::InvalidParameter {
+                        field: "retained_line",
+                        value: retained_line,
+                    });
                 }
                 check("lines", lines, false)?;
                 check("insured_value", insured_value, false)
@@ -161,7 +193,11 @@ impl Treaty {
     pub fn cession_share(&self) -> f64 {
         match *self {
             Treaty::QuotaShare { cession, .. } => cession,
-            Treaty::Surplus { retained_line, lines, insured_value } => {
+            Treaty::Surplus {
+                retained_line,
+                lines,
+                insured_value,
+            } => {
                 if insured_value <= retained_line {
                     0.0
                 } else {
@@ -179,7 +215,11 @@ impl Treaty {
     /// aggregate limit becomes `(count + 1) × occurrence limit`.
     pub fn layer_terms(&self) -> LayerTerms {
         match *self {
-            Treaty::CatXl { retention, limit, reinstatements } => LayerTerms {
+            Treaty::CatXl {
+                retention,
+                limit,
+                reinstatements,
+            } => LayerTerms {
                 occ_retention: retention,
                 occ_limit: limit,
                 agg_retention: 0.0,
@@ -195,7 +235,12 @@ impl Treaty {
                 agg_retention: retention,
                 agg_limit: limit,
             },
-            Treaty::Combined { occ_retention, occ_limit, agg_retention, agg_limit } => LayerTerms {
+            Treaty::Combined {
+                occ_retention,
+                occ_limit,
+                agg_retention,
+                agg_limit,
+            } => LayerTerms {
                 occ_retention,
                 occ_limit,
                 agg_retention,
@@ -223,7 +268,11 @@ impl Treaty {
             }
         }
         match *self {
-            Treaty::CatXl { retention, limit, reinstatements } => {
+            Treaty::CatXl {
+                retention,
+                limit,
+                reinstatements,
+            } => {
                 let r = if reinstatements.count > 0 {
                     format!(", {} reinstatement(s)", reinstatements.count)
                 } else {
@@ -232,9 +281,18 @@ impl Treaty {
                 format!("{} xs {} Cat XL{}", millions(limit), millions(retention), r)
             }
             Treaty::AggregateXl { retention, limit } => {
-                format!("{} xs {} Aggregate XL", millions(limit), millions(retention))
+                format!(
+                    "{} xs {} Aggregate XL",
+                    millions(limit),
+                    millions(retention)
+                )
             }
-            Treaty::Combined { occ_retention, occ_limit, agg_retention, agg_limit } => format!(
+            Treaty::Combined {
+                occ_retention,
+                occ_limit,
+                agg_retention,
+                agg_limit,
+            } => format!(
                 "{} xs {} per occurrence / {} xs {} aggregate",
                 millions(occ_limit),
                 millions(occ_retention),
@@ -259,7 +317,10 @@ mod tests {
         assert_eq!(lt.occ_retention, 10.0e6);
         assert_eq!(lt.occ_limit, 40.0e6);
         assert_eq!(lt.agg_retention, 0.0);
-        assert_eq!(lt.agg_limit, 40.0e6, "no reinstatements: one limit per year");
+        assert_eq!(
+            lt.agg_limit, 40.0e6,
+            "no reinstatements: one limit per year"
+        );
         assert_eq!(t.cession_share(), 1.0);
         assert!(t.describe().contains("Cat XL"));
     }
@@ -278,7 +339,10 @@ mod tests {
 
     #[test]
     fn aggregate_xl_lowering() {
-        let t = Treaty::AggregateXl { retention: 50.0e6, limit: 100.0e6 };
+        let t = Treaty::AggregateXl {
+            retention: 50.0e6,
+            limit: 100.0e6,
+        };
         t.validate().unwrap();
         let lt = t.layer_terms();
         assert!(lt.occ_limit.is_infinite());
@@ -296,44 +360,81 @@ mod tests {
         };
         assert_eq!(
             t.layer_terms(),
-            LayerTerms { occ_retention: 1.0, occ_limit: 2.0, agg_retention: 3.0, agg_limit: 4.0 }
+            LayerTerms {
+                occ_retention: 1.0,
+                occ_limit: 2.0,
+                agg_retention: 3.0,
+                agg_limit: 4.0
+            }
         );
     }
 
     #[test]
     fn quota_share_cession() {
-        let t = Treaty::QuotaShare { cession: 0.3, event_limit: f64::INFINITY };
+        let t = Treaty::QuotaShare {
+            cession: 0.3,
+            event_limit: f64::INFINITY,
+        };
         t.validate().unwrap();
         assert_eq!(t.cession_share(), 0.3);
         assert!(t.layer_terms().is_unlimited());
-        assert!(Treaty::QuotaShare { cession: 1.3, event_limit: 1.0 }.validate().is_err());
+        assert!(Treaty::QuotaShare {
+            cession: 1.3,
+            event_limit: 1.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn surplus_cession_share() {
         // Retained line 1M, 4 lines, insured value 3M: surplus = 2M, share = 2/3.
-        let t = Treaty::Surplus { retained_line: 1.0e6, lines: 4.0, insured_value: 3.0e6 };
+        let t = Treaty::Surplus {
+            retained_line: 1.0e6,
+            lines: 4.0,
+            insured_value: 3.0e6,
+        };
         t.validate().unwrap();
         assert!((t.cession_share() - 2.0 / 3.0).abs() < 1e-12);
         // Value below the retained line cedes nothing.
-        let t = Treaty::Surplus { retained_line: 1.0e6, lines: 4.0, insured_value: 0.5e6 };
+        let t = Treaty::Surplus {
+            retained_line: 1.0e6,
+            lines: 4.0,
+            insured_value: 0.5e6,
+        };
         assert_eq!(t.cession_share(), 0.0);
         // Value far above the capacity is capped at lines × line.
-        let t = Treaty::Surplus { retained_line: 1.0e6, lines: 2.0, insured_value: 10.0e6 };
+        let t = Treaty::Surplus {
+            retained_line: 1.0e6,
+            lines: 2.0,
+            insured_value: 10.0e6,
+        };
         assert!((t.cession_share() - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn validation_catches_bad_parameters() {
         assert!(Treaty::cat_xl(-1.0, 10.0).validate().is_err());
-        assert!(Treaty::AggregateXl { retention: 0.0, limit: f64::NAN }.validate().is_err());
-        assert!(Treaty::Surplus { retained_line: 0.0, lines: 2.0, insured_value: 1.0 }
-            .validate()
-            .is_err());
+        assert!(Treaty::AggregateXl {
+            retention: 0.0,
+            limit: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(Treaty::Surplus {
+            retained_line: 0.0,
+            lines: 2.0,
+            insured_value: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Treaty::CatXl {
             retention: 1.0,
             limit: 2.0,
-            reinstatements: Reinstatements { count: 1, premium_pct: f64::NAN },
+            reinstatements: Reinstatements {
+                count: 1,
+                premium_pct: f64::NAN
+            },
         }
         .validate()
         .is_err());
@@ -342,25 +443,43 @@ mod tests {
     #[test]
     fn reinstatements_capacity() {
         assert_eq!(Reinstatements::none().annual_capacity(10.0), 10.0);
-        assert_eq!(Reinstatements::new(3, 1.0).unwrap().annual_capacity(10.0), 40.0);
+        assert_eq!(
+            Reinstatements::new(3, 1.0).unwrap().annual_capacity(10.0),
+            40.0
+        );
         assert!(Reinstatements::new(1, -0.5).is_err());
     }
 
     #[test]
     fn describe_formats_magnitudes() {
-        assert_eq!(Treaty::cat_xl(10.0e6, 40.0e6).describe(), "40M xs 10M Cat XL");
-        assert!(Treaty::AggregateXl { retention: 0.0, limit: f64::INFINITY }
-            .describe()
-            .contains("Unlimited"));
         assert_eq!(
-            Treaty::QuotaShare { cession: 0.25, event_limit: f64::INFINITY }.describe(),
+            Treaty::cat_xl(10.0e6, 40.0e6).describe(),
+            "40M xs 10M Cat XL"
+        );
+        assert!(Treaty::AggregateXl {
+            retention: 0.0,
+            limit: f64::INFINITY
+        }
+        .describe()
+        .contains("Unlimited"));
+        assert_eq!(
+            Treaty::QuotaShare {
+                cession: 0.25,
+                event_limit: f64::INFINITY
+            }
+            .describe(),
             "25% quota share"
         );
     }
 
     #[test]
     fn serde_round_trip() {
-        let t = Treaty::Combined { occ_retention: 1.0, occ_limit: 2.0, agg_retention: 3.0, agg_limit: 4.0 };
+        let t = Treaty::Combined {
+            occ_retention: 1.0,
+            occ_limit: 2.0,
+            agg_retention: 3.0,
+            agg_limit: 4.0,
+        };
         let json = serde_json::to_string(&t).unwrap();
         let back: Treaty = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);

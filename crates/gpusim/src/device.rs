@@ -114,8 +114,14 @@ impl DeviceSpec {
             ("transaction_bytes", f64::from(self.transaction_bytes)),
             ("max_threads_per_sm", f64::from(self.max_threads_per_sm)),
             ("max_blocks_per_sm", f64::from(self.max_blocks_per_sm)),
-            ("max_threads_per_block", f64::from(self.max_threads_per_block)),
-            ("max_outstanding_requests", f64::from(self.max_outstanding_requests)),
+            (
+                "max_threads_per_block",
+                f64::from(self.max_threads_per_block),
+            ),
+            (
+                "max_outstanding_requests",
+                f64::from(self.max_outstanding_requests),
+            ),
         ];
         for (field, value) in positive {
             if !(value.is_finite() && value > 0.0) {
@@ -150,7 +156,10 @@ mod tests {
         assert_eq!(d.total_lanes(), 448, "448 processor cores");
         assert_eq!(d.num_sms, 14, "14 streaming multiprocessors");
         assert_eq!(d.lanes_per_sm, 32, "32 symmetric multiprocessors each");
-        assert!(d.global_mem_bytes >= 5 * 1024 * 1024 * 1024, "5.375 GB global memory");
+        assert!(
+            d.global_mem_bytes >= 5 * 1024 * 1024 * 1024,
+            "5.375 GB global memory"
+        );
         assert_eq!(d.shared_mem_per_sm, 48 * 1024);
         assert_eq!(d.constant_mem_bytes, 64 * 1024);
         assert!((d.clock_hz() - 1.15e9).abs() < 1.0);

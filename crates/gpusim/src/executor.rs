@@ -46,7 +46,10 @@ pub struct Executor {
 impl Executor {
     /// Creates an executor for the given device.
     pub fn new(device: DeviceSpec) -> Self {
-        Self { device, host_threads: 0 }
+        Self {
+            device,
+            host_threads: 0,
+        }
     }
 
     /// Creates an executor for the paper's Tesla C2075.
@@ -69,7 +72,9 @@ impl Executor {
     pub fn validate_launch<K: Kernel>(&self, kernel: &K, config: &LaunchConfig) -> Result<()> {
         self.device.validate()?;
         if config.threads_per_block == 0 {
-            return Err(GpuError::InvalidLaunch("threads_per_block must be positive".into()));
+            return Err(GpuError::InvalidLaunch(
+                "threads_per_block must be positive".into(),
+            ));
         }
         if config.threads_per_block > self.device.max_threads_per_block {
             return Err(GpuError::InvalidLaunch(format!(
@@ -77,14 +82,19 @@ impl Executor {
                 config.threads_per_block, self.device.max_threads_per_block
             )));
         }
-        if config.threads_per_block % self.device.warp_size != 0 {
+        if !config
+            .threads_per_block
+            .is_multiple_of(self.device.warp_size)
+        {
             return Err(GpuError::InvalidLaunch(format!(
                 "threads_per_block {} must be a multiple of the warp size {}",
                 config.threads_per_block, self.device.warp_size
             )));
         }
         if kernel.total_threads() == 0 {
-            return Err(GpuError::InvalidLaunch("kernel has no threads to launch".into()));
+            return Err(GpuError::InvalidLaunch(
+                "kernel has no threads to launch".into(),
+            ));
         }
         Ok(())
     }
@@ -134,7 +144,13 @@ impl Executor {
             counters.spill_shared(occ.shared_overflow_fraction);
         }
 
-        let timing = simulate_time(&self.device, &counters, &occ, blocks, kernel.memory_parallelism());
+        let timing = simulate_time(
+            &self.device,
+            &counters,
+            &occ,
+            blocks,
+            kernel.memory_parallelism(),
+        );
         Ok(LaunchResult {
             kernel: kernel.name().to_string(),
             config,
@@ -161,7 +177,11 @@ mod tests {
 
     impl ToyKernel {
         fn new(threads: usize, shared_per_thread: u32) -> Self {
-            Self { threads, sum: AtomicU64::new(0), shared_per_thread }
+            Self {
+                threads,
+                sum: AtomicU64::new(0),
+                shared_per_thread,
+            }
         }
     }
 
@@ -179,7 +199,8 @@ mod tests {
         }
 
         fn execute_thread(&self, tracker: &mut ThreadTracker) {
-            self.sum.fetch_add(tracker.thread_id as u64, Ordering::Relaxed);
+            self.sum
+                .fetch_add(tracker.thread_id as u64, Ordering::Relaxed);
             tracker.global_read(8);
             tracker.global_write(8);
             tracker.shared_access(8);
@@ -192,7 +213,9 @@ mod tests {
     fn launch_executes_every_thread_and_counts_traffic() {
         let executor = Executor::tesla_c2075().with_host_threads(2);
         let kernel = ToyKernel::new(1_000, 0);
-        let result = executor.launch(&kernel, LaunchConfig::with_block_size(256)).unwrap();
+        let result = executor
+            .launch(&kernel, LaunchConfig::with_block_size(256))
+            .unwrap();
         assert_eq!(kernel.sum.load(Ordering::Relaxed), 999 * 1000 / 2);
         assert_eq!(result.blocks, 4);
         assert_eq!(result.counters.global_reads, 1_000);
@@ -211,7 +234,9 @@ mod tests {
         // 1 KB of shared memory per thread: a 64-thread block wants 64 KB,
         // more than the 48 KB budget.
         let kernel = ToyKernel::new(640, 1024);
-        let result = executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+        let result = executor
+            .launch(&kernel, LaunchConfig::with_block_size(64))
+            .unwrap();
         assert!(result.occupancy.shared_overflow_fraction > 0.0);
         assert!(result.counters.spilled_accesses > 0);
         // The spilled portion of the toy kernel's shared accesses migrated
@@ -223,19 +248,37 @@ mod tests {
     fn launch_validation() {
         let executor = Executor::tesla_c2075();
         let kernel = ToyKernel::new(100, 0);
-        assert!(executor.launch(&kernel, LaunchConfig::with_block_size(0)).is_err());
-        assert!(executor.launch(&kernel, LaunchConfig::with_block_size(100)).is_err(), "not a warp multiple");
-        assert!(executor.launch(&kernel, LaunchConfig::with_block_size(2048)).is_err(), "exceeds device limit");
+        assert!(executor
+            .launch(&kernel, LaunchConfig::with_block_size(0))
+            .is_err());
+        assert!(
+            executor
+                .launch(&kernel, LaunchConfig::with_block_size(100))
+                .is_err(),
+            "not a warp multiple"
+        );
+        assert!(
+            executor
+                .launch(&kernel, LaunchConfig::with_block_size(2048))
+                .is_err(),
+            "exceeds device limit"
+        );
         let empty = ToyKernel::new(0, 0);
-        assert!(executor.launch(&empty, LaunchConfig::with_block_size(256)).is_err());
+        assert!(executor
+            .launch(&empty, LaunchConfig::with_block_size(256))
+            .is_err());
     }
 
     #[test]
     fn higher_occupancy_launch_is_not_slower() {
         let executor = Executor::tesla_c2075();
         let kernel = ToyKernel::new(100_000, 0);
-        let narrow = executor.launch(&kernel, LaunchConfig::with_block_size(128)).unwrap();
-        let wide = executor.launch(&kernel, LaunchConfig::with_block_size(256)).unwrap();
+        let narrow = executor
+            .launch(&kernel, LaunchConfig::with_block_size(128))
+            .unwrap();
+        let wide = executor
+            .launch(&kernel, LaunchConfig::with_block_size(256))
+            .unwrap();
         assert!(wide.simulated_seconds() <= narrow.simulated_seconds() * 1.001);
     }
 
@@ -243,7 +286,9 @@ mod tests {
     fn serde_round_trip() {
         let executor = Executor::tesla_c2075();
         let kernel = ToyKernel::new(64, 0);
-        let result = executor.launch(&kernel, LaunchConfig::with_block_size(32)).unwrap();
+        let result = executor
+            .launch(&kernel, LaunchConfig::with_block_size(32))
+            .unwrap();
         let json = serde_json::to_string(&result).unwrap();
         assert_eq!(serde_json::from_str::<LaunchResult>(&json).unwrap(), result);
     }

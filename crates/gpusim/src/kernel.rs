@@ -28,7 +28,9 @@ impl Default for LaunchConfig {
     fn default() -> Self {
         // The paper finds 256 threads per block to be the sweet spot for the
         // basic kernel (Fig. 4).
-        Self { threads_per_block: 256 }
+        Self {
+            threads_per_block: 256,
+        }
     }
 }
 
@@ -49,7 +51,12 @@ pub struct ThreadTracker {
 impl ThreadTracker {
     /// Creates a tracker for one simulated thread.
     pub fn new(thread_id: usize, block_id: usize, lane_id: u32) -> Self {
-        Self { thread_id, block_id, lane_id, counters: MemoryCounters::new() }
+        Self {
+            thread_id,
+            block_id,
+            lane_id,
+            counters: MemoryCounters::new(),
+        }
     }
 
     /// Records a global read of `bytes` bytes.
@@ -120,7 +127,11 @@ mod tests {
     #[test]
     fn launch_config_block_count() {
         let cfg = LaunchConfig::with_block_size(256);
-        assert_eq!(cfg.blocks_for(1_000_000), 3_907, "paper: ~3906 blocks for 1M trials");
+        assert_eq!(
+            cfg.blocks_for(1_000_000),
+            3_907,
+            "paper: ~3906 blocks for 1M trials"
+        );
         assert_eq!(cfg.blocks_for(256), 1);
         assert_eq!(cfg.blocks_for(257), 2);
         assert_eq!(cfg.blocks_for(0), 0);

@@ -31,7 +31,12 @@ impl<'a> BasicAreKernel<'a> {
         let layer = &input.layers()[layer_index];
         let elts = input.layer_elts(layer);
         let outcomes = (0..input.num_trials()).map(|_| OnceLock::new()).collect();
-        Self { input, elts, terms: layer.terms, outcomes }
+        Self {
+            input,
+            elts,
+            terms: layer.terms,
+            outcomes,
+        }
     }
 
     /// Extracts the per-trial outcomes after the launch.
@@ -129,7 +134,10 @@ mod tests {
                 vec![(1, 1.0), (3, 3.0), (9, 4.0)],
             ],
         );
-        let a = b.add_elt(&[(1, 100.0), (3, 400.0), (9, 30.0)], FinancialTerms::pass_through());
+        let a = b.add_elt(
+            &[(1, 100.0), (3, 400.0), (9, 30.0)],
+            FinancialTerms::pass_through(),
+        );
         let c = b.add_elt(&[(2, 75.0), (7, 900.0)], FinancialTerms::pass_through());
         b.add_layer_over(&[a, c], LayerTerms::per_occurrence(50.0, 500.0).unwrap());
         b.build().unwrap()
@@ -141,7 +149,9 @@ mod tests {
         let reference = SequentialEngine::new().run(&input);
         let kernel = BasicAreKernel::new(&input, 0);
         let executor = Executor::tesla_c2075();
-        executor.launch(&kernel, LaunchConfig::with_block_size(32)).unwrap();
+        executor
+            .launch(&kernel, LaunchConfig::with_block_size(32))
+            .unwrap();
         let outcomes = kernel.into_outcomes();
         assert_eq!(outcomes.len(), 4);
         for (a, b) in outcomes.iter().zip(reference.layer(0).outcomes()) {
@@ -155,11 +165,20 @@ mod tests {
         let input = input();
         let kernel = BasicAreKernel::new(&input, 0);
         let executor = Executor::tesla_c2075();
-        let result = executor.launch(&kernel, LaunchConfig::with_block_size(32)).unwrap();
+        let result = executor
+            .launch(&kernel, LaunchConfig::with_block_size(32))
+            .unwrap();
         // 7 events total, 2 ELTs: at least k*m*3 = 42 global accesses for the
         // lookup pass alone, plus fetches and layer passes.
-        assert!(result.counters.global_reads > 60, "{}", result.counters.global_reads);
-        assert_eq!(result.counters.shared_accesses, 0, "basic kernel uses no shared memory");
+        assert!(
+            result.counters.global_reads > 60,
+            "{}",
+            result.counters.global_reads
+        );
+        assert_eq!(
+            result.counters.shared_accesses, 0,
+            "basic kernel uses no shared memory"
+        );
         assert!(result.counters.compute_ops > 0);
     }
 

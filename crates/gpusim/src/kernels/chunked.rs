@@ -37,7 +37,13 @@ impl<'a> ChunkedAreKernel<'a> {
         let layer = &input.layers()[layer_index];
         let elts = input.layer_elts(layer);
         let outcomes = (0..input.num_trials()).map(|_| OnceLock::new()).collect();
-        Self { input, elts, terms: layer.terms, chunk_size, outcomes }
+        Self {
+            input,
+            elts,
+            terms: layer.terms,
+            chunk_size,
+            outcomes,
+        }
     }
 
     /// The configured chunk size.
@@ -117,8 +123,8 @@ impl Kernel for ChunkedAreKernel<'_> {
             tracker.constant_access();
         }
         tracker.constant_access(); // layer terms
-        // Per-chunk bookkeeping: the running cumulative state is
-        // check-pointed to global memory at each chunk boundary.
+                                   // Per-chunk bookkeeping: the running cumulative state is
+                                   // check-pointed to global memory at each chunk boundary.
         for _ in 0..chunks {
             tracker.global_read(8);
             tracker.global_read(8);
@@ -155,8 +161,14 @@ mod tests {
             })
             .collect();
         b.set_yet_from_trials(300, trials);
-        let pairs_a: Vec<(u32, f64)> = (0..300).step_by(2).map(|e| (e, 10.0 + f64::from(e))).collect();
-        let pairs_b: Vec<(u32, f64)> = (0..300).step_by(5).map(|e| (e, 5.0 + f64::from(e))).collect();
+        let pairs_a: Vec<(u32, f64)> = (0..300)
+            .step_by(2)
+            .map(|e| (e, 10.0 + f64::from(e)))
+            .collect();
+        let pairs_b: Vec<(u32, f64)> = (0..300)
+            .step_by(5)
+            .map(|e| (e, 5.0 + f64::from(e)))
+            .collect();
         let a = b.add_elt(&pairs_a, FinancialTerms::new(5.0, 250.0, 0.8, 1.0).unwrap());
         let c = b.add_elt(&pairs_b, FinancialTerms::pass_through());
         b.add_layer_over(&[a, c], LayerTerms::new(20.0, 200.0, 50.0, 800.0).unwrap());
@@ -171,7 +183,9 @@ mod tests {
         for chunk_size in [1, 2, 4, 8, 16] {
             let kernel = ChunkedAreKernel::new(&input, 0, chunk_size);
             assert_eq!(kernel.chunk_size(), chunk_size);
-            executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+            executor
+                .launch(&kernel, LaunchConfig::with_block_size(64))
+                .unwrap();
             let outcomes = kernel.into_outcomes();
             for (a, b) in outcomes.iter().zip(reference.layer(0).outcomes()) {
                 assert_eq!(a.year_loss, b.year_loss, "chunk {chunk_size}");
@@ -183,7 +197,11 @@ mod tests {
     fn shared_memory_request_follows_chunk_size() {
         let input = input();
         let kernel = ChunkedAreKernel::new(&input, 0, 4);
-        assert_eq!(kernel.shared_mem_per_block(192), 48 * 1024, "paper: 192 threads max at chunk 4");
+        assert_eq!(
+            kernel.shared_mem_per_block(192),
+            48 * 1024,
+            "paper: 192 threads max at chunk 4"
+        );
         assert_eq!(kernel.shared_mem_per_block(64), 16 * 1024);
         assert_eq!(kernel.memory_parallelism(), 4.0);
     }
@@ -193,12 +211,16 @@ mod tests {
         let input = input();
         let executor = Executor::tesla_c2075();
         let kernel = ChunkedAreKernel::new(&input, 0, 4);
-        let result = executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+        let result = executor
+            .launch(&kernel, LaunchConfig::with_block_size(64))
+            .unwrap();
         assert!(result.counters.shared_accesses > 0);
         assert!(result.counters.constant_accesses > 0);
         // Far fewer global accesses than the basic kernel on the same input.
         let basic = super::super::BasicAreKernel::new(&input, 0);
-        let basic_result = executor.launch(&basic, LaunchConfig::with_block_size(64)).unwrap();
+        let basic_result = executor
+            .launch(&basic, LaunchConfig::with_block_size(64))
+            .unwrap();
         assert!(result.counters.global_accesses() < basic_result.counters.global_accesses());
     }
 
@@ -208,7 +230,9 @@ mod tests {
         let executor = Executor::tesla_c2075();
         // chunk 16 at 64 threads/block requests 64 KB > 48 KB.
         let kernel = ChunkedAreKernel::new(&input, 0, 16);
-        let result = executor.launch(&kernel, LaunchConfig::with_block_size(64)).unwrap();
+        let result = executor
+            .launch(&kernel, LaunchConfig::with_block_size(64))
+            .unwrap();
         assert!(result.occupancy.shared_overflow_fraction > 0.0);
         assert!(result.counters.spilled_accesses > 0);
     }

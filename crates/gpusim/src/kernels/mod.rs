@@ -90,13 +90,23 @@ mod tests {
             })
             .collect();
         b.set_yet_from_trials(2_000, trials);
-        let pairs_a: Vec<(u32, f64)> =
-            (0..2_000).step_by(3).map(|e| (e, 500.0 + 3.0 * f64::from(e))).collect();
-        let pairs_b: Vec<(u32, f64)> =
-            (0..2_000).step_by(7).map(|e| (e, 200.0 + f64::from(e))).collect();
-        let a = b.add_elt(&pairs_a, FinancialTerms::new(100.0, 5_000.0, 0.9, 1.0).unwrap());
+        let pairs_a: Vec<(u32, f64)> = (0..2_000)
+            .step_by(3)
+            .map(|e| (e, 500.0 + 3.0 * f64::from(e)))
+            .collect();
+        let pairs_b: Vec<(u32, f64)> = (0..2_000)
+            .step_by(7)
+            .map(|e| (e, 200.0 + f64::from(e)))
+            .collect();
+        let a = b.add_elt(
+            &pairs_a,
+            FinancialTerms::new(100.0, 5_000.0, 0.9, 1.0).unwrap(),
+        );
         let c = b.add_elt(&pairs_b, FinancialTerms::pass_through());
-        b.add_layer_over(&[a, c], LayerTerms::new(500.0, 3_000.0, 1_000.0, 20_000.0).unwrap());
+        b.add_layer_over(
+            &[a, c],
+            LayerTerms::new(500.0, 3_000.0, 1_000.0, 20_000.0).unwrap(),
+        );
         b.add_layer_over(&[a], LayerTerms::unlimited());
         b.build().unwrap()
     }
@@ -113,9 +123,13 @@ mod tests {
         assert_eq!(reference.max_abs_difference(&basic_out), 0.0);
         assert_eq!(basic_launches.len(), 2);
 
-        let (chunked_out, chunked_launches) =
-            run_gpu_analysis(&executor, &input, GpuVariant::Chunked { chunk_size: 4 }, config)
-                .unwrap();
+        let (chunked_out, chunked_launches) = run_gpu_analysis(
+            &executor,
+            &input,
+            GpuVariant::Chunked { chunk_size: 4 },
+            config,
+        )
+        .unwrap();
         assert_eq!(reference.max_abs_difference(&chunked_out), 0.0);
         assert!(total_simulated_seconds(&chunked_launches) > 0.0);
     }

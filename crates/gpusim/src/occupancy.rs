@@ -50,15 +50,18 @@ pub enum OccupancyLimiter {
 /// fraction is reported so the timing model can charge the overflow to
 /// global memory — this is how the paper describes the behaviour beyond a
 /// chunk size of ~12 (Fig. 5a).
-pub fn occupancy(device: &DeviceSpec, threads_per_block: u32, shared_mem_per_block: u32) -> Occupancy {
+pub fn occupancy(
+    device: &DeviceSpec,
+    threads_per_block: u32,
+    shared_mem_per_block: u32,
+) -> Occupancy {
     assert!(threads_per_block > 0, "threads_per_block must be positive");
     let by_threads = device.max_threads_per_sm / threads_per_block;
     let by_blocks = device.max_blocks_per_sm;
-    let by_shared = if shared_mem_per_block == 0 {
-        u32::MAX
-    } else {
-        device.shared_mem_per_sm / shared_mem_per_block
-    };
+    let by_shared = device
+        .shared_mem_per_sm
+        .checked_div(shared_mem_per_block)
+        .unwrap_or(u32::MAX);
 
     let (blocks_per_sm, limiter) = if by_shared <= by_threads && by_shared <= by_blocks {
         (by_shared, OccupancyLimiter::SharedMemory)

@@ -82,8 +82,7 @@ pub fn simulate_time(
     let transactions = counters.global_accesses() as f64;
     let bytes_moved = transactions * f64::from(device.transaction_bytes);
     let bandwidth_factor = 0.7 + 0.3 * occ;
-    let bandwidth_seconds =
-        bytes_moved / (device.global_bandwidth_gbps * 1.0e9 * bandwidth_factor);
+    let bandwidth_seconds = bytes_moved / (device.global_bandwidth_gbps * 1.0e9 * bandwidth_factor);
 
     // Global memory, latency bound: the resident threads of each SM can keep
     // `threads × MLP` requests in flight, capped by the device.
@@ -192,7 +191,13 @@ mod tests {
         let d = device();
         let occ = occupancy(&d, 256, 0);
         let small = simulate_time(&d, &counters_with(1_000_000, 0, 1_000_000), &occ, 100, 1.0);
-        let large = simulate_time(&d, &counters_with(10_000_000, 0, 10_000_000), &occ, 100, 1.0);
+        let large = simulate_time(
+            &d,
+            &counters_with(10_000_000, 0, 10_000_000),
+            &occ,
+            100,
+            1.0,
+        );
         let ratio = large.total_seconds / small.total_seconds;
         assert!((5.0..15.0).contains(&ratio), "ratio {ratio}");
     }

@@ -19,7 +19,11 @@ pub struct CountingLookup<L> {
 impl<L: EventLookup> CountingLookup<L> {
     /// Wraps a lookup structure.
     pub fn new(inner: L) -> Self {
-        Self { inner, lookups: AtomicU64::new(0), hits: AtomicU64::new(0) }
+        Self {
+            inner,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
     }
 
     /// Total number of lookups performed so far.

@@ -35,9 +35,13 @@ impl CuckooTable {
         // Each side sized to the next power of two above the entry count,
         // giving an overall load factor of at most 50%.
         let side = pairs.len().max(4).next_power_of_two();
-        let mut table = Self::with_side_capacity(side, [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F]);
+        let mut table =
+            Self::with_side_capacity(side, [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F]);
         for &(event, loss) in pairs {
-            assert!(event != EMPTY, "event id {event} collides with the empty sentinel");
+            assert!(
+                event != EMPTY,
+                "event id {event} collides with the empty sentinel"
+            );
             table.insert(event, loss);
         }
         table

@@ -29,7 +29,10 @@ impl DirectAccessTable {
             );
             losses[event as usize] = loss;
         }
-        Self { losses, entries: pairs.len() }
+        Self {
+            losses,
+            entries: pairs.len(),
+        }
     }
 
     /// Size of the catalog this table covers (length of the dense array).

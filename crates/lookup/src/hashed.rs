@@ -37,7 +37,10 @@ impl HashedTable {
             mask: capacity - 1,
         };
         for &(event, loss) in pairs {
-            assert!(event != EMPTY, "event id {event} collides with the empty sentinel");
+            assert!(
+                event != EMPTY,
+                "event id {event} collides with the empty sentinel"
+            );
             table.insert(event, loss);
         }
         table
@@ -151,7 +154,8 @@ mod tests {
     #[test]
     fn dense_collision_heavy_keys_all_found() {
         // Keys that collide heavily under any low-bit masking.
-        let pairs: Vec<(EventId, f64)> = (0..2_000).map(|i| (i * 4096, f64::from(i) + 0.5)).collect();
+        let pairs: Vec<(EventId, f64)> =
+            (0..2_000).map(|i| (i * 4096, f64::from(i) + 0.5)).collect();
         let t = HashedTable::from_pairs(&pairs);
         for &(e, l) in &pairs {
             assert_eq!(t.get(e), l);
@@ -173,7 +177,10 @@ mod tests {
         let t = HashedTable::from_pairs(&[]);
         assert!(t.is_empty());
         assert_eq!(t.get(42), 0.0);
-        assert!(t.memory_bytes() > 0, "even an empty table allocates its slot array");
+        assert!(
+            t.memory_bytes() > 0,
+            "even an empty table allocates its slot array"
+        );
     }
 
     #[test]

@@ -93,8 +93,12 @@ pub enum LookupKind {
 
 impl LookupKind {
     /// All implemented kinds, in the order used by the ablation benchmark.
-    pub const ALL: [LookupKind; 4] =
-        [LookupKind::Direct, LookupKind::Sorted, LookupKind::Hashed, LookupKind::Cuckoo];
+    pub const ALL: [LookupKind; 4] = [
+        LookupKind::Direct,
+        LookupKind::Sorted,
+        LookupKind::Hashed,
+        LookupKind::Cuckoo,
+    ];
 
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
@@ -138,7 +142,13 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn sample_pairs() -> Vec<(EventId, f64)> {
-        vec![(3, 10.0), (17, 2.5), (1_000, 7.0), (999_999, 123.0), (42, 0.0)]
+        vec![
+            (3, 10.0),
+            (17, 2.5),
+            (1_000, 7.0),
+            (999_999, 123.0),
+            (42, 0.0),
+        ]
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct ConvergencePoint {
 /// the trial set (e.g. 10 %, 20 %, … 100 % of the trials), showing how the
 /// estimate converges as more trials are added.
 pub fn convergence_table(losses: &[f64], steps: usize) -> Vec<ConvergencePoint> {
-    assert!(!losses.is_empty(), "convergence table of an empty loss vector");
+    assert!(
+        !losses.is_empty(),
+        "convergence table of an empty loss vector"
+    );
     assert!(steps >= 1, "need at least one step");
     let mut out = Vec::with_capacity(steps);
     for i in 1..=steps {
@@ -60,7 +63,10 @@ pub fn bootstrap_ci(
 ) -> (f64, f64) {
     assert!(!losses.is_empty(), "bootstrap of an empty loss vector");
     assert!(resamples >= 2, "need at least two resamples");
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
     let factory = RngFactory::new(seed).derive("bootstrap");
     let mut estimates: Vec<f64> = (0..resamples)
         .map(|r| {
@@ -83,7 +89,10 @@ pub fn bootstrap_ci(
 /// `target_relative_error × mean`, estimated from a pilot sample.
 pub fn trials_for_relative_error(pilot_losses: &[f64], target_relative_error: f64) -> usize {
     assert!(!pilot_losses.is_empty(), "pilot sample must not be empty");
-    assert!(target_relative_error > 0.0, "target relative error must be positive");
+    assert!(
+        target_relative_error > 0.0,
+        "target relative error must be positive"
+    );
     let mut stats = RunningStats::new();
     stats.extend(pilot_losses);
     if stats.mean() == 0.0 {
@@ -126,9 +135,21 @@ mod tests {
     fn bootstrap_interval_brackets_the_truth() {
         let losses = simulated_losses(5_000);
         let sample_mean = losses.iter().sum::<f64>() / losses.len() as f64;
-        let (lo, hi) = bootstrap_ci(&losses, |l| l.iter().sum::<f64>() / l.len() as f64, 200, 0.9, 1);
-        assert!(lo < sample_mean && sample_mean < hi, "{lo} < {sample_mean} < {hi}");
-        assert!(hi - lo < 0.2 * sample_mean, "interval should be reasonably tight");
+        let (lo, hi) = bootstrap_ci(
+            &losses,
+            |l| l.iter().sum::<f64>() / l.len() as f64,
+            200,
+            0.9,
+            1,
+        );
+        assert!(
+            lo < sample_mean && sample_mean < hi,
+            "{lo} < {sample_mean} < {hi}"
+        );
+        assert!(
+            hi - lo < 0.2 * sample_mean,
+            "interval should be reasonably tight"
+        );
         // Bootstrap of a quantile also works.
         let (qlo, qhi) = bootstrap_ci(&losses, |l| crate::var(l, 0.9), 100, 0.9, 2);
         assert!(qlo <= qhi);

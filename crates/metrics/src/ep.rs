@@ -18,10 +18,37 @@ pub struct ExceedanceCurve {
 impl ExceedanceCurve {
     /// Builds a curve from per-trial losses (any order).
     pub fn new(mut losses: Vec<f64>) -> Self {
-        assert!(!losses.is_empty(), "an exceedance curve needs at least one trial");
-        assert!(losses.iter().all(|l| l.is_finite() && *l >= -0.0), "losses must be finite and non-negative");
+        assert!(
+            !losses.is_empty(),
+            "an exceedance curve needs at least one trial"
+        );
+        assert!(
+            losses.iter().all(|l| l.is_finite() && *l >= -0.0),
+            "losses must be finite and non-negative"
+        );
         losses.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        Self { sorted_losses: losses }
+        Self::from_sorted(losses)
+    }
+
+    /// Builds a curve from losses already sorted ascending, skipping the
+    /// sort (used by callers that maintain their own sorted copies, e.g.
+    /// the query engine's order-statistic cache).
+    ///
+    /// # Panics
+    /// If the losses are empty or not sorted ascending (checked in debug
+    /// builds only).
+    pub fn from_sorted(losses: Vec<f64>) -> Self {
+        assert!(
+            !losses.is_empty(),
+            "an exceedance curve needs at least one trial"
+        );
+        debug_assert!(
+            losses.windows(2).all(|w| w[0] <= w[1]),
+            "losses must be sorted ascending"
+        );
+        Self {
+            sorted_losses: losses,
+        }
     }
 
     /// Number of trials underlying the curve.
@@ -48,14 +75,20 @@ impl ExceedanceCurve {
     /// The loss at exceedance probability `p` (0 < p <= 1), i.e. the
     /// `(1 − p)`-quantile of the loss distribution.
     pub fn loss_at_probability(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "exceedance probability must be in (0, 1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "exceedance probability must be in (0, 1], got {p}"
+        );
         catrisk_simkit::stats::quantile_sorted(&self.sorted_losses, 1.0 - p)
     }
 
     /// The loss at a return period of `years` (the PML at that return
     /// period): the loss exceeded with probability `1/years`.
     pub fn loss_at_return_period(&self, years: f64) -> f64 {
-        assert!(years >= 1.0, "return period must be at least 1 year, got {years}");
+        assert!(
+            years >= 1.0,
+            "return period must be at least 1 year, got {years}"
+        );
         self.loss_at_probability(1.0 / years)
     }
 

@@ -54,7 +54,10 @@ mod tests {
         let table = standard_pml_table(&curve());
         assert_eq!(table.len(), STANDARD_RETURN_PERIODS.len());
         for w in table.windows(2) {
-            assert!(w[1].loss >= w[0].loss, "PML must not decrease with return period");
+            assert!(
+                w[1].loss >= w[0].loss,
+                "PML must not decrease with return period"
+            );
             assert!(w[1].return_period > w[0].return_period);
         }
         for p in &table {

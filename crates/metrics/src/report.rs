@@ -41,7 +41,11 @@ impl RiskReport {
     }
 
     /// Builds a report from raw per-trial losses (portfolio roll-ups).
-    pub fn from_losses(name: impl Into<String>, losses: &[f64], occurrence_losses: Option<&[f64]>) -> Self {
+    pub fn from_losses(
+        name: impl Into<String>,
+        losses: &[f64],
+        occurrence_losses: Option<&[f64]>,
+    ) -> Self {
         assert!(!losses.is_empty(), "cannot report on zero trials");
         let aep = ExceedanceCurve::new(losses.to_vec());
         let oep = occurrence_losses
@@ -81,18 +85,36 @@ impl RiskReport {
     /// Renders the report as a plain-text table.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("Risk report: {} ({} trials)\n", self.name, self.trials));
-        out.push_str(&format!("  expected annual loss : {:>15.2}\n", self.expected_loss));
-        out.push_str(&format!("  standard deviation   : {:>15.2}\n", self.std_dev));
-        out.push_str(&format!("  attachment prob.     : {:>15.4}\n", self.attachment_probability));
+        out.push_str(&format!(
+            "Risk report: {} ({} trials)\n",
+            self.name, self.trials
+        ));
+        out.push_str(&format!(
+            "  expected annual loss : {:>15.2}\n",
+            self.expected_loss
+        ));
+        out.push_str(&format!(
+            "  standard deviation   : {:>15.2}\n",
+            self.std_dev
+        ));
+        out.push_str(&format!(
+            "  attachment prob.     : {:>15.4}\n",
+            self.attachment_probability
+        ));
         out.push_str("  level      VaR              TVaR\n");
         for (level, v, t) in &self.var_tvar {
-            out.push_str(&format!("  {:<9} {v:>15.2} {t:>16.2}\n", format!("{:.1}%", level * 100.0)));
+            out.push_str(&format!(
+                "  {:<9} {v:>15.2} {t:>16.2}\n",
+                format!("{:.1}%", level * 100.0)
+            ));
         }
         out.push_str("  return period   AEP PML          OEP PML\n");
         for (i, p) in self.aep_pml.iter().enumerate() {
             let oep = self.oep_pml.get(i).map(|o| o.loss).unwrap_or(f64::NAN);
-            out.push_str(&format!("  {:>10}yr {:>15.2} {oep:>16.2}\n", p.return_period, p.loss));
+            out.push_str(&format!(
+                "  {:>10}yr {:>15.2} {oep:>16.2}\n",
+                p.return_period, p.loss
+            ));
         }
         out
     }

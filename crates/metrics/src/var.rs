@@ -6,7 +6,10 @@ use catrisk_simkit::stats::{quantile_sorted, tail_mean_sorted};
 /// the annual loss distribution.
 pub fn var(losses: &[f64], level: f64) -> f64 {
     assert!(!losses.is_empty(), "VaR of an empty loss vector");
-    assert!((0.0..1.0).contains(&level) || level == 1.0, "confidence level must be in [0, 1]");
+    assert!(
+        (0.0..1.0).contains(&level) || level == 1.0,
+        "confidence level must be in [0, 1]"
+    );
     let mut sorted = losses.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite losses"));
     quantile_sorted(&sorted, level)
@@ -17,7 +20,10 @@ pub fn var(losses: &[f64], level: f64) -> f64 {
 /// tail expectation).
 pub fn tvar(losses: &[f64], level: f64) -> f64 {
     assert!(!losses.is_empty(), "TVaR of an empty loss vector");
-    assert!((0.0..1.0).contains(&level) || level == 1.0, "confidence level must be in [0, 1]");
+    assert!(
+        (0.0..1.0).contains(&level) || level == 1.0,
+        "confidence level must be in [0, 1]"
+    );
     let mut sorted = losses.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite losses"));
     tail_mean_sorted(&sorted, level)

@@ -34,7 +34,12 @@ pub struct Contract {
 
 impl Contract {
     /// Creates a contract with 100% share and zero premium (to be priced).
-    pub fn new(id: ContractId, name: impl Into<String>, treaty: Treaty, elt_indices: Vec<usize>) -> Self {
+    pub fn new(
+        id: ContractId,
+        name: impl Into<String>,
+        treaty: Treaty,
+        elt_indices: Vec<usize>,
+    ) -> Self {
         Self {
             id,
             name: name.into(),
@@ -68,7 +73,10 @@ impl Contract {
             .validate()
             .map_err(|e| crate::PortfolioError::Invalid(format!("{}: {e}", self.id)))?;
         if self.elt_indices.is_empty() {
-            return Err(crate::PortfolioError::Invalid(format!("{}: no covered ELTs", self.id)));
+            return Err(crate::PortfolioError::Invalid(format!(
+                "{}: no covered ELTs",
+                self.id
+            )));
         }
         if let Some(&bad) = self.elt_indices.iter().find(|&&i| i >= available_elts) {
             return Err(crate::PortfolioError::Invalid(format!(
@@ -97,9 +105,14 @@ mod tests {
     use super::*;
 
     fn contract() -> Contract {
-        Contract::new(ContractId(1), "Gulf Wind 2012", Treaty::cat_xl(10.0e6, 40.0e6), vec![0, 1, 2])
-            .with_share(0.25)
-            .with_premium(3.0e6)
+        Contract::new(
+            ContractId(1),
+            "Gulf Wind 2012",
+            Treaty::cat_xl(10.0e6, 40.0e6),
+            vec![0, 1, 2],
+        )
+        .with_share(0.25)
+        .with_premium(3.0e6)
     }
 
     #[test]

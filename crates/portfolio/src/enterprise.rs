@@ -24,7 +24,10 @@ pub struct BusinessUnit {
 impl BusinessUnit {
     /// Creates a unit.
     pub fn new(name: impl Into<String>, losses: Vec<f64>) -> Self {
-        Self { name: name.into(), losses }
+        Self {
+            name: name.into(),
+            losses,
+        }
     }
 
     /// Expected annual loss of the unit.
@@ -54,7 +57,9 @@ impl EnterpriseView {
         }
         let trials = units[0].losses.len();
         if trials == 0 {
-            return Err(crate::PortfolioError::Invalid("business units have no trials".into()));
+            return Err(crate::PortfolioError::Invalid(
+                "business units have no trials".into(),
+            ));
         }
         if units.iter().any(|u| u.losses.len() != trials) {
             return Err(crate::PortfolioError::Invalid(
@@ -72,7 +77,11 @@ impl EnterpriseView {
                 *acc += l;
             }
         }
-        Ok(Self { units, total_losses: total, capital_level })
+        Ok(Self {
+            units,
+            total_losses: total,
+            capital_level,
+        })
     }
 
     /// The combined per-trial enterprise losses.
@@ -93,7 +102,10 @@ impl EnterpriseView {
 
     /// Sum of the units' standalone TVaRs (the undiversified capital).
     pub fn standalone_capital(&self) -> f64 {
-        self.units.iter().map(|u| tvar(&u.losses, self.capital_level)).sum()
+        self.units
+            .iter()
+            .map(|u| tvar(&u.losses, self.capital_level))
+            .sum()
     }
 
     /// Diversification benefit: `1 − required / standalone` (0 when there is
@@ -125,14 +137,20 @@ impl EnterpriseView {
         let co_tvars: Vec<f64> = self
             .units
             .iter()
-            .map(|u| tail_trials.iter().map(|&i| u.losses[i]).sum::<f64>() / tail_trials.len() as f64)
+            .map(|u| {
+                tail_trials.iter().map(|&i| u.losses[i]).sum::<f64>() / tail_trials.len() as f64
+            })
             .collect();
         // Scale so the allocation adds up to the reported required capital
         // (co-TVaR of the sum equals the sum of co-TVaRs up to the tie-break
         // at the threshold, so the scaling is a small correction).
         let total_co: f64 = co_tvars.iter().sum();
         let required = self.required_capital();
-        let scale = if total_co > 0.0 { required / total_co } else { 0.0 };
+        let scale = if total_co > 0.0 {
+            required / total_co
+        } else {
+            0.0
+        };
         self.units
             .iter()
             .zip(co_tvars)
@@ -166,7 +184,11 @@ impl EnterpriseView {
     pub fn correlation_matrix(&self) -> Vec<Vec<f64>> {
         let n = self.units.len();
         (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { self.correlation(i, j) }).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { 1.0 } else { self.correlation(i, j) })
+                    .collect()
+            })
             .collect()
     }
 
@@ -189,10 +211,18 @@ mod tests {
         for i in 0..n_trials {
             let mut rng = factory.stream(i as u64);
             let shared_event = rng.uniform() < 0.05;
-            let shared_loss = if shared_event { 50.0 + 100.0 * rng.uniform() } else { 0.0 };
+            let shared_loss = if shared_event {
+                50.0 + 100.0 * rng.uniform()
+            } else {
+                0.0
+            };
             us.push(shared_loss * 2.0 + if rng.uniform() < 0.1 { 30.0 } else { 0.0 });
             eu.push(shared_loss + if rng.uniform() < 0.1 { 20.0 } else { 0.0 });
-            marine.push(if rng.uniform() < 0.08 { 25.0 * rng.uniform() } else { 0.0 });
+            marine.push(if rng.uniform() < 0.08 {
+                25.0 * rng.uniform()
+            } else {
+                0.0
+            });
         }
         vec![
             BusinessUnit::new("US cat", us),

@@ -87,8 +87,16 @@ mod tests {
         let mut candidate = Vec::with_capacity(n);
         for i in 0..n {
             let mut rng = factory.stream(i as u64);
-            let shock = if rng.uniform() < 0.1 { rng.uniform() * 100.0 } else { 0.0 };
-            let idio = if rng.uniform() < 0.1 { rng.uniform() * 100.0 } else { 0.0 };
+            let shock = if rng.uniform() < 0.1 {
+                rng.uniform() * 100.0
+            } else {
+                0.0
+            };
+            let idio = if rng.uniform() < 0.1 {
+                rng.uniform() * 100.0
+            } else {
+                0.0
+            };
             base.push(shock * 10.0);
             candidate.push(if correlation_with_base { shock } else { idio });
         }
@@ -100,7 +108,11 @@ mod tests {
         let (base, candidate) = correlated_losses(20_000, 1, false);
         let m = MarginalAnalysis::new(&base, &candidate, 0.99);
         assert!(m.marginal_tvar < m.standalone_tvar);
-        assert!(m.diversification_benefit > 0.3, "benefit {}", m.diversification_benefit);
+        assert!(
+            m.diversification_benefit > 0.3,
+            "benefit {}",
+            m.diversification_benefit
+        );
         assert!(m.combined_tvar >= m.base_tvar);
     }
 

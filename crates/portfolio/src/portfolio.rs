@@ -30,7 +30,10 @@ pub struct Portfolio {
 impl Portfolio {
     /// Creates an empty portfolio.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), contracts: Vec::new() }
+        Self {
+            name: name.into(),
+            contracts: Vec::new(),
+        }
     }
 
     /// Adds a contract and returns its index within the portfolio.
@@ -152,7 +155,10 @@ impl PortfolioAnalysis {
                 YearLossTable::new(ylt.layer_id, outcomes)
             })
             .collect();
-        PortfolioResult { portfolio: self.portfolio.clone(), ylts }
+        PortfolioResult {
+            portfolio: self.portfolio.clone(),
+            ylts,
+        }
     }
 }
 
@@ -215,12 +221,12 @@ impl PortfolioResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::contract::ContractId;
     use catrisk_catmodel::elt::EltRecord;
     use catrisk_eventgen::yet::{EventOccurrence, YetBuilder};
     use catrisk_finterms::currency::Currency;
     use catrisk_finterms::terms::FinancialTerms;
     use catrisk_finterms::treaty::Treaty;
-    use crate::contract::ContractId;
 
     fn test_elts() -> Vec<EventLossTable> {
         let make = |name: &str, step: u32, scale: f64| {
@@ -235,7 +241,11 @@ mod tests {
                 .collect();
             EventLossTable::new(name, Currency::Usd, FinancialTerms::pass_through(), records)
         };
-        vec![make("book-a", 2, 1.0), make("book-b", 3, 2.0), make("book-c", 5, 0.5)]
+        vec![
+            make("book-a", 2, 1.0),
+            make("book-b", 3, 2.0),
+            make("book-c", 5, 0.5),
+        ]
     }
 
     fn test_yet() -> Arc<YearEventTable> {
@@ -255,14 +265,22 @@ mod tests {
     fn test_portfolio() -> Portfolio {
         let mut p = Portfolio::new("UW-2012");
         p.add(
-            Contract::new(ContractId(0), "alpha", Treaty::cat_xl(2_000.0, 20_000.0), vec![0, 1])
-                .with_premium(5_000.0),
+            Contract::new(
+                ContractId(0),
+                "alpha",
+                Treaty::cat_xl(2_000.0, 20_000.0),
+                vec![0, 1],
+            )
+            .with_premium(5_000.0),
         );
         p.add(
             Contract::new(
                 ContractId(1),
                 "beta",
-                Treaty::AggregateXl { retention: 5_000.0, limit: 50_000.0 },
+                Treaty::AggregateXl {
+                    retention: 5_000.0,
+                    limit: 50_000.0,
+                },
                 vec![1, 2],
             )
             .with_share(0.5)
@@ -284,42 +302,57 @@ mod tests {
 
     #[test]
     fn analysis_produces_scaled_ylts() {
-        let analysis =
-            PortfolioAnalysis::build(test_portfolio(), &test_elts(), test_yet(), LookupKind::Direct)
-                .unwrap();
+        let analysis = PortfolioAnalysis::build(
+            test_portfolio(),
+            &test_elts(),
+            test_yet(),
+            LookupKind::Direct,
+        )
+        .unwrap();
         assert_eq!(analysis.input().layers().len(), 2);
         assert_eq!(analysis.portfolio().len(), 2);
         let result = analysis.run_sequential();
         assert_eq!(result.ylts().len(), 2);
         assert_eq!(result.contract_ylt(0).num_trials(), 200);
         // Contract 1 has a 50% share: its YLT must be half of an unscaled run.
-        let full =
-            PortfolioAnalysis::build(
-                {
-                    let mut p = test_portfolio();
-                    p.contracts[1].written_share = 1.0;
-                    p
-                },
-                &test_elts(),
-                test_yet(),
-                LookupKind::Direct,
-            )
-            .unwrap()
-            .run_sequential();
-        for (half, whole) in result.contract_ylt(1).outcomes().iter().zip(full.contract_ylt(1).outcomes()) {
+        let full = PortfolioAnalysis::build(
+            {
+                let mut p = test_portfolio();
+                p.contracts[1].written_share = 1.0;
+                p
+            },
+            &test_elts(),
+            test_yet(),
+            LookupKind::Direct,
+        )
+        .unwrap()
+        .run_sequential();
+        for (half, whole) in result
+            .contract_ylt(1)
+            .outcomes()
+            .iter()
+            .zip(full.contract_ylt(1).outcomes())
+        {
             assert!((half.year_loss - 0.5 * whole.year_loss).abs() < 1e-9);
         }
         // Portfolio roll-up equals the sum of contract means.
         let total: f64 = result.portfolio_losses().iter().sum::<f64>() / 200.0;
         assert!((total - result.expected_loss()).abs() < 1e-9);
-        assert!((result.expected_underwriting_result() - (8_000.0 - result.expected_loss())).abs() < 1e-9);
+        assert!(
+            (result.expected_underwriting_result() - (8_000.0 - result.expected_loss())).abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn parallel_run_matches_sequential() {
-        let analysis =
-            PortfolioAnalysis::build(test_portfolio(), &test_elts(), test_yet(), LookupKind::Direct)
-                .unwrap();
+        let analysis = PortfolioAnalysis::build(
+            test_portfolio(),
+            &test_elts(),
+            test_yet(),
+            LookupKind::Direct,
+        )
+        .unwrap();
         let a = analysis.run_sequential();
         let b = analysis.run();
         for (x, y) in a.ylts().iter().zip(b.ylts()) {
@@ -331,9 +364,13 @@ mod tests {
 
     #[test]
     fn reports_are_consistent() {
-        let analysis =
-            PortfolioAnalysis::build(test_portfolio(), &test_elts(), test_yet(), LookupKind::Direct)
-                .unwrap();
+        let analysis = PortfolioAnalysis::build(
+            test_portfolio(),
+            &test_elts(),
+            test_yet(),
+            LookupKind::Direct,
+        )
+        .unwrap();
         let result = analysis.run_sequential();
         let c0 = result.contract_report(0);
         assert_eq!(c0.name, "alpha");
@@ -347,7 +384,9 @@ mod tests {
     fn build_rejects_bad_portfolios() {
         let mut bad = test_portfolio();
         bad.contracts[0].elt_indices = vec![99];
-        assert!(PortfolioAnalysis::build(bad, &test_elts(), test_yet(), LookupKind::Direct).is_err());
+        assert!(
+            PortfolioAnalysis::build(bad, &test_elts(), test_yet(), LookupKind::Direct).is_err()
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ impl PricingConfig {
         ];
         for (name, v) in fields {
             if !(v.is_finite() && v >= 0.0) {
-                return Err(crate::PortfolioError::Invalid(format!("{name} must be non-negative, got {v}")));
+                return Err(crate::PortfolioError::Invalid(format!(
+                    "{name} must be non-negative, got {v}"
+                )));
             }
         }
         if !(self.capital_level > 0.0 && self.capital_level < 1.0) {
@@ -95,7 +97,11 @@ pub fn price_losses(losses: &[f64], annual_limit: f64, config: &PricingConfig) -
     assert!(!losses.is_empty(), "cannot price with zero trials");
     let n = losses.len() as f64;
     let expected_loss = losses.iter().sum::<f64>() / n;
-    let variance = losses.iter().map(|l| (l - expected_loss).powi(2)).sum::<f64>() / n;
+    let variance = losses
+        .iter()
+        .map(|l| (l - expected_loss).powi(2))
+        .sum::<f64>()
+        / n;
     let std_dev = variance.sqrt();
     let v = var(losses, config.capital_level);
     let t = tvar(losses, config.capital_level);
@@ -131,7 +137,13 @@ mod tests {
     fn losses() -> Vec<f64> {
         // 80% of years: no loss; 20%: between 1M and 10M.
         (0..1000)
-            .map(|i| if i % 5 == 0 { 1.0e6 + 9.0e6 * f64::from(i) / 1000.0 } else { 0.0 })
+            .map(|i| {
+                if i % 5 == 0 {
+                    1.0e6 + 9.0e6 * f64::from(i) / 1000.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -144,10 +156,10 @@ mod tests {
         assert!(q.tvar >= q.var);
         assert!(q.risk_premium >= q.expected_loss);
         assert!(q.gross_premium > q.risk_premium);
-        assert!((q.risk_premium
-            - (q.expected_loss + q.volatility_loading + q.capital_loading))
-            .abs()
-            < 1e-9);
+        assert!(
+            (q.risk_premium - (q.expected_loss + q.volatility_loading + q.capital_loading)).abs()
+                < 1e-9
+        );
         assert!((q.gross_premium * (1.0 - config.expense_ratio) - q.risk_premium).abs() < 1e-9);
         assert!((q.attachment_probability - 0.2).abs() < 1e-9);
         assert!((q.rate_on_line - q.gross_premium / 10.0e6).abs() < 1e-12);
@@ -175,7 +187,9 @@ mod tests {
     fn riskier_layers_cost_more() {
         let config = PricingConfig::default();
         let calm: Vec<f64> = vec![1.0e6; 1000];
-        let volatile: Vec<f64> = (0..1000).map(|i| if i % 100 == 0 { 100.0e6 } else { 0.0 }).collect();
+        let volatile: Vec<f64> = (0..1000)
+            .map(|i| if i % 100 == 0 { 100.0e6 } else { 0.0 })
+            .collect();
         // Same expected loss, very different volatility.
         let q_calm = price_losses(&calm, 100.0e6, &config);
         let q_vol = price_losses(&volatile, 100.0e6, &config);
@@ -187,7 +201,11 @@ mod tests {
     fn price_from_ylt_matches_losses() {
         let outcomes: Vec<TrialOutcome> = losses()
             .into_iter()
-            .map(|l| TrialOutcome { year_loss: l, max_occurrence_loss: l, nonzero_events: 1 })
+            .map(|l| TrialOutcome {
+                year_loss: l,
+                max_occurrence_loss: l,
+                nonzero_events: 1,
+            })
             .collect();
         let ylt = YearLossTable::new(LayerId(3), outcomes);
         let a = price_ylt(&ylt, 10.0e6, &PricingConfig::default());
@@ -197,9 +215,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(PricingConfig { volatility_load: -0.1, ..Default::default() }.validate().is_err());
-        assert!(PricingConfig { capital_level: 1.0, ..Default::default() }.validate().is_err());
-        assert!(PricingConfig { expense_ratio: 1.0, ..Default::default() }.validate().is_err());
+        assert!(PricingConfig {
+            volatility_load: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PricingConfig {
+            capital_level: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PricingConfig {
+            expense_ratio: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(PricingConfig::default().validate().is_ok());
     }
 

@@ -44,7 +44,11 @@ impl RealTimeQuoter {
     ///
     /// `max_trials` caps the number of trials used per quote (the paper's
     /// 50 K-trial quick-quote mode); pass `None` to use every trial.
-    pub fn new(input: &AnalysisInput, max_trials: Option<usize>, pricing: PricingConfig) -> Result<Self> {
+    pub fn new(
+        input: &AnalysisInput,
+        max_trials: Option<usize>,
+        pricing: PricingConfig,
+    ) -> Result<Self> {
         pricing.validate()?;
         let input = match max_trials {
             Some(n) if n < input.num_trials() => {
@@ -53,7 +57,11 @@ impl RealTimeQuoter {
             }
             _ => input.clone(),
         };
-        Ok(Self { input, pricing, engine: ParallelEngine::new() })
+        Ok(Self {
+            input,
+            pricing,
+            engine: ParallelEngine::new(),
+        })
     }
 
     /// Number of trials each quote will use.
@@ -93,7 +101,11 @@ impl RealTimeQuoter {
             terms.occ_limit
         };
         let quote = price_losses(&losses, annual_limit * share, &self.pricing);
-        Ok(TimedQuote { quote, trials: losses.len(), elapsed: sw.elapsed() })
+        Ok(TimedQuote {
+            quote,
+            trials: losses.len(),
+            elapsed: sw.elapsed(),
+        })
     }
 
     /// Quotes several alternative retention/limit structures in one call —
@@ -121,13 +133,24 @@ mod tests {
         let yet_trials: Vec<Vec<(u32, f32)>> = (0..trials)
             .map(|t| {
                 (0..((t % 7) as u32))
-                    .map(|i| (((t as u32).wrapping_mul(23).wrapping_add(i * 13)) % 400, i as f32))
+                    .map(|i| {
+                        (
+                            ((t as u32).wrapping_mul(23).wrapping_add(i * 13)) % 400,
+                            i as f32,
+                        )
+                    })
                     .collect()
             })
             .collect();
         b.set_yet_from_trials(400, yet_trials);
-        let pairs_a: Vec<(u32, f64)> = (0..400).step_by(2).map(|e| (e, 5_000.0 + 100.0 * f64::from(e))).collect();
-        let pairs_b: Vec<(u32, f64)> = (0..400).step_by(3).map(|e| (e, 2_000.0 + 50.0 * f64::from(e))).collect();
+        let pairs_a: Vec<(u32, f64)> = (0..400)
+            .step_by(2)
+            .map(|e| (e, 5_000.0 + 100.0 * f64::from(e)))
+            .collect();
+        let pairs_b: Vec<(u32, f64)> = (0..400)
+            .step_by(3)
+            .map(|e| (e, 2_000.0 + 50.0 * f64::from(e)))
+            .collect();
         b.add_elt(&pairs_a, FinancialTerms::pass_through());
         b.add_elt(&pairs_b, FinancialTerms::pass_through());
         // Placeholder layer (the quoter replaces layers per quote).
@@ -142,7 +165,8 @@ mod tests {
         assert_eq!(quoter.trials(), 100);
         let full = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
         assert_eq!(full.trials(), 500);
-        let capped_above = RealTimeQuoter::new(&input, Some(10_000), PricingConfig::default()).unwrap();
+        let capped_above =
+            RealTimeQuoter::new(&input, Some(10_000), PricingConfig::default()).unwrap();
         assert_eq!(capped_above.trials(), 500);
     }
 
@@ -150,7 +174,9 @@ mod tests {
     fn quote_produces_sensible_numbers_quickly() {
         let input = base_input(400);
         let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
-        let quoted = quoter.quote(Treaty::cat_xl(10_000.0, 100_000.0), &[0, 1]).unwrap();
+        let quoted = quoter
+            .quote(Treaty::cat_xl(10_000.0, 100_000.0), &[0, 1])
+            .unwrap();
         assert_eq!(quoted.trials, 400);
         assert!(quoted.quote.expected_loss >= 0.0);
         assert!(quoted.quote.gross_premium >= quoted.quote.expected_loss);
@@ -177,10 +203,22 @@ mod tests {
         let input = base_input(300);
         let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
         let full = quoter
-            .quote(Treaty::QuotaShare { cession: 1.0, event_limit: f64::INFINITY }, &[0])
+            .quote(
+                Treaty::QuotaShare {
+                    cession: 1.0,
+                    event_limit: f64::INFINITY,
+                },
+                &[0],
+            )
             .unwrap();
         let half = quoter
-            .quote(Treaty::QuotaShare { cession: 0.5, event_limit: f64::INFINITY }, &[0])
+            .quote(
+                Treaty::QuotaShare {
+                    cession: 0.5,
+                    event_limit: f64::INFINITY,
+                },
+                &[0],
+            )
             .unwrap();
         assert!((half.quote.expected_loss - 0.5 * full.quote.expected_loss).abs() < 1e-9);
     }
@@ -190,8 +228,14 @@ mod tests {
         let input = base_input(100);
         let quoter = RealTimeQuoter::new(&input, None, PricingConfig::default()).unwrap();
         assert!(quoter.quote(Treaty::cat_xl(-1.0, 10.0), &[0]).is_err());
-        assert!(quoter.quote(Treaty::cat_xl(1.0, 10.0), &[7]).is_err(), "bad ELT index");
-        let bad_pricing = PricingConfig { capital_level: 2.0, ..Default::default() };
+        assert!(
+            quoter.quote(Treaty::cat_xl(1.0, 10.0), &[7]).is_err(),
+            "bad ELT index"
+        );
+        let bad_pricing = PricingConfig {
+            capital_level: 2.0,
+            ..Default::default()
+        };
         assert!(RealTimeQuoter::new(&input, None, bad_pricing).is_err());
     }
 }

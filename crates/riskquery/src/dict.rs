@@ -1,0 +1,96 @@
+//! Dictionary encoding for dimension columns.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An order-of-first-appearance dictionary assigning dense `u32` codes to
+/// dimension values.
+///
+/// Dimension columns in the [`ResultStore`](crate::store::ResultStore) hold
+/// codes rather than values, so filter predicates compare a single `u32`
+/// per segment and group keys are tuples of codes — the classic columnar
+/// dictionary encoding, sized here for low-cardinality risk dimensions
+/// (perils, regions, lines of business, layers).
+#[derive(Debug, Clone)]
+pub struct Dictionary<T> {
+    values: Vec<T>,
+    codes: HashMap<T, u32>,
+}
+
+impl<T> Default for Dictionary<T> {
+    fn default() -> Self {
+        Self {
+            values: Vec::new(),
+            codes: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Dictionary<T> {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            codes: HashMap::new(),
+        }
+    }
+
+    /// Returns the code of `value`, interning it if new.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&code) = self.codes.get(&value) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
+        self.values.push(value.clone());
+        self.codes.insert(value, code);
+        code
+    }
+
+    /// The code of `value`, if it has been interned.
+    pub fn code_of(&self, value: &T) -> Option<u32> {
+        self.codes.get(value).copied()
+    }
+
+    /// The value behind `code`.
+    ///
+    /// # Panics
+    /// If the code was not produced by this dictionary.
+    pub fn value(&self, code: u32) -> &T {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All interned values in code order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut dict = Dictionary::new();
+        let a = dict.intern("hurricane");
+        let b = dict.intern("flood");
+        assert_eq!(dict.intern("hurricane"), a);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(*dict.value(a), "hurricane");
+        assert_eq!(dict.code_of(&"flood"), Some(b));
+        assert_eq!(dict.code_of(&"quake"), None);
+        assert!(!dict.is_empty());
+        assert_eq!(dict.values(), &["hurricane", "flood"]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Query execution: the rayon-parallel scan pipeline and aggregate
+//! finalisation.
+//!
+//! ## Determinism
+//!
+//! The scan parallelises over **trial blocks** (the long axis), not over
+//! segments: each worker owns a disjoint trial window and accumulates every
+//! surviving segment *in segment order* within it.  The per-block partials
+//! are therefore disjoint and merge by concatenation — an exact monoid
+//! `combine` with no floating-point interaction — so query results are
+//! bit-identical to a single-threaded scan for any thread count, mirroring
+//! the engine crate's bit-identical guarantee across its parallel variants.
+
+use rayon::prelude::*;
+
+use catrisk_metrics::ep::ExceedanceCurve;
+use catrisk_simkit::stats::{
+    max_or_zero, mean_or_zero, population_std_dev, positive_fraction, quantile_sorted,
+    tail_mean_sorted,
+};
+
+use crate::plan::QueryPlan;
+use crate::query::{Aggregate, Basis, Query};
+use crate::result::{AggValue, QueryResult, ResultRow};
+use crate::store::ResultStore;
+use crate::Result;
+
+/// Per-group accumulated loss vectors over one trial window: the "partial
+/// aggregate" of the QuPARA mapper stage.
+///
+/// Year losses of a group sum across its segments within a trial (all
+/// segments see the same trial); occurrence losses take the per-trial
+/// maximum, which is what an OEP curve of the combined group means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAggregate {
+    /// `year[group][t]`: summed year loss of `group` in relative trial `t`.
+    pub year: Vec<Vec<f64>>,
+    /// `maxocc[group][t]`: largest single-occurrence loss of `group`.
+    pub maxocc: Vec<Vec<f64>>,
+}
+
+impl PartialAggregate {
+    /// The monoid identity over `groups` groups and `trials` trials: zero
+    /// losses everywhere (losses are non-negative, so 0 is also the `max`
+    /// identity).
+    pub fn identity(groups: usize, trials: usize) -> Self {
+        Self {
+            year: vec![vec![0.0; trials]; groups],
+            maxocc: vec![vec![0.0; trials]; groups],
+        }
+    }
+
+    /// Accumulates one segment's loss slices into `group`.
+    #[inline]
+    pub fn accumulate(&mut self, group: usize, year: &[f64], maxocc: &[f64]) {
+        let acc_year = &mut self.year[group];
+        debug_assert_eq!(acc_year.len(), year.len());
+        for (acc, v) in acc_year.iter_mut().zip(year) {
+            *acc += v;
+        }
+        let acc_occ = &mut self.maxocc[group];
+        for (acc, v) in acc_occ.iter_mut().zip(maxocc) {
+            *acc = acc.max(*v);
+        }
+    }
+
+    /// Merges a partial covering the trial window immediately after this
+    /// one (disjoint windows ⇒ exact concatenation).
+    pub fn combine_adjacent(mut self, next: PartialAggregate) -> Self {
+        for (acc, mut block) in self.year.iter_mut().zip(next.year) {
+            acc.append(&mut block);
+        }
+        for (acc, mut block) in self.maxocc.iter_mut().zip(next.maxocc) {
+            acc.append(&mut block);
+        }
+        self
+    }
+
+    /// Merges a partial covering the *same* trial window (element-wise sum
+    /// and max) — used when sharding by segments instead of trials; order
+    /// of combination then affects the last ulp, which is why [`scan`]
+    /// shards by trials instead.
+    pub fn combine_overlapping(mut self, other: &PartialAggregate) -> Self {
+        for (acc, block) in self.year.iter_mut().zip(&other.year) {
+            for (a, v) in acc.iter_mut().zip(block) {
+                *a += v;
+            }
+        }
+        for (acc, block) in self.maxocc.iter_mut().zip(&other.maxocc) {
+            for (a, v) in acc.iter_mut().zip(block) {
+                *a = a.max(*v);
+            }
+        }
+        self
+    }
+}
+
+/// Splits `span` trials into at most `parts` contiguous non-empty blocks.
+pub(crate) fn trial_blocks(start: usize, end: usize, parts: usize) -> Vec<(usize, usize)> {
+    let span = end - start;
+    if span == 0 {
+        return vec![];
+    }
+    let parts = parts.clamp(1, span);
+    let base = span / parts;
+    let extra = span % parts;
+    let mut blocks = Vec::with_capacity(parts);
+    let mut at = start;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        blocks.push((at, at + len));
+        at += len;
+    }
+    blocks
+}
+
+/// Runs the planned scan: per-trial-block partial aggregation in parallel,
+/// merged by exact concatenation.
+pub(crate) fn scan(store: &ResultStore, plan: &QueryPlan) -> PartialAggregate {
+    let groups = plan.num_groups();
+    let blocks = trial_blocks(
+        plan.trial_start,
+        plan.trial_end,
+        rayon::current_num_threads(),
+    );
+    let partials: Vec<PartialAggregate> = blocks
+        .into_par_iter()
+        .map(|(block_start, block_end)| {
+            let len = block_end - block_start;
+            let mut partial = PartialAggregate::identity(groups, len);
+            for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+                let year = &store.year_losses(segment)[block_start..block_end];
+                let occ = &store.max_occ_losses(segment)[block_start..block_end];
+                partial.accumulate(group, year, occ);
+            }
+            partial
+        })
+        .collect();
+    partials
+        .into_iter()
+        .reduce(PartialAggregate::combine_adjacent)
+        .unwrap_or_else(|| PartialAggregate::identity(groups, 0))
+}
+
+/// Sorted copies of a group's loss vectors, computed lazily — VaR, TVaR,
+/// PML and EP curves all need order statistics over the same data.
+#[derive(Debug, Default)]
+pub(crate) struct SortedCache {
+    year: Option<Vec<f64>>,
+    maxocc: Option<Vec<f64>>,
+}
+
+impl SortedCache {
+    pub(crate) fn sorted<'a>(
+        &'a mut self,
+        basis: Basis,
+        partial: &PartialAggregate,
+        group: usize,
+    ) -> &'a [f64] {
+        let (slot, source) = match basis {
+            Basis::Aep => (&mut self.year, &partial.year[group]),
+            Basis::Oep => (&mut self.maxocc, &partial.maxocc[group]),
+        };
+        slot.get_or_insert_with(|| {
+            let mut sorted = source.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite losses"));
+            sorted
+        })
+    }
+}
+
+/// Finalises one group's aggregates from its accumulated loss vectors.
+///
+/// Every aggregate goes through the shared kernels a direct YLT
+/// computation uses — `catrisk-simkit`'s scalar kernels (`mean_or_zero`,
+/// `population_std_dev`, `max_or_zero`, `positive_fraction`, the same
+/// functions behind `YearLossTable::mean_loss` and friends) and
+/// `quantile_sorted` / `tail_mean_sorted` plus `catrisk-metrics`'
+/// `ExceedanceCurve` for the order statistics — so a query result is
+/// bit-identical to brute-force aggregation over the raw Year Loss Tables
+/// by construction.
+pub(crate) fn finalize_group(
+    aggregates: &[Aggregate],
+    partial: &PartialAggregate,
+    group: usize,
+    cache: &mut SortedCache,
+) -> Vec<AggValue> {
+    let year = &partial.year[group];
+    aggregates
+        .iter()
+        .map(|aggregate| match aggregate {
+            Aggregate::Mean => AggValue::Scalar(mean_or_zero(year)),
+            Aggregate::StdDev => AggValue::Scalar(population_std_dev(year)),
+            Aggregate::MaxLoss => AggValue::Scalar(max_or_zero(year)),
+            Aggregate::AttachProb => AggValue::Scalar(positive_fraction(year)),
+            Aggregate::Var { level } => AggValue::Scalar(quantile_sorted(
+                cache.sorted(Basis::Aep, partial, group),
+                *level,
+            )),
+            Aggregate::Tvar { level } => AggValue::Scalar(tail_mean_sorted(
+                cache.sorted(Basis::Aep, partial, group),
+                *level,
+            )),
+            Aggregate::Pml {
+                return_period,
+                basis,
+            } => {
+                let sorted = cache.sorted(*basis, partial, group);
+                let curve = ExceedanceCurve::from_sorted(sorted.to_vec());
+                AggValue::Scalar(curve.loss_at_return_period(*return_period))
+            }
+            Aggregate::EpCurve { basis, points } => {
+                let sorted = cache.sorted(*basis, partial, group);
+                let curve = ExceedanceCurve::from_sorted(sorted.to_vec());
+                AggValue::Curve(curve.curve_points(*points))
+            }
+        })
+        .collect()
+}
+
+/// Per-spec state reusable across the queries sharing one scan: group
+/// segment counts, canonical row order, and the lazily sorted loss copies.
+pub(crate) struct SpecState {
+    segment_counts: Vec<usize>,
+    row_order: Vec<usize>,
+    caches: Vec<SortedCache>,
+}
+
+impl SpecState {
+    pub(crate) fn new(plan: &QueryPlan) -> Self {
+        let mut segment_counts = vec![0usize; plan.num_groups()];
+        for &group in &plan.groups {
+            segment_counts[group] += 1;
+        }
+        Self {
+            segment_counts,
+            row_order: plan.sorted_group_order(),
+            caches: (0..plan.num_groups())
+                .map(|_| SortedCache::default())
+                .collect(),
+        }
+    }
+}
+
+/// Assembles the final result: rows in canonical key order.
+pub(crate) fn assemble(
+    query: &Query,
+    plan: &QueryPlan,
+    partial: &PartialAggregate,
+    state: &mut SpecState,
+) -> QueryResult {
+    let rows: Vec<ResultRow> = state
+        .row_order
+        .iter()
+        .map(|&group| ResultRow {
+            key: plan.keys[group].clone(),
+            segments: state.segment_counts[group],
+            values: finalize_group(&query.aggregates, partial, group, &mut state.caches[group]),
+        })
+        .collect();
+    QueryResult {
+        group_by: query.group_by.clone(),
+        aggregates: query.aggregates.clone(),
+        trials: plan.num_trials(),
+        rows,
+    }
+}
+
+/// Executes one query against a store.
+///
+/// Pipeline: plan (filter pushdown over dictionary codes) → parallel scan
+/// (per-trial-block partial aggregation, exact combine) → finalisation
+/// (metric kernels per group).
+pub fn execute(store: &ResultStore, query: &Query) -> Result<QueryResult> {
+    let plan = QueryPlan::new(store, query)?;
+    let partial = scan(store, &plan);
+    Ok(assemble(query, &plan, &partial, &mut SpecState::new(&plan)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::{Dimension, LineOfBusiness, SegmentMeta};
+    use crate::query::QueryBuilder;
+    use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+    use catrisk_eventgen::peril::{Peril, Region};
+    use catrisk_finterms::layer::LayerId;
+
+    fn outcome(year: f64, occ: f64) -> TrialOutcome {
+        TrialOutcome {
+            year_loss: year,
+            max_occurrence_loss: occ,
+            nonzero_events: 0,
+        }
+    }
+
+    fn store() -> ResultStore {
+        let mut store = ResultStore::new(4);
+        let segs = [
+            (
+                Peril::Hurricane,
+                Region::Europe,
+                vec![(1.0, 1.0), (0.0, 0.0), (4.0, 3.0), (2.0, 2.0)],
+            ),
+            (
+                Peril::Hurricane,
+                Region::Japan,
+                vec![(2.0, 2.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0)],
+            ),
+            (
+                Peril::Flood,
+                Region::Europe,
+                vec![(0.0, 0.0), (5.0, 4.0), (1.0, 1.0), (3.0, 3.0)],
+            ),
+        ];
+        for (i, (peril, region, data)) in segs.into_iter().enumerate() {
+            let outcomes = data.into_iter().map(|(y, o)| outcome(y, o)).collect();
+            store
+                .ingest(
+                    &YearLossTable::new(LayerId(i as u32), outcomes),
+                    SegmentMeta::new(LayerId(i as u32), peril, region, LineOfBusiness::Property),
+                )
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn filter_only_totals() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Hurricane])
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::MaxLoss)
+            .aggregate(Aggregate::AttachProb)
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        assert_eq!(result.rows.len(), 1);
+        let row = &result.rows[0];
+        assert_eq!(row.segments, 2);
+        // Summed hurricane year losses: [3, 1, 4, 2] -> mean 2.5, max 4.
+        assert_eq!(row.values[0], AggValue::Scalar(2.5));
+        assert_eq!(row.values[1], AggValue::Scalar(4.0));
+        assert_eq!(row.values[2], AggValue::Scalar(1.0));
+    }
+
+    #[test]
+    fn group_by_peril_sums_within_trials() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        // Canonical order: Hurricane (variant 0) before Flood (variant 2).
+        assert_eq!(result.rows[0].key[0].to_string(), "HU");
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(10.0 / 4.0));
+        assert_eq!(result.rows[1].key[0].to_string(), "FL");
+        assert_eq!(result.rows[1].values[0], AggValue::Scalar(9.0 / 4.0));
+    }
+
+    #[test]
+    fn oep_uses_max_merge() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Oep,
+                points: 2,
+            })
+            .aggregate(Aggregate::Pml {
+                return_period: 2.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        // Per-trial max occurrence across segments: [2, 4, 3, 3].
+        let curve = result.rows[0].values[0].as_curve().unwrap();
+        assert_eq!(curve.len(), 2);
+        let pml = result.rows[0].values[1].as_scalar().unwrap();
+        let expected = ExceedanceCurve::new(vec![2.0, 4.0, 3.0, 3.0]).loss_at_return_period(2.0);
+        assert_eq!(pml, expected);
+    }
+
+    #[test]
+    fn trial_window_restricts_scan() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .trials(1..3)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        // Trials 1..3 total year losses: [6, 5] -> mean 5.5.
+        assert_eq!(result.trials, 2);
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(5.5));
+    }
+
+    #[test]
+    fn empty_selection_yields_no_rows() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Tornado])
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        assert!(result.rows.is_empty());
+    }
+
+    #[test]
+    fn scan_is_block_count_invariant() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        let reference = {
+            let mut partial = PartialAggregate::identity(plan.num_groups(), plan.num_trials());
+            for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+                partial.accumulate(
+                    group,
+                    store.year_losses(segment),
+                    store.max_occ_losses(segment),
+                );
+            }
+            partial
+        };
+        let scanned = scan(&store, &plan);
+        assert_eq!(
+            scanned, reference,
+            "parallel scan must equal the sequential scan bitwise"
+        );
+    }
+
+    #[test]
+    fn combine_overlapping_is_elementwise() {
+        let mut a = PartialAggregate::identity(1, 2);
+        a.accumulate(0, &[1.0, 2.0], &[1.0, 5.0]);
+        let mut b = PartialAggregate::identity(1, 2);
+        b.accumulate(0, &[10.0, 20.0], &[3.0, 4.0]);
+        let c = a.combine_overlapping(&b);
+        assert_eq!(c.year[0], vec![11.0, 22.0]);
+        assert_eq!(c.maxocc[0], vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn trial_blocks_partition_exactly() {
+        for (start, end, parts) in [(0, 10, 3), (5, 6, 4), (0, 0, 2), (2, 100, 7)] {
+            let blocks = trial_blocks(start, end, parts);
+            let total: usize = blocks.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(total, end - start);
+            let mut at = start;
+            for (s, e) in blocks {
+                assert_eq!(s, at);
+                assert!(e > s);
+                at = e;
+            }
+            assert_eq!(at, end.max(start));
+        }
+    }
+}

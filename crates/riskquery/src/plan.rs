@@ -1,0 +1,325 @@
+//! Query planning: filter pushdown over dictionary codes and group-key
+//! assignment, before any loss data is touched.
+
+use std::collections::HashMap;
+
+use crate::dims::Dimension;
+use crate::query::{Filter, Query};
+use crate::result::DimValue;
+use crate::store::ResultStore;
+use crate::{QueryError, Result};
+
+/// A per-dimension predicate resolved to dictionary codes: `None` passes
+/// everything, `Some(codes)` passes the listed codes only.
+///
+/// Filter values that were never interned by the store simply resolve to no
+/// code: the predicate then (correctly) matches no segment on that value.
+#[derive(Debug, Clone)]
+struct CodePredicate(Option<Vec<u32>>);
+
+impl CodePredicate {
+    fn passes(&self, code: u32) -> bool {
+        match &self.0 {
+            None => true,
+            Some(codes) => codes.contains(&code),
+        }
+    }
+}
+
+/// The resolved execution plan of one query against one store: the
+/// surviving segments (filter pushdown), their group assignment, and the
+/// trial window.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Half-open trial window `[start, end)` actually scanned.
+    pub trial_start: usize,
+    /// End of the trial window.
+    pub trial_end: usize,
+    /// Surviving segment indices in store order.
+    pub segments: Vec<usize>,
+    /// `groups[i]` is the group index of `segments[i]`.
+    pub groups: Vec<usize>,
+    /// Decoded group keys, indexed by group (ordered by first appearance in
+    /// segment order, then sorted canonically by [`QueryPlan::sort_keys`]
+    /// at finalisation).
+    pub keys: Vec<Vec<DimValue>>,
+}
+
+impl QueryPlan {
+    /// Plans `query` against `store`.
+    pub fn new(store: &ResultStore, query: &Query) -> Result<QueryPlan> {
+        let (trial_start, trial_end) = resolve_trials(store, &query.filter)?;
+        let predicates = resolve_predicates(store, &query.filter);
+
+        let mut segments = Vec::new();
+        let mut groups = Vec::new();
+        let mut keys: Vec<Vec<DimValue>> = Vec::new();
+        let mut key_index: HashMap<Vec<u32>, usize> = HashMap::new();
+
+        for segment in 0..store.num_segments() {
+            let codes = [
+                store.layer_codes()[segment],
+                store.peril_codes()[segment],
+                store.region_codes()[segment],
+                store.lob_codes()[segment],
+            ];
+            let pass = predicates
+                .iter()
+                .zip(codes)
+                .all(|(predicate, code)| predicate.passes(code));
+            if !pass {
+                continue;
+            }
+            let group_code: Vec<u32> = query
+                .group_by
+                .iter()
+                .map(|dim| codes[dim_index(*dim)])
+                .collect();
+            let group = match key_index.get(&group_code) {
+                Some(&g) => g,
+                None => {
+                    let g = keys.len();
+                    keys.push(decode_key(store, &query.group_by, &group_code));
+                    key_index.insert(group_code, g);
+                    g
+                }
+            };
+            segments.push(segment);
+            groups.push(group);
+        }
+
+        Ok(QueryPlan {
+            trial_start,
+            trial_end,
+            segments,
+            groups,
+            keys,
+        })
+    }
+
+    /// Number of result groups.
+    pub fn num_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of trials in the scanned window.
+    pub fn num_trials(&self) -> usize {
+        self.trial_end - self.trial_start
+    }
+
+    /// Canonical output order of the groups: ascending by decoded key.
+    /// Returns `order` such that `order[rank] = group`.
+    pub fn sorted_group_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.keys.len()).collect();
+        order.sort_by(|&a, &b| DimValue::compare_keys(&self.keys[a], &self.keys[b]));
+        order
+    }
+}
+
+fn dim_index(dim: Dimension) -> usize {
+    match dim {
+        Dimension::Layer => 0,
+        Dimension::Peril => 1,
+        Dimension::Region => 2,
+        Dimension::Lob => 3,
+    }
+}
+
+fn decode_key(store: &ResultStore, dims: &[Dimension], codes: &[u32]) -> Vec<DimValue> {
+    dims.iter()
+        .zip(codes)
+        .map(|(dim, &code)| match dim {
+            Dimension::Layer => DimValue::Layer(*store.layer_dict().value(code)),
+            Dimension::Peril => DimValue::Peril(*store.peril_dict().value(code)),
+            Dimension::Region => DimValue::Region(*store.region_dict().value(code)),
+            Dimension::Lob => DimValue::Lob(*store.lob_dict().value(code)),
+        })
+        .collect()
+}
+
+fn resolve_trials(store: &ResultStore, filter: &Filter) -> Result<(usize, usize)> {
+    if store.num_trials() == 0 {
+        return Err(QueryError::Store(
+            "the store holds no trials; aggregates over an empty trial set are undefined"
+                .to_string(),
+        ));
+    }
+    match filter.trials {
+        None => Ok((0, store.num_trials())),
+        Some((start, end)) => {
+            if start >= end {
+                return Err(QueryError::InvalidQuery(format!(
+                    "empty trial window {start}..{end}"
+                )));
+            }
+            if end > store.num_trials() {
+                return Err(QueryError::InvalidQuery(format!(
+                    "trial window {start}..{end} exceeds the store's {} trials",
+                    store.num_trials()
+                )));
+            }
+            Ok((start, end))
+        }
+    }
+}
+
+fn resolve_predicates(store: &ResultStore, filter: &Filter) -> [CodePredicate; 4] {
+    let layer = filter.layers.as_ref().map(|layers| {
+        layers
+            .iter()
+            .filter_map(|&id| {
+                store
+                    .layer_dict()
+                    .code_of(&catrisk_finterms::layer::LayerId(id))
+            })
+            .collect()
+    });
+    let peril = filter.perils.as_ref().map(|ps| {
+        ps.iter()
+            .filter_map(|p| store.peril_dict().code_of(p))
+            .collect()
+    });
+    let region = filter.regions.as_ref().map(|rs| {
+        rs.iter()
+            .filter_map(|r| store.region_dict().code_of(r))
+            .collect()
+    });
+    let lob = filter.lobs.as_ref().map(|ls| {
+        ls.iter()
+            .filter_map(|l| store.lob_dict().code_of(l))
+            .collect()
+    });
+    [
+        CodePredicate(layer),
+        CodePredicate(peril),
+        CodePredicate(region),
+        CodePredicate(lob),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::{LineOfBusiness, SegmentMeta};
+    use crate::query::{Aggregate, QueryBuilder};
+    use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+    use catrisk_eventgen::peril::{Peril, Region};
+    use catrisk_finterms::layer::LayerId;
+
+    fn store() -> ResultStore {
+        let mut store = ResultStore::new(4);
+        let outcomes = vec![
+            TrialOutcome {
+                year_loss: 1.0,
+                max_occurrence_loss: 1.0,
+                nonzero_events: 1
+            };
+            4
+        ];
+        for (layer, peril, region, lob) in [
+            (
+                0,
+                Peril::Hurricane,
+                Region::Europe,
+                LineOfBusiness::Property,
+            ),
+            (0, Peril::Flood, Region::Europe, LineOfBusiness::Property),
+            (1, Peril::Hurricane, Region::Japan, LineOfBusiness::Marine),
+            (1, Peril::Earthquake, Region::Japan, LineOfBusiness::Marine),
+        ] {
+            store
+                .ingest(
+                    &YearLossTable::new(LayerId(layer), outcomes.clone()),
+                    SegmentMeta::new(LayerId(layer), peril, region, lob),
+                )
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn pushdown_prunes_segments() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Hurricane])
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        assert_eq!(plan.segments, vec![0, 2]);
+        assert_eq!(plan.num_groups(), 1, "no group-by: everything in one group");
+        assert_eq!(plan.num_trials(), 4);
+    }
+
+    #[test]
+    fn grouping_assigns_stable_keys() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        assert_eq!(plan.num_groups(), 2);
+        assert_eq!(plan.groups, vec![0, 0, 1, 1]);
+        let order = plan.sorted_group_order();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn unknown_filter_values_match_nothing() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Wildfire])
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        assert!(plan.segments.is_empty());
+    }
+
+    #[test]
+    fn trial_window_is_validated() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .trials(2..9)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            QueryPlan::new(&store, &query),
+            Err(QueryError::InvalidQuery(_))
+        ));
+        let query = QueryBuilder::new()
+            .trials(1..3)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        assert_eq!((plan.trial_start, plan.trial_end), (1, 3));
+    }
+
+    #[test]
+    fn zero_trial_store_errors_instead_of_panicking() {
+        let mut store = ResultStore::new(0);
+        store
+            .ingest(
+                &YearLossTable::new(LayerId(0), vec![]),
+                SegmentMeta::new(
+                    LayerId(0),
+                    Peril::Hurricane,
+                    Region::Europe,
+                    LineOfBusiness::Property,
+                ),
+            )
+            .unwrap();
+        let query = QueryBuilder::new()
+            .aggregate(Aggregate::Var { level: 0.99 })
+            .build()
+            .unwrap();
+        assert!(matches!(
+            crate::exec::execute(&store, &query),
+            Err(QueryError::Store(_))
+        ));
+    }
+}

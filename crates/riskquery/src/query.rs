@@ -1,0 +1,382 @@
+//! The typed query AST and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_eventgen::peril::{Peril, Region};
+
+use crate::dims::{Dimension, LineOfBusiness};
+use crate::{QueryError, Result};
+
+/// Which loss column an exceedance-style aggregate is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Basis {
+    /// Aggregate (annual) losses: the year-loss column.
+    Aep,
+    /// Occurrence losses: the per-trial maximum-occurrence-loss column.
+    Oep,
+}
+
+/// Conjunctive segment filter: a segment survives when every specified
+/// dimension list contains its value.  `None` means "no constraint".
+///
+/// The trial filter restricts the scanned trial window (half-open range),
+/// which is how convergence-style queries ("the same metric over the first
+/// N trials") are expressed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Filter {
+    /// Perils to keep.
+    pub perils: Option<Vec<Peril>>,
+    /// Regions to keep.
+    pub regions: Option<Vec<Region>>,
+    /// Lines of business to keep.
+    pub lobs: Option<Vec<LineOfBusiness>>,
+    /// Layer ids to keep (raw `LayerId` values).
+    pub layers: Option<Vec<u32>>,
+    /// Half-open trial window `[start, end)`.
+    pub trials: Option<(usize, usize)>,
+}
+
+impl Filter {
+    /// The unconstrained filter.
+    pub fn all() -> Self {
+        Self::default()
+    }
+}
+
+/// An aggregate computed per result group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Mean annual loss (expected loss under the simulation measure).
+    Mean,
+    /// Population standard deviation of the annual loss.
+    StdDev,
+    /// Largest annual loss across trials.
+    MaxLoss,
+    /// Fraction of trials with a non-zero annual loss.
+    AttachProb,
+    /// Value at Risk at the given confidence level.
+    Var {
+        /// Confidence level in `[0, 1]`.
+        level: f64,
+    },
+    /// Tail Value at Risk at the given confidence level.
+    Tvar {
+        /// Confidence level in `[0, 1]`.
+        level: f64,
+    },
+    /// Probable Maximum Loss at a return period, over the chosen basis.
+    Pml {
+        /// Return period in years (>= 1).
+        return_period: f64,
+        /// Loss column the PML is read from.
+        basis: Basis,
+    },
+    /// A sampled exceedance-probability curve over the chosen basis.
+    EpCurve {
+        /// Loss column the curve is built from.
+        basis: Basis,
+        /// Number of sampled `(probability, loss)` points (>= 2).
+        points: usize,
+    },
+}
+
+impl Aggregate {
+    /// Short column label used in rendered result tables.
+    pub fn label(&self) -> String {
+        match self {
+            Aggregate::Mean => "mean".to_string(),
+            Aggregate::StdDev => "stddev".to_string(),
+            Aggregate::MaxLoss => "maxloss".to_string(),
+            Aggregate::AttachProb => "attach".to_string(),
+            Aggregate::Var { level } => format!("var({level})"),
+            Aggregate::Tvar { level } => format!("tvar({level})"),
+            Aggregate::Pml {
+                return_period,
+                basis: Basis::Aep,
+            } => format!("pml({return_period})"),
+            Aggregate::Pml {
+                return_period,
+                basis: Basis::Oep,
+            } => {
+                format!("opml({return_period})")
+            }
+            Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points,
+            } => format!("aep({points})"),
+            Aggregate::EpCurve {
+                basis: Basis::Oep,
+                points,
+            } => format!("oep({points})"),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match self {
+            Aggregate::Var { level } | Aggregate::Tvar { level }
+                if !(0.0..=1.0).contains(level) =>
+            {
+                return Err(QueryError::InvalidQuery(format!(
+                    "confidence level must be in [0, 1], got {level}"
+                )));
+            }
+            Aggregate::Pml { return_period, .. }
+                if (!return_period.is_finite() || *return_period < 1.0) =>
+            {
+                return Err(QueryError::InvalidQuery(format!(
+                    "return period must be at least 1 year, got {return_period}"
+                )));
+            }
+            Aggregate::EpCurve { points, .. } if *points < 2 => {
+                return Err(QueryError::InvalidQuery(format!(
+                    "an EP curve needs at least 2 points, got {points}"
+                )));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// An ad-hoc aggregate risk query: filter, grouping, aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Segment and trial filter.
+    pub filter: Filter,
+    /// Dimensions to group surviving segments by (empty = one total row).
+    pub group_by: Vec<Dimension>,
+    /// Aggregates computed per group, in output order.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl Query {
+    /// The scan specification — the part of the query whose evaluation cost
+    /// a [`QuerySession`](crate::session::QuerySession) can share between
+    /// queries.  Two queries with equal scan specs group the exact same
+    /// loss vectors.
+    pub fn scan_spec(&self) -> (&Filter, &[Dimension]) {
+        (&self.filter, &self.group_by)
+    }
+}
+
+/// Fluent builder for [`Query`].
+///
+/// ```
+/// use catrisk_riskquery::prelude::*;
+/// use catrisk_eventgen::peril::Peril;
+///
+/// let query = QueryBuilder::new()
+///     .with_perils([Peril::Hurricane, Peril::Flood])
+///     .trials(0..10_000)
+///     .group_by(Dimension::Region)
+///     .aggregate(Aggregate::Mean)
+///     .aggregate(Aggregate::Tvar { level: 0.99 })
+///     .build()
+///     .unwrap();
+/// assert_eq!(query.aggregates.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    filter: Filter,
+    group_by: Vec<Dimension>,
+    aggregates: Vec<Aggregate>,
+}
+
+impl QueryBuilder {
+    /// Starts an unconstrained query with no aggregates.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keeps only segments with one of the given perils.
+    pub fn with_perils(mut self, perils: impl IntoIterator<Item = Peril>) -> Self {
+        self.filter.perils = Some(perils.into_iter().collect());
+        self
+    }
+
+    /// Keeps only segments in one of the given regions.
+    pub fn in_regions(mut self, regions: impl IntoIterator<Item = Region>) -> Self {
+        self.filter.regions = Some(regions.into_iter().collect());
+        self
+    }
+
+    /// Keeps only segments writing one of the given lines of business.
+    pub fn for_lobs(mut self, lobs: impl IntoIterator<Item = LineOfBusiness>) -> Self {
+        self.filter.lobs = Some(lobs.into_iter().collect());
+        self
+    }
+
+    /// Keeps only segments belonging to one of the given layer ids.
+    pub fn in_layers(mut self, layers: impl IntoIterator<Item = u32>) -> Self {
+        self.filter.layers = Some(layers.into_iter().collect());
+        self
+    }
+
+    /// Restricts the scan to a half-open trial window.
+    pub fn trials(mut self, range: std::ops::Range<usize>) -> Self {
+        self.filter.trials = Some((range.start, range.end));
+        self
+    }
+
+    /// Adds a group-by dimension (call order defines key order).
+    pub fn group_by(mut self, dimension: Dimension) -> Self {
+        self.group_by.push(dimension);
+        self
+    }
+
+    /// Adds an aggregate column.
+    pub fn aggregate(mut self, aggregate: Aggregate) -> Self {
+        self.aggregates.push(aggregate);
+        self
+    }
+
+    /// Validates and produces the query.
+    pub fn build(self) -> Result<Query> {
+        if self.aggregates.is_empty() {
+            return Err(QueryError::InvalidQuery(
+                "a query needs at least one aggregate".to_string(),
+            ));
+        }
+        for aggregate in &self.aggregates {
+            aggregate.validate()?;
+        }
+        let mut seen = Vec::new();
+        for dim in &self.group_by {
+            if seen.contains(dim) {
+                return Err(QueryError::InvalidQuery(format!(
+                    "duplicate group-by dimension `{dim}`"
+                )));
+            }
+            seen.push(*dim);
+        }
+        if let Some((start, end)) = self.filter.trials {
+            if start >= end {
+                return Err(QueryError::InvalidQuery(format!(
+                    "empty trial window {start}..{end}"
+                )));
+            }
+        }
+        for (name, list) in [
+            ("peril", self.filter.perils.as_ref().map(Vec::len)),
+            ("region", self.filter.regions.as_ref().map(Vec::len)),
+            ("lob", self.filter.lobs.as_ref().map(Vec::len)),
+            ("layer", self.filter.layers.as_ref().map(Vec::len)),
+        ] {
+            if list == Some(0) {
+                return Err(QueryError::InvalidQuery(format!(
+                    "empty `{name}` filter list matches nothing; omit the filter instead"
+                )));
+            }
+        }
+        Ok(Query {
+            filter: self.filter,
+            group_by: self.group_by,
+            aggregates: self.aggregates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            QueryBuilder::new().build(),
+            Err(QueryError::InvalidQuery(_))
+        ));
+        assert!(QueryBuilder::new()
+            .aggregate(Aggregate::Var { level: 1.5 })
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
+            .aggregate(Aggregate::Pml {
+                return_period: 0.5,
+                basis: Basis::Aep
+            })
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Oep,
+                points: 1
+            })
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
+            .trials(5..5)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
+            .with_perils([])
+            .aggregate(Aggregate::Mean)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Hurricane])
+            .in_regions([Region::Europe, Region::Japan])
+            .for_lobs([LineOfBusiness::Property])
+            .in_layers([0, 1])
+            .trials(10..20)
+            .group_by(Dimension::Peril)
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 5,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(query.group_by.len(), 2);
+        assert_eq!(query.filter.trials, Some((10, 20)));
+        let (filter, dims) = query.scan_spec();
+        assert_eq!(filter, &query.filter);
+        assert_eq!(dims, &query.group_by[..]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Aggregate::Mean.label(), "mean");
+        assert_eq!(Aggregate::Var { level: 0.99 }.label(), "var(0.99)");
+        assert_eq!(
+            Aggregate::Pml {
+                return_period: 250.0,
+                basis: Basis::Oep
+            }
+            .label(),
+            "opml(250)"
+        );
+        assert_eq!(
+            Aggregate::EpCurve {
+                basis: Basis::Oep,
+                points: 9
+            }
+            .label(),
+            "oep(9)"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Flood])
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::Tvar { level: 0.95 })
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&query).unwrap();
+        assert_eq!(serde_json::from_str::<Query>(&json).unwrap(), query);
+    }
+}

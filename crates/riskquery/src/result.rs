@@ -1,0 +1,253 @@
+//! Query results: decoded group keys, aggregate values and table
+//! rendering.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+
+use crate::dims::{Dimension, LineOfBusiness};
+use crate::query::Aggregate;
+
+/// A decoded group-key component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DimValue {
+    /// A layer id.
+    Layer(LayerId),
+    /// A peril.
+    Peril(Peril),
+    /// A region.
+    Region(Region),
+    /// A line of business.
+    Lob(LineOfBusiness),
+}
+
+impl DimValue {
+    /// Total order over key components of the same dimension, used for the
+    /// canonical output ordering of result rows.
+    fn rank(&self) -> (u8, u32) {
+        match self {
+            DimValue::Layer(id) => (0, id.0),
+            DimValue::Peril(p) => (1, *p as u32),
+            DimValue::Region(r) => (2, *r as u32),
+            DimValue::Lob(l) => (3, *l as u32),
+        }
+    }
+
+    /// Lexicographic comparison of two group keys.
+    pub fn compare_keys(a: &[DimValue], b: &[DimValue]) -> std::cmp::Ordering {
+        let ra: Vec<(u8, u32)> = a.iter().map(DimValue::rank).collect();
+        let rb: Vec<(u8, u32)> = b.iter().map(DimValue::rank).collect();
+        ra.cmp(&rb)
+    }
+}
+
+impl std::fmt::Display for DimValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimValue::Layer(id) => write!(f, "{id}"),
+            DimValue::Peril(p) => write!(f, "{p}"),
+            DimValue::Region(r) => write!(f, "{r}"),
+            DimValue::Lob(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// One computed aggregate value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggValue {
+    /// A scalar metric.
+    Scalar(f64),
+    /// A sampled exceedance curve: `(probability, loss)` pairs from most to
+    /// least likely.
+    Curve(Vec<(f64, f64)>),
+}
+
+impl AggValue {
+    /// The scalar value, if this is one.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            AggValue::Scalar(v) => Some(*v),
+            AggValue::Curve(_) => None,
+        }
+    }
+
+    /// The curve points, if this is a curve.
+    pub fn as_curve(&self) -> Option<&[(f64, f64)]> {
+        match self {
+            AggValue::Scalar(_) => None,
+            AggValue::Curve(points) => Some(points),
+        }
+    }
+}
+
+/// One result row: a group key plus its aggregate values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Decoded group key, one component per group-by dimension.
+    pub key: Vec<DimValue>,
+    /// Number of store segments aggregated into this group.
+    pub segments: usize,
+    /// Aggregate values, in the query's aggregate order.
+    pub values: Vec<AggValue>,
+}
+
+/// The result of one query: rows in canonical key order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The group-by dimensions (column headers of the key).
+    pub group_by: Vec<Dimension>,
+    /// The computed aggregates (column headers of the values).
+    pub aggregates: Vec<Aggregate>,
+    /// Number of trials scanned per group.
+    pub trials: usize,
+    /// Result rows sorted ascending by key.
+    pub rows: Vec<ResultRow>,
+}
+
+impl std::fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Header: group-by dimensions, segment count, scalar aggregates.
+        let mut headers: Vec<String> = self.group_by.iter().map(|d| d.to_string()).collect();
+        headers.push("segs".to_string());
+        for aggregate in &self.aggregates {
+            headers.push(aggregate.label());
+        }
+
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut cells: Vec<String> = row.key.iter().map(|k| k.to_string()).collect();
+            if cells.is_empty() && self.group_by.is_empty() {
+                // No group-by: no key cells.
+            }
+            cells.push(row.segments.to_string());
+            for value in &row.values {
+                cells.push(match value {
+                    AggValue::Scalar(v) => format_scalar(*v),
+                    AggValue::Curve(points) => format!("<curve: {} pts>", points.len()),
+                });
+            }
+            rows.push(cells);
+        }
+
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        writeln!(f, "{} trials, {} group(s)", self.trials, self.rows.len())?;
+        let header_line: Vec<String> = headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}", w = w))
+            .collect();
+        writeln!(f, "{}", header_line.join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
+        for row in &rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+
+        // Curves are rendered in full below the table.
+        for row in &self.rows {
+            for (aggregate, value) in self.aggregates.iter().zip(&row.values) {
+                if let AggValue::Curve(points) = value {
+                    let key = if row.key.is_empty() {
+                        "total".to_string()
+                    } else {
+                        row.key
+                            .iter()
+                            .map(|k| k.to_string())
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    };
+                    writeln!(f, "\n{} — {}:", key, aggregate.label())?;
+                    writeln!(f, "{:>12}  {:>15}", "exceed prob", "loss")?;
+                    for (p, loss) in points {
+                        writeln!(f, "{p:>12.6}  {:>15}", format_scalar(*loss))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn format_scalar(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 {
+        format!("{:.4e}", v)
+    } else if v.abs() < 1.0 {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_value_ordering_is_lexicographic() {
+        let a = vec![
+            DimValue::Peril(Peril::Hurricane),
+            DimValue::Region(Region::Europe),
+        ];
+        let b = vec![
+            DimValue::Peril(Peril::Earthquake),
+            DimValue::Region(Region::Europe),
+        ];
+        assert_eq!(DimValue::compare_keys(&a, &b), std::cmp::Ordering::Less);
+        assert_eq!(DimValue::compare_keys(&a, &a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_renders_table_and_curves() {
+        let result = QueryResult {
+            group_by: vec![Dimension::Peril],
+            aggregates: vec![
+                Aggregate::Mean,
+                Aggregate::EpCurve {
+                    basis: crate::query::Basis::Aep,
+                    points: 2,
+                },
+            ],
+            trials: 100,
+            rows: vec![ResultRow {
+                key: vec![DimValue::Peril(Peril::Hurricane)],
+                segments: 3,
+                values: vec![
+                    AggValue::Scalar(1234.5),
+                    AggValue::Curve(vec![(1.0, 0.0), (0.01, 9.9e7)]),
+                ],
+            }],
+        };
+        let text = result.to_string();
+        assert!(text.contains("peril"), "{text}");
+        assert!(text.contains("HU"), "{text}");
+        assert!(text.contains("1234.50"), "{text}");
+        assert!(text.contains("curve: 2 pts"), "{text}");
+        assert!(text.contains("9.9000e7"), "{text}");
+    }
+
+    #[test]
+    fn agg_value_accessors() {
+        assert_eq!(AggValue::Scalar(2.0).as_scalar(), Some(2.0));
+        assert!(AggValue::Scalar(2.0).as_curve().is_none());
+        let curve = AggValue::Curve(vec![(1.0, 0.0)]);
+        assert!(curve.as_scalar().is_none());
+        assert_eq!(curve.as_curve().unwrap().len(), 1);
+    }
+}

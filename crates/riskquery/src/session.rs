@@ -1,0 +1,305 @@
+//! Batched query sessions: many queries answered in (close to) one scan.
+//!
+//! The serving primitive for interactive workloads: analysts (or a serving
+//! front-end fanning out user requests) submit a *batch* of queries against
+//! one store.  The session
+//!
+//! 1. **deduplicates scan specs** — queries that share a filter and
+//!    grouping (`Query::scan_spec`) share one scan and one set of grouped
+//!    loss vectors, so "mean, VaR, TVaR and an EP curve of the same slice"
+//!    costs one scan instead of four;
+//! 2. **fuses the remaining scans** — specs over the same trial window are
+//!    evaluated in a single pass: within each trial block every segment's
+//!    loss slice is read once and routed to every spec that selected it,
+//!    while the slice is hot in cache, instead of re-streaming the loss
+//!    columns once per query;
+//! 3. **shares order statistics** — sorted copies of each group's loss
+//!    vector (needed by VaR/TVaR/PML/EP) are computed once per spec and
+//!    reused by every query in the batch.
+//!
+//! This mirrors QuPARA's design of pushing a whole query batch through one
+//! MapReduce job over the shared YLT file.
+
+use rayon::prelude::*;
+
+use crate::exec::{self, PartialAggregate};
+use crate::plan::QueryPlan;
+use crate::query::Query;
+use crate::result::QueryResult;
+use crate::store::ResultStore;
+use crate::Result;
+
+/// A batched query session over one store.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySession<'a> {
+    store: &'a ResultStore,
+}
+
+/// One deduplicated scan spec and the queries that share it.
+struct Spec {
+    plan: QueryPlan,
+    /// Indices into the batch of the queries using this spec.
+    queries: Vec<usize>,
+    /// Grouped loss vectors, filled by the fused scan.
+    partial: Option<PartialAggregate>,
+}
+
+impl<'a> QuerySession<'a> {
+    /// Opens a session over `store`.
+    pub fn new(store: &'a ResultStore) -> Self {
+        Self { store }
+    }
+
+    /// The store this session serves.
+    pub fn store(&self) -> &ResultStore {
+        self.store
+    }
+
+    /// Runs a batch of queries, returning one result per query in input
+    /// order.  Equivalent to calling [`exec::execute`] per query — the
+    /// batched path produces bit-identical results — but amortises scans
+    /// across the batch.
+    pub fn run(&self, queries: &[Query]) -> Result<Vec<QueryResult>> {
+        // 1. Deduplicate scan specs.
+        let mut specs: Vec<Spec> = Vec::new();
+        let mut spec_of_query: Vec<usize> = Vec::with_capacity(queries.len());
+        for (qi, query) in queries.iter().enumerate() {
+            let spec_idx = queries[..qi]
+                .iter()
+                .position(|earlier| earlier.scan_spec() == query.scan_spec())
+                .map(|earlier| spec_of_query[earlier]);
+            match spec_idx {
+                Some(si) => {
+                    specs[si].queries.push(qi);
+                    spec_of_query.push(si);
+                }
+                None => {
+                    let plan = QueryPlan::new(self.store, query)?;
+                    specs.push(Spec {
+                        plan,
+                        queries: vec![qi],
+                        partial: None,
+                    });
+                    spec_of_query.push(specs.len() - 1);
+                }
+            }
+        }
+
+        // 2. Fuse scans per trial window.
+        let mut windows: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for (si, spec) in specs.iter().enumerate() {
+            let key = (spec.plan.trial_start, spec.plan.trial_end);
+            match windows.iter_mut().find(|(s, e, _)| (*s, *e) == key) {
+                Some((_, _, members)) => members.push(si),
+                None => windows.push((key.0, key.1, vec![si])),
+            }
+        }
+        for (start, end, members) in windows {
+            let partials = self.fused_scan(start, end, &members, &specs);
+            for (si, partial) in members.into_iter().zip(partials) {
+                specs[si].partial = Some(partial);
+            }
+        }
+
+        // 3. Finalise every query from its spec's shared grouped data.
+        //    `SpecState` carries the per-spec row order, segment counts and
+        //    lazily sorted loss copies, so they are computed once per spec
+        //    and shared by every query in the batch.
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        for spec in &specs {
+            let partial = spec.partial.as_ref().expect("scanned above");
+            let mut state = exec::SpecState::new(&spec.plan);
+            for &qi in &spec.queries {
+                results[qi] = Some(exec::assemble(
+                    &queries[qi],
+                    &spec.plan,
+                    partial,
+                    &mut state,
+                ));
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every query finalised"))
+            .collect())
+    }
+
+    /// One pass over the trial window `[start, end)` serving every spec in
+    /// `members`: per trial block, each segment's loss slices are read once
+    /// and accumulated into every spec that selected the segment.
+    fn fused_scan(
+        &self,
+        start: usize,
+        end: usize,
+        members: &[usize],
+        specs: &[Spec],
+    ) -> Vec<PartialAggregate> {
+        // Routing table: segment -> [(member index, group)].
+        let mut routing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.store.num_segments()];
+        for (mi, &si) in members.iter().enumerate() {
+            let plan = &specs[si].plan;
+            for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+                routing[segment].push((mi as u32, group as u32));
+            }
+        }
+        let touched: Vec<usize> = (0..self.store.num_segments())
+            .filter(|&s| !routing[s].is_empty())
+            .collect();
+        let group_counts: Vec<usize> = members
+            .iter()
+            .map(|&si| specs[si].plan.num_groups())
+            .collect();
+
+        let blocks = exec::trial_blocks(start, end, rayon::current_num_threads());
+        let partial_sets: Vec<Vec<PartialAggregate>> = blocks
+            .into_par_iter()
+            .map(|(block_start, block_end)| {
+                let len = block_end - block_start;
+                let mut partials: Vec<PartialAggregate> = group_counts
+                    .iter()
+                    .map(|&g| PartialAggregate::identity(g, len))
+                    .collect();
+                for &segment in &touched {
+                    let year = &self.store.year_losses(segment)[block_start..block_end];
+                    let occ = &self.store.max_occ_losses(segment)[block_start..block_end];
+                    for &(mi, group) in &routing[segment] {
+                        partials[mi as usize].accumulate(group as usize, year, occ);
+                    }
+                }
+                partials
+            })
+            .collect();
+
+        // Adjacent-window concatenation per member, in block order.
+        let mut iter = partial_sets.into_iter();
+        let mut merged = match iter.next() {
+            Some(first) => first,
+            None => group_counts
+                .iter()
+                .map(|&g| PartialAggregate::identity(g, 0))
+                .collect(),
+        };
+        for set in iter {
+            merged = merged
+                .into_iter()
+                .zip(set)
+                .map(|(acc, block)| acc.combine_adjacent(block))
+                .collect();
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::{Dimension, LineOfBusiness, SegmentMeta};
+    use crate::exec::execute;
+    use crate::query::{Aggregate, Basis, QueryBuilder};
+    use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+    use catrisk_eventgen::peril::{Peril, Region};
+    use catrisk_finterms::layer::LayerId;
+    use catrisk_simkit::rng::RngFactory;
+
+    fn random_store(trials: usize, segments: usize, seed: u64) -> ResultStore {
+        let factory = RngFactory::new(seed);
+        let mut store = ResultStore::new(trials);
+        for s in 0..segments {
+            let mut rng = factory.stream(s as u64);
+            let outcomes: Vec<TrialOutcome> = (0..trials)
+                .map(|_| {
+                    let year = if rng.uniform() < 0.3 {
+                        rng.uniform() * 1.0e6
+                    } else {
+                        0.0
+                    };
+                    TrialOutcome {
+                        year_loss: year,
+                        max_occurrence_loss: year * rng.uniform(),
+                        nonzero_events: 0,
+                    }
+                })
+                .collect();
+            let meta = SegmentMeta::new(
+                LayerId((s / 4) as u32),
+                Peril::ALL[s % Peril::ALL.len()],
+                Region::ALL[(s / 2) % Region::ALL.len()],
+                LineOfBusiness::ALL[s % LineOfBusiness::ALL.len()],
+            );
+            store
+                .ingest(&YearLossTable::new(LayerId(s as u32), outcomes), meta)
+                .unwrap();
+        }
+        store
+    }
+
+    fn batch() -> Vec<Query> {
+        vec![
+            QueryBuilder::new()
+                .with_perils([Peril::Hurricane, Peril::Flood])
+                .group_by(Dimension::Region)
+                .aggregate(Aggregate::Mean)
+                .aggregate(Aggregate::Tvar { level: 0.99 })
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .with_perils([Peril::Hurricane, Peril::Flood])
+                .group_by(Dimension::Region)
+                .aggregate(Aggregate::Var { level: 0.99 })
+                .aggregate(Aggregate::EpCurve {
+                    basis: Basis::Aep,
+                    points: 10,
+                })
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .group_by(Dimension::Lob)
+                .aggregate(Aggregate::Pml {
+                    return_period: 100.0,
+                    basis: Basis::Oep,
+                })
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .trials(0..64)
+                .aggregate(Aggregate::Mean)
+                .aggregate(Aggregate::StdDev)
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn batched_results_match_per_query_execution() {
+        let store = random_store(257, 24, 99);
+        let queries = batch();
+        let session = QuerySession::new(&store);
+        assert_eq!(session.store().num_segments(), 24);
+        let batched = session.run(&queries).unwrap();
+        for (query, batched_result) in queries.iter().zip(&batched) {
+            let single = execute(&store, query).unwrap();
+            assert_eq!(
+                &single, batched_result,
+                "batched must be bit-identical to single"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let store = random_store(16, 4, 1);
+        let results = QuerySession::new(&store).run(&[]).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn invalid_query_in_batch_errors() {
+        let store = random_store(16, 4, 1);
+        let bad = QueryBuilder::new()
+            .trials(0..999)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert!(QuerySession::new(&store).run(&[bad]).is_err());
+    }
+}

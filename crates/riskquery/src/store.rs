@@ -1,0 +1,272 @@
+//! The columnar result store: ingested Year Loss Tables as cache-friendly
+//! column vectors plus dictionary-encoded dimension columns.
+
+use catrisk_engine::ylt::{AnalysisOutput, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+
+use crate::dict::Dictionary;
+use crate::dims::{LineOfBusiness, SegmentMeta};
+use crate::{QueryError, Result};
+
+/// Columnar store of simulation results.
+///
+/// Each ingested YLT becomes one *segment*: a contiguous run of
+/// `num_trials` values inside two loss columns (`year_loss` for aggregate /
+/// AEP analysis, `max_occ_loss` for occurrence / OEP analysis), plus one
+/// dictionary code per dimension.  Layout:
+///
+/// ```text
+/// year_loss:    [seg0 t0..tN | seg1 t0..tN | seg2 t0..tN | ...]
+/// max_occ_loss: [seg0 t0..tN | seg1 t0..tN | seg2 t0..tN | ...]
+/// peril_codes:  [seg0, seg1, seg2, ...]        (one u32 per segment)
+/// region_codes: [...]   lob_codes: [...]   layer_codes: [...]
+/// ```
+///
+/// Scans therefore stream sequentially through memory one segment slice at
+/// a time, and filters touch only the tiny per-segment code vectors — the
+/// "pushdown" half of the QuPARA mapping.
+#[derive(Debug, Clone, Default)]
+pub struct ResultStore {
+    num_trials: usize,
+    year_loss: Vec<f64>,
+    max_occ_loss: Vec<f64>,
+    layer_codes: Vec<u32>,
+    peril_codes: Vec<u32>,
+    region_codes: Vec<u32>,
+    lob_codes: Vec<u32>,
+    layer_dict: Dictionary<LayerId>,
+    peril_dict: Dictionary<Peril>,
+    region_dict: Dictionary<Region>,
+    lob_dict: Dictionary<LineOfBusiness>,
+    metas: Vec<SegmentMeta>,
+}
+
+impl ResultStore {
+    /// Creates an empty store for results over `num_trials` trials.
+    pub fn new(num_trials: usize) -> Self {
+        Self {
+            num_trials,
+            ..Self::default()
+        }
+    }
+
+    /// Ingests one YLT tagged with its dimensions, returning the new
+    /// segment's index.
+    pub fn ingest(&mut self, ylt: &YearLossTable, meta: SegmentMeta) -> Result<usize> {
+        if ylt.num_trials() != self.num_trials {
+            return Err(QueryError::Store(format!(
+                "segment {meta} has {} trials but the store holds {}-trial results",
+                ylt.num_trials(),
+                self.num_trials
+            )));
+        }
+        let segment = self.metas.len();
+        self.year_loss.reserve(self.num_trials);
+        self.max_occ_loss.reserve(self.num_trials);
+        for outcome in ylt.outcomes() {
+            self.year_loss.push(outcome.year_loss);
+            self.max_occ_loss.push(outcome.max_occurrence_loss);
+        }
+        self.layer_codes.push(self.layer_dict.intern(meta.layer));
+        self.peril_codes.push(self.peril_dict.intern(meta.peril));
+        self.region_codes.push(self.region_dict.intern(meta.region));
+        self.lob_codes.push(self.lob_dict.intern(meta.lob));
+        self.metas.push(meta);
+        Ok(segment)
+    }
+
+    /// Ingests every layer of an engine run, one segment per layer, tagged
+    /// with the corresponding metadata (`metas[i]` tags `output.layer(i)`).
+    pub fn ingest_output(&mut self, output: &AnalysisOutput, metas: &[SegmentMeta]) -> Result<()> {
+        if output.num_layers() != metas.len() {
+            return Err(QueryError::Store(format!(
+                "{} layers but {} segment tags",
+                output.num_layers(),
+                metas.len()
+            )));
+        }
+        // Validate everything before mutating, so a failed ingest leaves the
+        // store exactly as it was (all-or-nothing).
+        for (ylt, meta) in output.layers().iter().zip(metas) {
+            if ylt.num_trials() != self.num_trials {
+                return Err(QueryError::Store(format!(
+                    "segment {meta} has {} trials but the store holds {}-trial results",
+                    ylt.num_trials(),
+                    self.num_trials
+                )));
+            }
+        }
+        for (ylt, meta) in output.layers().iter().zip(metas) {
+            self.ingest(ylt, *meta)?;
+        }
+        Ok(())
+    }
+
+    /// Number of trials every segment holds.
+    pub fn num_trials(&self) -> usize {
+        self.num_trials
+    }
+
+    /// Number of ingested segments.
+    pub fn num_segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// The year-loss slice of one segment (one value per trial).
+    #[inline]
+    pub fn year_losses(&self, segment: usize) -> &[f64] {
+        let start = segment * self.num_trials;
+        &self.year_loss[start..start + self.num_trials]
+    }
+
+    /// The maximum-occurrence-loss slice of one segment.
+    #[inline]
+    pub fn max_occ_losses(&self, segment: usize) -> &[f64] {
+        let start = segment * self.num_trials;
+        &self.max_occ_loss[start..start + self.num_trials]
+    }
+
+    /// The dimension tags of one segment.
+    pub fn meta(&self, segment: usize) -> &SegmentMeta {
+        &self.metas[segment]
+    }
+
+    /// All segment tags in segment order.
+    pub fn metas(&self) -> &[SegmentMeta] {
+        &self.metas
+    }
+
+    /// Per-segment dictionary codes of the layer dimension.
+    pub fn layer_codes(&self) -> &[u32] {
+        &self.layer_codes
+    }
+
+    /// Per-segment dictionary codes of the peril dimension.
+    pub fn peril_codes(&self) -> &[u32] {
+        &self.peril_codes
+    }
+
+    /// Per-segment dictionary codes of the region dimension.
+    pub fn region_codes(&self) -> &[u32] {
+        &self.region_codes
+    }
+
+    /// Per-segment dictionary codes of the line-of-business dimension.
+    pub fn lob_codes(&self) -> &[u32] {
+        &self.lob_codes
+    }
+
+    /// The layer dictionary.
+    pub fn layer_dict(&self) -> &Dictionary<LayerId> {
+        &self.layer_dict
+    }
+
+    /// The peril dictionary.
+    pub fn peril_dict(&self) -> &Dictionary<Peril> {
+        &self.peril_dict
+    }
+
+    /// The region dictionary.
+    pub fn region_dict(&self) -> &Dictionary<Region> {
+        &self.region_dict
+    }
+
+    /// The line-of-business dictionary.
+    pub fn lob_dict(&self) -> &Dictionary<LineOfBusiness> {
+        &self.lob_dict
+    }
+
+    /// Approximate heap memory of the loss columns, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.year_loss.len() + self.max_occ_loss.len()) * std::mem::size_of::<f64>()
+            + (self.layer_codes.len()
+                + self.peril_codes.len()
+                + self.region_codes.len()
+                + self.lob_codes.len())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_engine::ylt::TrialOutcome;
+
+    fn outcome(year: f64, occ: f64) -> TrialOutcome {
+        TrialOutcome {
+            year_loss: year,
+            max_occurrence_loss: occ,
+            nonzero_events: 0,
+        }
+    }
+
+    fn meta(layer: u32, peril: Peril) -> SegmentMeta {
+        SegmentMeta::new(
+            LayerId(layer),
+            peril,
+            Region::Europe,
+            LineOfBusiness::Property,
+        )
+    }
+
+    #[test]
+    fn ingest_lays_out_columns() {
+        let mut store = ResultStore::new(2);
+        let s0 = store
+            .ingest(
+                &YearLossTable::new(LayerId(0), vec![outcome(1.0, 0.5), outcome(2.0, 2.0)]),
+                meta(0, Peril::Hurricane),
+            )
+            .unwrap();
+        let s1 = store
+            .ingest(
+                &YearLossTable::new(LayerId(1), vec![outcome(3.0, 3.0), outcome(0.0, 0.0)]),
+                meta(1, Peril::Flood),
+            )
+            .unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(store.num_segments(), 2);
+        assert_eq!(store.year_losses(0), &[1.0, 2.0]);
+        assert_eq!(store.year_losses(1), &[3.0, 0.0]);
+        assert_eq!(store.max_occ_losses(0), &[0.5, 2.0]);
+        assert_eq!(store.peril_codes(), &[0, 1]);
+        assert_eq!(*store.peril_dict().value(1), Peril::Flood);
+        assert_eq!(store.meta(1).layer, LayerId(1));
+        assert!(store.memory_bytes() >= 4 * 8);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn ingest_rejects_trial_mismatch() {
+        let mut store = ResultStore::new(3);
+        let err = store
+            .ingest(
+                &YearLossTable::new(LayerId(0), vec![outcome(1.0, 1.0)]),
+                meta(0, Peril::Hurricane),
+            )
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Store(_)));
+    }
+
+    #[test]
+    fn ingest_output_pairs_layers_with_tags() {
+        let out = AnalysisOutput::new(vec![
+            YearLossTable::new(LayerId(0), vec![outcome(1.0, 1.0)]),
+            YearLossTable::new(LayerId(1), vec![outcome(2.0, 2.0)]),
+        ]);
+        let mut store = ResultStore::new(1);
+        store
+            .ingest_output(&out, &[meta(0, Peril::Hurricane), meta(1, Peril::Flood)])
+            .unwrap();
+        assert_eq!(store.num_segments(), 2);
+        assert!(store
+            .ingest_output(&out, &[meta(0, Peril::Hurricane)])
+            .is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimal stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_custom`, `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros (both the positional and the
+//! `name/config/targets` forms).
+//!
+//! Measurement model: each benchmark runs one warm-up iteration followed by
+//! `sample_size` timed samples (one iteration per sample) and reports the
+//! minimum / median / maximum wall-clock time to stdout.  There is no
+//! statistical analysis, plotting or state persisted between runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as the display form of a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            repr: parameter.to_string(),
+        }
+    }
+
+    /// Id rendered as `name/parameter`.
+    pub fn new<N: std::fmt::Display, P: std::fmt::Display>(name: N, parameter: P) -> Self {
+        Self {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Collector passed to the benchmark closure; records one sample per call
+/// of the harness.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Times `sample_size` executions of `routine` (after one warm-up run).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `sample_size` calls of `routine(1)`, where the routine reports
+    /// its own measured duration (used by benches that time an inner region
+    /// or a simulated device).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        black_box(routine(1));
+        for _ in 0..self.sample_size {
+            self.samples.push(routine(1));
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{label:<50} no samples");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Disables plot generation (a no-op in the shim; kept for API parity).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.default_sample_size);
+        routine(&mut bencher);
+        report(&name.to_string(), &mut bencher.samples);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benches `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.repr), &mut bencher.samples);
+        self
+    }
+
+    /// Benches a closure within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &mut bencher.samples);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("custom", |b| b.iter_custom(Duration::from_nanos));
+        group.finish();
+    }
+
+    criterion_group!(shim_group, target);
+
+    #[test]
+    fn harness_runs() {
+        shim_group();
+        let mut c = Criterion::default().without_plots();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

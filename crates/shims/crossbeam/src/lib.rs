@@ -1,0 +1,75 @@
+//! Minimal stand-in for the `crossbeam` crate: only `thread::scope`, built
+//! on `std::thread::scope` (which stabilised after crossbeam's scoped
+//! threads and covers this workspace's usage).
+
+/// Scoped threads, API-compatible with `crossbeam::thread` as used here.
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam lets spawned threads spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a scoped thread, joined like `crossbeam`'s.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.  The closure receives the scope
+        /// so it can spawn further siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner: &'scope std::thread::Scope<'scope, 'env> = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the enclosing
+    /// environment can be spawned; all threads are joined before `scope`
+    /// returns.
+    ///
+    /// Unlike crossbeam, a panicking child that is explicitly joined inside
+    /// the closure propagates its panic instead of surfacing through the
+    /// returned `Result` — every call site in this workspace joins and
+    /// `expect`s each handle, so the observable behaviour matches.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_environment() {
+            let data = vec![1u32, 2, 3];
+            let data = &data;
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = (0..3).map(|i| scope.spawn(move |_| data[i] * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+            })
+            .unwrap();
+            assert_eq!(total, 60);
+        }
+
+        #[test]
+        fn nested_spawn_from_worker() {
+            let out = super::scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 7u8).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 7);
+        }
+    }
+}

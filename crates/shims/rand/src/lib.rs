@@ -1,0 +1,140 @@
+//! Minimal stand-in for the `rand` crate: the `RngCore` / `SeedableRng`
+//! core traits plus the `Rng::gen_range` extension, which is all this
+//! workspace uses (the generators and distributions themselves are
+//! implemented in `catrisk-simkit`).
+
+use std::ops::Range;
+
+/// Error type for fallible byte filling (never produced here).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("random number generator error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random number generation trait, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator constructible from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed;
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Builds the generator from a 64-bit state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value from the range.
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Unbiased uniform draw from `[0, bound)` via widening-multiply rejection
+/// (Lemire 2019).
+fn below<G: RngCore + ?Sized>(rng: &mut G, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (bound as u128);
+    let mut l = m as u64;
+    if l < bound {
+        let t = bound.wrapping_neg() % bound;
+        while l < t {
+            x = rng.next_u64();
+            m = (x as u128) * (bound as u128);
+            l = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! sample_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $ty {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below(rng, span) as $ty
+            }
+        }
+    )*};
+}
+
+sample_int_range!(u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..17);
+            assert!((10..17).contains(&v));
+        }
+        let f = rng.gen_range(-2.0..3.0);
+        assert!((-2.0..3.0).contains(&f));
+    }
+}

@@ -1,0 +1,465 @@
+//! Minimal stand-in for `rayon` implemented over `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the rayon API the workspace uses: `into_par_iter` /
+//! `par_iter` with the `map`, `map_init`, `filter_map` and `fold` adapters,
+//! the `collect` / `reduce` / `sum` terminals, and explicit thread pools
+//! (`ThreadPoolBuilder`, `ThreadPool::install`).
+//!
+//! Execution model: terminals split the materialised items into one
+//! contiguous chunk per worker and run each chunk on a scoped thread.
+//! Results are concatenated (or reduced) **in chunk order**, so `collect`
+//! preserves input order exactly like rayon's indexed collect, and `reduce`
+//! combines partial results deterministically for a fixed thread count.
+//! There is no work stealing; the engines in this workspace parallelise
+//! over uniformly sized trials, where static chunking is a good fit.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads terminals on this thread will use: the
+/// innermost installed pool's size, or the number of logical CPUs.
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by the
+/// shim; kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicit-size [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = one per logical CPU).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A "thread pool": in the shim, a resolved worker count that terminals
+/// running under [`ThreadPool::install`] will use.  Threads are spawned
+/// scoped per terminal rather than kept alive, which keeps the shim tiny at
+/// the cost of per-call spawn overhead.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+struct ThreadsGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count active on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let guard = ThreadsGuard {
+            prev: CURRENT_THREADS.with(Cell::get),
+        };
+        CURRENT_THREADS.with(|c| c.set(self.threads));
+        let result = op();
+        drop(guard);
+        result
+    }
+
+    /// This pool's worker-thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution core
+// ---------------------------------------------------------------------------
+
+/// Splits `items` into one contiguous chunk per worker, runs `per_chunk` on
+/// each chunk on a scoped thread, and returns the per-chunk results in
+/// chunk order.
+fn run_chunks<T: Send, R: Send>(items: Vec<T>, per_chunk: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return vec![per_chunk(items)];
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let per_chunk = &per_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || per_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker thread panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// A materialised parallel iterator: the source of every adapter chain.
+pub struct IterBase<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator over its elements.
+    fn into_par_iter(self) -> IterBase<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IterBase<T> {
+        IterBase { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for Range<$ty> {
+            type Item = $ty;
+            fn into_par_iter(self) -> IterBase<$ty> {
+                IterBase { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize);
+
+/// Borrowing conversion for slices and vectors (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send;
+    /// Returns a parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> IterBase<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IterBase<&'a T> {
+        IterBase {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IterBase<&'a T> {
+        IterBase {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters and terminals
+// ---------------------------------------------------------------------------
+
+/// `map` adapter.
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// `map_init` adapter.
+pub struct MapInit<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+/// `filter_map` adapter.
+pub struct FilterMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// `fold` adapter: a parallel iterator of per-chunk accumulators.
+pub struct Fold<T, ID, F> {
+    items: Vec<T>,
+    identity: ID,
+    fold: F,
+}
+
+impl<T: Send> IterBase<T> {
+    /// Maps each element through `f`.
+    pub fn map<O, F: Fn(T) -> O + Sync>(self, f: F) -> Map<T, F> {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Maps with per-worker scratch state created by `init`.
+    pub fn map_init<S, O, INIT, F>(self, init: INIT, f: F) -> MapInit<T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> O + Sync,
+    {
+        MapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<O, F: Fn(T) -> Option<O> + Sync>(self, f: F) -> FilterMap<T, F> {
+        FilterMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Folds each worker's chunk into a private accumulator.
+    pub fn fold<A, ID, F>(self, identity: ID, fold: F) -> Fold<T, ID, F>
+    where
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        Fold {
+            items: self.items,
+            identity,
+            fold,
+        }
+    }
+
+    /// Collects the elements unchanged.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> Map<T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        let f = &self.f;
+        let chunks = run_chunks(self.items, |chunk| {
+            chunk.into_iter().map(f).collect::<Vec<O>>()
+        });
+        C::from(chunks.into_iter().flatten().collect())
+    }
+
+    /// Reduces mapped elements with `combine`, starting each worker (and the
+    /// final combination) from `identity()`.  Partial results are combined
+    /// in chunk order.
+    pub fn reduce<ID, C>(self, identity: ID, combine: C) -> O
+    where
+        ID: Fn() -> O + Sync,
+        C: Fn(O, O) -> O + Sync,
+    {
+        let f = &self.f;
+        let id = &identity;
+        let combine_ref = &combine;
+        let partials = run_chunks(self.items, |chunk| {
+            chunk.into_iter().map(f).fold(id(), combine_ref)
+        });
+        partials.into_iter().fold(identity(), combine)
+    }
+
+    /// Sums the mapped elements (combined in input order).
+    pub fn sum<S: std::iter::Sum<O> + std::iter::Sum<S> + Send>(self) -> S {
+        let f = &self.f;
+        let partials = run_chunks(self.items, |chunk| chunk.into_iter().map(f).sum::<S>());
+        partials.into_iter().sum()
+    }
+}
+
+impl<T, S, O, INIT, F> MapInit<T, INIT, F>
+where
+    T: Send,
+    O: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> O + Sync,
+{
+    /// Runs the map in parallel (one scratch state per worker) and collects
+    /// results in input order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        let f = &self.f;
+        let init = &self.init;
+        let chunks = run_chunks(self.items, |chunk| {
+            let mut state = init();
+            chunk
+                .into_iter()
+                .map(|item| f(&mut state, item))
+                .collect::<Vec<O>>()
+        });
+        C::from(chunks.into_iter().flatten().collect())
+    }
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> Option<O> + Sync> FilterMap<T, F> {
+    /// Runs the filter-map in parallel and collects retained results in
+    /// input order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        let f = &self.f;
+        let chunks = run_chunks(self.items, |chunk| {
+            chunk.into_iter().filter_map(f).collect::<Vec<O>>()
+        });
+        C::from(chunks.into_iter().flatten().collect())
+    }
+}
+
+impl<T, A, ID, F> Fold<T, ID, F>
+where
+    T: Send,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, T) -> A + Sync,
+{
+    /// Combines the per-chunk accumulators in chunk order.
+    pub fn reduce<ID2, C>(self, identity: ID2, combine: C) -> A
+    where
+        ID2: Fn() -> A + Sync,
+        C: Fn(A, A) -> A + Sync,
+    {
+        let fold = &self.fold;
+        let id = &self.identity;
+        let partials = run_chunks(self.items, |chunk| chunk.into_iter().fold(id(), fold));
+        partials.into_iter().fold(identity(), combine)
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let id = || 0u64;
+        let total = (0..10_000u64)
+            .into_par_iter()
+            .fold(&id, |acc, i| acc + i)
+            .reduce(&id, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn map_reduce_deterministic() {
+        let out =
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| vec![i])
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn filter_map_drops_elements() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 2 == 0).then_some(i))
+            .collect();
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[1], 2);
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

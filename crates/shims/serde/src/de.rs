@@ -1,0 +1,189 @@
+//! Deserialization half of the shim.
+
+use crate::value::{from_value, Value};
+
+/// Error trait satisfied by every deserializer error type, mirroring
+/// `serde::de::Error`.
+pub trait Error: Sized + std::fmt::Display {
+    /// Builds an error from a display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete error type of the built-in [`ValueDeserializer`]
+/// (`crate::value::ValueDeserializer`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// Producer of parsed values.
+pub trait Deserializer<'de>: Sized {
+    /// Error reported on malformed input.
+    type Error: Error;
+
+    /// Hands out the parsed value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be reconstructed from the shim's data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn expected<E: Error, T>(what: &str, found: &Value) -> Result<T, E> {
+    Err(E::custom(format!(
+        "expected {what}, found {}",
+        found.kind()
+    )))
+}
+
+macro_rules! deserialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let out = match value {
+                    Value::U64(v) => <$ty>::try_from(v).ok(),
+                    Value::I64(v) => u64::try_from(v).ok().and_then(|v| <$ty>::try_from(v).ok()),
+                    other => return expected("an unsigned integer", &other),
+                };
+                out.ok_or_else(|| D::Error::custom(concat!("integer out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_signed {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let out = match value {
+                    Value::U64(v) => i64::try_from(v).ok().and_then(|v| <$ty>::try_from(v).ok()),
+                    Value::I64(v) => <$ty>::try_from(v).ok(),
+                    other => return expected("an integer", &other),
+                };
+                out.ok_or_else(|| D::Error::custom(concat!("integer out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            other => expected("a number", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(v) => Ok(v),
+            other => expected("a boolean", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(v) => Ok(v),
+            other => expected("a string", &other),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(D::Error::custom))
+                .collect(),
+            other => expected("a sequence", &other),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            D::Error::custom(format!(
+                "expected an array of length {N}, found length {len}"
+            ))
+        })
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<Des: Deserializer<'de>>(deserializer: Des) -> Result<Self, Des::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut items = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(items.next().expect("length checked"))
+                                .map_err(Des::Error::custom)?,
+                        )+))
+                    }
+                    Value::Seq(items) => Err(Des::Error::custom(format!(
+                        "expected a sequence of length {}, found length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => expected("a sequence", &other),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (2, A, B)
+    (3, A, B, C)
+    (4, A, B, C, D)
+    (5, A, B, C, D, E)
+}

@@ -1,0 +1,27 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the *subset* of the serde API it actually uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits and their derive macros
+//!   (structs with named fields, tuple structs, and enums with unit, tuple
+//!   and struct variants, in serde's externally-tagged representation);
+//! * the `#[serde(with = "module")]` field attribute;
+//! * the [`Serializer`] / [`Deserializer`] traits as used by hand-written
+//!   `with`-style helper modules (`serialize_some` / `serialize_none` and
+//!   `Option::<T>::deserialize`).
+//!
+//! Unlike real serde, the data model is a concrete [`value::Value`] tree
+//! (miniserde-style) rather than a streaming visitor API: serializers
+//! receive a fully built `Value` and deserializers hand one out.  This is
+//! slower than real serde but API-compatible with the call sites in this
+//! workspace, and `serde_json` (also vendored) round-trips the same JSON.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

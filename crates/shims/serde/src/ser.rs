@@ -1,0 +1,144 @@
+//! Serialization half of the shim.
+
+use crate::value::{to_value, Value};
+
+/// A value that can be serialized into the shim's data model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Consumer of serialized values.
+///
+/// Unlike real serde this is value-based: implementors receive one fully
+/// built [`Value`] tree.  The `serialize_some` / `serialize_none` helpers
+/// exist because hand-written `#[serde(with = "...")]` modules in this
+/// workspace call them.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type (never produced by the built-in serializers).
+    type Error;
+
+    /// Consumes a fully built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes `Some(value)`; the shim drops the `Some` wrapper exactly
+    /// like serde's JSON representation of options.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(to_value(value))
+    }
+
+    /// Serializes `None` as null.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    serializer.serialize_value(Value::U64(v as u64))
+                } else {
+                    serializer.serialize_value(Value::I64(v))
+                }
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}

@@ -1,0 +1,98 @@
+//! The concrete data-model tree shared by the serializer and deserializer.
+
+use crate::de::{DeError, Deserialize, Deserializer, Error as _};
+use crate::ser::{Serialize, Serializer};
+
+/// A serialized value: the shim's equivalent of serde's data model.
+///
+/// Maps are represented as ordered `(key, value)` pairs so that struct field
+/// order survives a round trip (and JSON output is deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative numbers).
+    I64(i64),
+    /// Unsigned integer (non-negative numbers).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::I64(_) | Value::U64(_) => "an integer",
+            Value::F64(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+}
+
+/// Serializer that materialises the value tree itself; it cannot fail.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = std::convert::Infallible;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Self::Error> {
+        Ok(value)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Deserializer that hands out an already-parsed [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        Self { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, Self::Error> {
+        Ok(self.value)
+    }
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Removes and returns the entry with the given key from an ordered map,
+/// failing with a "missing field" error when absent.  Used by derived
+/// `Deserialize` impls.
+pub fn take_entry(map: &mut Vec<(String, Value)>, key: &str) -> Result<Value, DeError> {
+    match map.iter().position(|(k, _)| k == key) {
+        Some(i) => Ok(map.remove(i).1),
+        None => Err(DeError::custom(format!("missing field `{key}`"))),
+    }
+}

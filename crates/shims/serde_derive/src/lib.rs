@@ -1,0 +1,542 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Parses the deriving item directly from the proc-macro token stream (no
+//! `syn`/`quote`, which are unavailable offline) and emits value-based
+//! `Serialize` / `Deserialize` impls against `serde::value::Value`.
+//!
+//! Supported shapes: structs with named fields, tuple structs, unit structs,
+//! and enums whose variants are unit, tuple or struct-like — all in serde's
+//! externally-tagged representation.  The only field attribute understood is
+//! `#[serde(with = "module")]`.  Generic types are not supported.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Extracts `with = "module"` from the tokens of a `#[serde(...)]` attribute
+/// bracket group, if present.
+fn serde_with_of_attr(attr: &Group) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            if id.to_string() == "with" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let text = lit.to_string();
+                        return Some(text.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips a run of outer attributes starting at `i`, returning the index
+/// after them and any `#[serde(with = "...")]` value found.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if with.is_none() {
+                        with = serde_with_of_attr(g);
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, with)
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past one type (or expression) until a top-level comma, tracking
+/// angle-bracket depth so commas inside generics do not terminate early.
+fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i64 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the fields of a brace-delimited named-field group.
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, with) = skip_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found `{other}`"),
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_until_comma(&tokens, i);
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesised tuple group.
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        count += 1;
+        i = skip_until_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        i = skip_until_comma(&tokens, i);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    if is_enum {
+        let group = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(group),
+        }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        Item::Struct { name, shape }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+const ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+/// Expression building a `Value` from an expression of a field's type,
+/// honouring `#[serde(with = "...")]`.
+fn field_to_value(expr: &str, with: &Option<String>) -> String {
+    match with {
+        Some(module) => format!(
+            "match {module}::serialize({expr}, ::serde::value::ValueSerializer) \
+             {{ Ok(__v) => __v, Err(__e) => match __e {{}} }}"
+        ),
+        None => format!("::serde::value::to_value({expr})"),
+    }
+}
+
+fn named_fields_to_map(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{}\".to_string(), {})",
+                f.name,
+                field_to_value(&access(f), &f.with)
+            )
+        })
+        .collect();
+    format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let value = match shape {
+                Shape::Named(fields) => {
+                    named_fields_to_map(fields, |f| format!("&self.{}", f.name))
+                }
+                Shape::Tuple(1) => "::serde::value::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::value::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "::serde::value::Value::Null".to_string(),
+            };
+            (name, value)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::value::Value::Map(vec![\
+                             (\"{vname}\".to_string(), ::serde::value::to_value(__f0))])"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::value::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::value::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), ::serde::value::Value::Seq(vec![{}]))])",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let map = named_fields_to_map(fields, |f| f.name.clone());
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::value::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), {map})])",
+                                binders.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(",\n")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 let __value = {body};\n\
+                 serializer.serialize_value(__value)\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression converting a bound `Value` named `__v` into a field's type,
+/// honouring `#[serde(with = "...")]`.
+fn field_from_value(with: &Option<String>) -> String {
+    match with {
+        Some(module) => format!(
+            "{module}::deserialize(::serde::value::ValueDeserializer::new(__v)).map_err({ERR})?"
+        ),
+        None => format!("::serde::value::from_value(__v).map_err({ERR})?"),
+    }
+}
+
+/// Statements constructing `{name}` (a struct or enum-variant path with
+/// named fields) from an ordered map bound to `__fields`.
+fn named_struct_from_map(path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{}: {{ let __v = ::serde::value::take_entry(&mut __fields, \"{}\")\
+                 .map_err({ERR})?; {} }}",
+                f.name,
+                f.name,
+                field_from_value(&f.with)
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+/// Statements constructing `{path}` (a tuple struct or tuple enum-variant
+/// path) of arity `n` from a sequence bound to `__items`.
+fn tuple_from_seq(path: &str, n: usize) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|_| {
+            format!(
+                "{{ let __v = __items.next().expect(\"length checked\"); \
+                 ::serde::value::from_value(__v).map_err({ERR})? }}"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let mut __items = __items.into_iter(); {path}({}) }}",
+        inits.join(", ")
+    )
+}
+
+fn expect_map(context: &str) -> String {
+    format!(
+        "let mut __fields = match __value {{\n\
+             ::serde::value::Value::Map(__m) => __m,\n\
+             __other => return Err({ERR}(format!(\
+                 \"expected a map for {context}, found {{}}\", __other.kind()))),\n\
+         }};"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => format!(
+                    "{}\nOk({})",
+                    expect_map(name),
+                    named_struct_from_map(name, fields)
+                ),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::value::from_value(__value).map_err({ERR})?))")
+                }
+                Shape::Tuple(n) => format!(
+                    "let __items = match __value {{\n\
+                         ::serde::value::Value::Seq(__s) if __s.len() == {n} => __s,\n\
+                         __other => return Err({ERR}(format!(\
+                             \"expected a sequence of length {n} for {name}, found {{}}\",\
+                             __other.kind()))),\n\
+                     }};\n\
+                     Ok({})",
+                    tuple_from_seq(name, *n)
+                ),
+                Shape::Unit => format!("let _ = __value; Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let build = match &v.shape {
+                        Shape::Tuple(1) => format!(
+                            "Ok({name}::{vname}(\
+                             ::serde::value::from_value(__payload).map_err({ERR})?))"
+                        ),
+                        Shape::Tuple(n) => format!(
+                            "{{ let __items = match __payload {{\n\
+                                 ::serde::value::Value::Seq(__s) if __s.len() == {n} => __s,\n\
+                                 __other => return Err({ERR}(format!(\
+                                     \"expected a sequence of length {n} for variant {vname}, \
+                                      found {{}}\", __other.kind()))),\n\
+                             }};\n\
+                             Ok({}) }}",
+                            tuple_from_seq(&format!("{name}::{vname}"), *n)
+                        ),
+                        Shape::Named(fields) => format!(
+                            "{{ let __value = __payload; {}\nOk({}) }}",
+                            expect_map(&format!("variant {vname}")),
+                            named_struct_from_map(&format!("{name}::{vname}"), fields)
+                        ),
+                        Shape::Unit => unreachable!(),
+                    };
+                    format!("\"{vname}\" => {build}")
+                })
+                .collect();
+            let body = format!(
+                "match __value {{\n\
+                     ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => Err({ERR}(format!(\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = __m.remove(0);\n\
+                         match __tag.as_str() {{\n\
+                             {data}\n\
+                             __other => Err({ERR}(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err({ERR}(format!(\
+                         \"expected a variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    data_arms.join(",\n") + ","
+                },
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 let __value = deserializer.take_value()?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the shim's `Serialize` for structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `Deserialize` for structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -70,7 +70,9 @@ pub struct ParamError {
 impl ParamError {
     /// Create a new parameter error from anything printable.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 

@@ -64,7 +64,11 @@ where
         .map(|range| {
             let expected = range.len();
             let out = f(range);
-            assert_eq!(out.len(), expected, "chunk function returned wrong number of results");
+            assert_eq!(
+                out.len(),
+                expected,
+                "chunk function returned wrong number of results"
+            );
             out
         })
         .collect();
@@ -88,7 +92,7 @@ where
 {
     (0..n)
         .into_par_iter()
-        .fold(&identity, |acc, i| fold(acc, i))
+        .fold(&identity, fold)
         .reduce(&identity, combine)
 }
 

@@ -63,10 +63,7 @@ impl SimRng {
 
     #[inline]
     fn next(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -228,7 +225,9 @@ impl RngFactory {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        RngFactory { seed: mix(self.seed, h) }
+        RngFactory {
+            seed: mix(self.seed, h),
+        }
     }
 }
 

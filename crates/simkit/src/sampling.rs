@@ -25,10 +25,14 @@ impl AliasTable {
             return Err(ParamError::new("AliasTable requires at least one weight"));
         }
         if weights.len() > u32::MAX as usize {
-            return Err(ParamError::new("AliasTable supports at most 2^32-1 categories"));
+            return Err(ParamError::new(
+                "AliasTable supports at most 2^32-1 categories",
+            ));
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
-            return Err(ParamError::new("AliasTable weights must be finite and non-negative"));
+            return Err(ParamError::new(
+                "AliasTable weights must be finite and non-negative",
+            ));
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
@@ -208,7 +212,10 @@ mod tests {
         assert_eq!(counts[1], 0);
         for (i, &w) in weights.iter().enumerate() {
             let observed = f64::from(counts[i]) / n as f64;
-            assert!((observed - w).abs() < 0.01, "category {i}: {observed} vs {w}");
+            assert!(
+                (observed - w).abs() < 0.01,
+                "category {i}: {observed} vs {w}"
+            );
         }
     }
 

@@ -147,6 +147,50 @@ impl RunningStats {
     }
 }
 
+/// Mean of a loss vector (0 when empty).
+///
+/// The shared scalar kernel behind `YearLossTable::mean_loss` and the query
+/// engine's `mean` aggregate — both call this, so their results agree by
+/// construction.
+pub fn mean_or_zero(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (`n` divisor; 0 when fewer than two
+/// observations), shared by `YearLossTable::loss_std_dev` and the query
+/// engine's `stddev` aggregate.
+pub fn population_std_dev(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = mean_or_zero(values);
+    let variance = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    variance.sqrt()
+}
+
+/// Largest value, folding from 0 (so it is 0 when empty — losses are
+/// non-negative), shared by `YearLossTable::max_loss` and the query
+/// engine's `maxloss` aggregate.
+pub fn max_or_zero(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Fraction of strictly positive values (0 when empty), shared by
+/// `YearLossTable::nonzero_fraction` and the query engine's `attach`
+/// aggregate.
+pub fn positive_fraction(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().filter(|&&x| x > 0.0).count() as f64 / values.len() as f64
+    }
+}
+
 /// Linear-interpolation quantile (R type-7 / Excel `PERCENTILE.INC`) of a
 /// **sorted ascending** slice.
 ///
@@ -244,7 +288,10 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a histogram with `bins` equal-width bins covering `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(bins > 0 && hi > lo, "histogram requires hi > lo and bins > 0");
+        assert!(
+            bins > 0 && hi > lo,
+            "histogram requires hi > lo and bins > 0"
+        );
         Self {
             lo,
             hi,

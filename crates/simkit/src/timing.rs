@@ -26,7 +26,9 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since the stopwatch was started.
@@ -156,7 +158,10 @@ impl Default for ThroughputMeter {
 impl ThroughputMeter {
     /// Creates a meter starting now with zero items.
     pub fn new() -> Self {
-        Self { started: Instant::now(), items: 0 }
+        Self {
+            started: Instant::now(),
+            items: 0,
+        }
     }
 
     /// Records `n` processed items.

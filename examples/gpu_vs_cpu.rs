@@ -9,14 +9,14 @@
 
 use std::time::Instant;
 
-use catrisk_bench::{build_input, WorkloadSpec};
 use catrisk::engine::chunked::ChunkedEngine;
 use catrisk::engine::parallel::ParallelEngine;
-use catrisk::engine::sequential::SequentialEngine;
 use catrisk::engine::phases::PhaseBreakdown;
+use catrisk::engine::sequential::SequentialEngine;
 use catrisk::gpusim::executor::Executor;
 use catrisk::gpusim::kernel::LaunchConfig;
 use catrisk::gpusim::kernels::{run_gpu_analysis, total_simulated_seconds, GpuVariant};
+use catrisk_bench::{build_input, WorkloadSpec};
 
 fn main() {
     let spec = WorkloadSpec {
@@ -45,18 +45,34 @@ fn main() {
     let start = Instant::now();
     let parallel = ParallelEngine::new().run(&input);
     let t_par = start.elapsed().as_secs_f64();
-    assert_eq!(reference.max_abs_difference(&parallel), 0.0, "parallel engine must match");
+    assert_eq!(
+        reference.max_abs_difference(&parallel),
+        0.0,
+        "parallel engine must match"
+    );
 
     let start = Instant::now();
     let chunked = ChunkedEngine::new(64).run(&input);
     let t_chunk = start.elapsed().as_secs_f64();
-    assert_eq!(reference.max_abs_difference(&chunked), 0.0, "chunked engine must match");
+    assert_eq!(
+        reference.max_abs_difference(&chunked),
+        0.0,
+        "chunked engine must match"
+    );
 
     let executor = Executor::tesla_c2075();
-    let (gpu_basic, basic_launches) =
-        run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(256))
-            .expect("gpu basic");
-    assert_eq!(reference.max_abs_difference(&gpu_basic), 0.0, "gpu basic kernel must match");
+    let (gpu_basic, basic_launches) = run_gpu_analysis(
+        &executor,
+        &input,
+        GpuVariant::Basic,
+        LaunchConfig::with_block_size(256),
+    )
+    .expect("gpu basic");
+    assert_eq!(
+        reference.max_abs_difference(&gpu_basic),
+        0.0,
+        "gpu basic kernel must match"
+    );
     let (gpu_chunked, chunked_launches) = run_gpu_analysis(
         &executor,
         &input,
@@ -64,17 +80,41 @@ fn main() {
         LaunchConfig::with_block_size(64),
     )
     .expect("gpu chunked");
-    assert_eq!(reference.max_abs_difference(&gpu_chunked), 0.0, "gpu chunked kernel must match");
+    assert_eq!(
+        reference.max_abs_difference(&gpu_chunked),
+        0.0,
+        "gpu chunked kernel must match"
+    );
 
     println!("\nall five engines produced identical Year Loss Tables.\n");
     println!("{:<26} {:>12} {:>10}", "engine", "seconds", "vs seq");
     println!("{:<26} {:>12.3} {:>10.2}", "sequential (wall)", t_seq, 1.0);
-    println!("{:<26} {:>12.3} {:>10.2}", "parallel cpu (wall)", t_par, t_seq / t_par);
-    println!("{:<26} {:>12.3} {:>10.2}", "chunked cpu (wall)", t_chunk, t_seq / t_chunk);
+    println!(
+        "{:<26} {:>12.3} {:>10.2}",
+        "parallel cpu (wall)",
+        t_par,
+        t_seq / t_par
+    );
+    println!(
+        "{:<26} {:>12.3} {:>10.2}",
+        "chunked cpu (wall)",
+        t_chunk,
+        t_seq / t_chunk
+    );
     let t_basic = total_simulated_seconds(&basic_launches);
     let t_gchunk = total_simulated_seconds(&chunked_launches);
-    println!("{:<26} {:>12.3} {:>10.2}", "gpu basic (simulated)", t_basic, t_seq / t_basic);
-    println!("{:<26} {:>12.3} {:>10.2}", "gpu chunked (simulated)", t_gchunk, t_seq / t_gchunk);
+    println!(
+        "{:<26} {:>12.3} {:>10.2}",
+        "gpu basic (simulated)",
+        t_basic,
+        t_seq / t_basic
+    );
+    println!(
+        "{:<26} {:>12.3} {:>10.2}",
+        "gpu chunked (simulated)",
+        t_gchunk,
+        t_seq / t_gchunk
+    );
 
     let basic = &basic_launches[0];
     println!(
@@ -93,6 +133,8 @@ fn main() {
     );
 
     let (_, timer) = SequentialEngine::new().run_instrumented(&input);
-    println!("\nphase breakdown of the sequential engine (paper Fig. 6b reports ~78% in ELT lookups):");
+    println!(
+        "\nphase breakdown of the sequential engine (paper Fig. 6b reports ~78% in ELT lookups):"
+    );
     print!("{}", PhaseBreakdown::from_timer(&timer).to_table());
 }

@@ -27,7 +27,11 @@ fn main() {
 
     // Shared catalog and YET for the whole book ("a consistent lens").
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 30_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+        &CatalogConfig {
+            num_events: 30_000,
+            annual_event_budget: 1_000.0,
+            rate_tail_index: 1.2,
+        },
         &factory,
     )
     .expect("catalog");
@@ -59,8 +63,13 @@ fn main() {
     // The book: three in-force contracts.
     let mut portfolio = Portfolio::new("UW year 2012");
     portfolio.add(
-        Contract::new(ContractId(0), "US wind 40 xs 10", Treaty::cat_xl(0.10 * scale, 0.40 * scale), vec![0])
-            .with_premium(0.06 * scale),
+        Contract::new(
+            ContractId(0),
+            "US wind 40 xs 10",
+            Treaty::cat_xl(0.10 * scale, 0.40 * scale),
+            vec![0],
+        )
+        .with_premium(0.06 * scale),
     );
     portfolio.add(
         Contract::new(
@@ -79,7 +88,10 @@ fn main() {
         Contract::new(
             ContractId(2),
             "Europe stop loss",
-            Treaty::AggregateXl { retention: 0.2 * scale, limit: 0.6 * scale },
+            Treaty::AggregateXl {
+                retention: 0.2 * scale,
+                limit: 0.6 * scale,
+            },
             vec![2],
         )
         .with_premium(0.04 * scale),
@@ -91,9 +103,16 @@ fn main() {
 
     // Price each contract technically and compare with the booked premium.
     let pricing = PricingConfig::default();
-    println!("{:<30} {:>14} {:>14} {:>14}", "contract", "expected loss", "tech premium", "booked premium");
+    println!(
+        "{:<30} {:>14} {:>14} {:>14}",
+        "contract", "expected loss", "tech premium", "booked premium"
+    );
     for (i, contract) in result.portfolio.contracts.iter().enumerate() {
-        let quote = price_ylt(result.contract_ylt(i), contract.layer_terms().max_annual_recovery(), &pricing);
+        let quote = price_ylt(
+            result.contract_ylt(i),
+            contract.layer_terms().max_annual_recovery(),
+            &pricing,
+        );
         println!(
             "{:<30} {:>14.0} {:>14.0} {:>14.0}",
             contract.name, quote.expected_loss, quote.gross_premium, contract.premium
@@ -115,9 +134,10 @@ fn main() {
     );
     let mut with_candidate = result.portfolio.clone();
     with_candidate.add(candidate);
-    let candidate_result = PortfolioAnalysis::build(with_candidate, &elts, Arc::clone(&yet), LookupKind::Direct)
-        .expect("analysis")
-        .run();
+    let candidate_result =
+        PortfolioAnalysis::build(with_candidate, &elts, Arc::clone(&yet), LookupKind::Direct)
+            .expect("analysis")
+            .run();
     let candidate_losses = candidate_result.contract_ylt(3).losses();
     let marginal = MarginalAnalysis::new(&result.portfolio_losses(), &candidate_losses, 0.99);
     println!(
@@ -126,7 +146,10 @@ fn main() {
         marginal.marginal_tvar,
         100.0 * marginal.diversification_benefit
     );
-    println!("marginal-capital price at 8% cost of capital: {:.0}", marginal.marginal_capital_price(0.08));
+    println!(
+        "marginal-capital price at 8% cost of capital: {:.0}",
+        marginal.marginal_capital_price(0.08)
+    );
 
     // Enterprise roll-up by business unit.
     let units = vec![

@@ -32,26 +32,46 @@ fn main() {
 
     // 1. Stochastic event catalog (20k events, ~1000 occurrences/year).
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 20_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+        &CatalogConfig {
+            num_events: 20_000,
+            annual_event_budget: 1_000.0,
+            rate_tail_index: 1.2,
+        },
         &factory,
     )
     .expect("catalog");
-    println!("catalog: {} events, {:.0} expected occurrences/year", catalog.len(), catalog.total_annual_rate());
+    println!(
+        "catalog: {} events, {:.0} expected occurrences/year",
+        catalog.len(),
+        catalog.total_annual_rate()
+    );
 
     // 2. Exposure database + catastrophe model -> ELT.
     let exposure = ExposureConfig::regional("gulf-coast-book", Region::NorthAmericaEast, 2_000)
         .generate(&factory)
         .expect("exposure");
-    println!("exposure: {} locations, {:.1}M total insured value", exposure.len(), exposure.total_tiv() / 1.0e6);
+    println!(
+        "exposure: {} locations, {:.1}M total insured value",
+        exposure.len(),
+        exposure.total_tiv() / 1.0e6
+    );
     let model = CatModel::new(CatModelConfig::default()).expect("model");
     let elt = model.run(&catalog, &exposure, &factory);
-    println!("ELT: {} events with non-zero loss, largest {:.1}M", elt.len(), elt.max_loss() / 1.0e6);
+    println!(
+        "ELT: {} events with non-zero loss, largest {:.1}M",
+        elt.len(),
+        elt.max_loss() / 1.0e6
+    );
 
     // 3. Year Event Table: 50k alternative views of the contractual year.
     let yet = YetGenerator::new(&catalog, YetConfig::with_trials(50_000))
         .expect("generator")
         .generate(&factory);
-    println!("YET: {} trials, {:.0} events/trial on average", yet.num_trials(), yet.avg_events_per_trial());
+    println!(
+        "YET: {} trials, {:.0} events/trial on average",
+        yet.num_trials(),
+        yet.avg_events_per_trial()
+    );
 
     // 4. A Cat XL layer over the ELT.
     let attachment = 0.05 * elt.max_loss();

@@ -29,7 +29,11 @@ fn main() {
     // Prepare the world once (this is the "pre-processing stage"; it would be
     // done before the phone call).
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 25_000, annual_event_budget: 1_000.0, rate_tail_index: 1.2 },
+        &CatalogConfig {
+            num_events: 25_000,
+            annual_event_budget: 1_000.0,
+            rate_tail_index: 1.2,
+        },
         &factory,
     )
     .expect("catalog");
@@ -40,7 +44,13 @@ fn main() {
     ];
     let elts: Vec<_> = exposures
         .iter()
-        .map(|cfg| model.run(&catalog, &cfg.clone().generate(&factory).expect("exposure"), &factory))
+        .map(|cfg| {
+            model.run(
+                &catalog,
+                &cfg.clone().generate(&factory).expect("exposure"),
+                &factory,
+            )
+        })
         .collect();
     let yet = YetGenerator::new(&catalog, YetConfig::with_trials(50_000))
         .expect("generator")
@@ -54,8 +64,12 @@ fn main() {
     builder.add_layer_over(&[0], LayerTerms::unlimited()); // placeholder layer
     let input = builder.build().expect("input");
 
-    let quoter = RealTimeQuoter::new(&input, Some(50_000), PricingConfig::default()).expect("quoter");
-    println!("quoting against {} trials; exposure books: florida + caribbean\n", quoter.trials());
+    let quoter =
+        RealTimeQuoter::new(&input, Some(50_000), PricingConfig::default()).expect("quoter");
+    println!(
+        "quoting against {} trials; exposure books: florida + caribbean\n",
+        quoter.trials()
+    );
 
     let scale = elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
     let alternatives = [
@@ -68,7 +82,10 @@ fn main() {
             agg_retention: 0.05 * scale,
             agg_limit: 0.60 * scale,
         },
-        Treaty::QuotaShare { cession: 0.25, event_limit: 0.40 * scale },
+        Treaty::QuotaShare {
+            cession: 0.25,
+            event_limit: 0.40 * scale,
+        },
     ];
 
     println!(
@@ -86,5 +103,7 @@ fn main() {
             quoted.elapsed.as_secs_f64()
         );
     }
-    println!("\neach row re-ran the full aggregate analysis; the paper's target is ~1s at 50k trials.");
+    println!(
+        "\neach row re-ran the full aggregate analysis; the paper's target is ~1s at 50k trials."
+    );
 }

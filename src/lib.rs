@@ -14,9 +14,13 @@
 //! 4. run the **Aggregate Risk Engine** sequentially, on all cores, or on the
 //!    simulated many-core device ([`engine`], [`gpusim`]);
 //! 5. derive **PML / VaR / TVaR** and price contracts ([`metrics`],
-//!    [`portfolio`]).
+//!    [`portfolio`]);
+//! 6. ingest the Year Loss Tables into a **columnar query store** and answer
+//!    ad-hoc aggregate risk queries — filters, group-bys, EP curves,
+//!    VaR/TVaR, PML — QuPARA-style ([`riskquery`]).
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk-through.
+//! See `examples/quickstart.rs` for an end-to-end walk-through and
+//! `examples/adhoc_queries.rs` for the query subsystem.
 
 #![warn(missing_docs)]
 
@@ -28,6 +32,7 @@ pub use catrisk_gpusim as gpusim;
 pub use catrisk_lookup as lookup;
 pub use catrisk_metrics as metrics;
 pub use catrisk_portfolio as portfolio;
+pub use catrisk_riskquery as riskquery;
 pub use catrisk_simkit as simkit;
 
 /// Commonly used types, re-exported for convenience.

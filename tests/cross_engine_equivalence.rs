@@ -33,7 +33,11 @@ use catrisk::prelude::RngFactory;
 fn pipeline_input(lookup: LookupKind) -> AnalysisInput {
     let factory = RngFactory::new(424242);
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 8_000, annual_event_budget: 400.0, rate_tail_index: 1.2 },
+        &CatalogConfig {
+            num_events: 8_000,
+            annual_event_budget: 400.0,
+            rate_tail_index: 1.2,
+        },
         &factory,
     )
     .expect("catalog");
@@ -61,8 +65,14 @@ fn pipeline_input(lookup: LookupKind) -> AnalysisInput {
         .iter()
         .map(|elt| builder.add_elt(&elt.loss_pairs(), elt.financial_terms))
         .collect();
-    builder.add_layer_over(&indices, Treaty::cat_xl(0.05 * scale, 0.4 * scale).layer_terms());
-    builder.add_layer_over(&indices[..2], LayerTerms::aggregate(0.1 * scale, 0.8 * scale).unwrap());
+    builder.add_layer_over(
+        &indices,
+        Treaty::cat_xl(0.05 * scale, 0.4 * scale).layer_terms(),
+    );
+    builder.add_layer_over(
+        &indices[..2],
+        LayerTerms::aggregate(0.1 * scale, 0.8 * scale).unwrap(),
+    );
     builder.add_layer_over(
         &[indices[2]],
         LayerTerms::new(0.02 * scale, 0.3 * scale, 0.05 * scale, 0.5 * scale).unwrap(),
@@ -74,15 +84,26 @@ fn pipeline_input(lookup: LookupKind) -> AnalysisInput {
 fn all_cpu_engines_match_sequential() {
     let input = pipeline_input(LookupKind::Direct);
     let reference = SequentialEngine::new().run(&input);
-    assert!(reference.layers().iter().any(|ylt| ylt.mean_loss() > 0.0), "workload must be non-trivial");
+    assert!(
+        reference.layers().iter().any(|ylt| ylt.mean_loss() > 0.0),
+        "workload must be non-trivial"
+    );
 
     for threads in [1, 2, 5, 16] {
         let out = ParallelEngine::with_threads(threads).run(&input);
-        assert_eq!(reference.max_abs_difference(&out), 0.0, "parallel {threads} threads");
+        assert_eq!(
+            reference.max_abs_difference(&out),
+            0.0,
+            "parallel {threads} threads"
+        );
     }
     for (threads, items) in [(2, 8), (4, 32)] {
         let out = ParallelEngine::oversubscribed(threads, items).run(&input);
-        assert_eq!(reference.max_abs_difference(&out), 0.0, "oversubscribed {threads}x{items}");
+        assert_eq!(
+            reference.max_abs_difference(&out),
+            0.0,
+            "oversubscribed {threads}x{items}"
+        );
     }
     for chunk in [1, 3, 4, 16, 500] {
         let out = ChunkedEngine::new(chunk).run(&input);
@@ -115,10 +136,18 @@ fn gpu_kernels_match_sequential() {
     let executor = Executor::tesla_c2075();
 
     for tpb in [64u32, 256, 512] {
-        let (out, launches) =
-            run_gpu_analysis(&executor, &input, GpuVariant::Basic, LaunchConfig::with_block_size(tpb))
-                .expect("basic launch");
-        assert_eq!(reference.max_abs_difference(&out), 0.0, "gpu basic tpb={tpb}");
+        let (out, launches) = run_gpu_analysis(
+            &executor,
+            &input,
+            GpuVariant::Basic,
+            LaunchConfig::with_block_size(tpb),
+        )
+        .expect("basic launch");
+        assert_eq!(
+            reference.max_abs_difference(&out),
+            0.0,
+            "gpu basic tpb={tpb}"
+        );
         assert!(launches.iter().all(|l| l.simulated_seconds() > 0.0));
     }
     for chunk in [1usize, 4, 12, 32] {
@@ -129,7 +158,11 @@ fn gpu_kernels_match_sequential() {
             LaunchConfig::with_block_size(64),
         )
         .expect("chunked launch");
-        assert_eq!(reference.max_abs_difference(&out), 0.0, "gpu chunked chunk={chunk}");
+        assert_eq!(
+            reference.max_abs_difference(&out),
+            0.0,
+            "gpu chunked chunk={chunk}"
+        );
     }
 }
 
@@ -139,5 +172,130 @@ fn all_lookup_structures_give_identical_results() {
     for kind in [LookupKind::Sorted, LookupKind::Hashed, LookupKind::Cuckoo] {
         let out = SequentialEngine::new().run(&pipeline_input(kind));
         assert_eq!(reference.max_abs_difference(&out), 0.0, "{kind}");
+    }
+}
+
+#[test]
+fn query_results_are_identical_across_engines() {
+    use catrisk::engine::ylt::{AnalysisOutput, YearLossTable};
+    use catrisk::eventgen::peril::Peril;
+    use catrisk::finterms::terms::FinancialTerms;
+    use catrisk::riskquery::prelude::*;
+    use catrisk::riskquery::{SegmentedBook, SegmentedInput};
+
+    // A dimension-sliced input through the full catastrophe-model pipeline.
+    let factory = RngFactory::new(77);
+    let catalog = EventCatalog::generate(
+        &CatalogConfig {
+            num_events: 6_000,
+            annual_event_budget: 350.0,
+            rate_tail_index: 1.25,
+        },
+        &factory,
+    )
+    .expect("catalog");
+    let model = CatModel::new(CatModelConfig::default()).expect("model");
+    let regions = [Region::NorthAmericaEast, Region::Europe, Region::Japan];
+    let lobs = [
+        LineOfBusiness::Property,
+        LineOfBusiness::Marine,
+        LineOfBusiness::Energy,
+    ];
+    let yet = Arc::new(
+        YetGenerator::new(&catalog, YetConfig::with_trials(600))
+            .expect("generator")
+            .generate(&factory),
+    );
+    let books: Vec<SegmentedBook> = regions
+        .iter()
+        .zip(lobs)
+        .enumerate()
+        .map(|(i, (region, lob))| {
+            let exposure = ExposureConfig::regional(format!("qbook-{i}"), *region, 400)
+                .generate(&factory)
+                .expect("exposure");
+            let elt = model.run(&catalog, &exposure, &factory);
+            let scale = (elt.total_mean_loss() / 1_000.0).max(1.0);
+            SegmentedBook {
+                pairs: elt.loss_pairs(),
+                financial_terms: FinancialTerms::pass_through(),
+                layer_terms: LayerTerms::new(0.05 * scale, 5.0 * scale, 0.0, 20.0 * scale)
+                    .expect("terms"),
+                region: *region,
+                lob,
+            }
+        })
+        .collect();
+    let segmented = SegmentedInput::build(yet, &catalog, &books).expect("segmented input");
+
+    // The same batch of ad-hoc queries every store will answer.
+    let queries = vec![
+        QueryBuilder::new()
+            .with_perils([Peril::Hurricane, Peril::Flood])
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .build()
+            .expect("query"),
+        QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Var { level: 0.995 })
+            .aggregate(Aggregate::Pml {
+                return_period: 100.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .expect("query"),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .trials(100..500)
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 12,
+            })
+            .aggregate(Aggregate::StdDev)
+            .build()
+            .expect("query"),
+    ];
+
+    let answer = |output: &AnalysisOutput| -> Vec<QueryResult> {
+        let store = segmented.ingest(output).expect("ingest");
+        QuerySession::new(&store).run(&queries).expect("batch")
+    };
+
+    let reference = answer(&SequentialEngine::new().run(&segmented.input));
+    assert!(
+        reference.iter().any(|r| !r.rows.is_empty()),
+        "queries must produce non-trivial results"
+    );
+
+    for threads in [1, 3, 8] {
+        let results = answer(&ParallelEngine::with_threads(threads).run(&segmented.input));
+        assert_eq!(reference, results, "parallel engine, {threads} threads");
+    }
+    for chunk in [1, 16, 300] {
+        let results = answer(&ChunkedEngine::new(chunk).run(&segmented.input));
+        assert_eq!(reference, results, "chunked engine, chunk {chunk}");
+    }
+    {
+        // Streaming: reassemble block outputs into one AnalysisOutput.
+        let mut collected: Vec<Vec<TrialOutcome>> =
+            vec![Vec::new(); segmented.input.layers().len()];
+        StreamingEngine::new(113).run_with(&segmented.input, |_, _, block| {
+            for (i, ylt) in block.layers().iter().enumerate() {
+                collected[i].extend_from_slice(ylt.outcomes());
+            }
+        });
+        let output = AnalysisOutput::new(
+            segmented
+                .input
+                .layers()
+                .iter()
+                .zip(collected)
+                .map(|(layer, outcomes)| YearLossTable::new(layer.id, outcomes))
+                .collect(),
+        );
+        let results = answer(&output);
+        assert_eq!(reference, results, "streaming engine");
     }
 }

@@ -26,7 +26,11 @@ struct Pipeline {
 fn build_pipeline(trials: usize) -> Pipeline {
     let factory = RngFactory::new(20_120_101);
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 10_000, annual_event_budget: 600.0, rate_tail_index: 1.2 },
+        &CatalogConfig {
+            num_events: 10_000,
+            annual_event_budget: 600.0,
+            rate_tail_index: 1.2,
+        },
         &factory,
     )
     .expect("catalog");
@@ -34,7 +38,11 @@ fn build_pipeline(trials: usize) -> Pipeline {
     assert!((catalog.total_annual_rate() - 600.0).abs() < 1e-6);
 
     let model = CatModel::new(CatModelConfig::default()).expect("model");
-    let regions = [Region::NorthAmericaEast, Region::NorthAmericaWest, Region::Europe];
+    let regions = [
+        Region::NorthAmericaEast,
+        Region::NorthAmericaWest,
+        Region::Europe,
+    ];
     let elts: Vec<_> = regions
         .iter()
         .enumerate()
@@ -43,8 +51,14 @@ fn build_pipeline(trials: usize) -> Pipeline {
                 .generate(&factory)
                 .expect("exposure");
             let elt = model.run(&catalog, &exposure, &factory);
-            assert!(!elt.is_empty(), "every regional book should see some events");
-            assert!(elt.max_loss() <= exposure.total_tiv(), "losses bounded by insured value");
+            assert!(
+                !elt.is_empty(),
+                "every regional book should see some events"
+            );
+            assert!(
+                elt.max_loss() <= exposure.total_tiv(),
+                "losses bounded by insured value"
+            );
             elt
         })
         .collect();
@@ -55,15 +69,25 @@ fn build_pipeline(trials: usize) -> Pipeline {
     yet.validate().expect("structurally valid YET");
     assert_eq!(yet.num_trials(), trials);
     let avg = yet.avg_events_per_trial();
-    assert!((avg - 600.0).abs() < 30.0, "events per trial should match the catalog budget, got {avg}");
+    assert!(
+        (avg - 600.0).abs() < 30.0,
+        "events per trial should match the catalog budget, got {avg}"
+    );
 
-    Pipeline { elts, yet: Arc::new(yet) }
+    Pipeline {
+        elts,
+        yet: Arc::new(yet),
+    }
 }
 
 #[test]
 fn full_pipeline_produces_consistent_portfolio_metrics() {
     let pipeline = build_pipeline(4_000);
-    let scale = pipeline.elts.iter().map(|e| e.max_loss()).fold(0.0, f64::max);
+    let scale = pipeline
+        .elts
+        .iter()
+        .map(|e| e.max_loss())
+        .fold(0.0, f64::max);
 
     let mut portfolio = Portfolio::new("integration");
     portfolio.add(Contract::new(
@@ -75,7 +99,10 @@ fn full_pipeline_produces_consistent_portfolio_metrics() {
     portfolio.add(Contract::new(
         ContractId(1),
         "quake stop loss",
-        Treaty::AggregateXl { retention: 0.05 * scale, limit: 0.7 * scale },
+        Treaty::AggregateXl {
+            retention: 0.05 * scale,
+            limit: 0.7 * scale,
+        },
         vec![1],
     ));
     portfolio.add(Contract::new(
@@ -90,9 +117,13 @@ fn full_pipeline_produces_consistent_portfolio_metrics() {
         vec![0, 1, 2],
     ));
 
-    let analysis =
-        PortfolioAnalysis::build(portfolio, &pipeline.elts, Arc::clone(&pipeline.yet), LookupKind::Direct)
-            .expect("analysis");
+    let analysis = PortfolioAnalysis::build(
+        portfolio,
+        &pipeline.elts,
+        Arc::clone(&pipeline.yet),
+        LookupKind::Direct,
+    )
+    .expect("analysis");
     let result = analysis.run();
 
     // Per-contract sanity.
@@ -104,7 +135,10 @@ fn full_pipeline_produces_consistent_portfolio_metrics() {
         for outcome in ylt.outcomes() {
             assert!(outcome.year_loss >= 0.0);
             if cap.is_finite() {
-                assert!(outcome.year_loss <= cap + 1e-6, "annual loss must respect the aggregate limit");
+                assert!(
+                    outcome.year_loss <= cap + 1e-6,
+                    "annual loss must respect the aggregate limit"
+                );
             }
             if terms.occ_limit.is_finite() {
                 assert!(outcome.max_occurrence_loss <= terms.occ_limit + 1e-6);
@@ -135,7 +169,10 @@ fn full_pipeline_produces_consistent_portfolio_metrics() {
     let v99 = var(&portfolio_losses, 0.99);
     let t99 = tvar(&portfolio_losses, 0.99);
     assert!(t99 >= v99);
-    assert!((v99 - pml100).abs() < 1e-6, "VaR99 equals the 100-year PML by construction");
+    assert!(
+        (v99 - pml100).abs() < 1e-6,
+        "VaR99 equals the 100-year PML by construction"
+    );
 
     // The portfolio report reflects the same numbers.
     let report = result.portfolio_report();
@@ -158,9 +195,13 @@ fn more_trials_reduce_sampling_error_of_the_mean() {
             Treaty::cat_xl(0.01 * scale, scale),
             vec![0, 1, 2],
         ));
-        let analysis =
-            PortfolioAnalysis::build(portfolio, &pipeline.elts, Arc::clone(&pipeline.yet), LookupKind::Direct)
-                .expect("analysis");
+        let analysis = PortfolioAnalysis::build(
+            portfolio,
+            &pipeline.elts,
+            Arc::clone(&pipeline.yet),
+            LookupKind::Direct,
+        )
+        .expect("analysis");
         let result = analysis.run();
         let losses = result.contract_ylt(0).losses();
         let report = catrisk::metrics::convergence::convergence_table(&losses, 1);

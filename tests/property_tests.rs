@@ -10,11 +10,16 @@ use proptest::prelude::*;
 use catrisk::engine::input::AnalysisInputBuilder;
 use catrisk::engine::parallel::ParallelEngine;
 use catrisk::engine::sequential::SequentialEngine;
+use catrisk::engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk::eventgen::peril::{Peril, Region};
 use catrisk::finterms::apply::{layer_terms_pipeline, layer_terms_reference, retention_and_limit};
+use catrisk::finterms::layer::LayerId;
 use catrisk::finterms::terms::{FinancialTerms, LayerTerms};
-use catrisk::lookup::{build_lookup, EventLookup, LookupKind};
+use catrisk::lookup::{build_lookup, LookupKind};
 use catrisk::metrics::ep::ExceedanceCurve;
 use catrisk::metrics::var::{tvar, var};
+use catrisk::riskquery::prelude::*;
+use catrisk::simkit::rng::RngFactory;
 use catrisk::simkit::stats::{quantile_sorted, RunningStats};
 
 // ---------------------------------------------------------------------------
@@ -171,7 +176,9 @@ proptest! {
 // The engine itself on randomly shaped inputs
 // ---------------------------------------------------------------------------
 
-fn arbitrary_input() -> impl Strategy<Value = (Vec<Vec<(u32, f32)>>, Vec<Vec<(u32, f64)>>, LayerTerms)> {
+#[allow(clippy::type_complexity)]
+fn arbitrary_input(
+) -> impl Strategy<Value = (Vec<Vec<(u32, f32)>>, Vec<Vec<(u32, f64)>>, LayerTerms)> {
     let trials = proptest::collection::vec(
         proptest::collection::vec((0u32..800, 0.0f32..365.0), 0..30),
         1..40,
@@ -218,5 +225,252 @@ proptest! {
                 "applying terms can only reduce the loss");
             prop_assert!(capped.max_occurrence_loss <= terms.occ_limit * (1.0 + 1e-12) + 1e-9);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The query engine against brute-force aggregation over the raw YLTs
+// ---------------------------------------------------------------------------
+
+/// Builds a randomly shaped portfolio of tagged Year Loss Tables.
+fn random_portfolio(
+    num_segments: usize,
+    num_trials: usize,
+    seed: u64,
+) -> (ResultStore, Vec<(SegmentMeta, YearLossTable)>) {
+    let factory = RngFactory::new(seed).derive("riskquery-prop");
+    let mut store = ResultStore::new(num_trials);
+    let mut raw = Vec::with_capacity(num_segments);
+    for s in 0..num_segments {
+        let mut rng = factory.stream(s as u64);
+        let outcomes: Vec<TrialOutcome> = (0..num_trials)
+            .map(|_| {
+                let year = if rng.uniform() < 0.35 {
+                    rng.uniform() * 1.0e6
+                } else {
+                    0.0
+                };
+                TrialOutcome {
+                    year_loss: year,
+                    max_occurrence_loss: year * rng.uniform(),
+                    nonzero_events: u32::from(year > 0.0),
+                }
+            })
+            .collect();
+        let meta = SegmentMeta::new(
+            LayerId(rng.below(3) as u32),
+            Peril::ALL[rng.below(Peril::ALL.len() as u64) as usize],
+            Region::ALL[rng.below(Region::ALL.len() as u64) as usize],
+            LineOfBusiness::ALL[rng.below(LineOfBusiness::ALL.len() as u64) as usize],
+        );
+        let ylt = YearLossTable::new(meta.layer, outcomes);
+        store.ingest(&ylt, meta).expect("ingest");
+        raw.push((meta, ylt));
+    }
+    (store, raw)
+}
+
+/// Brute-force answer: filter the tagged YLTs directly, sum/max their
+/// outcomes per trial in ingest order, and apply the metric kernels to the
+/// assembled loss vectors.
+fn brute_force(
+    raw: &[(SegmentMeta, YearLossTable)],
+    query: &Query,
+) -> Vec<(Vec<DimValue>, usize, Vec<AggValue>)> {
+    let (t0, t1) = query.filter.trials.unwrap_or((0, raw[0].1.num_trials()));
+    let selected: Vec<&(SegmentMeta, YearLossTable)> = raw
+        .iter()
+        .filter(|(meta, _)| {
+            query
+                .filter
+                .perils
+                .as_ref()
+                .is_none_or(|ps| ps.contains(&meta.peril))
+                && query
+                    .filter
+                    .regions
+                    .as_ref()
+                    .is_none_or(|rs| rs.contains(&meta.region))
+                && query
+                    .filter
+                    .lobs
+                    .as_ref()
+                    .is_none_or(|ls| ls.contains(&meta.lob))
+                && query
+                    .filter
+                    .layers
+                    .as_ref()
+                    .is_none_or(|ids| ids.contains(&meta.layer.0))
+        })
+        .collect();
+
+    let key_of = |meta: &SegmentMeta| -> Vec<DimValue> {
+        query
+            .group_by
+            .iter()
+            .map(|dim| match dim {
+                Dimension::Layer => DimValue::Layer(meta.layer),
+                Dimension::Peril => DimValue::Peril(meta.peril),
+                Dimension::Region => DimValue::Region(meta.region),
+                Dimension::Lob => DimValue::Lob(meta.lob),
+            })
+            .collect()
+    };
+
+    // Group members in ingest order, keys in first-appearance order.
+    let mut keys: Vec<Vec<DimValue>> = Vec::new();
+    let mut members: Vec<Vec<&YearLossTable>> = Vec::new();
+    for (meta, ylt) in &selected {
+        let key = key_of(meta);
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => members[i].push(ylt),
+            None => {
+                keys.push(key);
+                members.push(vec![ylt]);
+            }
+        }
+    }
+
+    let mut rows: Vec<(Vec<DimValue>, usize, Vec<AggValue>)> = keys
+        .into_iter()
+        .zip(members)
+        .map(|(key, ylts)| {
+            let span = t1 - t0;
+            let mut year = vec![0.0f64; span];
+            let mut occ = vec![0.0f64; span];
+            for ylt in &ylts {
+                for (t, outcome) in ylt.outcomes()[t0..t1].iter().enumerate() {
+                    year[t] += outcome.year_loss;
+                    occ[t] = occ[t].max(outcome.max_occurrence_loss);
+                }
+            }
+            let n = span as f64;
+            let values: Vec<AggValue> = query
+                .aggregates
+                .iter()
+                .map(|aggregate| match aggregate {
+                    Aggregate::Mean => AggValue::Scalar(year.iter().sum::<f64>() / n),
+                    Aggregate::StdDev => {
+                        let mean = year.iter().sum::<f64>() / n;
+                        let variance = year.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                        AggValue::Scalar(variance.sqrt())
+                    }
+                    Aggregate::MaxLoss => {
+                        AggValue::Scalar(year.iter().copied().fold(0.0, f64::max))
+                    }
+                    Aggregate::AttachProb => {
+                        AggValue::Scalar(year.iter().filter(|&&x| x > 0.0).count() as f64 / n)
+                    }
+                    Aggregate::Var { level } => AggValue::Scalar(var(&year, *level)),
+                    Aggregate::Tvar { level } => AggValue::Scalar(tvar(&year, *level)),
+                    Aggregate::Pml {
+                        return_period,
+                        basis,
+                    } => {
+                        let losses = match basis {
+                            Basis::Aep => year.clone(),
+                            Basis::Oep => occ.clone(),
+                        };
+                        AggValue::Scalar(
+                            ExceedanceCurve::new(losses).loss_at_return_period(*return_period),
+                        )
+                    }
+                    Aggregate::EpCurve { basis, points } => {
+                        let losses = match basis {
+                            Basis::Aep => year.clone(),
+                            Basis::Oep => occ.clone(),
+                        };
+                        AggValue::Curve(ExceedanceCurve::new(losses).curve_points(*points))
+                    }
+                })
+                .collect();
+            (key, ylts.len(), values)
+        })
+        .collect();
+    rows.sort_by(|a, b| DimValue::compare_keys(&a.0, &b.0));
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For randomly generated portfolios and randomly shaped queries, the
+    /// columnar store + pushdown + parallel scan pipeline answers exactly
+    /// (bit-identically) what brute-force aggregation over the raw Year
+    /// Loss Tables answers, and the batched session matches the single
+    /// query path.
+    #[test]
+    fn query_engine_matches_brute_force(
+        num_segments in 1usize..14,
+        num_trials in 2usize..60,
+        seed in 0u64..1_000_000,
+        peril_mask in 0u64..64,
+        region_mask in 0u64..64,
+        group_selector in 0usize..6,
+        window_selector in 0usize..3,
+        level in 0.5..0.999f64,
+        return_period in 1.0..500.0f64,
+    ) {
+        let (store, raw) = random_portfolio(num_segments, num_trials, seed);
+
+        let mut builder = QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::StdDev)
+            .aggregate(Aggregate::MaxLoss)
+            .aggregate(Aggregate::AttachProb)
+            .aggregate(Aggregate::Var { level })
+            .aggregate(Aggregate::Tvar { level })
+            .aggregate(Aggregate::Pml { return_period, basis: Basis::Aep })
+            .aggregate(Aggregate::Pml { return_period, basis: Basis::Oep })
+            .aggregate(Aggregate::EpCurve { basis: Basis::Aep, points: 5 })
+            .aggregate(Aggregate::EpCurve { basis: Basis::Oep, points: 4 });
+        let perils: Vec<Peril> = Peril::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| peril_mask & (1 << i) != 0)
+            .map(|(_, p)| *p)
+            .collect();
+        if !perils.is_empty() {
+            builder = builder.with_perils(perils);
+        }
+        let regions: Vec<Region> = Region::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| region_mask & (1 << i) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        if !regions.is_empty() {
+            builder = builder.in_regions(regions);
+        }
+        builder = match group_selector {
+            0 => builder,
+            1 => builder.group_by(Dimension::Peril),
+            2 => builder.group_by(Dimension::Region),
+            3 => builder.group_by(Dimension::Lob),
+            4 => builder.group_by(Dimension::Layer),
+            _ => builder.group_by(Dimension::Peril).group_by(Dimension::Region),
+        };
+        builder = match window_selector {
+            0 => builder,
+            1 => builder.trials(0..(num_trials / 2).max(1)),
+            _ => builder.trials(num_trials / 3..num_trials),
+        };
+        let query = builder.build().expect("valid query");
+
+        let result = execute(&store, &query).expect("query executes");
+        let expected = brute_force(&raw, &query);
+
+        prop_assert_eq!(result.rows.len(), expected.len(), "group count");
+        for (row, (key, segments, values)) in result.rows.iter().zip(&expected) {
+            prop_assert_eq!(&row.key, key, "group keys in canonical order");
+            prop_assert_eq!(row.segments, *segments, "segment counts");
+            prop_assert_eq!(&row.values, values, "aggregates must match bit-for-bit");
+        }
+
+        // The batched session must answer exactly like the single-query path.
+        let batched = QuerySession::new(&store)
+            .run(std::slice::from_ref(&query))
+            .expect("session runs");
+        prop_assert_eq!(&batched[0], &result);
     }
 }

@@ -17,7 +17,11 @@ use catrisk::prelude::RngFactory;
 fn yet_binary_round_trip_at_moderate_size() {
     let factory = RngFactory::new(31);
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 5_000, annual_event_budget: 800.0, rate_tail_index: 1.2 },
+        &CatalogConfig {
+            num_events: 5_000,
+            annual_event_budget: 800.0,
+            rate_tail_index: 1.2,
+        },
         &factory,
     )
     .unwrap();
@@ -42,7 +46,11 @@ fn yet_binary_round_trip_at_moderate_size() {
 fn catalog_and_elt_json_round_trip() {
     let factory = RngFactory::new(32);
     let catalog = EventCatalog::generate(
-        &CatalogConfig { num_events: 300, annual_event_budget: 50.0, rate_tail_index: 1.4 },
+        &CatalogConfig {
+            num_events: 300,
+            annual_event_budget: 50.0,
+            rate_tail_index: 1.4,
+        },
         &factory,
     )
     .unwrap();
@@ -66,26 +74,40 @@ fn catalog_and_elt_json_round_trip() {
     let json = serde_json::to_string(&elt).unwrap();
     let back: EventLossTable = serde_json::from_str(&json).unwrap();
     assert_eq!(elt, back);
-    assert!(back.financial_terms.limit.is_infinite(), "unlimited terms survive JSON");
+    assert!(
+        back.financial_terms.limit.is_infinite(),
+        "unlimited terms survive JSON"
+    );
 }
 
 #[test]
 fn portfolio_and_report_json_round_trip() {
     let mut portfolio = Portfolio::new("serde-book");
     portfolio.add(
-        Contract::new(ContractId(0), "wind", Treaty::cat_xl(1.0e6, 5.0e6), vec![0, 1]).with_premium(4.0e5),
+        Contract::new(
+            ContractId(0),
+            "wind",
+            Treaty::cat_xl(1.0e6, 5.0e6),
+            vec![0, 1],
+        )
+        .with_premium(4.0e5),
     );
     portfolio.add(Contract::new(
         ContractId(1),
         "stop loss",
-        Treaty::AggregateXl { retention: 2.0e6, limit: 8.0e6 },
+        Treaty::AggregateXl {
+            retention: 2.0e6,
+            limit: 8.0e6,
+        },
         vec![1],
     ));
     let json = serde_json::to_string_pretty(&portfolio).unwrap();
     let back: Portfolio = serde_json::from_str(&json).unwrap();
     assert_eq!(portfolio, back);
 
-    let losses: Vec<f64> = (0..2_000).map(|i| if i % 3 == 0 { f64::from(i) * 7.0 } else { 0.0 }).collect();
+    let losses: Vec<f64> = (0..2_000)
+        .map(|i| if i % 3 == 0 { f64::from(i) * 7.0 } else { 0.0 })
+        .collect();
     let report = RiskReport::from_losses("serde-report", &losses, None);
     let json = serde_json::to_string(&report).unwrap();
     let back: RiskReport = serde_json::from_str(&json).unwrap();
