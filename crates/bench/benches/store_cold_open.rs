@@ -1,0 +1,175 @@
+//! Persistent-store benchmarks: cold-open query latency versus the
+//! in-memory baseline.
+//!
+//! The serving-fleet scenario behind `catrisk-riskstore`: results are
+//! materialised once and queried many times, possibly by processes that
+//! did not produce them.  Three paths are measured over the same
+//! production-shaped store:
+//!
+//! * `in_memory` — the PR-1 baseline, scanning the live `ResultStore`;
+//! * `reader_warm` — the same query over an already-open `StoreReader`
+//!   (steady-state serving: the open cost is amortised);
+//! * `cold_open` — `StoreReader::open` (checksum verification + column
+//!   load) plus the query, every iteration (worst-case first request).
+//!
+//! The `cold_open_summary` target prints the acceptance numbers and
+//! asserts bit-identical results across all three paths.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::prelude::*;
+use catrisk_riskstore::{StoreReader, StoreWriter};
+use catrisk_simkit::rng::RngFactory;
+
+const TRIALS: usize = 20_000;
+const BOOKS: usize = 12;
+
+/// The same production-shaped store the query-engine bench uses: every
+/// active (peril, region) cell of several books becomes a segment.
+fn build_store(trials: usize, books: usize, seed: u64) -> ResultStore {
+    let factory = RngFactory::new(seed).derive("store-bench");
+    let mut store = ResultStore::new(trials);
+    let mut segment = 0u64;
+    for book in 0..books {
+        let region = Region::ALL[book % Region::ALL.len()];
+        let lob = LineOfBusiness::ALL[book % LineOfBusiness::ALL.len()];
+        for peril in region.active_perils() {
+            let mut rng = factory.stream(segment);
+            segment += 1;
+            let outcomes: Vec<TrialOutcome> = (0..trials)
+                .map(|_| {
+                    let year = if rng.uniform() < 0.25 {
+                        rng.uniform() * 5.0e6
+                    } else {
+                        0.0
+                    };
+                    TrialOutcome {
+                        year_loss: year,
+                        max_occurrence_loss: year * rng.uniform(),
+                        nonzero_events: u32::from(year > 0.0),
+                    }
+                })
+                .collect();
+            let meta = SegmentMeta::new(LayerId(book as u32), *peril, region, lob);
+            store
+                .ingest(&YearLossTable::new(LayerId(book as u32), outcomes), meta)
+                .expect("ingest");
+        }
+    }
+    store
+}
+
+/// Writes every segment of `store` into a fresh store file.
+fn write_store(store: &ResultStore, path: &std::path::Path) {
+    let mut writer = StoreWriter::create(path, store.num_trials()).expect("create store file");
+    for segment in 0..store.num_segments() {
+        writer
+            .append_segment(
+                *store.meta(segment),
+                store.year_losses(segment),
+                store.max_occ_losses(segment),
+            )
+            .expect("append segment");
+    }
+    writer.finish().expect("commit store file");
+}
+
+fn bench_path(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("catrisk-bench-{}-{name}.clm", std::process::id()));
+    path
+}
+
+fn serving_query() -> Query {
+    QueryBuilder::new()
+        .with_perils([Peril::Hurricane, Peril::Flood])
+        .group_by(Dimension::Region)
+        .aggregate(Aggregate::Mean)
+        .aggregate(Aggregate::Tvar { level: 0.99 })
+        .build()
+        .unwrap()
+}
+
+fn store_query_paths(c: &mut Criterion) {
+    let store = build_store(TRIALS, BOOKS, 2012);
+    let path = bench_path("paths");
+    write_store(&store, &path);
+    let query = serving_query();
+
+    let mut group = c.benchmark_group("store_query_latency");
+    group.sample_size(15);
+    group.bench_function("in_memory", |b| b.iter(|| execute(&store, &query).unwrap()));
+    let reader = StoreReader::open(&path).expect("open store file");
+    group.bench_function("reader_warm", |b| {
+        b.iter(|| execute(&reader, &query).unwrap())
+    });
+    group.bench_function("cold_open", |b| {
+        b.iter(|| {
+            let reader = StoreReader::open(&path).expect("open store file");
+            execute(&reader, &query).unwrap()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Prints the acceptance numbers: cold-open and warm query latency against
+/// the in-memory baseline, after asserting all three paths agree bitwise.
+fn cold_open_summary(_c: &mut Criterion) {
+    let store = build_store(TRIALS, BOOKS, 2012);
+    let path = bench_path("summary");
+    write_store(&store, &path);
+    let query = serving_query();
+
+    let in_memory = execute(&store, &query).unwrap();
+    let reader = StoreReader::open(&path).expect("open store file");
+    let from_disk = execute(&reader, &query).unwrap();
+    assert_eq!(
+        in_memory, from_disk,
+        "persisted queries must be bit-identical to in-memory queries"
+    );
+
+    let samples = 10;
+    let best = |mut run: Box<dyn FnMut()>| {
+        (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let memory_secs = best(Box::new(|| {
+        let _ = execute(&store, &query).unwrap();
+    }));
+    let warm_secs = best(Box::new(|| {
+        let _ = execute(&reader, &query).unwrap();
+    }));
+    let cold_secs = best(Box::new(|| {
+        let reader = StoreReader::open(&path).expect("open store file");
+        let _ = execute(&reader, &query).unwrap();
+    }));
+    let bytes = std::fs::metadata(&path).expect("store file").len();
+    println!(
+        "cold_open_summary: in-memory {:.2} ms, warm reader {:.2} ms ({:.2}x), \
+         cold open+query {:.2} ms ({:.2}x) over a {:.1} MB store \
+         ({} segments, {} trials)",
+        memory_secs * 1e3,
+        warm_secs * 1e3,
+        warm_secs / memory_secs,
+        cold_secs * 1e3,
+        cold_secs / memory_secs,
+        bytes as f64 / 1.0e6,
+        reader.num_segments(),
+        reader.num_trials()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(store_cold_open, store_query_paths, cold_open_summary);
+criterion_main!(store_cold_open);

@@ -5,6 +5,7 @@ mod engines;
 mod info;
 mod query;
 mod quote;
+mod store;
 mod world;
 
 /// Top-level usage text.
@@ -27,9 +28,13 @@ commands:
              --seed S       master random seed (default 2012)
   query    ad-hoc aggregate risk queries over a columnar YLT store
              --select LIST  aggregates, e.g. \"mean,tvar(0.99),aep(10)\"
-             --where EXPR   filter, e.g. \"peril=HU|FL region=EUR trial=0..10000\"
+             --where EXPR   filter, e.g. \"peril=HU|FL loss>=1e6 trial=0..10000\"
              --group-by D   group dimensions: layer, peril, region, lob
              run `catrisk query --help` for the full reference and examples
+  store    persistent columnar stores: `store write` spills engine results
+           to a file (incremental commits), `store query` reopens and
+           queries it without re-simulation
+             run `catrisk store --help` for the full reference and examples
   info     print the simulated device and default configuration";
 
 /// Parsed `--key value` style options.
@@ -75,6 +80,12 @@ impl Options {
     pub fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// True when `--key value` was given (as opposed to the default being
+    /// used).
+    pub fn has_value(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
 }
 
 /// Dispatches to the requested subcommand.
@@ -85,6 +96,11 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     if command == "--help" || command == "help" {
         println!("{USAGE}");
         return Ok(());
+    }
+    // `store` dispatches on its own `write`/`query` action word, so it
+    // receives the raw arguments.
+    if command == "store" {
+        return store::run(&args[1..]);
     }
     let options = Options::parse(&args[1..])?;
     match command.as_str() {

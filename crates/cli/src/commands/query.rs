@@ -39,7 +39,8 @@ options:
   --select LIST    aggregates: mean, stddev, maxloss, attach, var(l), tvar(l),
                    pml(rp), opml(rp), aep(n), oep(n)      (default \"mean,tvar(0.99)\")
   --where EXPR     filter: space-separated dimension=value|value constraints
-                   over peril, region, lob, layer, plus trial=start..end
+                   over peril, region, lob, layer, plus trial=start..end and
+                   loss ranges loss>=x, loss<=x, loss=[min,max]
   --group-by LIST  comma-separated: layer, peril, region, lob
   --json           print the result as JSON instead of a table
 
@@ -71,12 +72,62 @@ pub fn run(options: &Options) -> Result<(), String> {
 
     // Assemble the query up front so malformed input fails fast, before the
     // expensive world build.
+    let query = build_query(&select, &where_clause, &group_by)?;
+    if !ENGINES.contains(&engine.as_str()) {
+        return Err(unknown_engine(&engine));
+    }
+
+    let segmented = build_segmented_world(&config)?;
+
+    let sw = Stopwatch::start();
+    let output = run_engine(&engine, &segmented)?;
+    let store = segmented.ingest(&output).map_err(|e| e.to_string())?;
+    eprintln!(
+        "  {} engine produced {} YLTs, store holds {:.1} MB of loss columns  [{:.2}s]",
+        engine,
+        output.num_layers(),
+        store.memory_bytes() as f64 / 1.0e6,
+        sw.elapsed_secs()
+    );
+
+    let sw = Stopwatch::start();
+    let result = execute(&store, &query).map_err(|e| e.to_string())?;
+    eprintln!("  query answered in {:.4}s\n", sw.elapsed_secs());
+
+    print_result(&result, as_json)
+}
+
+/// Prints a query result as a table, or as JSON under `--json` (shared by
+/// `query` and `store query`).
+pub(crate) fn print_result(
+    result: &catrisk_riskquery::QueryResult,
+    as_json: bool,
+) -> Result<(), String> {
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(result).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{result}");
+    }
+    Ok(())
+}
+
+/// Parses the three query clauses into a validated
+/// [`Query`](catrisk_riskquery::Query) (shared by `query` and
+/// `store query`).
+pub(crate) fn build_query(
+    select: &str,
+    where_clause: &str,
+    group_by: &str,
+) -> Result<catrisk_riskquery::Query, String> {
     let mut builder = QueryBuilder::new();
-    for aggregate in parse_select(&select).map_err(|e| e.to_string())? {
+    for aggregate in parse_select(select).map_err(|e| e.to_string())? {
         builder = builder.aggregate(aggregate);
     }
     if !where_clause.is_empty() {
-        let filter = parse_where(&where_clause).map_err(|e| e.to_string())?;
+        let filter = parse_where(where_clause).map_err(|e| e.to_string())?;
         if let Some(perils) = filter.perils {
             builder = builder.with_perils(perils);
         }
@@ -92,26 +143,29 @@ pub fn run(options: &Options) -> Result<(), String> {
         if let Some((start, end)) = filter.trials {
             builder = builder.trials(start..end);
         }
+        if let Some(range) = filter.loss {
+            builder = builder.loss_in(range.min, range.max);
+        }
     }
     if !group_by.is_empty() {
-        for dim in parse_group_by(&group_by).map_err(|e| e.to_string())? {
+        for dim in parse_group_by(group_by).map_err(|e| e.to_string())? {
             builder = builder.group_by(dim);
         }
     }
-    let query = builder.build().map_err(|e| e.to_string())?;
-    if !ENGINES.contains(&engine.as_str()) {
-        return Err(unknown_engine(&engine));
-    }
+    builder.build().map_err(|e| e.to_string())
+}
 
+/// Builds the synthetic world and slices it into tagged `(book, peril)`
+/// segments (shared by `query` and `store write`).  Lines of business are
+/// assigned round-robin so the lob dimension is populated.
+pub(crate) fn build_segmented_world(config: &WorldConfig) -> Result<SegmentedInput, String> {
     eprintln!(
         "building synthetic world: {} events, {} locations/book, {} trials ...",
         config.num_events, config.locations, config.trials
     );
     let sw = Stopwatch::start();
-    let world = World::build(&config)?;
+    let world = World::build(config)?;
 
-    // One segmented book per exposure book; lines of business are assigned
-    // round-robin so the lob dimension is populated.
     let books: Vec<SegmentedBook> = world
         .elts
         .iter()
@@ -138,42 +192,21 @@ pub fn run(options: &Options) -> Result<(), String> {
         books.len(),
         sw.elapsed_secs()
     );
-
-    let sw = Stopwatch::start();
-    let output = run_engine(&engine, &segmented)?;
-    let store = segmented.ingest(&output).map_err(|e| e.to_string())?;
-    eprintln!(
-        "  {} engine produced {} YLTs, store holds {:.1} MB of loss columns  [{:.2}s]",
-        engine,
-        output.num_layers(),
-        store.memory_bytes() as f64 / 1.0e6,
-        sw.elapsed_secs()
-    );
-
-    let sw = Stopwatch::start();
-    let result = execute(&store, &query).map_err(|e| e.to_string())?;
-    eprintln!("  query answered in {:.4}s\n", sw.elapsed_secs());
-
-    if as_json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
-        );
-    } else {
-        println!("{result}");
-    }
-    Ok(())
+    Ok(segmented)
 }
 
 /// Engine names accepted by `--engine`, the single source for both the
 /// fail-fast check and `run_engine`'s dispatch error.
-const ENGINES: [&str; 4] = ["sequential", "parallel", "chunked", "streaming"];
+pub(crate) const ENGINES: [&str; 4] = ["sequential", "parallel", "chunked", "streaming"];
 
-fn unknown_engine(name: &str) -> String {
+pub(crate) fn unknown_engine(name: &str) -> String {
     format!("unknown engine `{name}` (expected {})", ENGINES.join(", "))
 }
 
-fn run_engine(engine: &str, segmented: &SegmentedInput) -> Result<AnalysisOutput, String> {
+pub(crate) fn run_engine(
+    engine: &str,
+    segmented: &SegmentedInput,
+) -> Result<AnalysisOutput, String> {
     match engine {
         "sequential" => Ok(SequentialEngine::new().run(&segmented.input)),
         "parallel" => Ok(ParallelEngine::new().run(&segmented.input)),

@@ -1,0 +1,316 @@
+//! `catrisk store` — write portfolio results to a persistent columnar
+//! store file and query it back without re-simulation.
+//!
+//! `store write` builds the synthetic world, runs the chosen engine, and
+//! spills every tagged segment into a `catrisk-riskstore` file with
+//! incremental commits (the streaming engine feeds the writer through
+//! [`StreamIngestor`]).  `store query` reopens such a file — from this or
+//! any earlier process — and answers ad-hoc queries over it.
+
+use catrisk_riskquery::execute;
+use catrisk_riskstore::{StoreOptions, StoreReader, StoreWriter, StreamIngestor};
+use catrisk_simkit::timing::Stopwatch;
+
+use super::query::{
+    build_query, build_segmented_world, print_result, run_engine, unknown_engine, ENGINES,
+};
+use super::world::WorldConfig;
+use super::Options;
+
+/// Detailed usage of the store command, shown by `catrisk store --help`.
+pub const STORE_HELP: &str = "usage: catrisk store <write|query> [options]
+
+write   run the aggregate risk engine over a synthetic world and spill the
+        tagged segments into a persistent columnar store file:
+  --out PATH       store file to create or append to (required)
+  --append         append to an existing store instead of creating
+  --trials N       number of YET trials (default 20000)
+  --locations N    locations per exposure book (default 2000)
+  --events N       catalog size (default 50000)
+  --seed S         master random seed (default 2012)
+  --engine E       sequential | parallel | chunked | streaming (default streaming)
+  --commit-every K commit after every K appended segments (default 8,
+                   0 = one commit at the end)
+  --page-trials N  trials per checksummed loss page (default 4096; fixed at
+                   creation, cannot be changed by --append)
+
+query   reopen a store file and answer an ad-hoc aggregate query:
+  --in PATH        store file to open (required)
+  --select LIST    aggregates: mean, stddev, maxloss, attach, var(l), tvar(l),
+                   pml(rp), opml(rp), aep(n), oep(n)   (default \"mean,tvar(0.99)\")
+  --where EXPR     filter: dimension=value|value constraints plus
+                   trial=start..end and loss>=x / loss<=x / loss=[min,max]
+  --group-by LIST  comma-separated: layer, peril, region, lob
+  --json           print the result as JSON instead of a table
+
+examples:
+  catrisk store write --out portfolio.clm --trials 50000 --engine streaming
+  catrisk store write --out portfolio.clm --append --seed 2013
+  catrisk store query --in portfolio.clm \\
+      --select \"tvar(0.99),aep(10)\" --where \"peril=HU|FL\" --group-by region";
+
+/// Runs the store command: dispatches on the `write` / `query` action.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        println!("{STORE_HELP}");
+        return Ok(());
+    };
+    match action.as_str() {
+        "--help" | "help" => {
+            println!("{STORE_HELP}");
+            Ok(())
+        }
+        "write" => write(&Options::parse(&args[1..])?),
+        "query" => query(&Options::parse(&args[1..])?),
+        other => Err(format!(
+            "unknown store action `{other}` (expected write or query)"
+        )),
+    }
+}
+
+fn write(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{STORE_HELP}");
+        return Ok(());
+    }
+    let out = options.get("out", String::new())?;
+    if out.is_empty() {
+        return Err("store write needs --out PATH".to_string());
+    }
+    let config = WorldConfig {
+        seed: options.get("seed", 2012u64)?,
+        num_events: options.get("events", 50_000u32)?,
+        locations: options.get("locations", 2_000usize)?,
+        trials: options.get("trials", 20_000usize)?,
+    };
+    let engine = options.get("engine", "streaming".to_string())?;
+    let commit_every = options.get("commit-every", 8usize)?;
+    let page_trials = options.get("page-trials", 4096u32)?;
+    let append = options.has_flag("append");
+    if !ENGINES.contains(&engine.as_str()) {
+        return Err(unknown_engine(&engine));
+    }
+
+    // Open (and for --append, validate against) the store file first, so a
+    // bad path or an option mismatch fails before the expensive world
+    // build.
+    let mut writer = if append {
+        StoreWriter::open_append(&out).map_err(|e| e.to_string())?
+    } else {
+        StoreWriter::create_with(&out, config.trials, StoreOptions { page_trials })
+            .map_err(|e| e.to_string())?
+    };
+    if writer.num_trials() != config.trials {
+        return Err(format!(
+            "store `{out}` holds {}-trial segments, the requested world has {} trials",
+            writer.num_trials(),
+            config.trials
+        ));
+    }
+    if append && options.has_value("page-trials") && writer.page_trials() != page_trials {
+        return Err(format!(
+            "store `{out}` was created with {}-trial pages; --page-trials {} cannot change \
+             an existing store's page size",
+            writer.page_trials(),
+            page_trials
+        ));
+    }
+    let already = writer.num_segments();
+
+    let segmented = build_segmented_world(&config)?;
+
+    let sw = Stopwatch::start();
+    if engine == "streaming" {
+        // The incremental path: streamed trial blocks feed the writer
+        // through the ingestor, committing every `commit_every` segments.
+        let mut ingestor =
+            StreamIngestor::new(segmented.input.layers().len(), segmented.input.num_trials());
+        let mut failed = None;
+        catrisk_engine::streaming::StreamingEngine::new(8_192).run_with(
+            &segmented.input,
+            |_, _, block| {
+                if failed.is_none() {
+                    failed = ingestor.push_block(block).err();
+                }
+            },
+        );
+        if let Some(err) = failed {
+            return Err(err.to_string());
+        }
+        ingestor
+            .finish(&mut writer, &segmented.metas, commit_every)
+            .map_err(|e| e.to_string())?;
+    } else {
+        let output = run_engine(&engine, &segmented)?;
+        if output.num_layers() != segmented.metas.len() {
+            return Err(format!(
+                "{} engine layers but {} segment tags",
+                output.num_layers(),
+                segmented.metas.len()
+            ));
+        }
+        for (ylt, meta) in output.layers().iter().zip(&segmented.metas) {
+            writer.append_ylt(ylt, *meta).map_err(|e| e.to_string())?;
+            if commit_every > 0 && writer.uncommitted_segments() >= commit_every {
+                writer.commit().map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    writer.commit().map_err(|e| e.to_string())?;
+    let segments = writer.num_segments();
+    let commits = writer.commit_seq();
+    writer.finish().map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out).map_err(|e| e.to_string())?.len();
+    eprintln!(
+        "  {} engine wrote {} segments ({} new) in {} commits, {:.1} MB on disk  [{:.2}s]",
+        engine,
+        segments,
+        segments - already,
+        commits,
+        bytes as f64 / 1.0e6,
+        sw.elapsed_secs()
+    );
+    println!("{out}");
+    Ok(())
+}
+
+fn query(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{STORE_HELP}");
+        return Ok(());
+    }
+    let input = options.get("in", String::new())?;
+    if input.is_empty() {
+        return Err("store query needs --in PATH".to_string());
+    }
+    let select = options.get("select", "mean,tvar(0.99)".to_string())?;
+    let where_clause = options.get("where", String::new())?;
+    let group_by = options.get("group-by", String::new())?;
+    let as_json = options.has_flag("json");
+    let query = build_query(&select, &where_clause, &group_by)?;
+
+    let sw = Stopwatch::start();
+    let reader = StoreReader::open(&input).map_err(|e| e.to_string())?;
+    eprintln!(
+        "  opened {}: {} segments x {} trials, {:.1} MB of loss columns, commit {}  [{:.4}s]",
+        input,
+        reader.num_segments(),
+        reader.num_trials(),
+        reader.memory_bytes() as f64 / 1.0e6,
+        reader.commit_seq(),
+        sw.elapsed_secs()
+    );
+
+    let sw = Stopwatch::start();
+    let result = execute(&reader, &query).map_err(|e| e.to_string())?;
+    eprintln!("  query answered in {:.4}s\n", sw.elapsed_secs());
+
+    print_result(&result, as_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_store(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "catrisk-cli-store-{}-{}.clm",
+            std::process::id(),
+            name
+        ));
+        path.to_string_lossy().into_owned()
+    }
+
+    fn small_world(out: &str, extra: &[&str]) -> Vec<String> {
+        let mut args = strings(&[
+            "--out",
+            out,
+            "--trials",
+            "120",
+            "--locations",
+            "100",
+            "--events",
+            "2000",
+            "--seed",
+            "5",
+        ]);
+        args.extend(strings(extra));
+        args
+    }
+
+    #[test]
+    fn write_then_query_round_trips() {
+        let out = temp_store("roundtrip");
+        // Streaming (incremental) write with frequent commits.
+        run(&[
+            vec!["write".to_string()],
+            small_world(&out, &["--commit-every", "2", "--page-trials", "64"]),
+        ]
+        .concat())
+        .unwrap();
+        // Append a second world run to the same store.
+        run(&[
+            vec!["write".to_string()],
+            small_world(&out, &["--append", "--seed", "7", "--engine", "parallel"]),
+        ]
+        .concat())
+        .unwrap();
+        // And query it back.
+        run(&strings(&[
+            "query",
+            "--in",
+            &out,
+            "--select",
+            "mean,tvar(0.9),aep(4)",
+            "--where",
+            "peril=HU|FL loss>=0",
+            "--group-by",
+            "region",
+            "--json",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn store_errors_are_graceful() {
+        let out = temp_store("errors");
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&strings(&["write"])).is_err(), "--out is required");
+        assert!(run(&strings(&["query"])).is_err(), "--in is required");
+        assert!(run(&strings(&["query", "--in", "/nonexistent/x.clm"])).is_err());
+        assert!(run(&[
+            vec!["write".to_string()],
+            small_world(&out, &["--engine", "quantum"])
+        ]
+        .concat())
+        .is_err());
+        // Appending with a mismatched trial count is rejected.
+        run(&[vec!["write".to_string()], small_world(&out, &[])].concat()).unwrap();
+        let mut mismatched = small_world(&out, &["--append"]);
+        let trials_at = mismatched.iter().position(|a| a == "120").unwrap();
+        mismatched[trials_at] = "64".to_string();
+        assert!(run(&[vec!["write".to_string()], mismatched].concat()).is_err());
+        // So is trying to change the page size of an existing store.
+        assert!(run(&[
+            vec!["write".to_string()],
+            small_world(&out, &["--append", "--page-trials", "64"]),
+        ]
+        .concat())
+        .is_err());
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn store_help_prints() {
+        run(&[]).unwrap();
+        run(&strings(&["--help"])).unwrap();
+        run(&strings(&["write", "--help"])).unwrap();
+        run(&strings(&["query", "--help"])).unwrap();
+    }
+}

@@ -11,6 +11,8 @@
 //!   terms (the paper's real-time pricing scenario);
 //! * `query` — ad-hoc aggregate risk queries (filters, group-bys, EP
 //!   curves, VaR/TVaR, PML) over a columnar YLT store;
+//! * `store` — persist engine results in an on-disk columnar store
+//!   (`store write`, incremental) and query it back (`store query`);
 //! * `info` — print the simulated device and the default configuration.
 //!
 //! Run `catrisk <command> --help` for the options of each command.

@@ -95,7 +95,7 @@ impl ThreadTracker {
 /// The executor calls [`Kernel::execute_thread`] once per logical thread; a
 /// kernel is expected to perform its *real* computation there (storing
 /// results through interior mutability or by returning them via
-/// [`Kernel::output`]-style accessors defined on the concrete type) while
+/// `output()`-style accessors defined on the concrete type) while
 /// reporting its memory behaviour through the [`ThreadTracker`].
 pub trait Kernel: Sync {
     /// Human-readable kernel name (for reports).

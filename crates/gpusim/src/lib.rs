@@ -8,7 +8,7 @@
 //! provides a **software device model** with the pieces of the CUDA
 //! execution model that the paper's results hinge on:
 //!
-//! * a [`DeviceSpec`](device::DeviceSpec) describing streaming
+//! * a [`DeviceSpec`] describing streaming
 //!   multiprocessors, warps, clock rate, global-memory latency/bandwidth,
 //!   and the per-SM shared/constant memory budgets (a Tesla C2075 preset is
 //!   provided);

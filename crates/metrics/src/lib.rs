@@ -13,7 +13,7 @@
 //!   from year losses and OEP (occurrence) built from per-trial maximum
 //!   occurrence losses;
 //! * [`pml`] — Probable Maximum Loss at standard return periods;
-//! * [`var`] — Value at Risk and Tail Value at Risk estimators;
+//! * [`mod@var`] — Value at Risk and Tail Value at Risk estimators;
 //! * [`convergence`] — Monte-Carlo standard errors and bootstrap confidence
 //!   intervals, quantifying how many trials a given quote needs;
 //! * [`report`] — a combined risk report for a layer or portfolio.

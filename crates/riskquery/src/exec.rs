@@ -20,9 +20,9 @@ use catrisk_simkit::stats::{
 };
 
 use crate::plan::QueryPlan;
-use crate::query::{Aggregate, Basis, Query};
+use crate::query::{Aggregate, Basis, LossRange, Query};
 use crate::result::{AggValue, QueryResult, ResultRow};
-use crate::store::ResultStore;
+use crate::store::SegmentSource;
 use crate::Result;
 
 /// Per-group accumulated loss vectors over one trial window: the "partial
@@ -76,9 +76,31 @@ impl PartialAggregate {
         self
     }
 
+    /// Drops, group by group, the trials whose summed year loss lies
+    /// outside `range` — the scan-side evaluation of a
+    /// [`LossRange`] predicate.  Both columns keep exactly the surviving
+    /// trials (the occurrence column is masked by the *year* losses, so a
+    /// group's OEP statistics are conditioned on the same years as its AEP
+    /// statistics).  Compaction preserves trial order, so adjacent-window
+    /// concatenation stays exact.
+    pub fn retain_by_year(&mut self, range: LossRange) {
+        for (year, maxocc) in self.year.iter_mut().zip(&mut self.maxocc) {
+            let mut keep = 0usize;
+            for t in 0..year.len() {
+                if range.contains(year[t]) {
+                    year[keep] = year[t];
+                    maxocc[keep] = maxocc[t];
+                    keep += 1;
+                }
+            }
+            year.truncate(keep);
+            maxocc.truncate(keep);
+        }
+    }
+
     /// Merges a partial covering the *same* trial window (element-wise sum
     /// and max) — used when sharding by segments instead of trials; order
-    /// of combination then affects the last ulp, which is why [`scan`]
+    /// of combination then affects the last ulp, which is why the scan
     /// shards by trials instead.
     pub fn combine_overlapping(mut self, other: &PartialAggregate) -> Self {
         for (acc, block) in self.year.iter_mut().zip(&other.year) {
@@ -115,8 +137,10 @@ pub(crate) fn trial_blocks(start: usize, end: usize, parts: usize) -> Vec<(usize
 }
 
 /// Runs the planned scan: per-trial-block partial aggregation in parallel,
-/// merged by exact concatenation.
-pub(crate) fn scan(store: &ResultStore, plan: &QueryPlan) -> PartialAggregate {
+/// merged by exact concatenation.  A loss-range predicate in the plan is
+/// evaluated per block, after all segments have been accumulated into the
+/// block's group totals and while those totals are still cache-hot.
+pub(crate) fn scan<S: SegmentSource + ?Sized>(store: &S, plan: &QueryPlan) -> PartialAggregate {
     let groups = plan.num_groups();
     let blocks = trial_blocks(
         plan.trial_start,
@@ -132,6 +156,9 @@ pub(crate) fn scan(store: &ResultStore, plan: &QueryPlan) -> PartialAggregate {
                 let year = &store.year_losses(segment)[block_start..block_end];
                 let occ = &store.max_occ_losses(segment)[block_start..block_end];
                 partial.accumulate(group, year, occ);
+            }
+            if let Some(range) = plan.loss {
+                partial.retain_by_year(range);
             }
             partial
         })
@@ -186,6 +213,18 @@ pub(crate) fn finalize_group(
     cache: &mut SortedCache,
 ) -> Vec<AggValue> {
     let year = &partial.year[group];
+    if year.is_empty() {
+        // A loss-range filter can condition a group on zero trials (the
+        // scan itself never produces an empty window otherwise).  Losses
+        // over an empty year set are zero; curves are empty.
+        return aggregates
+            .iter()
+            .map(|aggregate| match aggregate {
+                Aggregate::EpCurve { .. } => AggValue::Curve(Vec::new()),
+                _ => AggValue::Scalar(0.0),
+            })
+            .collect();
+    }
     aggregates
         .iter()
         .map(|aggregate| match aggregate {
@@ -266,12 +305,14 @@ pub(crate) fn assemble(
     }
 }
 
-/// Executes one query against a store.
+/// Executes one query against any [`SegmentSource`] — the in-memory
+/// [`ResultStore`](crate::store::ResultStore) or a persistent reader such
+/// as `catrisk-riskstore`'s `StoreReader`.
 ///
 /// Pipeline: plan (filter pushdown over dictionary codes) → parallel scan
 /// (per-trial-block partial aggregation, exact combine) → finalisation
 /// (metric kernels per group).
-pub fn execute(store: &ResultStore, query: &Query) -> Result<QueryResult> {
+pub fn execute<S: SegmentSource + ?Sized>(store: &S, query: &Query) -> Result<QueryResult> {
     let plan = QueryPlan::new(store, query)?;
     let partial = scan(store, &plan);
     Ok(assemble(query, &plan, &partial, &mut SpecState::new(&plan)))
@@ -282,6 +323,7 @@ mod tests {
     use super::*;
     use crate::dims::{Dimension, LineOfBusiness, SegmentMeta};
     use crate::query::QueryBuilder;
+    use crate::store::ResultStore;
     use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
     use catrisk_eventgen::peril::{Peril, Region};
     use catrisk_finterms::layer::LayerId;
@@ -436,6 +478,102 @@ mod tests {
             scanned, reference,
             "parallel scan must equal the sequential scan bitwise"
         );
+    }
+
+    #[test]
+    fn loss_range_conditions_each_group() {
+        let store = store();
+        // Total year losses across the three segments: [3, 6, 5, 5].
+        let query = QueryBuilder::new()
+            .loss_at_least(5.0)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::MaxLoss)
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        // Surviving trials: [6, 5, 5] -> mean 16/3, max 6.
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(16.0 / 3.0));
+        assert_eq!(result.rows[0].values[1], AggValue::Scalar(6.0));
+
+        // Bounded range keeps only the two 5s.
+        let query = QueryBuilder::new()
+            .loss_in(4.0, 5.0)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(5.0));
+
+        // A range matching no trial yields zero-trial aggregates — zero
+        // scalars and empty curves, not a panic (order statistics over an
+        // empty tail are otherwise undefined).
+        let query = QueryBuilder::new()
+            .loss_at_least(1.0e9)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Oep,
+                points: 3,
+            })
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(0.0));
+        assert_eq!(result.rows[0].values[1], AggValue::Scalar(0.0));
+        assert_eq!(result.rows[0].values[2], AggValue::Curve(Vec::new()));
+    }
+
+    #[test]
+    fn loss_range_masks_occurrence_column_by_year_losses() {
+        let store = store();
+        // Grouped by peril, hurricane year totals: [3, 1, 4, 2]; keeping
+        // trials with year loss >= 2 retains trials {0, 2, 3} whose
+        // occurrence maxima are [2, 3, 2].
+        let query = QueryBuilder::new()
+            .with_perils([Peril::Hurricane])
+            .group_by(Dimension::Peril)
+            .loss_at_least(2.0)
+            .aggregate(Aggregate::Pml {
+                return_period: 2.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap();
+        let result = execute(&store, &query).unwrap();
+        let expected = ExceedanceCurve::new(vec![2.0, 3.0, 2.0]).loss_at_return_period(2.0);
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(expected));
+    }
+
+    #[test]
+    fn loss_range_scan_is_block_count_invariant() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .loss_in(1.0, 5.0)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        let reference = {
+            let mut partial = PartialAggregate::identity(plan.num_groups(), plan.num_trials());
+            for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+                partial.accumulate(
+                    group,
+                    crate::store::SegmentSource::year_losses(&store, segment),
+                    crate::store::SegmentSource::max_occ_losses(&store, segment),
+                );
+            }
+            partial.retain_by_year(plan.loss.unwrap());
+            partial
+        };
+        for threads in [1, 2, 3, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let scanned = pool.install(|| scan(&store, &plan));
+            assert_eq!(scanned, reference, "threads={threads}");
+        }
     }
 
     #[test]

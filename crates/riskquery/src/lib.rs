@@ -66,8 +66,11 @@
 //! assert_eq!(result.rows.len(), 2);
 //! ```
 //!
-//! Follow-on work tracked in the workspace ROADMAP: a persistent
-//! parquet-style store and an async serving front-end over
+//! The scan pipeline is generic over [`SegmentSource`], so the same
+//! queries run against the in-memory [`ResultStore`] and against
+//! persistent stores reopened from disk by the `catrisk-riskstore` crate
+//! (whose reader hands the scan zero-copy column slices).  Follow-on work
+//! tracked in the workspace ROADMAP: an async serving front-end over
 //! [`QuerySession`].
 
 #![warn(missing_docs)]
@@ -89,20 +92,20 @@ pub use dims::{Dimension, LineOfBusiness, SegmentMeta};
 pub use exec::{execute, PartialAggregate};
 pub use parse::{parse_group_by, parse_select, parse_where};
 pub use plan::QueryPlan;
-pub use query::{Aggregate, Basis, Filter, Query, QueryBuilder};
+pub use query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
 pub use result::{AggValue, DimValue, QueryResult, ResultRow};
 pub use segmentation::{split_pairs_by_peril, SegmentedBook, SegmentedInput};
 pub use session::QuerySession;
-pub use store::ResultStore;
+pub use store::{ResultStore, SegmentSource};
 
 /// Convenience re-exports for query construction and execution.
 pub mod prelude {
     pub use crate::dims::{Dimension, LineOfBusiness, SegmentMeta};
     pub use crate::exec::execute;
-    pub use crate::query::{Aggregate, Basis, Filter, Query, QueryBuilder};
+    pub use crate::query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
     pub use crate::result::{AggValue, DimValue, QueryResult, ResultRow};
     pub use crate::session::QuerySession;
-    pub use crate::store::ResultStore;
+    pub use crate::store::{ResultStore, SegmentSource};
 }
 
 /// Errors produced while building, parsing or executing queries.

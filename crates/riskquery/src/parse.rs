@@ -11,7 +11,9 @@
 //!   an optional `trial=start..end` window:
 //!   `peril=HU|FL region=Europe lob=PROP layer=0|2 trial=0..10000`
 //!   (values match either the enum name or the short code,
-//!   case-insensitively);
+//!   case-insensitively), and optional loss-range constraints `loss>=x`,
+//!   `loss<=x`, `loss=[min,max]` conditioning each group on the trials
+//!   whose summed year loss lies in the (inclusive) range;
 //! * **group by** — comma-separated dimensions: `peril, region`.
 //!
 //! All errors are reported as [`QueryError::Parse`] — malformed input never
@@ -168,10 +170,57 @@ fn parse_values<T>(list: &str, parse_one: impl Fn(&str) -> Result<T>) -> Result<
         .collect()
 }
 
+fn parse_loss_bound(token: &str, bound: &str) -> Result<f64> {
+    bound
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| parse_err(format!("invalid loss bound `{bound}` in `{token}`")))
+}
+
+/// Parses one `loss…` constraint (`loss>=x`, `loss<=x`, `loss=[a,b]`) into
+/// the filter, merging with any bound set by an earlier loss token.
+fn parse_loss(filter: &mut Filter, token: &str) -> Result<()> {
+    let mut range = filter.loss.unwrap_or_default();
+    if let Some(bound) = token.strip_prefix("loss>=") {
+        range.min = parse_loss_bound(token, bound)?;
+    } else if let Some(bound) = token.strip_prefix("loss<=") {
+        range.max = parse_loss_bound(token, bound)?;
+    } else if let Some(body) = token.strip_prefix("loss=") {
+        let Some(list) = body.strip_prefix('[').and_then(|b| b.strip_suffix(']')) else {
+            return Err(parse_err(format!(
+                "loss range must be `loss=[min,max]`, `loss>=x` or `loss<=x`, got `{token}`"
+            )));
+        };
+        let Some((min, max)) = list.split_once(',') else {
+            return Err(parse_err(format!(
+                "loss range needs two bounds `loss=[min,max]`, got `{token}`"
+            )));
+        };
+        range.min = parse_loss_bound(token, min)?;
+        range.max = parse_loss_bound(token, max)?;
+    } else {
+        return Err(parse_err(format!(
+            "loss constraint must be `loss>=x`, `loss<=x` or `loss=[min,max]`, got `{token}`"
+        )));
+    }
+    if range.min.is_nan() || range.max.is_nan() || range.min > range.max {
+        return Err(parse_err(format!(
+            "empty loss range [{}, {}] from `{token}`",
+            range.min, range.max
+        )));
+    }
+    filter.loss = Some(range);
+    Ok(())
+}
+
 /// Parses a where clause into a [`Filter`].
 pub fn parse_where(text: &str) -> Result<Filter> {
     let mut filter = Filter::all();
     for token in text.split_whitespace() {
+        if token.starts_with("loss") {
+            parse_loss(&mut filter, token)?;
+            continue;
+        }
         let Some((key, value)) = token.split_once('=') else {
             return Err(parse_err(format!(
                 "expected `dimension=value` in where clause, got `{token}`"
@@ -203,7 +252,8 @@ pub fn parse_where(text: &str) -> Result<Filter> {
             }
             other => {
                 return Err(parse_err(format!(
-                    "unknown filter dimension `{other}` (expected peril, region, lob, layer, trial)"
+                    "unknown filter dimension `{other}` \
+                     (expected peril, region, lob, layer, trial, loss)"
                 )))
             }
         }
@@ -232,6 +282,7 @@ pub fn parse_group_by(text: &str) -> Result<Vec<Dimension>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::LossRange;
 
     #[test]
     fn select_clause_round_trip() {
@@ -303,6 +354,38 @@ mod tests {
         assert!(parse_where("trial=5").is_err());
         assert!(parse_where("trial=a..b").is_err());
         assert!(parse_where("layer=x").is_err());
+        assert!(parse_where("loss=5").is_err());
+        assert!(parse_where("loss>=abc").is_err());
+        assert!(parse_where("loss=[1,2,3]").is_err());
+        assert!(parse_where("loss=[9,1]").is_err());
+        assert!(parse_where("loss>=5 loss<=2").is_err());
+        assert!(parse_where("lossy=1").is_err());
+    }
+
+    #[test]
+    fn where_clause_parses_loss_ranges() {
+        let filter = parse_where("loss>=100").unwrap();
+        assert_eq!(filter.loss, Some(LossRange::at_least(100.0)));
+        let filter = parse_where("loss<=2e6").unwrap();
+        assert_eq!(filter.loss, Some(LossRange::at_most(2.0e6)));
+        let filter = parse_where("loss=[100,2e6]").unwrap();
+        assert_eq!(
+            filter.loss,
+            Some(LossRange {
+                min: 100.0,
+                max: 2.0e6
+            })
+        );
+        // Bounds given as separate tokens merge into one range.
+        let filter = parse_where("peril=HU loss>=10 loss<=90").unwrap();
+        assert_eq!(
+            filter.loss,
+            Some(LossRange {
+                min: 10.0,
+                max: 90.0
+            })
+        );
+        assert_eq!(filter.perils, Some(vec![Peril::Hurricane]));
     }
 
     #[test]

@@ -4,9 +4,9 @@
 use std::collections::HashMap;
 
 use crate::dims::Dimension;
-use crate::query::{Filter, Query};
+use crate::query::{Filter, LossRange, Query};
 use crate::result::DimValue;
-use crate::store::ResultStore;
+use crate::store::SegmentSource;
 use crate::{QueryError, Result};
 
 /// A per-dimension predicate resolved to dictionary codes: `None` passes
@@ -35,19 +35,22 @@ pub struct QueryPlan {
     pub trial_start: usize,
     /// End of the trial window.
     pub trial_end: usize,
+    /// Per-trial year-loss range each group is conditioned on, applied
+    /// inside the scan.
+    pub loss: Option<LossRange>,
     /// Surviving segment indices in store order.
     pub segments: Vec<usize>,
     /// `groups[i]` is the group index of `segments[i]`.
     pub groups: Vec<usize>,
     /// Decoded group keys, indexed by group (ordered by first appearance in
-    /// segment order, then sorted canonically by [`QueryPlan::sort_keys`]
-    /// at finalisation).
+    /// segment order, then sorted canonically by
+    /// [`QueryPlan::sorted_group_order`] at finalisation).
     pub keys: Vec<Vec<DimValue>>,
 }
 
 impl QueryPlan {
     /// Plans `query` against `store`.
-    pub fn new(store: &ResultStore, query: &Query) -> Result<QueryPlan> {
+    pub fn new<S: SegmentSource + ?Sized>(store: &S, query: &Query) -> Result<QueryPlan> {
         let (trial_start, trial_end) = resolve_trials(store, &query.filter)?;
         let predicates = resolve_predicates(store, &query.filter);
 
@@ -91,6 +94,7 @@ impl QueryPlan {
         Ok(QueryPlan {
             trial_start,
             trial_end,
+            loss: query.filter.loss,
             segments,
             groups,
             keys,
@@ -125,7 +129,11 @@ fn dim_index(dim: Dimension) -> usize {
     }
 }
 
-fn decode_key(store: &ResultStore, dims: &[Dimension], codes: &[u32]) -> Vec<DimValue> {
+fn decode_key<S: SegmentSource + ?Sized>(
+    store: &S,
+    dims: &[Dimension],
+    codes: &[u32],
+) -> Vec<DimValue> {
     dims.iter()
         .zip(codes)
         .map(|(dim, &code)| match dim {
@@ -137,7 +145,7 @@ fn decode_key(store: &ResultStore, dims: &[Dimension], codes: &[u32]) -> Vec<Dim
         .collect()
 }
 
-fn resolve_trials(store: &ResultStore, filter: &Filter) -> Result<(usize, usize)> {
+fn resolve_trials<S: SegmentSource + ?Sized>(store: &S, filter: &Filter) -> Result<(usize, usize)> {
     if store.num_trials() == 0 {
         return Err(QueryError::Store(
             "the store holds no trials; aggregates over an empty trial set are undefined"
@@ -163,7 +171,7 @@ fn resolve_trials(store: &ResultStore, filter: &Filter) -> Result<(usize, usize)
     }
 }
 
-fn resolve_predicates(store: &ResultStore, filter: &Filter) -> [CodePredicate; 4] {
+fn resolve_predicates<S: SegmentSource + ?Sized>(store: &S, filter: &Filter) -> [CodePredicate; 4] {
     let layer = filter.layers.as_ref().map(|layers| {
         layers
             .iter()
@@ -202,6 +210,7 @@ mod tests {
     use super::*;
     use crate::dims::{LineOfBusiness, SegmentMeta};
     use crate::query::{Aggregate, QueryBuilder};
+    use crate::store::ResultStore;
     use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
     use catrisk_eventgen::peril::{Peril, Region};
     use catrisk_finterms::layer::LayerId;

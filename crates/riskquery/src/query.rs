@@ -16,12 +16,61 @@ pub enum Basis {
     Oep,
 }
 
+/// An inclusive range predicate over per-trial annual losses.
+///
+/// Applied *after* grouping, per trial: a trial survives for a result group
+/// when the group's summed year loss in that trial lies in `[min, max]`.
+/// This is the conditional-analysis primitive — "statistics of years where
+/// the selection lost at least x" — and it is pushed into the scan: trials
+/// are dropped block-by-block while the loss slices are hot, never
+/// materialised and post-filtered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossRange {
+    /// Smallest year loss kept (inclusive).  Losses are non-negative, so
+    /// `0.0` means "no lower bound".
+    pub min: f64,
+    /// Largest year loss kept (inclusive).  `f64::INFINITY` means "no upper
+    /// bound".
+    pub max: f64,
+}
+
+impl LossRange {
+    /// `[min, ∞)`.
+    pub fn at_least(min: f64) -> Self {
+        Self {
+            min,
+            max: f64::INFINITY,
+        }
+    }
+
+    /// `[0, max]`.
+    pub fn at_most(max: f64) -> Self {
+        Self { min: 0.0, max }
+    }
+
+    /// True when `loss` lies in the range.
+    #[inline]
+    pub fn contains(&self, loss: f64) -> bool {
+        loss >= self.min && loss <= self.max
+    }
+}
+
+impl Default for LossRange {
+    fn default() -> Self {
+        Self {
+            min: 0.0,
+            max: f64::INFINITY,
+        }
+    }
+}
+
 /// Conjunctive segment filter: a segment survives when every specified
 /// dimension list contains its value.  `None` means "no constraint".
 ///
 /// The trial filter restricts the scanned trial window (half-open range),
 /// which is how convergence-style queries ("the same metric over the first
-/// N trials") are expressed.
+/// N trials") are expressed.  The loss filter conditions each result group
+/// on the trials whose summed year loss lies in a [`LossRange`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Filter {
     /// Perils to keep.
@@ -34,6 +83,8 @@ pub struct Filter {
     pub layers: Option<Vec<u32>>,
     /// Half-open trial window `[start, end)`.
     pub trials: Option<(usize, usize)>,
+    /// Per-trial year-loss range each group is conditioned on.
+    pub loss: Option<LossRange>,
 }
 
 impl Filter {
@@ -218,6 +269,31 @@ impl QueryBuilder {
         self
     }
 
+    /// Conditions each group on trials whose summed year loss is at least
+    /// `min` (inclusive).  Combines with an earlier upper bound.
+    pub fn loss_at_least(mut self, min: f64) -> Self {
+        let mut range = self.filter.loss.unwrap_or_default();
+        range.min = min;
+        self.filter.loss = Some(range);
+        self
+    }
+
+    /// Conditions each group on trials whose summed year loss is at most
+    /// `max` (inclusive).  Combines with an earlier lower bound.
+    pub fn loss_at_most(mut self, max: f64) -> Self {
+        let mut range = self.filter.loss.unwrap_or_default();
+        range.max = max;
+        self.filter.loss = Some(range);
+        self
+    }
+
+    /// Conditions each group on trials whose summed year loss lies in
+    /// `[min, max]` (both inclusive).
+    pub fn loss_in(mut self, min: f64, max: f64) -> Self {
+        self.filter.loss = Some(LossRange { min, max });
+        self
+    }
+
     /// Adds a group-by dimension (call order defines key order).
     pub fn group_by(mut self, dimension: Dimension) -> Self {
         self.group_by.push(dimension);
@@ -253,6 +329,19 @@ impl QueryBuilder {
             if start >= end {
                 return Err(QueryError::InvalidQuery(format!(
                     "empty trial window {start}..{end}"
+                )));
+            }
+        }
+        if let Some(range) = self.filter.loss {
+            if range.min.is_nan() || range.max.is_nan() {
+                return Err(QueryError::InvalidQuery(
+                    "loss range bounds must not be NaN".to_string(),
+                ));
+            }
+            if range.min > range.max {
+                return Err(QueryError::InvalidQuery(format!(
+                    "empty loss range [{}, {}]",
+                    range.min, range.max
                 )));
             }
         }
@@ -316,6 +405,16 @@ mod tests {
             .build()
             .is_err());
         assert!(QueryBuilder::new()
+            .loss_in(10.0, 5.0)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
+            .loss_at_least(f64::NAN)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new()
             .with_perils([])
             .aggregate(Aggregate::Mean)
             .build()
@@ -344,6 +443,30 @@ mod tests {
         let (filter, dims) = query.scan_spec();
         assert_eq!(filter, &query.filter);
         assert_eq!(dims, &query.group_by[..]);
+    }
+
+    #[test]
+    fn loss_bounds_combine_into_one_range() {
+        let query = QueryBuilder::new()
+            .loss_at_least(100.0)
+            .loss_at_most(500.0)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert_eq!(
+            query.filter.loss,
+            Some(LossRange {
+                min: 100.0,
+                max: 500.0
+            })
+        );
+        let range = LossRange::at_least(2.0);
+        assert!(range.contains(2.0));
+        assert!(!range.contains(1.9));
+        assert!(range.contains(f64::MAX));
+        let range = LossRange::at_most(2.0);
+        assert!(range.contains(0.0));
+        assert!(!range.contains(2.1));
     }
 
     #[test]

@@ -26,14 +26,31 @@ use crate::exec::{self, PartialAggregate};
 use crate::plan::QueryPlan;
 use crate::query::Query;
 use crate::result::QueryResult;
-use crate::store::ResultStore;
+use crate::store::{ResultStore, SegmentSource};
 use crate::Result;
 
-/// A batched query session over one store.
-#[derive(Debug, Clone, Copy)]
-pub struct QuerySession<'a> {
-    store: &'a ResultStore,
+/// A batched query session over one store — any [`SegmentSource`], the
+/// in-memory [`ResultStore`] (the default) or a persistent reader.
+pub struct QuerySession<'a, S: SegmentSource + ?Sized = ResultStore> {
+    store: &'a S,
 }
+
+impl<S: SegmentSource + ?Sized> std::fmt::Debug for QuerySession<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySession")
+            .field("segments", &self.store.num_segments())
+            .field("trials", &self.store.num_trials())
+            .finish()
+    }
+}
+
+impl<S: SegmentSource + ?Sized> Clone for QuerySession<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: SegmentSource + ?Sized> Copy for QuerySession<'_, S> {}
 
 /// One deduplicated scan spec and the queries that share it.
 struct Spec {
@@ -44,14 +61,14 @@ struct Spec {
     partial: Option<PartialAggregate>,
 }
 
-impl<'a> QuerySession<'a> {
+impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
     /// Opens a session over `store`.
-    pub fn new(store: &'a ResultStore) -> Self {
+    pub fn new(store: &'a S) -> Self {
         Self { store }
     }
 
     /// The store this session serves.
-    pub fn store(&self) -> &ResultStore {
+    pub fn store(&self) -> &S {
         self.store
     }
 
@@ -166,6 +183,11 @@ impl<'a> QuerySession<'a> {
                         partials[mi as usize].accumulate(group as usize, year, occ);
                     }
                 }
+                for (partial, &si) in partials.iter_mut().zip(members) {
+                    if let Some(range) = specs[si].plan.loss {
+                        partial.retain_by_year(range);
+                    }
+                }
                 partials
             })
             .collect();
@@ -264,6 +286,13 @@ mod tests {
                 .trials(0..64)
                 .aggregate(Aggregate::Mean)
                 .aggregate(Aggregate::StdDev)
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .group_by(Dimension::Region)
+                .loss_at_least(1.0e5)
+                .aggregate(Aggregate::Mean)
+                .aggregate(Aggregate::Tvar { level: 0.9 })
                 .build()
                 .unwrap(),
         ]

@@ -9,6 +9,59 @@ use crate::dict::Dictionary;
 use crate::dims::{LineOfBusiness, SegmentMeta};
 use crate::{QueryError, Result};
 
+/// Columnar segment storage the query engine can scan.
+///
+/// The planner ([`QueryPlan`](crate::plan::QueryPlan)), executor
+/// ([`execute`](crate::exec::execute)) and
+/// [`QuerySession`](crate::session::QuerySession) are generic over this
+/// trait, so the same parallel scan runs over the in-memory [`ResultStore`]
+/// and over persistence back-ends (the on-disk reader in `catrisk-riskstore`
+/// hands out slices borrowed straight from its loaded column region — no
+/// per-query deserialisation).
+///
+/// The contract mirrors [`ResultStore`]'s layout: every segment holds
+/// exactly [`num_trials`](SegmentSource::num_trials) losses per column, the
+/// per-segment code vectors are indexed by segment, and each dictionary maps
+/// the codes appearing in the corresponding code vector.  Implementations
+/// must be `Sync`: the scan shares `&self` across worker threads.
+pub trait SegmentSource: Sync {
+    /// Number of trials every segment holds.
+    fn num_trials(&self) -> usize;
+
+    /// Number of segments.
+    fn num_segments(&self) -> usize;
+
+    /// The year-loss slice of one segment (one value per trial).
+    fn year_losses(&self, segment: usize) -> &[f64];
+
+    /// The maximum-occurrence-loss slice of one segment.
+    fn max_occ_losses(&self, segment: usize) -> &[f64];
+
+    /// Per-segment dictionary codes of the layer dimension.
+    fn layer_codes(&self) -> &[u32];
+
+    /// Per-segment dictionary codes of the peril dimension.
+    fn peril_codes(&self) -> &[u32];
+
+    /// Per-segment dictionary codes of the region dimension.
+    fn region_codes(&self) -> &[u32];
+
+    /// Per-segment dictionary codes of the line-of-business dimension.
+    fn lob_codes(&self) -> &[u32];
+
+    /// The layer dictionary.
+    fn layer_dict(&self) -> &Dictionary<LayerId>;
+
+    /// The peril dictionary.
+    fn peril_dict(&self) -> &Dictionary<Peril>;
+
+    /// The region dictionary.
+    fn region_dict(&self) -> &Dictionary<Region>;
+
+    /// The line-of-business dictionary.
+    fn lob_dict(&self) -> &Dictionary<LineOfBusiness>;
+}
+
 /// Columnar store of simulation results.
 ///
 /// Each ingested YLT becomes one *segment*: a contiguous run of
@@ -190,6 +243,56 @@ impl ResultStore {
                 + self.region_codes.len()
                 + self.lob_codes.len())
                 * std::mem::size_of::<u32>()
+    }
+}
+
+impl SegmentSource for ResultStore {
+    fn num_trials(&self) -> usize {
+        self.num_trials
+    }
+
+    fn num_segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    fn year_losses(&self, segment: usize) -> &[f64] {
+        ResultStore::year_losses(self, segment)
+    }
+
+    fn max_occ_losses(&self, segment: usize) -> &[f64] {
+        ResultStore::max_occ_losses(self, segment)
+    }
+
+    fn layer_codes(&self) -> &[u32] {
+        &self.layer_codes
+    }
+
+    fn peril_codes(&self) -> &[u32] {
+        &self.peril_codes
+    }
+
+    fn region_codes(&self) -> &[u32] {
+        &self.region_codes
+    }
+
+    fn lob_codes(&self) -> &[u32] {
+        &self.lob_codes
+    }
+
+    fn layer_dict(&self) -> &Dictionary<LayerId> {
+        &self.layer_dict
+    }
+
+    fn peril_dict(&self) -> &Dictionary<Peril> {
+        &self.peril_dict
+    }
+
+    fn region_dict(&self) -> &Dictionary<Region> {
+        &self.region_dict
+    }
+
+    fn lob_dict(&self) -> &Dictionary<LineOfBusiness> {
+        &self.lob_dict
     }
 }
 

@@ -1,0 +1,503 @@
+//! The verifying, zero-copy store reader.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::{Dictionary, LineOfBusiness, QuerySession, SegmentMeta, SegmentSource};
+
+use crate::footer::{decode_layer, decode_lob, decode_peril, decode_region, Footer};
+use crate::format::{crc32, pages_per_column, read_up_to, Header, HEADER_LEN};
+use crate::{Result, StoreError};
+
+/// The loss columns of every committed segment, loaded once into a single
+/// 8-aligned region.
+///
+/// The backing allocation is `u64`s, so reinterpreting any sub-range as
+/// `f64`s is free: same size, same alignment, and every bit pattern is a
+/// valid `f64`.  Column slices handed to the query scan borrow straight
+/// from this region — opening the file is the only copy, queries
+/// deserialise nothing.  (A true `mmap(2)` would satisfy the same
+/// interface; the loaded region keeps the crate dependency-free and the
+/// swap is confined to this type.)
+#[derive(Debug, Default)]
+struct ColumnRegion {
+    bits: Vec<u64>,
+}
+
+impl ColumnRegion {
+    fn with_len(values: usize) -> Self {
+        Self {
+            bits: vec![0u64; values],
+        }
+    }
+
+    /// Mutable byte view for loading from the file.
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: `u64` has no padding or invalid bit patterns, the
+        // allocation is valid for `len * 8` bytes, and `u8` has alignment 1.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.bits.as_mut_ptr().cast::<u8>(), self.bits.len() * 8)
+        }
+    }
+
+    /// Shared byte view for checksum verification.
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: as above, shared.
+        unsafe { std::slice::from_raw_parts(self.bits.as_ptr().cast::<u8>(), self.bits.len() * 8) }
+    }
+
+    /// The region as losses.
+    fn losses(&self) -> &[f64] {
+        // SAFETY: `f64` and `u64` share size and alignment and every `u64`
+        // bit pattern is a valid `f64` (the file stores IEEE-754 bits).
+        unsafe { std::slice::from_raw_parts(self.bits.as_ptr().cast::<f64>(), self.bits.len()) }
+    }
+
+    /// Converts the little-endian file bytes to native byte order in
+    /// place.  A no-op on little-endian targets.
+    fn make_native_endian(&mut self) {
+        if cfg!(target_endian = "big") {
+            for bits in &mut self.bits {
+                *bits = u64::from_le(*bits);
+            }
+        }
+    }
+}
+
+/// Read-only view of a committed store file.
+///
+/// Opening validates everything the queries will touch — header and footer
+/// checksums, dictionary pages, code columns, and the CRC of every loss
+/// page — so scan-time access is unchecked slicing.  The reader implements
+/// [`SegmentSource`]: pass it to `catrisk_riskquery::execute` or wrap it
+/// in a [`QuerySession`] via [`StoreReader::session`], and the parallel
+/// scan consumes its column slices exactly as it consumes the in-memory
+/// `ResultStore`'s.
+#[derive(Debug, Default)]
+pub struct StoreReader {
+    num_trials: usize,
+    commit_seq: u64,
+    metas: Vec<SegmentMeta>,
+    codes: [Vec<u32>; 4],
+    layer_dict: Dictionary<LayerId>,
+    peril_dict: Dictionary<Peril>,
+    region_dict: Dictionary<Region>,
+    lob_dict: Dictionary<LineOfBusiness>,
+    columns: ColumnRegion,
+}
+
+impl StoreReader {
+    /// Opens and fully validates the committed prefix of a store file.
+    pub fn open(path: impl AsRef<Path>) -> Result<StoreReader> {
+        let mut file = File::open(path.as_ref())?;
+        let file_len = file.metadata()?.len();
+
+        let mut header_bytes = [0u8; HEADER_LEN as usize];
+        let got = read_up_to(&mut file, &mut header_bytes)?;
+        let header = Header::decode(&header_bytes[..got])?;
+        let num_trials = usize::try_from(header.num_trials)
+            .map_err(|_| StoreError::Corrupt("absurd trial count in header".to_string()))?;
+
+        let mut reader = StoreReader {
+            num_trials,
+            commit_seq: header.commit_seq,
+            ..StoreReader::default()
+        };
+        if header.footer_offset == 0 {
+            // Valid, just empty: created but never committed.
+            return Ok(reader);
+        }
+
+        if header
+            .footer_offset
+            .checked_add(header.footer_len)
+            .is_none_or(|end| end > file_len)
+        {
+            return Err(StoreError::Truncated {
+                what: format!(
+                    "footer at {}..{} but the file holds {file_len} bytes",
+                    header.footer_offset,
+                    header.footer_offset.saturating_add(header.footer_len)
+                ),
+            });
+        }
+        file.seek(SeekFrom::Start(header.footer_offset))?;
+        let mut footer_bytes = vec![0u8; header.footer_len as usize];
+        file.read_exact(&mut footer_bytes)?;
+        let pages = pages_per_column(num_trials, header.page_trials);
+        let footer = Footer::decode(&footer_bytes, header.commit_seq, pages)?;
+
+        reader.rebuild_dictionaries(&footer)?;
+        reader.rebuild_metas(&footer)?;
+        reader.load_columns(&mut file, file_len, &header, &footer)?;
+        reader.codes = footer.codes;
+        Ok(reader)
+    }
+
+    fn rebuild_dictionaries(&mut self, footer: &Footer) -> Result<()> {
+        // Interning in file order reproduces the writer's code assignment.
+        for &raw in &footer.dict_values[0] {
+            self.layer_dict.intern(decode_layer(raw)?);
+        }
+        for &raw in &footer.dict_values[1] {
+            self.peril_dict.intern(decode_peril(raw)?);
+        }
+        for &raw in &footer.dict_values[2] {
+            self.region_dict.intern(decode_region(raw)?);
+        }
+        for &raw in &footer.dict_values[3] {
+            self.lob_dict.intern(decode_lob(raw)?);
+        }
+        Ok(())
+    }
+
+    fn rebuild_metas(&mut self, footer: &Footer) -> Result<()> {
+        let segments = footer.segments.len();
+        self.metas = (0..segments)
+            .map(|s| {
+                SegmentMeta::new(
+                    *self.layer_dict.value(footer.codes[0][s]),
+                    *self.peril_dict.value(footer.codes[1][s]),
+                    *self.region_dict.value(footer.codes[2][s]),
+                    *self.lob_dict.value(footer.codes[3][s]),
+                )
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Loads every segment's two columns into the shared region
+    /// (segment-major: `[seg0 year | seg0 occ | seg1 year | ...]`) and
+    /// verifies every page checksum against the footer watermarks.
+    fn load_columns(
+        &mut self,
+        file: &mut File,
+        file_len: u64,
+        header: &Header,
+        footer: &Footer,
+    ) -> Result<()> {
+        let trials = self.num_trials;
+        // Validate every directory entry against the real file size before
+        // allocating anything: header and footer values are file-controlled,
+        // and a corrupt (or hostile, CRCs are forgeable) file must produce a
+        // typed error, not a capacity panic or a wild allocation.  The
+        // bounds below also cap the region size: per entry, two columns of
+        // `trials` f64s must fit inside the file.
+        let segment_bytes = (trials as u64)
+            .checked_mul(16)
+            .filter(|&bytes| bytes <= file_len)
+            .ok_or_else(|| StoreError::Truncated {
+                what: format!(
+                    "a {trials}-trial segment needs more bytes than the file's {file_len}"
+                ),
+            });
+        let segment_bytes = if footer.segments.is_empty() {
+            0
+        } else {
+            segment_bytes?
+        };
+        for (index, entry) in footer.segments.iter().enumerate() {
+            if entry.data_offset < HEADER_LEN
+                || entry
+                    .data_offset
+                    .checked_add(segment_bytes)
+                    .is_none_or(|end| end > file_len)
+            {
+                return Err(StoreError::Truncated {
+                    what: format!(
+                        "segment {index} data at offset {} exceeds the file's {file_len} bytes",
+                        entry.data_offset
+                    ),
+                });
+            }
+        }
+        // Honest segments are disjoint, so their combined bytes fit in the
+        // file; this caps the region allocation at the actual file size.
+        if (footer.segments.len() as u64)
+            .checked_mul(segment_bytes)
+            .is_none_or(|total| total > file_len)
+        {
+            return Err(StoreError::Corrupt(format!(
+                "{} segments of {segment_bytes} bytes each exceed the file's {file_len} bytes",
+                footer.segments.len()
+            )));
+        }
+        self.columns = ColumnRegion::with_len(footer.segments.len() * 2 * trials);
+        for (index, entry) in footer.segments.iter().enumerate() {
+            file.seek(SeekFrom::Start(entry.data_offset))?;
+            let start = index * 2 * trials * 8;
+            let end = start + 2 * trials * 8;
+            file.read_exact(&mut self.columns.bytes_mut()[start..end])?;
+
+            let page_bytes = header.page_trials as usize * 8;
+            let segment_bytes = &self.columns.bytes()[start..end];
+            let (year_bytes, occ_bytes) = segment_bytes.split_at(trials * 8);
+            for (column, crcs, what) in [
+                (year_bytes, &entry.year_page_crcs, "year-loss"),
+                (occ_bytes, &entry.occ_page_crcs, "occurrence-loss"),
+            ] {
+                for (page_index, page) in column.chunks(page_bytes).enumerate() {
+                    if crc32(page) != crcs[page_index] {
+                        return Err(StoreError::ChecksumMismatch {
+                            what: format!("segment {index} {what} page {page_index}"),
+                        });
+                    }
+                }
+            }
+        }
+        self.columns.make_native_endian();
+        Ok(())
+    }
+
+    /// Trials every segment holds.
+    pub fn num_trials(&self) -> usize {
+        self.num_trials
+    }
+
+    /// Committed segments visible to this reader.
+    pub fn num_segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when the store has no committed segments.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// The commit sequence this reader observed — later commits to the
+    /// same file are invisible until it is reopened.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// The dimension tags of one segment.
+    pub fn meta(&self, segment: usize) -> &SegmentMeta {
+        &self.metas[segment]
+    }
+
+    /// All segment tags in segment order.
+    pub fn metas(&self) -> &[SegmentMeta] {
+        &self.metas
+    }
+
+    /// Resident bytes of the loaded loss columns.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.bits.len() * 8
+    }
+
+    /// A batched query session over this reader — the open-from-file
+    /// serving path.
+    pub fn session(&self) -> QuerySession<'_, StoreReader> {
+        QuerySession::new(self)
+    }
+}
+
+impl SegmentSource for StoreReader {
+    fn num_trials(&self) -> usize {
+        self.num_trials
+    }
+
+    fn num_segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    fn year_losses(&self, segment: usize) -> &[f64] {
+        let start = segment * 2 * self.num_trials;
+        &self.columns.losses()[start..start + self.num_trials]
+    }
+
+    fn max_occ_losses(&self, segment: usize) -> &[f64] {
+        let start = segment * 2 * self.num_trials + self.num_trials;
+        &self.columns.losses()[start..start + self.num_trials]
+    }
+
+    fn layer_codes(&self) -> &[u32] {
+        &self.codes[0]
+    }
+
+    fn peril_codes(&self) -> &[u32] {
+        &self.codes[1]
+    }
+
+    fn region_codes(&self) -> &[u32] {
+        &self.codes[2]
+    }
+
+    fn lob_codes(&self) -> &[u32] {
+        &self.codes[3]
+    }
+
+    fn layer_dict(&self) -> &Dictionary<LayerId> {
+        &self.layer_dict
+    }
+
+    fn peril_dict(&self) -> &Dictionary<Peril> {
+        &self.peril_dict
+    }
+
+    fn region_dict(&self) -> &Dictionary<Region> {
+        &self.region_dict
+    }
+
+    fn lob_dict(&self) -> &Dictionary<LineOfBusiness> {
+        &self.lob_dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{StoreOptions, StoreWriter};
+    use catrisk_riskquery::prelude::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "catrisk-reader-{}-{}.clm",
+            std::process::id(),
+            name
+        ));
+        path
+    }
+
+    fn meta(layer: u32, peril: Peril, region: Region) -> SegmentMeta {
+        SegmentMeta::new(LayerId(layer), peril, region, LineOfBusiness::Property)
+    }
+
+    #[test]
+    fn round_trips_columns_and_dimensions() {
+        let path = temp_path("roundtrip");
+        let mut writer =
+            StoreWriter::create_with(&path, 3, StoreOptions { page_trials: 2 }).unwrap();
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[1.0, 0.0, 5.5],
+                &[0.5, 0.0, 5.5],
+            )
+            .unwrap();
+        writer
+            .append_segment(
+                meta(1, Peril::Flood, Region::Japan),
+                &[2.0, 4.0, 0.0],
+                &[2.0, 3.0, 0.0],
+            )
+            .unwrap();
+        writer.finish().unwrap();
+
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_trials(), 3);
+        assert_eq!(reader.num_segments(), 2);
+        assert_eq!(SegmentSource::year_losses(&reader, 0), &[1.0, 0.0, 5.5]);
+        assert_eq!(SegmentSource::max_occ_losses(&reader, 0), &[0.5, 0.0, 5.5]);
+        assert_eq!(SegmentSource::year_losses(&reader, 1), &[2.0, 4.0, 0.0]);
+        assert_eq!(reader.meta(1).peril, Peril::Flood);
+        assert_eq!(reader.meta(1).region, Region::Japan);
+        assert_eq!(reader.metas().len(), 2);
+        assert_eq!(reader.peril_codes(), &[0, 1]);
+        assert_eq!(*reader.peril_dict().value(1), Peril::Flood);
+        assert!(reader.memory_bytes() >= 2 * 2 * 3 * 8);
+        assert!(!reader.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_and_uncommitted_stores_read_as_empty() {
+        let path = temp_path("empty");
+        let mut writer = StoreWriter::create(&path, 8).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_segments(), 0);
+        assert!(reader.is_empty());
+        assert_eq!(reader.num_trials(), 8);
+
+        // Appended but uncommitted segments stay invisible.
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[0.0; 8],
+                &[0.0; 8],
+            )
+            .unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_segments(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reader_sees_committed_prefix_while_writer_appends() {
+        let path = temp_path("prefix");
+        let mut writer = StoreWriter::create(&path, 2).unwrap();
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[1.0, 2.0],
+                &[1.0, 2.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_segments(), 1);
+        let seq = reader.commit_seq();
+
+        // The writer keeps going: appends + a second commit.
+        writer
+            .append_segment(
+                meta(1, Peril::Flood, Region::Japan),
+                &[3.0, 4.0],
+                &[3.0, 4.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+
+        // The old reader's data is untouched (committed bytes are never
+        // overwritten); a fresh open sees both segments.
+        assert_eq!(SegmentSource::year_losses(&reader, 0), &[1.0, 2.0]);
+        let fresh = StoreReader::open(&path).unwrap();
+        assert_eq!(fresh.num_segments(), 2);
+        assert_eq!(fresh.commit_seq(), seq + 1);
+        assert_eq!(SegmentSource::year_losses(&fresh, 1), &[3.0, 4.0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn queries_run_against_the_reader() {
+        let path = temp_path("query");
+        let mut writer = StoreWriter::create(&path, 4).unwrap();
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[1.0, 0.0, 4.0, 2.0],
+                &[1.0, 0.0, 3.0, 2.0],
+            )
+            .unwrap();
+        writer
+            .append_segment(
+                meta(1, Peril::Flood, Region::Europe),
+                &[0.0, 5.0, 1.0, 3.0],
+                &[0.0, 4.0, 1.0, 3.0],
+            )
+            .unwrap();
+        writer.finish().unwrap();
+
+        let reader = StoreReader::open(&path).unwrap();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let result = execute(&reader, &query).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].values[0], AggValue::Scalar(7.0 / 4.0));
+        assert_eq!(result.rows[1].values[0], AggValue::Scalar(9.0 / 4.0));
+
+        // And through the batched session facade.
+        let batched = reader.session().run(std::slice::from_ref(&query)).unwrap();
+        assert_eq!(batched[0], result);
+        let _ = std::fs::remove_file(&path);
+    }
+}

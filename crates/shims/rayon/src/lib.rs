@@ -7,15 +7,21 @@
 //! (`ThreadPoolBuilder`, `ThreadPool::install`).
 //!
 //! Execution model: terminals split the materialised items into one
-//! contiguous chunk per worker and run each chunk on a scoped thread.
-//! Results are concatenated (or reduced) **in chunk order**, so `collect`
-//! preserves input order exactly like rayon's indexed collect, and `reduce`
-//! combines partial results deterministically for a fixed thread count.
-//! There is no work stealing; the engines in this workspace parallelise
-//! over uniformly sized trials, where static chunking is a good fit.
+//! contiguous chunk per worker and run the chunks on a **persistent
+//! worker pool** (lazily started, one thread per logical CPU, shared by
+//! the whole process), so small inputs do not pay a thread spawn per
+//! terminal operation.  Results are concatenated (or reduced) **in chunk
+//! order**, so `collect` preserves input order exactly like rayon's
+//! indexed collect, and `reduce` combines partial results
+//! deterministically for a fixed thread count.  Nested terminals — a
+//! parallel iterator used inside a worker's chunk — fall back to scoped
+//! threads, which keeps the pool deadlock-free without work stealing.
+//! The engines in this workspace parallelise over uniformly sized trials,
+//! where static chunking is a good fit.
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Thread-count plumbing
@@ -85,9 +91,10 @@ impl ThreadPoolBuilder {
 }
 
 /// A "thread pool": in the shim, a resolved worker count that terminals
-/// running under [`ThreadPool::install`] will use.  Threads are spawned
-/// scoped per terminal rather than kept alive, which keeps the shim tiny at
-/// the cost of per-call spawn overhead.
+/// running under [`ThreadPool::install`] will use.  It owns no threads of
+/// its own — chunks execute on the shared process-wide worker pool (or on
+/// scoped fallback threads when nested); `install` only scopes how many
+/// chunks a terminal splits its input into.
 #[derive(Debug)]
 pub struct ThreadPool {
     threads: usize,
@@ -125,9 +132,103 @@ impl ThreadPool {
 // Parallel execution core
 // ---------------------------------------------------------------------------
 
-/// Splits `items` into one contiguous chunk per worker, runs `per_chunk` on
-/// each chunk on a scoped thread, and returns the per-chunk results in
-/// chunk order.
+thread_local! {
+    /// True on threads owned by the global worker pool; used to detect
+    /// nested terminals.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A lifetime-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide persistent worker pool.
+///
+/// Started lazily on the first multi-chunk terminal; one worker per
+/// logical CPU, fed from a single queue.  Workers live for the rest of
+/// the process (the submitting side blocks until its jobs finish, so an
+/// idle pool merely parks in `recv`).
+struct WorkerPool {
+    sender: Mutex<mpsc::Sender<Job>>,
+}
+
+impl WorkerPool {
+    fn submit(&self, job: Job) {
+        self.sender
+            .lock()
+            .expect("rayon shim: pool sender poisoned")
+            .send(job)
+            .expect("rayon shim: worker pool hung up");
+    }
+}
+
+fn worker_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for index in 0..default_threads() {
+            let receiver = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{index}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        // Hold the receiver lock only while dequeuing.
+                        let job = receiver
+                            .lock()
+                            .expect("rayon shim: pool receiver poisoned")
+                            .recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("rayon shim: failed to spawn pool worker");
+        }
+        WorkerPool {
+            sender: Mutex::new(sender),
+        }
+    })
+}
+
+/// A counts-down-to-zero gate the submitting thread waits on.
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("rayon shim: latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("rayon shim: latch poisoned");
+        while *remaining > 0 {
+            remaining = self
+                .zero
+                .wait(remaining)
+                .expect("rayon shim: latch poisoned");
+        }
+    }
+}
+
+/// Splits `items` into one contiguous chunk per worker, runs `per_chunk`
+/// on each chunk — on the persistent pool, or on scoped threads when
+/// already running inside a pool worker (nested parallelism) — and
+/// returns the per-chunk results in chunk order.
 fn run_chunks<T: Send, R: Send>(items: Vec<T>, per_chunk: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
     let threads = current_num_threads().max(1);
     if threads == 1 || items.len() <= 1 {
@@ -141,11 +242,81 @@ fn run_chunks<T: Send, R: Send>(items: Vec<T>, per_chunk: impl Fn(Vec<T>) -> R +
         chunks.push(std::mem::replace(&mut rest, tail));
     }
     chunks.push(rest);
-    let per_chunk = &per_chunk;
+    if IS_POOL_WORKER.with(Cell::get) {
+        run_chunks_scoped(chunks, &per_chunk)
+    } else {
+        run_chunks_pooled(chunks, &per_chunk)
+    }
+}
+
+/// Runs the chunks as jobs on the persistent pool, blocking until all of
+/// them finish.  The first panicking chunk's payload is re-raised on the
+/// submitting thread.
+fn run_chunks_pooled<T: Send, R: Send>(
+    chunks: Vec<Vec<T>>,
+    per_chunk: &(impl Fn(Vec<T>) -> R + Sync),
+) -> Vec<R> {
+    let pool = worker_pool();
+    let results: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let latch = Latch::new(chunks.len());
+    {
+        let results = &results;
+        let latch = &latch;
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| per_chunk(chunk)));
+                *results[index]
+                    .lock()
+                    .expect("rayon shim: result slot poisoned") = Some(outcome);
+                latch.count_down();
+            });
+            // SAFETY: the job borrows `per_chunk`, `results` and `latch`
+            // from this stack frame.  `latch.wait()` below blocks until
+            // every submitted job has run its closure to completion (the
+            // count-down is the closure's last action), so the erased
+            // borrows never outlive their referents — the same latch
+            // argument real rayon's scoped injection rests on.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            pool.submit(job);
+        }
+        latch.wait();
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            let outcome = slot
+                .into_inner()
+                .expect("rayon shim: result slot poisoned")
+                .expect("rayon shim: job finished without a result");
+            match outcome {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })
+        .collect()
+}
+
+/// Scoped-thread fallback used for nested terminals: a chunk running on a
+/// pool worker can not wait for queue capacity without risking deadlock,
+/// so nested splits spawn their own short-lived scope instead.
+fn run_chunks_scoped<T: Send, R: Send>(
+    chunks: Vec<Vec<T>>,
+    per_chunk: &(impl Fn(Vec<T>) -> R + Sync),
+) -> Vec<R> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || per_chunk(chunk)))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // Deeper nesting must keep using scoped threads: the
+                    // pool's workers may all be blocked under this very
+                    // call chain.
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
+                    per_chunk(chunk)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -449,6 +620,49 @@ mod tests {
             .collect();
         assert_eq!(out.len(), 50);
         assert_eq!(out[1], 2);
+    }
+
+    #[test]
+    fn pool_is_a_process_singleton() {
+        // Force the pool up, then check no new pool is built per terminal.
+        let _: Vec<u32> = (0..64u32).into_par_iter().map(|i| i).collect();
+        let pool = worker_pool();
+        let _: Vec<u32> = (0..64u32).into_par_iter().map(|i| i + 1).collect();
+        let again = worker_pool();
+        assert!(std::ptr::eq(pool, again), "the pool is a process singleton");
+    }
+
+    #[test]
+    fn nested_terminals_complete_without_deadlock() {
+        let out: Vec<u64> = (0..16u64)
+            .into_par_iter()
+            .map(|i| {
+                // A parallel terminal inside a pool worker's chunk.
+                (0..100u64).into_par_iter().map(|j| i + j).sum::<u64>()
+            })
+            .collect();
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[0], 99 * 100 / 2);
+        assert_eq!(out[1], 99 * 100 / 2 + 100);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitting_thread() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0..1000u32)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 997 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool survives a panicked job and keeps serving.
+        let out: Vec<u32> = (0..100u32).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out[99], 297);
     }
 
     #[test]

@@ -9,8 +9,8 @@ pub trait Error: Sized + std::fmt::Display {
     fn custom<T: std::fmt::Display>(msg: T) -> Self;
 }
 
-/// The concrete error type of the built-in [`ValueDeserializer`]
-/// (`crate::value::ValueDeserializer`).
+/// The concrete error type of the built-in
+/// `crate::value::ValueDeserializer`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError {
     msg: String,

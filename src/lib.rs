@@ -17,7 +17,10 @@
 //!    [`portfolio`]);
 //! 6. ingest the Year Loss Tables into a **columnar query store** and answer
 //!    ad-hoc aggregate risk queries — filters, group-bys, EP curves,
-//!    VaR/TVaR, PML — QuPARA-style ([`riskquery`]).
+//!    VaR/TVaR, PML — QuPARA-style ([`riskquery`]);
+//! 7. spill result stores to a **persistent on-disk columnar format** with
+//!    incremental ingest and reopen them for querying without
+//!    re-simulation ([`riskstore`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through and
 //! `examples/adhoc_queries.rs` for the query subsystem.
@@ -33,6 +36,7 @@ pub use catrisk_lookup as lookup;
 pub use catrisk_metrics as metrics;
 pub use catrisk_portfolio as portfolio;
 pub use catrisk_riskquery as riskquery;
+pub use catrisk_riskstore as riskstore;
 pub use catrisk_simkit as simkit;
 
 /// Commonly used types, re-exported for convenience.

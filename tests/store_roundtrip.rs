@@ -1,0 +1,404 @@
+//! Round-trip and corruption tests of the persistent columnar store.
+//!
+//! The acceptance property: a store written by `StoreWriter` — in one
+//! commit or appended to incrementally across reopens — reopens via
+//! `StoreReader`, and every query over it is **bit-identical** to the same
+//! query over the in-memory `ResultStore` holding the same segments.
+//! Corrupted files (truncation, flipped bits, wrong magic or version) must
+//! surface typed `StoreError`s, never panics.
+
+use proptest::prelude::*;
+
+use catrisk::engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk::eventgen::peril::{Peril, Region};
+use catrisk::finterms::layer::LayerId;
+use catrisk::riskquery::prelude::*;
+use catrisk::riskstore::format::{crc32, HEADER_LEN, HEADER_SLOT_LEN};
+use catrisk::riskstore::{StoreError, StoreOptions, StoreReader, StoreWriter};
+use catrisk::simkit::rng::RngFactory;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "catrisk-roundtrip-{}-{tag}.clm",
+        std::process::id()
+    ));
+    path
+}
+
+/// Deterministic random store shaped like `SegmentedInput` output.
+fn random_store(trials: usize, segments: usize, seed: u64) -> ResultStore {
+    let factory = RngFactory::new(seed).derive("store-roundtrip");
+    let mut store = ResultStore::new(trials);
+    for s in 0..segments {
+        let mut rng = factory.stream(s as u64);
+        let outcomes: Vec<TrialOutcome> = (0..trials)
+            .map(|_| {
+                let year = if rng.uniform() < 0.4 {
+                    rng.uniform() * 1.0e6
+                } else {
+                    0.0
+                };
+                TrialOutcome {
+                    year_loss: year,
+                    max_occurrence_loss: year * rng.uniform(),
+                    nonzero_events: u32::from(year > 0.0),
+                }
+            })
+            .collect();
+        let meta = SegmentMeta::new(
+            LayerId((s / 3) as u32),
+            Peril::ALL[s % Peril::ALL.len()],
+            Region::ALL[(s / 2) % Region::ALL.len()],
+            LineOfBusiness::ALL[s % LineOfBusiness::ALL.len()],
+        );
+        store
+            .ingest(&YearLossTable::new(LayerId(s as u32), outcomes), meta)
+            .unwrap();
+    }
+    store
+}
+
+/// A query batch exercising pushdown, grouping, trial windows, loss
+/// ranges and every aggregate family.
+fn query_batch(trials: usize) -> Vec<Query> {
+    vec![
+        QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::StdDev)
+            .aggregate(Aggregate::MaxLoss)
+            .aggregate(Aggregate::AttachProb)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Tvar { level: 0.95 })
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 4,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .with_perils([Peril::Hurricane, Peril::Flood])
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::Var { level: 0.9 })
+            .aggregate(Aggregate::Pml {
+                return_period: 10.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .trials(0..trials.div_ceil(2))
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .loss_at_least(2.0e5)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.8 })
+            .build()
+            .unwrap(),
+    ]
+}
+
+/// Asserts every query (single and batched paths) agrees bitwise between
+/// the in-memory store and the reopened file.
+fn assert_equivalent(memory: &ResultStore, reader: &StoreReader, trials: usize) {
+    assert_eq!(reader.num_trials(), memory.num_trials());
+    assert_eq!(reader.num_segments(), memory.num_segments());
+    assert_eq!(reader.metas(), memory.metas());
+    let queries = query_batch(trials);
+    for query in &queries {
+        let from_memory = execute(memory, query).unwrap();
+        let from_disk = execute(reader, query).unwrap();
+        assert_eq!(from_memory, from_disk, "single-query path diverged");
+    }
+    let memory_batch = QuerySession::new(memory).run(&queries).unwrap();
+    let disk_batch = reader.session().run(&queries).unwrap();
+    assert_eq!(memory_batch, disk_batch, "batched path diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// write → read → query is bit-identical to the in-memory store, for a
+    /// single-commit write with random page sizes.
+    #[test]
+    fn persisted_queries_match_in_memory(
+        trials in 1..80usize,
+        segments in 1..14usize,
+        page_trials in 1..40u32,
+        seed in 0..1_000u64,
+    ) {
+        let store = random_store(trials, segments, seed);
+        let path = temp_path(&format!("prop-{trials}-{segments}-{page_trials}-{seed}"));
+        let mut writer =
+            StoreWriter::create_with(&path, trials, StoreOptions { page_trials }).unwrap();
+        for segment in 0..store.num_segments() {
+            writer
+                .append_segment(
+                    *store.meta(segment),
+                    store.year_losses(segment),
+                    store.max_occ_losses(segment),
+                )
+                .unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader = StoreReader::open(&path).unwrap();
+        assert_equivalent(&store, &reader, trials);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The same property for incremental ingest: segments arrive across
+    /// several commits and a writer reopen, mid-write prefixes stay
+    /// readable, and the final store is equivalent to in-memory.
+    #[test]
+    fn incremental_ingest_matches_in_memory(
+        trials in 1..60usize,
+        segments in 2..12usize,
+        commit_every in 1..4usize,
+        seed in 0..1_000u64,
+    ) {
+        let store = random_store(trials, segments, seed);
+        let path = temp_path(&format!("incr-{trials}-{segments}-{commit_every}-{seed}"));
+        let mut writer = StoreWriter::create(&path, trials).unwrap();
+        let half = segments / 2;
+        for segment in 0..half {
+            writer
+                .append_segment(
+                    *store.meta(segment),
+                    store.year_losses(segment),
+                    store.max_occ_losses(segment),
+                )
+                .unwrap();
+            if (segment + 1) % commit_every == 0 {
+                writer.commit().unwrap();
+            }
+        }
+        writer.commit().unwrap();
+        drop(writer);
+
+        // A reader opened mid-ingest sees exactly the committed prefix.
+        let prefix = StoreReader::open(&path).unwrap();
+        prop_assert_eq!(prefix.num_segments(), half);
+
+        // Resume appending in a fresh writer (a new process, effectively).
+        let mut writer = StoreWriter::open_append(&path).unwrap();
+        prop_assert_eq!(writer.num_segments(), half);
+        for segment in half..segments {
+            writer
+                .append_segment(
+                    *store.meta(segment),
+                    store.year_losses(segment),
+                    store.max_occ_losses(segment),
+                )
+                .unwrap();
+            if (segment + 1) % commit_every == 0 {
+                writer.commit().unwrap();
+            }
+        }
+        writer.finish().unwrap();
+
+        // The mid-write reader's view is still valid and prefix-consistent.
+        for segment in 0..prefix.num_segments() {
+            prop_assert_eq!(
+                SegmentSource::year_losses(&prefix, segment),
+                store.year_losses(segment)
+            );
+        }
+
+        let reader = StoreReader::open(&path).unwrap();
+        assert_equivalent(&store, &reader, trials);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: typed errors, never panics
+// ---------------------------------------------------------------------------
+
+/// Writes a small valid store (two commits: segments 0–1, then 2–3) and
+/// returns its bytes.  After the second commit, header slot A holds commit
+/// 2 (all four segments) and slot B holds commit 1 (the first two).
+fn valid_store_bytes(tag: &str) -> (std::path::PathBuf, Vec<u8>) {
+    let store = random_store(16, 4, 7);
+    let path = temp_path(tag);
+    let mut writer = StoreWriter::create_with(&path, 16, StoreOptions { page_trials: 4 }).unwrap();
+    for segment in 0..store.num_segments() {
+        writer
+            .append_segment(
+                *store.meta(segment),
+                store.year_losses(segment),
+                store.max_occ_losses(segment),
+            )
+            .unwrap();
+        if segment == 1 {
+            writer.commit().unwrap();
+        }
+    }
+    writer.finish().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+fn open_bytes(path: &std::path::Path, bytes: &[u8]) -> Result<StoreReader, StoreError> {
+    std::fs::write(path, bytes).unwrap();
+    let result = StoreReader::open(path);
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+#[test]
+fn truncated_files_error_typed() {
+    let (path, bytes) = valid_store_bytes("truncated");
+    // Chop the file at several points: mid-footer, mid-data, mid-header.
+    for keep in [bytes.len() - 3, bytes.len() / 2, 40, 0] {
+        let err = open_bytes(&path, &bytes[..keep]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt(_)
+            ),
+            "keep={keep} gave {err}"
+        );
+    }
+}
+
+#[test]
+fn flipped_loss_page_bits_fail_checksums() {
+    let (path, bytes) = valid_store_bytes("bitflip");
+    // Flip one byte inside the first segment's loss pages (the data region
+    // starts right after the header).
+    let mut corrupted = bytes.clone();
+    corrupted[HEADER_LEN as usize + 5] ^= 0x10;
+    let err = open_bytes(&path, &corrupted).unwrap_err();
+    assert!(
+        matches!(err, StoreError::ChecksumMismatch { ref what } if what.contains("page")),
+        "got {err}"
+    );
+
+    // Flip a byte inside the footer region instead.
+    let mut corrupted = bytes.clone();
+    let at = bytes.len() - 12;
+    corrupted[at] ^= 0x01;
+    let err = open_bytes(&path, &corrupted).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn wrong_magic_and_version_error_typed() {
+    let (path, bytes) = valid_store_bytes("magic");
+    let slot = HEADER_SLOT_LEN as usize;
+
+    // Both header slots must be damaged: the dual-slot design survives
+    // single-slot corruption by construction.
+    let mut not_a_store = bytes.clone();
+    not_a_store[..8].copy_from_slice(b"PARQUET1");
+    not_a_store[slot..slot + 8].copy_from_slice(b"PARQUET1");
+    assert!(matches!(
+        open_bytes(&path, &not_a_store).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+
+    // A future format version: patch the version field in both slots and
+    // re-seal the slot CRCs so only the version check can object.
+    let mut future = bytes.clone();
+    for base in [0, slot] {
+        future[base + 8..base + 12].copy_from_slice(&2u32.to_le_bytes());
+        let crc = crc32(&future[base..base + 56]);
+        future[base + 56..base + 60].copy_from_slice(&crc.to_le_bytes());
+    }
+    assert!(matches!(
+        open_bytes(&path, &future).unwrap_err(),
+        StoreError::UnsupportedVersion {
+            found: 2,
+            supported: 1
+        }
+    ));
+
+    // Garbage that is not even header-sized.
+    assert!(open_bytes(&path, b"short").is_err());
+}
+
+#[test]
+fn header_corruption_fails_its_checksum() {
+    let (path, bytes) = valid_store_bytes("header");
+    let slot = HEADER_SLOT_LEN as usize;
+    let mut corrupted = bytes.clone();
+    corrupted[17] ^= 0xFF; // num_trials field, slot A
+    corrupted[slot + 17] ^= 0xFF; // num_trials field, slot B
+    assert!(matches!(
+        open_bytes(&path, &corrupted).unwrap_err(),
+        StoreError::ChecksumMismatch { .. }
+    ));
+}
+
+#[test]
+fn torn_header_slot_is_survivable() {
+    // A crash mid-commit can tear one header slot; the store must still
+    // open through the surviving slot and show that slot's commit — the
+    // full four segments if the stale slot was torn, the previous
+    // two-segment commit if the newest slot was.
+    let (path, bytes) = valid_store_bytes("torn");
+    let slot = HEADER_SLOT_LEN as usize;
+    for (base, surviving_segments) in [(slot, 4), (0, 2)] {
+        let mut torn = bytes.clone();
+        for byte in &mut torn[base..base + slot] {
+            *byte ^= 0xA5;
+        }
+        let reader = open_bytes(&path, &torn).unwrap();
+        assert_eq!(
+            reader.num_segments(),
+            surviving_segments,
+            "torn slot at {base}"
+        );
+    }
+}
+
+#[test]
+fn absurd_counts_error_instead_of_allocating() {
+    // A CRC-consistent file can still lie about sizes; hostile counts must
+    // produce typed errors, not capacity panics or huge allocations.
+    let (path, bytes) = valid_store_bytes("absurd");
+    let slot = HEADER_SLOT_LEN as usize;
+    // Claim 2^60 trials in both header slots (re-sealing the CRCs).
+    let mut absurd = bytes.clone();
+    for base in [0, slot] {
+        absurd[base + 16..base + 24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let crc = crc32(&absurd[base..base + 56]);
+        absurd[base + 56..base + 60].copy_from_slice(&crc.to_le_bytes());
+    }
+    let err = open_bytes(&path, &absurd).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::Truncated { .. } | StoreError::ChecksumMismatch { .. }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn error_messages_are_descriptive() {
+    let (path, bytes) = valid_store_bytes("messages");
+    let mut corrupted = bytes.clone();
+    corrupted[HEADER_LEN as usize] ^= 0x01;
+    let message = open_bytes(&path, &corrupted).unwrap_err().to_string();
+    assert!(
+        message.contains("segment 0") && message.contains("page 0"),
+        "the error should name the failing page: {message}"
+    );
+}
