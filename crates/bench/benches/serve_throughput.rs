@@ -1,0 +1,249 @@
+//! Serving-throughput benchmark: the micro-batched server against the
+//! one-scan-per-request baseline, at 32 concurrent clients.
+//!
+//! The baseline models serving without the batching layer: every client
+//! request runs its own `execute` — one full scan of the loss columns per
+//! request, which is exactly what a naive "thread per request" front-end
+//! over the query engine would do.  The server coalesces whatever the 32
+//! clients have in flight into batch windows and answers each batch with
+//! one fused scan, so the same request stream costs ~`distinct scan
+//! specs` scans per window instead of `requests` scans.
+//!
+//! The `serve_speedup` target prints the measured ratio and enforces the
+//! acceptance bar: the batched server must hold >= 2x the baseline's
+//! throughput on the CI-sized store.  `CATRISK_BENCH_QUICK=1` shrinks the
+//! workload for smoke runs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::prelude::*;
+use catrisk_riskserve::{Server, ServerConfig, Ticket};
+use catrisk_simkit::rng::RngFactory;
+
+const CLIENTS: usize = 32;
+
+fn quick() -> bool {
+    std::env::var("CATRISK_BENCH_QUICK").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
+/// Requests each client fires per measured iteration.
+fn requests_per_client() -> usize {
+    if quick() {
+        4
+    } else {
+        16
+    }
+}
+
+/// A CI-sized production-shaped store (same construction as the
+/// query-engine bench).
+fn build_store(trials: usize, books: usize, seed: u64) -> ResultStore {
+    let factory = RngFactory::new(seed).derive("serve-bench");
+    let mut store = ResultStore::new(trials);
+    let mut segment = 0u64;
+    for book in 0..books {
+        let region = Region::ALL[book % Region::ALL.len()];
+        let lob = LineOfBusiness::ALL[book % LineOfBusiness::ALL.len()];
+        for peril in region.active_perils() {
+            let mut rng = factory.stream(segment);
+            segment += 1;
+            let outcomes: Vec<TrialOutcome> = (0..trials)
+                .map(|_| {
+                    let year = if rng.uniform() < 0.25 {
+                        rng.uniform() * 5.0e6
+                    } else {
+                        0.0
+                    };
+                    TrialOutcome {
+                        year_loss: year,
+                        max_occurrence_loss: year * rng.uniform(),
+                        nonzero_events: u32::from(year > 0.0),
+                    }
+                })
+                .collect();
+            let meta = SegmentMeta::new(LayerId(book as u32), *peril, region, lob);
+            store
+                .ingest(&YearLossTable::new(LayerId(book as u32), outcomes), meta)
+                .expect("ingest");
+        }
+    }
+    store
+}
+
+fn ci_sized_store() -> ResultStore {
+    let trials = if quick() { 5_000 } else { 20_000 };
+    build_store(trials, 12, 2012)
+}
+
+/// The mixed interactive workload: several distinct scan specs, several
+/// metric sets per spec — the request stream the 32 clients cycle
+/// through.
+fn query_mix() -> Vec<Query> {
+    let hu_fl = |b: QueryBuilder| {
+        b.with_perils([Peril::Hurricane, Peril::Flood])
+            .group_by(Dimension::Region)
+    };
+    vec![
+        hu_fl(QueryBuilder::new())
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .build()
+            .unwrap(),
+        hu_fl(QueryBuilder::new())
+            .aggregate(Aggregate::Var { level: 0.99 })
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 10,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::StdDev)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::Pml {
+                return_period: 250.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .loss_at_least(1.0e5)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::MaxLoss)
+            .aggregate(Aggregate::AttachProb)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .aggregate(Aggregate::Tvar { level: 0.95 })
+            .build()
+            .unwrap(),
+    ]
+}
+
+/// 32 clients, each scanning per request — no batching layer.
+fn run_baseline(store: &ResultStore, mix: &[Query], per_client: usize) {
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let mix = &mix;
+            scope.spawn(move || {
+                for k in 0..per_client {
+                    let query = &mix[(client + k) % mix.len()];
+                    criterion::black_box(execute(store, query).expect("baseline query"));
+                }
+            });
+        }
+    });
+}
+
+/// 32 clients submitting to the shared micro-batching server.
+fn run_batched(server: &Server<ResultStore>, mix: &[Query], per_client: usize) {
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let mix = &mix;
+            scope.spawn(move || {
+                // Keep one request in flight per client, like a TCP
+                // connection handler does.
+                for k in 0..per_client {
+                    let query = mix[(client + k) % mix.len()].clone();
+                    let ticket: Ticket = server.submit(query).expect("admitted");
+                    criterion::black_box(ticket.wait().expect("served"));
+                }
+            });
+        }
+    });
+}
+
+fn serving_config() -> ServerConfig {
+    ServerConfig {
+        max_batch: 64,
+        batch_window: Duration::from_micros(500),
+        queue_depth: 4096,
+        workers: 2,
+    }
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let store = Arc::new(ci_sized_store());
+    let mix = query_mix();
+    let per_client = requests_per_client();
+    let mut group = c.benchmark_group("serve_throughput_32_clients");
+    group.sample_size(10);
+    group.bench_function("baseline_scan_per_request", |b| {
+        b.iter(|| run_baseline(&store, &mix, per_client))
+    });
+    group.bench_function("micro_batched_server", |b| {
+        let server = Server::new(Arc::clone(&store), serving_config());
+        b.iter(|| run_batched(&server, &mix, per_client));
+        server.shutdown();
+    });
+    group.finish();
+}
+
+/// Prints the measured speedup (the acceptance number) and verifies the
+/// served results are bit-identical to direct execution.
+fn serve_speedup(_c: &mut Criterion) {
+    let store = Arc::new(ci_sized_store());
+    let mix = query_mix();
+    let per_client = requests_per_client();
+    let server = Server::new(Arc::clone(&store), serving_config());
+
+    // Equivalence: a served reply matches a direct scan, bit for bit.
+    for query in &mix {
+        let served = server.query(query.clone()).expect("served").result;
+        let direct = execute(&*store, query).expect("direct");
+        assert_eq!(served, direct, "served must be bit-identical to direct");
+    }
+
+    // Warm both paths once, then take the best of several runs each.
+    run_baseline(&store, &mix, 2);
+    run_batched(&server, &mix, 2);
+    let samples = 5;
+    let baseline_secs = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run_baseline(&store, &mix, per_client);
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let batched_secs = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run_batched(&server, &mix, per_client);
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let requests = (CLIENTS * per_client) as f64;
+    let speedup = baseline_secs / batched_secs;
+    println!(
+        "serve_speedup: {requests:.0} requests from {CLIENTS} clients: \
+         baseline {:.0} req/s, batched {:.0} req/s, speedup {speedup:.2}x \
+         (stats: {:?})",
+        requests / baseline_secs,
+        requests / batched_secs,
+        server.stats()
+    );
+    assert!(
+        speedup >= 2.0,
+        "micro-batched serving must be >= 2x the scan-per-request baseline, got {speedup:.2}x"
+    );
+    server.shutdown();
+}
+
+criterion_group!(benches, serve_throughput, serve_speedup);
+criterion_main!(benches);

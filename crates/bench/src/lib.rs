@@ -23,6 +23,14 @@
 //! | Fig. 6a–b | `fig6_summary` | `figures fig6a`, `fig6b` |
 //! | lookup-structure ablation | `ablation_lookup` | `figures ablation-lookup` |
 //! | real-time pricing ablation | `ablation_realtime` | `figures ablation-realtime` |
+//!
+//! Beyond the paper's figures, `query_engine` measures the ad-hoc query
+//! engine, `store_cold_open` the persistent store, and `serve_throughput`
+//! the micro-batched serving front-end against a scan-per-request
+//! baseline.  Two environment variables support CI smoke runs:
+//! `CATRISK_BENCH_SAMPLES` caps sample counts and `CATRISK_BENCH_QUICK=1`
+//! shrinks the workloads of the benches that honour it (see the criterion
+//! shim for `CATRISK_BENCH_JSON` summary output).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -5,6 +5,7 @@ mod engines;
 mod info;
 mod query;
 mod quote;
+mod serve;
 mod store;
 mod world;
 
@@ -35,6 +36,12 @@ commands:
            to a file (incremental commits), `store query` reopens and
            queries it without re-simulation
              run `catrisk store --help` for the full reference and examples
+  serve    micro-batched TCP query server over a persistent store
+           (one query text per line in, one JSON reply per line out)
+             run `catrisk serve --help` for the protocol and options
+  loadgen  drive open-loop load at a running serve instance and print
+           throughput and latency percentiles
+             run `catrisk loadgen --help` for the options
   info     print the simulated device and default configuration";
 
 /// Parsed `--key value` style options.
@@ -108,6 +115,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "engines" => engines::run(&options),
         "quote" => quote::run(&options),
         "query" => query::run(&options),
+        "serve" => serve::run_serve(&options),
+        "loadgen" => serve::run_loadgen(&options),
         "info" => info::run(&options),
         other => Err(format!("unknown command `{other}`")),
     }

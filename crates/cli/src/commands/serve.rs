@@ -1,0 +1,282 @@
+//! `catrisk serve` — a micro-batched TCP query server over a persistent
+//! store — and `catrisk loadgen` — an open-loop load generator against it.
+//!
+//! `serve` opens a `catrisk-riskstore` file, shares the reader across the
+//! batch workers, and speaks the line protocol of `catrisk-riskserve` (one
+//! query text per line in, one JSON result per line out) until a client
+//! sends `shutdown`.  `loadgen` drives a mixed query workload at a running
+//! server from many concurrent connections and prints throughput and
+//! latency percentiles — the serving analogue of the `engines` benchmark
+//! command.
+
+use std::time::Duration;
+
+use catrisk_riskserve::{loadgen, LoadgenOptions, Server, ServerConfig, TcpFrontEnd};
+use catrisk_riskstore::StoreReader;
+
+use super::Options;
+
+/// Detailed usage of the serve command, shown by `catrisk serve --help`.
+pub const SERVE_HELP: &str = "usage: catrisk serve [options]
+
+Serves ad-hoc aggregate queries over a persistent store file, coalescing
+concurrent requests into micro-batches (one fused scan per batch).  Speaks
+a line protocol: one query text per line in, one JSON reply per line out:
+
+  select mean, tvar(0.99) where peril=HU|FL group by region
+  ping | stats | quit | shutdown
+
+The server runs until a client sends `shutdown` (see `catrisk loadgen
+--shutdown`).
+
+options:
+  --in PATH        store file to serve (required; create with `store write`)
+  --addr A         listen address (default 127.0.0.1:7433, port 0 = ephemeral)
+  --max-batch N    close a batch window at N requests (default 64)
+  --window-us U    batch window in microseconds (default 200)
+  --queue-depth N  reject submits past N queued requests (default 1024)
+  --workers N      batch worker threads (default 2)";
+
+/// Detailed usage of the loadgen command, shown by `catrisk loadgen --help`.
+pub const LOADGEN_HELP: &str = "usage: catrisk loadgen [options]
+
+Drives load at a running `catrisk serve` instance from many concurrent
+connections and prints throughput and latency percentiles.  Fails (exit 1)
+if any request errors or every reply is empty, so it doubles as a smoke
+check.
+
+options:
+  --addr A         server address (default 127.0.0.1:7433)
+  --clients N      concurrent connections (default 32)
+  --requests N     total requests across all clients (default 3200)
+  --rps R          open-loop target rate, requests/second across all
+                   clients; 0 = closed loop (default 0)
+  --query LINE     use this query line instead of the built-in mix
+  --connect-timeout S  seconds to retry the initial connect (default 30)
+  --shutdown       send `shutdown` after the run, stopping the server";
+
+/// Runs the serve command: binds the front-end and blocks until shutdown.
+pub fn run_serve(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{SERVE_HELP}");
+        return Ok(());
+    }
+    let front = bind_front_end(options)?;
+    front
+        .wait()
+        .map_err(|e| format!("server terminated abnormally: {e}"))?;
+    eprintln!("  server drained and stopped cleanly");
+    Ok(())
+}
+
+/// Opens the store, starts the batching server and binds the TCP listener
+/// (split from [`run_serve`] so tests can drive an ephemeral-port
+/// instance).
+pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreReader>, String> {
+    let input = options.get("in", String::new())?;
+    if input.is_empty() {
+        return Err("serve needs --in PATH (create one with `catrisk store write`)".to_string());
+    }
+    let addr = options.get("addr", "127.0.0.1:7433".to_string())?;
+    let config = ServerConfig {
+        max_batch: options.get("max-batch", 64usize)?,
+        batch_window: Duration::from_micros(options.get("window-us", 200u64)?),
+        queue_depth: options.get("queue-depth", 1024usize)?,
+        workers: options.get("workers", 2usize)?,
+    };
+
+    let reader = StoreReader::open_shared(&input).map_err(|e| e.to_string())?;
+    if reader.is_empty() {
+        return Err(format!("store `{input}` holds no committed segments"));
+    }
+    eprintln!(
+        "  serving {}: {} segments x {} trials ({:.1} MB resident), commit {}",
+        input,
+        reader.num_segments(),
+        reader.num_trials(),
+        reader.memory_bytes() as f64 / 1.0e6,
+        reader.commit_seq()
+    );
+    let server = Server::new(reader, config);
+    let front =
+        TcpFrontEnd::bind(server, &addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    // The bound address goes to stdout so scripts can capture it (it
+    // differs from --addr when port 0 was requested).
+    println!("{}", front.local_addr());
+    eprintln!(
+        "  listening on {} (max-batch {}, window {}us, queue depth {}, {} workers)",
+        front.local_addr(),
+        config.max_batch,
+        config.batch_window.as_micros(),
+        config.queue_depth,
+        config.workers
+    );
+    Ok(front)
+}
+
+/// Runs the loadgen command.
+pub fn run_loadgen(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{LOADGEN_HELP}");
+        return Ok(());
+    }
+    let loadgen_options = loadgen_options(options)?;
+    let report = loadgen::run(&loadgen_options)?;
+    println!("{report}");
+    if report.ok == 0 {
+        return Err("no successful replies".to_string());
+    }
+    if report.rows == 0 {
+        return Err("replies held no result rows".to_string());
+    }
+    if report.errors > 0 {
+        return Err(format!("{} requests failed", report.errors));
+    }
+    Ok(())
+}
+
+pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, String> {
+    let mut loadgen_options = LoadgenOptions {
+        addr: options.get("addr", "127.0.0.1:7433".to_string())?,
+        clients: options.get("clients", 32usize)?,
+        requests: options.get("requests", 3200usize)?,
+        rps: options.get("rps", 0.0f64)?,
+        connect_timeout_secs: options.get("connect-timeout", 30u64)?,
+        shutdown: options.has_flag("shutdown"),
+        ..LoadgenOptions::default()
+    };
+    let query = options.get("query", String::new())?;
+    if !query.is_empty() {
+        loadgen_options.queries = vec![query];
+    }
+    Ok(loadgen_options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_riskserve::WireReply;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_store(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "catrisk-cli-serve-{}-{}.clm",
+            std::process::id(),
+            name
+        ));
+        path.to_string_lossy().into_owned()
+    }
+
+    fn write_small_store(out: &str) {
+        super::super::store::run(&strings(&[
+            "write",
+            "--out",
+            out,
+            "--trials",
+            "150",
+            "--locations",
+            "100",
+            "--events",
+            "2000",
+            "--seed",
+            "5",
+            "--engine",
+            "parallel",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_and_loadgen_round_trip() {
+        let out = temp_store("roundtrip");
+        write_small_store(&out);
+
+        // Ephemeral port: bind the front-end the way `serve` does.
+        let serve_options =
+            Options::parse(&strings(&["--in", &out, "--addr", "127.0.0.1:0"])).unwrap();
+        let front = bind_front_end(&serve_options).unwrap();
+        let addr = front.local_addr().to_string();
+
+        // Drive it the way `loadgen` does, including the shutdown line.
+        let loadgen_args = strings(&[
+            "--addr",
+            &addr,
+            "--clients",
+            "8",
+            "--requests",
+            "64",
+            "--shutdown",
+        ]);
+        run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();
+        front.wait().unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn serve_speaks_the_line_protocol() {
+        let out = temp_store("protocol");
+        write_small_store(&out);
+        let serve_options =
+            Options::parse(&strings(&["--in", &out, "--addr", "127.0.0.1:0"])).unwrap();
+        let front = bind_front_end(&serve_options).unwrap();
+
+        let stream = std::net::TcpStream::connect(front.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut lines = BufReader::new(stream).lines();
+        writeln!(
+            writer,
+            "select mean, tvar(0.9) where peril=HU|FL group by region"
+        )
+        .unwrap();
+        let reply = WireReply::from_line(&lines.next().unwrap().unwrap()).unwrap();
+        assert!(reply.ok, "{reply:?}");
+        assert!(!reply.result.unwrap().rows.is_empty());
+        writeln!(writer, "shutdown").unwrap();
+        let ack = WireReply::from_line(&lines.next().unwrap().unwrap()).unwrap();
+        assert_eq!(ack.kind, "shutting-down");
+        front.wait().unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn serve_errors_are_graceful() {
+        assert!(
+            run_serve(&Options::parse(&strings(&[])).unwrap()).is_err(),
+            "--in is required"
+        );
+        assert!(
+            run_serve(&Options::parse(&strings(&["--in", "/nonexistent/x.clm"])).unwrap()).is_err()
+        );
+        // An empty (never committed) store is rejected up front.
+        let out = temp_store("empty");
+        drop(catrisk_riskstore::StoreWriter::create(&out, 8).unwrap());
+        assert!(run_serve(&Options::parse(&strings(&["--in", &out])).unwrap()).is_err());
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn loadgen_errors_are_graceful() {
+        // Nothing listening on a reserved port: typed error, not a panic.
+        let options = Options::parse(&strings(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--connect-timeout",
+            "0",
+            "--requests",
+            "4",
+        ]))
+        .unwrap();
+        assert!(run_loadgen(&options).is_err());
+    }
+
+    #[test]
+    fn help_flags_print() {
+        run_serve(&Options::parse(&strings(&["--help"])).unwrap()).unwrap();
+        run_loadgen(&Options::parse(&strings(&["--help"])).unwrap()).unwrap();
+    }
+}

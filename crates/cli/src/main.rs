@@ -13,6 +13,10 @@
 //!   curves, VaR/TVaR, PML) over a columnar YLT store;
 //! * `store` — persist engine results in an on-disk columnar store
 //!   (`store write`, incremental) and query it back (`store query`);
+//! * `serve` — a micro-batched TCP query server over a persistent store
+//!   (concurrent requests coalesce into fused scans);
+//! * `loadgen` — drive open-loop load at a running `serve` instance and
+//!   print throughput and latency percentiles;
 //! * `info` — print the simulated device and the default configuration.
 //!
 //! Run `catrisk <command> --help` for the options of each command.

@@ -69,9 +69,11 @@
 //! The scan pipeline is generic over [`SegmentSource`], so the same
 //! queries run against the in-memory [`ResultStore`] and against
 //! persistent stores reopened from disk by the `catrisk-riskstore` crate
-//! (whose reader hands the scan zero-copy column slices).  Follow-on work
-//! tracked in the workspace ROADMAP: an async serving front-end over
-//! [`QuerySession`].
+//! (whose reader hands the scan zero-copy column slices).  The
+//! `catrisk-riskserve` crate serves concurrent client requests by
+//! coalescing them into [`QuerySession`] batches — [`Query`] is cheap to
+//! clone and `Eq + Hash` (with a total, NaN-free float treatment) exactly
+//! so that front-end can dedup identical requests across submitters.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -49,6 +49,18 @@ pub struct QueryPlan {
 }
 
 impl QueryPlan {
+    /// Checks that `query` can be planned against `store` without
+    /// materialising the plan.
+    ///
+    /// Trial-window resolution is the only fallible step of
+    /// [`QueryPlan::new`] (predicate resolution and group-key decoding
+    /// are total), so this is the complete admission check — a serving
+    /// front-end calls it per submit at O(1) instead of paying the
+    /// O(segments) planning pass it would immediately discard.
+    pub fn validate<S: SegmentSource + ?Sized>(store: &S, query: &Query) -> Result<()> {
+        resolve_trials(store, &query.filter).map(|_| ())
+    }
+
     /// Plans `query` against `store`.
     pub fn new<S: SegmentSource + ?Sized>(store: &S, query: &Query) -> Result<QueryPlan> {
         let (trial_start, trial_end) = resolve_trials(store, &query.filter)?;
@@ -244,6 +256,29 @@ mod tests {
                 .unwrap();
         }
         store
+    }
+
+    #[test]
+    fn validate_agrees_with_planning() {
+        let store = store();
+        for (build, fine) in [
+            (
+                QueryBuilder::new().aggregate(Aggregate::Mean),
+                true, // unconstrained
+            ),
+            (
+                QueryBuilder::new().trials(0..4).aggregate(Aggregate::Mean),
+                true, // exact window
+            ),
+            (
+                QueryBuilder::new().trials(2..9).aggregate(Aggregate::Mean),
+                false, // past the store's 4 trials
+            ),
+        ] {
+            let query = build.build().unwrap();
+            assert_eq!(QueryPlan::validate(&store, &query).is_ok(), fine);
+            assert_eq!(QueryPlan::new(&store, &query).is_ok(), fine);
+        }
     }
 
     #[test]

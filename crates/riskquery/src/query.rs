@@ -24,6 +24,20 @@ pub enum Basis {
 /// the selection lost at least x" — and it is pushed into the scan: trials
 /// are dropped block-by-block while the loss slices are hot, never
 /// materialised and post-filtered.
+///
+/// # Total equality and hashing
+///
+/// `LossRange` implements [`Eq`] and [`Hash`](std::hash::Hash) even though
+/// its bounds are floats, because every constructor in this crate keeps the
+/// bounds **NaN-free**: [`QueryBuilder::build`] and the textual parser both
+/// reject NaN bounds, and the `at_least` / `at_most` helpers only produce
+/// finite or `+∞` values.  On NaN-free values `==` is a total equivalence
+/// and hashing the bit patterns (with `-0.0` normalised to `0.0`, so the
+/// two representations of zero that compare equal also hash equally) is
+/// consistent with it.  This is what lets a serving front-end key
+/// cross-client scan-spec dedup maps on [`Query::scan_spec`] without
+/// collisions or misses.  Code that builds a `LossRange` by hand (the
+/// fields are public) must uphold the no-NaN invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LossRange {
     /// Smallest year loss kept (inclusive).  Losses are non-negative, so
@@ -64,6 +78,24 @@ impl Default for LossRange {
     }
 }
 
+// Total by the no-NaN invariant documented on the type.
+impl Eq for LossRange {}
+
+impl std::hash::Hash for LossRange {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        hash_f64_total(self.min, state);
+        hash_f64_total(self.max, state);
+    }
+}
+
+/// Hashes a NaN-free float consistently with `==`: `-0.0` is normalised to
+/// `0.0` (they compare equal, so they must hash equally), every other value
+/// hashes its IEEE-754 bit pattern.
+fn hash_f64_total<H: std::hash::Hasher>(value: f64, state: &mut H) {
+    use std::hash::Hash;
+    (value + 0.0).to_bits().hash(state);
+}
+
 /// Conjunctive segment filter: a segment survives when every specified
 /// dimension list contains its value.  `None` means "no constraint".
 ///
@@ -71,7 +103,12 @@ impl Default for LossRange {
 /// which is how convergence-style queries ("the same metric over the first
 /// N trials") are expressed.  The loss filter conditions each result group
 /// on the trials whose summed year loss lies in a [`LossRange`].
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// `Filter` is [`Eq`] + [`Hash`](std::hash::Hash) — the only float-bearing
+/// field is the [`LossRange`], whose totality argument (NaN-free by
+/// construction) is documented on that type — so filters can key dedup
+/// maps directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Filter {
     /// Perils to keep.
     pub perils: Option<Vec<Peril>>,
@@ -95,6 +132,12 @@ impl Filter {
 }
 
 /// An aggregate computed per result group.
+///
+/// Implements [`Eq`] + [`Hash`](std::hash::Hash): the float parameters
+/// (confidence levels, return periods) are NaN-free by construction —
+/// [`Aggregate::validate`](QueryBuilder::build) rejects NaN levels (a NaN
+/// fails the `[0, 1]` range check) and non-finite return periods — so
+/// bit-pattern hashing with `-0.0` normalised is consistent with `==`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Aggregate {
     /// Mean annual loss (expected loss under the simulation measure).
@@ -129,6 +172,30 @@ pub enum Aggregate {
         /// Number of sampled `(probability, loss)` points (>= 2).
         points: usize,
     },
+}
+
+// Total by the no-NaN invariant documented on the type.
+impl Eq for Aggregate {}
+
+impl std::hash::Hash for Aggregate {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Aggregate::Mean | Aggregate::StdDev | Aggregate::MaxLoss | Aggregate::AttachProb => {}
+            Aggregate::Var { level } | Aggregate::Tvar { level } => hash_f64_total(*level, state),
+            Aggregate::Pml {
+                return_period,
+                basis,
+            } => {
+                hash_f64_total(*return_period, state);
+                basis.hash(state);
+            }
+            Aggregate::EpCurve { basis, points } => {
+                basis.hash(state);
+                points.hash(state);
+            }
+        }
+    }
 }
 
 impl Aggregate {
@@ -190,7 +257,13 @@ impl Aggregate {
 }
 
 /// An ad-hoc aggregate risk query: filter, grouping, aggregates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Queries are cheap to [`Clone`] (a few small vectors) and implement
+/// [`Eq`] + [`Hash`](std::hash::Hash) — see [`Filter`] and [`Aggregate`]
+/// for why the float-bearing parts are total — so a serving front-end can
+/// move them between threads and dedup identical requests from different
+/// submitters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Query {
     /// Segment and trial filter.
     pub filter: Filter,
@@ -205,6 +278,11 @@ impl Query {
     /// a [`QuerySession`](crate::session::QuerySession) can share between
     /// queries.  Two queries with equal scan specs group the exact same
     /// loss vectors.
+    ///
+    /// The returned tuple is [`Eq`] + [`Hash`](std::hash::Hash) with the
+    /// total float treatment documented on [`LossRange`], so it can be used
+    /// directly as a `HashMap` key — the session and the serving front-end
+    /// both key their cross-query dedup on it.
     pub fn scan_spec(&self) -> (&Filter, &[Dimension]) {
         (&self.filter, &self.group_by)
     }
@@ -488,6 +566,60 @@ mod tests {
             }
             .label(),
             "oep(9)"
+        );
+    }
+
+    fn hash_of(value: &impl std::hash::Hash) -> u64 {
+        use std::hash::Hasher;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn scan_spec_hash_agrees_with_eq() {
+        let build = |min: f64| {
+            QueryBuilder::new()
+                .with_perils([Peril::Hurricane])
+                .loss_at_least(min)
+                .group_by(Dimension::Region)
+                .aggregate(Aggregate::Mean)
+                .build()
+                .unwrap()
+        };
+        // Equal specs (including the two representations of zero that
+        // compare equal) hash equally.
+        let a = build(0.0);
+        let b = build(-0.0);
+        assert_eq!(a.scan_spec(), b.scan_spec());
+        assert_eq!(hash_of(&a.scan_spec()), hash_of(&b.scan_spec()));
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // Different bounds produce different specs (and, for these values,
+        // different hashes — bit-pattern hashing has no accidental
+        // collapse).
+        let c = build(1.0e6);
+        assert_ne!(a.scan_spec(), c.scan_spec());
+        assert_ne!(hash_of(&a.scan_spec()), hash_of(&c.scan_spec()));
+        // A whole Query keys a map: same query from two "clients" dedups.
+        let mut seen = std::collections::HashMap::new();
+        seen.insert(a.clone(), 1);
+        *seen.entry(b).or_insert(0) += 1;
+        seen.insert(c, 1);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[&a], 2);
+    }
+
+    #[test]
+    fn aggregate_hash_distinguishes_variants() {
+        // Same float payload under different constructors must not collide
+        // via discriminant-free hashing.
+        assert_ne!(
+            hash_of(&Aggregate::Var { level: 0.99 }),
+            hash_of(&Aggregate::Tvar { level: 0.99 })
+        );
+        assert_eq!(
+            hash_of(&Aggregate::Var { level: 0.99 }),
+            hash_of(&Aggregate::Var { level: 0.99 })
         );
     }
 

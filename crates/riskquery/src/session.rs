@@ -20,11 +20,15 @@
 //! This mirrors QuPARA's design of pushing a whole query batch through one
 //! MapReduce job over the shared YLT file.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use rayon::prelude::*;
 
+use crate::dims::Dimension;
 use crate::exec::{self, PartialAggregate};
 use crate::plan::QueryPlan;
-use crate::query::Query;
+use crate::query::{Filter, Query};
 use crate::result::QueryResult;
 use crate::store::{ResultStore, SegmentSource};
 use crate::Result;
@@ -77,27 +81,23 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
     /// batched path produces bit-identical results — but amortises scans
     /// across the batch.
     pub fn run(&self, queries: &[Query]) -> Result<Vec<QueryResult>> {
-        // 1. Deduplicate scan specs.
+        // 1. Deduplicate scan specs.  `Query::scan_spec` is `Eq + Hash`
+        //    with a total float treatment (NaN-free by construction), so a
+        //    hash map makes this linear in the batch size — serving
+        //    front-ends push batches of hundreds of requests through here.
         let mut specs: Vec<Spec> = Vec::new();
-        let mut spec_of_query: Vec<usize> = Vec::with_capacity(queries.len());
+        let mut spec_index: HashMap<(&Filter, &[Dimension]), usize> = HashMap::new();
         for (qi, query) in queries.iter().enumerate() {
-            let spec_idx = queries[..qi]
-                .iter()
-                .position(|earlier| earlier.scan_spec() == query.scan_spec())
-                .map(|earlier| spec_of_query[earlier]);
-            match spec_idx {
-                Some(si) => {
-                    specs[si].queries.push(qi);
-                    spec_of_query.push(si);
-                }
-                None => {
+            match spec_index.entry(query.scan_spec()) {
+                Entry::Occupied(slot) => specs[*slot.get()].queries.push(qi),
+                Entry::Vacant(slot) => {
                     let plan = QueryPlan::new(self.store, query)?;
+                    slot.insert(specs.len());
                     specs.push(Spec {
                         plan,
                         queries: vec![qi],
                         partial: None,
                     });
-                    spec_of_query.push(specs.len() - 1);
                 }
             }
         }

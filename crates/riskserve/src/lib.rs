@@ -1,0 +1,93 @@
+//! # catrisk-riskserve
+//!
+//! The async serving front-end over the query engine: micro-batched
+//! execution of many concurrent analyst queries against one shared store.
+//!
+//! The ROADMAP north star is a serving system under heavy interactive
+//! traffic.  QuPARA (Rau-Chaplin et al.) got its throughput by pushing a
+//! *whole batch* of analyst queries through one pass over the shared YLT
+//! file; `catrisk-riskquery` reproduced that as
+//! [`QuerySession`](catrisk_riskquery::QuerySession) — a fused
+//! scan answering a batch of queries bit-identically to running each
+//! alone.  What was missing is the layer that turns *concurrent client
+//! requests* into those batches.  This crate is that layer.
+//!
+//! ## Architecture: queue → window → fused batch → reply
+//!
+//! ```text
+//!  clients        admission            batch scheduler          workers
+//!  ───────        ─────────            ───────────────          ───────
+//!  submit ──▶ bounded queue ──▶ window closes at max_batch ──▶ QuerySession::run
+//!  submit ──▶  (Overloaded      or batch_window µs,            (one fused scan,
+//!  submit ──▶   past depth)     whichever first)                rayon pool)
+//!                                                                   │
+//!  Ticket::wait ◀── reply slots (result + latency attribution) ◀────┘
+//! ```
+//!
+//! * **Admission** ([`Server::submit`]): the query is validated against
+//!   the store up front (a malformed query is rejected here and can never
+//!   fail a batch it would have shared with other clients), then appended
+//!   to a bounded queue.  Past [`ServerConfig::queue_depth`] pending
+//!   requests the submit returns a typed [`ServeError::Overloaded`] —
+//!   backpressure is an answer, not a dropped connection.
+//! * **Batch window**: a worker that finds the queue non-empty holds a
+//!   window open, closing it after [`ServerConfig::max_batch`] requests
+//!   or [`ServerConfig::batch_window`] microseconds, whichever comes
+//!   first.  Everything pending rides one batch.
+//! * **Fused batch**: identical queries from different submitters are
+//!   deduplicated (— [`Query`](catrisk_riskquery::Query) is `Eq + Hash`
+//!   with a total, NaN-free float treatment precisely so this map cannot
+//!   collide or miss), then the whole batch goes through one
+//!   [`QuerySession::run`](catrisk_riskquery::QuerySession::run): shared
+//!   scan specs collapse, the remaining scans fuse into one pass per
+//!   trial window, order statistics are computed once per spec.  N
+//!   concurrent "mean/TVaR/EP of slice X" requests cost ~1 scan, not N.
+//! * **Reply**: every request's [`Ticket`] resolves to the result plus
+//!   [`RequestTimings`] — queue wait, batch execution time, batch size —
+//!   so tail latency is attributable.  Accepted tickets are always
+//!   answered, including across shutdown (workers drain the queue before
+//!   exiting).
+//!
+//! Results are **bit-identical** to running each query sequentially
+//! through a `QuerySession` — batching is a throughput optimisation, not
+//! an approximation (`tests/serve_equivalence.rs` in the workspace proves
+//! this property under concurrency, for arbitrary batch windows).
+//!
+//! ## Three ways in
+//!
+//! 1. **Library**: [`Server::submit`] → [`Ticket`] → [`Reply`], from any
+//!    number of threads.
+//! 2. **TCP** ([`TcpFrontEnd`]): a line-oriented protocol on `std::net` —
+//!    one query text per line in, one JSON reply per line out; see
+//!    [`protocol`] for the grammar and schema.  No async runtime: one OS
+//!    thread per connection, which is exactly the concurrency the batch
+//!    scheduler coalesces.
+//! 3. **CLI**: `catrisk serve` (start a front-end over a persistent
+//!    store) and `catrisk loadgen` (drive open-loop load and print
+//!    throughput/p50/p99) in the `catrisk-cli` crate.
+//!
+//! The store side is any shared
+//! [`SegmentSource`](catrisk_riskquery::SegmentSource) — in production
+//! the persistent `catrisk_riskstore::StoreReader`, whose immutable
+//! loaded column region is shared by every batch without locking.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+pub mod tcp;
+
+pub use loadgen::{default_mix, LoadReport, LoadgenOptions};
+pub use protocol::{parse_request, Request, WireError, WireReply};
+pub use server::{Reply, ServeError, Server, ServerConfig, Ticket};
+pub use stats::{percentile, RequestTimings, StatsSnapshot};
+pub use tcp::TcpFrontEnd;
+
+/// Test fixtures (a random tagged store, a mixed query batch) shared with
+/// the workspace's integration tests via the `testkit` feature; this
+/// crate's own tests always see them.
+#[cfg(any(test, feature = "testkit"))]
+pub mod test_store;

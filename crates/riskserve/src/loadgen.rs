@@ -1,0 +1,405 @@
+//! Open-loop load generation against a running TCP front-end.
+//!
+//! Each client thread owns one connection and fires its share of the
+//! request schedule.  In open-loop mode (`rps > 0`) send times are fixed
+//! up front — request `k` of a client is due at `start + k / client_rate`
+//! — and a request's latency is measured from its *scheduled* time, so a
+//! slow server accrues queueing delay instead of silently slowing the
+//! generator down (no coordinated omission).  With `rps = 0` every client
+//! runs closed-loop, firing as fast as replies return.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::protocol::WireReply;
+use crate::stats::percentile;
+
+/// Load-generation options.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address, e.g. `127.0.0.1:7433`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Open-loop target rate in requests/second across all clients;
+    /// `0.0` = closed loop (each client fires as fast as replies return).
+    pub rps: f64,
+    /// The query-line mix, cycled through per client.
+    pub queries: Vec<String>,
+    /// Seconds to keep retrying the initial connect (lets a just-spawned
+    /// server finish opening its store).
+    pub connect_timeout_secs: u64,
+    /// Send a `shutdown` line after the run, stopping the server.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7433".to_string(),
+            clients: 32,
+            requests: 3200,
+            rps: 0.0,
+            queries: default_mix(),
+            connect_timeout_secs: 30,
+            shutdown: false,
+        }
+    }
+}
+
+/// The default mixed-query workload: distinct scan specs and metric sets,
+/// so batches exercise dedup, fusion and shared order statistics.
+pub fn default_mix() -> Vec<String> {
+    [
+        "select mean, tvar(0.99) where peril=HU|FL group by region",
+        "select var(0.99), aep(10) where peril=HU|FL group by region",
+        "select mean, stddev group by lob",
+        "select opml(250) group by lob",
+        "select mean where loss>=1e5 group by region",
+        "select maxloss, attach group by peril",
+        "select tvar(0.95)",
+    ]
+    .map(str::to_string)
+    .to_vec()
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful `result` replies.
+    pub ok: u64,
+    /// Typed `overloaded` rejections (well-formed backpressure, counted
+    /// separately from errors).
+    pub overloaded: u64,
+    /// Any other error reply or transport failure.
+    pub errors: u64,
+    /// Total result rows across successful replies.
+    pub rows: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Successful replies per second.
+    pub throughput: f64,
+    /// Latency percentiles over successful replies, in microseconds.
+    pub p50_micros: u64,
+    /// 90th percentile latency.
+    pub p90_micros: u64,
+    /// 99th percentile latency.
+    pub p99_micros: u64,
+    /// Worst latency.
+    pub max_micros: u64,
+    /// Mean batch size reported by the server across replies.
+    pub mean_batch: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} requests in {:.2}s: {} ok, {} overloaded, {} errors ({} rows)",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.ok,
+            self.overloaded,
+            self.errors,
+            self.rows
+        )?;
+        writeln!(f, "throughput: {:.0} req/s", self.throughput)?;
+        writeln!(
+            f,
+            "latency: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            self.p50_micros as f64 / 1_000.0,
+            self.p90_micros as f64 / 1_000.0,
+            self.p99_micros as f64 / 1_000.0,
+            self.max_micros as f64 / 1_000.0
+        )?;
+        write!(f, "mean batch size: {:.1}", self.mean_batch)
+    }
+}
+
+/// Per-client tallies, merged into the report at the end.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    errors: u64,
+    rows: u64,
+    batch_sum: u64,
+    latencies_micros: Vec<u64>,
+}
+
+/// Connects with retry: the server may still be opening its store.
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(err) if Instant::now() < deadline => {
+                let _ = err;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(err) => return Err(format!("connect to {addr}: {err}")),
+        }
+    }
+}
+
+/// Runs the load and gathers a report.  Transport-level failures are
+/// counted per request, not fatal; only a total connection failure of
+/// every client errors out.
+pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
+    let clients = options.clients.max(1);
+    let queries = if options.queries.is_empty() {
+        default_mix()
+    } else {
+        options.queries.clone()
+    };
+    let connect_timeout = Duration::from_secs(options.connect_timeout_secs);
+    let started = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                // Split `requests` across clients, remainder to the first.
+                let share = options.requests / clients
+                    + usize::from(client_index < options.requests % clients);
+                let queries = &queries;
+                let options = &options;
+                scope.spawn(move || {
+                    run_client(options, client_index, share, queries, connect_timeout)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut merged = ClientOutcome::default();
+    let mut connect_failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(outcome) => {
+                merged.sent += outcome.sent;
+                merged.ok += outcome.ok;
+                merged.overloaded += outcome.overloaded;
+                merged.errors += outcome.errors;
+                merged.rows += outcome.rows;
+                merged.batch_sum += outcome.batch_sum;
+                merged.latencies_micros.extend(outcome.latencies_micros);
+            }
+            Err(err) => connect_failures.push(err),
+        }
+    }
+    if merged.sent == 0 {
+        return Err(connect_failures
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "no requests sent".to_string()));
+    }
+
+    if options.shutdown {
+        send_shutdown(&options.addr, connect_timeout)?;
+    }
+
+    merged.latencies_micros.sort_unstable();
+    let lat = &merged.latencies_micros;
+    Ok(LoadReport {
+        sent: merged.sent,
+        ok: merged.ok,
+        overloaded: merged.overloaded,
+        errors: merged.errors + connect_failures.len() as u64,
+        rows: merged.rows,
+        elapsed,
+        throughput: merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_micros: percentile(lat, 50.0),
+        p90_micros: percentile(lat, 90.0),
+        p99_micros: percentile(lat, 99.0),
+        max_micros: lat.last().copied().unwrap_or(0),
+        mean_batch: if merged.ok == 0 {
+            0.0
+        } else {
+            merged.batch_sum as f64 / merged.ok as f64
+        },
+    })
+}
+
+fn run_client(
+    options: &LoadgenOptions,
+    client_index: usize,
+    share: usize,
+    queries: &[String],
+    connect_timeout: Duration,
+) -> Result<ClientOutcome, String> {
+    let mut outcome = ClientOutcome::default();
+    if share == 0 {
+        return Ok(outcome);
+    }
+    let stream = connect(&options.addr, connect_timeout)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut lines = BufReader::new(stream).lines();
+
+    // Open-loop pacing: this client's inter-arrival gap.
+    let clients = options.clients.max(1);
+    let gap = if options.rps > 0.0 {
+        Duration::from_secs_f64(clients as f64 / options.rps)
+    } else {
+        Duration::ZERO
+    };
+    let start = Instant::now();
+    outcome.latencies_micros.reserve(share);
+    for k in 0..share {
+        let scheduled = start + gap.mul_f64(k as f64);
+        if gap > Duration::ZERO {
+            let now = Instant::now();
+            if scheduled > now {
+                std::thread::sleep(scheduled - now);
+            }
+        }
+        let query = &queries[(client_index + k) % queries.len()];
+        outcome.sent += 1;
+        let sent_at = Instant::now();
+        if writeln!(writer, "{query}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            outcome.errors += 1;
+            continue;
+        }
+        let Some(Ok(line)) = lines.next() else {
+            outcome.errors += 1;
+            break; // connection gone; stop this client
+        };
+        // Open loop measures from the *scheduled* send (so falling behind
+        // schedule shows up as latency), closed loop from the actual one.
+        let reference = if gap > Duration::ZERO {
+            scheduled
+        } else {
+            sent_at
+        };
+        let latency = Instant::now().saturating_duration_since(reference);
+        match WireReply::from_line(&line) {
+            Ok(reply) if reply.ok => {
+                outcome.ok += 1;
+                outcome.rows += reply.result.map_or(0, |r| r.rows.len() as u64);
+                outcome.batch_sum += u64::from(reply.timings.batch_size);
+                outcome.latencies_micros.push(latency.as_micros() as u64);
+            }
+            Ok(reply) => {
+                if reply.error.is_some_and(|e| e.kind == "overloaded") {
+                    outcome.overloaded += 1;
+                } else {
+                    outcome.errors += 1;
+                }
+            }
+            Err(_) => outcome.errors += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+/// Sends a `shutdown` line on a fresh connection and waits for the ack.
+fn send_shutdown(addr: &str, timeout: Duration) -> Result<(), String> {
+    let stream = connect(addr, timeout)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    writeln!(writer, "shutdown")
+        .and_then(|_| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut lines = BufReader::new(stream).lines();
+    match lines.next() {
+        Some(Ok(line)) => {
+            let reply = WireReply::from_line(&line)?;
+            if reply.kind == "shutting-down" {
+                Ok(())
+            } else {
+                Err(format!("unexpected shutdown ack: {line}"))
+            }
+        }
+        _ => Err("no shutdown acknowledgement".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use crate::tcp::TcpFrontEnd;
+    use crate::test_store::random_store;
+    use std::sync::Arc;
+
+    #[test]
+    fn loadgen_drives_a_server_and_shuts_it_down() {
+        let store = Arc::new(random_store(256, 16, 21));
+        let front = TcpFrontEnd::bind(
+            Server::new(
+                Arc::clone(&store),
+                ServerConfig {
+                    batch_window: Duration::from_micros(200),
+                    ..ServerConfig::default()
+                },
+            ),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let options = LoadgenOptions {
+            addr: front.local_addr().to_string(),
+            clients: 8,
+            requests: 64,
+            shutdown: true,
+            ..LoadgenOptions::default()
+        };
+        let report = run(&options).expect("load run");
+        assert_eq!(report.sent, 64);
+        assert_eq!(report.ok, 64, "{report}");
+        assert_eq!(report.errors, 0, "{report}");
+        assert!(report.rows > 0);
+        assert!(report.mean_batch >= 1.0);
+        assert!(report.p50_micros <= report.p99_micros);
+        assert!(report.p99_micros <= report.max_micros);
+        front.wait().expect("server exited cleanly");
+    }
+
+    #[test]
+    fn open_loop_pacing_measures_from_schedule() {
+        let store = Arc::new(random_store(64, 4, 5));
+        let front = TcpFrontEnd::bind(Server::with_defaults(store), "127.0.0.1:0").expect("bind");
+        let options = LoadgenOptions {
+            addr: front.local_addr().to_string(),
+            clients: 2,
+            requests: 10,
+            rps: 200.0,
+            shutdown: false,
+            ..LoadgenOptions::default()
+        };
+        let report = run(&options).expect("load run");
+        assert_eq!(report.ok, 10);
+        // 10 requests at 200 rps across 2 clients: the schedule spans
+        // ~40ms, so the run cannot finish instantly.
+        assert!(report.elapsed >= Duration::from_millis(30), "{report:?}");
+        front.stop();
+        front.wait().expect("clean stop");
+    }
+
+    #[test]
+    fn connect_failure_is_a_typed_error() {
+        let options = LoadgenOptions {
+            addr: "127.0.0.1:1".to_string(),
+            clients: 2,
+            requests: 4,
+            connect_timeout_secs: 0,
+            ..LoadgenOptions::default()
+        };
+        assert!(run(&options).is_err());
+    }
+}

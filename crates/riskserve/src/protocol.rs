@@ -1,0 +1,370 @@
+//! The line-oriented wire protocol: one query text per line in, one JSON
+//! object per line out.
+//!
+//! # Request grammar
+//!
+//! Every request is a single line of UTF-8 text.  A query line is
+//!
+//! ```text
+//! select <aggregates> [where <constraints>] [group by <dimensions>]
+//! ```
+//!
+//! where the three clause bodies use exactly the textual forms of the CLI's
+//! `--select` / `--where` / `--group-by` options (they are parsed by the
+//! same `catrisk_riskquery::parse` functions):
+//!
+//! ```text
+//! select mean, tvar(0.99), aep(10) where peril=HU|FL loss>=1e6 group by region
+//! ```
+//!
+//! The keywords `select`, `where` and `group` are matched
+//! case-insensitively at token boundaries and are reserved: clause bodies
+//! never contain them (aggregates are a closed set, constraints always
+//! contain `=`, `>` or `<`, dimensions are a closed set).
+//!
+//! Four command lines are recognised instead of a query:
+//!
+//! * `ping` — liveness probe, answered with a `pong` reply;
+//! * `stats` — a snapshot of the server counters;
+//! * `quit` — close this connection (the server keeps running);
+//! * `shutdown` — drain and stop the whole server (the reply is sent
+//!   before the listener winds down).
+//!
+//! Empty (or all-whitespace) lines are ignored.
+//!
+//! # Reply schema
+//!
+//! Every reply is one line of JSON (a [`WireReply`]):
+//!
+//! ```json
+//! {"ok":true,"kind":"result","result":{...},"error":null,
+//!  "stats":null,"queue_micros":184,"exec_micros":950,"batch_size":7}
+//! ```
+//!
+//! `kind` is one of `result`, `pong`, `stats`, `bye`, `shutting-down` or
+//! `error`.  Failed requests carry `ok=false` and an `error` object whose
+//! `kind` is `parse`, `invalid`, `overloaded` or `shutting-down` — an
+//! overloaded rejection is a well-formed reply, not a dropped connection,
+//! so clients can implement typed backoff.
+
+use serde::{Deserialize, Serialize};
+
+use catrisk_riskquery::{parse_group_by, parse_select, parse_where, Query, QueryBuilder};
+
+use crate::server::{Reply, ServeError};
+use crate::stats::{RequestTimings, StatsSnapshot};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// An ad-hoc query to submit for batched execution.
+    Query(Query),
+    /// Liveness probe.
+    Ping,
+    /// Server-counters snapshot.
+    Stats,
+    /// Close this connection.
+    Quit,
+    /// Drain and stop the whole server.
+    Shutdown,
+}
+
+/// Parses one request line.  Returns `Ok(None)` for blank lines.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    match line.to_ascii_lowercase().as_str() {
+        "ping" => return Ok(Some(Request::Ping)),
+        "stats" => return Ok(Some(Request::Stats)),
+        "quit" | "bye" => return Ok(Some(Request::Quit)),
+        "shutdown" => return Ok(Some(Request::Shutdown)),
+        _ => {}
+    }
+    parse_query_line(line).map(|q| Some(Request::Query(q)))
+}
+
+/// Splits a query line into its clauses and builds the [`Query`].
+fn parse_query_line(line: &str) -> Result<Query, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if !tokens
+        .first()
+        .is_some_and(|t| t.eq_ignore_ascii_case("select"))
+    {
+        return Err(format!(
+            "a request is `select ... [where ...] [group by ...]` or one of \
+             ping/stats/quit/shutdown, got `{line}`"
+        ));
+    }
+    const SELECT: usize = 0;
+    const WHERE: usize = 1;
+    const GROUP: usize = 2;
+    let mut clauses: [Vec<&str>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut seen = [true, false, false];
+    let mut current = SELECT;
+    let mut index = 1;
+    while index < tokens.len() {
+        let token = tokens[index];
+        if token.eq_ignore_ascii_case("where") {
+            if seen[WHERE] {
+                return Err("duplicate `where` clause".to_string());
+            }
+            seen[WHERE] = true;
+            current = WHERE;
+            index += 1;
+            continue;
+        }
+        if token.eq_ignore_ascii_case("group") {
+            if !tokens
+                .get(index + 1)
+                .is_some_and(|t| t.eq_ignore_ascii_case("by"))
+            {
+                return Err("`group` must be followed by `by`".to_string());
+            }
+            if seen[GROUP] {
+                return Err("duplicate `group by` clause".to_string());
+            }
+            seen[GROUP] = true;
+            current = GROUP;
+            index += 2;
+            continue;
+        }
+        clauses[current].push(token);
+        index += 1;
+    }
+    let select_text = clauses[SELECT].join(" ");
+    let where_text = clauses[WHERE].join(" ");
+    let group_text = clauses[GROUP].join(" ");
+    if select_text.is_empty() {
+        return Err("empty select clause".to_string());
+    }
+    if seen[WHERE] && where_text.is_empty() {
+        return Err("empty where clause".to_string());
+    }
+    if seen[GROUP] && group_text.is_empty() {
+        return Err("empty group by clause".to_string());
+    }
+
+    let mut builder = QueryBuilder::new();
+    for aggregate in parse_select(&select_text).map_err(|e| e.to_string())? {
+        builder = builder.aggregate(aggregate);
+    }
+    if !where_text.is_empty() {
+        let filter = parse_where(&where_text).map_err(|e| e.to_string())?;
+        if let Some(perils) = filter.perils {
+            builder = builder.with_perils(perils);
+        }
+        if let Some(regions) = filter.regions {
+            builder = builder.in_regions(regions);
+        }
+        if let Some(lobs) = filter.lobs {
+            builder = builder.for_lobs(lobs);
+        }
+        if let Some(layers) = filter.layers {
+            builder = builder.in_layers(layers);
+        }
+        if let Some((start, end)) = filter.trials {
+            builder = builder.trials(start..end);
+        }
+        if let Some(range) = filter.loss {
+            builder = builder.loss_in(range.min, range.max);
+        }
+    }
+    if !group_text.is_empty() {
+        for dim in parse_group_by(&group_text).map_err(|e| e.to_string())? {
+            builder = builder.group_by(dim);
+        }
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// A wire-level error payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable kind: `parse`, `invalid`, `overloaded` or
+    /// `shutting-down`.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// One reply line, serialised as a single JSON object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireReply {
+    /// False exactly when `error` is set.
+    pub ok: bool,
+    /// `result`, `pong`, `stats`, `bye`, `shutting-down` or `error`.
+    pub kind: String,
+    /// The query result, for `kind == "result"`.
+    pub result: Option<catrisk_riskquery::QueryResult>,
+    /// The error payload, for `kind == "error"`.
+    pub error: Option<WireError>,
+    /// The counters snapshot, for `kind == "stats"`.
+    pub stats: Option<StatsSnapshot>,
+    /// Latency attribution of a `result` reply.
+    pub timings: RequestTimings,
+}
+
+impl WireReply {
+    fn base(kind: &str) -> Self {
+        Self {
+            ok: true,
+            kind: kind.to_string(),
+            result: None,
+            error: None,
+            stats: None,
+            timings: RequestTimings::default(),
+        }
+    }
+
+    /// A successful query reply.
+    pub fn result(reply: Reply) -> Self {
+        Self {
+            result: Some(reply.result),
+            timings: reply.timings,
+            ..Self::base("result")
+        }
+    }
+
+    /// A `pong` reply.
+    pub fn pong() -> Self {
+        Self::base("pong")
+    }
+
+    /// A counters-snapshot reply.
+    pub fn stats(snapshot: StatsSnapshot) -> Self {
+        Self {
+            stats: Some(snapshot),
+            ..Self::base("stats")
+        }
+    }
+
+    /// The goodbye reply to `quit`.
+    pub fn bye() -> Self {
+        Self::base("bye")
+    }
+
+    /// The acknowledgement of a `shutdown` request.
+    pub fn shutting_down() -> Self {
+        Self::base("shutting-down")
+    }
+
+    /// An error reply with an explicit kind.
+    pub fn error(kind: &str, message: impl Into<String>) -> Self {
+        Self {
+            ok: false,
+            error: Some(WireError {
+                kind: kind.to_string(),
+                message: message.into(),
+            }),
+            ..Self::base("error")
+        }
+    }
+
+    /// The error reply for a typed serving error.
+    pub fn serve_error(err: &ServeError) -> Self {
+        Self::error(err.kind(), err.to_string())
+    }
+
+    /// Serialises the reply as one line of JSON (no interior newlines —
+    /// JSON strings escape them).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire replies always serialise")
+    }
+
+    /// Parses one reply line.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_eventgen::peril::Peril;
+    use catrisk_riskquery::prelude::*;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_request("  "), Ok(None));
+        assert_eq!(parse_request("ping"), Ok(Some(Request::Ping)));
+        assert_eq!(parse_request("STATS"), Ok(Some(Request::Stats)));
+        assert_eq!(parse_request("quit"), Ok(Some(Request::Quit)));
+        assert_eq!(parse_request("bye"), Ok(Some(Request::Quit)));
+        assert_eq!(parse_request("Shutdown"), Ok(Some(Request::Shutdown)));
+    }
+
+    #[test]
+    fn query_lines_parse_into_full_queries() {
+        let request = parse_request(
+            "select mean, tvar(0.99), aep(4) where peril=HU|FL loss>=1e6 group by region, lob",
+        )
+        .unwrap()
+        .unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        assert_eq!(query.aggregates.len(), 3);
+        assert_eq!(
+            query.filter.perils,
+            Some(vec![Peril::Hurricane, Peril::Flood])
+        );
+        assert_eq!(query.filter.loss, Some(LossRange::at_least(1.0e6)));
+        assert_eq!(query.group_by, vec![Dimension::Region, Dimension::Lob]);
+
+        // Clauses are optional and keywords case-insensitive.
+        let minimal = parse_request("SELECT mean").unwrap().unwrap();
+        let Request::Query(query) = minimal else {
+            panic!("expected a query");
+        };
+        assert_eq!(query.aggregates, vec![Aggregate::Mean]);
+        assert!(query.group_by.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking() {
+        for line in [
+            "frobnicate",
+            "select",
+            "select nope",
+            "select mean where",
+            "select mean group region",
+            "select mean group by",
+            "select mean group by continent",
+            "select mean where galaxy=milkyway",
+            "select mean where peril=HU where peril=FL",
+            "select mean group by region group by lob",
+        ] {
+            assert!(parse_request(line).is_err(), "`{line}` must fail");
+        }
+    }
+
+    #[test]
+    fn wire_replies_round_trip() {
+        let reply = WireReply::error("overloaded", "server overloaded: 64 requests queued");
+        let line = reply.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(WireReply::from_line(&line).unwrap(), reply);
+
+        let pong = WireReply::pong().to_line();
+        let parsed = WireReply::from_line(&pong).unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.kind, "pong");
+
+        let stats = WireReply::stats(StatsSnapshot::default());
+        let parsed = WireReply::from_line(&stats.to_line()).unwrap();
+        assert_eq!(parsed.stats, Some(StatsSnapshot::default()));
+
+        assert!(WireReply::from_line("not json").is_err());
+    }
+
+    #[test]
+    fn serve_errors_map_to_wire_kinds() {
+        let reply = WireReply::serve_error(&ServeError::Overloaded { depth: 9 });
+        assert!(!reply.ok);
+        assert_eq!(reply.error.as_ref().unwrap().kind, "overloaded");
+        let reply = WireReply::serve_error(&ServeError::InvalidQuery("x".to_string()));
+        assert_eq!(reply.error.as_ref().unwrap().kind, "invalid");
+    }
+}

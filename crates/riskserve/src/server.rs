@@ -1,0 +1,544 @@
+//! The micro-batching server core: bounded queue → batch window → fused
+//! scan → reply slots.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use catrisk_riskquery::{Query, QueryPlan, QueryResult, QuerySession, SegmentSource};
+
+use crate::stats::{Counters, RequestTimings, StatsSnapshot};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// A batch window closes as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// How long a worker holds a window open for more requests to coalesce
+    /// after it has picked up the first one.  Zero disables coalescing —
+    /// every request executes as soon as a worker is free.
+    pub batch_window: Duration,
+    /// Admission-control bound: a submit finding this many requests queued
+    /// is rejected with [`ServeError::Overloaded`] instead of queueing.
+    pub queue_depth: usize,
+    /// Worker threads pulling batches off the queue.  Each batch execution
+    /// is itself trial-block-parallel on the rayon pool, so a small number
+    /// of workers saturates the machine; more workers trade batching
+    /// efficiency for lower window latency under light load.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            batch_window: Duration::from_micros(200),
+            queue_depth: 1024,
+            workers: 2,
+        }
+    }
+}
+
+/// Typed serving errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the queue already held
+    /// `depth` requests.  The client should back off and retry.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The query cannot run against this server's store (bad trial window,
+    /// invalid aggregate, ...).  Rejected at submit time, before queueing.
+    InvalidQuery(String),
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "server overloaded: {depth} requests queued")
+            }
+            ServeError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A wire-independent name for each error variant (the TCP protocol and
+/// the load generator key on it).
+impl ServeError {
+    /// Stable machine-readable error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::InvalidQuery(_) => "invalid",
+            ServeError::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A successful reply: the query result plus its latency attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The query's result, bit-identical to a sequential
+    /// [`QuerySession`] run of the same query.
+    pub result: QueryResult,
+    /// Where this request's latency went.
+    pub timings: RequestTimings,
+}
+
+/// One-shot reply slot shared between a queued request and its
+/// [`Ticket`].
+#[derive(Debug, Default)]
+struct ReplySlot {
+    outcome: Mutex<Option<Result<Reply, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn fulfil(&self, outcome: Result<Reply, ServeError>) {
+        *lock(&self.outcome) = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// The claim check a [`Server::submit`] returns: redeem it with
+/// [`Ticket::wait`] for the reply.  Every accepted ticket is fulfilled
+/// exactly once — workers drain the queue on shutdown, so accepted
+/// requests are never dropped.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ReplySlot>,
+}
+
+impl Ticket {
+    /// Blocks until the reply is ready.
+    pub fn wait(self) -> Result<Reply, ServeError> {
+        let mut outcome = lock(&self.slot.outcome);
+        loop {
+            if let Some(reply) = outcome.take() {
+                return reply;
+            }
+            outcome = wait(&self.slot.ready, outcome);
+        }
+    }
+
+    /// Returns the reply if it is already ready, or the ticket back.
+    pub fn try_wait(self) -> Result<Result<Reply, ServeError>, Ticket> {
+        let ready = lock(&self.slot.outcome).take();
+        match ready {
+            Some(reply) => Ok(reply),
+            None => Err(self),
+        }
+    }
+}
+
+/// One admitted request waiting in the queue.
+struct Pending {
+    query: Query,
+    slot: Arc<ReplySlot>,
+    enqueued: Instant,
+}
+
+/// Queue state guarded by one mutex: the pending requests plus the
+/// shutdown latch the workers observe.
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Shared<S> {
+    store: Arc<S>,
+    config: ServerConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled on every admit and on shutdown; workers wait on it both
+    /// when idle and while a batch window is open.
+    arrived: Condvar,
+    counters: Counters,
+}
+
+/// A micro-batching query server over any shared [`SegmentSource`].
+///
+/// Many client threads [`submit`](Server::submit) parsed queries
+/// concurrently; worker threads coalesce whatever is pending — closing
+/// each batch window after [`ServerConfig::max_batch`] requests or
+/// [`ServerConfig::batch_window`], whichever comes first — and push the
+/// whole batch through one [`QuerySession::run`], so N concurrent requests
+/// over the same slices cost ~1 fused scan instead of N.  Results are
+/// bit-identical to running each query alone.
+///
+/// Dropping the server shuts it down: queued requests are still answered
+/// (never dropped), subsequent submits fail with
+/// [`ServeError::ShuttingDown`].
+pub struct Server<S: SegmentSource + Send + Sync + 'static> {
+    shared: Arc<Shared<S>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<S: SegmentSource + Send + Sync + 'static> std::fmt::Debug for Server<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("segments", &self.shared.store.num_segments())
+            .field("config", &self.shared.config)
+            .finish()
+    }
+}
+
+/// Locks ignoring poison: a worker panic must not wedge every client.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
+}
+
+impl<S: SegmentSource + Send + Sync + 'static> Server<S> {
+    /// Starts a server over `store` with the given configuration.
+    pub fn new(store: Arc<S>, config: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            store,
+            config: ServerConfig {
+                max_batch: config.max_batch.max(1),
+                workers: config.workers.max(1),
+                ..config
+            },
+            queue: Mutex::new(QueueState::default()),
+            arrived: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("riskserve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn riskserve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Starts a server with the default configuration.
+    pub fn with_defaults(store: Arc<S>) -> Self {
+        Self::new(store, ServerConfig::default())
+    }
+
+    /// The store this server answers queries over.
+    pub fn store(&self) -> &Arc<S> {
+        &self.shared.store
+    }
+
+    /// The active configuration (after clamping).
+    pub fn config(&self) -> ServerConfig {
+        self.shared.config
+    }
+
+    /// Submits one query for batched execution.
+    ///
+    /// Validates the query against the store up front (a planning failure
+    /// is returned here as [`ServeError::InvalidQuery`], so one client's
+    /// malformed query can never fail a batch it shares with others) and
+    /// applies admission control: past
+    /// [`ServerConfig::queue_depth`] pending requests the submit is
+    /// rejected with a typed [`ServeError::Overloaded`] instead of
+    /// queueing without bound.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        if let Err(err) = QueryPlan::validate(&*self.shared.store, &query) {
+            return Err(ServeError::InvalidQuery(err.to_string()));
+        }
+        let slot = Arc::new(ReplySlot::default());
+        {
+            let mut queue = lock(&self.shared.queue);
+            if queue.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            let depth = queue.pending.len();
+            if depth >= self.shared.config.queue_depth {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { depth });
+            }
+            queue.pending.push_back(Pending {
+                query,
+                slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+            });
+            Counters::bump_max(&self.shared.counters.max_queue_depth, depth as u64 + 1);
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.arrived.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submits a query and blocks for its reply — the one-call convenience
+    /// path.
+    pub fn query(&self, query: Query) -> Result<Reply, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stops accepting requests, drains the queue (every accepted ticket
+    /// is fulfilled) and joins the workers.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.shutting_down = true;
+        }
+        self.shared.arrived.notify_all();
+        for worker in lock(&self.workers).drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<S: SegmentSource + Send + Sync + 'static> Drop for Server<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker body: wait for a request, hold the batch window open, drain up
+/// to `max_batch`, execute the batch, deliver replies; on shutdown keep
+/// draining until the queue is empty, then exit.
+fn worker_loop<S: SegmentSource + Send + Sync>(shared: &Shared<S>) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if !queue.pending.is_empty() {
+                    break;
+                }
+                if queue.shutting_down {
+                    return;
+                }
+                queue = wait(&shared.arrived, queue);
+            }
+            // The window opens when a worker first sees the queue
+            // non-empty and closes at `batch_window` or `max_batch`,
+            // whichever comes first.  Shutdown closes it immediately.
+            let deadline = Instant::now() + shared.config.batch_window;
+            while queue.pending.len() < shared.config.max_batch && !queue.shutting_down {
+                let now = Instant::now();
+                if now >= deadline || queue.pending.is_empty() {
+                    break;
+                }
+                queue = wait_timeout(&shared.arrived, queue, deadline - now);
+            }
+            let take = queue.pending.len().min(shared.config.max_batch);
+            queue.pending.drain(..take).collect()
+        };
+        // Another worker may have drained the queue while this one held
+        // the window open.
+        if batch.is_empty() {
+            continue;
+        }
+        execute_batch(shared, batch);
+    }
+}
+
+/// Executes one batch: dedups identical queries across submitters (the
+/// session additionally dedups shared scan specs and fuses the remaining
+/// scans), runs the fused batch, and fulfils every reply slot.
+fn execute_batch<S: SegmentSource + Send + Sync>(shared: &Shared<S>, batch: Vec<Pending>) {
+    let started = Instant::now();
+    let mut unique: Vec<Query> = Vec::with_capacity(batch.len());
+    let mut index_of: HashMap<&Query, usize> = HashMap::with_capacity(batch.len());
+    let assignment: Vec<usize> = batch
+        .iter()
+        .map(|pending| match index_of.entry(&pending.query) {
+            Entry::Occupied(slot) => *slot.get(),
+            Entry::Vacant(slot) => {
+                let index = unique.len();
+                slot.insert(index);
+                unique.push(pending.query.clone());
+                index
+            }
+        })
+        .collect();
+    drop(index_of);
+
+    let session = QuerySession::new(&*shared.store);
+    match session.run(&unique) {
+        Ok(results) => {
+            let exec_micros = started.elapsed().as_micros() as u64;
+            let batch_size = batch.len() as u32;
+            // Counters bump before the slots are fulfilled, so a client
+            // that just received its reply already sees itself counted.
+            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            Counters::bump_max(&shared.counters.largest_batch, u64::from(batch_size));
+            for (pending, unique_index) in batch.into_iter().zip(assignment) {
+                let timings = RequestTimings {
+                    queue_micros: started
+                        .saturating_duration_since(pending.enqueued)
+                        .as_micros() as u64,
+                    exec_micros,
+                    batch_size,
+                };
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                pending.slot.fulfil(Ok(Reply {
+                    result: results[unique_index].clone(),
+                    timings,
+                }));
+            }
+        }
+        Err(_) => {
+            // Unreachable in practice: every query was planned at submit
+            // time against this same immutable store.  Fall back to
+            // per-query execution so each request still gets its own
+            // reply (a batch-wide error must never take out neighbours).
+            let batch_size = batch.len() as u32;
+            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            for pending in batch {
+                let outcome = catrisk_riskquery::execute(&*shared.store, &pending.query)
+                    .map(|result| Reply {
+                        result,
+                        timings: RequestTimings {
+                            queue_micros: started
+                                .saturating_duration_since(pending.enqueued)
+                                .as_micros() as u64,
+                            exec_micros: started.elapsed().as_micros() as u64,
+                            batch_size,
+                        },
+                    })
+                    .map_err(|err| ServeError::InvalidQuery(err.to_string()));
+                match &outcome {
+                    Ok(_) => shared.counters.completed.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => shared.counters.failed.fetch_add(1, Ordering::Relaxed),
+                };
+                pending.slot.fulfil(outcome);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_store::{random_store, sample_queries};
+    use catrisk_riskquery::prelude::*;
+
+    #[test]
+    fn served_replies_match_sequential_session() {
+        let store = Arc::new(random_store(512, 24, 42));
+        let queries = sample_queries();
+        let expected = QuerySession::new(&*store).run(&queries).unwrap();
+
+        let server = Server::new(
+            Arc::clone(&store),
+            ServerConfig {
+                max_batch: 4,
+                batch_window: Duration::from_micros(500),
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| server.submit(q.clone()).unwrap())
+            .collect();
+        for (ticket, expected) in tickets.into_iter().zip(&expected) {
+            let reply = ticket.wait().unwrap();
+            assert_eq!(&reply.result, expected);
+            assert!(reply.timings.batch_size >= 1);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, queries.len() as u64);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.batches >= 1);
+        assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_at_submit() {
+        let store = Arc::new(random_store(16, 4, 1));
+        let server = Server::with_defaults(store);
+        let bad = QueryBuilder::new()
+            .trials(0..999_999)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        match server.submit(bad) {
+            Err(ServeError::InvalidQuery(msg)) => assert!(!msg.is_empty()),
+            other => panic!("expected InvalidQuery, got {other:?}"),
+        }
+        // The good query still flows.
+        let good = QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert!(server.query(good).is_ok());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_is_idempotent() {
+        let store = Arc::new(random_store(16, 4, 1));
+        let server = Server::with_defaults(store);
+        server.shutdown();
+        server.shutdown();
+        let query = QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            server.submit(query),
+            Err(ServeError::ShuttingDown)
+        ));
+        assert_eq!(ServeError::ShuttingDown.kind(), "shutting-down");
+    }
+
+    #[test]
+    fn identical_queries_from_many_submitters_dedup() {
+        let store = Arc::new(random_store(256, 8, 9));
+        let server = Server::new(
+            Arc::clone(&store),
+            ServerConfig {
+                // A wide-open window so every submit lands in one batch.
+                batch_window: Duration::from_millis(50),
+                ..ServerConfig::default()
+            },
+        );
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Tvar { level: 0.95 })
+            .build()
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| server.submit(query.clone()).unwrap())
+            .collect();
+        let expected = catrisk_riskquery::execute(&*store, &query).unwrap();
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap().result, expected);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Latency accounting and server counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-request timing attribution, attached to every successful reply.
+///
+/// `queue_micros` covers admission to batch-execution start — it includes
+/// the batch window the scheduler deliberately held the request for.
+/// `exec_micros` is the wall-clock of the fused batch scan the request rode
+/// in (shared by every request of the batch, not divided among them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTimings {
+    /// Microseconds between `submit` and the start of the batch execution.
+    pub queue_micros: u64,
+    /// Microseconds the batch execution took.
+    pub exec_micros: u64,
+    /// Number of requests coalesced into the batch this request rode in.
+    pub batch_size: u32,
+}
+
+/// Monotonic server counters, updated lock-free by the submit path and the
+/// workers.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub batches: AtomicU64,
+    pub largest_batch: AtomicU64,
+    pub max_queue_depth: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump_max(cell: &AtomicU64, observed: u64) {
+        cell.fetch_max(observed, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            largest_batch: self.largest_batch.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the server counters (the `stats` protocol
+/// command returns this as JSON).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected by admission control (`Overloaded`).
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error after admission.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch executed.
+    pub largest_batch: u64,
+    /// Deepest queue observed at submit time.
+    pub max_queue_depth: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean requests per executed batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) of an **ascending-sorted** sample set,
+/// by the nearest-rank method.  Returns 0 for an empty set.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 50);
+        assert_eq!(percentile(&samples, 99.0), 99);
+        assert_eq!(percentile(&samples, 100.0), 100);
+        assert_eq!(percentile(&samples, 0.0), 1);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn snapshot_mean_batch() {
+        let counters = Counters::default();
+        assert_eq!(counters.snapshot().mean_batch(), 0.0);
+        counters.completed.store(30, Ordering::Relaxed);
+        counters.batches.store(10, Ordering::Relaxed);
+        Counters::bump_max(&counters.largest_batch, 5);
+        Counters::bump_max(&counters.largest_batch, 3);
+        let snap = counters.snapshot();
+        assert_eq!(snap.mean_batch(), 3.0);
+        assert_eq!(snap.largest_batch, 5);
+    }
+}

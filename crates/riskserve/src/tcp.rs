@@ -1,0 +1,325 @@
+//! The line-oriented TCP front-end over [`Server`], on `std::net` only —
+//! one OS thread per connection, no async runtime.
+//!
+//! An accept thread hands each connection to a handler thread; handlers
+//! read request lines, submit queries to the shared micro-batching
+//! [`Server`] and write one JSON reply line per request (see
+//! [`crate::protocol`] for the wire format).  Because every handler blocks
+//! in [`Ticket::wait`](crate::server::Ticket::wait) while its query rides
+//! a batch, N concurrent connections are exactly the concurrency the batch
+//! scheduler coalesces.
+//!
+//! Shutdown: a `shutdown` request (or [`TcpFrontEnd::stop`]) flips the
+//! shutdown flag, wakes the accept loop with a loopback connection, shuts
+//! down every open connection's socket so blocked reads return, joins the
+//! handlers, and finally drains the query server itself.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use catrisk_riskquery::SegmentSource;
+
+use crate::protocol::{parse_request, Request, WireReply};
+use crate::server::Server;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct TcpShared<S: SegmentSource + Send + Sync + 'static> {
+    server: Server<S>,
+    addr: SocketAddr,
+    shutting_down: AtomicBool,
+    /// Socket clones of every live connection (keyed by connection id),
+    /// shut down to unblock handler reads when the front-end stops.
+    /// Handlers deregister themselves on exit, so a closed connection's
+    /// descriptor is released immediately, not held until shutdown.
+    connections: Mutex<Vec<(u64, TcpStream)>>,
+    next_connection_id: AtomicU64,
+    handlers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<S: SegmentSource + Send + Sync + 'static> TcpShared<S> {
+    /// Flips the shutdown flag and unblocks the accept loop and every
+    /// handler read.  Idempotent.
+    fn stop(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop: it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        for (_, connection) in lock(&self.connections).drain(..) {
+            let _ = connection.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running TCP front-end.  Obtain one with [`TcpFrontEnd::bind`], then
+/// either block in [`wait`](TcpFrontEnd::wait) until a client sends
+/// `shutdown`, or stop it programmatically with
+/// [`stop`](TcpFrontEnd::stop).
+pub struct TcpFrontEnd<S: SegmentSource + Send + Sync + 'static> {
+    shared: Arc<TcpShared<S>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<S: SegmentSource + Send + Sync + 'static> TcpFrontEnd<S> {
+    /// Binds `addr` (e.g. `127.0.0.1:7433`, port `0` for an ephemeral
+    /// port) and starts accepting connections for `server`.
+    pub fn bind(server: Server<S>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(TcpShared {
+            server,
+            addr: local,
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+            next_connection_id: AtomicU64::new(0),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("riskserve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Self {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The underlying query server (for stats).
+    pub fn server(&self) -> &Server<S> {
+        &self.shared.server
+    }
+
+    /// Requests shutdown without waiting for it to complete.
+    pub fn stop(&self) {
+        self.shared.stop();
+    }
+
+    /// Blocks until the front-end has shut down — triggered by a client's
+    /// `shutdown` line or a [`stop`](TcpFrontEnd::stop) call — then drains
+    /// the query server (every accepted request is answered) and returns.
+    pub fn wait(mut self) -> std::io::Result<()> {
+        if let Some(accept) = self.accept_thread.take() {
+            accept
+                .join()
+                .map_err(|_| std::io::Error::other("accept thread panicked"))?;
+        }
+        for handler in lock(&self.shared.handlers).drain(..) {
+            let _ = handler.join();
+        }
+        self.shared.server.shutdown();
+        Ok(())
+    }
+}
+
+impl<S: SegmentSource + Send + Sync + 'static> Drop for TcpFrontEnd<S> {
+    fn drop(&mut self) {
+        self.shared.stop();
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for handler in lock(&self.shared.handlers).drain(..) {
+            let _ = handler.join();
+        }
+    }
+}
+
+fn accept_loop<S: SegmentSource + Send + Sync + 'static>(
+    listener: &TcpListener,
+    shared: &Arc<TcpShared<S>>,
+) {
+    for connection in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(connection) = connection else {
+            continue;
+        };
+        let Ok(clone) = connection.try_clone() else {
+            continue;
+        };
+        let id = shared.next_connection_id.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.connections).push((id, clone));
+        // Re-check after registering: a stop() racing this accept either
+        // sees the registered clone in its drain, or is observed here.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = connection.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let handler_shared = Arc::clone(shared);
+        let handler = std::thread::Builder::new()
+            .name("riskserve-conn".to_string())
+            .spawn(move || {
+                handle_connection(connection, &handler_shared);
+                // Deregister so the socket clone (a dup'd descriptor) is
+                // dropped with the connection, not at server shutdown.
+                lock(&handler_shared.connections).retain(|(cid, _)| *cid != id);
+            });
+        if let Ok(handler) = handler {
+            let mut handlers = lock(&shared.handlers);
+            // Reap finished handler threads so connection churn does not
+            // grow the vector (and their join results) without bound.
+            handlers.retain(|h| !h.is_finished());
+            handlers.push(handler);
+        }
+    }
+}
+
+/// Serves one connection: read a line, answer a line, until EOF, `quit`,
+/// `shutdown`, or front-end shutdown.
+fn handle_connection<S: SegmentSource + Send + Sync + 'static>(
+    connection: TcpStream,
+    shared: &TcpShared<S>,
+) {
+    let Ok(writer) = connection.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(writer);
+    let reader = BufReader::new(connection);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break; // client vanished or socket shut down
+        };
+        let reply = match parse_request(&line) {
+            Ok(None) => continue,
+            Ok(Some(Request::Ping)) => WireReply::pong(),
+            Ok(Some(Request::Stats)) => WireReply::stats(shared.server.stats()),
+            Ok(Some(Request::Quit)) => {
+                let _ = write_line(&mut writer, &WireReply::bye());
+                break;
+            }
+            Ok(Some(Request::Shutdown)) => {
+                let _ = write_line(&mut writer, &WireReply::shutting_down());
+                shared.stop();
+                break;
+            }
+            Ok(Some(Request::Query(query))) => match shared.server.submit(query) {
+                // The wait blocks this connection only; other connections'
+                // requests coalesce into the same batch meanwhile.
+                Ok(ticket) => match ticket.wait() {
+                    Ok(reply) => WireReply::result(reply),
+                    Err(err) => WireReply::serve_error(&err),
+                },
+                Err(err) => WireReply::serve_error(&err),
+            },
+            Err(message) => WireReply::error("parse", message),
+        };
+        if write_line(&mut writer, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, reply: &WireReply) -> std::io::Result<()> {
+    writeln!(writer, "{}", reply.to_line())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use crate::test_store::{random_store, sample_queries};
+    use catrisk_riskquery::QuerySession;
+    use std::time::Duration;
+
+    fn client(addr: SocketAddr) -> (std::io::Lines<BufReader<TcpStream>>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap()).lines();
+        (reader, stream)
+    }
+
+    fn roundtrip(
+        lines: &mut std::io::Lines<BufReader<TcpStream>>,
+        stream: &mut TcpStream,
+        request: &str,
+    ) -> WireReply {
+        writeln!(stream, "{request}").unwrap();
+        stream.flush().unwrap();
+        let line = lines.next().expect("a reply line").expect("readable");
+        WireReply::from_line(&line).expect("valid reply JSON")
+    }
+
+    #[test]
+    fn tcp_round_trip_queries_commands_and_shutdown() {
+        let store = Arc::new(random_store(256, 12, 7));
+        let expected = QuerySession::new(&*store).run(&sample_queries()).unwrap();
+        let server = Server::new(
+            Arc::clone(&store),
+            ServerConfig {
+                batch_window: Duration::from_micros(100),
+                ..ServerConfig::default()
+            },
+        );
+        let front = TcpFrontEnd::bind(server, "127.0.0.1:0").expect("bind");
+        let addr = front.local_addr();
+
+        let (mut lines, mut stream) = client(addr);
+        let pong = roundtrip(&mut lines, &mut stream, "ping");
+        assert_eq!(pong.kind, "pong");
+
+        let reply = roundtrip(
+            &mut lines,
+            &mut stream,
+            "select mean, tvar(0.99) where peril=HU|FL group by region",
+        );
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.result.as_ref().unwrap(), &expected[0]);
+        assert!(reply.timings.batch_size >= 1);
+
+        let bad = roundtrip(&mut lines, &mut stream, "select nonsense");
+        assert!(!bad.ok);
+        assert_eq!(bad.error.as_ref().unwrap().kind, "parse");
+
+        let stats = roundtrip(&mut lines, &mut stream, "stats");
+        assert!(stats.stats.unwrap().completed >= 1);
+
+        // A second connection coexists and can quit independently; once it
+        // is gone its registry entry (a dup'd descriptor) is released.
+        // Registration and deregistration happen on server threads, so
+        // both are polled rather than asserted immediately.
+        let registered_count = |want: usize| {
+            (0..200).any(|_| {
+                let now = lock(&front.shared.connections).len();
+                now == want || {
+                    std::thread::sleep(Duration::from_millis(10));
+                    false
+                }
+            })
+        };
+        let (mut lines2, mut stream2) = client(addr);
+        assert!(registered_count(2), "second connection never registered");
+        let bye = roundtrip(&mut lines2, &mut stream2, "quit");
+        assert_eq!(bye.kind, "bye");
+        drop((lines2, stream2));
+        assert!(registered_count(1), "closed connection stayed registered");
+
+        let ack = roundtrip(&mut lines, &mut stream, "shutdown");
+        assert_eq!(ack.kind, "shutting-down");
+        front.wait().expect("clean shutdown");
+    }
+
+    #[test]
+    fn stop_unblocks_idle_connections() {
+        let store = Arc::new(random_store(32, 4, 3));
+        let front = TcpFrontEnd::bind(Server::with_defaults(store), "127.0.0.1:0").expect("bind");
+        // An idle connection sitting in a blocked read ...
+        let (mut lines, _stream) = client(front.local_addr());
+        front.stop();
+        front.wait().expect("clean shutdown");
+        // ... was shut down server-side: EOF, not a hang.
+        assert!(lines.next().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared test fixtures: a random in-memory store and a mixed query batch.
+
+use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::prelude::*;
+use catrisk_simkit::rng::RngFactory;
+
+/// A store of `segments` random YLT segments over `trials` trials, with
+/// all four dimensions populated.
+pub fn random_store(trials: usize, segments: usize, seed: u64) -> ResultStore {
+    let factory = RngFactory::new(seed);
+    let mut store = ResultStore::new(trials);
+    for s in 0..segments {
+        let mut rng = factory.stream(s as u64);
+        let outcomes: Vec<TrialOutcome> = (0..trials)
+            .map(|_| {
+                let year = if rng.uniform() < 0.3 {
+                    rng.uniform() * 1.0e6
+                } else {
+                    0.0
+                };
+                TrialOutcome {
+                    year_loss: year,
+                    max_occurrence_loss: year * rng.uniform(),
+                    nonzero_events: u32::from(year > 0.0),
+                }
+            })
+            .collect();
+        let meta = SegmentMeta::new(
+            LayerId((s / 4) as u32),
+            Peril::ALL[s % Peril::ALL.len()],
+            Region::ALL[(s / 2) % Region::ALL.len()],
+            LineOfBusiness::ALL[s % LineOfBusiness::ALL.len()],
+        );
+        store
+            .ingest(&YearLossTable::new(LayerId(s as u32), outcomes), meta)
+            .unwrap();
+    }
+    store
+}
+
+/// A small mixed batch: several scan specs, several metric sets.
+pub fn sample_queries() -> Vec<Query> {
+    vec![
+        QueryBuilder::new()
+            .with_perils([Peril::Hurricane, Peril::Flood])
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::Var { level: 0.99 })
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 8,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .loss_at_least(1.0e5)
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .aggregate(Aggregate::Pml {
+                return_period: 100.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap(),
+    ]
+}

@@ -76,6 +76,13 @@ impl ColumnRegion {
 /// in a [`QuerySession`] via [`StoreReader::session`], and the parallel
 /// scan consumes its column slices exactly as it consumes the in-memory
 /// `ResultStore`'s.
+///
+/// A reader is immutable once opened (later commits to the file are
+/// invisible until a reopen), so it is `Send + Sync` and one instance can
+/// back any number of concurrent scans — a serving front-end shares a
+/// single reader across all of its batch workers without locking.
+/// [`StoreReader::open_shared`] is the convenience constructor for that
+/// use.
 #[derive(Debug, Default)]
 pub struct StoreReader {
     num_trials: usize,
@@ -293,7 +300,20 @@ impl StoreReader {
     pub fn session(&self) -> QuerySession<'_, StoreReader> {
         QuerySession::new(self)
     }
+
+    /// Opens a store and wraps the reader for concurrent sharing — the
+    /// form a multi-threaded serving front-end consumes.
+    pub fn open_shared(path: impl AsRef<Path>) -> Result<std::sync::Arc<StoreReader>> {
+        Ok(std::sync::Arc::new(StoreReader::open(path)?))
+    }
 }
+
+// The serving front-end shares one reader across worker and connection
+// threads; regress this at compile time rather than at a distant use site.
+const _: fn() = || {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<StoreReader>();
+};
 
 impl SegmentSource for StoreReader {
     fn num_trials(&self) -> usize {
@@ -461,6 +481,43 @@ mod tests {
         assert_eq!(fresh.num_segments(), 2);
         assert_eq!(fresh.commit_seq(), seq + 1);
         assert_eq!(SegmentSource::year_losses(&fresh, 1), &[3.0, 4.0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_reader_scans_concurrently() {
+        let path = temp_path("shared");
+        let mut writer = StoreWriter::create(&path, 16).unwrap();
+        for s in 0..6u32 {
+            let losses: Vec<f64> = (0..16).map(|t| (s * 16 + t) as f64).collect();
+            writer
+                .append_segment(
+                    meta(s, Peril::ALL[s as usize % Peril::ALL.len()], Region::Europe),
+                    &losses,
+                    &losses,
+                )
+                .unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader = StoreReader::open_shared(&path).unwrap();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.9 })
+            .build()
+            .unwrap();
+        let expected = execute(&*reader, &query).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reader = std::sync::Arc::clone(&reader);
+                let query = query.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    assert_eq!(execute(&*reader, &query).unwrap(), expected);
+                });
+            }
+        });
         let _ = std::fs::remove_file(&path);
     }
 

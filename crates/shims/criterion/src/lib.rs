@@ -10,8 +10,34 @@
 //! `sample_size` timed samples (one iteration per sample) and reports the
 //! minimum / median / maximum wall-clock time to stdout.  There is no
 //! statistical analysis, plotting or state persisted between runs.
+//!
+//! Two environment variables support CI smoke runs:
+//!
+//! * `CATRISK_BENCH_SAMPLES=N` caps every sample size (defaults and
+//!   explicit `sample_size` calls alike) at `N`, so a full bench suite can
+//!   run in quick mode at the PR gate;
+//! * `CATRISK_BENCH_JSON=PATH` appends one JSON object per benchmark to
+//!   `PATH` — `{"label":...,"min_ns":...,"median_ns":...,"max_ns":...,
+//!   "samples":...}` — which CI uploads as an artifact.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// The `CATRISK_BENCH_SAMPLES` cap, if set to a positive integer.
+fn env_sample_cap() -> Option<usize> {
+    std::env::var("CATRISK_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Applies the environment cap to a requested sample size.
+fn capped(samples: usize) -> usize {
+    match env_sample_cap() {
+        Some(cap) => samples.min(cap).max(1),
+        None => samples.max(1),
+    }
+}
 
 pub use std::hint::black_box;
 
@@ -89,6 +115,43 @@ fn report(label: &str, samples: &mut [Duration]) {
         format_duration(max),
         samples.len()
     );
+    append_json_summary(label, min, median, max, samples.len());
+}
+
+/// Appends one JSON summary line to `$CATRISK_BENCH_JSON`, if set.  Write
+/// failures are reported on stderr but never fail the benchmark.
+fn append_json_summary(label: &str, min: Duration, median: Duration, max: Duration, n: usize) {
+    let Ok(path) = std::env::var("CATRISK_BENCH_JSON") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    // Labels are bench identifiers; escape the two characters JSON strings
+    // cannot hold raw.
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"label\":\"{escaped}\",\"min_ns\":{},\"median_ns\":{},\"max_ns\":{},\"samples\":{n}}}",
+        min.as_nanos(),
+        median.as_nanos(),
+        max.as_nanos()
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{line}"));
+    if let Err(err) = appended {
+        eprintln!("criterion shim: cannot append to {path}: {err}");
+    }
 }
 
 fn format_duration(d: Duration) -> String {
@@ -113,7 +176,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Self {
-            default_sample_size: 20,
+            default_sample_size: capped(20),
         }
     }
 }
@@ -154,9 +217,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (subject to the
+    /// `CATRISK_BENCH_SAMPLES` cap).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = capped(n);
         self
     }
 
@@ -232,10 +296,41 @@ mod tests {
 
     criterion_group!(shim_group, target);
 
+    // One test, not several: the env-driven controls mutate the process
+    // environment, and concurrent harness tests reading it through getenv
+    // would race the set_var/remove_var calls below.
     #[test]
-    fn harness_runs() {
+    fn harness_runs_and_env_controls_apply() {
         shim_group();
         let mut c = Criterion::default().without_plots();
         c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "catrisk-criterion-shim-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CATRISK_BENCH_JSON", &path);
+        std::env::set_var("CATRISK_BENCH_SAMPLES", "2");
+
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("capped");
+        group.sample_size(50);
+        let mut iterations = 0usize;
+        group.bench_function("counted", |b| b.iter(|| iterations += 1));
+        group.finish();
+
+        std::env::remove_var("CATRISK_BENCH_SAMPLES");
+        std::env::remove_var("CATRISK_BENCH_JSON");
+        // 1 warm-up + 2 capped samples, not 50.
+        assert_eq!(iterations, 3);
+        let summary = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            summary.contains("\"label\":\"capped/counted\""),
+            "{summary}"
+        );
+        assert!(summary.contains("\"samples\":2"), "{summary}");
+        let _ = std::fs::remove_file(&path);
     }
 }
