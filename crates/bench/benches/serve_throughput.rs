@@ -152,7 +152,7 @@ fn run_baseline(store: &ResultStore, mix: &[Query], per_client: usize) {
 }
 
 /// 32 clients submitting to the shared micro-batching server.
-fn run_batched(server: &Server<ResultStore>, mix: &[Query], per_client: usize) {
+fn run_batched(server: &Server<Arc<ResultStore>>, mix: &[Query], per_client: usize) {
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {
             let mix = &mix;
@@ -175,6 +175,10 @@ fn serving_config() -> ServerConfig {
         batch_window: Duration::from_micros(500),
         queue_depth: 4096,
         workers: 2,
+        // The result cache is disabled so this bench keeps measuring the
+        // *batching* speedup alone; the cold/warm cache path has its own
+        // bench (`sharded_scan`).
+        cache_capacity: 0,
     }
 }
 

@@ -34,13 +34,16 @@ commands:
              run `catrisk query --help` for the full reference and examples
   store    persistent columnar stores: `store write` spills engine results
            to a file (incremental commits), `store query` reopens and
-           queries it without re-simulation
+           queries it without re-simulation, `store catalog` inspects a
+           multi-store catalog shard by shard
              run `catrisk store --help` for the full reference and examples
-  serve    micro-batched TCP query server over a persistent store
-           (one query text per line in, one JSON reply per line out)
+  serve    micro-batched TCP query server over a catalog of one or more
+           persistent stores (--store A --store B ...), refreshed live as
+           ingest writers commit, with a generation-keyed result cache
              run `catrisk serve --help` for the protocol and options
   loadgen  drive open-loop load at a running serve instance and print
-           throughput and latency percentiles
+           throughput and latency percentiles; --refresh-writer appends
+           segments to a served shard mid-run (serve-while-ingesting)
              run `catrisk loadgen --help` for the options
   info     print the simulated device and default configuration";
 
@@ -81,6 +84,15 @@ impl Options {
                 .parse()
                 .map_err(|_| format!("invalid value `{v}` for --{key}")),
         }
+    }
+
+    /// Every value of a repeatable `--key value` option, in order.
+    pub fn get_all(&self, key: &str) -> Vec<String> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .collect()
     }
 
     /// True when the bare flag `--key` was given.
@@ -138,6 +150,13 @@ mod tests {
         assert_eq!(opts.get("missing", 42u32).unwrap(), 42);
         assert!(opts.has_flag("json"));
         assert!(!opts.has_flag("verbose"));
+    }
+
+    #[test]
+    fn options_collect_repeated_values() {
+        let opts = Options::parse(&strings(&["--store", "a.clm", "--store", "b.clm"])).unwrap();
+        assert_eq!(opts.get_all("store"), vec!["a.clm", "b.clm"]);
+        assert!(opts.get_all("missing").is_empty());
     }
 
     #[test]

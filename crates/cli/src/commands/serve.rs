@@ -1,27 +1,32 @@
-//! `catrisk serve` — a micro-batched TCP query server over a persistent
-//! store — and `catrisk loadgen` — an open-loop load generator against it.
+//! `catrisk serve` — a micro-batched TCP query server over a catalog of
+//! persistent stores — and `catrisk loadgen` — an open-loop load
+//! generator against it.
 //!
-//! `serve` opens a `catrisk-riskstore` file, shares the reader across the
-//! batch workers, and speaks the line protocol of `catrisk-riskserve` (one
-//! query text per line in, one JSON result per line out) until a client
-//! sends `shutdown`.  `loadgen` drives a mixed query workload at a running
-//! server from many concurrent connections and prints throughput and
-//! latency percentiles — the serving analogue of the `engines` benchmark
-//! command.
+//! `serve` opens one or more `catrisk-riskstore` files as a
+//! [`StoreCatalog`], routes every query across the shards (exact
+//! cross-shard merge, bit-identical to one concatenated store), refreshes
+//! shards live as ingest writers commit, answers repeated queries from a
+//! generation-keyed result cache, and speaks the line protocol of
+//! `catrisk-riskserve` until a client sends `shutdown`.  `loadgen` drives
+//! a mixed query workload at a running server from many concurrent
+//! connections and prints throughput and latency percentiles — with
+//! `--refresh-writer` it also appends and commits segments to one shard
+//! mid-run, exercising the serve-while-ingesting path under load.
 
 use std::time::Duration;
 
-use catrisk_riskserve::{loadgen, LoadgenOptions, Server, ServerConfig, TcpFrontEnd};
-use catrisk_riskstore::StoreReader;
+use catrisk_riskserve::{loadgen, LoadgenOptions, Server, ServerConfig, StoreCatalog, TcpFrontEnd};
 
 use super::Options;
 
 /// Detailed usage of the serve command, shown by `catrisk serve --help`.
 pub const SERVE_HELP: &str = "usage: catrisk serve [options]
 
-Serves ad-hoc aggregate queries over a persistent store file, coalescing
-concurrent requests into micro-batches (one fused scan per batch).  Speaks
-a line protocol: one query text per line in, one JSON reply per line out:
+Serves ad-hoc aggregate queries over a catalog of persistent store files,
+coalescing concurrent requests into micro-batches (one fused scan per
+batch), refreshing shards as ingest writers commit, and caching per-query
+results keyed on each shard's committed generation.  Speaks a line
+protocol: one query text per line in, one JSON reply per line out:
 
   select mean, tvar(0.99) where peril=HU|FL group by region
   ping | stats | quit | shutdown
@@ -30,20 +35,28 @@ The server runs until a client sends `shutdown` (see `catrisk loadgen
 --shutdown`).
 
 options:
-  --in PATH        store file to serve (required; create with `store write`)
+  --store PATH     a shard file to serve; repeat for a multi-store catalog
+                   (all shards must share one trial count)
+  --in PATH        alias for a single --store (kept for compatibility)
   --addr A         listen address (default 127.0.0.1:7433, port 0 = ephemeral)
   --max-batch N    close a batch window at N requests (default 64)
   --window-us U    batch window in microseconds (default 200)
   --queue-depth N  reject submits past N queued requests (default 1024)
-  --workers N      batch worker threads (default 2)";
+  --workers N      batch worker threads (default 2)
+  --cache N        result-cache capacity in unique queries (default 1024,
+                   0 disables caching)
+  --refresh-ms MS  minimum milliseconds between shard-header refresh
+                   probes (default 0 = probe every batch; raise on slow
+                   or networked filesystems to bound per-batch syscalls
+                   at the cost of commits surfacing up to MS later)";
 
 /// Detailed usage of the loadgen command, shown by `catrisk loadgen --help`.
 pub const LOADGEN_HELP: &str = "usage: catrisk loadgen [options]
 
 Drives load at a running `catrisk serve` instance from many concurrent
-connections and prints throughput and latency percentiles.  Fails (exit 1)
-if any request errors or every reply is empty, so it doubles as a smoke
-check.
+connections and prints throughput, latency percentiles and the server's
+cache/refresh counters.  Fails (exit 1) if any request errors or every
+reply is empty, so it doubles as a smoke check.
 
 options:
   --addr A         server address (default 127.0.0.1:7433)
@@ -53,6 +66,13 @@ options:
                    clients; 0 = closed loop (default 0)
   --query LINE     use this query line instead of the built-in mix
   --connect-timeout S  seconds to retry the initial connect (default 30)
+  --refresh-writer PATH  append+commit segments to this served shard file
+                   while the clients run (serve-while-ingesting); fails if
+                   the commits never become visible to queries
+  --refresh-commits N    commits the ingest writer makes (default 4)
+  --refresh-every-ms MS  pause between ingest commits (default 250)
+  --expect-cache-hits    fail unless the server reports a nonzero
+                   result-cache hit count after the run
   --shutdown       send `shutdown` after the run, stopping the server";
 
 /// Runs the serve command: binds the front-end and blocks until shutdown.
@@ -69,13 +89,20 @@ pub fn run_serve(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Opens the store, starts the batching server and binds the TCP listener
-/// (split from [`run_serve`] so tests can drive an ephemeral-port
-/// instance).
-pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreReader>, String> {
+/// Opens the catalog, starts the batching server and binds the TCP
+/// listener (split from [`run_serve`] so tests can drive an
+/// ephemeral-port instance).
+pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatalog>, String> {
+    let mut stores = options.get_all("store");
     let input = options.get("in", String::new())?;
-    if input.is_empty() {
-        return Err("serve needs --in PATH (create one with `catrisk store write`)".to_string());
+    if !input.is_empty() {
+        stores.push(input);
+    }
+    if stores.is_empty() {
+        return Err(
+            "serve needs at least one --store PATH (create one with `catrisk store write`)"
+                .to_string(),
+        );
     }
     let addr = options.get("addr", "127.0.0.1:7433".to_string())?;
     let config = ServerConfig {
@@ -83,33 +110,39 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreReade
         batch_window: Duration::from_micros(options.get("window-us", 200u64)?),
         queue_depth: options.get("queue-depth", 1024usize)?,
         workers: options.get("workers", 2usize)?,
+        cache_capacity: options.get("cache", 1024usize)?,
     };
 
-    let reader = StoreReader::open_shared(&input).map_err(|e| e.to_string())?;
-    if reader.is_empty() {
-        return Err(format!("store `{input}` holds no committed segments"));
+    let catalog = StoreCatalog::open(&stores).map_err(|e| e.to_string())?;
+    catalog.set_refresh_interval(Duration::from_millis(options.get("refresh-ms", 0u64)?));
+    if catalog.shard_segments().iter().sum::<usize>() == 0 {
+        return Err(format!(
+            "catalog holds no committed segments across {} shard(s)",
+            catalog.num_shards()
+        ));
     }
     eprintln!(
-        "  serving {}: {} segments x {} trials ({:.1} MB resident), commit {}",
-        input,
-        reader.num_segments(),
-        reader.num_trials(),
-        reader.memory_bytes() as f64 / 1.0e6,
-        reader.commit_seq()
+        "  serving a {}-shard catalog ({:.1} MB resident):",
+        catalog.num_shards(),
+        catalog.memory_bytes() as f64 / 1.0e6
     );
-    let server = Server::new(reader, config);
+    for line in catalog.describe().lines() {
+        eprintln!("    {line}");
+    }
+    let server = Server::new(catalog, config);
     let front =
         TcpFrontEnd::bind(server, &addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
     // The bound address goes to stdout so scripts can capture it (it
     // differs from --addr when port 0 was requested).
     println!("{}", front.local_addr());
     eprintln!(
-        "  listening on {} (max-batch {}, window {}us, queue depth {}, {} workers)",
+        "  listening on {} (max-batch {}, window {}us, queue depth {}, {} workers, cache {})",
         front.local_addr(),
         config.max_batch,
         config.batch_window.as_micros(),
         config.queue_depth,
-        config.workers
+        config.workers,
+        config.cache_capacity
     );
     Ok(front)
 }
@@ -132,6 +165,25 @@ pub fn run_loadgen(options: &Options) -> Result<(), String> {
     if report.errors > 0 {
         return Err(format!("{} requests failed", report.errors));
     }
+    if let Some(ingest) = &report.ingest {
+        if !ingest.visible {
+            return Err(
+                "segments committed during the run never became visible to queries".to_string(),
+            );
+        }
+    }
+    if options.has_flag("expect-cache-hits") {
+        match &report.server_stats {
+            Some(stats) if stats.cache_hits > 0 => {}
+            Some(stats) => {
+                return Err(format!(
+                    "--expect-cache-hits: the server reported zero cache hits ({} misses)",
+                    stats.cache_misses
+                ));
+            }
+            None => return Err("--expect-cache-hits: could not fetch server stats".to_string()),
+        }
+    }
     Ok(())
 }
 
@@ -143,6 +195,9 @@ pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, Strin
         rps: options.get("rps", 0.0f64)?,
         connect_timeout_secs: options.get("connect-timeout", 30u64)?,
         shutdown: options.has_flag("shutdown"),
+        refresh_writer: options.get("refresh-writer", String::new())?,
+        refresh_commits: options.get("refresh-commits", 4usize)?,
+        refresh_every_ms: options.get("refresh-every-ms", 250u64)?,
         ..LoadgenOptions::default()
     };
     let query = options.get("query", String::new())?;
@@ -172,7 +227,7 @@ mod tests {
         path.to_string_lossy().into_owned()
     }
 
-    fn write_small_store(out: &str) {
+    fn write_small_store(out: &str, seed: &str) {
         super::super::store::run(&strings(&[
             "write",
             "--out",
@@ -184,7 +239,7 @@ mod tests {
             "--events",
             "2000",
             "--seed",
-            "5",
+            seed,
             "--engine",
             "parallel",
         ]))
@@ -194,7 +249,7 @@ mod tests {
     #[test]
     fn serve_and_loadgen_round_trip() {
         let out = temp_store("roundtrip");
-        write_small_store(&out);
+        write_small_store(&out, "5");
 
         // Ephemeral port: bind the front-end the way `serve` does.
         let serve_options =
@@ -202,7 +257,8 @@ mod tests {
         let front = bind_front_end(&serve_options).unwrap();
         let addr = front.local_addr().to_string();
 
-        // Drive it the way `loadgen` does, including the shutdown line.
+        // Drive it the way `loadgen` does, including the shutdown line and
+        // the cache-hit assertion (the mix repeats, so hits must occur).
         let loadgen_args = strings(&[
             "--addr",
             &addr,
@@ -210,6 +266,7 @@ mod tests {
             "8",
             "--requests",
             "64",
+            "--expect-cache-hits",
             "--shutdown",
         ]);
         run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();
@@ -218,11 +275,55 @@ mod tests {
     }
 
     #[test]
+    fn serve_catalog_refreshes_while_loadgen_ingests() {
+        let shard_a = temp_store("catalog-a");
+        let shard_b = temp_store("catalog-b");
+        write_small_store(&shard_a, "5");
+        write_small_store(&shard_b, "7");
+
+        let serve_options = Options::parse(&strings(&[
+            "--store",
+            &shard_a,
+            "--store",
+            &shard_b,
+            "--addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        let front = bind_front_end(&serve_options).unwrap();
+        assert_eq!(front.server().provider().num_shards(), 2);
+        let addr = front.local_addr().to_string();
+
+        // Mid-run, the loadgen ingest writer appends + commits to shard B;
+        // run_loadgen fails unless those segments become visible.
+        let loadgen_args = strings(&[
+            "--addr",
+            &addr,
+            "--clients",
+            "4",
+            "--requests",
+            "48",
+            "--refresh-writer",
+            &shard_b,
+            "--refresh-commits",
+            "2",
+            "--refresh-every-ms",
+            "20",
+            "--expect-cache-hits",
+            "--shutdown",
+        ]);
+        run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();
+        front.wait().unwrap();
+        let _ = std::fs::remove_file(&shard_a);
+        let _ = std::fs::remove_file(&shard_b);
+    }
+
+    #[test]
     fn serve_speaks_the_line_protocol() {
         let out = temp_store("protocol");
-        write_small_store(&out);
+        write_small_store(&out, "5");
         let serve_options =
-            Options::parse(&strings(&["--in", &out, "--addr", "127.0.0.1:0"])).unwrap();
+            Options::parse(&strings(&["--store", &out, "--addr", "127.0.0.1:0"])).unwrap();
         let front = bind_front_end(&serve_options).unwrap();
 
         let stream = std::net::TcpStream::connect(front.local_addr()).unwrap();
@@ -247,15 +348,15 @@ mod tests {
     fn serve_errors_are_graceful() {
         assert!(
             run_serve(&Options::parse(&strings(&[])).unwrap()).is_err(),
-            "--in is required"
+            "--store is required"
         );
         assert!(
             run_serve(&Options::parse(&strings(&["--in", "/nonexistent/x.clm"])).unwrap()).is_err()
         );
-        // An empty (never committed) store is rejected up front.
+        // An all-empty (never committed) catalog is rejected up front.
         let out = temp_store("empty");
         drop(catrisk_riskstore::StoreWriter::create(&out, 8).unwrap());
-        assert!(run_serve(&Options::parse(&strings(&["--in", &out])).unwrap()).is_err());
+        assert!(run_serve(&Options::parse(&strings(&["--store", &out])).unwrap()).is_err());
         let _ = std::fs::remove_file(&out);
     }
 

@@ -8,6 +8,7 @@
 //! any earlier process — and answers ad-hoc queries over it.
 
 use catrisk_riskquery::execute;
+use catrisk_riskserve::{SourceProvider, StoreCatalog};
 use catrisk_riskstore::{StoreOptions, StoreReader, StoreWriter, StreamIngestor};
 use catrisk_simkit::timing::Stopwatch;
 
@@ -43,11 +44,18 @@ query   reopen a store file and answer an ad-hoc aggregate query:
   --group-by LIST  comma-separated: layer, peril, region, lob
   --json           print the result as JSON instead of a table
 
+catalog inspect a multi-store catalog: per-shard segment counts, trial
+        counts, commit generations and resident sizes, plus the union the
+        query router would serve (`catrisk serve --store ...` takes the
+        same shard list):
+  --store PATH     a shard file; repeat for more shards (at least one)
+
 examples:
   catrisk store write --out portfolio.clm --trials 50000 --engine streaming
   catrisk store write --out portfolio.clm --append --seed 2013
   catrisk store query --in portfolio.clm \\
-      --select \"tvar(0.99),aep(10)\" --where \"peril=HU|FL\" --group-by region";
+      --select \"tvar(0.99),aep(10)\" --where \"peril=HU|FL\" --group-by region
+  catrisk store catalog --store eu.clm --store na.clm";
 
 /// Runs the store command: dispatches on the `write` / `query` action.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -62,8 +70,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         "write" => write(&Options::parse(&args[1..])?),
         "query" => query(&Options::parse(&args[1..])?),
+        "catalog" => catalog(&Options::parse(&args[1..])?),
         other => Err(format!(
-            "unknown store action `{other}` (expected write or query)"
+            "unknown store action `{other}` (expected write, query or catalog)"
         )),
     }
 }
@@ -208,6 +217,41 @@ fn query(options: &Options) -> Result<(), String> {
     print_result(&result, as_json)
 }
 
+/// `store catalog`: open the shard list through the exact
+/// [`StoreCatalog`] path `catrisk serve` uses (so accept/reject
+/// behaviour cannot drift) and print the per-shard state plus the union
+/// view the query router serves.
+fn catalog(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{STORE_HELP}");
+        return Ok(());
+    }
+    let stores = options.get_all("store");
+    if stores.is_empty() {
+        return Err("store catalog needs at least one --store PATH".to_string());
+    }
+
+    let sw = Stopwatch::start();
+    let catalog = StoreCatalog::open(&stores)
+        .map_err(|e| format!("these shards cannot form one catalog: {e}"))?;
+    println!("{}", catalog.describe());
+    catalog.with_source(|union, generations| {
+        println!(
+            "union: {} shards, {} segments x {} trials (generations {generations:?}); \
+             dictionaries: {} layers, {} perils, {} regions, {} lobs  [{:.4}s]",
+            catalog.num_shards(),
+            union.num_segments(),
+            union.num_trials(),
+            union.layer_dict().len(),
+            union.peril_dict().len(),
+            union.region_dict().len(),
+            union.lob_dict().len(),
+            sw.elapsed_secs()
+        );
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +319,29 @@ mod tests {
         ]))
         .unwrap();
         let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn catalog_inspects_shards_and_rejects_mismatches() {
+        let a = temp_store("catalog-a");
+        let b = temp_store("catalog-b");
+        run(&[vec!["write".to_string()], small_world(&a, &[])].concat()).unwrap();
+        run(&[vec!["write".to_string()], small_world(&b, &["--seed", "9"])].concat()).unwrap();
+        run(&strings(&["catalog", "--store", &a, "--store", &b])).unwrap();
+
+        // A shard with a different trial count cannot join the catalog.
+        let c = temp_store("catalog-c");
+        let mut mismatched = small_world(&c, &[]);
+        let trials_at = mismatched.iter().position(|arg| arg == "120").unwrap();
+        mismatched[trials_at] = "64".to_string();
+        run(&[vec!["write".to_string()], mismatched].concat()).unwrap();
+        assert!(run(&strings(&["catalog", "--store", &a, "--store", &c])).is_err());
+
+        assert!(run(&strings(&["catalog"])).is_err(), "--store is required");
+        assert!(run(&strings(&["catalog", "--store", "/nonexistent/x.clm"])).is_err());
+        for path in [&a, &b, &c] {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]

@@ -67,9 +67,13 @@
 //! ```
 //!
 //! The scan pipeline is generic over [`SegmentSource`], so the same
-//! queries run against the in-memory [`ResultStore`] and against
+//! queries run against the in-memory [`ResultStore`], against
 //! persistent stores reopened from disk by the `catrisk-riskstore` crate
-//! (whose reader hands the scan zero-copy column slices).  The
+//! (whose reader hands the scan zero-copy column slices), and against a
+//! whole catalog of such stores at once via [`ShardedSource`] — the
+//! segment-union view that merges shard dictionaries and remaps global
+//! segment indices to shard-local column offsets, bit-identically to a
+//! single concatenated store.  The
 //! `catrisk-riskserve` crate serves concurrent client requests by
 //! coalescing them into [`QuerySession`] batches — [`Query`] is cheap to
 //! clone and `Eq + Hash` (with a total, NaN-free float treatment) exactly
@@ -87,6 +91,7 @@ pub mod query;
 pub mod result;
 pub mod segmentation;
 pub mod session;
+pub mod sharded;
 pub mod store;
 
 pub use dict::Dictionary;
@@ -98,6 +103,7 @@ pub use query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
 pub use result::{AggValue, DimValue, QueryResult, ResultRow};
 pub use segmentation::{split_pairs_by_peril, SegmentedBook, SegmentedInput};
 pub use session::QuerySession;
+pub use sharded::{MergedSchema, ShardedSource};
 pub use store::{ResultStore, SegmentSource};
 
 /// Convenience re-exports for query construction and execution.
@@ -107,6 +113,7 @@ pub mod prelude {
     pub use crate::query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
     pub use crate::result::{AggValue, DimValue, QueryResult, ResultRow};
     pub use crate::session::QuerySession;
+    pub use crate::sharded::ShardedSource;
     pub use crate::store::{ResultStore, SegmentSource};
 }
 

@@ -58,7 +58,17 @@ impl QueryPlan {
     /// front-end calls it per submit at O(1) instead of paying the
     /// O(segments) planning pass it would immediately discard.
     pub fn validate<S: SegmentSource + ?Sized>(store: &S, query: &Query) -> Result<()> {
-        resolve_trials(store, &query.filter).map(|_| ())
+        Self::validate_trials(store.num_trials(), query)
+    }
+
+    /// [`QueryPlan::validate`] from the trial count alone.
+    ///
+    /// A store's trial count is fixed for its whole lifetime (refreshes
+    /// add segments, never trials), so a serving front-end can admit
+    /// queries against a cached count without touching — or locking —
+    /// the store itself.
+    pub fn validate_trials(num_trials: usize, query: &Query) -> Result<()> {
+        resolve_trial_window(num_trials, &query.filter).map(|_| ())
     }
 
     /// Plans `query` against `store`.
@@ -158,24 +168,27 @@ fn decode_key<S: SegmentSource + ?Sized>(
 }
 
 fn resolve_trials<S: SegmentSource + ?Sized>(store: &S, filter: &Filter) -> Result<(usize, usize)> {
-    if store.num_trials() == 0 {
+    resolve_trial_window(store.num_trials(), filter)
+}
+
+fn resolve_trial_window(num_trials: usize, filter: &Filter) -> Result<(usize, usize)> {
+    if num_trials == 0 {
         return Err(QueryError::Store(
             "the store holds no trials; aggregates over an empty trial set are undefined"
                 .to_string(),
         ));
     }
     match filter.trials {
-        None => Ok((0, store.num_trials())),
+        None => Ok((0, num_trials)),
         Some((start, end)) => {
             if start >= end {
                 return Err(QueryError::InvalidQuery(format!(
                     "empty trial window {start}..{end}"
                 )));
             }
-            if end > store.num_trials() {
+            if end > num_trials {
                 return Err(QueryError::InvalidQuery(format!(
-                    "trial window {start}..{end} exceeds the store's {} trials",
-                    store.num_trials()
+                    "trial window {start}..{end} exceeds the store's {num_trials} trials"
                 )));
             }
             Ok((start, end))

@@ -1,0 +1,150 @@
+//! The generation-keyed per-query result cache.
+//!
+//! Keys are whole [`Query`] values — `Query` is `Eq + Hash` with a total,
+//! NaN-free float treatment precisely so this map can neither collide nor
+//! miss — and every entry remembers the *generation vector* (one
+//! monotonic stamp per shard, see
+//! [`SourceProvider::with_source`](crate::source::SourceProvider::with_source))
+//! it was computed under.  A lookup hits only when the stamps match
+//! exactly, so a shard's entries go stale precisely when its refresh
+//! observes a new commit — cached replies are always bit-identical to a
+//! fresh scan of the current snapshot, never a stale approximation.
+
+use std::collections::HashMap;
+
+use catrisk_riskquery::{Query, QueryResult};
+
+/// One cached result and the snapshot it is valid for.
+#[derive(Debug)]
+struct CacheEntry {
+    generations: Vec<u64>,
+    result: QueryResult,
+    last_used: u64,
+}
+
+/// A bounded result cache keyed on `(Query, generation vector)`.
+#[derive(Debug, Default)]
+pub(crate) struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<Query, CacheEntry>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up `query` under the current `generations`.  A stale entry
+    /// (any shard refreshed since it was cached) is evicted on sight.
+    pub fn get(&mut self, query: &Query, generations: &[u64]) -> Option<QueryResult> {
+        self.tick += 1;
+        match self.entries.get_mut(query) {
+            Some(entry) if entry.generations == generations => {
+                entry.last_used = self.tick;
+                Some(entry.result.clone())
+            }
+            Some(_) => {
+                self.entries.remove(query);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Caches `result` for `query` under `generations`, evicting the
+    /// least-recently-used entry when full.
+    pub fn insert(&mut self, query: Query, generations: &[u64], result: QueryResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&query) {
+            if let Some(coldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(query, _)| query.clone())
+            {
+                self.entries.remove(&coldest);
+            }
+        }
+        self.entries.insert(
+            query,
+            CacheEntry {
+                generations: generations.to_vec(),
+                result,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Live entries (diagnostics).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_riskquery::prelude::*;
+
+    fn query(points: usize) -> Query {
+        QueryBuilder::new()
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: points + 2,
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn result(trials: usize) -> QueryResult {
+        QueryResult {
+            group_by: vec![],
+            aggregates: vec![Aggregate::Mean],
+            trials,
+            rows: vec![],
+        }
+    }
+
+    #[test]
+    fn hits_only_under_matching_generations() {
+        let mut cache = ResultCache::new(4);
+        assert!(cache.get(&query(1), &[1, 1]).is_none());
+        cache.insert(query(1), &[1, 1], result(10));
+        assert_eq!(cache.get(&query(1), &[1, 1]), Some(result(10)));
+        // One shard refreshed: the entry is stale, and evicted on sight.
+        assert!(cache.get(&query(1), &[1, 2]).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(query(1), &[0], result(1));
+        cache.insert(query(2), &[0], result(2));
+        // Touch query(1) so query(2) is the cold one.
+        assert!(cache.get(&query(1), &[0]).is_some());
+        cache.insert(query(3), &[0], result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&query(1), &[0]).is_some());
+        assert!(cache.get(&query(2), &[0]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&query(3), &[0]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(query(1), &[0], result(1));
+        assert!(cache.get(&query(1), &[0]).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,708 @@
+//! The sharded store catalog: many persistent YLT stores served as one
+//! refreshable logical store.
+//!
+//! A [`StoreCatalog`] owns one verifying
+//! [`StoreReader`] per shard file, each
+//! behind its own `RwLock` so any number of batch scans share a shard
+//! concurrently while a refresh swaps new commits in between scans.  Per
+//! batch, [`SourceProvider::with_source`] takes all shard read locks (in
+//! shard order, one lock level — no deadlock), builds the zero-copy
+//! [`ShardedSource`] union (memoizing the merged schema against the
+//! generation vector, so cache-hit batches skip the dictionary merge),
+//! and hands the scheduler a snapshot whose generation vector is taken
+//! *under those same locks* — so the stamps and the data can never
+//! disagree.  A stamp is the shard's commit counter tagged with a
+//! replacement epoch: an *observed* replacement (one whose commit
+//! counter or segment count differs at probe time — stores are
+//! append-only by contract, so replacement handling is best-effort
+//! recovery, and a replacement that exactly reproduces both is
+//! indistinguishable from no change) retires every stamp the old store
+//! produced, even if the new store's counter later reaches the old
+//! value, so the result cache can never serve across an observed
+//! replacement; a replacement that changes the trial count excludes the
+//! shard from scans (the rest keep serving) instead of failing batches.
+//!
+//! [`StoreCatalog::refresh`] is the serve-while-ingesting path: for each
+//! shard it probes the file's committed generation and footer
+//! fingerprint from the 128-byte header region alone
+//! ([`StoreReader::peek_header`]) and only takes
+//! the shard's write lock when a new commit is actually visible, mapping
+//! just the newly committed segments (see the riskstore crate's refresh
+//! protocol).  A shard whose file is temporarily unreadable keeps serving
+//! its current snapshot; the failure is counted, not propagated.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::time::{Duration, Instant};
+
+use catrisk_riskquery::{MergedSchema, ResultStore, SegmentSource, ShardedSource};
+use catrisk_riskstore::{StoreError, StoreReader};
+
+use crate::source::SourceProvider;
+use crate::sync::{lock, read_lock, write_lock};
+
+/// Low 48 bits of a generation stamp hold the shard's commit counter;
+/// the high 16 hold a *replacement epoch*, bumped whenever a refresh
+/// observes a file whose commit counter did not advance past the
+/// previous snapshot (a replaced/rewritten store) or whose trial count
+/// diverged.  Stamps therefore never repeat across a replacement, so a
+/// result cached against the old store can never match the new one even
+/// if the new file's commit counter later lands on the old value.
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+fn stamp(epoch: u64, commit_seq: u64) -> u64 {
+    (epoch << SEQ_BITS) | (commit_seq & SEQ_MASK)
+}
+
+/// One shard: a store file, its live reader, and its visible generation.
+struct CatalogShard {
+    path: PathBuf,
+    reader: RwLock<StoreReader>,
+    /// The shard's current generation stamp (see [`SEQ_BITS`]), readable
+    /// without the lock (kept in sync by `refresh`); the cheap "is a
+    /// refresh worth a write lock?" comparand.
+    generation: AtomicU64,
+    /// Replacement epoch, only ever written under the shard's write
+    /// lock, so reading it under a read lock is snapshot-consistent.
+    epoch: AtomicU64,
+    /// Footer offset observed by the last header probe (`u64::MAX` =
+    /// never probed).  Together with the commit counter and footer
+    /// length this fingerprints the committed state: every commit
+    /// appends a fresh footer at the growing end of file, so any change
+    /// a refresh could observe moves at least one of the three.
+    seen_footer_offset: AtomicU64,
+    /// Footer length observed by the last header probe.
+    seen_footer_len: AtomicU64,
+}
+
+/// N persistent stores served as one logical, refreshable store.
+pub struct StoreCatalog {
+    shards: Vec<CatalogShard>,
+    num_trials: usize,
+    /// The merged union schema memoized against the generation vector it
+    /// was built under, so cache-hit batches skip the O(total segments)
+    /// dictionary merge.
+    schema_cache: Mutex<Option<(Vec<u64>, Arc<MergedSchema>)>>,
+    /// Epoch for the probe throttle clock.
+    opened: Instant,
+    /// Minimum µs between on-disk generation probes (0 = probe on every
+    /// [`SourceProvider::refresh`] call).
+    probe_interval_micros: AtomicU64,
+    /// `opened`-relative µs of the last probe sweep (`u64::MAX` =
+    /// never).
+    last_probe_micros: AtomicU64,
+    refreshes: AtomicU64,
+    refresh_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for StoreCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCatalog")
+            .field("shards", &self.shards.len())
+            .field("trials", &self.num_trials)
+            .field("segments", &SourceProvider::num_segments(self))
+            .finish()
+    }
+}
+
+impl StoreCatalog {
+    /// Opens every shard file and validates that the shards agree on the
+    /// trial count (segments of different trial counts cannot share one
+    /// scan).  Shards with no committed segments are accepted — that is
+    /// exactly the serve-while-ingesting starting state; their segments
+    /// appear at the first refresh after their first commit.
+    pub fn open(
+        paths: impl IntoIterator<Item = impl AsRef<Path>>,
+    ) -> std::result::Result<StoreCatalog, StoreError> {
+        let mut shards = Vec::new();
+        let mut num_trials = None;
+        let mut identities = std::collections::HashSet::new();
+        for path in paths {
+            let path = path.as_ref().to_path_buf();
+            // A duplicated shard would silently double-count every one of
+            // its segments in the union; reject it (resolving symlinks so
+            // `--in x.clm --store ./x.clm` is caught too).
+            let identity = std::fs::canonicalize(&path).unwrap_or_else(|_| path.clone());
+            if !identities.insert(identity) {
+                return Err(StoreError::InvalidArgument(format!(
+                    "shard `{}` is listed more than once",
+                    path.display()
+                )));
+            }
+            let reader = StoreReader::open(&path)?;
+            match num_trials {
+                None => num_trials = Some(reader.num_trials()),
+                Some(trials) if trials != reader.num_trials() => {
+                    return Err(StoreError::InvalidArgument(format!(
+                        "shard `{}` holds {}-trial segments but the catalog's first shard \
+                         holds {trials}-trial segments",
+                        path.display(),
+                        reader.num_trials()
+                    )));
+                }
+                Some(_) => {}
+            }
+            shards.push(CatalogShard {
+                path,
+                generation: AtomicU64::new(stamp(0, reader.commit_seq())),
+                epoch: AtomicU64::new(0),
+                seen_footer_offset: AtomicU64::new(u64::MAX),
+                seen_footer_len: AtomicU64::new(u64::MAX),
+                reader: RwLock::new(reader),
+            });
+        }
+        let Some(num_trials) = num_trials else {
+            return Err(StoreError::InvalidArgument(
+                "a catalog needs at least one store".to_string(),
+            ));
+        };
+        Ok(StoreCatalog {
+            shards,
+            num_trials,
+            schema_cache: Mutex::new(None),
+            opened: Instant::now(),
+            probe_interval_micros: AtomicU64::new(0),
+            last_probe_micros: AtomicU64::new(u64::MAX),
+            refreshes: AtomicU64::new(0),
+            refresh_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard files in shard order.
+    pub fn shard_paths(&self) -> Vec<&Path> {
+        self.shards.iter().map(|s| s.path.as_path()).collect()
+    }
+
+    /// The current generation vector: one stamp per shard (commit
+    /// counter + replacement epoch), changing exactly when that shard's
+    /// visible data changes and never repeating across a file
+    /// replacement.
+    pub fn generations(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.generation.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Per-shard committed segment counts.
+    pub fn shard_segments(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| read_lock(&s.reader).num_segments())
+            .collect()
+    }
+
+    /// Resident bytes of every shard's loaded loss columns.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| read_lock(&s.reader).memory_bytes())
+            .sum()
+    }
+
+    /// Caps how often [`SourceProvider::refresh`] actually probes the
+    /// shard files.  The default (zero) probes on every call — one
+    /// 128-byte header read per shard per batch, which is fine on a
+    /// local filesystem; serving many shards from a networked or
+    /// cold-cache filesystem should raise this to bound the per-batch
+    /// syscall cost, at the price of commits becoming visible up to the
+    /// interval later.
+    pub fn set_refresh_interval(&self, interval: Duration) {
+        self.probe_interval_micros
+            .store(interval.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Refreshes that made new commits visible (across all shards).
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Refresh attempts that failed (the shard kept its old snapshot).
+    pub fn refresh_error_count(&self) -> u64 {
+        self.refresh_errors.load(Ordering::Relaxed)
+    }
+
+    /// One human-readable line per shard, for serving logs.
+    pub fn describe(&self) -> String {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let reader = read_lock(&shard.reader);
+                format!(
+                    "{}: {} segments x {} trials ({:.1} MB resident), commit {}",
+                    shard.path.display(),
+                    reader.num_segments(),
+                    reader.num_trials(),
+                    reader.memory_bytes() as f64 / 1.0e6,
+                    reader.commit_seq()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl SourceProvider for StoreCatalog {
+    fn num_trials(&self) -> usize {
+        self.num_trials
+    }
+
+    fn num_segments(&self) -> usize {
+        self.shard_segments().iter().sum()
+    }
+
+    /// Probes every shard's committed generation (a 128-byte header
+    /// read, no locks) and maps new commits in under the shard's write
+    /// lock.  Returns the shards whose visible state advanced.
+    fn refresh(&self) -> Vec<usize> {
+        let interval = self.probe_interval_micros.load(Ordering::Relaxed);
+        if interval > 0 {
+            let now = self.opened.elapsed().as_micros() as u64;
+            let last = self.last_probe_micros.load(Ordering::Relaxed);
+            if last != u64::MAX && now.saturating_sub(last) < interval {
+                return Vec::new();
+            }
+            // Racing workers may both probe; the store is best-effort.
+            self.last_probe_micros.store(now, Ordering::Relaxed);
+        }
+        let mut advanced = Vec::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let seen_seq = shard.generation.load(Ordering::Acquire) & SEQ_MASK;
+            let header = match StoreReader::peek_header(&shard.path) {
+                Ok(header) => header,
+                Err(_) => {
+                    self.refresh_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            // Probe against the full committed-state fingerprint, not
+            // just the commit counter: a replaced file whose counter
+            // happens to match still moves the footer.
+            if header.commit_seq & SEQ_MASK == seen_seq
+                && header.footer_offset == shard.seen_footer_offset.load(Ordering::Relaxed)
+                && header.footer_len == shard.seen_footer_len.load(Ordering::Relaxed)
+            {
+                continue;
+            }
+            let mut reader = write_lock(&shard.reader);
+            let outcome = reader.refresh();
+            // Record the probed fingerprint whatever the outcome, so a
+            // change the reader cannot observe (a same-shape
+            // replacement) does not re-take the write lock every batch.
+            shard
+                .seen_footer_offset
+                .store(header.footer_offset, Ordering::Relaxed);
+            shard
+                .seen_footer_len
+                .store(header.footer_len, Ordering::Relaxed);
+            match outcome {
+                Ok(true) => {
+                    let new_seq = reader.commit_seq() & SEQ_MASK;
+                    let mut epoch = shard.epoch.load(Ordering::Acquire);
+                    let replaced = new_seq <= seen_seq;
+                    let mismatched = reader.num_trials() != self.num_trials;
+                    if replaced || mismatched {
+                        // The file was replaced (the reader took its
+                        // full-reload fallback): retire every stamp the
+                        // old store ever produced.
+                        epoch += 1;
+                        shard.epoch.store(epoch, Ordering::Release);
+                    }
+                    if mismatched {
+                        // A replacement changed the trial count: the
+                        // shard cannot join the catalog's scans any more
+                        // (with_source excludes it) — surface that.
+                        self.refresh_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shard
+                        .generation
+                        .store(stamp(epoch, new_seq), Ordering::Release);
+                    self.refreshes.fetch_add(1, Ordering::Relaxed);
+                    advanced.push(index);
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    // The shard keeps serving its current snapshot.
+                    self.refresh_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        advanced
+    }
+
+    fn with_source<R>(&self, f: impl FnOnce(&dyn SegmentSource, &[u64]) -> R) -> R {
+        // All read locks taken in shard order and held for the whole
+        // batch; refresh takes write locks one shard at a time, so there
+        // is no ordering cycle.
+        let guards: Vec<RwLockReadGuard<'_, StoreReader>> =
+            self.shards.iter().map(|s| read_lock(&s.reader)).collect();
+        // Stamps combine the locked reader's commit counter with the
+        // shard's replacement epoch — the epoch is only ever written
+        // under the shard's write lock, which cannot be held while we
+        // hold the read lock, so stamp and data describe exactly this
+        // snapshot.
+        let generations: Vec<u64> = self
+            .shards
+            .iter()
+            .zip(&guards)
+            .map(|(shard, guard)| stamp(shard.epoch.load(Ordering::Acquire), guard.commit_seq()))
+            .collect();
+        // A shard whose file was replaced with a different trial count
+        // cannot join the scan; exclude it (keep serving the rest)
+        // rather than panicking a worker and stranding the batch.
+        let usable: Vec<&dyn SegmentSource> = guards
+            .iter()
+            .filter(|guard| guard.num_trials() == self.num_trials)
+            .map(|guard| &**guard as &dyn SegmentSource)
+            .collect();
+        match usable.as_slice() {
+            [] => {
+                // Every shard diverged: serve the empty store shape so
+                // queries still answer (with no rows) instead of hanging.
+                let empty = ResultStore::new(self.num_trials);
+                f(&empty, &generations)
+            }
+            [only] => f(*only, &generations),
+            _ => {
+                // Re-attach the memoized merged schema when nothing
+                // changed since it was built; otherwise rebuild and
+                // memoize it for the next batch.
+                let cached = lock(&self.schema_cache)
+                    .as_ref()
+                    .filter(|(key, _)| key == &generations)
+                    .map(|(_, schema)| Arc::clone(schema));
+                let sharded = cached
+                    .and_then(|schema| ShardedSource::with_schema(usable.clone(), schema).ok())
+                    .unwrap_or_else(|| {
+                        let built = ShardedSource::new(usable)
+                            .expect("usable shards all share the catalog trial count");
+                        *lock(&self.schema_cache) =
+                            Some((generations.clone(), Arc::clone(built.schema())));
+                        built
+                    });
+                f(&sharded, &generations)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catrisk_eventgen::peril::{Peril, Region};
+    use catrisk_finterms::layer::LayerId;
+    use catrisk_riskquery::prelude::*;
+    use catrisk_riskstore::StoreWriter;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "catrisk-catalog-{}-{}.clm",
+            std::process::id(),
+            name
+        ));
+        path
+    }
+
+    fn meta(layer: u32, peril: Peril) -> SegmentMeta {
+        SegmentMeta::new(
+            LayerId(layer),
+            peril,
+            Region::Europe,
+            LineOfBusiness::Property,
+        )
+    }
+
+    fn write_shard(path: &Path, trials: usize, layers: std::ops::Range<u32>) {
+        let mut writer = StoreWriter::create(path, trials).unwrap();
+        for layer in layers {
+            let losses: Vec<f64> = (0..trials).map(|t| (layer as usize + t) as f64).collect();
+            writer
+                .append_segment(
+                    meta(layer, Peril::ALL[layer as usize % Peril::ALL.len()]),
+                    &losses,
+                    &losses,
+                )
+                .unwrap();
+        }
+        writer.finish().unwrap();
+    }
+
+    #[test]
+    fn catalog_unions_shards_and_refreshes_live() {
+        let a = temp_path("union-a");
+        let b = temp_path("union-b");
+        write_shard(&a, 8, 0..3);
+        write_shard(&b, 8, 3..5);
+
+        let catalog = StoreCatalog::open([&a, &b]).unwrap();
+        assert_eq!(catalog.num_shards(), 2);
+        assert_eq!(SourceProvider::num_trials(&catalog), 8);
+        assert_eq!(SourceProvider::num_segments(&catalog), 5);
+        assert_eq!(catalog.shard_segments(), vec![3, 2]);
+        assert_eq!(catalog.shard_paths().len(), 2);
+        assert!(catalog.memory_bytes() >= 5 * 2 * 8 * 8);
+        assert!(catalog.describe().lines().count() == 2);
+
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let before = catalog.with_source(|source, generations| {
+            assert_eq!(generations.len(), 2);
+            execute(source, &query).unwrap()
+        });
+
+        // Nothing committed since open: refresh is a no-op.
+        assert!(SourceProvider::refresh(&catalog).is_empty());
+        assert_eq!(catalog.refresh_count(), 0);
+
+        // An ingest writer appends to shard B mid-serve.
+        let mut writer = StoreWriter::open_append(&b).unwrap();
+        let losses = vec![100.0; 8];
+        writer
+            .append_segment(meta(99, Peril::WinterStorm), &losses, &losses)
+            .unwrap();
+        writer.commit().unwrap();
+        drop(writer);
+
+        assert_eq!(SourceProvider::refresh(&catalog), vec![1]);
+        assert_eq!(catalog.refresh_count(), 1);
+        assert_eq!(SourceProvider::num_segments(&catalog), 6);
+        let generations = catalog.generations();
+        let after = catalog.with_source(|source, gens| {
+            assert_eq!(gens, generations.as_slice());
+            execute(source, &query).unwrap()
+        });
+        assert_ne!(before, after, "the new segment must be visible");
+
+        // The refreshed union matches a cold-open union bit for bit.
+        let cold = StoreCatalog::open([&a, &b]).unwrap();
+        assert_eq!(cold.with_source(|s, _| execute(s, &query).unwrap()), after);
+
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn catalog_rejects_mismatched_trials_and_empty_lists() {
+        let a = temp_path("mismatch-a");
+        let b = temp_path("mismatch-b");
+        write_shard(&a, 8, 0..1);
+        write_shard(&b, 16, 0..1);
+        assert!(matches!(
+            StoreCatalog::open([&a, &b]),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            StoreCatalog::open(Vec::<PathBuf>::new()),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn duplicate_shard_paths_are_rejected() {
+        let a = temp_path("dup");
+        write_shard(&a, 4, 0..1);
+        assert!(matches!(
+            StoreCatalog::open([&a, &a]),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        // A relative respelling of the same file is caught too.
+        let relative = {
+            let mut p = a.clone();
+            let name = p.file_name().unwrap().to_owned();
+            p.pop();
+            p.push(".");
+            p.push(name);
+            p
+        };
+        assert!(matches!(
+            StoreCatalog::open([a.clone(), relative]),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn same_commit_counter_replacement_is_detected_by_the_footer_fingerprint() {
+        let a = temp_path("fingerprint");
+        // Two commits, two segments.
+        let mut writer = StoreWriter::create(&a, 4).unwrap();
+        for layer in 0..2 {
+            writer
+                .append_segment(meta(layer, Peril::Hurricane), &[1.0; 4], &[1.0; 4])
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        drop(writer);
+        let catalog = StoreCatalog::open([&a]).unwrap();
+        assert!(SourceProvider::refresh(&catalog).is_empty());
+        let before = catalog.generations();
+
+        // Replaced by a different store that also ends at commit_seq 2
+        // but holds three segments: the commit counter alone cannot tell
+        // them apart, the footer fingerprint can.
+        let mut writer = StoreWriter::create(&a, 4).unwrap();
+        writer
+            .append_segment(meta(10, Peril::Flood), &[9.0; 4], &[9.0; 4])
+            .unwrap();
+        writer.commit().unwrap();
+        for layer in 11..13 {
+            writer
+                .append_segment(meta(layer, Peril::Flood), &[9.0; 4], &[9.0; 4])
+                .unwrap();
+        }
+        writer.commit().unwrap();
+        drop(writer);
+        assert_eq!(StoreReader::peek_commit_seq(&a).unwrap(), 2);
+
+        assert_eq!(SourceProvider::refresh(&catalog), vec![0]);
+        assert_eq!(SourceProvider::num_segments(&catalog), 3);
+        assert_ne!(catalog.generations(), before, "stamps must retire");
+        let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn refresh_interval_throttles_header_probes() {
+        let a = temp_path("throttle");
+        write_shard(&a, 4, 0..1);
+        let catalog = StoreCatalog::open([&a]).unwrap();
+        catalog.set_refresh_interval(Duration::from_secs(3600));
+
+        // First refresh after open always probes.
+        assert!(SourceProvider::refresh(&catalog).is_empty());
+
+        // A commit lands, but the throttle window is still open: the
+        // probe is skipped and the commit stays invisible for now.
+        let mut writer = StoreWriter::open_append(&a).unwrap();
+        writer
+            .append_segment(meta(9, Peril::Flood), &[1.0; 4], &[1.0; 4])
+            .unwrap();
+        writer.commit().unwrap();
+        drop(writer);
+        assert!(SourceProvider::refresh(&catalog).is_empty());
+        assert_eq!(SourceProvider::num_segments(&catalog), 1);
+
+        // Dropping the throttle surfaces it on the next refresh.
+        catalog.set_refresh_interval(Duration::ZERO);
+        assert_eq!(SourceProvider::refresh(&catalog), vec![0]);
+        assert_eq!(SourceProvider::num_segments(&catalog), 2);
+        let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn replaced_file_retires_old_generation_stamps() {
+        let a = temp_path("epoch-a");
+        // Three commits: the original store ends at commit_seq 3.
+        let mut writer = StoreWriter::create(&a, 4).unwrap();
+        for layer in 0..3 {
+            writer
+                .append_segment(meta(layer, Peril::Hurricane), &[1.0; 4], &[1.0; 4])
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        drop(writer);
+        let catalog = StoreCatalog::open([&a]).unwrap();
+        let original = catalog.generations();
+
+        // The file is replaced by a different store with fewer commits;
+        // the refresh takes the reader's full-reload fallback and the
+        // epoch retires the old stamps.
+        let mut writer = StoreWriter::create(&a, 4).unwrap();
+        writer
+            .append_segment(meta(10, Peril::Flood), &[9.0; 4], &[9.0; 4])
+            .unwrap();
+        writer.commit().unwrap();
+        assert_eq!(SourceProvider::refresh(&catalog), vec![0]);
+
+        // The new store is then committed until its counter reaches the
+        // old value of 3: the stamp must still differ from the original.
+        for layer in 11..13 {
+            writer
+                .append_segment(meta(layer, Peril::Flood), &[9.0; 4], &[9.0; 4])
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        drop(writer);
+        assert_eq!(SourceProvider::refresh(&catalog), vec![0]);
+        let replaced = catalog.generations();
+        assert_ne!(
+            original, replaced,
+            "a replaced store reaching the old commit counter must not \
+             reproduce the old generation stamp"
+        );
+        catalog.with_source(|_, generations| {
+            assert_eq!(generations, replaced.as_slice());
+        });
+        let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn trial_count_replacement_excludes_the_shard_without_panicking() {
+        let a = temp_path("mismatch-live-a");
+        let b = temp_path("mismatch-live-b");
+        write_shard(&a, 8, 0..2);
+        write_shard(&b, 8, 2..4);
+        let catalog = StoreCatalog::open([&a, &b]).unwrap();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let only_a = {
+            let solo = StoreCatalog::open([&a]).unwrap();
+            solo.with_source(|s, _| execute(s, &query).unwrap())
+        };
+
+        // Shard B is replaced by a store with a different trial count —
+        // a misconfiguration refresh must survive.  (Two commits, so the
+        // cheap header probe sees the counter move.)
+        std::fs::remove_file(&b).unwrap();
+        let mut writer = StoreWriter::create(&b, 16).unwrap();
+        for layer in 2..4 {
+            writer
+                .append_segment(meta(layer, Peril::Flood), &[9.0; 16], &[9.0; 16])
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        drop(writer);
+        assert_eq!(SourceProvider::refresh(&catalog), vec![1]);
+        assert!(catalog.refresh_error_count() >= 1);
+        // The catalog keeps serving shard A; the divergent shard is
+        // excluded rather than panicking the batch.
+        let served = catalog.with_source(|s, _| execute(s, &query).unwrap());
+        assert_eq!(served, only_a);
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn unreadable_shard_keeps_serving_its_snapshot() {
+        let a = temp_path("unreadable-a");
+        write_shard(&a, 4, 0..2);
+        let catalog = StoreCatalog::open([&a]).unwrap();
+        std::fs::remove_file(&a).unwrap();
+        assert!(SourceProvider::refresh(&catalog).is_empty());
+        assert_eq!(catalog.refresh_error_count(), 1);
+        assert_eq!(SourceProvider::num_segments(&catalog), 2);
+        let query = QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        catalog.with_source(|source, _| {
+            assert!(execute(source, &query).is_ok());
+        });
+    }
+}

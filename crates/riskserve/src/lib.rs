@@ -66,23 +66,51 @@
 //!    store) and `catrisk loadgen` (drive open-loop load and print
 //!    throughput/p50/p99) in the `catrisk-cli` crate.
 //!
-//! The store side is any shared
-//! [`SegmentSource`](catrisk_riskquery::SegmentSource) — in production
-//! the persistent `catrisk_riskstore::StoreReader`, whose immutable
-//! loaded column region is shared by every batch without locking.
+//! ## The data plane: providers, catalogs, refresh, cache
+//!
+//! The store side is a [`SourceProvider`] — the abstraction that hands
+//! every batch a consistent snapshot of the data plus the *generation
+//! stamps* the result cache keys on:
+//!
+//! * any `Arc<SegmentSource>` (an in-memory store, an immutable
+//!   `catrisk_riskstore::StoreReader`) serves as a single static shard;
+//! * a [`StoreCatalog`] serves **many persistent stores as one logical
+//!   store** — per batch it snapshots every shard under read locks and
+//!   presents their union through
+//!   [`ShardedSource`](catrisk_riskquery::ShardedSource), bit-identically
+//!   to one concatenated store.
+//!
+//! Before each batch the scheduler calls
+//! [`SourceProvider::refresh`]: a catalog probes each shard's committed
+//! generation from its 128-byte header and maps newly committed segments
+//! in place (`StoreReader::refresh`), so the server keeps answering while
+//! ingest writers commit — *serve while ingesting*.  Batches then consult
+//! a generation-keyed result cache (keyed on the total `Eq + Hash`
+//! [`Query`](catrisk_riskquery::Query), stamped with every shard's
+//! generation): repeated queries cost no scan at all, and a shard's
+//! entries go stale precisely when its refresh observes a new commit —
+//! cached replies are bit-identical to a fresh scan of the current
+//! snapshot, never a stale approximation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cache;
+mod sync;
+
+pub mod catalog;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod source;
 pub mod stats;
 pub mod tcp;
 
-pub use loadgen::{default_mix, LoadReport, LoadgenOptions};
+pub use catalog::StoreCatalog;
+pub use loadgen::{default_mix, IngestReport, LoadReport, LoadgenOptions};
 pub use protocol::{parse_request, Request, WireError, WireReply};
 pub use server::{Reply, ServeError, Server, ServerConfig, Ticket};
+pub use source::SourceProvider;
 pub use stats::{percentile, RequestTimings, StatsSnapshot};
 pub use tcp::TcpFrontEnd;
 

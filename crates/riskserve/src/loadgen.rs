@@ -1,4 +1,5 @@
-//! Open-loop load generation against a running TCP front-end.
+//! Open-loop load generation against a running TCP front-end, with an
+//! optional ingest-writer companion that commits segments mid-run.
 //!
 //! Each client thread owns one connection and fires its share of the
 //! request schedule.  In open-loop mode (`rps > 0`) send times are fixed
@@ -7,13 +8,29 @@
 //! slow server accrues queueing delay instead of silently slowing the
 //! generator down (no coordinated omission).  With `rps = 0` every client
 //! runs closed-loop, firing as fast as replies return.
+//!
+//! With [`LoadgenOptions::refresh_writer`] set, a writer thread appends
+//! and commits segments to one shard file *while the clients run* — the
+//! serve-while-ingesting exercise.  The run then reports, alongside the
+//! usual throughput and percentiles: how many segments/commits landed,
+//! whether a probe query observed rows from segments committed after the
+//! run started (refresh visibility), the server's cache hit/miss/refresh
+//! counters, and the latency percentiles of requests that overlapped a
+//! commit-and-refresh window versus steady-state requests — the measured
+//! latency impact of refresh.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::{LineOfBusiness, SegmentMeta};
+use catrisk_riskstore::StoreWriter;
+
 use crate::protocol::WireReply;
-use crate::stats::percentile;
+use crate::stats::{percentile, StatsSnapshot};
 
 /// Load-generation options.
 #[derive(Debug, Clone)]
@@ -34,6 +51,14 @@ pub struct LoadgenOptions {
     pub connect_timeout_secs: u64,
     /// Send a `shutdown` line after the run, stopping the server.
     pub shutdown: bool,
+    /// Append+commit segments to this store file while the clients run
+    /// (empty = off).  The file must be one of the shards the server is
+    /// catalog-serving, or the commits will never become visible.
+    pub refresh_writer: String,
+    /// Commits the ingest writer makes (one fresh segment each).
+    pub refresh_commits: usize,
+    /// Pause between ingest commits, in milliseconds.
+    pub refresh_every_ms: u64,
 }
 
 impl Default for LoadgenOptions {
@@ -46,6 +71,9 @@ impl Default for LoadgenOptions {
             queries: default_mix(),
             connect_timeout_secs: 30,
             shutdown: false,
+            refresh_writer: String::new(),
+            refresh_commits: 4,
+            refresh_every_ms: 250,
         }
     }
 }
@@ -64,6 +92,35 @@ pub fn default_mix() -> Vec<String> {
     ]
     .map(str::to_string)
     .to_vec()
+}
+
+/// The probe line the ingest exercise uses to detect refresh visibility:
+/// freshly committed segments carry never-seen layer ids, so the row
+/// count of a per-layer grouping strictly grows when they become visible.
+const PROBE_QUERY: &str = "select maxloss group by layer";
+
+/// What the ingest-writer companion measured.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Segments appended and committed during the run.
+    pub segments: u64,
+    /// Commits published during the run.
+    pub commits: u64,
+    /// Whether a probe query observed rows from segments committed
+    /// *after* the run started — the serve-while-ingesting signal.
+    pub visible: bool,
+    /// p50 latency of requests overlapping a commit+refresh window, µs.
+    pub during_p50_micros: u64,
+    /// p99 latency of requests overlapping a commit+refresh window, µs.
+    pub during_p99_micros: u64,
+    /// Requests that overlapped a commit+refresh window.
+    pub during_samples: u64,
+    /// p50 latency of the remaining (steady-state) requests, µs.
+    pub steady_p50_micros: u64,
+    /// p99 latency of the remaining (steady-state) requests, µs.
+    pub steady_p99_micros: u64,
+    /// Steady-state requests.
+    pub steady_samples: u64,
 }
 
 /// What one load run measured.
@@ -94,6 +151,11 @@ pub struct LoadReport {
     pub max_micros: u64,
     /// Mean batch size reported by the server across replies.
     pub mean_batch: f64,
+    /// The server's counters snapshot, fetched after the run (before any
+    /// shutdown) — carries the cache hit/miss and refresh counts.
+    pub server_stats: Option<StatsSnapshot>,
+    /// The ingest-writer companion's report, when one ran.
+    pub ingest: Option<IngestReport>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -117,7 +179,37 @@ impl std::fmt::Display for LoadReport {
             self.p99_micros as f64 / 1_000.0,
             self.max_micros as f64 / 1_000.0
         )?;
-        write!(f, "mean batch size: {:.1}", self.mean_batch)
+        write!(f, "mean batch size: {:.1}", self.mean_batch)?;
+        if let Some(stats) = &self.server_stats {
+            write!(
+                f,
+                "\nserver: {} batches, cache hits {} / misses {} (hit rate {:.0}%), \
+                 {} refreshes",
+                stats.batches,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.cache_hit_rate() * 100.0,
+                stats.refreshes
+            )?;
+        }
+        if let Some(ingest) = &self.ingest {
+            write!(
+                f,
+                "\ningest: {} segments in {} commits, refresh visible: {}\n\
+                 latency during refresh: p50 {:.2} ms, p99 {:.2} ms ({} samples); \
+                 steady: p50 {:.2} ms, p99 {:.2} ms ({} samples)",
+                ingest.segments,
+                ingest.commits,
+                if ingest.visible { "yes" } else { "NO" },
+                ingest.during_p50_micros as f64 / 1_000.0,
+                ingest.during_p99_micros as f64 / 1_000.0,
+                ingest.during_samples,
+                ingest.steady_p50_micros as f64 / 1_000.0,
+                ingest.steady_p99_micros as f64 / 1_000.0,
+                ingest.steady_samples
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -130,7 +222,8 @@ struct ClientOutcome {
     errors: u64,
     rows: u64,
     batch_sum: u64,
-    latencies_micros: Vec<u64>,
+    /// `(send offset since run start, latency)` per successful reply, µs.
+    samples: Vec<(u64, u64)>,
 }
 
 /// Connects with retry: the server may still be opening its store.
@@ -148,6 +241,134 @@ fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
     }
 }
 
+/// One request/reply round trip on a fresh connection.
+fn round_trip(addr: &str, timeout: Duration, line: &str) -> Result<WireReply, String> {
+    let stream = connect(addr, timeout)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    writeln!(writer, "{line}")
+        .and_then(|_| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut lines = BufReader::new(stream).lines();
+    match lines.next() {
+        Some(Ok(reply)) => WireReply::from_line(&reply),
+        _ => Err(format!("no reply to `{line}`")),
+    }
+}
+
+/// Row count of the layer-grouping probe query.
+fn probe_layer_rows(addr: &str, timeout: Duration) -> Result<usize, String> {
+    let reply = round_trip(addr, timeout, PROBE_QUERY)?;
+    match reply.result {
+        Some(result) if reply.ok => Ok(result.rows.len()),
+        _ => Err(format!("probe query failed: {reply:?}")),
+    }
+}
+
+/// The ingest writer's raw outcome: what landed, and when.
+#[derive(Debug, Default)]
+struct IngestOutcome {
+    segments: u64,
+    commits: u64,
+    /// Commit windows as `(start, end)` offsets since run start, µs.
+    windows: Vec<(u64, u64)>,
+}
+
+/// Appends and commits fresh segments to `path` while the clients run.
+/// Stops after `commits` commits, or earlier when the clients are done
+/// and at least one commit has landed.
+fn run_refresh_writer(
+    path: &str,
+    commits: usize,
+    every: Duration,
+    run_start: Instant,
+    clients_done: &AtomicBool,
+) -> Result<IngestOutcome, String> {
+    let mut writer = StoreWriter::open_append(path)
+        .map_err(|e| format!("refresh writer cannot append to `{path}`: {e}"))?;
+    let trials = writer.num_trials();
+    let mut outcome = IngestOutcome::default();
+    // Fresh layer ids no store-write world would produce, so the probe's
+    // per-layer row count strictly grows when a commit becomes visible.
+    let layer_base = 900_000u32 + (writer.num_segments() as u32);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (trials as u64);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for k in 0..commits.max(1) {
+        if k > 0 {
+            std::thread::sleep(every);
+            if clients_done.load(Ordering::Relaxed) && outcome.commits > 0 {
+                break;
+            }
+        }
+        let started = run_start.elapsed().as_micros() as u64;
+        let mut year = Vec::with_capacity(trials);
+        let mut occ = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let loss = if next() < 0.3 { next() * 1.0e6 } else { 0.0 };
+            year.push(loss);
+            occ.push(loss * next());
+        }
+        let meta = SegmentMeta::new(
+            LayerId(layer_base + k as u32),
+            Peril::ALL[k % Peril::ALL.len()],
+            Region::ALL[k % Region::ALL.len()],
+            LineOfBusiness::ALL[k % LineOfBusiness::ALL.len()],
+        );
+        writer
+            .append_segment(meta, &year, &occ)
+            .map_err(|e| e.to_string())?;
+        writer.commit().map_err(|e| e.to_string())?;
+        outcome.segments += 1;
+        outcome.commits += 1;
+        outcome
+            .windows
+            .push((started, run_start.elapsed().as_micros() as u64));
+    }
+    Ok(outcome)
+}
+
+/// Extra slack after a commit window during which request latencies are
+/// still attributed to the refresh: the server picks the commit up at the
+/// start of its *next* batch, so the impact trails the commit slightly.
+const REFRESH_SLACK_MICROS: u64 = 50_000;
+
+/// Splits latency samples into refresh-overlapped and steady-state sets
+/// and fills the ingest report's percentile fields.
+fn attribute_refresh_latency(
+    report: &mut IngestReport,
+    samples: &[(u64, u64)],
+    windows: &[(u64, u64)],
+) {
+    let mut during: Vec<u64> = Vec::new();
+    let mut steady: Vec<u64> = Vec::new();
+    for &(sent, latency) in samples {
+        let reply_at = sent + latency;
+        let overlaps = windows
+            .iter()
+            .any(|&(start, end)| sent <= end + REFRESH_SLACK_MICROS && reply_at >= start);
+        if overlaps {
+            during.push(latency);
+        } else {
+            steady.push(latency);
+        }
+    }
+    during.sort_unstable();
+    steady.sort_unstable();
+    report.during_samples = during.len() as u64;
+    report.during_p50_micros = percentile(&during, 50.0);
+    report.during_p99_micros = percentile(&during, 99.0);
+    report.steady_samples = steady.len() as u64;
+    report.steady_p50_micros = percentile(&steady, 50.0);
+    report.steady_p99_micros = percentile(&steady, 99.0);
+}
+
 /// Runs the load and gathers a report.  Transport-level failures are
 /// counted per request, not fatal; only a total connection failure of
 /// every client errors out.
@@ -159,26 +380,63 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         options.queries.clone()
     };
     let connect_timeout = Duration::from_secs(options.connect_timeout_secs);
+    let ingesting = !options.refresh_writer.is_empty();
+
+    // Baseline for the visibility probe, before any mid-run commit.
+    let rows_before = if ingesting {
+        Some(probe_layer_rows(&options.addr, connect_timeout)?)
+    } else {
+        None
+    };
+
     let started = Instant::now();
-    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|client_index| {
-                // Split `requests` across clients, remainder to the first.
-                let share = options.requests / clients
-                    + usize::from(client_index < options.requests % clients);
-                let queries = &queries;
+    let clients_done = AtomicBool::new(false);
+    let (outcomes, ingest_outcome): (Vec<Result<ClientOutcome, String>>, _) =
+        std::thread::scope(|scope| {
+            let writer_handle = ingesting.then(|| {
+                let clients_done = &clients_done;
                 let options = &options;
                 scope.spawn(move || {
-                    run_client(options, client_index, share, queries, connect_timeout)
+                    run_refresh_writer(
+                        &options.refresh_writer,
+                        options.refresh_commits,
+                        Duration::from_millis(options.refresh_every_ms),
+                        started,
+                        clients_done,
+                    )
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("loadgen client panicked"))
-            .collect()
-    });
+            });
+            let handles: Vec<_> = (0..clients)
+                .map(|client_index| {
+                    // Split `requests` across clients, remainder to the first.
+                    let share = options.requests / clients
+                        + usize::from(client_index < options.requests % clients);
+                    let queries = &queries;
+                    let options = &options;
+                    scope.spawn(move || {
+                        run_client(
+                            options,
+                            client_index,
+                            share,
+                            queries,
+                            connect_timeout,
+                            started,
+                        )
+                    })
+                })
+                .collect();
+            let outcomes = handles
+                .into_iter()
+                .map(|handle| handle.join().expect("loadgen client panicked"))
+                .collect();
+            clients_done.store(true, Ordering::Relaxed);
+            let ingest = writer_handle
+                .map(|handle| handle.join().expect("refresh writer panicked"))
+                .transpose();
+            (outcomes, ingest)
+        });
     let elapsed = started.elapsed();
+    let ingest_outcome = ingest_outcome?;
 
     let mut merged = ClientOutcome::default();
     let mut connect_failures = Vec::new();
@@ -191,7 +449,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                 merged.errors += outcome.errors;
                 merged.rows += outcome.rows;
                 merged.batch_sum += outcome.batch_sum;
-                merged.latencies_micros.extend(outcome.latencies_micros);
+                merged.samples.extend(outcome.samples);
             }
             Err(err) => connect_failures.push(err),
         }
@@ -203,12 +461,41 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
             .unwrap_or_else(|| "no requests sent".to_string()));
     }
 
+    // Visibility probe + ingest attribution, before any shutdown.
+    let ingest = match ingest_outcome {
+        None => None,
+        Some(outcome) => {
+            let mut report = IngestReport {
+                segments: outcome.segments,
+                commits: outcome.commits,
+                ..IngestReport::default()
+            };
+            let before = rows_before.unwrap_or(0);
+            for _ in 0..50 {
+                match probe_layer_rows(&options.addr, connect_timeout) {
+                    Ok(rows) if rows > before => {
+                        report.visible = true;
+                        break;
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(100)),
+                }
+            }
+            attribute_refresh_latency(&mut report, &merged.samples, &outcome.windows);
+            Some(report)
+        }
+    };
+
+    // Server counters (cache hit rate, refreshes) before any shutdown.
+    let server_stats = round_trip(&options.addr, connect_timeout, "stats")
+        .ok()
+        .and_then(|reply| reply.stats);
+
     if options.shutdown {
         send_shutdown(&options.addr, connect_timeout)?;
     }
 
-    merged.latencies_micros.sort_unstable();
-    let lat = &merged.latencies_micros;
+    let mut latencies: Vec<u64> = merged.samples.iter().map(|&(_, l)| l).collect();
+    latencies.sort_unstable();
     Ok(LoadReport {
         sent: merged.sent,
         ok: merged.ok,
@@ -217,15 +504,17 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         rows: merged.rows,
         elapsed,
         throughput: merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_micros: percentile(lat, 50.0),
-        p90_micros: percentile(lat, 90.0),
-        p99_micros: percentile(lat, 99.0),
-        max_micros: lat.last().copied().unwrap_or(0),
+        p50_micros: percentile(&latencies, 50.0),
+        p90_micros: percentile(&latencies, 90.0),
+        p99_micros: percentile(&latencies, 99.0),
+        max_micros: latencies.last().copied().unwrap_or(0),
         mean_batch: if merged.ok == 0 {
             0.0
         } else {
             merged.batch_sum as f64 / merged.ok as f64
         },
+        server_stats,
+        ingest,
     })
 }
 
@@ -235,6 +524,7 @@ fn run_client(
     share: usize,
     queries: &[String],
     connect_timeout: Duration,
+    run_start: Instant,
 ) -> Result<ClientOutcome, String> {
     let mut outcome = ClientOutcome::default();
     if share == 0 {
@@ -255,7 +545,7 @@ fn run_client(
         Duration::ZERO
     };
     let start = Instant::now();
-    outcome.latencies_micros.reserve(share);
+    outcome.samples.reserve(share);
     for k in 0..share {
         let scheduled = start + gap.mul_f64(k as f64);
         if gap > Duration::ZERO {
@@ -291,7 +581,10 @@ fn run_client(
                 outcome.ok += 1;
                 outcome.rows += reply.result.map_or(0, |r| r.rows.len() as u64);
                 outcome.batch_sum += u64::from(reply.timings.batch_size);
-                outcome.latencies_micros.push(latency.as_micros() as u64);
+                outcome.samples.push((
+                    reference.saturating_duration_since(run_start).as_micros() as u64,
+                    latency.as_micros() as u64,
+                ));
             }
             Ok(reply) => {
                 if reply.error.is_some_and(|e| e.kind == "overloaded") {
@@ -308,31 +601,18 @@ fn run_client(
 
 /// Sends a `shutdown` line on a fresh connection and waits for the ack.
 fn send_shutdown(addr: &str, timeout: Duration) -> Result<(), String> {
-    let stream = connect(addr, timeout)?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    writeln!(writer, "shutdown")
-        .and_then(|_| writer.flush())
-        .map_err(|e| e.to_string())?;
-    let mut lines = BufReader::new(stream).lines();
-    match lines.next() {
-        Some(Ok(line)) => {
-            let reply = WireReply::from_line(&line)?;
-            if reply.kind == "shutting-down" {
-                Ok(())
-            } else {
-                Err(format!("unexpected shutdown ack: {line}"))
-            }
-        }
-        _ => Err("no shutdown acknowledgement".to_string()),
+    let reply = round_trip(addr, timeout, "shutdown")?;
+    if reply.kind == "shutting-down" {
+        Ok(())
+    } else {
+        Err(format!("unexpected shutdown ack: {reply:?}"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::StoreCatalog;
     use crate::server::{Server, ServerConfig};
     use crate::tcp::TcpFrontEnd;
     use crate::test_store::random_store;
@@ -367,7 +647,64 @@ mod tests {
         assert!(report.mean_batch >= 1.0);
         assert!(report.p50_micros <= report.p99_micros);
         assert!(report.p99_micros <= report.max_micros);
+        let stats = report.server_stats.expect("stats fetched before shutdown");
+        assert!(stats.completed >= 64);
+        assert!(
+            stats.cache_hits > 0,
+            "the cycled query mix must produce cache hits: {stats:?}"
+        );
         front.wait().expect("server exited cleanly");
+    }
+
+    #[test]
+    fn refresh_writer_ingests_into_a_served_catalog() {
+        // A catalog shard on disk, initially holding a couple of segments.
+        let mut path = std::env::temp_dir();
+        path.push(format!("catrisk-loadgen-ingest-{}.clm", std::process::id()));
+        {
+            let store = random_store(64, 3, 17);
+            let mut writer = catrisk_riskstore::StoreWriter::create(&path, 64).unwrap();
+            for s in 0..store.num_segments() {
+                writer
+                    .append_segment(
+                        *store.meta(s),
+                        store.year_losses(s),
+                        store.max_occ_losses(s),
+                    )
+                    .unwrap();
+            }
+            writer.finish().unwrap();
+        }
+        let catalog = StoreCatalog::open([&path]).unwrap();
+        let front = TcpFrontEnd::bind(Server::new(catalog, ServerConfig::default()), "127.0.0.1:0")
+            .expect("bind");
+        let options = LoadgenOptions {
+            addr: front.local_addr().to_string(),
+            clients: 4,
+            requests: 48,
+            refresh_writer: path.to_string_lossy().into_owned(),
+            refresh_commits: 2,
+            refresh_every_ms: 20,
+            shutdown: true,
+            ..LoadgenOptions::default()
+        };
+        let report = run(&options).expect("load run");
+        assert_eq!(report.errors, 0, "{report}");
+        let ingest = report.ingest.as_ref().expect("ingest report");
+        assert!(ingest.commits >= 1, "{report}");
+        assert!(
+            ingest.visible,
+            "segments committed mid-run must become visible: {report}"
+        );
+        assert_eq!(
+            ingest.during_samples + ingest.steady_samples,
+            report.ok,
+            "every successful reply is attributed"
+        );
+        let stats = report.server_stats.expect("stats");
+        assert!(stats.refreshes >= 1, "{stats:?}");
+        front.wait().expect("clean shutdown");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -401,5 +738,22 @@ mod tests {
             ..LoadgenOptions::default()
         };
         assert!(run(&options).is_err());
+    }
+
+    #[test]
+    fn refresh_latency_attribution_splits_on_windows() {
+        let mut report = IngestReport::default();
+        // One commit window at 1000..2000µs.  Sample A overlaps, B is
+        // steady, C lands inside the post-commit slack.
+        let samples = [
+            (500, 1_000),
+            (500_000, 2_000),
+            (2_000 + REFRESH_SLACK_MICROS - 1, 10),
+        ];
+        attribute_refresh_latency(&mut report, &samples, &[(1_000, 2_000)]);
+        assert_eq!(report.during_samples, 2);
+        assert_eq!(report.steady_samples, 1);
+        assert_eq!(report.steady_p50_micros, 2_000);
+        assert!(report.during_p99_micros >= report.during_p50_micros);
     }
 }

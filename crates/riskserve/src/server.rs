@@ -1,15 +1,18 @@
-//! The micro-batching server core: bounded queue → batch window → fused
-//! scan → reply slots.
+//! The micro-batching server core: bounded queue → batch window →
+//! refresh → cache → fused scan → reply slots.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use catrisk_riskquery::{Query, QueryPlan, QueryResult, QuerySession, SegmentSource};
+use catrisk_riskquery::{Query, QueryPlan, QueryResult, QuerySession};
 
+use crate::cache::ResultCache;
+use crate::source::SourceProvider;
 use crate::stats::{Counters, RequestTimings, StatsSnapshot};
+use crate::sync::{lock, wait, wait_timeout};
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +31,10 @@ pub struct ServerConfig {
     /// of workers saturates the machine; more workers trade batching
     /// efficiency for lower window latency under light load.
     pub workers: usize,
+    /// Entries the generation-keyed result cache holds (0 disables it).
+    /// An entry is one unique query's full result; it is served again
+    /// without scanning until any shard's committed generation moves.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +44,7 @@ impl Default for ServerConfig {
             batch_window: Duration::from_micros(200),
             queue_depth: 1024,
             workers: 2,
+            cache_capacity: 1024,
         }
     }
 }
@@ -155,68 +163,55 @@ struct QueueState {
     shutting_down: bool,
 }
 
-struct Shared<S> {
-    store: Arc<S>,
+struct Shared<P> {
+    provider: P,
     config: ServerConfig,
     queue: Mutex<QueueState>,
     /// Signalled on every admit and on shutdown; workers wait on it both
     /// when idle and while a batch window is open.
     arrived: Condvar,
+    cache: Mutex<ResultCache>,
     counters: Counters,
 }
 
-/// A micro-batching query server over any shared [`SegmentSource`].
+/// A micro-batching query server over any [`SourceProvider`] — a shared
+/// immutable `Arc<SegmentSource>` or a refreshable
+/// [`StoreCatalog`](crate::catalog::StoreCatalog) of persistent shards.
 ///
 /// Many client threads [`submit`](Server::submit) parsed queries
 /// concurrently; worker threads coalesce whatever is pending — closing
 /// each batch window after [`ServerConfig::max_batch`] requests or
-/// [`ServerConfig::batch_window`], whichever comes first — and push the
-/// whole batch through one [`QuerySession::run`], so N concurrent requests
-/// over the same slices cost ~1 fused scan instead of N.  Results are
-/// bit-identical to running each query alone.
+/// [`ServerConfig::batch_window`], whichever comes first.  Each batch
+/// first refreshes the provider (newly committed segments become
+/// visible), then consults the generation-keyed result cache, and pushes
+/// only the cache misses through one fused [`QuerySession::run`] over the
+/// snapshot — so N concurrent requests over the same slices cost ~1 fused
+/// scan instead of N, and repeated queries cost no scan at all until new
+/// data lands.  Results are bit-identical to running each query alone
+/// against the current snapshot.
 ///
 /// Dropping the server shuts it down: queued requests are still answered
 /// (never dropped), subsequent submits fail with
 /// [`ServeError::ShuttingDown`].
-pub struct Server<S: SegmentSource + Send + Sync + 'static> {
-    shared: Arc<Shared<S>>,
+pub struct Server<P: SourceProvider> {
+    shared: Arc<Shared<P>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
-impl<S: SegmentSource + Send + Sync + 'static> std::fmt::Debug for Server<S> {
+impl<P: SourceProvider> std::fmt::Debug for Server<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("segments", &self.shared.store.num_segments())
+            .field("segments", &self.shared.provider.num_segments())
             .field("config", &self.shared.config)
             .finish()
     }
 }
 
-/// Locks ignoring poison: a worker panic must not wedge every client.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait_timeout<'a, T>(
-    condvar: &Condvar,
-    guard: MutexGuard<'a, T>,
-    timeout: Duration,
-) -> MutexGuard<'a, T> {
-    condvar
-        .wait_timeout(guard, timeout)
-        .unwrap_or_else(PoisonError::into_inner)
-        .0
-}
-
-impl<S: SegmentSource + Send + Sync + 'static> Server<S> {
-    /// Starts a server over `store` with the given configuration.
-    pub fn new(store: Arc<S>, config: ServerConfig) -> Self {
+impl<P: SourceProvider> Server<P> {
+    /// Starts a server over `provider` with the given configuration.
+    pub fn new(provider: P, config: ServerConfig) -> Self {
         let shared = Arc::new(Shared {
-            store,
+            provider,
             config: ServerConfig {
                 max_batch: config.max_batch.max(1),
                 workers: config.workers.max(1),
@@ -224,6 +219,7 @@ impl<S: SegmentSource + Send + Sync + 'static> Server<S> {
             },
             queue: Mutex::new(QueueState::default()),
             arrived: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             counters: Counters::default(),
         });
         let workers = (0..shared.config.workers)
@@ -242,13 +238,13 @@ impl<S: SegmentSource + Send + Sync + 'static> Server<S> {
     }
 
     /// Starts a server with the default configuration.
-    pub fn with_defaults(store: Arc<S>) -> Self {
-        Self::new(store, ServerConfig::default())
+    pub fn with_defaults(provider: P) -> Self {
+        Self::new(provider, ServerConfig::default())
     }
 
-    /// The store this server answers queries over.
-    pub fn store(&self) -> &Arc<S> {
-        &self.shared.store
+    /// The provider this server answers queries over.
+    pub fn provider(&self) -> &P {
+        &self.shared.provider
     }
 
     /// The active configuration (after clamping).
@@ -258,15 +254,16 @@ impl<S: SegmentSource + Send + Sync + 'static> Server<S> {
 
     /// Submits one query for batched execution.
     ///
-    /// Validates the query against the store up front (a planning failure
-    /// is returned here as [`ServeError::InvalidQuery`], so one client's
-    /// malformed query can never fail a batch it shares with others) and
-    /// applies admission control: past
+    /// Validates the query against the provider's (lifetime-fixed) trial
+    /// count up front — without touching the snapshot locks — so a
+    /// planning failure is returned here as [`ServeError::InvalidQuery`]
+    /// and one client's malformed query can never fail a batch it shares
+    /// with others.  Applies admission control: past
     /// [`ServerConfig::queue_depth`] pending requests the submit is
     /// rejected with a typed [`ServeError::Overloaded`] instead of
     /// queueing without bound.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
-        if let Err(err) = QueryPlan::validate(&*self.shared.store, &query) {
+        if let Err(err) = QueryPlan::validate_trials(self.shared.provider.num_trials(), &query) {
             return Err(ServeError::InvalidQuery(err.to_string()));
         }
         let slot = Arc::new(ReplySlot::default());
@@ -323,7 +320,7 @@ impl<S: SegmentSource + Send + Sync + 'static> Server<S> {
     }
 }
 
-impl<S: SegmentSource + Send + Sync + 'static> Drop for Server<S> {
+impl<P: SourceProvider> Drop for Server<P> {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -332,7 +329,7 @@ impl<S: SegmentSource + Send + Sync + 'static> Drop for Server<S> {
 /// Worker body: wait for a request, hold the batch window open, drain up
 /// to `max_batch`, execute the batch, deliver replies; on shutdown keep
 /// draining until the queue is empty, then exit.
-fn worker_loop<S: SegmentSource + Send + Sync>(shared: &Shared<S>) {
+fn worker_loop<P: SourceProvider>(shared: &Shared<P>) {
     loop {
         let batch: Vec<Pending> = {
             let mut queue = lock(&shared.queue);
@@ -368,11 +365,24 @@ fn worker_loop<S: SegmentSource + Send + Sync>(shared: &Shared<S>) {
     }
 }
 
-/// Executes one batch: dedups identical queries across submitters (the
-/// session additionally dedups shared scan specs and fuses the remaining
-/// scans), runs the fused batch, and fulfils every reply slot.
-fn execute_batch<S: SegmentSource + Send + Sync>(shared: &Shared<S>, batch: Vec<Pending>) {
+/// Executes one batch: refreshes the provider (newly committed segments
+/// become visible and stale cache generations retire), dedups identical
+/// queries across submitters, answers what it can from the result cache,
+/// runs the remaining misses through one fused scan (the session
+/// additionally dedups shared scan specs), and fulfils every reply slot.
+fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
     let started = Instant::now();
+    // Refresh before snapshotting, so a query submitted after a commit
+    // was published observes it; the refresh cost is attributed to this
+    // batch's exec time.
+    let refreshed = shared.provider.refresh();
+    if !refreshed.is_empty() {
+        shared
+            .counters
+            .refreshes
+            .fetch_add(refreshed.len() as u64, Ordering::Relaxed);
+    }
+
     let mut unique: Vec<Query> = Vec::with_capacity(batch.len());
     let mut index_of: HashMap<&Query, usize> = HashMap::with_capacity(batch.len());
     let assignment: Vec<usize> = batch
@@ -389,57 +399,91 @@ fn execute_batch<S: SegmentSource + Send + Sync>(shared: &Shared<S>, batch: Vec<
         .collect();
     drop(index_of);
 
-    let session = QuerySession::new(&*shared.store);
-    match session.run(&unique) {
-        Ok(results) => {
-            let exec_micros = started.elapsed().as_micros() as u64;
-            let batch_size = batch.len() as u32;
-            // Counters bump before the slots are fulfilled, so a client
-            // that just received its reply already sees itself counted.
-            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-            Counters::bump_max(&shared.counters.largest_batch, u64::from(batch_size));
-            for (pending, unique_index) in batch.into_iter().zip(assignment) {
-                let timings = RequestTimings {
-                    queue_micros: started
-                        .saturating_duration_since(pending.enqueued)
-                        .as_micros() as u64,
-                    exec_micros,
-                    batch_size,
-                };
+    let outcomes: Vec<Result<QueryResult, ServeError>> =
+        shared.provider.with_source(|source, generations| {
+            let mut results: Vec<Option<Result<QueryResult, ServeError>>> =
+                (0..unique.len()).map(|_| None).collect();
+            // 1. The generation-keyed cache: a hit is bit-identical to a
+            //    fresh scan of this snapshot by the cache's key contract.
+            let mut misses: Vec<usize> = Vec::new();
+            {
+                let mut cache = lock(&shared.cache);
+                for (index, query) in unique.iter().enumerate() {
+                    match cache.get(query, generations) {
+                        Some(result) => results[index] = Some(Ok(result)),
+                        None => misses.push(index),
+                    }
+                }
+            }
+            shared
+                .counters
+                .cache_hits
+                .fetch_add((unique.len() - misses.len()) as u64, Ordering::Relaxed);
+            shared
+                .counters
+                .cache_misses
+                .fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+            // 2. One fused scan for the misses.
+            if !misses.is_empty() {
+                let to_run: Vec<Query> = misses.iter().map(|&i| unique[i].clone()).collect();
+                match QuerySession::new(source).run(&to_run) {
+                    Ok(scanned) => {
+                        let mut cache = lock(&shared.cache);
+                        for (&index, result) in misses.iter().zip(scanned) {
+                            cache.insert(unique[index].clone(), generations, result.clone());
+                            results[index] = Some(Ok(result));
+                        }
+                    }
+                    Err(_) => {
+                        // Unreachable in practice: every query was
+                        // validated at submit time and the trial count
+                        // never changes.  Fall back to per-query execution
+                        // so each request still gets its own reply (a
+                        // batch-wide error must never take out neighbours).
+                        for &index in &misses {
+                            results[index] = Some(
+                                catrisk_riskquery::execute(source, &unique[index])
+                                    .map_err(|err| ServeError::InvalidQuery(err.to_string())),
+                            );
+                        }
+                    }
+                }
+            }
+            results
+                .into_iter()
+                .map(|outcome| outcome.expect("every unique query resolved"))
+                .collect()
+        });
+
+    let exec_micros = started.elapsed().as_micros() as u64;
+    let batch_size = batch.len() as u32;
+    // Counters bump before the slots are fulfilled, so a client that just
+    // received its reply already sees itself counted.
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    Counters::bump_max(&shared.counters.largest_batch, u64::from(batch_size));
+    for (pending, unique_index) in batch.into_iter().zip(assignment) {
+        let timings = RequestTimings {
+            queue_micros: started
+                .saturating_duration_since(pending.enqueued)
+                .as_micros() as u64,
+            exec_micros,
+            batch_size,
+        };
+        let outcome = match &outcomes[unique_index] {
+            Ok(result) => {
                 shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                pending.slot.fulfil(Ok(Reply {
-                    result: results[unique_index].clone(),
+                Ok(Reply {
+                    result: result.clone(),
                     timings,
-                }));
+                })
             }
-        }
-        Err(_) => {
-            // Unreachable in practice: every query was planned at submit
-            // time against this same immutable store.  Fall back to
-            // per-query execution so each request still gets its own
-            // reply (a batch-wide error must never take out neighbours).
-            let batch_size = batch.len() as u32;
-            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-            for pending in batch {
-                let outcome = catrisk_riskquery::execute(&*shared.store, &pending.query)
-                    .map(|result| Reply {
-                        result,
-                        timings: RequestTimings {
-                            queue_micros: started
-                                .saturating_duration_since(pending.enqueued)
-                                .as_micros() as u64,
-                            exec_micros: started.elapsed().as_micros() as u64,
-                            batch_size,
-                        },
-                    })
-                    .map_err(|err| ServeError::InvalidQuery(err.to_string()));
-                match &outcome {
-                    Ok(_) => shared.counters.completed.fetch_add(1, Ordering::Relaxed),
-                    Err(_) => shared.counters.failed.fetch_add(1, Ordering::Relaxed),
-                };
-                pending.slot.fulfil(outcome);
+            Err(err) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                Err(err.clone())
             }
-        }
+        };
+        pending.slot.fulfil(outcome);
     }
 }
 
@@ -515,6 +559,52 @@ mod tests {
             Err(ServeError::ShuttingDown)
         ));
         assert_eq!(ServeError::ShuttingDown.kind(), "shutting-down");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_result_cache() {
+        let store = Arc::new(random_store(128, 8, 33));
+        let server = Server::new(Arc::clone(&store), ServerConfig::default());
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .build()
+            .unwrap();
+        let first = server.query(query.clone()).unwrap().result;
+        let stats = server.stats();
+        assert_eq!(stats.cache_misses, 1);
+        // Same query again: a hit, and bit-identical.
+        let second = server.query(query.clone()).unwrap().result;
+        assert_eq!(first, second);
+        let stats = server.stats();
+        assert!(stats.cache_hits >= 1, "{stats:?}");
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.cache_hit_rate() > 0.0);
+        // A static provider never refreshes.
+        assert_eq!(stats.refreshes, 0);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let store = Arc::new(random_store(64, 4, 7));
+        let server = Server::new(
+            Arc::clone(&store),
+            ServerConfig {
+                cache_capacity: 0,
+                ..ServerConfig::default()
+            },
+        );
+        let query = QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let expected = catrisk_riskquery::execute(&*store, &query).unwrap();
+        for _ in 0..3 {
+            assert_eq!(server.query(query.clone()).unwrap().result, expected);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 3);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The serving data plane: how the batch scheduler sees its storage.
+//!
+//! A [`SourceProvider`] hands every batch a *consistent snapshot* of the
+//! data as a [`SegmentSource`] plus the generation stamps the result
+//! cache keys on.  Two providers exist:
+//!
+//! * any `Arc<S: SegmentSource>` — the static single-store form (an
+//!   in-memory `ResultStore`, an immutable `StoreReader`): one shard,
+//!   generation pinned at zero, refresh a no-op;
+//! * [`StoreCatalog`](crate::catalog::StoreCatalog) — N persistent
+//!   stores served as one `ShardedSource` union, refreshable while
+//!   ingest writers keep committing.
+//!
+//! The server is generic over this trait, so the queue / batch-window /
+//! fused-scan scheduler is written once and re-proven once.
+
+use std::sync::Arc;
+
+use catrisk_riskquery::SegmentSource;
+
+/// Storage behind a [`Server`](crate::server::Server): snapshots,
+/// generations, refresh.
+pub trait SourceProvider: Send + Sync + 'static {
+    /// Trials every segment holds — fixed for the provider's lifetime
+    /// (refreshes add segments, never trials), so the admission path can
+    /// validate queries without taking any snapshot lock.
+    fn num_trials(&self) -> usize;
+
+    /// Total committed segments currently visible (diagnostics).
+    fn num_segments(&self) -> usize;
+
+    /// Picks up newly committed data, if the backing storage supports
+    /// it.  Returns the indices of the shards whose visible state
+    /// advanced.  The default is the immutable no-op.
+    fn refresh(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Runs `f` over a consistent snapshot of the data.
+    ///
+    /// `generations` carries one monotonic stamp per shard, taken under
+    /// the same snapshot as the source: a stamp changes exactly when that
+    /// shard's visible data changes, so `(query, generations)` is a sound
+    /// result-cache key — see
+    /// the server's generation-keyed result cache.
+    fn with_source<R>(&self, f: impl FnOnce(&dyn SegmentSource, &[u64]) -> R) -> R;
+}
+
+/// The static single-store provider: one immutable shard at generation
+/// zero.
+impl<S: SegmentSource + Send + Sync + 'static> SourceProvider for Arc<S> {
+    fn num_trials(&self) -> usize {
+        SegmentSource::num_trials(&**self)
+    }
+
+    fn num_segments(&self) -> usize {
+        SegmentSource::num_segments(&**self)
+    }
+
+    fn with_source<R>(&self, f: impl FnOnce(&dyn SegmentSource, &[u64]) -> R) -> R {
+        f(&**self, &[0])
+    }
+}

@@ -31,6 +31,9 @@ pub(crate) struct Counters {
     pub batches: AtomicU64,
     pub largest_batch: AtomicU64,
     pub max_queue_depth: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub refreshes: AtomicU64,
 }
 
 impl Counters {
@@ -47,6 +50,9 @@ impl Counters {
             batches: self.batches.load(Ordering::Relaxed),
             largest_batch: self.largest_batch.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
         }
     }
 }
@@ -69,6 +75,13 @@ pub struct StatsSnapshot {
     pub largest_batch: u64,
     /// Deepest queue observed at submit time.
     pub max_queue_depth: u64,
+    /// Unique batch queries answered from the generation-keyed result
+    /// cache without scanning.
+    pub cache_hits: u64,
+    /// Unique batch queries that had to scan (then populated the cache).
+    pub cache_misses: u64,
+    /// Store refreshes that made newly committed segments visible.
+    pub refreshes: u64,
 }
 
 impl StatsSnapshot {
@@ -78,6 +91,16 @@ impl StatsSnapshot {
             0.0
         } else {
             (self.completed + self.failed) as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of unique batch queries answered from the result cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }

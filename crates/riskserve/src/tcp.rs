@@ -17,19 +17,16 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex};
 
-use catrisk_riskquery::SegmentSource;
+use crate::source::SourceProvider;
 
 use crate::protocol::{parse_request, Request, WireReply};
 use crate::server::Server;
+use crate::sync::lock;
 
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-struct TcpShared<S: SegmentSource + Send + Sync + 'static> {
-    server: Server<S>,
+struct TcpShared<P: SourceProvider> {
+    server: Server<P>,
     addr: SocketAddr,
     shutting_down: AtomicBool,
     /// Socket clones of every live connection (keyed by connection id),
@@ -41,7 +38,7 @@ struct TcpShared<S: SegmentSource + Send + Sync + 'static> {
     handlers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
-impl<S: SegmentSource + Send + Sync + 'static> TcpShared<S> {
+impl<P: SourceProvider> TcpShared<P> {
     /// Flips the shutdown flag and unblocks the accept loop and every
     /// handler read.  Idempotent.
     fn stop(&self) {
@@ -60,15 +57,15 @@ impl<S: SegmentSource + Send + Sync + 'static> TcpShared<S> {
 /// either block in [`wait`](TcpFrontEnd::wait) until a client sends
 /// `shutdown`, or stop it programmatically with
 /// [`stop`](TcpFrontEnd::stop).
-pub struct TcpFrontEnd<S: SegmentSource + Send + Sync + 'static> {
-    shared: Arc<TcpShared<S>>,
+pub struct TcpFrontEnd<P: SourceProvider> {
+    shared: Arc<TcpShared<P>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
-impl<S: SegmentSource + Send + Sync + 'static> TcpFrontEnd<S> {
+impl<P: SourceProvider> TcpFrontEnd<P> {
     /// Binds `addr` (e.g. `127.0.0.1:7433`, port `0` for an ephemeral
     /// port) and starts accepting connections for `server`.
-    pub fn bind(server: Server<S>, addr: &str) -> std::io::Result<Self> {
+    pub fn bind(server: Server<P>, addr: &str) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(TcpShared {
@@ -95,7 +92,7 @@ impl<S: SegmentSource + Send + Sync + 'static> TcpFrontEnd<S> {
     }
 
     /// The underlying query server (for stats).
-    pub fn server(&self) -> &Server<S> {
+    pub fn server(&self) -> &Server<P> {
         &self.shared.server
     }
 
@@ -121,7 +118,7 @@ impl<S: SegmentSource + Send + Sync + 'static> TcpFrontEnd<S> {
     }
 }
 
-impl<S: SegmentSource + Send + Sync + 'static> Drop for TcpFrontEnd<S> {
+impl<P: SourceProvider> Drop for TcpFrontEnd<P> {
     fn drop(&mut self) {
         self.shared.stop();
         if let Some(accept) = self.accept_thread.take() {
@@ -133,10 +130,7 @@ impl<S: SegmentSource + Send + Sync + 'static> Drop for TcpFrontEnd<S> {
     }
 }
 
-fn accept_loop<S: SegmentSource + Send + Sync + 'static>(
-    listener: &TcpListener,
-    shared: &Arc<TcpShared<S>>,
-) {
+fn accept_loop<P: SourceProvider>(listener: &TcpListener, shared: &Arc<TcpShared<P>>) {
     for connection in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
@@ -176,10 +170,7 @@ fn accept_loop<S: SegmentSource + Send + Sync + 'static>(
 
 /// Serves one connection: read a line, answer a line, until EOF, `quit`,
 /// `shutdown`, or front-end shutdown.
-fn handle_connection<S: SegmentSource + Send + Sync + 'static>(
-    connection: TcpStream,
-    shared: &TcpShared<S>,
-) {
+fn handle_connection<P: SourceProvider>(connection: TcpStream, shared: &TcpShared<P>) {
     let Ok(writer) = connection.try_clone() else {
         return;
     };

@@ -1,0 +1,79 @@
+//! Shared decode of a store file's committed state — the one
+//! implementation behind [`StoreReader::open`](crate::StoreReader::open),
+//! [`StoreReader::refresh`](crate::StoreReader::refresh) and
+//! [`StoreWriter::open_append`](crate::StoreWriter::open_append), so the
+//! header-slot arbitration and footer validation cannot drift between the
+//! read and write paths.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+
+use crate::footer::Footer;
+use crate::format::{pages_per_column, read_up_to, Header, HEADER_LEN};
+use crate::{Result, StoreError};
+
+/// The fully validated committed state of a store file at one instant:
+/// the winning header slot plus the footer it points at (if anything has
+/// been committed yet).
+#[derive(Debug)]
+pub(crate) struct CommittedState {
+    /// The winning (newest valid) header slot.
+    pub header: Header,
+    /// The committed footer, `None` for a created-but-never-committed
+    /// store.
+    pub footer: Option<Footer>,
+    /// End offset of the committed region: one past the footer, or
+    /// [`HEADER_LEN`] when nothing has been committed.
+    pub committed_end: u64,
+    /// File length observed while reading.
+    pub file_len: u64,
+    /// `header.num_trials` as a checked `usize`.
+    pub num_trials: usize,
+}
+
+/// Reads and validates the committed prefix of an open store file:
+/// dual-slot header arbitration, footer bounds, footer checksums.
+pub(crate) fn read_committed_state(file: &mut File) -> Result<CommittedState> {
+    let file_len = file.metadata()?.len();
+    file.seek(SeekFrom::Start(0))?;
+    let mut header_bytes = [0u8; HEADER_LEN as usize];
+    let got = read_up_to(file, &mut header_bytes)?;
+    let header = Header::decode(&header_bytes[..got])?;
+    let num_trials = usize::try_from(header.num_trials)
+        .map_err(|_| StoreError::Corrupt("absurd trial count in header".to_string()))?;
+
+    if header.footer_offset == 0 {
+        // Valid, just empty: created but never committed.
+        return Ok(CommittedState {
+            header,
+            footer: None,
+            committed_end: HEADER_LEN,
+            file_len,
+            num_trials,
+        });
+    }
+
+    let committed_end = header
+        .footer_offset
+        .checked_add(header.footer_len)
+        .filter(|&end| end <= file_len)
+        .ok_or_else(|| StoreError::Truncated {
+            what: format!(
+                "footer at {}..{} but the file holds {file_len} bytes",
+                header.footer_offset,
+                header.footer_offset.saturating_add(header.footer_len)
+            ),
+        })?;
+    file.seek(SeekFrom::Start(header.footer_offset))?;
+    let mut footer_bytes = vec![0u8; header.footer_len as usize];
+    file.read_exact(&mut footer_bytes)?;
+    let pages = pages_per_column(num_trials, header.page_trials);
+    let footer = Footer::decode(&footer_bytes, header.commit_seq, pages)?;
+    Ok(CommittedState {
+        header,
+        footer: Some(footer),
+        committed_end,
+        file_len,
+        num_trials,
+    })
+}

@@ -100,6 +100,39 @@
 //! the previous footer.  [`StoreWriter::open_append`] truncates any bytes
 //! past the committed footer before resuming.
 //!
+//! ## Refresh protocol (serving while ingesting)
+//!
+//! The append-only commit protocol above is what makes *live readers*
+//! possible: a [`StoreReader`] opened on commit *N* can later pick up
+//! commit *N+k* **in place** with [`StoreReader::refresh`], without
+//! invalidating any slice a concurrent scan previously borrowed rules
+//! around (refresh takes `&mut self`, so a serving layer swaps behind a
+//! lock between scans).  What a reader observes across commits:
+//!
+//! 1. **Monotonic committed prefixes.**  Every snapshot the reader ever
+//!    serves is a prefix of every later one: segment `k` holds the same
+//!    losses and the same tags forever, refreshes only append segments
+//!    `n..m`.  Dictionaries grow append-only too, so existing dimension
+//!    codes never change meaning.
+//! 2. **Incremental verification.**  A refresh re-reads the 128-byte
+//!    dual-slot header; if the commit counter is unchanged it stops (the
+//!    cheap path — [`StoreReader::peek_commit_seq`] exposes the same
+//!    probe without a reader).  Otherwise it decodes the new footer,
+//!    checks that it extends the observed prefix (dictionary order, code
+//!    columns, directory offsets), and loads + CRC-verifies **only the
+//!    new segments' pages** — through the same verification path a cold
+//!    [`StoreReader::open`] uses.
+//! 3. **Generation stamp.**  [`StoreReader::commit_seq`] advances exactly
+//!    when the visible data changes.  This is the cache-invalidation
+//!    rule serving layers rely on: a per-query result cache keyed on
+//!    `(query, commit_seq of every shard)` is hit-correct — a shard's
+//!    entries go stale precisely when its refresh observes a new commit,
+//!    and never otherwise.
+//! 4. **Full-reload fallback.**  If the file no longer extends the
+//!    observed prefix (truncated, replaced, rewritten), refresh falls
+//!    back to a complete reopen; on any error the reader keeps serving
+//!    its current snapshot unchanged.
+//!
 //! ## Version negotiation
 //!
 //! The header carries the single format version. Readers reject files
@@ -112,6 +145,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod commit;
 pub mod footer;
 pub mod format;
 pub mod ingest;

@@ -1,15 +1,17 @@
-//! The verifying, zero-copy store reader.
+//! The verifying, zero-copy store reader — openable once, refreshable
+//! forever.
 
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use catrisk_eventgen::peril::{Peril, Region};
 use catrisk_finterms::layer::LayerId;
 use catrisk_riskquery::{Dictionary, LineOfBusiness, QuerySession, SegmentMeta, SegmentSource};
 
+use crate::commit::{read_committed_state, CommittedState};
 use crate::footer::{decode_layer, decode_lob, decode_peril, decode_region, Footer};
-use crate::format::{crc32, pages_per_column, read_up_to, Header, HEADER_LEN};
+use crate::format::{crc32, read_up_to, Header, HEADER_LEN};
 use crate::{Result, StoreError};
 
 /// The loss columns of every committed segment, loaded once into a single
@@ -65,9 +67,25 @@ impl ColumnRegion {
             }
         }
     }
+
+    /// Appends another region's values (used by refresh to map newly
+    /// committed segments behind the already-loaded prefix).
+    fn append(&mut self, mut tail: ColumnRegion) {
+        self.bits.append(&mut tail.bits);
+    }
 }
 
-/// Read-only view of a committed store file.
+/// What absorbing a footer into an existing reader concluded.
+enum Absorb {
+    /// The footer extends this reader's committed prefix; the new
+    /// segments were mapped in.
+    Applied,
+    /// The footer does not extend this reader's state — the file was
+    /// replaced or rewritten, so only a full reload can be trusted.
+    Diverged,
+}
+
+/// Read-only view of the committed prefix of a store file.
 ///
 /// Opening validates everything the queries will touch — header and footer
 /// checksums, dictionary pages, code columns, and the CRC of every loss
@@ -77,17 +95,54 @@ impl ColumnRegion {
 /// scan consumes its column slices exactly as it consumes the in-memory
 /// `ResultStore`'s.
 ///
-/// A reader is immutable once opened (later commits to the file are
-/// invisible until a reopen), so it is `Send + Sync` and one instance can
-/// back any number of concurrent scans — a serving front-end shares a
-/// single reader across all of its batch workers without locking.
-/// [`StoreReader::open_shared`] is the convenience constructor for that
-/// use.
+/// ## Refresh: what a reader observes across commits
+///
+/// A reader is a snapshot of one commit: later commits to the same file
+/// stay invisible until [`StoreReader::refresh`] is called.  Because the
+/// commit protocol is append-only (committed bytes are never rewritten —
+/// see the crate docs), refresh is *incremental*: it re-reads the
+/// dual-slot header, and when the commit counter has advanced it decodes
+/// the new footer, validates that the footer extends this reader's
+/// committed prefix (dictionary order, code columns and segment offsets
+/// are append-only), and then loads and CRC-verifies **only the newly
+/// committed segments' pages**, mapping them behind the already-loaded
+/// columns.  Segment indices are stable across refreshes: refresh `n`
+/// segments in, segment `k` still holds the same losses it held before.
+/// If the file at the path no longer extends the observed prefix (it was
+/// truncated, replaced or rewritten), refresh falls back to a full
+/// reload — the reader then reflects whatever store now lives there.
+/// Replacement detection is best-effort recovery, not part of the
+/// protocol: stores are append-only by contract, and a replacement that
+/// exactly reproduces the observed commit counter *and* segment count is
+/// indistinguishable from no change, so it will not be observed.
+///
+/// [`StoreReader::commit_seq`] is the reader's *generation stamp*: it
+/// advances exactly when visible data changes, which is what lets a
+/// serving layer key per-query result caches on `(query, commit_seq per
+/// shard)` and invalidate a shard's entries precisely when its refresh
+/// observes a new commit.  [`StoreReader::peek_commit_seq`] probes a
+/// file's committed generation from its 128-byte header region alone,
+/// without opening, so "is a refresh worth taking a write lock for?" is
+/// a two-sector read.
+///
+/// A reader is immutable between refreshes, so it is `Send + Sync` and
+/// one instance can back any number of concurrent scans — a serving
+/// front-end shares a single reader across all of its batch workers
+/// without locking (refresh needs `&mut self`, so a refreshing server
+/// keeps each reader behind an `RwLock` and takes the write lock only
+/// when [`StoreReader::peek_commit_seq`] reports a new commit).
+/// [`StoreReader::open_shared`] is the convenience constructor for the
+/// lock-free immutable form; it is the same open path as
+/// [`StoreReader::open`] behind an `Arc`.
 #[derive(Debug, Default)]
 pub struct StoreReader {
+    path: PathBuf,
     num_trials: usize,
+    page_trials: u32,
     commit_seq: u64,
     metas: Vec<SegmentMeta>,
+    /// Committed data offsets, the prefix fingerprint refresh validates.
+    data_offsets: Vec<u64>,
     codes: [Vec<u32>; 4],
     layer_dict: Dictionary<LayerId>,
     peril_dict: Dictionary<Peril>,
@@ -99,164 +154,182 @@ pub struct StoreReader {
 impl StoreReader {
     /// Opens and fully validates the committed prefix of a store file.
     pub fn open(path: impl AsRef<Path>) -> Result<StoreReader> {
-        let mut file = File::open(path.as_ref())?;
-        let file_len = file.metadata()?.len();
-
-        let mut header_bytes = [0u8; HEADER_LEN as usize];
-        let got = read_up_to(&mut file, &mut header_bytes)?;
-        let header = Header::decode(&header_bytes[..got])?;
-        let num_trials = usize::try_from(header.num_trials)
-            .map_err(|_| StoreError::Corrupt("absurd trial count in header".to_string()))?;
-
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let state = read_committed_state(&mut file)?;
         let mut reader = StoreReader {
-            num_trials,
-            commit_seq: header.commit_seq,
+            path,
+            num_trials: state.num_trials,
+            page_trials: state.header.page_trials,
+            commit_seq: state.header.commit_seq,
             ..StoreReader::default()
         };
-        if header.footer_offset == 0 {
-            // Valid, just empty: created but never committed.
-            return Ok(reader);
+        if let Some(footer) = &state.footer {
+            match reader.absorb_footer(&mut file, &state, footer)? {
+                Absorb::Applied => {}
+                // A fresh reader has no prefix to diverge from.
+                Absorb::Diverged => unreachable!("an empty reader accepts any valid footer"),
+            }
         }
-
-        if header
-            .footer_offset
-            .checked_add(header.footer_len)
-            .is_none_or(|end| end > file_len)
-        {
-            return Err(StoreError::Truncated {
-                what: format!(
-                    "footer at {}..{} but the file holds {file_len} bytes",
-                    header.footer_offset,
-                    header.footer_offset.saturating_add(header.footer_len)
-                ),
-            });
-        }
-        file.seek(SeekFrom::Start(header.footer_offset))?;
-        let mut footer_bytes = vec![0u8; header.footer_len as usize];
-        file.read_exact(&mut footer_bytes)?;
-        let pages = pages_per_column(num_trials, header.page_trials);
-        let footer = Footer::decode(&footer_bytes, header.commit_seq, pages)?;
-
-        reader.rebuild_dictionaries(&footer)?;
-        reader.rebuild_metas(&footer)?;
-        reader.load_columns(&mut file, file_len, &header, &footer)?;
-        reader.codes = footer.codes;
         Ok(reader)
     }
 
-    fn rebuild_dictionaries(&mut self, footer: &Footer) -> Result<()> {
-        // Interning in file order reproduces the writer's code assignment.
-        for &raw in &footer.dict_values[0] {
-            self.layer_dict.intern(decode_layer(raw)?);
-        }
-        for &raw in &footer.dict_values[1] {
-            self.peril_dict.intern(decode_peril(raw)?);
-        }
-        for &raw in &footer.dict_values[2] {
-            self.region_dict.intern(decode_region(raw)?);
-        }
-        for &raw in &footer.dict_values[3] {
-            self.lob_dict.intern(decode_lob(raw)?);
-        }
-        Ok(())
+    /// Opens a store and wraps the reader for concurrent sharing — the
+    /// form a non-refreshing multi-threaded serving front-end consumes.
+    /// Identical to [`StoreReader::open`] behind an `Arc`; the open and
+    /// verification path is shared, not duplicated.
+    pub fn open_shared(path: impl AsRef<Path>) -> Result<std::sync::Arc<StoreReader>> {
+        Ok(std::sync::Arc::new(StoreReader::open(path)?))
     }
 
-    fn rebuild_metas(&mut self, footer: &Footer) -> Result<()> {
-        let segments = footer.segments.len();
-        self.metas = (0..segments)
-            .map(|s| {
-                SegmentMeta::new(
-                    *self.layer_dict.value(footer.codes[0][s]),
-                    *self.peril_dict.value(footer.codes[1][s]),
-                    *self.region_dict.value(footer.codes[2][s]),
-                    *self.lob_dict.value(footer.codes[3][s]),
-                )
-            })
-            .collect();
-        Ok(())
+    /// Reads the committed generation (commit counter) of a store file
+    /// from its header region alone — the cheap probe a catalog runs
+    /// before deciding whether a [`refresh`](StoreReader::refresh) is
+    /// worth a write lock.
+    pub fn peek_commit_seq(path: impl AsRef<Path>) -> Result<u64> {
+        Ok(Self::peek_header(path)?.commit_seq)
     }
 
-    /// Loads every segment's two columns into the shared region
-    /// (segment-major: `[seg0 year | seg0 occ | seg1 year | ...]`) and
-    /// verifies every page checksum against the footer watermarks.
-    fn load_columns(
-        &mut self,
-        file: &mut File,
-        file_len: u64,
-        header: &Header,
-        footer: &Footer,
-    ) -> Result<()> {
-        let trials = self.num_trials;
-        // Validate every directory entry against the real file size before
-        // allocating anything: header and footer values are file-controlled,
-        // and a corrupt (or hostile, CRCs are forgeable) file must produce a
-        // typed error, not a capacity panic or a wild allocation.  The
-        // bounds below also cap the region size: per entry, two columns of
-        // `trials` f64s must fit inside the file.
-        let segment_bytes = (trials as u64)
-            .checked_mul(16)
-            .filter(|&bytes| bytes <= file_len)
-            .ok_or_else(|| StoreError::Truncated {
-                what: format!(
-                    "a {trials}-trial segment needs more bytes than the file's {file_len}"
-                ),
-            });
-        let segment_bytes = if footer.segments.is_empty() {
-            0
-        } else {
-            segment_bytes?
-        };
-        for (index, entry) in footer.segments.iter().enumerate() {
-            if entry.data_offset < HEADER_LEN
-                || entry
-                    .data_offset
-                    .checked_add(segment_bytes)
-                    .is_none_or(|end| end > file_len)
-            {
-                return Err(StoreError::Truncated {
-                    what: format!(
-                        "segment {index} data at offset {} exceeds the file's {file_len} bytes",
-                        entry.data_offset
-                    ),
-                });
-            }
-        }
-        // Honest segments are disjoint, so their combined bytes fit in the
-        // file; this caps the region allocation at the actual file size.
-        if (footer.segments.len() as u64)
-            .checked_mul(segment_bytes)
-            .is_none_or(|total| total > file_len)
+    /// Decodes a store file's 128-byte dual-slot header region without
+    /// opening the store.  Beyond the commit counter, the header's
+    /// footer offset and length act as a commit *fingerprint*: every
+    /// commit appends a fresh footer at the (strictly growing) end of
+    /// file, so any change a [`refresh`](StoreReader::refresh) could
+    /// observe — including a replacement whose commit counter happens to
+    /// match — moves at least one of the three values.
+    pub fn peek_header(path: impl AsRef<Path>) -> Result<Header> {
+        let mut file = File::open(path.as_ref())?;
+        let mut header_bytes = [0u8; HEADER_LEN as usize];
+        let got = read_up_to(&mut file, &mut header_bytes)?;
+        Header::decode(&header_bytes[..got])
+    }
+
+    /// Picks up commits published since this reader's snapshot.
+    ///
+    /// Returns `Ok(true)` when new state became visible (newly committed
+    /// segments were mapped in, or the file was replaced and fully
+    /// reloaded) and `Ok(false)` when the committed generation is
+    /// unchanged.  See the type-level docs for the exact observation
+    /// model.  On error the reader is left exactly as it was — it keeps
+    /// serving its current snapshot.
+    pub fn refresh(&mut self) -> Result<bool> {
+        let mut file = File::open(&self.path)?;
+        let state = read_committed_state(&mut file)?;
+        if state.header.commit_seq == self.commit_seq
+            && state.num_trials == self.num_trials
+            && state.footer.as_ref().map_or(0, |f| f.segments.len()) == self.metas.len()
         {
-            return Err(StoreError::Corrupt(format!(
-                "{} segments of {segment_bytes} bytes each exceed the file's {file_len} bytes",
-                footer.segments.len()
-            )));
+            return Ok(false);
         }
-        self.columns = ColumnRegion::with_len(footer.segments.len() * 2 * trials);
-        for (index, entry) in footer.segments.iter().enumerate() {
-            file.seek(SeekFrom::Start(entry.data_offset))?;
-            let start = index * 2 * trials * 8;
-            let end = start + 2 * trials * 8;
-            file.read_exact(&mut self.columns.bytes_mut()[start..end])?;
-
-            let page_bytes = header.page_trials as usize * 8;
-            let segment_bytes = &self.columns.bytes()[start..end];
-            let (year_bytes, occ_bytes) = segment_bytes.split_at(trials * 8);
-            for (column, crcs, what) in [
-                (year_bytes, &entry.year_page_crcs, "year-loss"),
-                (occ_bytes, &entry.occ_page_crcs, "occurrence-loss"),
-            ] {
-                for (page_index, page) in column.chunks(page_bytes).enumerate() {
-                    if crc32(page) != crcs[page_index] {
-                        return Err(StoreError::ChecksumMismatch {
-                            what: format!("segment {index} {what} page {page_index}"),
-                        });
-                    }
+        let diverged = state.header.commit_seq < self.commit_seq
+            || state.num_trials != self.num_trials
+            || state.header.page_trials != self.page_trials;
+        if !diverged {
+            if let Some(footer) = &state.footer {
+                if let Absorb::Applied = self.absorb_footer(&mut file, &state, footer)? {
+                    return Ok(true);
                 }
             }
+            // A newer commit with *no* footer cannot extend anything.
         }
-        self.columns.make_native_endian();
-        Ok(())
+        // The file does not extend this reader's prefix: reload from
+        // scratch and swap in the result only on success.
+        *self = StoreReader::open(&self.path)?;
+        Ok(true)
+    }
+
+    /// Absorbs a decoded footer into this reader: validates that it
+    /// extends the already-absorbed prefix, then loads and verifies only
+    /// the segments past it.  On [`Absorb::Applied`] the reader reflects
+    /// the footer (except `commit_seq`, owned by the caller); on
+    /// [`Absorb::Diverged`] and on errors the reader is untouched.
+    fn absorb_footer(
+        &mut self,
+        file: &mut File,
+        state: &CommittedState,
+        footer: &Footer,
+    ) -> Result<Absorb> {
+        let known = self.metas.len();
+        if footer.segments.len() < known {
+            return Ok(Absorb::Diverged);
+        }
+        // Dictionaries grow append-only: re-interning the footer's values
+        // into clones must reproduce the existing codes exactly.  A
+        // mismatch inside the known prefix means the file was replaced; a
+        // duplicate in the new tail means the footer itself is corrupt.
+        let mut layer_dict = self.layer_dict.clone();
+        let mut peril_dict = self.peril_dict.clone();
+        let mut region_dict = self.region_dict.clone();
+        let mut lob_dict = self.lob_dict.clone();
+        let mut diverged = false;
+        {
+            let mut absorb_dict = |dim: usize, intern: &mut dyn FnMut(u32) -> Result<u32>| {
+                for (code, &raw) in footer.dict_values[dim].iter().enumerate() {
+                    let known_values = match dim {
+                        0 => self.layer_dict.len(),
+                        1 => self.peril_dict.len(),
+                        2 => self.region_dict.len(),
+                        _ => self.lob_dict.len(),
+                    };
+                    if intern(raw)? != code as u32 {
+                        if code < known_values {
+                            diverged = true;
+                            return Ok(());
+                        }
+                        return Err(StoreError::Corrupt(format!(
+                            "footer dictionary {dim} repeats a value at code {code}"
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            absorb_dict(0, &mut |raw| Ok(layer_dict.intern(decode_layer(raw)?)))?;
+            absorb_dict(1, &mut |raw| Ok(peril_dict.intern(decode_peril(raw)?)))?;
+            absorb_dict(2, &mut |raw| Ok(region_dict.intern(decode_region(raw)?)))?;
+            absorb_dict(3, &mut |raw| Ok(lob_dict.intern(decode_lob(raw)?)))?;
+        }
+        if diverged {
+            return Ok(Absorb::Diverged);
+        }
+        // Code columns and the segment directory are append-only too.
+        for dim in 0..4 {
+            if footer.codes[dim][..known] != self.codes[dim][..known] {
+                return Ok(Absorb::Diverged);
+            }
+        }
+        if footer.segments[..known]
+            .iter()
+            .zip(&self.data_offsets)
+            .any(|(entry, &offset)| entry.data_offset != offset)
+        {
+            return Ok(Absorb::Diverged);
+        }
+
+        // Load and CRC-verify the new segments into a staging region, so
+        // an I/O error mid-load leaves this reader untouched.
+        let tail = load_segment_columns(file, state, footer, known, self.num_trials)?;
+
+        self.columns.append(tail);
+        self.layer_dict = layer_dict;
+        self.peril_dict = peril_dict;
+        self.region_dict = region_dict;
+        self.lob_dict = lob_dict;
+        self.codes = footer.codes.clone();
+        for segment in known..footer.segments.len() {
+            self.metas.push(SegmentMeta::new(
+                *self.layer_dict.value(footer.codes[0][segment]),
+                *self.peril_dict.value(footer.codes[1][segment]),
+                *self.region_dict.value(footer.codes[2][segment]),
+                *self.lob_dict.value(footer.codes[3][segment]),
+            ));
+        }
+        self.data_offsets = footer
+            .segments
+            .iter()
+            .map(|entry| entry.data_offset)
+            .collect();
+        self.commit_seq = state.header.commit_seq;
+        Ok(Absorb::Applied)
     }
 
     /// Trials every segment holds.
@@ -274,10 +347,16 @@ impl StoreReader {
         self.metas.is_empty()
     }
 
-    /// The commit sequence this reader observed — later commits to the
-    /// same file are invisible until it is reopened.
+    /// The commit sequence this reader observed — the reader's generation
+    /// stamp.  Later commits to the same file are invisible (and this
+    /// stamp is unchanged) until [`StoreReader::refresh`] picks them up.
     pub fn commit_seq(&self) -> u64 {
         self.commit_seq
+    }
+
+    /// The file this reader opened (and re-reads on refresh).
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// The dimension tags of one segment.
@@ -300,12 +379,87 @@ impl StoreReader {
     pub fn session(&self) -> QuerySession<'_, StoreReader> {
         QuerySession::new(self)
     }
+}
 
-    /// Opens a store and wraps the reader for concurrent sharing — the
-    /// form a multi-threaded serving front-end consumes.
-    pub fn open_shared(path: impl AsRef<Path>) -> Result<std::sync::Arc<StoreReader>> {
-        Ok(std::sync::Arc::new(StoreReader::open(path)?))
+/// Loads the loss columns of `footer.segments[from..]` into a fresh
+/// native-endian region (segment-major: `[seg_k year | seg_k occ | ...]`),
+/// verifying every directory entry's bounds and every page checksum
+/// against the footer watermarks.  This is the single checksum
+/// verification path — cold opens and incremental refreshes both go
+/// through it.
+fn load_segment_columns(
+    file: &mut File,
+    state: &CommittedState,
+    footer: &Footer,
+    from: usize,
+    trials: usize,
+) -> Result<ColumnRegion> {
+    let file_len = state.file_len;
+    // Validate every directory entry against the real file size before
+    // allocating anything: header and footer values are file-controlled,
+    // and a corrupt (or hostile, CRCs are forgeable) file must produce a
+    // typed error, not a capacity panic or a wild allocation.  The
+    // bounds below also cap the region size: per entry, two columns of
+    // `trials` f64s must fit inside the file.
+    let new_segments = footer.segments.len() - from;
+    let segment_bytes = (trials as u64)
+        .checked_mul(16)
+        .filter(|&bytes| bytes <= file_len)
+        .ok_or_else(|| StoreError::Truncated {
+            what: format!("a {trials}-trial segment needs more bytes than the file's {file_len}"),
+        });
+    let segment_bytes = if new_segments == 0 { 0 } else { segment_bytes? };
+    for (index, entry) in footer.segments.iter().enumerate().skip(from) {
+        if entry.data_offset < HEADER_LEN
+            || entry
+                .data_offset
+                .checked_add(segment_bytes)
+                .is_none_or(|end| end > file_len)
+        {
+            return Err(StoreError::Truncated {
+                what: format!(
+                    "segment {index} data at offset {} exceeds the file's {file_len} bytes",
+                    entry.data_offset
+                ),
+            });
+        }
     }
+    // Honest segments are disjoint, so their combined bytes fit in the
+    // file; this caps the region allocation at the actual file size.
+    if (new_segments as u64)
+        .checked_mul(segment_bytes)
+        .is_none_or(|total| total > file_len)
+    {
+        return Err(StoreError::Corrupt(format!(
+            "{new_segments} segments of {segment_bytes} bytes each exceed the file's \
+             {file_len} bytes"
+        )));
+    }
+    let mut columns = ColumnRegion::with_len(new_segments * 2 * trials);
+    for (index, entry) in footer.segments.iter().enumerate().skip(from) {
+        file.seek(SeekFrom::Start(entry.data_offset))?;
+        let start = (index - from) * 2 * trials * 8;
+        let end = start + 2 * trials * 8;
+        file.read_exact(&mut columns.bytes_mut()[start..end])?;
+
+        let page_bytes = state.header.page_trials as usize * 8;
+        let segment_bytes = &columns.bytes()[start..end];
+        let (year_bytes, occ_bytes) = segment_bytes.split_at(trials * 8);
+        for (column, crcs, what) in [
+            (year_bytes, &entry.year_page_crcs, "year-loss"),
+            (occ_bytes, &entry.occ_page_crcs, "occurrence-loss"),
+        ] {
+            for (page_index, page) in column.chunks(page_bytes.max(1)).enumerate() {
+                if crc32(page) != crcs[page_index] {
+                    return Err(StoreError::ChecksumMismatch {
+                        what: format!("segment {index} {what} page {page_index}"),
+                    });
+                }
+            }
+        }
+    }
+    columns.make_native_endian();
+    Ok(columns)
 }
 
 // The serving front-end shares one reader across worker and connection
@@ -412,6 +566,7 @@ mod tests {
         let reader = StoreReader::open(&path).unwrap();
         assert_eq!(reader.num_trials(), 3);
         assert_eq!(reader.num_segments(), 2);
+        assert_eq!(reader.path(), path.as_path());
         assert_eq!(SegmentSource::year_losses(&reader, 0), &[1.0, 0.0, 5.5]);
         assert_eq!(SegmentSource::max_occ_losses(&reader, 0), &[0.5, 0.0, 5.5]);
         assert_eq!(SegmentSource::year_losses(&reader, 1), &[2.0, 4.0, 0.0]);
@@ -481,6 +636,147 @@ mod tests {
         assert_eq!(fresh.num_segments(), 2);
         assert_eq!(fresh.commit_seq(), seq + 1);
         assert_eq!(SegmentSource::year_losses(&fresh, 1), &[3.0, 4.0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refresh_maps_newly_committed_segments() {
+        let path = temp_path("refresh");
+        let mut writer =
+            StoreWriter::create_with(&path, 4, StoreOptions { page_trials: 2 }).unwrap();
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[1.0, 2.0, 3.0, 4.0],
+                &[1.0, 1.0, 2.0, 2.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+
+        let mut reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_segments(), 1);
+        let seq = reader.commit_seq();
+        assert_eq!(StoreReader::peek_commit_seq(&path).unwrap(), seq);
+
+        // Nothing new: refresh is a cheap no-op.
+        assert!(!reader.refresh().unwrap());
+        assert_eq!(reader.commit_seq(), seq);
+
+        // Two more commits land — one with a brand-new dictionary value.
+        writer
+            .append_segment(
+                meta(1, Peril::Flood, Region::Japan),
+                &[5.0, 6.0, 7.0, 8.0],
+                &[5.0, 5.0, 6.0, 6.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+        writer
+            .append_segment(
+                meta(2, Peril::Earthquake, Region::NorthAmericaEast),
+                &[9.0, 0.0, 1.0, 2.0],
+                &[9.0, 0.0, 1.0, 1.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+        assert_eq!(StoreReader::peek_commit_seq(&path).unwrap(), seq + 2);
+
+        assert!(reader.refresh().unwrap());
+        assert_eq!(reader.commit_seq(), seq + 2);
+        assert_eq!(reader.num_segments(), 3);
+        // Old segments are untouched, new ones are mapped and readable.
+        assert_eq!(
+            SegmentSource::year_losses(&reader, 0),
+            &[1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(
+            SegmentSource::year_losses(&reader, 1),
+            &[5.0, 6.0, 7.0, 8.0]
+        );
+        assert_eq!(
+            SegmentSource::year_losses(&reader, 2),
+            &[9.0, 0.0, 1.0, 2.0]
+        );
+        assert_eq!(reader.meta(2).peril, Peril::Earthquake);
+
+        // The refreshed reader answers queries identically to a fresh one.
+        let fresh = StoreReader::open(&path).unwrap();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.9 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            execute(&reader, &query).unwrap(),
+            execute(&fresh, &query).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refresh_reloads_a_replaced_file() {
+        let path = temp_path("replaced");
+        let mut writer = StoreWriter::create(&path, 2).unwrap();
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[1.0, 2.0],
+                &[1.0, 2.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+        let mut reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_segments(), 1);
+        drop(writer);
+
+        // A different store is written over the same path: more commits
+        // (so the commit counter moves forward) and different contents.
+        let mut writer = StoreWriter::create(&path, 2).unwrap();
+        for layer in 0..3 {
+            writer
+                .append_segment(
+                    meta(layer, Peril::Flood, Region::Japan),
+                    &[9.0, 9.0],
+                    &[9.0, 9.0],
+                )
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        drop(writer);
+
+        assert!(reader.refresh().unwrap());
+        assert_eq!(reader.num_segments(), 3);
+        assert_eq!(reader.meta(0).peril, Peril::Flood);
+        assert_eq!(SegmentSource::year_losses(&reader, 0), &[9.0, 9.0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_refresh_keeps_the_old_snapshot() {
+        let path = temp_path("failed-refresh");
+        let mut writer = StoreWriter::create(&path, 2).unwrap();
+        writer
+            .append_segment(
+                meta(0, Peril::Hurricane, Region::Europe),
+                &[1.0, 2.0],
+                &[1.0, 2.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+        let mut reader = StoreReader::open(&path).unwrap();
+        drop(writer);
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(reader.refresh().is_err(), "the file is gone");
+        // The snapshot still serves.
+        assert_eq!(reader.num_segments(), 1);
+        assert_eq!(SegmentSource::year_losses(&reader, 0), &[1.0, 2.0]);
+
+        // The file comes back (say, a mount flap): refresh recovers.
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(!reader.refresh().unwrap(), "same commit, nothing new");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,7 +1,7 @@
 //! The buffered, incremental store writer.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use catrisk_engine::ylt::{AnalysisOutput, YearLossTable};
@@ -9,10 +9,9 @@ use catrisk_eventgen::peril::{Peril, Region};
 use catrisk_finterms::layer::LayerId;
 use catrisk_riskquery::{Dictionary, LineOfBusiness, SegmentMeta};
 
+use crate::commit::read_committed_state;
 use crate::footer::{encode_layer, encode_lob, encode_peril, encode_region, Footer, SegmentEntry};
-use crate::format::{
-    align8, crc32, pages_per_column, read_up_to, Header, DEFAULT_PAGE_TRIALS, HEADER_LEN,
-};
+use crate::format::{align8, crc32, pages_per_column, Header, DEFAULT_PAGE_TRIALS, HEADER_LEN};
 use crate::{Result, StoreError};
 
 /// Tunables for a new store file.
@@ -114,25 +113,22 @@ impl StoreWriter {
     /// Reopens an existing store for appending.
     ///
     /// The committed state (header, footer, dictionaries, directory) is
-    /// validated and loaded; any bytes past the committed footer — an
-    /// interrupted earlier append — are truncated away before new
-    /// segments are written.
+    /// validated and loaded — through the same decode path
+    /// [`StoreReader::open`](crate::StoreReader::open) uses — and any
+    /// bytes past the committed footer — an interrupted earlier append —
+    /// are truncated away before new segments are written.
     pub fn open_append(path: impl AsRef<Path>) -> Result<StoreWriter> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let mut header_bytes = [0u8; HEADER_LEN as usize];
-        let got = read_up_to(&mut file, &mut header_bytes)?;
-        let header = Header::decode(&header_bytes[..got])?;
-        let num_trials = usize::try_from(header.num_trials)
-            .map_err(|_| StoreError::Corrupt("absurd trial count in header".to_string()))?;
+        let state = read_committed_state(&mut file)?;
 
         let mut writer = StoreWriter {
             file,
             path,
-            num_trials,
-            page_trials: header.page_trials,
-            commit_seq: header.commit_seq,
-            end: HEADER_LEN,
+            num_trials: state.num_trials,
+            page_trials: state.header.page_trials,
+            commit_seq: state.header.commit_seq,
+            end: state.committed_end,
             committed_segments: 0,
             layer_dict: Dictionary::new(),
             peril_dict: Dictionary::new(),
@@ -141,32 +137,10 @@ impl StoreWriter {
             codes: Default::default(),
             directory: Vec::new(),
         };
-
-        if header.footer_offset != 0 {
-            let file_len = writer.file.metadata()?.len();
-            let footer_end = header
-                .footer_offset
-                .checked_add(header.footer_len)
-                .filter(|&end| end <= file_len)
-                .ok_or_else(|| StoreError::Truncated {
-                    what: format!(
-                        "footer at {}..{} but the file holds {file_len} bytes",
-                        header.footer_offset,
-                        header.footer_offset.saturating_add(header.footer_len)
-                    ),
-                })?;
-            writer.file.seek(SeekFrom::Start(header.footer_offset))?;
-            let mut footer_bytes = vec![0u8; header.footer_len as usize];
-            writer.file.read_exact(&mut footer_bytes)?;
-            let footer = Footer::decode(
-                &footer_bytes,
-                header.commit_seq,
-                pages_per_column(num_trials, header.page_trials),
-            )?;
+        if let Some(footer) = state.footer {
             writer.load_footer(&footer)?;
             writer.committed_segments = footer.segments.len();
             writer.directory = footer.segments;
-            writer.end = footer_end;
         }
 
         // Drop uncommitted bytes from an interrupted append.

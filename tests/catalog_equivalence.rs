@@ -1,0 +1,365 @@
+//! Catalog-path equivalence properties: sharded + refreshed + cached
+//! serving must be bit-identical to a sequential single-store session.
+//!
+//! Three layers of the new serving shape are pinned here:
+//!
+//! 1. [`ShardedSource`] over *random shard splits* of a store answers
+//!    every query bit-identically to the single concatenated store —
+//!    including through the batched `QuerySession`.
+//! 2. A [`StoreCatalog`]-backed server keeps that equivalence across a
+//!    *refresh mid-session*: segments committed to one shard while the
+//!    server runs become visible and the results match a store that held
+//!    them all along.
+//! 3. The generation-keyed result cache hits on repeats and **must miss
+//!    after a refresh** — a cached reply can never survive its snapshot.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::prelude::*;
+use catrisk_riskserve::{Server, ServerConfig, StoreCatalog};
+use catrisk_riskstore::StoreWriter;
+use catrisk_simkit::rng::RngFactory;
+
+/// One generated segment: its loss outcomes plus its dimension tags.
+#[derive(Clone)]
+struct RawSegment {
+    outcomes: Vec<TrialOutcome>,
+    meta: SegmentMeta,
+}
+
+/// Generates `segments` random tagged segments over `trials` trials.
+fn random_segments(trials: usize, segments: usize, seed: u64) -> Vec<RawSegment> {
+    let factory = RngFactory::new(seed).derive("catalog-equivalence");
+    (0..segments)
+        .map(|s| {
+            let mut rng = factory.stream(s as u64);
+            let outcomes: Vec<TrialOutcome> = (0..trials)
+                .map(|_| {
+                    let year = if rng.uniform() < 0.35 {
+                        rng.uniform() * 1.0e6
+                    } else {
+                        0.0
+                    };
+                    TrialOutcome {
+                        year_loss: year,
+                        max_occurrence_loss: year * rng.uniform(),
+                        nonzero_events: u32::from(year > 0.0),
+                    }
+                })
+                .collect();
+            let meta = SegmentMeta::new(
+                LayerId((s / 3) as u32),
+                Peril::ALL[s % Peril::ALL.len()],
+                Region::ALL[(s / 2) % Region::ALL.len()],
+                LineOfBusiness::ALL[s % LineOfBusiness::ALL.len()],
+            );
+            RawSegment { outcomes, meta }
+        })
+        .collect()
+}
+
+fn ingest(store: &mut ResultStore, segment: &RawSegment) {
+    store
+        .ingest(
+            &YearLossTable::new(segment.meta.layer, segment.outcomes.clone()),
+            segment.meta,
+        )
+        .expect("ingest");
+}
+
+/// A mixed query batch covering scalar metrics, order statistics, curves,
+/// filters, trial windows and loss ranges.
+fn query_batch(trials: usize) -> Vec<Query> {
+    vec![
+        QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .with_perils([Peril::Hurricane, Peril::Flood])
+            .group_by(Dimension::Region)
+            .aggregate(Aggregate::Var { level: 0.95 })
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 6,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::Pml {
+                return_period: 100.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .trials(0..trials.div_ceil(2))
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::StdDev)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .loss_at_least(2.0e5)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::MaxLoss)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .aggregate(Aggregate::AttachProb)
+            .build()
+            .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// ShardedSource over a random split ≡ the concatenated single store,
+    /// bit for bit, through both `execute` and the batched session.
+    #[test]
+    fn random_shard_splits_are_bit_identical(
+        trials in 8..120usize,
+        segments in 1..24usize,
+        shards in 1..5usize,
+        seed in 0..500u64,
+    ) {
+        let raw = random_segments(trials, segments, seed);
+        // Random-ish but deterministic shard assignment.
+        let assignment: Vec<usize> = (0..segments)
+            .map(|s| (s.wrapping_mul(7).wrapping_add(seed as usize)) % shards)
+            .collect();
+
+        let mut shard_stores: Vec<ResultStore> =
+            (0..shards).map(|_| ResultStore::new(trials)).collect();
+        for (segment, &shard) in raw.iter().zip(&assignment) {
+            ingest(&mut shard_stores[shard], segment);
+        }
+        // The reference holds every shard's segments in shard-major
+        // (union) order.
+        let mut reference = ResultStore::new(trials);
+        for shard in 0..shards {
+            for (segment, &owner) in raw.iter().zip(&assignment) {
+                if owner == shard {
+                    ingest(&mut reference, segment);
+                }
+            }
+        }
+
+        let shard_refs: Vec<&ResultStore> = shard_stores.iter().collect();
+        let sharded = ShardedSource::new(shard_refs).unwrap();
+        let queries = query_batch(trials);
+        for query in &queries {
+            prop_assert_eq!(
+                execute(&sharded, query).unwrap(),
+                execute(&reference, query).unwrap(),
+                "per-query sharded execution diverged"
+            );
+        }
+        prop_assert_eq!(
+            QuerySession::new(&sharded).run(&queries).unwrap(),
+            QuerySession::new(&reference).run(&queries).unwrap(),
+            "batched sharded session diverged"
+        );
+    }
+}
+
+fn temp_shard(name: &str, index: usize) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "catrisk-catalog-eq-{}-{}-{}.clm",
+        std::process::id(),
+        name,
+        index
+    ));
+    path
+}
+
+fn write_shard(path: &PathBuf, trials: usize, segments: &[RawSegment]) {
+    let mut writer = StoreWriter::create(path, trials).unwrap();
+    for segment in segments {
+        writer
+            .append_ylt(
+                &YearLossTable::new(segment.meta.layer, segment.outcomes.clone()),
+                segment.meta,
+            )
+            .unwrap();
+    }
+    writer.finish().unwrap();
+}
+
+/// The full tentpole property on disk: a catalog-backed server serving
+/// two shard files, refreshed mid-session while an ingest writer commits,
+/// with the result cache on — always bit-identical to a sequential
+/// session over a single store holding the same segments, and the cache
+/// must hit on repeats but miss after every refresh.
+#[test]
+fn catalog_server_refresh_and_cache_match_sequential_session() {
+    let trials = 64;
+    let raw = random_segments(trials, 10, 2012);
+    let (initial_a, rest) = raw.split_at(4);
+    let (initial_b, appended) = rest.split_at(3);
+
+    let path_a = temp_shard("live", 0);
+    let path_b = temp_shard("live", 1);
+    write_shard(&path_a, trials, initial_a);
+    write_shard(&path_b, trials, initial_b);
+
+    let catalog = StoreCatalog::open([&path_a, &path_b]).unwrap();
+    let server = Server::new(catalog, ServerConfig::default());
+    let queries = query_batch(trials);
+
+    // Phase 1: the catalog over the initial commits ≡ a single store
+    // holding shard A's then shard B's segments.
+    let mut reference = ResultStore::new(trials);
+    for segment in initial_a.iter().chain(initial_b) {
+        ingest(&mut reference, segment);
+    }
+    let expected = QuerySession::new(&reference).run(&queries).unwrap();
+    for (query, expected) in queries.iter().zip(&expected) {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "catalog serving diverged from the sequential session"
+        );
+    }
+    let misses_phase1 = server.stats().cache_misses;
+    assert!(misses_phase1 >= queries.len() as u64);
+
+    // Repeats hit the cache, results unchanged.
+    for (query, expected) in queries.iter().zip(&expected) {
+        assert_eq!(&server.query(query.clone()).unwrap().result, expected);
+    }
+    let stats = server.stats();
+    assert!(
+        stats.cache_hits >= queries.len() as u64,
+        "repeats must hit: {stats:?}"
+    );
+    assert_eq!(
+        stats.cache_misses, misses_phase1,
+        "repeats must not rescan: {stats:?}"
+    );
+
+    // Phase 2: an ingest writer commits new segments to shard B while the
+    // server keeps running (refresh-mid-session).
+    let mut writer = StoreWriter::open_append(&path_b).unwrap();
+    for segment in appended {
+        writer
+            .append_ylt(
+                &YearLossTable::new(segment.meta.layer, segment.outcomes.clone()),
+                segment.meta,
+            )
+            .unwrap();
+    }
+    writer.commit().unwrap();
+    drop(writer);
+
+    // The union order is shard-major: A's segments, then all of B's.
+    let mut reference = ResultStore::new(trials);
+    for segment in initial_a.iter().chain(initial_b).chain(appended) {
+        ingest(&mut reference, segment);
+    }
+    let expected_after = QuerySession::new(&reference).run(&queries).unwrap();
+    for (index, (query, expected)) in queries.iter().zip(&expected_after).enumerate() {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "query {index} diverged after the mid-session refresh"
+        );
+    }
+    let stats = server.stats();
+    assert!(
+        stats.refreshes >= 1,
+        "the commit must be picked up: {stats:?}"
+    );
+    // Cache-hit-after-refresh-must-miss: every query re-scanned.
+    assert!(
+        stats.cache_misses >= misses_phase1 + queries.len() as u64,
+        "stale cache entries served across a refresh: {stats:?}"
+    );
+    assert_ne!(
+        expected, expected_after,
+        "the appended segments must actually change some result"
+    );
+
+    // And the refreshed cache serves the *new* snapshot on repeats.
+    let miss_floor = server.stats().cache_misses;
+    for (query, expected) in queries.iter().zip(&expected_after) {
+        assert_eq!(&server.query(query.clone()).unwrap().result, expected);
+    }
+    assert_eq!(
+        server.stats().cache_misses,
+        miss_floor,
+        "post-refresh repeats must hit the refreshed cache"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+/// An uncommitted shard joining the catalog serves nothing until its
+/// first commit, then exactly its committed prefix — the canonical
+/// serve-while-ingesting startup shape.
+#[test]
+fn empty_shard_fills_in_live() {
+    let trials = 32;
+    let raw = random_segments(trials, 6, 77);
+    let (seeded, later) = raw.split_at(3);
+
+    let path_a = temp_shard("fill", 0);
+    let path_b = temp_shard("fill", 1);
+    write_shard(&path_a, trials, seeded);
+    // Shard B exists but holds nothing committed yet.
+    drop(StoreWriter::create(&path_b, trials).unwrap());
+
+    let catalog = StoreCatalog::open([&path_a, &path_b]).unwrap();
+    let server = Server::new(catalog, ServerConfig::default());
+    let query = QueryBuilder::new()
+        .group_by(Dimension::Peril)
+        .aggregate(Aggregate::Mean)
+        .build()
+        .unwrap();
+
+    let mut reference = ResultStore::new(trials);
+    for segment in seeded {
+        ingest(&mut reference, segment);
+    }
+    assert_eq!(
+        server.query(query.clone()).unwrap().result,
+        execute(&reference, &query).unwrap()
+    );
+
+    let mut writer = StoreWriter::open_append(&path_b).unwrap();
+    for segment in later {
+        writer
+            .append_ylt(
+                &YearLossTable::new(segment.meta.layer, segment.outcomes.clone()),
+                segment.meta,
+            )
+            .unwrap();
+    }
+    writer.commit().unwrap();
+    drop(writer);
+
+    for segment in later {
+        ingest(&mut reference, segment);
+    }
+    assert_eq!(
+        server.query(query.clone()).unwrap().result,
+        execute(&reference, &query).unwrap(),
+        "the first commit of an initially-empty shard must become servable"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}

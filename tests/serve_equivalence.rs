@@ -117,6 +117,7 @@ proptest! {
                 batch_window: Duration::from_micros(window_us),
                 queue_depth: usize::MAX,
                 workers,
+                ..ServerConfig::default()
             },
         );
         let results: Vec<Vec<QueryResult>> = std::thread::scope(|scope| {
@@ -171,6 +172,7 @@ fn backpressure_rejects_typed_and_drops_nothing() {
             batch_window: Duration::from_millis(300),
             queue_depth: depth,
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let query = QueryBuilder::new()
@@ -219,6 +221,7 @@ fn shutdown_answers_accepted_requests_then_refuses() {
             max_batch: 1_000,
             queue_depth: 1_000,
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let query = QueryBuilder::new()
@@ -252,6 +255,7 @@ fn hammering_a_tiny_queue_loses_nothing() {
             batch_window: Duration::from_micros(200),
             queue_depth: 2,
             workers: 2,
+            ..ServerConfig::default()
         },
     );
     let queries = random_queries(48, 8, 5);
