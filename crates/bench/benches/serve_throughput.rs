@@ -179,6 +179,7 @@ fn serving_config() -> ServerConfig {
         // *batching* speedup alone; the cold/warm cache path has its own
         // bench (`sharded_scan`).
         cache_capacity: 0,
+        partial_cache_capacity: 0,
     }
 }
 

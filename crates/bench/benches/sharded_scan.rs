@@ -148,7 +148,11 @@ fn query_mix() -> Vec<Query> {
 /// One fused batch over the catalog's current snapshot, bypassing the
 /// cache — the raw sharded scan cost.
 fn fused_batch(catalog: &StoreCatalog, queries: &[Query]) -> Vec<QueryResult> {
-    catalog.with_source(|source, _| QuerySession::new(source).run(queries).expect("batch"))
+    catalog.with_source(|snapshot| {
+        QuerySession::new(snapshot.source)
+            .run(queries)
+            .expect("batch")
+    })
 }
 
 fn sharded_scan(c: &mut Criterion) {

@@ -25,8 +25,14 @@ pub const SERVE_HELP: &str = "usage: catrisk serve [options]
 Serves ad-hoc aggregate queries over a catalog of persistent store files,
 coalescing concurrent requests into micro-batches (one fused scan per
 batch), refreshing shards as ingest writers commit, and caching per-query
-results keyed on each shard's committed generation.  Speaks a line
-protocol: one query text per line in, one JSON reply per line out:
+results keyed on each shard's committed generation.  The sharding axis is
+detected from the stores' trial offsets: offset-0 shards union along the
+segment axis; shards written with distinct --trial-offset windows (see
+`catrisk store write/split`) stitch along the trial axis, where the
+server additionally caches per-shard partial aggregates so a refresh of
+one shard rescans only that shard's trial window.  Speaks a line
+protocol: one query text per line in, one JSON reply per line out (the
+normative spec is docs/PROTOCOL.md):
 
   select mean, tvar(0.99) where peril=HU|FL group by region
   ping | stats | quit | shutdown
@@ -36,7 +42,8 @@ The server runs until a client sends `shutdown` (see `catrisk loadgen
 
 options:
   --store PATH     a shard file to serve; repeat for a multi-store catalog
-                   (all shards must share one trial count)
+                   (segment axis: one shared trial count; trial axis:
+                   windows must tile [0, total) with no gap or overlap)
   --in PATH        alias for a single --store (kept for compatibility)
   --addr A         listen address (default 127.0.0.1:7433, port 0 = ephemeral)
   --max-batch N    close a batch window at N requests (default 64)
@@ -45,6 +52,9 @@ options:
   --workers N      batch worker threads (default 2)
   --cache N        result-cache capacity in unique queries (default 1024,
                    0 disables caching)
+  --partial-cache N  per-shard partial-aggregate cache capacity in
+                   (query, shard) entries, trial-axis catalogs only
+                   (default 4096, 0 disables partial caching)
   --refresh-ms MS  minimum milliseconds between shard-header refresh
                    probes (default 0 = probe every batch; raise on slow
                    or networked filesystems to bound per-batch syscalls
@@ -68,11 +78,17 @@ options:
   --connect-timeout S  seconds to retry the initial connect (default 30)
   --refresh-writer PATH  append+commit segments to this served shard file
                    while the clients run (serve-while-ingesting); fails if
-                   the commits never become visible to queries
-  --refresh-commits N    commits the ingest writer makes (default 4)
-  --refresh-every-ms MS  pause between ingest commits (default 250)
+                   the commits never become visible to queries.  Repeat
+                   for a trial-sharded catalog: each round appends the
+                   same new layer to every listed window, which is when
+                   the union can serve it
+  --refresh-commits N    ingest rounds the writer makes (default 4)
+  --refresh-every-ms MS  pause between ingest rounds (default 250)
   --expect-cache-hits    fail unless the server reports a nonzero
                    result-cache hit count after the run
+  --expect-partial-hits  fail unless the server reports a nonzero
+                   per-shard partial-cache hit count after the run
+                   (trial-sharded catalogs only)
   --shutdown       send `shutdown` after the run, stopping the server";
 
 /// Runs the serve command: binds the front-end and blocks until shutdown.
@@ -111,6 +127,7 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         queue_depth: options.get("queue-depth", 1024usize)?,
         workers: options.get("workers", 2usize)?,
         cache_capacity: options.get("cache", 1024usize)?,
+        partial_cache_capacity: options.get("partial-cache", 4096usize)?,
     };
 
     let catalog = StoreCatalog::open(&stores).map_err(|e| e.to_string())?;
@@ -122,8 +139,9 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         ));
     }
     eprintln!(
-        "  serving a {}-shard catalog ({:.1} MB resident):",
+        "  serving a {}-shard {}-axis catalog ({:.1} MB resident):",
         catalog.num_shards(),
+        catalog.axis(),
         catalog.memory_bytes() as f64 / 1.0e6
     );
     for line in catalog.describe().lines() {
@@ -184,6 +202,19 @@ pub fn run_loadgen(options: &Options) -> Result<(), String> {
             None => return Err("--expect-cache-hits: could not fetch server stats".to_string()),
         }
     }
+    if options.has_flag("expect-partial-hits") {
+        match &report.server_stats {
+            Some(stats) if stats.partial_hits > 0 => {}
+            Some(stats) => {
+                return Err(format!(
+                    "--expect-partial-hits: the server reported zero partial-cache hits \
+                     ({} shard-window rescans)",
+                    stats.partial_misses
+                ));
+            }
+            None => return Err("--expect-partial-hits: could not fetch server stats".to_string()),
+        }
+    }
     Ok(())
 }
 
@@ -195,7 +226,7 @@ pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, Strin
         rps: options.get("rps", 0.0f64)?,
         connect_timeout_secs: options.get("connect-timeout", 30u64)?,
         shutdown: options.has_flag("shutdown"),
-        refresh_writer: options.get("refresh-writer", String::new())?,
+        refresh_writers: options.get_all("refresh-writer"),
         refresh_commits: options.get("refresh-commits", 4usize)?,
         refresh_every_ms: options.get("refresh-every-ms", 250u64)?,
         ..LoadgenOptions::default()
@@ -316,6 +347,63 @@ mod tests {
         front.wait().unwrap();
         let _ = std::fs::remove_file(&shard_a);
         let _ = std::fs::remove_file(&shard_b);
+    }
+
+    #[test]
+    fn serve_trial_sharded_catalog_reuses_partials_under_ingest() {
+        use catrisk_riskserve::ShardAxis;
+
+        // One store, split into two trial windows the server stitches.
+        let whole = temp_store("trial");
+        write_small_store(&whole, "5");
+        let prefix = whole.strip_suffix(".clm").unwrap().to_string();
+        super::super::store::run(&strings(&["split", "--in", &whole, "--shards", "2"])).unwrap();
+        let parts: Vec<String> = (0..2).map(|k| format!("{prefix}-part{k}.clm")).collect();
+
+        let serve_options = Options::parse(&strings(&[
+            "--store",
+            &parts[0],
+            "--store",
+            &parts[1],
+            "--addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        let front = bind_front_end(&serve_options).unwrap();
+        assert_eq!(front.server().provider().axis(), ShardAxis::Trial);
+        let addr = front.local_addr().to_string();
+
+        // The ingest round appends the same layer to both windows,
+        // staggered — the gap is where the untouched window's cached
+        // partials must keep answering (asserted via the stats the
+        // loadgen fetches).
+        let loadgen_args = strings(&[
+            "--addr",
+            &addr,
+            "--clients",
+            "4",
+            "--requests",
+            "120",
+            "--rps",
+            "300",
+            "--refresh-writer",
+            &parts[0],
+            "--refresh-writer",
+            &parts[1],
+            "--refresh-commits",
+            "1",
+            "--refresh-every-ms",
+            "120",
+            "--expect-cache-hits",
+            "--expect-partial-hits",
+            "--shutdown",
+        ]);
+        run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();
+        front.wait().unwrap();
+        let _ = std::fs::remove_file(&whole);
+        for part in &parts {
+            let _ = std::fs::remove_file(part);
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use super::world::WorldConfig;
 use super::Options;
 
 /// Detailed usage of the store command, shown by `catrisk store --help`.
-pub const STORE_HELP: &str = "usage: catrisk store <write|query> [options]
+pub const STORE_HELP: &str = "usage: catrisk store <write|query|split|catalog> [options]
 
 write   run the aggregate risk engine over a synthetic world and spill the
         tagged segments into a persistent columnar store file:
@@ -34,6 +34,11 @@ write   run the aggregate risk engine over a synthetic world and spill the
                    0 = one commit at the end)
   --page-trials N  trials per checksummed loss page (default 4096; fixed at
                    creation, cannot be changed by --append)
+  --trial-offset N stamp the store as covering trials [N, N+trials) of a
+                   larger logical trial axis (default 0 = self-contained;
+                   fixed at creation).  A trial-sharded ingest fleet gives
+                   each writer its own offset; `catrisk serve` stitches
+                   the windows back together
 
 query   reopen a store file and answer an ad-hoc aggregate query:
   --in PATH        store file to open (required)
@@ -44,10 +49,18 @@ query   reopen a store file and answer an ad-hoc aggregate query:
   --group-by LIST  comma-separated: layer, peril, region, lob
   --json           print the result as JSON instead of a table
 
+split   cut an existing store into trial-window shards — the trial-axis
+        catalog `catrisk serve` stitches back bit-identically (each shard
+        holds every segment over its window, stamped with its offset):
+  --in PATH        store file to split (required)
+  --shards K       number of equal trial windows (default 2)
+  --out-prefix P   shard files are written to P-part<k>.clm (default: the
+                   input path minus its extension)
+
 catalog inspect a multi-store catalog: per-shard segment counts, trial
-        counts, commit generations and resident sizes, plus the union the
-        query router would serve (`catrisk serve --store ...` takes the
-        same shard list):
+        counts and windows, the sharding axis, commit generations and
+        resident sizes, plus the union the query router would serve
+        (`catrisk serve --store ...` takes the same shard list):
   --store PATH     a shard file; repeat for more shards (at least one)
 
 examples:
@@ -55,7 +68,9 @@ examples:
   catrisk store write --out portfolio.clm --append --seed 2013
   catrisk store query --in portfolio.clm \\
       --select \"tvar(0.99),aep(10)\" --where \"peril=HU|FL\" --group-by region
-  catrisk store catalog --store eu.clm --store na.clm";
+  catrisk store split --in portfolio.clm --shards 4
+  catrisk store catalog --store eu.clm --store na.clm
+  catrisk store catalog --store portfolio-part0.clm --store portfolio-part1.clm";
 
 /// Runs the store command: dispatches on the `write` / `query` action.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -70,9 +85,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         "write" => write(&Options::parse(&args[1..])?),
         "query" => query(&Options::parse(&args[1..])?),
+        "split" => split(&Options::parse(&args[1..])?),
         "catalog" => catalog(&Options::parse(&args[1..])?),
         other => Err(format!(
-            "unknown store action `{other}` (expected write, query or catalog)"
+            "unknown store action `{other}` (expected write, query, split or catalog)"
         )),
     }
 }
@@ -95,6 +111,7 @@ fn write(options: &Options) -> Result<(), String> {
     let engine = options.get("engine", "streaming".to_string())?;
     let commit_every = options.get("commit-every", 8usize)?;
     let page_trials = options.get("page-trials", 4096u32)?;
+    let trial_offset = options.get("trial-offset", 0u64)?;
     let append = options.has_flag("append");
     if !ENGINES.contains(&engine.as_str()) {
         return Err(unknown_engine(&engine));
@@ -106,8 +123,15 @@ fn write(options: &Options) -> Result<(), String> {
     let mut writer = if append {
         StoreWriter::open_append(&out).map_err(|e| e.to_string())?
     } else {
-        StoreWriter::create_with(&out, config.trials, StoreOptions { page_trials })
-            .map_err(|e| e.to_string())?
+        StoreWriter::create_with(
+            &out,
+            config.trials,
+            StoreOptions {
+                page_trials,
+                trial_offset,
+            },
+        )
+        .map_err(|e| e.to_string())?
     };
     if writer.num_trials() != config.trials {
         return Err(format!(
@@ -122,6 +146,14 @@ fn write(options: &Options) -> Result<(), String> {
              an existing store's page size",
             writer.page_trials(),
             page_trials
+        ));
+    }
+    if append && options.has_value("trial-offset") && writer.trial_offset() != trial_offset {
+        return Err(format!(
+            "store `{out}` covers trials starting at {}; --trial-offset {} cannot move \
+             an existing store's window",
+            writer.trial_offset(),
+            trial_offset
         ));
     }
     let already = writer.num_segments();
@@ -217,6 +249,87 @@ fn query(options: &Options) -> Result<(), String> {
     print_result(&result, as_json)
 }
 
+/// `store split`: cut an existing store into trial-window shard files —
+/// the inverse of the trial-axis stitch `catrisk serve` performs.  Each
+/// shard holds every segment of the input over its window, stamped with
+/// the window's offset so `StoreCatalog::open` detects the axis.
+fn split(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{STORE_HELP}");
+        return Ok(());
+    }
+    let input = options.get("in", String::new())?;
+    if input.is_empty() {
+        return Err("store split needs --in PATH".to_string());
+    }
+    let shards = options.get("shards", 2usize)?;
+    if shards == 0 {
+        return Err("--shards must be positive".to_string());
+    }
+    let default_prefix = input
+        .strip_suffix(".clm")
+        .unwrap_or(input.as_str())
+        .to_string();
+    let prefix = options.get("out-prefix", default_prefix)?;
+
+    let sw = Stopwatch::start();
+    let reader = StoreReader::open(&input).map_err(|e| e.to_string())?;
+    if reader.trial_offset() != 0 {
+        return Err(format!(
+            "store `{input}` is itself a trial shard (offset {}); split the original \
+             full-axis store instead",
+            reader.trial_offset()
+        ));
+    }
+    let trials = reader.num_trials();
+    if trials < shards {
+        return Err(format!(
+            "cannot split {trials} trials into {shards} non-empty windows"
+        ));
+    }
+    let base = trials / shards;
+    let extra = trials % shards;
+    let mut start = 0usize;
+    for index in 0..shards {
+        let len = base + usize::from(index < extra);
+        let end = start + len;
+        let path = format!("{prefix}-part{index}.clm");
+        let mut writer = StoreWriter::create_with(
+            &path,
+            len,
+            StoreOptions {
+                // Shards inherit the input's page tuning.
+                page_trials: reader.page_trials(),
+                trial_offset: start as u64,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        for segment in 0..reader.num_segments() {
+            use catrisk_riskquery::SegmentSource;
+            writer
+                .append_segment(
+                    *reader.meta(segment),
+                    &SegmentSource::year_losses(&reader, segment)[start..end],
+                    &SegmentSource::max_occ_losses(&reader, segment)[start..end],
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        writer.finish().map_err(|e| e.to_string())?;
+        eprintln!(
+            "  wrote {path}: {} segments covering trials {start}..{end}",
+            reader.num_segments()
+        );
+        println!("{path}");
+        start = end;
+    }
+    eprintln!(
+        "  split {} segments x {trials} trials into {shards} trial windows  [{:.2}s]",
+        reader.num_segments(),
+        sw.elapsed_secs()
+    );
+    Ok(())
+}
+
 /// `store catalog`: open the shard list through the exact
 /// [`StoreCatalog`] path `catrisk serve` uses (so accept/reject
 /// behaviour cannot drift) and print the per-shard state plus the union
@@ -235,13 +348,16 @@ fn catalog(options: &Options) -> Result<(), String> {
     let catalog = StoreCatalog::open(&stores)
         .map_err(|e| format!("these shards cannot form one catalog: {e}"))?;
     println!("{}", catalog.describe());
-    catalog.with_source(|union, generations| {
+    catalog.with_source(|snapshot| {
+        let union = snapshot.source;
         println!(
-            "union: {} shards, {} segments x {} trials (generations {generations:?}); \
-             dictionaries: {} layers, {} perils, {} regions, {} lobs  [{:.4}s]",
+            "union: {} shards along the {} axis, {} segments x {} trials (generations \
+             {:?}); dictionaries: {} layers, {} perils, {} regions, {} lobs  [{:.4}s]",
             catalog.num_shards(),
+            catalog.axis(),
             union.num_segments(),
             union.num_trials(),
+            snapshot.generations,
             union.layer_dict().len(),
             union.peril_dict().len(),
             union.region_dict().len(),
@@ -341,6 +457,51 @@ mod tests {
         assert!(run(&strings(&["catalog", "--store", "/nonexistent/x.clm"])).is_err());
         for path in [&a, &b, &c] {
             let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn split_produces_a_trial_catalog_equivalent_to_the_whole() {
+        use catrisk_riskquery::{execute, parse_select, QueryBuilder, SegmentSource};
+
+        let out = temp_store("split");
+        run(&[vec!["write".to_string()], small_world(&out, &[])].concat()).unwrap();
+        let prefix = out.strip_suffix(".clm").unwrap().to_string();
+        run(&strings(&["split", "--in", &out, "--shards", "3"])).unwrap();
+        let parts: Vec<String> = (0..3).map(|k| format!("{prefix}-part{k}.clm")).collect();
+
+        // The parts form a trial-axis catalog the inspector accepts...
+        run(&strings(&[
+            "catalog", "--store", &parts[0], "--store", &parts[1], "--store", &parts[2],
+        ]))
+        .unwrap();
+
+        // ...whose stitched answers are bit-identical to the original.
+        let whole = StoreReader::open(&out).unwrap();
+        let catalog = StoreCatalog::open(&parts).unwrap();
+        let mut builder = QueryBuilder::new().group_by(catrisk_riskquery::Dimension::Region);
+        for aggregate in parse_select("mean,tvar(0.9),aep(4)").unwrap() {
+            builder = builder.aggregate(aggregate);
+        }
+        let query = builder.build().unwrap();
+        let stitched = catalog.with_source(|snapshot| {
+            assert_eq!(
+                SegmentSource::num_trials(snapshot.source),
+                whole.num_trials()
+            );
+            execute(snapshot.source, &query).unwrap()
+        });
+        assert_eq!(stitched, execute(&whole, &query).unwrap());
+
+        // Splitting a shard (nonzero offset) is refused; so are bad args.
+        assert!(run(&strings(&["split", "--in", &parts[1]])).is_err());
+        assert!(run(&strings(&["split"])).is_err(), "--in is required");
+        assert!(run(&strings(&["split", "--in", &out, "--shards", "0"])).is_err());
+        assert!(run(&strings(&["split", "--in", &out, "--shards", "999"])).is_err());
+
+        let _ = std::fs::remove_file(&out);
+        for part in &parts {
+            let _ = std::fs::remove_file(part);
         }
     }
 

@@ -117,6 +117,39 @@ impl PartialAggregate {
     }
 }
 
+/// Splits `[start, end)` into at most `parts` contiguous non-empty
+/// blocks, then further splits every block at the interior `cuts` (a
+/// source's [`SegmentSource::trial_cuts`]) so no block straddles a
+/// backing-allocation boundary.  Extra splits cannot change results: the
+/// per-block partials merge by exact concatenation.
+pub(crate) fn trial_blocks_cut(
+    start: usize,
+    end: usize,
+    parts: usize,
+    cuts: &[usize],
+) -> Vec<(usize, usize)> {
+    let blocks = trial_blocks(start, end, parts);
+    if cuts.is_empty() {
+        return blocks;
+    }
+    let mut split = Vec::with_capacity(blocks.len() + cuts.len());
+    for (block_start, block_end) in blocks {
+        let mut at = block_start;
+        for &cut in cuts {
+            if cut <= at {
+                continue;
+            }
+            if cut >= block_end {
+                break;
+            }
+            split.push((at, cut));
+            at = cut;
+        }
+        split.push((at, block_end));
+    }
+    split
+}
+
 /// Splits `span` trials into at most `parts` contiguous non-empty blocks.
 pub(crate) fn trial_blocks(start: usize, end: usize, parts: usize) -> Vec<(usize, usize)> {
     let span = end - start;
@@ -141,11 +174,28 @@ pub(crate) fn trial_blocks(start: usize, end: usize, parts: usize) -> Vec<(usize
 /// evaluated per block, after all segments have been accumulated into the
 /// block's group totals and while those totals are still cache-hot.
 pub(crate) fn scan<S: SegmentSource + ?Sized>(store: &S, plan: &QueryPlan) -> PartialAggregate {
+    scan_window(store, plan, plan.trial_start, plan.trial_end)
+}
+
+/// [`scan`] restricted to the sub-window `[start, end)` of the plan's
+/// trial window — the per-shard half of trial-axis sharding: a sharded
+/// serving layer scans each shard's window separately (caching the
+/// partials) and stitches them with the same adjacent-window monoid the
+/// blocks below merge by, so the stitched result is bit-identical to one
+/// scan of the whole window.
+pub(crate) fn scan_window<S: SegmentSource + ?Sized>(
+    store: &S,
+    plan: &QueryPlan,
+    start: usize,
+    end: usize,
+) -> PartialAggregate {
+    debug_assert!(plan.trial_start <= start && end <= plan.trial_end && start <= end);
     let groups = plan.num_groups();
-    let blocks = trial_blocks(
-        plan.trial_start,
-        plan.trial_end,
+    let blocks = trial_blocks_cut(
+        start,
+        end,
         rayon::current_num_threads(),
+        &store.trial_cuts(),
     );
     let partials: Vec<PartialAggregate> = blocks
         .into_par_iter()
@@ -153,8 +203,8 @@ pub(crate) fn scan<S: SegmentSource + ?Sized>(store: &S, plan: &QueryPlan) -> Pa
             let len = block_end - block_start;
             let mut partial = PartialAggregate::identity(groups, len);
             for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
-                let year = &store.year_losses(segment)[block_start..block_end];
-                let occ = &store.max_occ_losses(segment)[block_start..block_end];
+                let year = store.year_losses_in(segment, block_start, block_end);
+                let occ = store.max_occ_losses_in(segment, block_start, block_end);
                 partial.accumulate(group, year, occ);
             }
             if let Some(range) = plan.loss {

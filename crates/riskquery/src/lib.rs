@@ -70,10 +70,17 @@
 //! queries run against the in-memory [`ResultStore`], against
 //! persistent stores reopened from disk by the `catrisk-riskstore` crate
 //! (whose reader hands the scan zero-copy column slices), and against a
-//! whole catalog of such stores at once via [`ShardedSource`] — the
-//! segment-union view that merges shard dictionaries and remaps global
-//! segment indices to shard-local column offsets, bit-identically to a
-//! single concatenated store.  The
+//! whole catalog of such stores at once along either sharding axis:
+//! [`ShardedSource`] is the **segment**-union view (shards own disjoint
+//! segment sets over one shared trial axis; dictionaries merge, global
+//! segment indices remap to shard-local column offsets), while
+//! [`TrialShardedSource`] is the **trial**-union view (shards own
+//! disjoint trial windows of the *same* segments — the paper's own
+//! partition axis — stitched by the adjacent-window monoid, with
+//! [`TrialPartial`] as the cacheable per-shard unit of reuse).  Both are
+//! bit-identical to a single store holding everything; see
+//! `docs/ARCHITECTURE.md` at the repository root for the two-axis
+//! picture.  The
 //! `catrisk-riskserve` crate serves concurrent client requests by
 //! coalescing them into [`QuerySession`] batches — [`Query`] is cheap to
 //! clone and `Eq + Hash` (with a total, NaN-free float treatment) exactly
@@ -86,6 +93,7 @@ pub mod dict;
 pub mod dims;
 pub mod exec;
 pub mod parse;
+pub mod partial;
 pub mod plan;
 pub mod query;
 pub mod result;
@@ -93,11 +101,13 @@ pub mod segmentation;
 pub mod session;
 pub mod sharded;
 pub mod store;
+pub mod trial_sharded;
 
 pub use dict::Dictionary;
 pub use dims::{Dimension, LineOfBusiness, SegmentMeta};
 pub use exec::{execute, PartialAggregate};
 pub use parse::{parse_group_by, parse_select, parse_where};
+pub use partial::{combine_trial_partials, scan_trial_partial, TrialPartial};
 pub use plan::QueryPlan;
 pub use query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
 pub use result::{AggValue, DimValue, QueryResult, ResultRow};
@@ -105,6 +115,7 @@ pub use segmentation::{split_pairs_by_peril, SegmentedBook, SegmentedInput};
 pub use session::QuerySession;
 pub use sharded::{MergedSchema, ShardedSource};
 pub use store::{ResultStore, SegmentSource};
+pub use trial_sharded::TrialShardedSource;
 
 /// Convenience re-exports for query construction and execution.
 pub mod prelude {
@@ -115,6 +126,7 @@ pub mod prelude {
     pub use crate::session::QuerySession;
     pub use crate::sharded::ShardedSource;
     pub use crate::store::{ResultStore, SegmentSource};
+    pub use crate::trial_sharded::TrialShardedSource;
 }
 
 /// Errors produced while building, parsing or executing queries.

@@ -1,0 +1,288 @@
+//! Reusable per-shard partial aggregates: the unit a trial-sharded
+//! serving layer caches.
+//!
+//! Trial-axis sharding splits one query's scan into per-shard windows
+//! whose [`PartialAggregate`]s stitch back together with the exact
+//! adjacent-window monoid.  That makes the *per-shard partial* the
+//! natural unit of cache reuse — QuPARA's multi-GPU follow-up makes the
+//! same observation for its per-partition aggregates: when one shard
+//! refreshes, only its window needs rescanning, and every other shard's
+//! cached partial re-combines unchanged.  This module packages a partial
+//! with just enough self-description ([`TrialPartial`]) to survive being
+//! cached across batches and re-combined later:
+//!
+//! * group **keys** (decoded dimension values, not plan-local group
+//!   indices — indices are an artifact of one plan's first-appearance
+//!   order and may differ between the plan that produced a cached
+//!   partial and the plan consuming it);
+//! * per-group **segment counts** (reported in result rows);
+//! * the global **trial window** the partial covers.
+//!
+//! [`combine_trial_partials`] re-aligns parts by key, concatenates their
+//! windows in order, and finalises through the same metric kernels
+//! [`execute`](crate::exec::execute) uses — so a result assembled from
+//! cached partials is bit-identical to a fresh scan of the whole window.
+
+use crate::exec::{self, PartialAggregate, SortedCache};
+use crate::plan::QueryPlan;
+use crate::query::Query;
+use crate::result::{DimValue, QueryResult, ResultRow};
+use crate::store::SegmentSource;
+use crate::{QueryError, Result};
+
+/// One shard's contribution to a query: the partial aggregate of the
+/// shard's trial window, keyed by decoded group keys so it can be cached
+/// and re-combined across batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialPartial {
+    /// Decoded group keys, in the producing plan's group order.
+    pub keys: Vec<Vec<DimValue>>,
+    /// Segments contributing to each group (same across shards: every
+    /// trial shard holds every segment).
+    pub segment_counts: Vec<usize>,
+    /// The global trial window `[start, end)` this partial covers.
+    pub window: (usize, usize),
+    /// The accumulated loss vectors per group over the window.
+    pub aggregate: PartialAggregate,
+}
+
+impl TrialPartial {
+    /// Approximate heap bytes of the partial's loss vectors (cache
+    /// accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.aggregate
+            .year
+            .iter()
+            .chain(&self.aggregate.maxocc)
+            .map(|column| column.len() * std::mem::size_of::<f64>())
+            .sum()
+    }
+}
+
+/// Scans one shard window of a planned query: the plan's scan restricted
+/// to the global trial window `[start, end)`, packaged with the plan's
+/// group keys and segment counts.
+///
+/// The window must lie inside the plan's trial window; a caller shards
+/// the plan window by clipping it against each shard's window (an empty
+/// clip yields a valid zero-trial partial, so shards outside the query's
+/// trial filter still combine exactly).
+pub fn scan_trial_partial<S: SegmentSource + ?Sized>(
+    store: &S,
+    plan: &QueryPlan,
+    start: usize,
+    end: usize,
+) -> TrialPartial {
+    let mut segment_counts = vec![0usize; plan.num_groups()];
+    for &group in &plan.groups {
+        segment_counts[group] += 1;
+    }
+    TrialPartial {
+        keys: plan.keys.clone(),
+        segment_counts,
+        window: (start, end),
+        aggregate: exec::scan_window(store, plan, start, end),
+    }
+}
+
+/// Stitches per-shard partials (in window order) into the final
+/// [`QueryResult`], bit-identical to scanning the whole window at once.
+///
+/// Parts must agree on their group keys and segment counts (trial shards
+/// present identical segment layouts, so any disagreement means the
+/// parts describe different snapshots — the caller falls back to a fresh
+/// scan) and their windows must be adjacent: each part starts where the
+/// previous ended.
+pub fn combine_trial_partials(query: &Query, parts: Vec<TrialPartial>) -> Result<QueryResult> {
+    let mut iter = parts.into_iter();
+    let Some(first) = iter.next() else {
+        return Err(QueryError::Store(
+            "no trial partials to combine".to_string(),
+        ));
+    };
+    let keys = first.keys;
+    let segment_counts = first.segment_counts;
+    let (window_start, mut window_end) = first.window;
+    let mut aggregate = first.aggregate;
+    for part in iter {
+        if part.keys != keys || part.segment_counts != segment_counts {
+            return Err(QueryError::Store(
+                "trial partials disagree on group keys; they describe different snapshots"
+                    .to_string(),
+            ));
+        }
+        if part.window.0 != window_end {
+            return Err(QueryError::Store(format!(
+                "trial partial windows are not adjacent: {}..{} then {}..{}",
+                window_start, window_end, part.window.0, part.window.1
+            )));
+        }
+        window_end = part.window.1;
+        aggregate = aggregate.combine_adjacent(part.aggregate);
+    }
+
+    // Canonical row order, exactly as `exec::assemble` derives it from a
+    // plan: ascending by decoded key.
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| DimValue::compare_keys(&keys[a], &keys[b]));
+    let rows: Vec<ResultRow> = order
+        .into_iter()
+        .map(|group| {
+            let mut cache = SortedCache::default();
+            ResultRow {
+                key: keys[group].clone(),
+                segments: segment_counts[group],
+                values: exec::finalize_group(&query.aggregates, &aggregate, group, &mut cache),
+            }
+        })
+        .collect();
+    Ok(QueryResult {
+        group_by: query.group_by.clone(),
+        aggregates: query.aggregates.clone(),
+        trials: window_end - window_start,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::query::{Aggregate, Basis, QueryBuilder};
+    use crate::store::ResultStore;
+    use crate::Dimension;
+    use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+    use catrisk_eventgen::peril::{Peril, Region};
+    use catrisk_finterms::layer::LayerId;
+
+    use crate::dims::{LineOfBusiness, SegmentMeta};
+
+    fn store() -> ResultStore {
+        let mut store = ResultStore::new(6);
+        let segs = [
+            (0u32, Peril::Hurricane, [1.0, 0.0, 4.0, 2.0, 7.0, 0.0]),
+            (1, Peril::Flood, [2.0, 5.0, 0.0, 1.0, 0.0, 3.0]),
+            (2, Peril::Hurricane, [0.0, 1.0, 1.0, 0.0, 2.0, 9.0]),
+        ];
+        for (layer, peril, losses) in segs {
+            let outcomes = losses
+                .iter()
+                .map(|&l| TrialOutcome {
+                    year_loss: l,
+                    max_occurrence_loss: l * 0.5,
+                    nonzero_events: 0,
+                })
+                .collect();
+            store
+                .ingest(
+                    &YearLossTable::new(LayerId(layer), outcomes),
+                    SegmentMeta::new(
+                        LayerId(layer),
+                        peril,
+                        Region::Europe,
+                        LineOfBusiness::Property,
+                    ),
+                )
+                .unwrap();
+        }
+        store
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            QueryBuilder::new()
+                .group_by(Dimension::Peril)
+                .aggregate(Aggregate::Mean)
+                .aggregate(Aggregate::Tvar { level: 0.9 })
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .trials(1..5)
+                .aggregate(Aggregate::EpCurve {
+                    basis: Basis::Oep,
+                    points: 3,
+                })
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .loss_at_least(2.0)
+                .group_by(Dimension::Layer)
+                .aggregate(Aggregate::MaxLoss)
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn stitched_partials_reproduce_execute_bitwise() {
+        let store = store();
+        for query in queries() {
+            let plan = QueryPlan::new(&store, &query).unwrap();
+            // Split the plan window into up to three chunks, including a
+            // possibly-empty middle chunk.
+            let (lo, hi) = (plan.trial_start, plan.trial_end);
+            let a = lo + (hi - lo) / 3;
+            let b = lo + 2 * (hi - lo) / 3;
+            let parts = vec![
+                scan_trial_partial(&store, &plan, lo, a),
+                scan_trial_partial(&store, &plan, a, b),
+                scan_trial_partial(&store, &plan, b, hi),
+            ];
+            assert!(parts[0].memory_bytes() <= parts[0].aggregate.year.len() * (hi - lo) * 16);
+            let stitched = combine_trial_partials(&query, parts).unwrap();
+            assert_eq!(
+                stitched,
+                execute(&store, &query).unwrap(),
+                "stitched partials must be bit-identical to a whole-window scan"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_window_partials_are_identity() {
+        let store = store();
+        let query = QueryBuilder::new()
+            .trials(0..3)
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        // A shard whose window lies entirely outside the query's trial
+        // filter contributes a zero-trial partial.
+        let parts = vec![
+            scan_trial_partial(&store, &plan, 0, 3),
+            scan_trial_partial(&store, &plan, 3, 3),
+        ];
+        let stitched = combine_trial_partials(&query, parts).unwrap();
+        assert_eq!(stitched, execute(&store, &query).unwrap());
+    }
+
+    #[test]
+    fn misaligned_partials_are_rejected() {
+        let store = store();
+        let query = queries().remove(0);
+        let plan = QueryPlan::new(&store, &query).unwrap();
+        let a = scan_trial_partial(&store, &plan, 0, 2);
+        let c = scan_trial_partial(&store, &plan, 4, 6);
+        // A gap between windows is rejected.
+        assert!(matches!(
+            combine_trial_partials(&query, vec![a.clone(), c]),
+            Err(QueryError::Store(_))
+        ));
+        // So are parts whose group keys disagree.
+        let other_query = QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let other_plan = QueryPlan::new(&store, &other_query).unwrap();
+        let miskeyed = scan_trial_partial(&store, &other_plan, 2, 6);
+        assert!(matches!(
+            combine_trial_partials(&query, vec![a, miskeyed]),
+            Err(QueryError::Store(_))
+        ));
+        // And an empty part list.
+        assert!(combine_trial_partials(&query, vec![]).is_err());
+    }
+}

@@ -167,7 +167,12 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
             .map(|&si| specs[si].plan.num_groups())
             .collect();
 
-        let blocks = exec::trial_blocks(start, end, rayon::current_num_threads());
+        let blocks = exec::trial_blocks_cut(
+            start,
+            end,
+            rayon::current_num_threads(),
+            &self.store.trial_cuts(),
+        );
         let partial_sets: Vec<Vec<PartialAggregate>> = blocks
             .into_par_iter()
             .map(|(block_start, block_end)| {
@@ -177,8 +182,10 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
                     .map(|&g| PartialAggregate::identity(g, len))
                     .collect();
                 for &segment in &touched {
-                    let year = &self.store.year_losses(segment)[block_start..block_end];
-                    let occ = &self.store.max_occ_losses(segment)[block_start..block_end];
+                    let year = self.store.year_losses_in(segment, block_start, block_end);
+                    let occ = self
+                        .store
+                        .max_occ_losses_in(segment, block_start, block_end);
                     for &(mi, group) in &routing[segment] {
                         partials[mi as usize].accumulate(group as usize, year, occ);
                     }

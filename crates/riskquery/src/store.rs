@@ -32,10 +32,46 @@ pub trait SegmentSource: Sync {
     fn num_segments(&self) -> usize;
 
     /// The year-loss slice of one segment (one value per trial).
+    ///
+    /// Sources whose trial axis is not one contiguous allocation (a
+    /// [`TrialShardedSource`](crate::trial_sharded::TrialShardedSource)
+    /// over more than one shard) cannot hand out a full-segment borrow
+    /// and panic here; scans must use the windowed accessors and keep
+    /// every window inside one piece of [`trial_cuts`](Self::trial_cuts).
     fn year_losses(&self, segment: usize) -> &[f64];
 
     /// The maximum-occurrence-loss slice of one segment.
+    ///
+    /// Same contiguity caveat as [`year_losses`](Self::year_losses).
     fn max_occ_losses(&self, segment: usize) -> &[f64];
+
+    /// The year losses of `segment` over the trial window
+    /// `[start, end)`.
+    ///
+    /// The window must not straddle an interior cut reported by
+    /// [`trial_cuts`](Self::trial_cuts) — within one piece the data is
+    /// contiguous, so the default borrows out of the full-segment slice.
+    fn year_losses_in(&self, segment: usize, start: usize, end: usize) -> &[f64] {
+        &self.year_losses(segment)[start..end]
+    }
+
+    /// The maximum-occurrence losses of `segment` over the trial window
+    /// `[start, end)` — same contract as
+    /// [`year_losses_in`](Self::year_losses_in).
+    fn max_occ_losses_in(&self, segment: usize, start: usize, end: usize) -> &[f64] {
+        &self.max_occ_losses(segment)[start..end]
+    }
+
+    /// Interior trial offsets at which the loss columns change backing
+    /// allocation, in ascending order (empty for the common contiguous
+    /// case).  The scan splits its trial blocks at these cuts so every
+    /// windowed slice access stays inside one allocation; because
+    /// per-block partials merge by exact concatenation, extra cuts never
+    /// change results — see
+    /// [`PartialAggregate::combine_adjacent`](crate::exec::PartialAggregate::combine_adjacent).
+    fn trial_cuts(&self) -> Vec<usize> {
+        Vec::new()
+    }
 
     /// Per-segment dictionary codes of the layer dimension.
     fn layer_codes(&self) -> &[u32];

@@ -1,18 +1,26 @@
-//! The generation-keyed per-query result cache.
+//! The generation-keyed caches: whole query results, and per-shard
+//! partial aggregates for trial-sharded catalogs.
 //!
 //! Keys are whole [`Query`] values — `Query` is `Eq + Hash` with a total,
-//! NaN-free float treatment precisely so this map can neither collide nor
-//! miss — and every entry remembers the *generation vector* (one
-//! monotonic stamp per shard, see
+//! NaN-free float treatment precisely so these maps can neither collide
+//! nor miss — and every entry remembers the generation stamps (see
 //! [`SourceProvider::with_source`](crate::source::SourceProvider::with_source))
 //! it was computed under.  A lookup hits only when the stamps match
 //! exactly, so a shard's entries go stale precisely when its refresh
 //! observes a new commit — cached replies are always bit-identical to a
 //! fresh scan of the current snapshot, never a stale approximation.
+//!
+//! [`ResultCache`] keys `(query, whole generation vector)`: any shard's
+//! refresh retires the entry, because the final result mixes every
+//! shard's data.  [`PartialCache`] is the trial-axis refinement: it keys
+//! `(query, shard)` and stamps each entry with only *that shard's*
+//! generation plus the union's segment prefix, so a refresh of one shard
+//! leaves every other shard's cached partial valid — the whole point of
+//! caching partials instead of results.
 
 use std::collections::HashMap;
 
-use catrisk_riskquery::{Query, QueryResult};
+use catrisk_riskquery::{Query, QueryResult, TrialPartial};
 
 /// One cached result and the snapshot it is valid for.
 #[derive(Debug)]
@@ -91,6 +99,129 @@ impl ResultCache {
     }
 }
 
+/// One cached per-shard partial and the per-shard snapshot it is valid
+/// for.
+#[derive(Debug)]
+struct PartialEntry {
+    /// The owning shard's generation stamp when the partial was scanned.
+    generation: u64,
+    /// The union's committed segment prefix the producing plan saw.  The
+    /// prefix is part of the key contract: when a lagging shard catches
+    /// up and the prefix grows, *every* shard's partial covers too few
+    /// segments, even shards whose own stamp did not move.
+    num_segments: usize,
+    partial: TrialPartial,
+    last_used: u64,
+}
+
+/// A bounded per-shard partial-aggregate cache keyed on
+/// `(Query, shard index)`, validated against
+/// `(that shard's generation, union segment prefix)`.
+///
+/// This is what turns a single-shard refresh from "invalidate every
+/// cached answer" into "rescan one trial window": the server re-combines
+/// the surviving partials with the freshly scanned one through the exact
+/// adjacent-window monoid, bit-identical to a full rescan.
+#[derive(Debug, Default)]
+pub(crate) struct PartialCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<(Query, usize), PartialEntry>,
+}
+
+impl PartialCache {
+    /// A cache holding at most `capacity` per-shard partials (0 disables
+    /// partial caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up the partial of `query` on `shard` under the shard's
+    /// current `generation` and the union's current segment prefix.  A
+    /// stale entry is evicted on sight.
+    pub fn get(
+        &mut self,
+        query: &Query,
+        shard: usize,
+        generation: u64,
+        num_segments: usize,
+    ) -> Option<TrialPartial> {
+        self.tick += 1;
+        // The tuple key forces one Query clone per probe; queries are
+        // cheap to clone (Arc-free but small vectors) and probes are
+        // per-miss-per-shard, so this stays off the result-cache-hit
+        // fast path.
+        let key = (query.clone(), shard);
+        match self.entries.get_mut(&key) {
+            Some(entry) if entry.generation == generation && entry.num_segments == num_segments => {
+                entry.last_used = self.tick;
+                Some(entry.partial.clone())
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Caches one shard's partial, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(
+        &mut self,
+        query: &Query,
+        shard: usize,
+        generation: u64,
+        num_segments: usize,
+        partial: TrialPartial,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let key = (query.clone(), shard);
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(coldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            {
+                self.entries.remove(&coldest);
+            }
+        }
+        self.entries.insert(
+            key,
+            PartialEntry {
+                generation,
+                num_segments,
+                partial,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops every shard's entry for `query` across `shards` shards —
+    /// the self-heal path after a failed stitch: entries that cannot
+    /// combine disagree with each other, so none of them can be trusted
+    /// and the next execution must rescan from scratch.
+    pub fn purge(&mut self, query: &Query, shards: usize) {
+        for shard in 0..shards {
+            self.entries.remove(&(query.clone(), shard));
+        }
+    }
+
+    /// Live entries (diagnostics).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +277,56 @@ mod tests {
         cache.insert(query(1), &[0], result(1));
         assert!(cache.get(&query(1), &[0]).is_none());
         assert_eq!(cache.len(), 0);
+    }
+
+    fn partial(window: (usize, usize)) -> TrialPartial {
+        TrialPartial {
+            keys: vec![vec![]],
+            segment_counts: vec![1],
+            window,
+            aggregate: catrisk_riskquery::PartialAggregate::identity(1, window.1 - window.0),
+        }
+    }
+
+    #[test]
+    fn partials_hit_per_shard_generation_only() {
+        let mut cache = PartialCache::new(8);
+        cache.insert(&query(1), 0, 7, 3, partial((0, 2)));
+        cache.insert(&query(1), 1, 9, 3, partial((2, 5)));
+        // Shard 1's generation moves: only shard 1's entry goes stale.
+        assert_eq!(
+            cache.get(&query(1), 0, 7, 3),
+            Some(partial((0, 2))),
+            "untouched shard must keep hitting"
+        );
+        assert!(cache.get(&query(1), 1, 10, 3).is_none());
+        assert_eq!(cache.len(), 1, "stale entries are evicted on sight");
+    }
+
+    #[test]
+    fn partials_go_stale_when_the_segment_prefix_grows() {
+        let mut cache = PartialCache::new(8);
+        cache.insert(&query(1), 0, 7, 3, partial((0, 2)));
+        // A lagging shard caught up: the union now serves 4 segments, so
+        // every 3-segment partial is too narrow even at the same stamp.
+        assert!(cache.get(&query(1), 0, 7, 4).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn partial_capacity_evicts_least_recently_used() {
+        let mut cache = PartialCache::new(2);
+        cache.insert(&query(1), 0, 1, 1, partial((0, 2)));
+        cache.insert(&query(2), 0, 1, 1, partial((0, 2)));
+        assert!(cache.get(&query(1), 0, 1, 1).is_some());
+        cache.insert(&query(3), 0, 1, 1, partial((0, 2)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&query(1), 0, 1, 1).is_some());
+        assert!(cache.get(&query(2), 0, 1, 1).is_none(), "LRU evicted");
+        assert!(cache.get(&query(3), 0, 1, 1).is_some());
+
+        let mut off = PartialCache::new(0);
+        off.insert(&query(1), 0, 1, 1, partial((0, 2)));
+        assert!(off.get(&query(1), 0, 1, 1).is_none());
     }
 }

@@ -1,17 +1,32 @@
 //! The sharded store catalog: many persistent YLT stores served as one
-//! refreshable logical store.
+//! refreshable logical store, along either sharding axis.
 //!
 //! A [`StoreCatalog`] owns one verifying
 //! [`StoreReader`] per shard file, each
 //! behind its own `RwLock` so any number of batch scans share a shard
-//! concurrently while a refresh swaps new commits in between scans.  Per
-//! batch, [`SourceProvider::with_source`] takes all shard read locks (in
-//! shard order, one lock level — no deadlock), builds the zero-copy
-//! [`ShardedSource`] union (memoizing the merged schema against the
+//! concurrently while a refresh swaps new commits in between scans.  At
+//! open the catalog detects which **axis** the shards partition (see
+//! [`ShardAxis`]) from the stores' persisted trial offsets:
+//!
+//! * all offsets zero — a **segment**-axis catalog: shards hold disjoint
+//!   segment sets over one shared trial count, unioned per batch by
+//!   [`ShardedSource`];
+//! * distinct offsets — a **trial**-axis catalog, the source paper's own
+//!   partition dimension: shards hold the *same* segments over adjacent
+//!   trial windows `[0, t_1) [t_1, t_2) …` (sorted by offset, validated
+//!   gap-free), stitched per batch by
+//!   [`TrialShardedSource`] — and the snapshot
+//!   additionally carries the per-shard windows so the server can cache
+//!   per-shard *partial aggregates* and rescan only the shard whose
+//!   generation moved.
+//!
+//! Per batch, [`SourceProvider::with_source`] takes all shard read locks
+//! (in shard order, one lock level — no deadlock), builds the zero-copy
+//! union (memoizing a segment-axis catalog's merged schema against the
 //! generation vector, so cache-hit batches skip the dictionary merge),
-//! and hands the scheduler a snapshot whose generation vector is taken
-//! *under those same locks* — so the stamps and the data can never
-//! disagree.  A stamp is the shard's commit counter tagged with a
+//! and hands the scheduler a [`SourceSnapshot`] whose generation vector
+//! is taken *under those same locks* — so the stamps and the data can
+//! never disagree.  A stamp is the shard's commit counter tagged with a
 //! replacement epoch: an *observed* replacement (one whose commit
 //! counter or segment count differs at probe time — stores are
 //! append-only by contract, so replacement handling is best-effort
@@ -20,7 +35,9 @@
 //! produced, even if the new store's counter later reaches the old
 //! value, so the result cache can never serve across an observed
 //! replacement; a replacement that changes the trial count excludes the
-//! shard from scans (the rest keep serving) instead of failing batches.
+//! shard from scans (on the segment axis the rest keep serving; on the
+//! trial axis the windows are no longer gap-free, so the catalog serves
+//! the empty shape) instead of failing batches.
 //!
 //! [`StoreCatalog::refresh`] is the serve-while-ingesting path: for each
 //! shard it probes the file's committed generation and footer
@@ -31,15 +48,17 @@
 //! protocol).  A shard whose file is temporarily unreadable keeps serving
 //! its current snapshot; the failure is counted, not propagated.
 
-use std::path::{Path, PathBuf};
+use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
-use catrisk_riskquery::{MergedSchema, ResultStore, SegmentSource, ShardedSource};
+use catrisk_riskquery::{
+    MergedSchema, ResultStore, SegmentSource, ShardedSource, TrialShardedSource,
+};
 use catrisk_riskstore::{StoreError, StoreReader};
 
-use crate::source::SourceProvider;
+use crate::source::{SourceProvider, SourceSnapshot};
 use crate::sync::{lock, read_lock, write_lock};
 
 /// Low 48 bits of a generation stamp hold the shard's commit counter;
@@ -56,10 +75,69 @@ fn stamp(epoch: u64, commit_seq: u64) -> u64 {
     (epoch << SEQ_BITS) | (commit_seq & SEQ_MASK)
 }
 
+/// Which dimension a catalog's shards partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAxis {
+    /// Shards hold disjoint segment sets over one shared trial axis
+    /// (every store's trial offset is zero); the union concatenates
+    /// their segment lists.
+    Segment,
+    /// Shards hold the same segments over adjacent trial windows (the
+    /// stores carry distinct trial offsets); the union stitches the
+    /// windows back into one trial axis — the paper's partition axis.
+    Trial,
+}
+
+impl std::fmt::Display for ShardAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardAxis::Segment => "segment",
+            ShardAxis::Trial => "trial",
+        })
+    }
+}
+
+/// A stable identity for duplicate-shard detection.  Canonicalisation
+/// resolves symlinks and relative respellings; when it fails (the path
+/// must still open as a store later, so this is rare), fall back to a
+/// *lexically* normalised absolute path so `./a.clm` and `a.clm` still
+/// collide instead of silently double-counting a shard.
+fn path_identity(path: &Path) -> PathBuf {
+    if let Ok(canonical) = std::fs::canonicalize(path) {
+        return canonical;
+    }
+    let absolute = if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::env::current_dir()
+            .map(|cwd| cwd.join(path))
+            .unwrap_or_else(|_| path.to_path_buf())
+    };
+    let mut normalised = PathBuf::new();
+    for component in absolute.components() {
+        match component {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                if !normalised.pop() {
+                    normalised.push(component.as_os_str());
+                }
+            }
+            other => normalised.push(other.as_os_str()),
+        }
+    }
+    normalised
+}
+
 /// One shard: a store file, its live reader, and its visible generation.
 struct CatalogShard {
     path: PathBuf,
     reader: RwLock<StoreReader>,
+    /// Trials this shard held at open — its fixed contribution to the
+    /// union (the segment axis shares one value; the trial axis sums
+    /// them).  A refresh observing a different count excludes the shard.
+    num_trials: usize,
+    /// The shard's persisted trial offset at open.
+    trial_offset: u64,
     /// The shard's current generation stamp (see [`SEQ_BITS`]), readable
     /// without the lock (kept in sync by `refresh`); the cheap "is a
     /// refresh worth a write lock?" comparand.
@@ -79,12 +157,25 @@ struct CatalogShard {
 
 /// N persistent stores served as one logical, refreshable store.
 pub struct StoreCatalog {
+    /// Shards in serving order: open order for the segment axis, window
+    /// order (ascending trial offset) for the trial axis.
     shards: Vec<CatalogShard>,
+    /// Trials every scan sees: the shared per-shard count on the segment
+    /// axis, the window total on the trial axis.
     num_trials: usize,
+    axis: ShardAxis,
+    /// The global trial window of each shard, in shard order — only
+    /// meaningful (non-empty) on the trial axis.
+    windows: Vec<(usize, usize)>,
     /// The merged union schema memoized against the generation vector it
     /// was built under, so cache-hit batches skip the O(total segments)
-    /// dictionary merge.
+    /// dictionary merge (segment axis only).
     schema_cache: Mutex<Option<(Vec<u64>, Arc<MergedSchema>)>>,
+    /// The generation vector under which the trial-axis layout
+    /// (per-segment meta equality across windows) last validated, so
+    /// unchanged batches skip the O(segments × shards) re-validation
+    /// (trial axis only) — the trial-axis analogue of `schema_cache`.
+    trial_layout_cache: Mutex<Option<Vec<u64>>>,
     /// Epoch for the probe throttle clock.
     opened: Instant,
     /// Minimum µs between on-disk generation probes (0 = probe on every
@@ -100,6 +191,7 @@ pub struct StoreCatalog {
 impl std::fmt::Debug for StoreCatalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreCatalog")
+            .field("axis", &self.axis)
             .field("shards", &self.shards.len())
             .field("trials", &self.num_trials)
             .field("segments", &SourceProvider::num_segments(self))
@@ -108,60 +200,102 @@ impl std::fmt::Debug for StoreCatalog {
 }
 
 impl StoreCatalog {
-    /// Opens every shard file and validates that the shards agree on the
-    /// trial count (segments of different trial counts cannot share one
-    /// scan).  Shards with no committed segments are accepted — that is
-    /// exactly the serve-while-ingesting starting state; their segments
-    /// appear at the first refresh after their first commit.
+    /// Opens every shard file, detects the sharding axis from the
+    /// stores' persisted trial offsets, and validates the shards fit
+    /// together on it: a segment-axis catalog (all offsets zero) needs
+    /// one shared trial count; a trial-axis catalog (distinct offsets)
+    /// needs its windows — sorted by offset — to tile `[0, total)` with
+    /// no gap or overlap.  Shards with no committed segments are
+    /// accepted — that is exactly the serve-while-ingesting starting
+    /// state; their segments appear at the first refresh after their
+    /// first commit.
     pub fn open(
         paths: impl IntoIterator<Item = impl AsRef<Path>>,
     ) -> std::result::Result<StoreCatalog, StoreError> {
         let mut shards = Vec::new();
-        let mut num_trials = None;
         let mut identities = std::collections::HashSet::new();
         for path in paths {
             let path = path.as_ref().to_path_buf();
             // A duplicated shard would silently double-count every one of
-            // its segments in the union; reject it (resolving symlinks so
-            // `--in x.clm --store ./x.clm` is caught too).
-            let identity = std::fs::canonicalize(&path).unwrap_or_else(|_| path.clone());
-            if !identities.insert(identity) {
+            // its segments (or serve one trial window twice); reject it
+            // (resolving symlinks — and lexically normalising when
+            // canonicalisation fails — so `--store x.clm --store ./x.clm`
+            // is caught too).
+            if !identities.insert(path_identity(&path)) {
                 return Err(StoreError::InvalidArgument(format!(
                     "shard `{}` is listed more than once",
                     path.display()
                 )));
             }
             let reader = StoreReader::open(&path)?;
-            match num_trials {
-                None => num_trials = Some(reader.num_trials()),
-                Some(trials) if trials != reader.num_trials() => {
-                    return Err(StoreError::InvalidArgument(format!(
-                        "shard `{}` holds {}-trial segments but the catalog's first shard \
-                         holds {trials}-trial segments",
-                        path.display(),
-                        reader.num_trials()
-                    )));
-                }
-                Some(_) => {}
-            }
             shards.push(CatalogShard {
-                path,
+                num_trials: reader.num_trials(),
+                trial_offset: reader.trial_offset(),
                 generation: AtomicU64::new(stamp(0, reader.commit_seq())),
                 epoch: AtomicU64::new(0),
                 seen_footer_offset: AtomicU64::new(u64::MAX),
                 seen_footer_len: AtomicU64::new(u64::MAX),
                 reader: RwLock::new(reader),
+                path,
             });
         }
-        let Some(num_trials) = num_trials else {
+        if shards.is_empty() {
             return Err(StoreError::InvalidArgument(
                 "a catalog needs at least one store".to_string(),
             ));
+        }
+
+        let axis = if shards.iter().all(|shard| shard.trial_offset == 0) {
+            ShardAxis::Segment
+        } else {
+            ShardAxis::Trial
         };
+        let mut windows = Vec::new();
+        let num_trials = match axis {
+            ShardAxis::Segment => {
+                let trials = shards[0].num_trials;
+                for shard in &shards[1..] {
+                    if shard.num_trials != trials {
+                        return Err(StoreError::InvalidArgument(format!(
+                            "shard `{}` holds {}-trial segments but the catalog's first shard \
+                             holds {trials}-trial segments",
+                            shard.path.display(),
+                            shard.num_trials
+                        )));
+                    }
+                }
+                trials
+            }
+            ShardAxis::Trial => {
+                // Window order is offset order, whatever order the shards
+                // were listed in.
+                shards.sort_by_key(|shard| shard.trial_offset);
+                let mut at = 0usize;
+                for shard in &shards {
+                    if shard.trial_offset != at as u64 {
+                        return Err(StoreError::InvalidArgument(format!(
+                            "trial shard `{}` covers trials {}..{} but the preceding shards \
+                             end at trial {at}; trial windows must tile [0, total) with no \
+                             gap or overlap",
+                            shard.path.display(),
+                            shard.trial_offset,
+                            shard.trial_offset + shard.num_trials as u64,
+                        )));
+                    }
+                    windows.push((at, at + shard.num_trials));
+                    at += shard.num_trials;
+                }
+                at
+            }
+        };
+
         Ok(StoreCatalog {
             shards,
             num_trials,
+            axis,
+            windows,
             schema_cache: Mutex::new(None),
+            trial_layout_cache: Mutex::new(None),
             opened: Instant::now(),
             probe_interval_micros: AtomicU64::new(0),
             last_probe_micros: AtomicU64::new(u64::MAX),
@@ -175,7 +309,18 @@ impl StoreCatalog {
         self.shards.len()
     }
 
-    /// The shard files in shard order.
+    /// The axis this catalog's shards partition.
+    pub fn axis(&self) -> ShardAxis {
+        self.axis
+    }
+
+    /// The global trial window of each shard, in shard order — empty for
+    /// a segment-axis catalog (whose shards all share the full axis).
+    pub fn shard_windows(&self) -> &[(usize, usize)] {
+        &self.windows
+    }
+
+    /// The shard files in shard order (window order on the trial axis).
     pub fn shard_paths(&self) -> Vec<&Path> {
         self.shards.iter().map(|s| s.path.as_path()).collect()
     }
@@ -233,10 +378,18 @@ impl StoreCatalog {
     pub fn describe(&self) -> String {
         self.shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(index, shard)| {
                 let reader = read_lock(&shard.reader);
+                let window = match self.axis {
+                    ShardAxis::Segment => String::new(),
+                    ShardAxis::Trial => {
+                        let (start, end) = self.windows[index];
+                        format!(" covering trials {start}..{end}")
+                    }
+                };
                 format!(
-                    "{}: {} segments x {} trials ({:.1} MB resident), commit {}",
+                    "{}: {} segments x {} trials{window} ({:.1} MB resident), commit {}",
                     shard.path.display(),
                     reader.num_segments(),
                     reader.num_trials(),
@@ -247,6 +400,17 @@ impl StoreCatalog {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Runs `f` over the degraded empty-store shape: queries still
+    /// answer (with no rows) instead of hanging or panicking a worker.
+    fn with_empty<R>(&self, generations: &[u64], f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R {
+        let empty = ResultStore::new(self.num_trials);
+        f(SourceSnapshot {
+            source: &empty,
+            generations,
+            trial_windows: None,
+        })
+    }
 }
 
 impl SourceProvider for StoreCatalog {
@@ -255,7 +419,11 @@ impl SourceProvider for StoreCatalog {
     }
 
     fn num_segments(&self) -> usize {
-        self.shard_segments().iter().sum()
+        match self.axis {
+            ShardAxis::Segment => self.shard_segments().iter().sum(),
+            // The served set is the common committed prefix.
+            ShardAxis::Trial => self.shard_segments().into_iter().min().unwrap_or(0),
+        }
     }
 
     /// Probes every shard's committed generation (a 128-byte header
@@ -307,7 +475,11 @@ impl SourceProvider for StoreCatalog {
                     let new_seq = reader.commit_seq() & SEQ_MASK;
                     let mut epoch = shard.epoch.load(Ordering::Acquire);
                     let replaced = new_seq <= seen_seq;
-                    let mismatched = reader.num_trials() != self.num_trials;
+                    // The shard's geometry (trial count, and on the trial
+                    // axis its window offset) is fixed at open; only a
+                    // file replacement can change it.
+                    let mismatched = reader.num_trials() != shard.num_trials
+                        || reader.trial_offset() != shard.trial_offset;
                     if replaced || mismatched {
                         // The file was replaced (the reader took its
                         // full-reload fallback): retire every stamp the
@@ -316,8 +488,8 @@ impl SourceProvider for StoreCatalog {
                         shard.epoch.store(epoch, Ordering::Release);
                     }
                     if mismatched {
-                        // A replacement changed the trial count: the
-                        // shard cannot join the catalog's scans any more
+                        // A replacement changed the shard's geometry: it
+                        // cannot join the catalog's scans any more
                         // (with_source excludes it) — surface that.
                         self.refresh_errors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -337,7 +509,7 @@ impl SourceProvider for StoreCatalog {
         advanced
     }
 
-    fn with_source<R>(&self, f: impl FnOnce(&dyn SegmentSource, &[u64]) -> R) -> R {
+    fn with_source<R>(&self, f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R {
         // All read locks taken in shard order and held for the whole
         // batch; refresh takes write locks one shard at a time, so there
         // is no ordering cycle.
@@ -354,6 +526,49 @@ impl SourceProvider for StoreCatalog {
             .zip(&guards)
             .map(|(shard, guard)| stamp(shard.epoch.load(Ordering::Acquire), guard.commit_seq()))
             .collect();
+
+        if self.axis == ShardAxis::Trial {
+            // Every window must still be covered by the store registered
+            // for it; a geometry-changing replacement leaves a hole in
+            // the trial axis, and a partial axis cannot answer exactly.
+            let intact = self.shards.iter().zip(&guards).all(|(shard, guard)| {
+                guard.num_trials() == shard.num_trials && guard.trial_offset() == shard.trial_offset
+            });
+            let refs: Vec<&dyn SegmentSource> = guards
+                .iter()
+                .map(|guard| &**guard as &dyn SegmentSource)
+                .collect();
+            // Re-validating the cross-window segment layout is
+            // O(segments × shards); skip it when nothing changed since
+            // the last validated snapshot (any visible change moves a
+            // generation stamp, which re-validates).
+            let validated = lock(&self.trial_layout_cache)
+                .as_ref()
+                .is_some_and(|cached| cached == &generations);
+            let stitched = intact.then(|| {
+                if validated {
+                    TrialShardedSource::with_validated_layout(refs)
+                } else {
+                    TrialShardedSource::new(refs)
+                }
+            });
+            return match stitched {
+                // Shards that stopped describing the same segments (a
+                // mid-ingest layout divergence) cannot stitch either.
+                Some(Ok(stitched)) => {
+                    if !validated {
+                        *lock(&self.trial_layout_cache) = Some(generations.clone());
+                    }
+                    f(SourceSnapshot {
+                        source: &stitched,
+                        generations: &generations,
+                        trial_windows: Some(&self.windows),
+                    })
+                }
+                _ => self.with_empty(&generations, f),
+            };
+        }
+
         // A shard whose file was replaced with a different trial count
         // cannot join the scan; exclude it (keep serving the rest)
         // rather than panicking a worker and stranding the batch.
@@ -366,10 +581,13 @@ impl SourceProvider for StoreCatalog {
             [] => {
                 // Every shard diverged: serve the empty store shape so
                 // queries still answer (with no rows) instead of hanging.
-                let empty = ResultStore::new(self.num_trials);
-                f(&empty, &generations)
+                self.with_empty(&generations, f)
             }
-            [only] => f(*only, &generations),
+            [only] => f(SourceSnapshot {
+                source: *only,
+                generations: &generations,
+                trial_windows: None,
+            }),
             _ => {
                 // Re-attach the memoized merged schema when nothing
                 // changed since it was built; otherwise rebuild and
@@ -387,7 +605,11 @@ impl SourceProvider for StoreCatalog {
                             Some((generations.clone(), Arc::clone(built.schema())));
                         built
                     });
-                f(&sharded, &generations)
+                f(SourceSnapshot {
+                    source: &sharded,
+                    generations: &generations,
+                    trial_windows: None,
+                })
             }
         }
     }
@@ -399,7 +621,7 @@ mod tests {
     use catrisk_eventgen::peril::{Peril, Region};
     use catrisk_finterms::layer::LayerId;
     use catrisk_riskquery::prelude::*;
-    use catrisk_riskstore::StoreWriter;
+    use catrisk_riskstore::{StoreOptions, StoreWriter};
     use std::path::PathBuf;
 
     fn temp_path(name: &str) -> PathBuf {
@@ -436,6 +658,71 @@ mod tests {
         writer.finish().unwrap();
     }
 
+    /// Splits the trial axis of a synthetic 3-layer portfolio into
+    /// window shard files at `cuts`, returning the windowed paths plus
+    /// an in-memory store holding the full axis.
+    fn write_trial_shards(
+        name: &str,
+        trials: usize,
+        cuts: &[usize],
+    ) -> (Vec<PathBuf>, ResultStore) {
+        let layers = 3u32;
+        let column = |layer: u32| -> Vec<f64> {
+            (0..trials)
+                .map(|t| ((layer as usize * 7 + t * 3) % 11) as f64)
+                .collect()
+        };
+        let mut whole = ResultStore::new(trials);
+        for layer in 0..layers {
+            let losses = column(layer);
+            let outcomes = losses
+                .iter()
+                .map(|&l| catrisk_engine::ylt::TrialOutcome {
+                    year_loss: l,
+                    max_occurrence_loss: l * 0.5,
+                    nonzero_events: 0,
+                })
+                .collect();
+            whole
+                .ingest(
+                    &catrisk_engine::ylt::YearLossTable::new(LayerId(layer), outcomes),
+                    meta(layer, Peril::ALL[layer as usize % Peril::ALL.len()]),
+                )
+                .unwrap();
+        }
+        let mut bounds = vec![0usize];
+        bounds.extend_from_slice(cuts);
+        bounds.push(trials);
+        let mut paths = Vec::new();
+        for (index, window) in bounds.windows(2).enumerate() {
+            let (start, end) = (window[0], window[1]);
+            let path = temp_path(&format!("{name}-w{index}"));
+            let mut writer = StoreWriter::create_with(
+                &path,
+                end - start,
+                StoreOptions {
+                    trial_offset: start as u64,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            for layer in 0..layers {
+                let losses = column(layer);
+                let occ: Vec<f64> = losses[start..end].iter().map(|&l| l * 0.5).collect();
+                writer
+                    .append_segment(
+                        meta(layer, Peril::ALL[layer as usize % Peril::ALL.len()]),
+                        &losses[start..end],
+                        &occ,
+                    )
+                    .unwrap();
+            }
+            writer.finish().unwrap();
+            paths.push(path);
+        }
+        (paths, whole)
+    }
+
     #[test]
     fn catalog_unions_shards_and_refreshes_live() {
         let a = temp_path("union-a");
@@ -445,6 +732,8 @@ mod tests {
 
         let catalog = StoreCatalog::open([&a, &b]).unwrap();
         assert_eq!(catalog.num_shards(), 2);
+        assert_eq!(catalog.axis(), ShardAxis::Segment);
+        assert!(catalog.shard_windows().is_empty());
         assert_eq!(SourceProvider::num_trials(&catalog), 8);
         assert_eq!(SourceProvider::num_segments(&catalog), 5);
         assert_eq!(catalog.shard_segments(), vec![3, 2]);
@@ -457,9 +746,10 @@ mod tests {
             .aggregate(Aggregate::Mean)
             .build()
             .unwrap();
-        let before = catalog.with_source(|source, generations| {
-            assert_eq!(generations.len(), 2);
-            execute(source, &query).unwrap()
+        let before = catalog.with_source(|snapshot| {
+            assert_eq!(snapshot.generations.len(), 2);
+            assert!(snapshot.trial_windows.is_none());
+            execute(snapshot.source, &query).unwrap()
         });
 
         // Nothing committed since open: refresh is a no-op.
@@ -479,18 +769,215 @@ mod tests {
         assert_eq!(catalog.refresh_count(), 1);
         assert_eq!(SourceProvider::num_segments(&catalog), 6);
         let generations = catalog.generations();
-        let after = catalog.with_source(|source, gens| {
-            assert_eq!(gens, generations.as_slice());
-            execute(source, &query).unwrap()
+        let after = catalog.with_source(|snapshot| {
+            assert_eq!(snapshot.generations, generations.as_slice());
+            execute(snapshot.source, &query).unwrap()
         });
         assert_ne!(before, after, "the new segment must be visible");
 
         // The refreshed union matches a cold-open union bit for bit.
         let cold = StoreCatalog::open([&a, &b]).unwrap();
-        assert_eq!(cold.with_source(|s, _| execute(s, &query).unwrap()), after);
+        assert_eq!(
+            cold.with_source(|s| execute(s.source, &query).unwrap()),
+            after
+        );
 
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn trial_axis_catalog_stitches_windows_bit_identically() {
+        let trials = 24;
+        let (paths, whole) = write_trial_shards("trial-union", trials, &[9, 16]);
+
+        // Shards listed out of window order: the catalog sorts by the
+        // persisted trial offset.
+        let catalog = StoreCatalog::open([&paths[2], &paths[0], &paths[1]]).unwrap();
+        assert_eq!(catalog.axis(), ShardAxis::Trial);
+        assert_eq!(catalog.shard_windows(), &[(0, 9), (9, 16), (16, 24)]);
+        assert_eq!(SourceProvider::num_trials(&catalog), trials);
+        assert_eq!(SourceProvider::num_segments(&catalog), 3);
+        assert!(catalog.describe().contains("covering trials 9..16"));
+
+        let queries = [
+            QueryBuilder::new()
+                .group_by(Dimension::Peril)
+                .aggregate(Aggregate::Mean)
+                .aggregate(Aggregate::Tvar { level: 0.9 })
+                .build()
+                .unwrap(),
+            QueryBuilder::new()
+                .trials(5..20)
+                .loss_at_least(3.0)
+                .aggregate(Aggregate::Mean)
+                .aggregate(Aggregate::MaxLoss)
+                .build()
+                .unwrap(),
+        ];
+        for query in &queries {
+            let stitched = catalog.with_source(|snapshot| {
+                assert_eq!(
+                    snapshot.trial_windows,
+                    Some(&[(0, 9), (9, 16), (16, 24)][..])
+                );
+                execute(snapshot.source, query).unwrap()
+            });
+            assert_eq!(
+                stitched,
+                execute(&whole, query).unwrap(),
+                "the stitched trial axis must be bit-identical to the whole store"
+            );
+        }
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn trial_axis_prefix_clamps_until_every_shard_commits() {
+        let trials = 12;
+        let (paths, _) = write_trial_shards("trial-clamp", trials, &[5]);
+        let catalog = StoreCatalog::open([&paths[0], &paths[1]]).unwrap();
+        assert_eq!(SourceProvider::num_segments(&catalog), 3);
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let rows_before = catalog.with_source(|s| execute(s.source, &query).unwrap().rows.len());
+
+        // One window's writer commits layer 9 before its peer: the union
+        // must keep serving the 3-segment prefix.
+        let mut writer = StoreWriter::open_append(&paths[0]).unwrap();
+        writer
+            .append_segment(meta(9, Peril::WinterStorm), &[7.0; 5], &[7.0; 5])
+            .unwrap();
+        writer.commit().unwrap();
+        drop(writer);
+        assert_eq!(SourceProvider::refresh(&catalog), vec![0]);
+        assert_eq!(SourceProvider::num_segments(&catalog), 3);
+        assert_eq!(
+            catalog.with_source(|s| execute(s.source, &query).unwrap().rows.len()),
+            rows_before,
+            "a layer committed to only one window must stay invisible"
+        );
+
+        // The peer catches up: the stitched layer appears.
+        let mut writer = StoreWriter::open_append(&paths[1]).unwrap();
+        writer
+            .append_segment(meta(9, Peril::WinterStorm), &[3.0; 7], &[3.0; 7])
+            .unwrap();
+        writer.commit().unwrap();
+        drop(writer);
+        assert_eq!(SourceProvider::refresh(&catalog), vec![1]);
+        assert_eq!(SourceProvider::num_segments(&catalog), 4);
+        assert_eq!(
+            catalog.with_source(|s| execute(s.source, &query).unwrap().rows.len()),
+            rows_before + 1
+        );
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn server_over_trial_catalog_rescans_only_the_refreshed_shard() {
+        use crate::server::{Server, ServerConfig};
+        let trials = 18;
+        let (paths, whole) = write_trial_shards("trial-partials", trials, &[7, 12]);
+        let catalog = StoreCatalog::open([&paths[0], &paths[1], &paths[2]]).unwrap();
+        let server = Server::new(catalog, ServerConfig::default());
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.9 })
+            .build()
+            .unwrap();
+
+        // Cold: every window rescans, and the stitch matches the
+        // unsharded store bit for bit.
+        let first = server.query(query.clone()).unwrap().result;
+        assert_eq!(first, execute(&whole, &query).unwrap());
+        let stats = server.stats();
+        assert_eq!(stats.partial_misses, 3, "{stats:?}");
+        assert_eq!(stats.partial_hits, 0, "{stats:?}");
+
+        // Warm repeat: the whole-result cache answers; partials untouched.
+        assert_eq!(server.query(query.clone()).unwrap().result, first);
+        let stats = server.stats();
+        assert_eq!(stats.partial_misses, 3, "{stats:?}");
+        assert!(stats.cache_hits >= 1, "{stats:?}");
+
+        // One window's writer commits a layer its peers don't have yet:
+        // the result cache must miss (that shard's stamp moved), but the
+        // partial cache re-serves the two untouched windows — only the
+        // committed window rescans, and the result is unchanged because
+        // the common prefix is.
+        let mut writer = StoreWriter::open_append(&paths[1]).unwrap();
+        writer
+            .append_segment(meta(9, Peril::WinterStorm), &[7.0; 5], &[7.0; 5])
+            .unwrap();
+        writer.commit().unwrap();
+        drop(writer);
+        assert_eq!(server.query(query.clone()).unwrap().result, first);
+        let stats = server.stats();
+        assert_eq!(
+            stats.partial_hits, 2,
+            "the untouched windows must re-serve their cached partials: {stats:?}"
+        );
+        assert_eq!(
+            stats.partial_misses, 4,
+            "exactly the refreshed window rescans: {stats:?}"
+        );
+        assert!(stats.refreshes >= 1, "{stats:?}");
+
+        // The peers catch up: the segment prefix grows, so every cached
+        // partial is (correctly) too narrow and the whole axis rescans.
+        for path in [&paths[0], &paths[2]] {
+            let mut writer = StoreWriter::open_append(path).unwrap();
+            let trials = writer.num_trials();
+            writer
+                .append_segment(
+                    meta(9, Peril::WinterStorm),
+                    &vec![7.0; trials],
+                    &vec![7.0; trials],
+                )
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        let grown = server.query(query.clone()).unwrap().result;
+        assert_ne!(grown, first, "the stitched new layer must be visible");
+        let stats = server.stats();
+        assert_eq!(stats.partial_misses, 7, "{stats:?}");
+
+        server.shutdown();
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn trial_axis_rejects_gaps_overlaps_and_missing_zero() {
+        let trials = 12;
+        let (paths, _) = write_trial_shards("trial-gaps", trials, &[5]);
+        // Only the second window: the axis does not start at 0.
+        assert!(matches!(
+            StoreCatalog::open([&paths[1]]),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        // Overlap: window 1 served twice under different names — the
+        // second copy's offset lands where trial 12 should start.
+        let copy = temp_path("trial-gaps-copy");
+        std::fs::copy(&paths[1], &copy).unwrap();
+        assert!(matches!(
+            StoreCatalog::open([&paths[0], &paths[1], &copy]),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        let _ = std::fs::remove_file(&copy);
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]
@@ -533,6 +1020,36 @@ mod tests {
             Err(StoreError::InvalidArgument(_))
         ));
         let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn path_identity_normalises_lexically_when_canonicalize_fails() {
+        // Nonexistent paths cannot canonicalise; the lexical fallback
+        // must still unify `.` hops and relative respellings.
+        let missing = temp_path("never-written");
+        let respelled = {
+            let mut p = missing.clone();
+            let name = p.file_name().unwrap().to_owned();
+            p.pop();
+            p.push(".");
+            p.push(".");
+            p.push(name);
+            p
+        };
+        assert_eq!(path_identity(&missing), path_identity(&respelled));
+        // `..` hops resolve lexically too.
+        let dotted = {
+            let mut p = missing.clone();
+            let name = p.file_name().unwrap().to_owned();
+            p.pop();
+            p.push("sub");
+            p.push("..");
+            p.push(name);
+            p
+        };
+        assert_eq!(path_identity(&missing), path_identity(&dotted));
+        // Relative paths resolve against the current directory.
+        assert!(path_identity(Path::new("x.clm")).is_absolute());
     }
 
     #[test]
@@ -643,8 +1160,8 @@ mod tests {
             "a replaced store reaching the old commit counter must not \
              reproduce the old generation stamp"
         );
-        catalog.with_source(|_, generations| {
-            assert_eq!(generations, replaced.as_slice());
+        catalog.with_source(|snapshot| {
+            assert_eq!(snapshot.generations, replaced.as_slice());
         });
         let _ = std::fs::remove_file(&a);
     }
@@ -663,7 +1180,7 @@ mod tests {
             .unwrap();
         let only_a = {
             let solo = StoreCatalog::open([&a]).unwrap();
-            solo.with_source(|s, _| execute(s, &query).unwrap())
+            solo.with_source(|s| execute(s.source, &query).unwrap())
         };
 
         // Shard B is replaced by a store with a different trial count —
@@ -682,10 +1199,60 @@ mod tests {
         assert!(catalog.refresh_error_count() >= 1);
         // The catalog keeps serving shard A; the divergent shard is
         // excluded rather than panicking the batch.
-        let served = catalog.with_source(|s, _| execute(s, &query).unwrap());
+        let served = catalog.with_source(|s| execute(s.source, &query).unwrap());
         assert_eq!(served, only_a);
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn trial_axis_geometry_replacement_degrades_to_empty() {
+        let trials = 10;
+        let (paths, _) = write_trial_shards("trial-degrade", trials, &[4]);
+        let catalog = StoreCatalog::open([&paths[0], &paths[1]]).unwrap();
+        let query = QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert!(!catalog
+            .with_source(|s| execute(s.source, &query).unwrap())
+            .rows
+            .is_empty());
+
+        // Window 1's file is replaced by a store with a different
+        // window: the trial axis now has a hole, so the catalog serves
+        // the empty shape instead of a wrong stitch.
+        std::fs::remove_file(&paths[1]).unwrap();
+        let mut writer = StoreWriter::create_with(
+            &paths[1],
+            3,
+            StoreOptions {
+                trial_offset: 99,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        writer
+            .append_segment(meta(0, Peril::Flood), &[1.0; 3], &[1.0; 3])
+            .unwrap();
+        writer.commit().unwrap();
+        writer
+            .append_segment(meta(1, Peril::Flood), &[1.0; 3], &[1.0; 3])
+            .unwrap();
+        writer.commit().unwrap();
+        drop(writer);
+        assert_eq!(SourceProvider::refresh(&catalog), vec![1]);
+        assert!(catalog.refresh_error_count() >= 1);
+        catalog.with_source(|snapshot| {
+            assert!(
+                snapshot.trial_windows.is_none(),
+                "degraded snapshots are unsharded"
+            );
+            assert!(execute(snapshot.source, &query).unwrap().rows.is_empty());
+        });
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]
@@ -701,8 +1268,8 @@ mod tests {
             .aggregate(Aggregate::Mean)
             .build()
             .unwrap();
-        catalog.with_source(|source, _| {
-            assert!(execute(source, &query).is_ok());
+        catalog.with_source(|snapshot| {
+            assert!(execute(snapshot.source, &query).is_ok());
         });
     }
 }

@@ -58,10 +58,11 @@
 //! 1. **Library**: [`Server::submit`] → [`Ticket`] → [`Reply`], from any
 //!    number of threads.
 //! 2. **TCP** ([`TcpFrontEnd`]): a line-oriented protocol on `std::net` —
-//!    one query text per line in, one JSON reply per line out; see
-//!    [`protocol`] for the grammar and schema.  No async runtime: one OS
-//!    thread per connection, which is exactly the concurrency the batch
-//!    scheduler coalesces.
+//!    one query text per line in, one JSON reply per line out; the
+//!    normative wire specification is `docs/PROTOCOL.md` at the
+//!    repository root ([`protocol`] summarises it and implements the
+//!    framing).  No async runtime: one OS thread per connection, which
+//!    is exactly the concurrency the batch scheduler coalesces.
 //! 3. **CLI**: `catrisk serve` (start a front-end over a persistent
 //!    store) and `catrisk loadgen` (drive open-loop load and print
 //!    throughput/p50/p99) in the `catrisk-cli` crate.
@@ -75,10 +76,15 @@
 //! * any `Arc<SegmentSource>` (an in-memory store, an immutable
 //!   `catrisk_riskstore::StoreReader`) serves as a single static shard;
 //! * a [`StoreCatalog`] serves **many persistent stores as one logical
-//!   store** — per batch it snapshots every shard under read locks and
-//!   presents their union through
-//!   [`ShardedSource`](catrisk_riskquery::ShardedSource), bit-identically
-//!   to one concatenated store.
+//!   store**, along either sharding axis (detected at open from the
+//!   stores' persisted trial offsets, see [`ShardAxis`]) — per batch it
+//!   snapshots every
+//!   shard under read locks and presents a **segment**-axis catalog's
+//!   union through [`ShardedSource`](catrisk_riskquery::ShardedSource)
+//!   and a **trial**-axis catalog (the paper's partition dimension:
+//!   shards own disjoint trial windows of the same segments) through
+//!   [`TrialShardedSource`](catrisk_riskquery::TrialShardedSource),
+//!   bit-identically to one store holding everything.
 //!
 //! Before each batch the scheduler calls
 //! [`SourceProvider::refresh`]: a catalog probes each shard's committed
@@ -91,6 +97,18 @@
 //! entries go stale precisely when its refresh observes a new commit —
 //! cached replies are bit-identical to a fresh scan of the current
 //! snapshot, never a stale approximation.
+//!
+//! On a trial-axis catalog the result cache is backed by a **per-shard
+//! partial-aggregate cache**: each `(query, shard)` pair caches the
+//! shard's [`TrialPartial`](catrisk_riskquery::TrialPartial), stamped
+//! with only that shard's generation (plus the union's committed segment
+//! prefix).  A refresh of one shard therefore rescans *one trial window*
+//! and re-combines the other shards' cached partials through the exact
+//! adjacent-window monoid — where the whole-result cache alone would
+//! have rescanned the entire axis for every cached query.  The
+//! [`StatsSnapshot`] `partial_hits` / `partial_misses` counters account
+//! for exactly this reuse.  See `docs/ARCHITECTURE.md` at the repository
+//! root for the full refresh / generation / invalidation protocol.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -106,11 +124,11 @@ pub mod source;
 pub mod stats;
 pub mod tcp;
 
-pub use catalog::StoreCatalog;
+pub use catalog::{ShardAxis, StoreCatalog};
 pub use loadgen::{default_mix, IngestReport, LoadReport, LoadgenOptions};
 pub use protocol::{parse_request, Request, WireError, WireReply};
 pub use server::{Reply, ServeError, Server, ServerConfig, Ticket};
-pub use source::SourceProvider;
+pub use source::{SourceProvider, SourceSnapshot};
 pub use stats::{percentile, RequestTimings, StatsSnapshot};
 pub use tcp::TcpFrontEnd;
 

@@ -9,9 +9,16 @@
 //! generator down (no coordinated omission).  With `rps = 0` every client
 //! runs closed-loop, firing as fast as replies return.
 //!
-//! With [`LoadgenOptions::refresh_writer`] set, a writer thread appends
-//! and commits segments to one shard file *while the clients run* — the
-//! serve-while-ingesting exercise.  The run then reports, alongside the
+//! With [`LoadgenOptions::refresh_writers`] set, a writer thread appends
+//! and commits segments to the listed shard files *while the clients
+//! run* — the serve-while-ingesting exercise.  One path exercises a
+//! segment-axis catalog shard; listing every shard of a **trial**-axis
+//! catalog appends the same new layer to each trial window per round
+//! (the union only serves a layer once every window holds it), which
+//! also drives the server's per-shard partial cache: between the
+//! per-shard commits, queries rescan only the committed window and reuse
+//! the other windows' cached partials.  The run then reports, alongside
+//! the
 //! usual throughput and percentiles: how many segments/commits landed,
 //! whether a probe query observed rows from segments committed after the
 //! run started (refresh visibility), the server's cache hit/miss/refresh
@@ -51,10 +58,13 @@ pub struct LoadgenOptions {
     pub connect_timeout_secs: u64,
     /// Send a `shutdown` line after the run, stopping the server.
     pub shutdown: bool,
-    /// Append+commit segments to this store file while the clients run
-    /// (empty = off).  The file must be one of the shards the server is
-    /// catalog-serving, or the commits will never become visible.
-    pub refresh_writer: String,
+    /// Append+commit segments to these store files while the clients run
+    /// (empty = off).  Each file must be one of the shards the server is
+    /// catalog-serving, or the commits will never become visible; for a
+    /// trial-axis catalog list *every* shard (each round appends the
+    /// same new layer to each window, which is when the union can serve
+    /// it).
+    pub refresh_writers: Vec<String>,
     /// Commits the ingest writer makes (one fresh segment each).
     pub refresh_commits: usize,
     /// Pause between ingest commits, in milliseconds.
@@ -71,7 +81,7 @@ impl Default for LoadgenOptions {
             queries: default_mix(),
             connect_timeout_secs: 30,
             shutdown: false,
-            refresh_writer: String::new(),
+            refresh_writers: Vec::new(),
             refresh_commits: 4,
             refresh_every_ms: 250,
         }
@@ -191,6 +201,16 @@ impl std::fmt::Display for LoadReport {
                 stats.cache_hit_rate() * 100.0,
                 stats.refreshes
             )?;
+            if stats.partial_hits + stats.partial_misses > 0 {
+                write!(
+                    f,
+                    "\nserver partial cache: {} shard-window hits / {} rescans \
+                     (hit rate {:.0}%)",
+                    stats.partial_hits,
+                    stats.partial_misses,
+                    stats.partial_hit_rate() * 100.0
+                )?;
+            }
         }
         if let Some(ingest) = &self.ingest {
             write!(
@@ -276,24 +296,31 @@ struct IngestOutcome {
     windows: Vec<(u64, u64)>,
 }
 
-/// Appends and commits fresh segments to `path` while the clients run.
-/// Stops after `commits` commits, or earlier when the clients are done
-/// and at least one commit has landed.
+/// Appends and commits fresh segments to every path in `paths` while the
+/// clients run: one new layer per round, appended and committed to each
+/// listed shard in turn (on a trial-axis catalog that is each window's
+/// slice of the same logical layer; the union serves it once the last
+/// window commits).  Stops after `commits` rounds, or earlier when the
+/// clients are done and at least one round has landed.
 fn run_refresh_writer(
-    path: &str,
+    paths: &[String],
     commits: usize,
     every: Duration,
     run_start: Instant,
     clients_done: &AtomicBool,
 ) -> Result<IngestOutcome, String> {
-    let mut writer = StoreWriter::open_append(path)
-        .map_err(|e| format!("refresh writer cannot append to `{path}`: {e}"))?;
-    let trials = writer.num_trials();
+    let mut writers = paths
+        .iter()
+        .map(|path| {
+            StoreWriter::open_append(path)
+                .map_err(|e| format!("refresh writer cannot append to `{path}`: {e}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let mut outcome = IngestOutcome::default();
     // Fresh layer ids no store-write world would produce, so the probe's
     // per-layer row count strictly grows when a commit becomes visible.
-    let layer_base = 900_000u32 + (writer.num_segments() as u32);
-    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (trials as u64);
+    let layer_base = 900_000u32 + (writers[0].num_segments() as u32);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (writers[0].num_trials() as u64);
     let mut next = move || {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -301,19 +328,11 @@ fn run_refresh_writer(
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     for k in 0..commits.max(1) {
-        if k > 0 {
-            std::thread::sleep(every);
-            if clients_done.load(Ordering::Relaxed) && outcome.commits > 0 {
-                break;
-            }
-        }
-        let started = run_start.elapsed().as_micros() as u64;
-        let mut year = Vec::with_capacity(trials);
-        let mut occ = Vec::with_capacity(trials);
-        for _ in 0..trials {
-            let loss = if next() < 0.3 { next() * 1.0e6 } else { 0.0 };
-            year.push(loss);
-            occ.push(loss * next());
+        // A round must complete across every listed shard (a trial-axis
+        // union only serves a layer once its last window commits), so
+        // the early-out sits at round boundaries only.
+        if k > 0 && clients_done.load(Ordering::Relaxed) && outcome.commits > 0 {
+            break;
         }
         let meta = SegmentMeta::new(
             LayerId(layer_base + k as u32),
@@ -321,15 +340,33 @@ fn run_refresh_writer(
             Region::ALL[k % Region::ALL.len()],
             LineOfBusiness::ALL[k % LineOfBusiness::ALL.len()],
         );
-        writer
-            .append_segment(meta, &year, &occ)
-            .map_err(|e| e.to_string())?;
-        writer.commit().map_err(|e| e.to_string())?;
-        outcome.segments += 1;
-        outcome.commits += 1;
-        outcome
-            .windows
-            .push((started, run_start.elapsed().as_micros() as u64));
+        for writer in &mut writers {
+            // Pace before *every* commit, not per round: the lead-in
+            // gives live traffic time to populate the caches, and on a
+            // multi-shard round the gap between one shard's commit and
+            // the next is exactly when the server's per-shard partial
+            // cache proves itself (the committed shard rescans, the
+            // others re-serve cached partials).
+            std::thread::sleep(every);
+            let started = run_start.elapsed().as_micros() as u64;
+            let trials = writer.num_trials();
+            let mut year = Vec::with_capacity(trials);
+            let mut occ = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let loss = if next() < 0.3 { next() * 1.0e6 } else { 0.0 };
+                year.push(loss);
+                occ.push(loss * next());
+            }
+            writer
+                .append_segment(meta, &year, &occ)
+                .map_err(|e| e.to_string())?;
+            writer.commit().map_err(|e| e.to_string())?;
+            outcome.segments += 1;
+            outcome.commits += 1;
+            outcome
+                .windows
+                .push((started, run_start.elapsed().as_micros() as u64));
+        }
     }
     Ok(outcome)
 }
@@ -380,7 +417,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         options.queries.clone()
     };
     let connect_timeout = Duration::from_secs(options.connect_timeout_secs);
-    let ingesting = !options.refresh_writer.is_empty();
+    let ingesting = !options.refresh_writers.is_empty();
 
     // Baseline for the visibility probe, before any mid-run commit.
     let rows_before = if ingesting {
@@ -398,7 +435,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                 let options = &options;
                 scope.spawn(move || {
                     run_refresh_writer(
-                        &options.refresh_writer,
+                        &options.refresh_writers,
                         options.refresh_commits,
                         Duration::from_millis(options.refresh_every_ms),
                         started,
@@ -682,7 +719,7 @@ mod tests {
             addr: front.local_addr().to_string(),
             clients: 4,
             requests: 48,
-            refresh_writer: path.to_string_lossy().into_owned(),
+            refresh_writers: vec![path.to_string_lossy().into_owned()],
             refresh_commits: 2,
             refresh_every_ms: 20,
             shutdown: true,
@@ -705,6 +742,82 @@ mod tests {
         assert!(stats.refreshes >= 1, "{stats:?}");
         front.wait().expect("clean shutdown");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refresh_writers_drive_a_trial_sharded_catalog() {
+        // Two trial-window shard files cut from one 64-trial store.
+        let store = random_store(64, 3, 29);
+        let mut paths = Vec::new();
+        for (index, (start, end)) in [(0usize, 32usize), (32, 64)].into_iter().enumerate() {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "catrisk-loadgen-trial-{}-{index}.clm",
+                std::process::id()
+            ));
+            let mut writer = catrisk_riskstore::StoreWriter::create_with(
+                &path,
+                end - start,
+                catrisk_riskstore::StoreOptions {
+                    trial_offset: start as u64,
+                    ..catrisk_riskstore::StoreOptions::default()
+                },
+            )
+            .unwrap();
+            for s in 0..store.num_segments() {
+                writer
+                    .append_segment(
+                        *store.meta(s),
+                        &store.year_losses(s)[start..end],
+                        &store.max_occ_losses(s)[start..end],
+                    )
+                    .unwrap();
+            }
+            writer.finish().unwrap();
+            paths.push(path);
+        }
+        let catalog = StoreCatalog::open(&paths).unwrap();
+        assert_eq!(catalog.axis(), crate::catalog::ShardAxis::Trial);
+        let front = TcpFrontEnd::bind(Server::new(catalog, ServerConfig::default()), "127.0.0.1:0")
+            .expect("bind");
+        // Open-loop pacing stretches the run across the ingest rounds'
+        // commit points, so traffic flows both before the first commit
+        // (populating per-shard partials) and between the two shards'
+        // commits (where the untouched shard's partials must hit).
+        let options = LoadgenOptions {
+            addr: front.local_addr().to_string(),
+            clients: 4,
+            requests: 120,
+            rps: 300.0,
+            refresh_writers: paths
+                .iter()
+                .map(|p| p.to_string_lossy().into_owned())
+                .collect(),
+            refresh_commits: 1,
+            refresh_every_ms: 120,
+            shutdown: true,
+            ..LoadgenOptions::default()
+        };
+        let report = run(&options).expect("load run");
+        assert_eq!(report.errors, 0, "{report}");
+        let ingest = report.ingest.as_ref().expect("ingest report");
+        assert_eq!(ingest.commits, 2, "one round across two windows");
+        assert!(
+            ingest.visible,
+            "the layer must become servable once both windows commit: {report}"
+        );
+        let stats = report.server_stats.expect("stats");
+        assert!(stats.refreshes >= 2, "{stats:?}");
+        assert!(
+            stats.partial_hits > 0,
+            "between the two windows' commits, the untouched window must re-serve \
+             its cached partials: {stats:?}"
+        );
+        assert!(format!("{report}").contains("partial cache"));
+        front.wait().expect("clean shutdown");
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! The line-oriented wire protocol: one query text per line in, one JSON
 //! object per line out.
 //!
+//! **The normative specification of this protocol is
+//! `docs/PROTOCOL.md` at the repository root** — framing, the full
+//! request grammar, the reply schema field by field, error/`Overloaded`
+//! semantics and the versioning rules live there; this module
+//! documentation is a working summary, and this module is the
+//! implementation the spec's round-trip tests pin.
+//!
 //! # Request grammar
 //!
 //! Every request is a single line of UTF-8 text.  A query line is
@@ -37,8 +44,8 @@
 //! Every reply is one line of JSON (a [`WireReply`]):
 //!
 //! ```json
-//! {"ok":true,"kind":"result","result":{...},"error":null,
-//!  "stats":null,"queue_micros":184,"exec_micros":950,"batch_size":7}
+//! {"ok":true,"kind":"result","result":{...},"error":null,"stats":null,
+//!  "timings":{"queue_micros":184,"exec_micros":950,"batch_size":7}}
 //! ```
 //!
 //! `kind` is one of `result`, `pong`, `stats`, `bye`, `shutting-down` or

@@ -7,9 +7,12 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use catrisk_riskquery::{Query, QueryPlan, QueryResult, QuerySession};
+use catrisk_riskquery::{
+    combine_trial_partials, scan_trial_partial, Query, QueryPlan, QueryResult, QuerySession,
+    SegmentSource,
+};
 
-use crate::cache::ResultCache;
+use crate::cache::{PartialCache, ResultCache};
 use crate::source::SourceProvider;
 use crate::stats::{Counters, RequestTimings, StatsSnapshot};
 use crate::sync::{lock, wait, wait_timeout};
@@ -35,6 +38,12 @@ pub struct ServerConfig {
     /// An entry is one unique query's full result; it is served again
     /// without scanning until any shard's committed generation moves.
     pub cache_capacity: usize,
+    /// Entries the per-shard partial-aggregate cache holds (0 disables
+    /// it).  Only exercised by trial-sharded catalogs: an entry is one
+    /// `(query, shard)` partial, valid until *that shard's* generation
+    /// moves (or the union's segment prefix grows), so a single-shard
+    /// refresh rescans one trial window instead of every one.
+    pub partial_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +54,7 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             workers: 2,
             cache_capacity: 1024,
+            partial_cache_capacity: 4096,
         }
     }
 }
@@ -171,6 +181,7 @@ struct Shared<P> {
     /// when idle and while a batch window is open.
     arrived: Condvar,
     cache: Mutex<ResultCache>,
+    partials: Mutex<PartialCache>,
     counters: Counters,
 }
 
@@ -220,6 +231,7 @@ impl<P: SourceProvider> Server<P> {
             queue: Mutex::new(QueueState::default()),
             arrived: Condvar::new(),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            partials: Mutex::new(PartialCache::new(config.partial_cache_capacity)),
             counters: Counters::default(),
         });
         let workers = (0..shared.config.workers)
@@ -399,62 +411,75 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
         .collect();
     drop(index_of);
 
-    let outcomes: Vec<Result<QueryResult, ServeError>> =
-        shared.provider.with_source(|source, generations| {
-            let mut results: Vec<Option<Result<QueryResult, ServeError>>> =
-                (0..unique.len()).map(|_| None).collect();
-            // 1. The generation-keyed cache: a hit is bit-identical to a
-            //    fresh scan of this snapshot by the cache's key contract.
-            let mut misses: Vec<usize> = Vec::new();
-            {
-                let mut cache = lock(&shared.cache);
-                for (index, query) in unique.iter().enumerate() {
-                    match cache.get(query, generations) {
-                        Some(result) => results[index] = Some(Ok(result)),
-                        None => misses.push(index),
-                    }
+    let outcomes: Vec<Result<QueryResult, ServeError>> = shared.provider.with_source(|snapshot| {
+        let source = snapshot.source;
+        let generations = snapshot.generations;
+        let mut results: Vec<Option<Result<QueryResult, ServeError>>> =
+            (0..unique.len()).map(|_| None).collect();
+        // 1. The generation-keyed cache: a hit is bit-identical to a
+        //    fresh scan of this snapshot by the cache's key contract.
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut cache = lock(&shared.cache);
+            for (index, query) in unique.iter().enumerate() {
+                match cache.get(query, generations) {
+                    Some(result) => results[index] = Some(Ok(result)),
+                    None => misses.push(index),
                 }
             }
-            shared
-                .counters
-                .cache_hits
-                .fetch_add((unique.len() - misses.len()) as u64, Ordering::Relaxed);
-            shared
-                .counters
-                .cache_misses
-                .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        }
+        shared
+            .counters
+            .cache_hits
+            .fetch_add((unique.len() - misses.len()) as u64, Ordering::Relaxed);
+        shared
+            .counters
+            .cache_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
 
-            // 2. One fused scan for the misses.
-            if !misses.is_empty() {
-                let to_run: Vec<Query> = misses.iter().map(|&i| unique[i].clone()).collect();
-                match QuerySession::new(source).run(&to_run) {
-                    Ok(scanned) => {
-                        let mut cache = lock(&shared.cache);
-                        for (&index, result) in misses.iter().zip(scanned) {
-                            cache.insert(unique[index].clone(), generations, result.clone());
-                            results[index] = Some(Ok(result));
-                        }
+        // 2a. Trial-sharded snapshot: answer each miss from cached
+        //     per-shard partials, rescanning only the windows whose
+        //     shard generation moved since they were cached.
+        if let Some(windows) = snapshot.trial_windows {
+            for &index in &misses {
+                let outcome =
+                    run_from_partials(shared, source, generations, windows, &unique[index]);
+                if let Ok(result) = &outcome {
+                    lock(&shared.cache).insert(unique[index].clone(), generations, result.clone());
+                }
+                results[index] = Some(outcome);
+            }
+        } else if !misses.is_empty() {
+            // 2b. One fused scan for the misses.
+            let to_run: Vec<Query> = misses.iter().map(|&i| unique[i].clone()).collect();
+            match QuerySession::new(source).run(&to_run) {
+                Ok(scanned) => {
+                    let mut cache = lock(&shared.cache);
+                    for (&index, result) in misses.iter().zip(scanned) {
+                        cache.insert(unique[index].clone(), generations, result.clone());
+                        results[index] = Some(Ok(result));
                     }
-                    Err(_) => {
-                        // Unreachable in practice: every query was
-                        // validated at submit time and the trial count
-                        // never changes.  Fall back to per-query execution
-                        // so each request still gets its own reply (a
-                        // batch-wide error must never take out neighbours).
-                        for &index in &misses {
-                            results[index] = Some(
-                                catrisk_riskquery::execute(source, &unique[index])
-                                    .map_err(|err| ServeError::InvalidQuery(err.to_string())),
-                            );
-                        }
+                }
+                Err(_) => {
+                    // Unreachable in practice: every query was
+                    // validated at submit time and the trial count
+                    // never changes.  Fall back to per-query execution
+                    // so each request still gets its own reply (a
+                    // batch-wide error must never take out neighbours).
+                    for &index in &misses {
+                        results[index] = Some(
+                            catrisk_riskquery::execute(source, &unique[index])
+                                .map_err(|err| ServeError::InvalidQuery(err.to_string())),
+                        );
                     }
                 }
             }
-            results
-                .into_iter()
-                .map(|outcome| outcome.expect("every unique query resolved"))
-                .collect()
-        });
+        }
+        results
+            .into_iter()
+            .map(|outcome| outcome.expect("every unique query resolved"))
+            .collect()
+    });
 
     let exec_micros = started.elapsed().as_micros() as u64;
     let batch_size = batch.len() as u32;
@@ -484,6 +509,102 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
             }
         };
         pending.slot.fulfil(outcome);
+    }
+}
+
+/// Answers one query over a trial-sharded snapshot from per-shard
+/// partial aggregates: cached partials are reused for every shard whose
+/// generation (and the union's segment prefix) is unchanged, only the
+/// remaining windows are rescanned, and the parts stitch through the
+/// exact adjacent-window monoid — bit-identical to one fused scan of the
+/// whole axis.
+///
+/// `windows[j]` corresponds to `generations[j]` by the
+/// [`SourceSnapshot`](crate::source::SourceSnapshot) contract.  The
+/// query's own trial filter clips each shard's window (clamping is
+/// monotone, so the clipped windows stay adjacent and shards outside the
+/// filter contribute exact zero-trial partials).
+fn run_from_partials<P: SourceProvider>(
+    shared: &Shared<P>,
+    source: &dyn SegmentSource,
+    generations: &[u64],
+    windows: &[(usize, usize)],
+    query: &Query,
+) -> Result<QueryResult, ServeError> {
+    let plan =
+        QueryPlan::new(source, query).map_err(|err| ServeError::InvalidQuery(err.to_string()))?;
+    let num_segments = source.num_segments();
+    let clips: Vec<(usize, usize)> = windows
+        .iter()
+        .map(|&(start, end)| {
+            (
+                start.clamp(plan.trial_start, plan.trial_end),
+                end.clamp(plan.trial_start, plan.trial_end),
+            )
+        })
+        .collect();
+
+    // Phase 1: collect cached partials under one short lock.
+    let mut parts: Vec<Option<catrisk_riskquery::TrialPartial>> = {
+        let mut partials = lock(&shared.partials);
+        clips
+            .iter()
+            .enumerate()
+            .map(|(shard, &clip)| {
+                partials
+                    .get(query, shard, generations[shard], num_segments)
+                    // The cached window is derived from the same fixed
+                    // shard windows and query, but verify rather than
+                    // assume — a mismatch is a miss, never a wrong stitch.
+                    .filter(|partial| partial.window == clip)
+            })
+            .collect()
+    };
+    let hits = parts.iter().filter(|part| part.is_some()).count();
+
+    // Phase 2: rescan only the missing windows (no cache lock held —
+    // scans are the expensive part and other workers may be probing).
+    let mut scanned: Vec<(usize, catrisk_riskquery::TrialPartial)> = Vec::new();
+    for (shard, part) in parts.iter_mut().enumerate() {
+        if part.is_none() {
+            let (start, end) = clips[shard];
+            let fresh = scan_trial_partial(source, &plan, start, end);
+            scanned.push((shard, fresh.clone()));
+            *part = Some(fresh);
+        }
+    }
+    shared
+        .counters
+        .partial_hits
+        .fetch_add(hits as u64, Ordering::Relaxed);
+    shared
+        .counters
+        .partial_misses
+        .fetch_add(scanned.len() as u64, Ordering::Relaxed);
+
+    // Phase 3: publish the fresh partials, then stitch.
+    if !scanned.is_empty() {
+        let mut partials = lock(&shared.partials);
+        for (shard, partial) in scanned {
+            partials.insert(query, shard, generations[shard], num_segments, partial);
+        }
+    }
+    let parts: Vec<catrisk_riskquery::TrialPartial> = parts
+        .into_iter()
+        .map(|part| part.expect("filled"))
+        .collect();
+    match combine_trial_partials(query, parts) {
+        Ok(result) => Ok(result),
+        Err(_) => {
+            // Cached parts disagreed with the fresh ones (they cannot
+            // stitch) — unreachable while the cache key contract holds,
+            // but a valid query must never error over cache state: purge
+            // the untrustworthy entries so the next execution rescans
+            // cleanly, and answer this one with a full fresh scan.
+            lock(&shared.partials).purge(query, windows.len());
+            catrisk_riskquery::execute(source, query)
+                .map_err(|err| ServeError::InvalidQuery(err.to_string()))
+        }
     }
 }
 

@@ -1,15 +1,17 @@
 //! The serving data plane: how the batch scheduler sees its storage.
 //!
 //! A [`SourceProvider`] hands every batch a *consistent snapshot* of the
-//! data as a [`SegmentSource`] plus the generation stamps the result
-//! cache keys on.  Two providers exist:
+//! data — a [`SourceSnapshot`] bundling the scannable union, the
+//! generation stamps the caches key on, and (for a trial-sharded
+//! catalog) the per-shard trial windows the partial-aggregate cache
+//! shards its work by.  Two providers exist:
 //!
 //! * any `Arc<S: SegmentSource>` — the static single-store form (an
 //!   in-memory `ResultStore`, an immutable `StoreReader`): one shard,
 //!   generation pinned at zero, refresh a no-op;
 //! * [`StoreCatalog`](crate::catalog::StoreCatalog) — N persistent
-//!   stores served as one `ShardedSource` union, refreshable while
-//!   ingest writers keep committing.
+//!   stores served as one union, refreshable while ingest writers keep
+//!   committing, along either sharding axis (segment or trial).
 //!
 //! The server is generic over this trait, so the queue / batch-window /
 //! fused-scan scheduler is written once and re-proven once.
@@ -18,12 +20,34 @@ use std::sync::Arc;
 
 use catrisk_riskquery::SegmentSource;
 
+/// One batch's consistent view of the data: the scannable source plus
+/// the cache-keying metadata that was captured under the same snapshot.
+pub struct SourceSnapshot<'a> {
+    /// The union all scans of this batch run over.
+    pub source: &'a dyn SegmentSource,
+    /// One monotonic stamp per shard, taken under the same snapshot as
+    /// `source`: a stamp changes exactly when that shard's visible data
+    /// changes, so `(query, generations)` is a sound whole-result cache
+    /// key and `(query, shard, generations[shard])` a sound per-shard
+    /// partial cache key.
+    pub generations: &'a [u64],
+    /// The global trial window `[start, end)` each shard covers, in
+    /// shard order, when the provider serves a **trial**-sharded catalog
+    /// — `None` for a single store or a segment-axis catalog.  Present
+    /// windows partition `[0, source.num_trials())`, and window `j`
+    /// corresponds to `generations[j]`, which is what lets the server
+    /// cache one [`TrialPartial`](catrisk_riskquery::TrialPartial) per
+    /// `(query, shard)` and rescan only the shards whose stamp moved.
+    pub trial_windows: Option<&'a [(usize, usize)]>,
+}
+
 /// Storage behind a [`Server`](crate::server::Server): snapshots,
 /// generations, refresh.
 pub trait SourceProvider: Send + Sync + 'static {
-    /// Trials every segment holds — fixed for the provider's lifetime
+    /// Trials every scan sees — fixed for the provider's lifetime
     /// (refreshes add segments, never trials), so the admission path can
-    /// validate queries without taking any snapshot lock.
+    /// validate queries without taking any snapshot lock.  For a
+    /// trial-sharded catalog this is the *total* over the shard windows.
     fn num_trials(&self) -> usize;
 
     /// Total committed segments currently visible (diagnostics).
@@ -36,14 +60,9 @@ pub trait SourceProvider: Send + Sync + 'static {
         Vec::new()
     }
 
-    /// Runs `f` over a consistent snapshot of the data.
-    ///
-    /// `generations` carries one monotonic stamp per shard, taken under
-    /// the same snapshot as the source: a stamp changes exactly when that
-    /// shard's visible data changes, so `(query, generations)` is a sound
-    /// result-cache key — see
-    /// the server's generation-keyed result cache.
-    fn with_source<R>(&self, f: impl FnOnce(&dyn SegmentSource, &[u64]) -> R) -> R;
+    /// Runs `f` over a consistent snapshot of the data; every field of
+    /// the [`SourceSnapshot`] describes the same instant.
+    fn with_source<R>(&self, f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R;
 }
 
 /// The static single-store provider: one immutable shard at generation
@@ -57,7 +76,11 @@ impl<S: SegmentSource + Send + Sync + 'static> SourceProvider for Arc<S> {
         SegmentSource::num_segments(&**self)
     }
 
-    fn with_source<R>(&self, f: impl FnOnce(&dyn SegmentSource, &[u64]) -> R) -> R {
-        f(&**self, &[0])
+    fn with_source<R>(&self, f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R {
+        f(SourceSnapshot {
+            source: &**self,
+            generations: &[0],
+            trial_windows: None,
+        })
     }
 }

@@ -33,6 +33,8 @@ pub(crate) struct Counters {
     pub max_queue_depth: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    pub partial_hits: AtomicU64,
+    pub partial_misses: AtomicU64,
     pub refreshes: AtomicU64,
 }
 
@@ -52,6 +54,8 @@ impl Counters {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            partial_hits: self.partial_hits.load(Ordering::Relaxed),
+            partial_misses: self.partial_misses.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
         }
     }
@@ -80,6 +84,14 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Unique batch queries that had to scan (then populated the cache).
     pub cache_misses: u64,
+    /// Per-shard partial aggregates reused from the partial cache on a
+    /// trial-sharded catalog: each hit is one shard's trial window that
+    /// did **not** need rescanning for a query that missed the result
+    /// cache.
+    pub partial_hits: u64,
+    /// Per-shard trial windows that had to be rescanned (then populated
+    /// the partial cache).
+    pub partial_misses: u64,
     /// Store refreshes that made newly committed segments visible.
     pub refreshes: u64,
 }
@@ -101,6 +113,17 @@ impl StatsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-shard trial windows served from cached partials
+    /// (trial-sharded catalogs only; 0 when the partial path never ran).
+    pub fn partial_hit_rate(&self) -> f64 {
+        let total = self.partial_hits + self.partial_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.partial_hits as f64 / total as f64
         }
     }
 }

@@ -212,6 +212,12 @@ pub struct Header {
     pub footer_len: u64,
     /// Monotonic commit counter; the footer it points at echoes it.
     pub commit_seq: u64,
+    /// First global trial this store's segments cover: the store holds
+    /// trials `[trial_offset, trial_offset + num_trials)` of a larger
+    /// logical trial axis.  Zero for a self-contained store — the byte
+    /// was a zeroed reserved field before trial-axis sharding existed, so
+    /// every pre-existing file decodes as offset 0.
+    pub trial_offset: u64,
 }
 
 impl Header {
@@ -232,7 +238,7 @@ impl Header {
         enc.put_u64(self.footer_offset);
         enc.put_u64(self.footer_len);
         enc.put_u64(self.commit_seq);
-        enc.put_u64(0); // reserved
+        enc.put_u64(self.trial_offset);
         let crc = crc32(enc.bytes());
         enc.put_u32(crc);
         enc.put_u32(0); // padding
@@ -293,7 +299,7 @@ impl Header {
         let footer_offset = dec.get_u64()?;
         let footer_len = dec.get_u64()?;
         let commit_seq = dec.get_u64()?;
-        let _reserved = dec.get_u64()?;
+        let trial_offset = dec.get_u64()?;
         let computed = crc32(dec.consumed());
         let stored = dec.get_u32()?;
         if computed != stored {
@@ -312,6 +318,7 @@ impl Header {
             footer_offset,
             footer_len,
             commit_seq,
+            trial_offset,
         })
     }
 }
@@ -341,8 +348,18 @@ mod tests {
             footer_offset: 9_999,
             footer_len: 321,
             commit_seq: 7,
+            trial_offset: 0,
         };
         assert_eq!(Header::decode(&dual(&header)).unwrap(), header);
+
+        // A trial-sharded store's window offset survives the round trip
+        // (it lives in what used to be the zeroed reserved field, so an
+        // offset of zero is byte-identical to the legacy layout).
+        let sharded = Header {
+            trial_offset: 1_000_000,
+            ..header
+        };
+        assert_eq!(Header::decode(&dual(&sharded)).unwrap(), sharded);
     }
 
     #[test]
@@ -353,6 +370,7 @@ mod tests {
             footer_offset: 100,
             footer_len: 50,
             commit_seq: 3,
+            trial_offset: 0,
         };
         let newer = Header {
             commit_seq: 4,
@@ -382,6 +400,7 @@ mod tests {
             footer_offset: 0,
             footer_len: 0,
             commit_seq: 0,
+            trial_offset: 0,
         };
         let good = dual(&header);
         let slot = HEADER_SLOT_LEN as usize;

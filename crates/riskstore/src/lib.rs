@@ -42,7 +42,11 @@
 //!               (0 = nothing committed yet: a valid, empty store)
 //!     32     8  footer_len: byte length of that footer
 //!     40     8  commit_seq: monotonic commit counter, echoed by the footer
-//!     48     8  reserved (0)
+//!     48     8  trial_offset: first global trial this store covers — the
+//!               store holds trials [trial_offset, trial_offset+num_trials)
+//!               of a larger logical trial axis (0 = self-contained store;
+//!               this byte range was a zeroed reserved field before
+//!               trial-axis sharding, so older files decode as offset 0)
 //!     56     4  CRC32 of slot bytes [0, 56)
 //!     60     4  zero padding
 //!

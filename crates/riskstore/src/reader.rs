@@ -139,6 +139,7 @@ pub struct StoreReader {
     path: PathBuf,
     num_trials: usize,
     page_trials: u32,
+    trial_offset: u64,
     commit_seq: u64,
     metas: Vec<SegmentMeta>,
     /// Committed data offsets, the prefix fingerprint refresh validates.
@@ -161,6 +162,7 @@ impl StoreReader {
             path,
             num_trials: state.num_trials,
             page_trials: state.header.page_trials,
+            trial_offset: state.header.trial_offset,
             commit_seq: state.header.commit_seq,
             ..StoreReader::default()
         };
@@ -223,7 +225,8 @@ impl StoreReader {
         }
         let diverged = state.header.commit_seq < self.commit_seq
             || state.num_trials != self.num_trials
-            || state.header.page_trials != self.page_trials;
+            || state.header.page_trials != self.page_trials
+            || state.header.trial_offset != self.trial_offset;
         if !diverged {
             if let Some(footer) = &state.footer {
                 if let Absorb::Applied = self.absorb_footer(&mut file, &state, footer)? {
@@ -335,6 +338,21 @@ impl StoreReader {
     /// Trials every segment holds.
     pub fn num_trials(&self) -> usize {
         self.num_trials
+    }
+
+    /// First global trial this store covers: the store holds trials
+    /// `[trial_offset, trial_offset + num_trials)` of a larger logical
+    /// trial axis.  Zero for a self-contained store (and for every file
+    /// written before trial-axis sharding existed).  A serving catalog
+    /// uses distinct offsets to detect that its shards partition the
+    /// trial axis rather than the segment axis.
+    pub fn trial_offset(&self) -> u64 {
+        self.trial_offset
+    }
+
+    /// Trials per checksummed loss page — fixed at store creation.
+    pub fn page_trials(&self) -> u32 {
+        self.page_trials
     }
 
     /// Committed segments visible to this reader.
@@ -545,8 +563,15 @@ mod tests {
     #[test]
     fn round_trips_columns_and_dimensions() {
         let path = temp_path("roundtrip");
-        let mut writer =
-            StoreWriter::create_with(&path, 3, StoreOptions { page_trials: 2 }).unwrap();
+        let mut writer = StoreWriter::create_with(
+            &path,
+            3,
+            StoreOptions {
+                page_trials: 2,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
         writer
             .append_segment(
                 meta(0, Peril::Hurricane, Region::Europe),
@@ -642,8 +667,15 @@ mod tests {
     #[test]
     fn refresh_maps_newly_committed_segments() {
         let path = temp_path("refresh");
-        let mut writer =
-            StoreWriter::create_with(&path, 4, StoreOptions { page_trials: 2 }).unwrap();
+        let mut writer = StoreWriter::create_with(
+            &path,
+            4,
+            StoreOptions {
+                page_trials: 2,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
         writer
             .append_segment(
                 meta(0, Peril::Hurricane, Region::Europe),

@@ -19,12 +19,20 @@ use crate::{Result, StoreError};
 pub struct StoreOptions {
     /// Trials per checksummed loss page (must be positive).
     pub page_trials: u32,
+    /// First global trial this store covers: the store holds trials
+    /// `[trial_offset, trial_offset + num_trials)` of a larger logical
+    /// trial axis.  Zero (the default) marks a self-contained store; a
+    /// trial-sharded ingest fleet gives each writer its own offset so a
+    /// serving catalog can stitch the shards back together in order.
+    /// Fixed at creation, like the page size.
+    pub trial_offset: u64,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
         Self {
             page_trials: DEFAULT_PAGE_TRIALS,
+            trial_offset: 0,
         }
     }
 }
@@ -42,6 +50,7 @@ pub struct StoreWriter {
     path: PathBuf,
     num_trials: usize,
     page_trials: u32,
+    trial_offset: u64,
     commit_seq: u64,
     /// Next append offset (always ≥ the end of committed bytes).
     end: u64,
@@ -86,6 +95,7 @@ impl StoreWriter {
             footer_offset: 0,
             footer_len: 0,
             commit_seq: 0,
+            trial_offset: options.trial_offset,
         };
         // Both header slots start identical; commits then alternate slots
         // so a torn header write can never lose the store.
@@ -98,6 +108,7 @@ impl StoreWriter {
             path,
             num_trials,
             page_trials: options.page_trials,
+            trial_offset: options.trial_offset,
             commit_seq: 0,
             end: HEADER_LEN,
             committed_segments: 0,
@@ -127,6 +138,7 @@ impl StoreWriter {
             path,
             num_trials: state.num_trials,
             page_trials: state.header.page_trials,
+            trial_offset: state.header.trial_offset,
             commit_seq: state.header.commit_seq,
             end: state.committed_end,
             committed_segments: 0,
@@ -175,6 +187,12 @@ impl StoreWriter {
     /// Trials per checksummed loss page — fixed at store creation.
     pub fn page_trials(&self) -> u32 {
         self.page_trials
+    }
+
+    /// First global trial this store covers — fixed at store creation
+    /// (zero for a self-contained store).
+    pub fn trial_offset(&self) -> u64 {
+        self.trial_offset
     }
 
     /// Total segments appended (committed or not).
@@ -337,6 +355,7 @@ impl StoreWriter {
             footer_offset,
             footer_len: footer_bytes.len() as u64,
             commit_seq: self.commit_seq,
+            trial_offset: self.trial_offset,
         };
         // Alternate header slots: a crash tearing this write damages only
         // the slot holding the stale twin of the *previous* commit, so a
@@ -387,7 +406,14 @@ mod tests {
     fn writer_validates_inputs() {
         let path = temp_path("validate");
         assert!(matches!(
-            StoreWriter::create_with(&path, 4, StoreOptions { page_trials: 0 }),
+            StoreWriter::create_with(
+                &path,
+                4,
+                StoreOptions {
+                    page_trials: 0,
+                    ..StoreOptions::default()
+                }
+            ),
             Err(StoreError::InvalidArgument(_))
         ));
         let mut writer = StoreWriter::create(&path, 4).unwrap();

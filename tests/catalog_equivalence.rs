@@ -1,17 +1,22 @@
 //! Catalog-path equivalence properties: sharded + refreshed + cached
 //! serving must be bit-identical to a sequential single-store session.
 //!
-//! Three layers of the new serving shape are pinned here:
+//! Five layers of the serving shape are pinned here:
 //!
-//! 1. [`ShardedSource`] over *random shard splits* of a store answers
-//!    every query bit-identically to the single concatenated store —
-//!    including through the batched `QuerySession`.
-//! 2. A [`StoreCatalog`]-backed server keeps that equivalence across a
+//! 1. [`ShardedSource`] over *random segment-axis splits* of a store
+//!    answers every query bit-identically to the single concatenated
+//!    store — including through the batched `QuerySession`.
+//! 2. [`TrialShardedSource`] over *random trial-axis splits* does the
+//!    same along the paper's own partition dimension.
+//! 3. A [`StoreCatalog`]-backed server keeps that equivalence across a
 //!    *refresh mid-session*: segments committed to one shard while the
 //!    server runs become visible and the results match a store that held
 //!    them all along.
-//! 3. The generation-keyed result cache hits on repeats and **must miss
+//! 4. The generation-keyed result cache hits on repeats and **must miss
 //!    after a refresh** — a cached reply can never survive its snapshot.
+//! 5. On a trial-axis catalog, a refresh of one shard rescans *only that
+//!    shard's window*: the stats counters prove the other shards'
+//!    cached partial aggregates were re-served.
 
 use std::path::PathBuf;
 
@@ -21,8 +26,8 @@ use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
 use catrisk_eventgen::peril::{Peril, Region};
 use catrisk_finterms::layer::LayerId;
 use catrisk_riskquery::prelude::*;
-use catrisk_riskserve::{Server, ServerConfig, StoreCatalog};
-use catrisk_riskstore::StoreWriter;
+use catrisk_riskserve::{Server, ServerConfig, ShardAxis, StoreCatalog};
+use catrisk_riskstore::{StoreOptions, StoreWriter};
 use catrisk_simkit::rng::RngFactory;
 
 /// One generated segment: its loss outcomes plus its dimension tags.
@@ -170,6 +175,69 @@ proptest! {
             "batched sharded session diverged"
         );
     }
+
+    /// TrialShardedSource over a random trial split ≡ the whole store,
+    /// bit for bit, through `execute`, the batched session, and the
+    /// batched server path (the server additionally answers from
+    /// stitched per-shard partials, so this also pins the partial
+    /// combine against the fused scan).
+    #[test]
+    fn random_trial_splits_are_bit_identical(
+        trials in 8..120usize,
+        segments in 1..12usize,
+        shards in 1..5usize,
+        seed in 0..500u64,
+    ) {
+        let raw = random_segments(trials, segments, seed);
+        let mut reference = ResultStore::new(trials);
+        for segment in &raw {
+            ingest(&mut reference, segment);
+        }
+        // Deterministic, seed-dependent window bounds.
+        let shards = shards.min(trials);
+        let mut bounds: Vec<usize> = (0..shards - 1)
+            .map(|k| 1 + (seed as usize * 31 + k * 17 + k * k * 7) % (trials - 1))
+            .collect();
+        bounds.push(0);
+        bounds.push(trials);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let shard_stores: Vec<ResultStore> = bounds
+            .windows(2)
+            .map(|window| {
+                let (start, end) = (window[0], window[1]);
+                let mut shard = ResultStore::new(end - start);
+                for segment in &raw {
+                    shard
+                        .ingest(
+                            &YearLossTable::new(
+                                segment.meta.layer,
+                                segment.outcomes[start..end].to_vec(),
+                            ),
+                            segment.meta,
+                        )
+                        .expect("ingest window");
+                }
+                shard
+            })
+            .collect();
+        let shard_refs: Vec<&ResultStore> = shard_stores.iter().collect();
+        let sharded = TrialShardedSource::new(shard_refs).unwrap();
+        let queries = query_batch(trials);
+        for query in &queries {
+            prop_assert_eq!(
+                execute(&sharded, query).unwrap(),
+                execute(&reference, query).unwrap(),
+                "per-query trial-sharded execution diverged"
+            );
+        }
+        prop_assert_eq!(
+            QuerySession::new(&sharded).run(&queries).unwrap(),
+            QuerySession::new(&reference).run(&queries).unwrap(),
+            "batched trial-sharded session diverged"
+        );
+    }
 }
 
 fn temp_shard(name: &str, index: usize) -> PathBuf {
@@ -304,6 +372,153 @@ fn catalog_server_refresh_and_cache_match_sequential_session() {
     server.shutdown();
     let _ = std::fs::remove_file(&path_a);
     let _ = std::fs::remove_file(&path_b);
+}
+
+/// Writes the trial window `[start, end)` of `segments` as one shard
+/// file stamped with its offset.
+fn write_trial_window(path: &PathBuf, segments: &[RawSegment], start: usize, end: usize) {
+    let mut writer = StoreWriter::create_with(
+        path,
+        end - start,
+        StoreOptions {
+            trial_offset: start as u64,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    for segment in segments {
+        writer
+            .append_ylt(
+                &YearLossTable::new(segment.meta.layer, segment.outcomes[start..end].to_vec()),
+                segment.meta,
+            )
+            .unwrap();
+    }
+    writer.finish().unwrap();
+}
+
+/// The trial-axis tentpole on disk: a catalog-backed server stitching
+/// three trial-window shard files answers bit-identically to a
+/// sequential session over the unsplit store, and after a *single-shard*
+/// refresh the stats counters prove only that shard's window was
+/// rescanned — every other shard's cached partial aggregate was
+/// re-served.
+#[test]
+fn trial_sharded_server_rescans_only_the_refreshed_shard() {
+    let trials = 48;
+    let raw = random_segments(trials, 7, 4242);
+    let cuts = [0usize, 17, 30, 48];
+    let paths: Vec<PathBuf> = (0..3).map(|k| temp_shard("trial", k)).collect();
+    for (path, window) in paths.iter().zip(cuts.windows(2)) {
+        write_trial_window(path, &raw, window[0], window[1]);
+    }
+
+    let catalog = StoreCatalog::open(&paths).unwrap();
+    assert_eq!(catalog.axis(), ShardAxis::Trial);
+    let server = Server::new(catalog, ServerConfig::default());
+    let queries = query_batch(trials);
+
+    let mut reference = ResultStore::new(trials);
+    for segment in &raw {
+        ingest(&mut reference, segment);
+    }
+    let expected = QuerySession::new(&reference).run(&queries).unwrap();
+    for (query, expected) in queries.iter().zip(&expected) {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "trial-sharded serving diverged from the sequential session"
+        );
+    }
+    let stats = server.stats();
+    // Every unique query scanned every window exactly once, cold.
+    assert_eq!(stats.partial_misses, 3 * queries.len() as u64, "{stats:?}");
+    assert_eq!(stats.partial_hits, 0, "{stats:?}");
+
+    // An ingest writer commits a new layer to the *middle* window only:
+    // its generation moves, the result cache correctly misses, but the
+    // two untouched windows must re-serve their cached partials — and
+    // the answers are unchanged, because a layer missing from two
+    // windows is not yet servable (common-prefix clamp).
+    let extra = random_segments(trials, 8, 77).pop().unwrap();
+    let mut writer = StoreWriter::open_append(&paths[1]).unwrap();
+    writer
+        .append_ylt(
+            &YearLossTable::new(LayerId(7_000), extra.outcomes[cuts[1]..cuts[2]].to_vec()),
+            SegmentMeta::new(
+                LayerId(7_000),
+                extra.meta.peril,
+                extra.meta.region,
+                extra.meta.lob,
+            ),
+        )
+        .unwrap();
+    writer.commit().unwrap();
+    drop(writer);
+
+    for (query, expected) in queries.iter().zip(&expected) {
+        assert_eq!(&server.query(query.clone()).unwrap().result, expected);
+    }
+    let stats = server.stats();
+    assert!(stats.refreshes >= 1, "{stats:?}");
+    assert_eq!(
+        stats.partial_hits,
+        2 * queries.len() as u64,
+        "the two untouched windows must hit their cached partials: {stats:?}"
+    );
+    assert_eq!(
+        stats.partial_misses,
+        4 * queries.len() as u64,
+        "only the refreshed window rescans: {stats:?}"
+    );
+
+    // The other windows catch up with their slices of the same layer:
+    // the segment prefix grows, the layer becomes servable, and the
+    // served answers match a store that held it all along.
+    for (shard, window) in [(0usize, (cuts[0], cuts[1])), (2, (cuts[2], cuts[3]))] {
+        let mut writer = StoreWriter::open_append(&paths[shard]).unwrap();
+        writer
+            .append_ylt(
+                &YearLossTable::new(LayerId(7_000), extra.outcomes[window.0..window.1].to_vec()),
+                SegmentMeta::new(
+                    LayerId(7_000),
+                    extra.meta.peril,
+                    extra.meta.region,
+                    extra.meta.lob,
+                ),
+            )
+            .unwrap();
+        writer.commit().unwrap();
+    }
+    let mut grown = reference.clone();
+    grown
+        .ingest(
+            &YearLossTable::new(LayerId(7_000), extra.outcomes.clone()),
+            SegmentMeta::new(
+                LayerId(7_000),
+                extra.meta.peril,
+                extra.meta.region,
+                extra.meta.lob,
+            ),
+        )
+        .unwrap();
+    let expected_grown = QuerySession::new(&grown).run(&queries).unwrap();
+    for (query, expected) in queries.iter().zip(&expected_grown) {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "the stitched new layer diverged from the reference"
+        );
+    }
+    assert_ne!(
+        expected, expected_grown,
+        "the new layer must change results"
+    );
+
+    server.shutdown();
+    for path in &paths {
+        let _ = std::fs::remove_file(path);
+    }
 }
 
 /// An uncommitted shard joining the catalog serves nothing until its

@@ -137,7 +137,7 @@ proptest! {
         let store = random_store(trials, segments, seed);
         let path = temp_path(&format!("prop-{trials}-{segments}-{page_trials}-{seed}"));
         let mut writer =
-            StoreWriter::create_with(&path, trials, StoreOptions { page_trials }).unwrap();
+            StoreWriter::create_with(&path, trials, StoreOptions { page_trials, ..StoreOptions::default() }).unwrap();
         for segment in 0..store.num_segments() {
             writer
                 .append_segment(
@@ -228,7 +228,15 @@ proptest! {
 fn valid_store_bytes(tag: &str) -> (std::path::PathBuf, Vec<u8>) {
     let store = random_store(16, 4, 7);
     let path = temp_path(tag);
-    let mut writer = StoreWriter::create_with(&path, 16, StoreOptions { page_trials: 4 }).unwrap();
+    let mut writer = StoreWriter::create_with(
+        &path,
+        16,
+        StoreOptions {
+            page_trials: 4,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
     for segment in 0..store.num_segments() {
         writer
             .append_segment(
