@@ -180,6 +180,10 @@ fn serving_config() -> ServerConfig {
         // bench (`sharded_scan`).
         cache_capacity: 0,
         partial_cache_capacity: 0,
+        // Telemetry stays at its serving defaults: the speedup bar below
+        // is also the regression gate proving the stage histograms and
+        // recorder don't tax the hot path.
+        ..ServerConfig::default()
     }
 }
 

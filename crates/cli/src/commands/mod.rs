@@ -6,6 +6,7 @@ mod info;
 mod query;
 mod quote;
 mod serve;
+mod stats;
 mod store;
 mod world;
 
@@ -45,6 +46,10 @@ commands:
            throughput and latency percentiles; --refresh-writer appends
            segments to a served shard mid-run (serve-while-ingesting)
              run `catrisk loadgen --help` for the options
+  stats    scrape a running serve instance's telemetry: counters, per-stage
+           latency histograms (--prometheus for raw text exposition) and
+           the flight-recorder event ring (--recorder)
+             run `catrisk stats --help` for the options
   info     print the simulated device and default configuration";
 
 /// Parsed `--key value` style options.
@@ -129,6 +134,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "query" => query::run(&options),
         "serve" => serve::run_serve(&options),
         "loadgen" => serve::run_loadgen(&options),
+        "stats" => stats::run(&options),
         "info" => info::run(&options),
         other => Err(format!("unknown command `{other}`")),
     }

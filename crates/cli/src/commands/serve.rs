@@ -58,7 +58,13 @@ options:
   --refresh-ms MS  minimum milliseconds between shard-header refresh
                    probes (default 0 = probe every batch; raise on slow
                    or networked filesystems to bound per-batch syscalls
-                   at the cost of commits surfacing up to MS later)";
+                   at the cost of commits surfacing up to MS later)
+  --metrics-threshold-us U  batches slower than U microseconds emit a
+                   `slow-batch` flight-recorder event (default 0 = off)
+  --recorder-capacity N  flight-recorder ring capacity in events
+                   (default 256, 0 disables the recorder); dump it live
+                   with `catrisk stats --recorder` or the `recorder`
+                   protocol command";
 
 /// Detailed usage of the loadgen command, shown by `catrisk loadgen --help`.
 pub const LOADGEN_HELP: &str = "usage: catrisk loadgen [options]
@@ -89,7 +95,15 @@ options:
   --expect-partial-hits  fail unless the server reports a nonzero
                    per-shard partial-cache hit count after the run
                    (trial-sharded catalogs only)
-  --shutdown       send `shutdown` after the run, stopping the server";
+  --require-stats  fail (exit 1) when the post-run server stats/metrics
+                   scrape cannot be fetched, instead of just warning —
+                   set this in CI so a silently absent server-side
+                   report cannot pass
+  --shutdown       send `shutdown` after the run, stopping the server
+
+The report includes the server's own per-stage latency histograms
+(queue wait, scan, batch execution) scraped via the `metrics` protocol
+command — see docs/OBSERVABILITY.md for the stage taxonomy.";
 
 /// Runs the serve command: binds the front-end and blocks until shutdown.
 pub fn run_serve(options: &Options) -> Result<(), String> {
@@ -128,6 +142,8 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         workers: options.get("workers", 2usize)?,
         cache_capacity: options.get("cache", 1024usize)?,
         partial_cache_capacity: options.get("partial-cache", 4096usize)?,
+        metrics_threshold_us: options.get("metrics-threshold-us", 0u64)?,
+        recorder_capacity: options.get("recorder-capacity", 256usize)?,
     };
 
     let catalog = StoreCatalog::open(&stores).map_err(|e| e.to_string())?;
@@ -229,6 +245,7 @@ pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, Strin
         refresh_writers: options.get_all("refresh-writer"),
         refresh_commits: options.get("refresh-commits", 4usize)?,
         refresh_every_ms: options.get("refresh-every-ms", 250u64)?,
+        require_stats: options.has_flag("require-stats"),
         ..LoadgenOptions::default()
     };
     let query = options.get("query", String::new())?;
@@ -298,6 +315,7 @@ mod tests {
             "--requests",
             "64",
             "--expect-cache-hits",
+            "--require-stats",
             "--shutdown",
         ]);
         run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();
@@ -396,6 +414,7 @@ mod tests {
             "120",
             "--expect-cache-hits",
             "--expect-partial-hits",
+            "--require-stats",
             "--shutdown",
         ]);
         run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();

@@ -1,0 +1,214 @@
+//! `catrisk stats` — scrape and pretty-print a running server's
+//! telemetry: the metric registry (counters, gauges, per-stage latency
+//! histograms) and, on request, the flight-recorder event ring.
+//!
+//! One connection, one `metrics` (and optionally `recorder`) protocol
+//! line, one human-readable report — or the raw Prometheus text
+//! exposition with `--prometheus`, for piping into a scraper.  The metric
+//! names and the flight-recorder event schema are documented in
+//! `docs/OBSERVABILITY.md`; the wire commands in `docs/PROTOCOL.md`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use catrisk_riskserve::WireReply;
+
+use super::Options;
+
+/// Detailed usage of the stats command, shown by `catrisk stats --help`.
+pub const STATS_HELP: &str = "usage: catrisk stats [options]
+
+Connects to a running `catrisk serve` instance, scrapes its metric
+registry over the `metrics` protocol command and prints a human-readable
+report: counters, gauges, and each stage latency histogram with count,
+mean, p50/p90/p99 and max (see docs/OBSERVABILITY.md for the stage
+taxonomy and metric names).
+
+options:
+  --addr A         server address (default 127.0.0.1:7433)
+  --connect-timeout S  seconds to retry the connect (default 5)
+  --prometheus     print the raw Prometheus text exposition instead of
+                   the formatted report (pipe into a scraper)
+  --recorder       also dump the flight recorder: the ring of recent
+                   structured events (batches, refreshes, cache purges,
+                   stitch fallbacks, overloads, slow batches)";
+
+/// Runs the stats command.
+pub fn run(options: &Options) -> Result<(), String> {
+    if options.has_flag("help") {
+        println!("{STATS_HELP}");
+        return Ok(());
+    }
+    let addr = options.get("addr", "127.0.0.1:7433".to_string())?;
+    let timeout = Duration::from_secs(options.get("connect-timeout", 5u64)?);
+
+    let reply = round_trip(&addr, timeout, "metrics")?;
+    let snapshot = reply.metrics.ok_or_else(|| {
+        "the server's reply carried no metrics (pre-telemetry server?)".to_string()
+    })?;
+
+    if options.has_flag("prometheus") {
+        print!("{}", snapshot.to_prometheus());
+    } else {
+        if !snapshot.counters.is_empty() {
+            println!("counters:");
+            for (name, value) in &snapshot.counters {
+                println!("  {name:<28} {value}");
+            }
+        }
+        if !snapshot.gauges.is_empty() {
+            println!("gauges:");
+            for (name, value) in &snapshot.gauges {
+                println!("  {name:<28} {value}");
+            }
+        }
+        if !snapshot.histograms.is_empty() {
+            println!("histograms (µs):");
+            println!(
+                "  {:<28} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                "name", "count", "mean", "p50", "p90", "p99", "max"
+            );
+            for (name, h) in &snapshot.histograms {
+                println!(
+                    "  {:<28} {:>8} {:>10.1} {:>8} {:>8} {:>8} {:>8}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(90.0),
+                    h.percentile(99.0),
+                    h.max
+                );
+            }
+        }
+    }
+
+    if options.has_flag("recorder") {
+        let reply = round_trip(&addr, timeout, "recorder")?;
+        let events = reply
+            .recorder
+            .ok_or_else(|| "the server's reply carried no recorder dump".to_string())?;
+        println!("flight recorder ({} events):", events.len());
+        for event in &events {
+            let fields: Vec<String> = event
+                .fields
+                .iter()
+                .map(|(name, value)| format!("{name}={value:?}"))
+                .collect();
+            println!(
+                "  #{:<6} +{:>10}µs {:<16} {}",
+                event.seq,
+                event.micros,
+                event.kind,
+                fields.join(" ")
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One request/reply round trip on a fresh connection, with connect retry
+/// (mirrors loadgen's behaviour so `stats` works against a just-spawned
+/// server).
+fn round_trip(addr: &str, timeout: Duration, line: &str) -> Result<WireReply, String> {
+    let deadline = std::time::Instant::now() + timeout;
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => break stream,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(err) => return Err(format!("connect to {addr}: {err}")),
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    writeln!(writer, "{line}")
+        .and_then(|_| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut lines = BufReader::new(stream).lines();
+    match lines.next() {
+        Some(Ok(reply)) => WireReply::from_line(&reply),
+        _ => Err(format!("no reply to `{line}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_scrapes_a_running_server() {
+        let out = {
+            let mut path = std::env::temp_dir();
+            path.push(format!("catrisk-cli-stats-{}.clm", std::process::id()));
+            path.to_string_lossy().into_owned()
+        };
+        super::super::store::run(&strings(&[
+            "write",
+            "--out",
+            &out,
+            "--trials",
+            "120",
+            "--locations",
+            "80",
+            "--events",
+            "1500",
+            "--seed",
+            "9",
+            "--engine",
+            "parallel",
+        ]))
+        .unwrap();
+        let serve_options =
+            Options::parse(&strings(&["--store", &out, "--addr", "127.0.0.1:0"])).unwrap();
+        let front = super::super::serve::bind_front_end(&serve_options).unwrap();
+        let addr = front.local_addr().to_string();
+
+        // A query first, so the stage histograms hold samples.
+        let reply =
+            round_trip(&addr, Duration::from_secs(5), "select mean group by region").unwrap();
+        assert!(reply.ok, "{reply:?}");
+
+        // All three output modes run against the live server.
+        run(&Options::parse(&strings(&["--addr", &addr])).unwrap()).unwrap();
+        run(&Options::parse(&strings(&["--addr", &addr, "--prometheus"])).unwrap()).unwrap();
+        run(&Options::parse(&strings(&["--addr", &addr, "--recorder"])).unwrap()).unwrap();
+
+        // And the scrape itself sees consistent telemetry.
+        let snapshot = round_trip(&addr, Duration::from_secs(5), "metrics")
+            .unwrap()
+            .metrics
+            .unwrap();
+        assert!(snapshot.counter("completed").unwrap() >= 1);
+        assert!(snapshot.histogram("stage_scan_micros").unwrap().count >= 1);
+
+        let _ = round_trip(&addr, Duration::from_secs(5), "shutdown");
+        front.wait().unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn stats_connect_failure_is_typed() {
+        let options = Options::parse(&strings(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--connect-timeout",
+            "0",
+        ]))
+        .unwrap();
+        assert!(run(&options).is_err());
+    }
+
+    #[test]
+    fn stats_help_prints() {
+        run(&Options::parse(&strings(&["--help"])).unwrap()).unwrap();
+    }
+}

@@ -17,6 +17,8 @@
 //!   (concurrent requests coalesce into fused scans);
 //! * `loadgen` — drive open-loop load at a running `serve` instance and
 //!   print throughput and latency percentiles;
+//! * `stats` — scrape a running `serve` instance's telemetry (counters,
+//!   per-stage latency histograms, the flight-recorder event ring);
 //! * `info` — print the simulated device and the default configuration.
 //!
 //! Run `catrisk <command> --help` for the options of each command.

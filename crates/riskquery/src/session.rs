@@ -37,6 +37,10 @@ use crate::Result;
 /// in-memory [`ResultStore`] (the default) or a persistent reader.
 pub struct QuerySession<'a, S: SegmentSource + ?Sized = ResultStore> {
     store: &'a S,
+    /// Latency sink for each fused scan pass, attached with
+    /// [`QuerySession::with_scan_histogram`].  A borrow (not an `Arc`) so
+    /// the session stays `Copy`.
+    fused_scan_hist: Option<&'a catrisk_telemetry::Histogram>,
 }
 
 impl<S: SegmentSource + ?Sized> std::fmt::Debug for QuerySession<'_, S> {
@@ -68,7 +72,18 @@ struct Spec {
 impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
     /// Opens a session over `store`.
     pub fn new(store: &'a S) -> Self {
-        Self { store }
+        Self {
+            store,
+            fused_scan_hist: None,
+        }
+    }
+
+    /// Attaches a histogram that every fused scan pass records its
+    /// wall-clock microseconds into — one sample per trial window scanned
+    /// by [`QuerySession::run`].
+    pub fn with_scan_histogram(mut self, histogram: &'a catrisk_telemetry::Histogram) -> Self {
+        self.fused_scan_hist = Some(histogram);
+        self
     }
 
     /// The store this session serves.
@@ -112,7 +127,11 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
             }
         }
         for (start, end, members) in windows {
+            let scan_started = std::time::Instant::now();
             let partials = self.fused_scan(start, end, &members, &specs);
+            if let Some(histogram) = self.fused_scan_hist {
+                histogram.record(scan_started.elapsed().as_micros() as u64);
+            }
             for (si, partial) in members.into_iter().zip(partials) {
                 specs[si].partial = Some(partial);
             }

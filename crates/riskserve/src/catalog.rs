@@ -57,9 +57,11 @@ use catrisk_riskquery::{
     MergedSchema, ResultStore, SegmentSource, ShardedSource, TrialShardedSource,
 };
 use catrisk_riskstore::{StoreError, StoreReader};
+use catrisk_telemetry::{Histogram, Registry};
 
 use crate::source::{SourceProvider, SourceSnapshot};
 use crate::sync::{lock, read_lock, write_lock};
+use crate::telemetry::stage;
 
 /// Low 48 bits of a generation stamp hold the shard's commit counter;
 /// the high 16 hold a *replacement epoch*, bumped whenever a refresh
@@ -186,6 +188,16 @@ pub struct StoreCatalog {
     last_probe_micros: AtomicU64,
     refreshes: AtomicU64,
     refresh_errors: AtomicU64,
+    /// Set by [`SourceProvider::attach_telemetry`] when the catalog backs
+    /// an instrumented server; `None` for a bare catalog.
+    telemetry: Mutex<Option<CatalogTelemetry>>,
+}
+
+/// The catalog's resolved metric handles (see [`crate::telemetry::stage`]).
+struct CatalogTelemetry {
+    /// Snapshot-assembly cost: memo validation plus (on generation
+    /// movement) the union schema / trial-layout rebuild.
+    schema_memo: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for StoreCatalog {
@@ -301,6 +313,7 @@ impl StoreCatalog {
             last_probe_micros: AtomicU64::new(u64::MAX),
             refreshes: AtomicU64::new(0),
             refresh_errors: AtomicU64::new(0),
+            telemetry: Mutex::new(None),
         })
     }
 
@@ -509,6 +522,23 @@ impl SourceProvider for StoreCatalog {
         advanced
     }
 
+    /// Hooks the catalog into the server's registry: records what each
+    /// shard's open cost (already paid at [`StoreCatalog::open`]), wires
+    /// every reader's future refreshes into `store_refresh_micros`, and
+    /// arms the snapshot-assembly (`stage_schema_memo_micros`) timer.
+    fn attach_telemetry(&self, registry: &Registry) {
+        let open_hist = registry.histogram(stage::STORE_OPEN);
+        let refresh_hist = registry.histogram(stage::STORE_REFRESH);
+        for shard in &self.shards {
+            let mut reader = write_lock(&shard.reader);
+            open_hist.record(reader.open_micros());
+            reader.attach_refresh_histogram(Arc::clone(&refresh_hist));
+        }
+        *lock(&self.telemetry) = Some(CatalogTelemetry {
+            schema_memo: registry.histogram(stage::SCHEMA_MEMO),
+        });
+    }
+
     fn with_source<R>(&self, f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R {
         // All read locks taken in shard order and held for the whole
         // batch; refresh takes write locks one shard at a time, so there
@@ -526,6 +556,9 @@ impl SourceProvider for StoreCatalog {
             .zip(&guards)
             .map(|(shard, guard)| stamp(shard.epoch.load(Ordering::Acquire), guard.commit_seq()))
             .collect();
+        let schema_memo: Option<Arc<Histogram>> = lock(&self.telemetry)
+            .as_ref()
+            .map(|telemetry| Arc::clone(&telemetry.schema_memo));
 
         if self.axis == ShardAxis::Trial {
             // Every window must still be covered by the store registered
@@ -542,6 +575,7 @@ impl SourceProvider for StoreCatalog {
             // O(segments × shards); skip it when nothing changed since
             // the last validated snapshot (any visible change moves a
             // generation stamp, which re-validates).
+            let memo_started = Instant::now();
             let validated = lock(&self.trial_layout_cache)
                 .as_ref()
                 .is_some_and(|cached| cached == &generations);
@@ -552,6 +586,9 @@ impl SourceProvider for StoreCatalog {
                     TrialShardedSource::new(refs)
                 }
             });
+            if let Some(histogram) = &schema_memo {
+                histogram.record(memo_started.elapsed().as_micros() as u64);
+            }
             return match stitched {
                 // Shards that stopped describing the same segments (a
                 // mid-ingest layout divergence) cannot stitch either.
@@ -592,6 +629,7 @@ impl SourceProvider for StoreCatalog {
                 // Re-attach the memoized merged schema when nothing
                 // changed since it was built; otherwise rebuild and
                 // memoize it for the next batch.
+                let memo_started = Instant::now();
                 let cached = lock(&self.schema_cache)
                     .as_ref()
                     .filter(|(key, _)| key == &generations)
@@ -605,6 +643,9 @@ impl SourceProvider for StoreCatalog {
                             Some((generations.clone(), Arc::clone(built.schema())));
                         built
                     });
+                if let Some(histogram) = &schema_memo {
+                    histogram.record(memo_started.elapsed().as_micros() as u64);
+                }
                 f(SourceSnapshot {
                     source: &sharded,
                     generations: &generations,

@@ -123,6 +123,7 @@ pub mod server;
 pub mod source;
 pub mod stats;
 pub mod tcp;
+pub mod telemetry;
 
 pub use catalog::{ShardAxis, StoreCatalog};
 pub use loadgen::{default_mix, IngestReport, LoadReport, LoadgenOptions};

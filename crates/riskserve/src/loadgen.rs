@@ -36,8 +36,11 @@ use catrisk_finterms::layer::LayerId;
 use catrisk_riskquery::{LineOfBusiness, SegmentMeta};
 use catrisk_riskstore::StoreWriter;
 
+use catrisk_telemetry::MetricsSnapshot;
+
 use crate::protocol::WireReply;
 use crate::stats::{percentile, StatsSnapshot};
+use crate::telemetry::stage;
 
 /// Load-generation options.
 #[derive(Debug, Clone)]
@@ -69,6 +72,10 @@ pub struct LoadgenOptions {
     pub refresh_commits: usize,
     /// Pause between ingest commits, in milliseconds.
     pub refresh_every_ms: u64,
+    /// Fail the run (nonzero exit from the CLI) when the post-run `stats`
+    /// or `metrics` scrape cannot be fetched — CI smokes set this so a
+    /// silently absent server-side report cannot pass.
+    pub require_stats: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -84,6 +91,7 @@ impl Default for LoadgenOptions {
             refresh_writers: Vec::new(),
             refresh_commits: 4,
             refresh_every_ms: 250,
+            require_stats: false,
         }
     }
 }
@@ -164,6 +172,11 @@ pub struct LoadReport {
     /// The server's counters snapshot, fetched after the run (before any
     /// shutdown) — carries the cache hit/miss and refresh counts.
     pub server_stats: Option<StatsSnapshot>,
+    /// The server's full metric registry, fetched after the run (before
+    /// any shutdown) — carries the per-stage latency histograms, so CI
+    /// smokes can assert on *server-side* p99 per stage rather than only
+    /// the client-observed round trip.
+    pub server_metrics: Option<MetricsSnapshot>,
     /// The ingest-writer companion's report, when one ran.
     pub ingest: Option<IngestReport>,
 }
@@ -210,6 +223,28 @@ impl std::fmt::Display for LoadReport {
                     stats.partial_misses,
                     stats.partial_hit_rate() * 100.0
                 )?;
+            }
+        }
+        if let Some(metrics) = &self.server_metrics {
+            let mut stages = Vec::new();
+            for (label, name) in [
+                ("queue", stage::QUEUE),
+                ("scan", stage::SCAN),
+                ("batch exec", stage::BATCH_EXEC),
+            ] {
+                if let Some(h) = metrics.histogram(name) {
+                    if h.count > 0 {
+                        stages.push(format!(
+                            "{label} p50 {:.2} / p99 {:.2} ms ({} samples)",
+                            h.percentile(50.0) as f64 / 1_000.0,
+                            h.percentile(99.0) as f64 / 1_000.0,
+                            h.count
+                        ));
+                    }
+                }
+            }
+            if !stages.is_empty() {
+                write!(f, "\nserver stages: {}", stages.join("; "))?;
             }
         }
         if let Some(ingest) = &self.ingest {
@@ -522,13 +557,38 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         }
     };
 
-    // Server counters (cache hit rate, refreshes) before any shutdown.
-    let server_stats = round_trip(&options.addr, connect_timeout, "stats")
-        .ok()
-        .and_then(|reply| reply.stats);
+    // Server counters (cache hit rate, refreshes) and the full metric
+    // registry (per-stage histograms), both before any shutdown.  A
+    // failed scrape warns but only fails the run under `require_stats` —
+    // and the shutdown still goes out first, so a CI server never
+    // lingers behind the nonzero exit.
+    let server_stats = match round_trip(&options.addr, connect_timeout, "stats") {
+        Ok(reply) => reply.stats,
+        Err(err) => {
+            eprintln!("warning: server stats fetch failed: {err}");
+            None
+        }
+    };
+    let server_metrics = match round_trip(&options.addr, connect_timeout, "metrics") {
+        Ok(reply) => reply.metrics,
+        Err(err) => {
+            eprintln!("warning: server metrics fetch failed: {err}");
+            None
+        }
+    };
 
     if options.shutdown {
         send_shutdown(&options.addr, connect_timeout)?;
+    }
+    if options.require_stats && (server_stats.is_none() || server_metrics.is_none()) {
+        let missing = match (&server_stats, &server_metrics) {
+            (None, None) => "stats and metrics",
+            (None, _) => "stats",
+            _ => "metrics",
+        };
+        return Err(format!(
+            "--require-stats: could not fetch the server's {missing} report"
+        ));
     }
 
     let mut latencies: Vec<u64> = merged.samples.iter().map(|&(_, l)| l).collect();
@@ -551,6 +611,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
             merged.batch_sum as f64 / merged.ok as f64
         },
         server_stats,
+        server_metrics,
         ingest,
     })
 }
@@ -690,6 +751,19 @@ mod tests {
             stats.cache_hits > 0,
             "the cycled query mix must produce cache hits: {stats:?}"
         );
+        let metrics = report
+            .server_metrics
+            .as_ref()
+            .expect("metrics fetched before shutdown");
+        let queue = metrics.histogram(stage::QUEUE).expect("queue histogram");
+        assert_eq!(
+            queue.count,
+            stats.completed + stats.failed,
+            "one queue sample per answered request"
+        );
+        let scan = metrics.histogram(stage::SCAN).expect("scan histogram");
+        assert_eq!(scan.count, stats.cache_misses, "one scan sample per miss");
+        assert!(format!("{report}").contains("server stages:"), "{report}");
         front.wait().expect("server exited cleanly");
     }
 

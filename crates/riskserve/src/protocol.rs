@@ -29,10 +29,14 @@
 //! never contain them (aggregates are a closed set, constraints always
 //! contain `=`, `>` or `<`, dimensions are a closed set).
 //!
-//! Four command lines are recognised instead of a query:
+//! Six command lines are recognised instead of a query:
 //!
 //! * `ping` — liveness probe, answered with a `pong` reply;
 //! * `stats` — a snapshot of the server counters;
+//! * `metrics` — a snapshot of every metric (counters, gauges and the
+//!   per-stage latency histograms); render it as Prometheus text with
+//!   [`MetricsSnapshot::to_prometheus`];
+//! * `recorder` — the flight recorder's recent structured events;
 //! * `quit` — close this connection (the server keeps running);
 //! * `shutdown` — drain and stop the whole server (the reply is sent
 //!   before the listener winds down).
@@ -54,6 +58,7 @@
 //! overloaded rejection is a well-formed reply, not a dropped connection,
 //! so clients can implement typed backoff.
 
+use catrisk_telemetry::{EventRecord, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 
 use catrisk_riskquery::{parse_group_by, parse_select, parse_where, Query, QueryBuilder};
@@ -70,6 +75,10 @@ pub enum Request {
     Ping,
     /// Server-counters snapshot.
     Stats,
+    /// Full metric snapshot (counters, gauges, stage histograms).
+    Metrics,
+    /// Flight-recorder dump.
+    Recorder,
     /// Close this connection.
     Quit,
     /// Drain and stop the whole server.
@@ -85,6 +94,8 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
     match line.to_ascii_lowercase().as_str() {
         "ping" => return Ok(Some(Request::Ping)),
         "stats" => return Ok(Some(Request::Stats)),
+        "metrics" => return Ok(Some(Request::Metrics)),
+        "recorder" => return Ok(Some(Request::Recorder)),
         "quit" | "bye" => return Ok(Some(Request::Quit)),
         "shutdown" => return Ok(Some(Request::Shutdown)),
         _ => {}
@@ -101,7 +112,7 @@ fn parse_query_line(line: &str) -> Result<Query, String> {
     {
         return Err(format!(
             "a request is `select ... [where ...] [group by ...]` or one of \
-             ping/stats/quit/shutdown, got `{line}`"
+             ping/stats/metrics/recorder/quit/shutdown, got `{line}`"
         ));
     }
     const SELECT: usize = 0;
@@ -201,7 +212,8 @@ pub struct WireError {
 pub struct WireReply {
     /// False exactly when `error` is set.
     pub ok: bool,
-    /// `result`, `pong`, `stats`, `bye`, `shutting-down` or `error`.
+    /// `result`, `pong`, `stats`, `metrics`, `recorder`, `bye`,
+    /// `shutting-down` or `error`.
     pub kind: String,
     /// The query result, for `kind == "result"`.
     pub result: Option<catrisk_riskquery::QueryResult>,
@@ -209,6 +221,14 @@ pub struct WireReply {
     pub error: Option<WireError>,
     /// The counters snapshot, for `kind == "stats"`.
     pub stats: Option<StatsSnapshot>,
+    /// The metric snapshot, for `kind == "metrics"`.  Post-v1 field: a
+    /// v1 server never sends it, so it defaults to `None` on parse.
+    #[serde(default)]
+    pub metrics: Option<MetricsSnapshot>,
+    /// The flight-recorder dump, for `kind == "recorder"`.  Post-v1
+    /// field, defaults to `None`.
+    #[serde(default)]
+    pub recorder: Option<Vec<EventRecord>>,
     /// Latency attribution of a `result` reply.
     pub timings: RequestTimings,
 }
@@ -221,6 +241,8 @@ impl WireReply {
             result: None,
             error: None,
             stats: None,
+            metrics: None,
+            recorder: None,
             timings: RequestTimings::default(),
         }
     }
@@ -244,6 +266,22 @@ impl WireReply {
         Self {
             stats: Some(snapshot),
             ..Self::base("stats")
+        }
+    }
+
+    /// A metric-snapshot reply.
+    pub fn metrics(snapshot: MetricsSnapshot) -> Self {
+        Self {
+            metrics: Some(snapshot),
+            ..Self::base("metrics")
+        }
+    }
+
+    /// A flight-recorder dump reply.
+    pub fn recorder(events: Vec<EventRecord>) -> Self {
+        Self {
+            recorder: Some(events),
+            ..Self::base("recorder")
         }
     }
 
@@ -297,6 +335,8 @@ mod tests {
         assert_eq!(parse_request("  "), Ok(None));
         assert_eq!(parse_request("ping"), Ok(Some(Request::Ping)));
         assert_eq!(parse_request("STATS"), Ok(Some(Request::Stats)));
+        assert_eq!(parse_request("metrics"), Ok(Some(Request::Metrics)));
+        assert_eq!(parse_request("Recorder"), Ok(Some(Request::Recorder)));
         assert_eq!(parse_request("quit"), Ok(Some(Request::Quit)));
         assert_eq!(parse_request("bye"), Ok(Some(Request::Quit)));
         assert_eq!(parse_request("Shutdown"), Ok(Some(Request::Shutdown)));
@@ -363,7 +403,37 @@ mod tests {
         let parsed = WireReply::from_line(&stats.to_line()).unwrap();
         assert_eq!(parsed.stats, Some(StatsSnapshot::default()));
 
+        let registry = catrisk_telemetry::Registry::new();
+        registry.counter("completed").add(3);
+        registry.histogram("stage_scan_micros").record(120);
+        let metrics = WireReply::metrics(registry.snapshot());
+        let parsed = WireReply::from_line(&metrics.to_line()).unwrap();
+        assert_eq!(parsed.kind, "metrics");
+        let snapshot = parsed.metrics.unwrap();
+        assert_eq!(snapshot.counter("completed"), Some(3));
+        assert_eq!(snapshot.histogram("stage_scan_micros").unwrap().count, 1);
+
+        let recorder = catrisk_telemetry::FlightRecorder::new(4);
+        recorder.record("batch", [("size", 2u64.into())]);
+        let parsed = WireReply::from_line(&WireReply::recorder(recorder.dump()).to_line()).unwrap();
+        assert_eq!(parsed.kind, "recorder");
+        assert_eq!(parsed.recorder.unwrap().len(), 1);
+
         assert!(WireReply::from_line("not json").is_err());
+    }
+
+    #[test]
+    fn v1_replies_without_metrics_fields_still_parse() {
+        // A protocol-v1 server's reply has no `metrics` / `recorder`
+        // fields; a newer client must parse it with both defaulting to
+        // null rather than failing.
+        let v1 = r#"{"ok":true,"kind":"pong","result":null,"error":null,
+                     "stats":null,
+                     "timings":{"queue_micros":0,"exec_micros":0,"batch_size":0}}"#;
+        let parsed = WireReply::from_line(v1).expect("v1 reply must parse");
+        assert_eq!(parsed.kind, "pong");
+        assert_eq!(parsed.metrics, None);
+        assert_eq!(parsed.recorder, None);
     }
 
     #[test]

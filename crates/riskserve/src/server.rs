@@ -3,7 +3,6 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -11,11 +10,13 @@ use catrisk_riskquery::{
     combine_trial_partials, scan_trial_partial, Query, QueryPlan, QueryResult, QuerySession,
     SegmentSource,
 };
+use catrisk_telemetry::{EventRecord, EventValue, MetricsSnapshot, Span};
 
 use crate::cache::{PartialCache, ResultCache};
 use crate::source::SourceProvider;
 use crate::stats::{Counters, RequestTimings, StatsSnapshot};
 use crate::sync::{lock, wait, wait_timeout};
+use crate::telemetry::ServerTelemetry;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,12 @@ pub struct ServerConfig {
     /// moves (or the union's segment prefix grows), so a single-shard
     /// refresh rescans one trial window instead of every one.
     pub partial_cache_capacity: usize,
+    /// Batches whose execution exceeds this many microseconds emit a
+    /// `slow-batch` flight-recorder event.  0 (the default) disables the
+    /// check.
+    pub metrics_threshold_us: u64,
+    /// Events the flight recorder retains (0 disables the recorder).
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +62,8 @@ impl Default for ServerConfig {
             workers: 2,
             cache_capacity: 1024,
             partial_cache_capacity: 4096,
+            metrics_threshold_us: 0,
+            recorder_capacity: 256,
         }
     }
 }
@@ -183,6 +192,7 @@ struct Shared<P> {
     cache: Mutex<ResultCache>,
     partials: Mutex<PartialCache>,
     counters: Counters,
+    telemetry: ServerTelemetry,
 }
 
 /// A micro-batching query server over any [`SourceProvider`] — a shared
@@ -221,6 +231,11 @@ impl<P: SourceProvider> std::fmt::Debug for Server<P> {
 impl<P: SourceProvider> Server<P> {
     /// Starts a server over `provider` with the given configuration.
     pub fn new(provider: P, config: ServerConfig) -> Self {
+        let telemetry = ServerTelemetry::new(config.recorder_capacity, config.metrics_threshold_us);
+        // The provider hooks its own metrics (store opens, refresh costs,
+        // schema memo rebuilds) into the same registry the serving stages
+        // record into, so one `metrics` scrape covers the whole path.
+        provider.attach_telemetry(&telemetry.registry);
         let shared = Arc::new(Shared {
             provider,
             config: ServerConfig {
@@ -232,7 +247,8 @@ impl<P: SourceProvider> Server<P> {
             arrived: Condvar::new(),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             partials: Mutex::new(PartialCache::new(config.partial_cache_capacity)),
-            counters: Counters::default(),
+            counters: Counters::register(&telemetry.registry),
+            telemetry,
         });
         let workers = (0..shared.config.workers)
             .map(|index| {
@@ -275,6 +291,9 @@ impl<P: SourceProvider> Server<P> {
     /// rejected with a typed [`ServeError::Overloaded`] instead of
     /// queueing without bound.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        // One admission sample per attempt, whatever the outcome — the
+        // span records on every exit path below.
+        let _admission = Span::enter(&self.shared.telemetry.admission);
         if let Err(err) = QueryPlan::validate_trials(self.shared.provider.num_trials(), &query) {
             return Err(ServeError::InvalidQuery(err.to_string()));
         }
@@ -286,10 +305,11 @@ impl<P: SourceProvider> Server<P> {
             }
             let depth = queue.pending.len();
             if depth >= self.shared.config.queue_depth {
+                self.shared.counters.rejected.inc();
                 self.shared
-                    .counters
-                    .rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                    .telemetry
+                    .recorder
+                    .record("overload", [("depth", EventValue::from(depth))]);
                 return Err(ServeError::Overloaded { depth });
             }
             queue.pending.push_back(Pending {
@@ -297,12 +317,12 @@ impl<P: SourceProvider> Server<P> {
                 slot: Arc::clone(&slot),
                 enqueued: Instant::now(),
             });
-            Counters::bump_max(&self.shared.counters.max_queue_depth, depth as u64 + 1);
+            self.shared
+                .counters
+                .max_queue_depth
+                .bump_max(depth as i64 + 1);
         }
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.submitted.inc();
         self.shared.arrived.notify_one();
         Ok(Ticket { slot })
     }
@@ -316,6 +336,19 @@ impl<P: SourceProvider> Server<P> {
     /// A snapshot of the server counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.counters.snapshot()
+    }
+
+    /// A snapshot of every metric: the counters plus the per-stage latency
+    /// histograms (see [`crate::telemetry::stage`] for the taxonomy).
+    /// This is what the `metrics` protocol command returns.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.telemetry.registry.snapshot()
+    }
+
+    /// The flight recorder's current contents, oldest first.  This is
+    /// what the `recorder` protocol command returns.
+    pub fn recorder_dump(&self) -> Vec<EventRecord> {
+        self.shared.telemetry.recorder.dump()
     }
 
     /// Stops accepting requests, drains the queue (every accepted ticket
@@ -387,12 +420,18 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
     // Refresh before snapshotting, so a query submitted after a commit
     // was published observes it; the refresh cost is attributed to this
     // batch's exec time.
+    let refresh_span = Span::enter(&shared.telemetry.refresh_probe);
     let refreshed = shared.provider.refresh();
+    refresh_span.finish();
     if !refreshed.is_empty() {
-        shared
-            .counters
-            .refreshes
-            .fetch_add(refreshed.len() as u64, Ordering::Relaxed);
+        shared.counters.refreshes.add(refreshed.len() as u64);
+        shared.telemetry.recorder.record(
+            "refresh",
+            [
+                ("shards", EventValue::from(refreshed.len())),
+                ("indices", EventValue::from(format!("{refreshed:?}"))),
+            ],
+        );
     }
 
     let mut unique: Vec<Query> = Vec::with_capacity(batch.len());
@@ -411,6 +450,8 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
         .collect();
     drop(index_of);
 
+    let mut batch_hits = 0usize;
+    let mut batch_misses = 0usize;
     let outcomes: Vec<Result<QueryResult, ServeError>> = shared.provider.with_source(|snapshot| {
         let source = snapshot.source;
         let generations = snapshot.generations;
@@ -420,6 +461,7 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
         //    fresh scan of this snapshot by the cache's key contract.
         let mut misses: Vec<usize> = Vec::new();
         {
+            let _cache_lookup = Span::enter(&shared.telemetry.cache_lookup);
             let mut cache = lock(&shared.cache);
             for (index, query) in unique.iter().enumerate() {
                 match cache.get(query, generations) {
@@ -428,20 +470,19 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                 }
             }
         }
-        shared
-            .counters
-            .cache_hits
-            .fetch_add((unique.len() - misses.len()) as u64, Ordering::Relaxed);
-        shared
-            .counters
-            .cache_misses
-            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        batch_hits = unique.len() - misses.len();
+        batch_misses = misses.len();
+        shared.counters.cache_hits.add(batch_hits as u64);
+        shared.counters.cache_misses.add(batch_misses as u64);
 
         // 2a. Trial-sharded snapshot: answer each miss from cached
         //     per-shard partials, rescanning only the windows whose
         //     shard generation moved since they were cached.
         if let Some(windows) = snapshot.trial_windows {
             for &index in &misses {
+                // One scan-stage sample per result-cache miss, so the
+                // scan histogram's count always equals `cache_misses`.
+                let _scan = Span::enter(&shared.telemetry.scan);
                 let outcome =
                     run_from_partials(shared, source, generations, windows, &unique[index]);
                 if let Ok(result) = &outcome {
@@ -450,9 +491,15 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                 results[index] = Some(outcome);
             }
         } else if !misses.is_empty() {
-            // 2b. One fused scan for the misses.
+            // 2b. One fused scan for the misses.  Every miss rode the
+            //     same pass, so each one's scan-stage sample is the whole
+            //     pass's elapsed time (keeping the count == cache_misses
+            //     invariant), like `exec_micros` in `RequestTimings`.
+            let scan_started = Instant::now();
             let to_run: Vec<Query> = misses.iter().map(|&i| unique[i].clone()).collect();
-            match QuerySession::new(source).run(&to_run) {
+            let session =
+                QuerySession::new(source).with_scan_histogram(&shared.telemetry.session_scan);
+            match session.run(&to_run) {
                 Ok(scanned) => {
                     let mut cache = lock(&shared.cache);
                     for (&index, result) in misses.iter().zip(scanned) {
@@ -474,6 +521,10 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                     }
                 }
             }
+            let scan_micros = scan_started.elapsed().as_micros() as u64;
+            for _ in &misses {
+                shared.telemetry.scan.record(scan_micros);
+            }
         }
         results
             .into_iter()
@@ -482,29 +533,59 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
     });
 
     let exec_micros = started.elapsed().as_micros() as u64;
+    shared.telemetry.batch_exec.record(exec_micros);
     let batch_size = batch.len() as u32;
     // Counters bump before the slots are fulfilled, so a client that just
     // received its reply already sees itself counted.
-    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-    Counters::bump_max(&shared.counters.largest_batch, u64::from(batch_size));
+    shared.counters.batches.inc();
+    shared
+        .counters
+        .largest_batch
+        .bump_max(i64::from(batch_size));
+    shared.telemetry.recorder.record(
+        "batch",
+        [
+            ("size", EventValue::from(batch.len())),
+            ("unique", EventValue::from(unique.len())),
+            ("cache_hits", EventValue::from(batch_hits)),
+            ("cache_misses", EventValue::from(batch_misses)),
+            ("exec_micros", EventValue::from(exec_micros)),
+        ],
+    );
+    let threshold = shared.telemetry.slow_batch_threshold_micros;
+    if threshold > 0 && exec_micros > threshold {
+        shared.telemetry.recorder.record(
+            "slow-batch",
+            [
+                ("exec_micros", EventValue::from(exec_micros)),
+                ("threshold_micros", EventValue::from(threshold)),
+                ("batch_size", EventValue::from(batch.len())),
+            ],
+        );
+    }
+    let _finalize = Span::enter(&shared.telemetry.finalize);
     for (pending, unique_index) in batch.into_iter().zip(assignment) {
+        let queue_micros = started
+            .saturating_duration_since(pending.enqueued)
+            .as_micros() as u64;
+        // One queue sample per admitted request, so the queue histogram's
+        // count always equals `completed + failed`.
+        shared.telemetry.queue.record(queue_micros);
         let timings = RequestTimings {
-            queue_micros: started
-                .saturating_duration_since(pending.enqueued)
-                .as_micros() as u64,
+            queue_micros,
             exec_micros,
             batch_size,
         };
         let outcome = match &outcomes[unique_index] {
             Ok(result) => {
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.completed.inc();
                 Ok(Reply {
                     result: result.clone(),
                     timings,
                 })
             }
             Err(err) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.failed.inc();
                 Err(err.clone())
             }
         };
@@ -568,19 +649,17 @@ fn run_from_partials<P: SourceProvider>(
     for (shard, part) in parts.iter_mut().enumerate() {
         if part.is_none() {
             let (start, end) = clips[shard];
+            // One shard-scan sample per rescanned window, so the
+            // histogram's count always equals `partial_misses`.
+            let _shard_scan = Span::enter(&shared.telemetry.scan_shard);
             let fresh = scan_trial_partial(source, &plan, start, end);
             scanned.push((shard, fresh.clone()));
             *part = Some(fresh);
         }
     }
-    shared
-        .counters
-        .partial_hits
-        .fetch_add(hits as u64, Ordering::Relaxed);
-    shared
-        .counters
-        .partial_misses
-        .fetch_add(scanned.len() as u64, Ordering::Relaxed);
+    let rescans = scanned.len();
+    shared.counters.partial_hits.add(hits as u64);
+    shared.counters.partial_misses.add(rescans as u64);
 
     // Phase 3: publish the fresh partials, then stitch.
     if !scanned.is_empty() {
@@ -593,7 +672,10 @@ fn run_from_partials<P: SourceProvider>(
         .into_iter()
         .map(|part| part.expect("filled"))
         .collect();
-    match combine_trial_partials(query, parts) {
+    let stitch = Span::enter(&shared.telemetry.stitch);
+    let stitched = combine_trial_partials(query, parts);
+    stitch.finish();
+    match stitched {
         Ok(result) => Ok(result),
         Err(_) => {
             // Cached parts disagreed with the fresh ones (they cannot
@@ -601,7 +683,19 @@ fn run_from_partials<P: SourceProvider>(
             // but a valid query must never error over cache state: purge
             // the untrustworthy entries so the next execution rescans
             // cleanly, and answer this one with a full fresh scan.
+            shared.telemetry.recorder.record(
+                "stitch-fallback",
+                [
+                    ("shards", EventValue::from(windows.len())),
+                    ("cached_parts", EventValue::from(hits)),
+                    ("rescanned", EventValue::from(rescans)),
+                ],
+            );
             lock(&shared.partials).purge(query, windows.len());
+            shared
+                .telemetry
+                .recorder
+                .record("cache-purge", [("shards", EventValue::from(windows.len()))]);
             catrisk_riskquery::execute(source, query)
                 .map_err(|err| ServeError::InvalidQuery(err.to_string()))
         }

@@ -60,6 +60,13 @@ pub trait SourceProvider: Send + Sync + 'static {
         Vec::new()
     }
 
+    /// Hooks the provider's own metrics into the server's registry, once,
+    /// at server construction.  A refreshable catalog records store-open
+    /// costs, attaches refresh-latency histograms to its readers and
+    /// times its schema memo; the default (for immutable providers with
+    /// nothing to measure) is a no-op.
+    fn attach_telemetry(&self, _registry: &catrisk_telemetry::Registry) {}
+
     /// Runs `f` over a consistent snapshot of the data; every field of
     /// the [`SourceSnapshot`] describes the same instant.
     fn with_source<R>(&self, f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R;

@@ -1,7 +1,8 @@
 //! Latency accounting and server counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use catrisk_telemetry::{Counter, Gauge, Registry};
 use serde::{Deserialize, Serialize};
 
 /// Per-request timing attribution, attached to every successful reply.
@@ -20,43 +21,62 @@ pub struct RequestTimings {
     pub batch_size: u32,
 }
 
-/// Monotonic server counters, updated lock-free by the submit path and the
-/// workers.
-#[derive(Debug, Default)]
+/// The server counters, as lock-free handles registered in the server's
+/// metric [`Registry`] — the same values surface both as the legacy
+/// [`StatsSnapshot`] (`stats` command) and through the registry's
+/// `metrics` exposition, from one set of atomics.  Maxima are gauges
+/// (Prometheus semantics for non-monotonic values); everything else is a
+/// monotonic counter.
+#[derive(Debug)]
 pub(crate) struct Counters {
-    pub submitted: AtomicU64,
-    pub rejected: AtomicU64,
-    pub completed: AtomicU64,
-    pub failed: AtomicU64,
-    pub batches: AtomicU64,
-    pub largest_batch: AtomicU64,
-    pub max_queue_depth: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub partial_hits: AtomicU64,
-    pub partial_misses: AtomicU64,
-    pub refreshes: AtomicU64,
+    pub submitted: Arc<Counter>,
+    pub rejected: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub largest_batch: Arc<Gauge>,
+    pub max_queue_depth: Arc<Gauge>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
+    pub partial_hits: Arc<Counter>,
+    pub partial_misses: Arc<Counter>,
+    pub refreshes: Arc<Counter>,
 }
 
 impl Counters {
-    pub fn bump_max(cell: &AtomicU64, observed: u64) {
-        cell.fetch_max(observed, Ordering::Relaxed);
+    /// Registers every counter under its [`StatsSnapshot`] field name and
+    /// returns the resolved handles.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            submitted: registry.counter("submitted"),
+            rejected: registry.counter("rejected"),
+            completed: registry.counter("completed"),
+            failed: registry.counter("failed"),
+            batches: registry.counter("batches"),
+            largest_batch: registry.gauge("largest_batch"),
+            max_queue_depth: registry.gauge("max_queue_depth"),
+            cache_hits: registry.counter("cache_hits"),
+            cache_misses: registry.counter("cache_misses"),
+            partial_hits: registry.counter("partial_hits"),
+            partial_misses: registry.counter("partial_misses"),
+            refreshes: registry.counter("refreshes"),
+        }
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            largest_batch: self.largest_batch.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            partial_hits: self.partial_hits.load(Ordering::Relaxed),
-            partial_misses: self.partial_misses.load(Ordering::Relaxed),
-            refreshes: self.refreshes.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            batches: self.batches.get(),
+            largest_batch: self.largest_batch.get().max(0) as u64,
+            max_queue_depth: self.max_queue_depth.get().max(0) as u64,
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            partial_hits: self.partial_hits.get(),
+            partial_misses: self.partial_misses.get(),
+            refreshes: self.refreshes.get(),
         }
     }
 }
@@ -80,19 +100,27 @@ pub struct StatsSnapshot {
     /// Deepest queue observed at submit time.
     pub max_queue_depth: u64,
     /// Unique batch queries answered from the generation-keyed result
-    /// cache without scanning.
+    /// cache without scanning.  Post-v1 field: defaults to 0 when absent,
+    /// so a newer client can parse an older server's snapshot.
+    #[serde(default)]
     pub cache_hits: u64,
     /// Unique batch queries that had to scan (then populated the cache).
+    /// Post-v1 field, defaults to 0.
+    #[serde(default)]
     pub cache_misses: u64,
     /// Per-shard partial aggregates reused from the partial cache on a
     /// trial-sharded catalog: each hit is one shard's trial window that
     /// did **not** need rescanning for a query that missed the result
-    /// cache.
+    /// cache.  Post-v1 field, defaults to 0.
+    #[serde(default)]
     pub partial_hits: u64,
     /// Per-shard trial windows that had to be rescanned (then populated
-    /// the partial cache).
+    /// the partial cache).  Post-v1 field, defaults to 0.
+    #[serde(default)]
     pub partial_misses: u64,
     /// Store refreshes that made newly committed segments visible.
+    /// Post-v1 field, defaults to 0.
+    #[serde(default)]
     pub refreshes: u64,
 }
 
@@ -154,15 +182,36 @@ mod tests {
     }
 
     #[test]
+    fn stats_snapshot_parses_v1_wire_shape() {
+        // A protocol-v1 server sends only the seven original counters; every
+        // later field must default to 0 instead of failing the parse.
+        let v1 = r#"{"submitted":5,"rejected":1,"completed":4,"failed":0,
+                     "batches":2,"largest_batch":3,"max_queue_depth":2}"#;
+        let snap: StatsSnapshot = serde_json::from_str(v1).expect("v1 stats must parse");
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.largest_batch, 3);
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(snap.partial_hits, 0);
+        assert_eq!(snap.partial_misses, 0);
+        assert_eq!(snap.refreshes, 0);
+    }
+
+    #[test]
     fn snapshot_mean_batch() {
-        let counters = Counters::default();
+        let registry = Registry::new();
+        let counters = Counters::register(&registry);
         assert_eq!(counters.snapshot().mean_batch(), 0.0);
-        counters.completed.store(30, Ordering::Relaxed);
-        counters.batches.store(10, Ordering::Relaxed);
-        Counters::bump_max(&counters.largest_batch, 5);
-        Counters::bump_max(&counters.largest_batch, 3);
+        counters.completed.add(30);
+        counters.batches.add(10);
+        counters.largest_batch.bump_max(5);
+        counters.largest_batch.bump_max(3);
         let snap = counters.snapshot();
         assert_eq!(snap.mean_batch(), 3.0);
         assert_eq!(snap.largest_batch, 5);
+        // The same atomics surface through the registry's exposition.
+        let metrics = registry.snapshot();
+        assert_eq!(metrics.counter("completed"), Some(30));
+        assert_eq!(metrics.gauge("largest_batch"), Some(5));
     }
 }

@@ -184,6 +184,8 @@ fn handle_connection<P: SourceProvider>(connection: TcpStream, shared: &TcpShare
             Ok(None) => continue,
             Ok(Some(Request::Ping)) => WireReply::pong(),
             Ok(Some(Request::Stats)) => WireReply::stats(shared.server.stats()),
+            Ok(Some(Request::Metrics)) => WireReply::metrics(shared.server.metrics()),
+            Ok(Some(Request::Recorder)) => WireReply::recorder(shared.server.recorder_dump()),
             Ok(Some(Request::Quit)) => {
                 let _ = write_line(&mut writer, &WireReply::bye());
                 break;
@@ -276,6 +278,23 @@ mod tests {
 
         let stats = roundtrip(&mut lines, &mut stream, "stats");
         assert!(stats.stats.unwrap().completed >= 1);
+
+        let metrics = roundtrip(&mut lines, &mut stream, "metrics");
+        let snapshot = metrics.metrics.expect("metrics payload");
+        assert!(snapshot.counter("completed").unwrap() >= 1);
+        // The count-consistency contract, over the wire: every
+        // result-cache miss contributed exactly one scan-stage sample.
+        assert_eq!(
+            snapshot.histogram("stage_scan_micros").unwrap().count,
+            snapshot.counter("cache_misses").unwrap(),
+        );
+
+        let recorder = roundtrip(&mut lines, &mut stream, "recorder");
+        let events = recorder.recorder.expect("recorder payload");
+        assert!(
+            events.iter().any(|event| event.kind == "batch"),
+            "{events:?}"
+        );
 
         // A second connection coexists and can quit independently; once it
         // is gone its registry entry (a dup'd descriptor) is released.

@@ -150,11 +150,17 @@ pub struct StoreReader {
     region_dict: Dictionary<Region>,
     lob_dict: Dictionary<LineOfBusiness>,
     columns: ColumnRegion,
+    /// Wall-clock microseconds the last full open (or full reload) took.
+    open_micros: u64,
+    /// Optional latency sink for [`StoreReader::refresh`] calls; attached
+    /// by a serving layer, never by the reader itself.
+    refresh_histogram: Option<std::sync::Arc<catrisk_telemetry::Histogram>>,
 }
 
 impl StoreReader {
     /// Opens and fully validates the committed prefix of a store file.
     pub fn open(path: impl AsRef<Path>) -> Result<StoreReader> {
+        let opened_at = std::time::Instant::now();
         let path = path.as_ref().to_path_buf();
         let mut file = File::open(&path)?;
         let state = read_committed_state(&mut file)?;
@@ -173,7 +179,25 @@ impl StoreReader {
                 Absorb::Diverged => unreachable!("an empty reader accepts any valid footer"),
             }
         }
+        reader.open_micros = opened_at.elapsed().as_micros() as u64;
         Ok(reader)
+    }
+
+    /// Wall-clock microseconds the open (validation included) took — what a
+    /// serving layer records into its `store_open_micros` histogram when it
+    /// attaches a freshly opened reader.
+    pub fn open_micros(&self) -> u64 {
+        self.open_micros
+    }
+
+    /// Attaches a latency histogram that every subsequent
+    /// [`refresh`](StoreReader::refresh) records its wall-clock microseconds
+    /// into.  The attachment survives the full-reload path of refresh.
+    pub fn attach_refresh_histogram(
+        &mut self,
+        histogram: std::sync::Arc<catrisk_telemetry::Histogram>,
+    ) {
+        self.refresh_histogram = Some(histogram);
     }
 
     /// Opens a store and wraps the reader for concurrent sharing — the
@@ -215,6 +239,15 @@ impl StoreReader {
     /// model.  On error the reader is left exactly as it was — it keeps
     /// serving its current snapshot.
     pub fn refresh(&mut self) -> Result<bool> {
+        let started = std::time::Instant::now();
+        let result = self.refresh_inner();
+        if let Some(histogram) = &self.refresh_histogram {
+            histogram.record(started.elapsed().as_micros() as u64);
+        }
+        result
+    }
+
+    fn refresh_inner(&mut self) -> Result<bool> {
         let mut file = File::open(&self.path)?;
         let state = read_committed_state(&mut file)?;
         if state.header.commit_seq == self.commit_seq
@@ -236,8 +269,12 @@ impl StoreReader {
             // A newer commit with *no* footer cannot extend anything.
         }
         // The file does not extend this reader's prefix: reload from
-        // scratch and swap in the result only on success.
-        *self = StoreReader::open(&self.path)?;
+        // scratch and swap in the result only on success.  The telemetry
+        // attachment belongs to the serving layer, not the snapshot, so it
+        // carries over to the reloaded reader.
+        let mut reloaded = StoreReader::open(&self.path)?;
+        reloaded.refresh_histogram = self.refresh_histogram.take();
+        *self = reloaded;
         Ok(true)
     }
 

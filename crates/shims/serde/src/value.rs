@@ -91,8 +91,17 @@ pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, DeErr
 /// failing with a "missing field" error when absent.  Used by derived
 /// `Deserialize` impls.
 pub fn take_entry(map: &mut Vec<(String, Value)>, key: &str) -> Result<Value, DeError> {
-    match map.iter().position(|(k, _)| k == key) {
-        Some(i) => Ok(map.remove(i).1),
+    match take_entry_opt(map, key) {
+        Some(value) => Ok(value),
         None => Err(DeError::custom(format!("missing field `{key}`"))),
     }
+}
+
+/// Removes and returns the entry with the given key from an ordered map, or
+/// `None` when absent.  Used by derived `Deserialize` impls for
+/// `#[serde(default)]` fields.
+pub fn take_entry_opt(map: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    map.iter()
+        .position(|(k, _)| k == key)
+        .map(|i| map.remove(i).1)
 }

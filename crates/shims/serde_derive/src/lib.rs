@@ -6,14 +6,18 @@
 //!
 //! Supported shapes: structs with named fields, tuple structs, unit structs,
 //! and enums whose variants are unit, tuple or struct-like — all in serde's
-//! externally-tagged representation.  The only field attribute understood is
-//! `#[serde(with = "module")]`.  Generic types are not supported.
+//! externally-tagged representation.  The field attributes understood are
+//! `#[serde(with = "module")]` and `#[serde(default)]` (a missing key
+//! deserializes to `Default::default()` instead of erroring, which is how
+//! the wire protocol stays forward-compatible).  Generic types are not
+//! supported.
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 enum Shape {
@@ -42,49 +46,66 @@ enum Item {
 // Parsing
 // ---------------------------------------------------------------------------
 
-/// Extracts `with = "module"` from the tokens of a `#[serde(...)]` attribute
-/// bracket group, if present.
-fn serde_with_of_attr(attr: &Group) -> Option<String> {
+/// What a field's `#[serde(...)]` attributes asked for.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Extracts `with = "module"` and the bare `default` flag from the tokens
+/// of a `#[serde(...)]` attribute bracket group, if present.
+fn serde_attrs_of_attr(attr: &Group, attrs: &mut FieldAttrs) {
     let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
     match tokens.first() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return None,
+        _ => return,
     }
     let inner = match tokens.get(1) {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
-        _ => return None,
+        _ => return,
     };
     let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
     let mut i = 0;
     while i < inner.len() {
         if let TokenTree::Ident(id) = &inner[i] {
-            if id.to_string() == "with" {
-                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
-                    (inner.get(i + 1), inner.get(i + 2))
-                {
-                    if eq.as_char() == '=' {
-                        let text = lit.to_string();
-                        return Some(text.trim_matches('"').to_string());
+            match id.to_string().as_str() {
+                "with" => {
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(i + 1), inner.get(i + 2))
+                    {
+                        if eq.as_char() == '=' && attrs.with.is_none() {
+                            let text = lit.to_string();
+                            attrs.with = Some(text.trim_matches('"').to_string());
+                        }
                     }
                 }
+                "default" => {
+                    // Only the bare form: `default = "path"` would need a
+                    // function call and is not supported by the shim.
+                    match inner.get(i + 1) {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                            "serde shim derive: only the bare `#[serde(default)]` is supported"
+                        ),
+                        _ => attrs.default = true,
+                    }
+                }
+                _ => {}
             }
         }
         i += 1;
     }
-    None
 }
 
 /// Skips a run of outer attributes starting at `i`, returning the index
-/// after them and any `#[serde(with = "...")]` value found.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
-    let mut with = None;
+/// after them and the accumulated `#[serde(...)]` field attributes.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                    if with.is_none() {
-                        with = serde_with_of_attr(g);
-                    }
+                    serde_attrs_of_attr(g, &mut attrs);
                     i += 2;
                 } else {
                     i += 1;
@@ -93,7 +114,7 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
             _ => break,
         }
     }
-    (i, with)
+    (i, attrs)
 }
 
 /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
@@ -133,7 +154,7 @@ fn parse_named_fields(group: &Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, with) = skip_attrs(&tokens, i);
+        let (next, attrs) = skip_attrs(&tokens, i);
         i = next;
         if i >= tokens.len() {
             break;
@@ -146,7 +167,11 @@ fn parse_named_fields(group: &Group) -> Vec<Field> {
         i += 1; // field name
         i += 1; // ':'
         i = skip_until_comma(&tokens, i);
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with: attrs.with,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -375,13 +400,25 @@ fn named_struct_from_map(path: &str, fields: &[Field]) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{}: {{ let __v = ::serde::value::take_entry(&mut __fields, \"{}\")\
-                 .map_err({ERR})?; {} }}",
-                f.name,
-                f.name,
-                field_from_value(&f.with)
-            )
+            if f.default {
+                format!(
+                    "{}: {{ match ::serde::value::take_entry_opt(&mut __fields, \"{}\") {{ \
+                     ::std::option::Option::Some(__v) => {{ {} }}, \
+                     ::std::option::Option::None => ::std::default::Default::default(), \
+                     }} }}",
+                    f.name,
+                    f.name,
+                    field_from_value(&f.with)
+                )
+            } else {
+                format!(
+                    "{}: {{ let __v = ::serde::value::take_entry(&mut __fields, \"{}\")\
+                     .map_err({ERR})?; {} }}",
+                    f.name,
+                    f.name,
+                    field_from_value(&f.with)
+                )
+            }
         })
         .collect();
     format!("{path} {{ {} }}", inits.join(", "))

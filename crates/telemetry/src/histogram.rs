@@ -1,0 +1,339 @@
+//! Log-bucketed latency histograms with lock-free recording.
+//!
+//! The bucketing is HDR-style: each power-of-two range `[2^h, 2^(h+1))` is
+//! split into `2^SUB_BITS` equal sub-buckets, so the width of the bucket
+//! holding a value `v` is at most `v / 2^SUB_BITS`.  With [`SUB_BITS`]` = 5`
+//! that bounds the relative quantile error at `1/32` (3.125%); values below
+//! `2^(SUB_BITS + 1) = 64` are recorded exactly.  The whole `u64` range maps
+//! into [`NUM_BUCKETS`]` = 1920` fixed buckets, so recording is a handful of
+//! relaxed atomic adds — no allocation, no locks, no sorting — and two
+//! histograms merge by bucket-wise addition.
+//!
+//! See `docs/OBSERVABILITY.md` for the bucketing math spelled out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sub-bucket bits: every power-of-two range is split into
+/// `2^SUB_BITS` equal-width buckets.
+pub const SUB_BITS: u32 = 5;
+
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total number of buckets covering the full `u64` range.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// Index of the bucket holding `value`.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let h = 63 - value.leading_zeros();
+        let sub = ((value >> (h - SUB_BITS)) & (SUB - 1)) as usize;
+        (((h - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Inclusive `(low, high)` value range of the bucket at `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    if index < SUB as usize {
+        (index as u64, index as u64)
+    } else {
+        let h = (index >> SUB_BITS) as u32 - 1 + SUB_BITS;
+        let sub = index as u64 & (SUB - 1);
+        let low = (SUB + sub) << (h - SUB_BITS);
+        let width = 1u64 << (h - SUB_BITS);
+        (low, low + (width - 1))
+    }
+}
+
+/// A fixed-size, mergeable, lock-free latency histogram.
+///
+/// `record` is wait-free (four relaxed atomic RMWs) and safe to call from
+/// any number of threads; no count is ever lost.  Reading happens through
+/// [`Histogram::snapshot`], which copies the buckets into a plain
+/// [`HistogramSnapshot`].  A snapshot taken while writers are active may be
+/// momentarily inconsistent between `count` and the bucket sum (each is
+/// individually atomic); quiesce writers when exact consistency matters.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (allocates the full fixed bucket array).
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain, serializable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: sparse `(bucket index, count)`
+/// pairs plus count/sum/min/max.  This is what crosses the wire in the
+/// `metrics` reply, what loadgen computes server-side percentiles from, and
+/// the unit of merging.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Sparse non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges `other` into `self` bucket-wise.  Merging is associative and
+    /// commutative and loses no counts.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(u32, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia == ib {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else {
+                        merged.push((ib, cb));
+                        b.next();
+                    }
+                }
+                (Some(&&e), None) => {
+                    merged.push(e);
+                    a.next();
+                }
+                (None, Some(&&e)) => {
+                    merged.push(e);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.sum += other.sum;
+        self.min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// The `p`-th percentile (0–100) by the nearest-rank method, reported as
+    /// the upper bound of the bucket holding the rank.
+    ///
+    /// Guarantee: if `exact` is the nearest-rank percentile of the raw
+    /// samples, then `exact <= estimate <= exact + exact / 32` — the
+    /// estimate never undershoots and overshoots by at most 3.125%
+    /// (`1 / 2^SUB_BITS`).  Values below 64 are reported exactly.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_bounds(index as usize).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates `(upper bound, cumulative count)` over the non-empty
+    /// buckets, ascending — the shape Prometheus histogram exposition wants.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().scan(0u64, |acc, &(index, count)| {
+            *acc += count;
+            Some((bucket_bounds(index as usize).1, *acc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in 0..4096u64 {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside bucket {idx} [{lo}, {hi}]"
+            );
+        }
+        for shift in 0..64u32 {
+            for delta in [-1i64, 0, 1] {
+                let v = (1u128 << shift) as i128 + delta as i128;
+                if v < 0 || v > u64::MAX as i128 {
+                    continue;
+                }
+                let v = v as u64;
+                let idx = bucket_index(v);
+                let (lo, hi) = bucket_bounds(idx);
+                assert!(lo <= v && v <= hi);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn buckets_are_contiguous() {
+        let mut expected_lo = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "gap before bucket {idx}");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(idx, NUM_BUCKETS - 1);
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("last bucket does not reach u64::MAX");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 64);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 63);
+        for p in [1.0f64, 25.0, 50.0, 99.0] {
+            let exact = ((p / 100.0) * 64.0).ceil().max(1.0) as u64 - 1;
+            assert_eq!(snap.percentile(p), exact, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_caps_at_observed_max() {
+        let h = Histogram::new();
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        // A single sample: every percentile is exactly it, not its bucket's
+        // upper bound.
+        assert_eq!(snap.percentile(50.0), 1_000_000);
+        assert_eq!(snap.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_concatenates_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 70, 70, 5000] {
+            a.record(v);
+        }
+        for v in [70u64, 9_999_999] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 6);
+        assert_eq!(m.sum, 3 + 70 + 70 + 5000 + 70 + 9_999_999);
+        assert_eq!(m.min, 3);
+        assert_eq!(m.max, 9_999_999);
+        assert_eq!(m.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap, HistogramSnapshot::default());
+        assert_eq!(snap.percentile(99.0), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # catrisk-telemetry
+//!
+//! The measurement substrate of the serving stack: lock-free metrics,
+//! stage-level span timers and a flight recorder, std-only like the rest
+//! of the workspace.
+//!
+//! The paper's performance story is built on stage-level timing breakdowns
+//! — knowing *which stage* of the aggregate-risk pipeline the time goes to,
+//! not just the end-to-end latency.  This crate provides the pieces the
+//! serving path uses to produce those breakdowns on a live server:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and [`Histogram`]s
+//!   behind `Arc` handles; recording is wait-free atomics, registration is
+//!   get-or-create under a mutex.  Each server owns its registry (no
+//!   process globals).
+//! * [`Histogram`] — HDR-style log-bucketed latency histogram: fixed
+//!   atomic bucket array, mergeable snapshots, relative quantile error
+//!   bounded at `1/2^`[`SUB_BITS`] (3.125%).  See [`histogram`] for the
+//!   bucketing math.
+//! * [`Span`] — RAII stage timer: `Span::enter(&hist)` at stage entry,
+//!   the drop records elapsed microseconds.
+//! * [`FlightRecorder`] — fixed-capacity ring of recent structured
+//!   [`EventRecord`]s for post-hoc debugging, dumpable on demand.
+//! * [`MetricsSnapshot`] / [`HistogramSnapshot`] — plain serializable
+//!   copies that cross the wire in the `metrics` protocol reply, with
+//!   Prometheus text rendering
+//!   ([`MetricsSnapshot::to_prometheus`]).
+//!
+//! Metric names, the stage taxonomy and the flight-recorder event schema
+//! used by the serving path are documented in `docs/OBSERVABILITY.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_BITS,
+};
+pub use recorder::{EventRecord, EventValue, FlightRecorder};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry};
+pub use span::Span;

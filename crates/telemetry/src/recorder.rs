@@ -1,0 +1,196 @@
+//! The flight recorder: a fixed-capacity ring of recent structured events.
+//!
+//! Where histograms answer "how long does this stage usually take", the
+//! recorder answers "what exactly happened just before things went wrong":
+//! it keeps the last N interesting events (batches executed, refreshes
+//! observed, cache purges, stitch fallbacks, overload rejections, slow
+//! batches) with a sequence number and a relative timestamp, and can be
+//! dumped on demand — over the wire via the `recorder` protocol command or
+//! into a CI artifact when a smoke test fails.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventValue {
+    /// Unsigned quantity (counts, microseconds, generations).
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Free-form text (query shapes, reasons).
+    Str(String),
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        EventValue::U64(v)
+    }
+}
+
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        EventValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for EventValue {
+    fn from(v: u32) -> Self {
+        EventValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for EventValue {
+    fn from(v: i64) -> Self {
+        EventValue::I64(v)
+    }
+}
+
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        EventValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for EventValue {
+    fn from(v: String) -> Self {
+        EventValue::Str(v)
+    }
+}
+
+/// One recorded event.  `seq` increments per event over the recorder's
+/// lifetime (so gaps reveal how much the ring evicted); `micros` is the
+/// time since the recorder was created.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotonic event sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub micros: u64,
+    /// Event kind (see `docs/OBSERVABILITY.md` for the taxonomy).
+    pub kind: String,
+    /// Structured payload as ordered `(name, value)` pairs.
+    pub fields: Vec<(String, EventValue)>,
+}
+
+struct Inner {
+    next_seq: u64,
+    events: VecDeque<EventRecord>,
+}
+
+/// Fixed-capacity ring buffer of [`EventRecord`]s.
+///
+/// Recording takes a short mutex (events are rare — per batch, not per
+/// request sample) and never allocates beyond the configured capacity.
+/// A capacity of 0 disables the recorder entirely.
+pub struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            capacity,
+            inner: Mutex::new(Inner {
+                next_seq: 0,
+                events: VecDeque::with_capacity(capacity.min(1024)),
+            }),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest when full.  No-op when the
+    /// capacity is 0.
+    pub fn record<'a, I>(&self, kind: &str, fields: I)
+    where
+        I: IntoIterator<Item = (&'a str, EventValue)>,
+    {
+        if self.capacity == 0 {
+            return;
+        }
+        let micros = self.start.elapsed().as_micros() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(EventRecord {
+            seq,
+            micros,
+            kind: kind.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(name, value)| (name.to_string(), value))
+                .collect(),
+        });
+    }
+
+    /// Copies the ring contents, oldest first.
+    pub fn dump(&self) -> Vec<EventRecord> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record("tick", [("i", EventValue::from(i))]);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(
+            dump.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(dump[0].fields, vec![("i".to_string(), EventValue::U64(2))]);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let rec = FlightRecorder::new(0);
+        rec.record("tick", []);
+        assert!(rec.dump().is_empty());
+        assert_eq!(rec.recorded(), 0);
+    }
+
+    #[test]
+    fn timestamps_do_not_go_backwards() {
+        let rec = FlightRecorder::new(8);
+        rec.record("a", []);
+        rec.record("b", []);
+        let dump = rec.dump();
+        assert!(dump[0].micros <= dump[1].micros);
+    }
+}

@@ -1,0 +1,261 @@
+//! Named-metric registry: counters, gauges and histograms behind cheap
+//! `Arc` handles.
+//!
+//! Registration (name lookup) takes a mutex; recording through a handle is
+//! lock-free.  Hot paths should resolve their handles once and keep the
+//! `Arc`s.  The registry is deliberately an owned value, not a process
+//! global — each server owns its own, so in-process tests running in
+//! parallel cannot contaminate each other's counts.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depths, capacities).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is larger than the current one.
+    pub fn bump_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(String, Arc<Counter>)>,
+    gauges: Vec<(String, Arc<Gauge>)>,
+    histograms: Vec<(String, Arc<Histogram>)>,
+}
+
+fn get_or_insert<T: Default>(list: &mut Vec<(String, Arc<T>)>, name: &str) -> Arc<T> {
+    if let Some((_, v)) = list.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    list.push((name.to_string(), Arc::clone(&v)));
+    v
+}
+
+/// A set of named metrics.
+///
+/// Handle resolution is get-or-create: asking twice for the same name
+/// returns handles to the same underlying metric.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating if needed) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&mut self.inner.lock().unwrap().counters, name)
+    }
+
+    /// Resolves (creating if needed) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&mut self.inner.lock().unwrap().gauges, name)
+    }
+
+    /// Resolves (creating if needed) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&mut self.inner.lock().unwrap().histograms, name)
+    }
+
+    /// Copies every metric into a plain snapshot, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut snap = MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        };
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], ordered by metric name.
+/// This is the payload of the `metrics` protocol reply; the canonical text
+/// form is [`MetricsSnapshot::to_prometheus`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as Prometheus text exposition format.
+    ///
+    /// Histograms render cumulative `_bucket{le="..."}` lines at each
+    /// non-empty bucket's upper bound plus the mandatory `+Inf`, then
+    /// `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (le, cumulative) in h.cumulative() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_the_same_metric() {
+        let reg = Registry::new();
+        reg.counter("requests").inc();
+        reg.counter("requests").add(2);
+        assert_eq!(reg.counter("requests").get(), 3);
+        reg.gauge("depth").set(5);
+        reg.gauge("depth").bump_max(3);
+        assert_eq!(reg.gauge("depth").get(), 5);
+        reg.histogram("lat").record(10);
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").add(7);
+        reg.histogram("lat").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("alpha".to_string(), 7), ("zeta".to_string(), 1)]
+        );
+        assert_eq!(snap.counter("alpha"), Some(7));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = Registry::new();
+        reg.counter("reqs").add(4);
+        reg.gauge("depth").set(-2);
+        let h = reg.histogram("lat");
+        h.record(1);
+        h.record(1);
+        h.record(100);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE reqs counter\nreqs 4\n"), "{text}");
+        assert!(text.contains("# TYPE depth gauge\ndepth -2\n"), "{text}");
+        assert!(text.contains("# TYPE lat histogram\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("lat_sum 102\n"), "{text}");
+        assert!(text.contains("lat_count 3\n"), "{text}");
+    }
+}

@@ -1,0 +1,98 @@
+//! RAII stage timers feeding named histograms.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// An RAII timer: created at stage entry, records the elapsed microseconds
+/// into its histogram when dropped (or explicitly finished).
+///
+/// ```
+/// use catrisk_telemetry::{Registry, Span};
+///
+/// let registry = Registry::new();
+/// let scan = registry.histogram("stage_scan_micros");
+/// {
+///     let _span = Span::enter(&scan);
+///     // ... the stage body ...
+/// } // drop records the elapsed time
+/// assert_eq!(scan.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Starts timing a stage that records into `histogram`.
+    pub fn enter(histogram: &Arc<Histogram>) -> Self {
+        Self {
+            histogram: Arc::clone(histogram),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Microseconds elapsed so far, without recording.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Records now and returns the recorded value, consuming the span.
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed_micros();
+        self.armed = false;
+        self.histogram.record(elapsed);
+        elapsed
+    }
+
+    /// Consumes the span without recording anything (for abandoned stages).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.record(self.elapsed_micros());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn drop_records_once() {
+        let reg = Registry::new();
+        let h = reg.histogram("stage");
+        {
+            let _span = Span::enter(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_and_reports() {
+        let reg = Registry::new();
+        let h = reg.histogram("stage");
+        let span = Span::enter(&h);
+        let micros = span.finish();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.snapshot().sum, micros);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let reg = Registry::new();
+        let h = reg.histogram("stage");
+        Span::enter(&h).discard();
+        assert_eq!(h.count(), 0);
+    }
+}

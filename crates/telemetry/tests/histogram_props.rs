@@ -1,0 +1,135 @@
+//! Property tests for the log-bucketed histogram: merge algebra, the
+//! documented quantile error bound against exact sorted-vector
+//! percentiles, and loss-free concurrent recording.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use catrisk_telemetry::{Histogram, HistogramSnapshot};
+
+/// Nearest-rank percentile over raw samples — the exact reference the
+/// histogram estimate is judged against (same method as
+/// `catrisk_riskserve::stats::percentile`).
+fn exact_percentile(samples: &mut [u64], p: f64) -> u64 {
+    samples.sort_unstable();
+    if samples.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Spreads `(mantissa, shift)` pairs across the whole log range so the
+/// tests exercise big and small buckets alike, not just a dense band.
+fn spread(pairs: Vec<(u64, u32)>) -> Vec<u64> {
+    pairs
+        .into_iter()
+        .map(|(mantissa, shift)| mantissa << shift)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_associative_and_lossless(
+        a in vec((0u64..4096, 0u32..48), 0..60),
+        b in vec((0u64..4096, 0u32..48), 0..60),
+        c in vec((0u64..4096, 0u32..48), 0..60),
+    ) {
+        let (a, b, c) = (spread(a), spread(b), spread(c));
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // Commutative: a ∪ b == b ∪ a.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Lossless: merging is indistinguishable from recording the
+        // concatenation directly.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &snapshot_of(&all));
+        prop_assert_eq!(ab_c.count, all.len() as u64);
+        let bucket_total: u64 = ab_c.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, all.len() as u64);
+    }
+
+    #[test]
+    fn quantile_error_is_within_documented_bound(
+        samples in vec((0u64..4096, 0u32..48), 1..80),
+        p in 0.0f64..100.0,
+    ) {
+        let mut samples = spread(samples);
+        let snap = snapshot_of(&samples);
+        let estimate = snap.percentile(p);
+        let exact = exact_percentile(&mut samples, p);
+        // Documented bound: exact <= estimate <= exact + exact / 32, and
+        // exact reporting below 64.
+        prop_assert!(
+            estimate >= exact,
+            "estimate {estimate} undershoots exact {exact} at p{p}"
+        );
+        prop_assert!(
+            estimate - exact <= exact / 32,
+            "estimate {estimate} overshoots exact {exact} beyond 1/32 at p{p}"
+        );
+        if exact < 64 {
+            prop_assert_eq!(estimate, exact);
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix of exact small values and log-range spread.
+                    hist.record(((t * PER_THREAD + i) % 97) << (i % 40));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, THREADS * PER_THREAD);
+}
+
+#[test]
+fn snapshot_survives_json_round_trip() {
+    let samples: Vec<u64> = (0..500).map(|i| (i % 97) << (i % 30)).collect();
+    let snap = snapshot_of(&samples);
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+}

@@ -1,0 +1,197 @@
+//! Telemetry consistency: the stage histograms exposed over `metrics`
+//! must agree *exactly* with the serving counters exposed over `stats`.
+//!
+//! The invariants are structural, not statistical — each one holds
+//! because the instrumentation records exactly one sample per unit of
+//! work the corresponding counter counts:
+//!
+//! * `stage_queue_micros.count == completed + failed` (one queue-wait
+//!   sample per answered request);
+//! * `stage_scan_micros.count == cache_misses` (one scan sample per
+//!   result-cache miss — hits never scan);
+//! * `stage_scan_shard_micros.count == partial_misses` (one sample per
+//!   trial-window rescan on a trial-sharded catalog);
+//! * `batch_exec_micros.count == batches`.
+//!
+//! If an instrumentation refactor ever samples twice, skips an error
+//! path, or counts a unit the stats layer does not, these equalities
+//! break immediately.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use catrisk_riskquery::prelude::*;
+use catrisk_riskserve::telemetry::stage;
+use catrisk_riskserve::test_store::random_store;
+use catrisk_riskserve::{Server, ServerConfig, ShardAxis, StoreCatalog, Ticket};
+
+/// Four distinct query shapes — each a separate result-cache entry.
+fn query_shapes() -> Vec<Query> {
+    [
+        QueryBuilder::new()
+            .aggregate(Aggregate::Mean)
+            .group_by(Dimension::Region),
+        QueryBuilder::new()
+            .aggregate(Aggregate::Tvar { level: 0.95 })
+            .group_by(Dimension::Lob),
+        QueryBuilder::new().aggregate(Aggregate::MaxLoss),
+        QueryBuilder::new()
+            .aggregate(Aggregate::StdDev)
+            .group_by(Dimension::Peril),
+    ]
+    .into_iter()
+    .map(|b| b.build().unwrap())
+    .collect()
+}
+
+/// Submits every query, waits for all replies, and returns how many were
+/// answered successfully.  Waiting between calls puts successive rounds
+/// in separate batches, so repeats hit the result cache.
+fn drive(server: &Server<impl catrisk_riskserve::SourceProvider>, queries: &[Query]) -> u64 {
+    let tickets: Vec<Ticket> = queries
+        .iter()
+        .map(|q| server.submit(q.clone()).expect("admitted"))
+        .collect();
+    let mut answered = 0;
+    for ticket in tickets {
+        ticket.wait().expect("answered");
+        answered += 1;
+    }
+    answered
+}
+
+#[test]
+fn stage_histogram_counts_match_serving_counters() {
+    let store = Arc::new(random_store(96, 8, 42));
+    let server = Server::new(
+        Arc::clone(&store),
+        ServerConfig {
+            batch_window: Duration::from_micros(200),
+            recorder_capacity: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let queries = query_shapes();
+    let mut answered = 0;
+    for _ in 0..3 {
+        answered += drive(&server, &queries);
+    }
+    assert_eq!(answered, 3 * queries.len() as u64);
+
+    let stats = server.stats();
+    let metrics = server.metrics();
+
+    let queue = metrics.histogram(stage::QUEUE).expect("queue histogram");
+    assert_eq!(
+        queue.count,
+        stats.completed + stats.failed,
+        "one queue sample per answered request: {stats:?}"
+    );
+    let scan = metrics.histogram(stage::SCAN).expect("scan histogram");
+    assert_eq!(
+        scan.count, stats.cache_misses,
+        "one scan sample per result-cache miss: {stats:?}"
+    );
+    assert!(stats.cache_hits > 0, "the repeated shapes must hit");
+    let batch_exec = metrics.histogram(stage::BATCH_EXEC).expect("batch exec");
+    assert_eq!(batch_exec.count, stats.batches, "one sample per batch");
+    let admission = metrics.histogram(stage::ADMISSION).expect("admission");
+    assert_eq!(
+        admission.count, stats.submitted,
+        "one admission sample per submit"
+    );
+
+    // Counter exposition mirrors the stats snapshot (same atomics).
+    assert_eq!(metrics.counter("completed"), Some(stats.completed));
+    assert_eq!(metrics.counter("cache_misses"), Some(stats.cache_misses));
+    assert_eq!(metrics.counter("batches"), Some(stats.batches));
+    assert_eq!(
+        metrics.gauge("largest_batch").map(|v| v.max(0) as u64),
+        Some(stats.largest_batch)
+    );
+
+    // Percentile sanity on a live histogram.
+    assert!(queue.percentile(50.0) <= queue.percentile(99.0));
+    assert!(queue.percentile(99.0) <= queue.max);
+
+    // The Prometheus rendering exposes every stage by its documented name.
+    let text = metrics.to_prometheus();
+    for name in [stage::QUEUE, stage::SCAN, stage::BATCH_EXEC, "completed"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+
+    // The flight recorder saw the batches.
+    let events = server.recorder_dump();
+    assert!(
+        events.iter().any(|e| e.kind == "batch"),
+        "no batch event in {events:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn trial_sharded_scan_shard_count_matches_partial_misses() {
+    // Two trial-window shard files cut from one 64-trial store.
+    let store = random_store(64, 4, 31);
+    let mut paths = Vec::new();
+    for (index, (start, end)) in [(0usize, 32usize), (32, 64)].into_iter().enumerate() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "catrisk-telemetry-consistency-{}-{index}.clm",
+            std::process::id()
+        ));
+        let mut writer = catrisk_riskstore::StoreWriter::create_with(
+            &path,
+            end - start,
+            catrisk_riskstore::StoreOptions {
+                trial_offset: start as u64,
+                ..catrisk_riskstore::StoreOptions::default()
+            },
+        )
+        .unwrap();
+        for s in 0..store.num_segments() {
+            writer
+                .append_segment(
+                    *store.meta(s),
+                    &store.year_losses(s)[start..end],
+                    &store.max_occ_losses(s)[start..end],
+                )
+                .unwrap();
+        }
+        writer.finish().unwrap();
+        paths.push(path);
+    }
+    let catalog = StoreCatalog::open(&paths).unwrap();
+    assert_eq!(catalog.axis(), ShardAxis::Trial);
+    let server = Server::new(
+        catalog,
+        ServerConfig {
+            batch_window: Duration::from_micros(200),
+            ..ServerConfig::default()
+        },
+    );
+    let queries = query_shapes();
+    for _ in 0..2 {
+        drive(&server, &queries);
+    }
+
+    let stats = server.stats();
+    let metrics = server.metrics();
+    assert!(stats.partial_misses > 0, "fresh queries must rescan");
+    let shard_scans = metrics
+        .histogram(stage::SCAN_SHARD)
+        .expect("per-shard scan histogram");
+    assert_eq!(
+        shard_scans.count, stats.partial_misses,
+        "one per-shard sample per trial-window rescan: {stats:?}"
+    );
+    let stitch = metrics.histogram(stage::STITCH).expect("stitch histogram");
+    assert!(stitch.count > 0, "the trial path always stitches");
+    let scan = metrics.histogram(stage::SCAN).expect("scan histogram");
+    assert_eq!(scan.count, stats.cache_misses, "{stats:?}");
+
+    server.shutdown();
+    for path in &paths {
+        let _ = std::fs::remove_file(path);
+    }
+}
