@@ -187,6 +187,16 @@ fn serving_config() -> ServerConfig {
     }
 }
 
+/// The serving config with tracing at sampling=always: every request
+/// builds its span tree and stamps exemplars.  The speedup bar gates the
+/// full tracing cost, not just the off-by-default branch.
+fn traced_config() -> ServerConfig {
+    ServerConfig {
+        trace_sample_every: 1,
+        ..serving_config()
+    }
+}
+
 fn serve_throughput(c: &mut Criterion) {
     let store = Arc::new(ci_sized_store());
     let mix = query_mix();
@@ -198,6 +208,11 @@ fn serve_throughput(c: &mut Criterion) {
     });
     group.bench_function("micro_batched_server", |b| {
         let server = Server::new(Arc::clone(&store), serving_config());
+        b.iter(|| run_batched(&server, &mix, per_client));
+        server.shutdown();
+    });
+    group.bench_function("micro_batched_server_traced", |b| {
+        let server = Server::new(Arc::clone(&store), traced_config());
         b.iter(|| run_batched(&server, &mix, per_client));
         server.shutdown();
     });
@@ -252,6 +267,35 @@ fn serve_speedup(_c: &mut Criterion) {
         "micro-batched serving must be >= 2x the scan-per-request baseline, got {speedup:.2}x"
     );
     server.shutdown();
+
+    // The same bar with tracing at sampling=always: span trees and
+    // exemplars must not eat the batching speedup.
+    let traced_server = Server::new(Arc::clone(&store), traced_config());
+    run_batched(&traced_server, &mix, 2);
+    let traced_secs = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run_batched(&traced_server, &mix, per_client);
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let traced_speedup = baseline_secs / traced_secs;
+    let traced_stats = traced_server.stats();
+    println!(
+        "serve_speedup (traced, sampling=always): {:.0} req/s, speedup {traced_speedup:.2}x, \
+         {} traces started",
+        requests / traced_secs,
+        traced_stats.traces_started
+    );
+    assert_eq!(
+        traced_stats.traces_started, traced_stats.submitted,
+        "sampling=always must trace every request"
+    );
+    assert!(
+        traced_speedup >= 2.0,
+        "tracing at sampling=always must keep the >= 2x bar, got {traced_speedup:.2}x"
+    );
+    traced_server.shutdown();
 }
 
 criterion_group!(benches, serve_throughput, serve_speedup);

@@ -47,8 +47,9 @@ commands:
            segments to a served shard mid-run (serve-while-ingesting)
              run `catrisk loadgen --help` for the options
   stats    scrape a running serve instance's telemetry: counters, per-stage
-           latency histograms (--prometheus for raw text exposition) and
-           the flight-recorder event ring (--recorder)
+           latency histograms (--prometheus for raw text exposition), the
+           flight-recorder event ring (--recorder, incremental with
+           --since), and retained request traces (--trace ID, --slowest N)
              run `catrisk stats --help` for the options
   info     print the simulated device and default configuration";
 

@@ -43,6 +43,10 @@ options:
                    loss ranges loss>=x, loss<=x, loss=[min,max]
   --group-by LIST  comma-separated: layer, peril, region, lob
   --json           print the result as JSON instead of a table
+  --profile        answer through an in-process traced server and print
+                   the request's span-tree execution profile (queue,
+                   refresh, cache lookup, scan with per-shard
+                   attribution) to stderr alongside the result
 
 examples:
   # TVaR and an aggregate EP curve of hurricane+flood losses, by region:
@@ -91,6 +95,29 @@ pub fn run(options: &Options) -> Result<(), String> {
     );
 
     let sw = Stopwatch::start();
+    if options.has_flag("profile") {
+        // The same execution path a server request takes, traced: the
+        // profile is the real span taxonomy, not a re-implementation.
+        let server = catrisk_riskserve::Server::new(
+            Arc::new(store),
+            catrisk_riskserve::ServerConfig {
+                workers: 1,
+                ..catrisk_riskserve::ServerConfig::default()
+            },
+        );
+        let reply = server
+            .submit_traced(query)
+            .map_err(|e| e.to_string())?
+            .wait()
+            .map_err(|e| e.to_string())?;
+        eprintln!("  query answered in {:.4}s\n", sw.elapsed_secs());
+        let trace = reply
+            .trace
+            .as_ref()
+            .expect("a traced submit yields a profile");
+        eprintln!("{trace}\n");
+        return print_result(&reply.result, as_json);
+    }
     let result = execute(&store, &query).map_err(|e| e.to_string())?;
     eprintln!("  query answered in {:.4}s\n", sw.elapsed_secs());
 
@@ -286,6 +313,27 @@ mod tests {
             "--engine",
             "sequential",
             "--json",
+        ]))
+        .unwrap();
+        run(&options).unwrap();
+    }
+
+    #[test]
+    fn query_command_profile_prints_a_trace() {
+        let options = Options::parse(&strings(&[
+            "--trials",
+            "100",
+            "--locations",
+            "100",
+            "--events",
+            "2000",
+            "--seed",
+            "5",
+            "--select",
+            "mean",
+            "--group-by",
+            "peril",
+            "--profile",
         ]))
         .unwrap();
         run(&options).unwrap();

@@ -64,7 +64,14 @@ options:
   --recorder-capacity N  flight-recorder ring capacity in events
                    (default 256, 0 disables the recorder); dump it live
                    with `catrisk stats --recorder` or the `recorder`
-                   protocol command";
+                   protocol command
+  --trace-sample N trace every Nth admitted request (1 = every request,
+                   default 0 = only requests that ask via the wire
+                   `trace` prefix); traced requests build a span-tree
+                   execution profile and stamp histogram exemplars
+  --trace-capacity N  completed traces retained for `trace <id>` lookups
+                   and `catrisk stats --slowest` (default 256, plus a
+                   fixed pool of the slowest; 0 disables retention)";
 
 /// Detailed usage of the loadgen command, shown by `catrisk loadgen --help`.
 pub const LOADGEN_HELP: &str = "usage: catrisk loadgen [options]
@@ -99,6 +106,9 @@ options:
                    scrape cannot be fetched, instead of just warning —
                    set this in CI so a silently absent server-side
                    report cannot pass
+  --trace-every N  send every Nth request per client with the `trace`
+                   prefix (default 0 = never): the report then prints the
+                   slowest traced request's execution profile
   --shutdown       send `shutdown` after the run, stopping the server
 
 The report includes the server's own per-stage latency histograms
@@ -144,6 +154,8 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         partial_cache_capacity: options.get("partial-cache", 4096usize)?,
         metrics_threshold_us: options.get("metrics-threshold-us", 0u64)?,
         recorder_capacity: options.get("recorder-capacity", 256usize)?,
+        trace_sample_every: options.get("trace-sample", 0u64)?,
+        trace_capacity: options.get("trace-capacity", 256usize)?,
     };
 
     let catalog = StoreCatalog::open(&stores).map_err(|e| e.to_string())?;
@@ -246,6 +258,7 @@ pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, Strin
         refresh_commits: options.get("refresh-commits", 4usize)?,
         refresh_every_ms: options.get("refresh-every-ms", 250u64)?,
         require_stats: options.has_flag("require-stats"),
+        trace_every: options.get("trace-every", 0u64)?,
         ..LoadgenOptions::default()
     };
     let query = options.get("query", String::new())?;
@@ -300,8 +313,15 @@ mod tests {
         write_small_store(&out, "5");
 
         // Ephemeral port: bind the front-end the way `serve` does.
-        let serve_options =
-            Options::parse(&strings(&["--in", &out, "--addr", "127.0.0.1:0"])).unwrap();
+        let serve_options = Options::parse(&strings(&[
+            "--in",
+            &out,
+            "--addr",
+            "127.0.0.1:0",
+            "--trace-sample",
+            "1",
+        ]))
+        .unwrap();
         let front = bind_front_end(&serve_options).unwrap();
         let addr = front.local_addr().to_string();
 
@@ -316,6 +336,8 @@ mod tests {
             "64",
             "--expect-cache-hits",
             "--require-stats",
+            "--trace-every",
+            "4",
             "--shutdown",
         ]);
         run_loadgen(&Options::parse(&loadgen_args).unwrap()).unwrap();

@@ -32,7 +32,13 @@ options:
                    the formatted report (pipe into a scraper)
   --recorder       also dump the flight recorder: the ring of recent
                    structured events (batches, refreshes, cache purges,
-                   stitch fallbacks, overloads, slow batches)";
+                   stitch fallbacks, overloads, slow batches)
+  --since SEQ      with --recorder, only events with seq >= SEQ
+                   (incremental scrape: pass 1 + the last seq you saw)
+  --trace ID       look up one retained trace by id and print its span
+                   tree (ids appear in slow-batch recorder events and
+                   histogram exemplars)
+  --slowest N      print the N slowest retained traces' span trees";
 
 /// Runs the stats command.
 pub fn run(options: &Options) -> Result<(), String> {
@@ -42,6 +48,37 @@ pub fn run(options: &Options) -> Result<(), String> {
     }
     let addr = options.get("addr", "127.0.0.1:7433".to_string())?;
     let timeout = Duration::from_secs(options.get("connect-timeout", 5u64)?);
+
+    // Trace lookups are point queries: print the tree(s) and stop, no
+    // metrics scrape.
+    if options.has_value("trace") {
+        let id = options.get("trace", 0u64)?;
+        let reply = round_trip(&addr, timeout, &format!("trace {id}"))?;
+        return match (reply.trace, reply.error) {
+            (Some(record), _) => {
+                println!("{record}");
+                Ok(())
+            }
+            (None, Some(err)) => Err(format!("trace {id}: {} ({})", err.message, err.kind)),
+            (None, None) => Err(format!("trace {id}: malformed reply")),
+        };
+    }
+    if options.has_value("slowest") {
+        let n = options.get("slowest", 5usize)?;
+        let reply = round_trip(&addr, timeout, &format!("trace slowest {n}"))?;
+        let records = reply
+            .traces
+            .ok_or_else(|| "the server's reply carried no traces".to_string())?;
+        if records.is_empty() {
+            println!(
+                "no traces retained (start the server with --trace-sample, or send traced queries)"
+            );
+        }
+        for record in records {
+            println!("{record}");
+        }
+        return Ok(());
+    }
 
     let reply = round_trip(&addr, timeout, "metrics")?;
     let snapshot = reply.metrics.ok_or_else(|| {
@@ -84,8 +121,13 @@ pub fn run(options: &Options) -> Result<(), String> {
         }
     }
 
-    if options.has_flag("recorder") {
-        let reply = round_trip(&addr, timeout, "recorder")?;
+    if options.has_flag("recorder") || options.has_value("since") {
+        let line = if options.has_value("since") {
+            format!("recorder since {}", options.get("since", 0u64)?)
+        } else {
+            "recorder".to_string()
+        };
+        let reply = round_trip(&addr, timeout, &line)?;
         let events = reply
             .recorder
             .ok_or_else(|| "the server's reply carried no recorder dump".to_string())?;
@@ -177,10 +219,30 @@ mod tests {
             round_trip(&addr, Duration::from_secs(5), "select mean group by region").unwrap();
         assert!(reply.ok, "{reply:?}");
 
-        // All three output modes run against the live server.
+        // All output modes run against the live server.
         run(&Options::parse(&strings(&["--addr", &addr])).unwrap()).unwrap();
         run(&Options::parse(&strings(&["--addr", &addr, "--prometheus"])).unwrap()).unwrap();
         run(&Options::parse(&strings(&["--addr", &addr, "--recorder"])).unwrap()).unwrap();
+        run(&Options::parse(&strings(&["--addr", &addr, "--recorder", "--since", "1"])).unwrap())
+            .unwrap();
+
+        // A traced query (the wire prefix forces sampling), then the trace
+        // is resolvable by id and listed among the slowest.
+        let traced = round_trip(
+            &addr,
+            Duration::from_secs(5),
+            "trace select mean group by region",
+        )
+        .unwrap();
+        let id = traced.trace.expect("traced reply carries a profile").id;
+        run(&Options::parse(&strings(&["--addr", &addr, "--trace", &id.to_string()])).unwrap())
+            .unwrap();
+        run(&Options::parse(&strings(&["--addr", &addr, "--slowest", "3"])).unwrap()).unwrap();
+        // An unknown id is a typed error, not a panic.
+        assert!(
+            run(&Options::parse(&strings(&["--addr", &addr, "--trace", "999999"])).unwrap())
+                .is_err()
+        );
 
         // And the scrape itself sees consistent telemetry.
         let snapshot = round_trip(&addr, Duration::from_secs(5), "metrics")

@@ -108,7 +108,7 @@ pub use dims::{Dimension, LineOfBusiness, SegmentMeta};
 pub use exec::{execute, PartialAggregate};
 pub use parse::{parse_group_by, parse_select, parse_where};
 pub use partial::{combine_trial_partials, scan_trial_partial, TrialPartial};
-pub use plan::QueryPlan;
+pub use plan::{QueryPlan, ScanAttribution};
 pub use query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
 pub use result::{AggValue, DimValue, QueryResult, ResultRow};
 pub use segmentation::{split_pairs_by_peril, SegmentedBook, SegmentedInput};

@@ -47,6 +47,11 @@ pub struct TrialPartial {
 }
 
 impl TrialPartial {
+    /// Number of trials this partial covers.
+    pub fn num_trials(&self) -> usize {
+        self.window.1 - self.window.0
+    }
+
     /// Approximate heap bytes of the partial's loss vectors (cache
     /// accounting).
     pub fn memory_bytes(&self) -> usize {

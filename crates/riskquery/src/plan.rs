@@ -140,6 +140,44 @@ impl QueryPlan {
         order.sort_by(|&a, &b| DimValue::compare_keys(&self.keys[a], &self.keys[b]));
         order
     }
+
+    /// Attribution of scanning this plan's whole trial window — what a
+    /// trace's `scan` span reports.
+    pub fn attribution(&self) -> ScanAttribution {
+        self.attribution_for_window(self.trial_start, self.trial_end)
+    }
+
+    /// Attribution of scanning this plan restricted to the global trial
+    /// window `[start, end)` (the per-shard window of a trial-partial
+    /// rescan).
+    pub fn attribution_for_window(&self, start: usize, end: usize) -> ScanAttribution {
+        let trials = end.saturating_sub(start);
+        ScanAttribution {
+            segments: self.segments.len(),
+            trials,
+            groups: self.num_groups(),
+            bytes: self.segments.len() * trials * 2 * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+/// Numeric attribution of one scan, derived from the plan after filter
+/// pushdown: how much work answering the query actually took.  These are
+/// the counts a request trace attaches to its `scan` / `scan_shard` spans
+/// (see `docs/OBSERVABILITY.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanAttribution {
+    /// Segments surviving filter pushdown (whole-segment pruning happens
+    /// before any loss data is touched, so this is the scanned count, not
+    /// the store's).
+    pub segments: usize,
+    /// Trials in the scanned window.
+    pub trials: usize,
+    /// Result groups the segments were assigned to.
+    pub groups: usize,
+    /// Loss-column bytes decoded: two `f64` columns (year loss and max
+    /// occurrence loss) per segment per trial.
+    pub bytes: usize,
 }
 
 fn dim_index(dim: Dimension) -> usize {
@@ -306,6 +344,20 @@ mod tests {
         assert_eq!(plan.segments, vec![0, 2]);
         assert_eq!(plan.num_groups(), 1, "no group-by: everything in one group");
         assert_eq!(plan.num_trials(), 4);
+        // Attribution reflects pushdown: 2 surviving segments x 4 trials x
+        // two f64 columns.
+        let attribution = plan.attribution();
+        assert_eq!(
+            attribution,
+            ScanAttribution {
+                segments: 2,
+                trials: 4,
+                groups: 1,
+                bytes: 2 * 4 * 16,
+            }
+        );
+        assert_eq!(plan.attribution_for_window(1, 3).trials, 2);
+        assert_eq!(plan.attribution_for_window(3, 3).bytes, 0);
     }
 
     #[test]

@@ -133,6 +133,8 @@ pub use source::{SourceProvider, SourceSnapshot};
 pub use stats::{percentile, RequestTimings, StatsSnapshot};
 pub use tcp::TcpFrontEnd;
 
+pub use catrisk_telemetry::{TraceLookup, TraceRecord, TraceSpan};
+
 /// Test fixtures (a random tagged store, a mixed query batch) shared with
 /// the workspace's integration tests via the `testkit` feature; this
 /// crate's own tests always see them.

@@ -36,7 +36,7 @@ use catrisk_finterms::layer::LayerId;
 use catrisk_riskquery::{LineOfBusiness, SegmentMeta};
 use catrisk_riskstore::StoreWriter;
 
-use catrisk_telemetry::MetricsSnapshot;
+use catrisk_telemetry::{MetricsSnapshot, TraceRecord};
 
 use crate::protocol::WireReply;
 use crate::stats::{percentile, StatsSnapshot};
@@ -76,6 +76,10 @@ pub struct LoadgenOptions {
     /// or `metrics` scrape cannot be fetched — CI smokes set this so a
     /// silently absent server-side report cannot pass.
     pub require_stats: bool,
+    /// Send every Nth request per client with the `trace` prefix (0 =
+    /// never): the reply carries the server's execution profile, and the
+    /// report keeps the slowest one seen.
+    pub trace_every: u64,
 }
 
 impl Default for LoadgenOptions {
@@ -92,6 +96,7 @@ impl Default for LoadgenOptions {
             refresh_commits: 4,
             refresh_every_ms: 250,
             require_stats: false,
+            trace_every: 0,
         }
     }
 }
@@ -179,6 +184,9 @@ pub struct LoadReport {
     pub server_metrics: Option<MetricsSnapshot>,
     /// The ingest-writer companion's report, when one ran.
     pub ingest: Option<IngestReport>,
+    /// The slowest execution profile among traced replies (requests sent
+    /// with the `trace` prefix under [`LoadgenOptions::trace_every`]).
+    pub slowest_trace: Option<TraceRecord>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -247,6 +255,9 @@ impl std::fmt::Display for LoadReport {
                 write!(f, "\nserver stages: {}", stages.join("; "))?;
             }
         }
+        if let Some(trace) = &self.slowest_trace {
+            write!(f, "\nslowest traced request:\n{trace}")?;
+        }
         if let Some(ingest) = &self.ingest {
             write!(
                 f,
@@ -279,6 +290,23 @@ struct ClientOutcome {
     batch_sum: u64,
     /// `(send offset since run start, latency)` per successful reply, µs.
     samples: Vec<(u64, u64)>,
+    /// The slowest execution profile among this client's traced replies.
+    slowest_trace: Option<TraceRecord>,
+}
+
+impl ClientOutcome {
+    /// Keeps `candidate` when it is slower than the current record.
+    fn keep_slowest(&mut self, candidate: Option<TraceRecord>) {
+        if let Some(candidate) = candidate {
+            if self
+                .slowest_trace
+                .as_ref()
+                .is_none_or(|current| candidate.total_micros > current.total_micros)
+            {
+                self.slowest_trace = Some(candidate);
+            }
+        }
+    }
 }
 
 /// Connects with retry: the server may still be opening its store.
@@ -522,6 +550,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                 merged.rows += outcome.rows;
                 merged.batch_sum += outcome.batch_sum;
                 merged.samples.extend(outcome.samples);
+                merged.keep_slowest(outcome.slowest_trace);
             }
             Err(err) => connect_failures.push(err),
         }
@@ -613,6 +642,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         server_stats,
         server_metrics,
         ingest,
+        slowest_trace: merged.slowest_trace,
     })
 }
 
@@ -653,9 +683,13 @@ fn run_client(
             }
         }
         let query = &queries[(client_index + k) % queries.len()];
+        // Every Nth request per client asks the server for its execution
+        // profile; the slowest one surfaces in the report.
+        let traced = options.trace_every > 0 && (k as u64).is_multiple_of(options.trace_every);
+        let prefix = if traced { "trace " } else { "" };
         outcome.sent += 1;
         let sent_at = Instant::now();
-        if writeln!(writer, "{query}")
+        if writeln!(writer, "{prefix}{query}")
             .and_then(|_| writer.flush())
             .is_err()
         {
@@ -679,6 +713,7 @@ fn run_client(
                 outcome.ok += 1;
                 outcome.rows += reply.result.map_or(0, |r| r.rows.len() as u64);
                 outcome.batch_sum += u64::from(reply.timings.batch_size);
+                outcome.keep_slowest(reply.trace);
                 outcome.samples.push((
                     reference.saturating_duration_since(run_start).as_micros() as u64,
                     latency.as_micros() as u64,
@@ -735,6 +770,7 @@ mod tests {
             clients: 8,
             requests: 64,
             shutdown: true,
+            trace_every: 4,
             ..LoadgenOptions::default()
         };
         let report = run(&options).expect("load run");
@@ -764,6 +800,12 @@ mod tests {
         let scan = metrics.histogram(stage::SCAN).expect("scan histogram");
         assert_eq!(scan.count, stats.cache_misses, "one scan sample per miss");
         assert!(format!("{report}").contains("server stages:"), "{report}");
+        // Every 4th request per client was traced; the report keeps the
+        // slowest profile, whose arithmetic matches its reply's timings.
+        let trace = report.slowest_trace.as_ref().expect("a traced reply");
+        assert!(trace.id > 0);
+        assert_eq!(trace.root.name, "request");
+        assert!(format!("{report}").contains("slowest traced request:"));
         front.wait().expect("server exited cleanly");
     }
 

@@ -29,7 +29,14 @@
 //! never contain them (aggregates are a closed set, constraints always
 //! contain `=`, `>` or `<`, dimensions are a closed set).
 //!
-//! Six command lines are recognised instead of a query:
+//! A query line may be prefixed with `trace` to request the server's
+//! execution profile alongside the result:
+//!
+//! ```text
+//! trace select mean where peril=HU
+//! ```
+//!
+//! Command lines are recognised instead of a query:
 //!
 //! * `ping` — liveness probe, answered with a `pong` reply;
 //! * `stats` — a snapshot of the server counters;
@@ -37,6 +44,11 @@
 //!   per-stage latency histograms); render it as Prometheus text with
 //!   [`MetricsSnapshot::to_prometheus`];
 //! * `recorder` — the flight recorder's recent structured events;
+//! * `recorder since <seq>` — only events with `seq >= <seq>`
+//!   (incremental scrape);
+//! * `trace <id>` — look up a retained trace by id (an evicted id
+//!   answers `error.kind = "evicted"`, an unknown id `"invalid"`);
+//! * `trace slowest [n]` — the `n` (default 5) slowest retained traces;
 //! * `quit` — close this connection (the server keeps running);
 //! * `shutdown` — drain and stop the whole server (the reply is sent
 //!   before the listener winds down).
@@ -52,13 +64,14 @@
 //!  "timings":{"queue_micros":184,"exec_micros":950,"batch_size":7}}
 //! ```
 //!
-//! `kind` is one of `result`, `pong`, `stats`, `bye`, `shutting-down` or
-//! `error`.  Failed requests carry `ok=false` and an `error` object whose
-//! `kind` is `parse`, `invalid`, `overloaded` or `shutting-down` — an
-//! overloaded rejection is a well-formed reply, not a dropped connection,
-//! so clients can implement typed backoff.
+//! `kind` is one of `result`, `pong`, `stats`, `trace`, `traces`, `bye`,
+//! `shutting-down` or `error`.  Failed requests carry `ok=false` and an
+//! `error` object whose `kind` is `parse`, `invalid`, `evicted`,
+//! `overloaded` or `shutting-down` — an overloaded rejection is a
+//! well-formed reply, not a dropped connection, so clients can implement
+//! typed backoff.
 
-use catrisk_telemetry::{EventRecord, MetricsSnapshot};
+use catrisk_telemetry::{EventRecord, MetricsSnapshot, TraceLookup, TraceRecord};
 use serde::{Deserialize, Serialize};
 
 use catrisk_riskquery::{parse_group_by, parse_select, parse_where, Query, QueryBuilder};
@@ -70,7 +83,13 @@ use crate::stats::{RequestTimings, StatsSnapshot};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// An ad-hoc query to submit for batched execution.
-    Query(Query),
+    Query {
+        /// The parsed query.
+        query: Query,
+        /// True when the line carried the `trace` prefix: the reply
+        /// should include the request's execution profile.
+        trace: bool,
+    },
     /// Liveness probe.
     Ping,
     /// Server-counters snapshot.
@@ -79,6 +98,12 @@ pub enum Request {
     Metrics,
     /// Flight-recorder dump.
     Recorder,
+    /// Incremental flight-recorder dump: events with `seq >= since`.
+    RecorderSince(u64),
+    /// Look up one retained trace by id.
+    Trace(u64),
+    /// The `n` slowest retained traces.
+    TraceSlowest(usize),
     /// Close this connection.
     Quit,
     /// Drain and stop the whole server.
@@ -100,7 +125,69 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         "shutdown" => return Ok(Some(Request::Shutdown)),
         _ => {}
     }
-    parse_query_line(line).map(|q| Some(Request::Query(q)))
+    let first = line.split_whitespace().next().unwrap_or("");
+    if first.eq_ignore_ascii_case("trace") {
+        return parse_trace_line(&line[first.len()..]).map(Some);
+    }
+    if first.eq_ignore_ascii_case("recorder") {
+        return parse_recorder_since(&line[first.len()..]).map(Some);
+    }
+    parse_query_line(line).map(|query| {
+        Some(Request::Query {
+            query,
+            trace: false,
+        })
+    })
+}
+
+/// Parses what follows the `trace` keyword: a traced query (`trace
+/// select ...`), a lookup (`trace <id>`) or the slowest listing (`trace
+/// slowest [n]`).
+fn parse_trace_line(rest: &str) -> Result<Request, String> {
+    let rest = rest.trim();
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    match tokens.first() {
+        None => Err(
+            "`trace` needs an argument: `trace select ...`, `trace <id>` or `trace slowest [n]`"
+                .to_string(),
+        ),
+        Some(t) if t.eq_ignore_ascii_case("select") => {
+            parse_query_line(rest).map(|query| Request::Query { query, trace: true })
+        }
+        Some(t) if t.eq_ignore_ascii_case("slowest") => {
+            if tokens.len() > 2 {
+                return Err("`trace slowest` takes at most one count argument".to_string());
+            }
+            let n = match tokens.get(1) {
+                None => 5,
+                Some(raw) => raw
+                    .parse::<usize>()
+                    .map_err(|_| format!("`trace slowest` count must be a number, got `{raw}`"))?,
+            };
+            Ok(Request::TraceSlowest(n))
+        }
+        Some(raw) => {
+            if tokens.len() > 1 {
+                return Err("`trace <id>` takes exactly one trace id".to_string());
+            }
+            raw.parse::<u64>().map(Request::Trace).map_err(|_| {
+                format!("`trace` expects a numeric id, `slowest` or `select ...`, got `{raw}`")
+            })
+        }
+    }
+}
+
+/// Parses what follows the `recorder` keyword when it is not the bare
+/// command: only `since <seq>` is recognised.
+fn parse_recorder_since(rest: &str) -> Result<Request, String> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    match tokens.as_slice() {
+        [since, seq] if since.eq_ignore_ascii_case("since") => seq
+            .parse::<u64>()
+            .map(Request::RecorderSince)
+            .map_err(|_| format!("`recorder since` expects a numeric seq, got `{seq}`")),
+        _ => Err("after `recorder`, only `since <seq>` is recognised".to_string()),
+    }
 }
 
 /// Splits a query line into its clauses and builds the [`Query`].
@@ -111,8 +198,8 @@ fn parse_query_line(line: &str) -> Result<Query, String> {
         .is_some_and(|t| t.eq_ignore_ascii_case("select"))
     {
         return Err(format!(
-            "a request is `select ... [where ...] [group by ...]` or one of \
-             ping/stats/metrics/recorder/quit/shutdown, got `{line}`"
+            "a request is `[trace] select ... [where ...] [group by ...]` or one of \
+             ping/stats/metrics/recorder/trace/quit/shutdown, got `{line}`"
         ));
     }
     const SELECT: usize = 0;
@@ -200,8 +287,8 @@ fn parse_query_line(line: &str) -> Result<Query, String> {
 /// A wire-level error payload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireError {
-    /// Machine-readable kind: `parse`, `invalid`, `overloaded` or
-    /// `shutting-down`.
+    /// Machine-readable kind: `parse`, `invalid`, `evicted`,
+    /// `overloaded` or `shutting-down`.
     pub kind: String,
     /// Human-readable message.
     pub message: String,
@@ -212,8 +299,8 @@ pub struct WireError {
 pub struct WireReply {
     /// False exactly when `error` is set.
     pub ok: bool,
-    /// `result`, `pong`, `stats`, `metrics`, `recorder`, `bye`,
-    /// `shutting-down` or `error`.
+    /// `result`, `pong`, `stats`, `metrics`, `recorder`, `trace`,
+    /// `traces`, `bye`, `shutting-down` or `error`.
     pub kind: String,
     /// The query result, for `kind == "result"`.
     pub result: Option<catrisk_riskquery::QueryResult>,
@@ -229,6 +316,15 @@ pub struct WireReply {
     /// field, defaults to `None`.
     #[serde(default)]
     pub recorder: Option<Vec<EventRecord>>,
+    /// The execution profile of a traced query (`kind == "result"` with
+    /// the `trace` request prefix) or of a `trace <id>` lookup
+    /// (`kind == "trace"`).  Post-v1 field, defaults to `None`.
+    #[serde(default)]
+    pub trace: Option<TraceRecord>,
+    /// The slowest retained traces, for `kind == "traces"`.  Post-v1
+    /// field, defaults to `None`.
+    #[serde(default)]
+    pub traces: Option<Vec<TraceRecord>>,
     /// Latency attribution of a `result` reply.
     pub timings: RequestTimings,
 }
@@ -243,14 +339,19 @@ impl WireReply {
             stats: None,
             metrics: None,
             recorder: None,
+            trace: None,
+            traces: None,
             timings: RequestTimings::default(),
         }
     }
 
-    /// A successful query reply.
+    /// A successful query reply.  The trace rides along exactly when the
+    /// server sampled the request *and* the caller asked for it (the
+    /// connection handler clears it otherwise).
     pub fn result(reply: Reply) -> Self {
         Self {
             result: Some(reply.result),
+            trace: reply.trace,
             timings: reply.timings,
             ..Self::base("result")
         }
@@ -282,6 +383,33 @@ impl WireReply {
         Self {
             recorder: Some(events),
             ..Self::base("recorder")
+        }
+    }
+
+    /// The reply to a `trace <id>` lookup: the retained record, or a
+    /// typed error distinguishing "was sampled but evicted" from "never
+    /// issued".
+    pub fn trace_lookup(id: u64, lookup: TraceLookup) -> Self {
+        match lookup {
+            TraceLookup::Retained(record) => Self {
+                trace: Some(record),
+                ..Self::base("trace")
+            },
+            TraceLookup::Evicted => Self::error(
+                "evicted",
+                format!("trace {id} was recorded but has been evicted from the trace store"),
+            ),
+            TraceLookup::Unknown => {
+                Self::error("invalid", format!("trace id {id} was never issued"))
+            }
+        }
+    }
+
+    /// The reply to `trace slowest [n]`.
+    pub fn traces(records: Vec<TraceRecord>) -> Self {
+        Self {
+            traces: Some(records),
+            ..Self::base("traces")
         }
     }
 
@@ -343,15 +471,60 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_recorder_since_commands_parse() {
+        assert_eq!(parse_request("trace 42"), Ok(Some(Request::Trace(42))));
+        assert_eq!(parse_request("TRACE 7"), Ok(Some(Request::Trace(7))));
+        assert_eq!(
+            parse_request("trace slowest"),
+            Ok(Some(Request::TraceSlowest(5)))
+        );
+        assert_eq!(
+            parse_request("trace Slowest 3"),
+            Ok(Some(Request::TraceSlowest(3)))
+        );
+        assert_eq!(
+            parse_request("recorder since 17"),
+            Ok(Some(Request::RecorderSince(17)))
+        );
+        assert_eq!(
+            parse_request("Recorder SINCE 0"),
+            Ok(Some(Request::RecorderSince(0)))
+        );
+
+        let traced = parse_request("trace select mean where peril=HU")
+            .unwrap()
+            .unwrap();
+        let Request::Query { query, trace } = traced else {
+            panic!("expected a traced query");
+        };
+        assert!(trace);
+        assert_eq!(query.aggregates.len(), 1);
+
+        for line in [
+            "trace",
+            "trace nope",
+            "trace 1 2",
+            "trace slowest x",
+            "trace slowest 1 2",
+            "recorder since",
+            "recorder since x",
+            "recorder nonsense",
+        ] {
+            assert!(parse_request(line).is_err(), "`{line}` must fail");
+        }
+    }
+
+    #[test]
     fn query_lines_parse_into_full_queries() {
         let request = parse_request(
             "select mean, tvar(0.99), aep(4) where peril=HU|FL loss>=1e6 group by region, lob",
         )
         .unwrap()
         .unwrap();
-        let Request::Query(query) = request else {
+        let Request::Query { query, trace } = request else {
             panic!("expected a query");
         };
+        assert!(!trace);
         assert_eq!(query.aggregates.len(), 3);
         assert_eq!(
             query.filter.perils,
@@ -362,7 +535,7 @@ mod tests {
 
         // Clauses are optional and keywords case-insensitive.
         let minimal = parse_request("SELECT mean").unwrap().unwrap();
-        let Request::Query(query) = minimal else {
+        let Request::Query { query, .. } = minimal else {
             panic!("expected a query");
         };
         assert_eq!(query.aggregates, vec![Aggregate::Mean]);
@@ -423,6 +596,34 @@ mod tests {
     }
 
     #[test]
+    fn trace_replies_round_trip_and_map_lookup_outcomes() {
+        use catrisk_telemetry::TraceSpan;
+        let record = TraceRecord {
+            id: 9,
+            total_micros: 120,
+            root: TraceSpan::new("request", 0, 120).attr("batch_size", 2),
+        };
+
+        let retained = WireReply::trace_lookup(9, TraceLookup::Retained(record.clone()));
+        let parsed = WireReply::from_line(&retained.to_line()).unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.kind, "trace");
+        assert_eq!(parsed.trace, Some(record.clone()));
+
+        let evicted = WireReply::trace_lookup(3, TraceLookup::Evicted);
+        assert!(!evicted.ok);
+        assert_eq!(evicted.error.as_ref().unwrap().kind, "evicted");
+
+        let unknown = WireReply::trace_lookup(999, TraceLookup::Unknown);
+        assert_eq!(unknown.error.as_ref().unwrap().kind, "invalid");
+
+        let slowest = WireReply::traces(vec![record.clone()]);
+        let parsed = WireReply::from_line(&slowest.to_line()).unwrap();
+        assert_eq!(parsed.kind, "traces");
+        assert_eq!(parsed.traces, Some(vec![record]));
+    }
+
+    #[test]
     fn v1_replies_without_metrics_fields_still_parse() {
         // A protocol-v1 server's reply has no `metrics` / `recorder`
         // fields; a newer client must parse it with both defaulting to
@@ -434,6 +635,8 @@ mod tests {
         assert_eq!(parsed.kind, "pong");
         assert_eq!(parsed.metrics, None);
         assert_eq!(parsed.recorder, None);
+        assert_eq!(parsed.trace, None);
+        assert_eq!(parsed.traces, None);
     }
 
     #[test]

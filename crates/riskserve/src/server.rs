@@ -8,9 +8,11 @@ use std::time::{Duration, Instant};
 
 use catrisk_riskquery::{
     combine_trial_partials, scan_trial_partial, Query, QueryPlan, QueryResult, QuerySession,
-    SegmentSource,
+    ScanAttribution, SegmentSource,
 };
-use catrisk_telemetry::{EventRecord, EventValue, MetricsSnapshot, Span};
+use catrisk_telemetry::{
+    EventRecord, EventValue, MetricsSnapshot, Span, TraceLookup, TraceRecord, TraceSpan,
+};
 
 use crate::cache::{PartialCache, ResultCache};
 use crate::source::SourceProvider;
@@ -51,6 +53,19 @@ pub struct ServerConfig {
     pub metrics_threshold_us: u64,
     /// Events the flight recorder retains (0 disables the recorder).
     pub recorder_capacity: usize,
+    /// Trace every Nth admitted request: 1 traces every request, 0 (the
+    /// default) disables tracing entirely — the only hot-path cost of the
+    /// tracing machinery is then one branch per stage sample.  The
+    /// sampling decision (and the trace-id allocation) happens inside the
+    /// admission critical section, so with a value of 1 the
+    /// `traces_started` counter equals `submitted` exactly.
+    pub trace_sample_every: u64,
+    /// Completed traces the trace store's recency ring retains (the
+    /// slowest-trace pool is a separate fixed
+    /// [`SLOWEST_POOL`](catrisk_telemetry::SLOWEST_POOL) entries).  0
+    /// disables retention: traced requests still carry their trace inline
+    /// in the reply, but `trace <id>` lookups answer `evicted`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +79,8 @@ impl Default for ServerConfig {
             partial_cache_capacity: 4096,
             metrics_threshold_us: 0,
             recorder_capacity: 256,
+            trace_sample_every: 0,
+            trace_capacity: 256,
         }
     }
 }
@@ -119,6 +136,11 @@ pub struct Reply {
     pub result: QueryResult,
     /// Where this request's latency went.
     pub timings: RequestTimings,
+    /// The request's execution trace, when it was sampled for tracing
+    /// (`None` otherwise).  The trace is built from the **same** clock
+    /// reads as `timings`, so `trace.total_micros ==
+    /// timings.queue_micros + timings.exec_micros` holds exactly.
+    pub trace: Option<TraceRecord>,
 }
 
 /// One-shot reply slot shared between a queued request and its
@@ -172,6 +194,8 @@ struct Pending {
     query: Query,
     slot: Arc<ReplySlot>,
     enqueued: Instant,
+    /// The request's trace id, 0 when it was not sampled for tracing.
+    trace_id: u64,
 }
 
 /// Queue state guarded by one mutex: the pending requests plus the
@@ -179,6 +203,10 @@ struct Pending {
 #[derive(Default)]
 struct QueueState {
     pending: VecDeque<Pending>,
+    /// Requests ever admitted — the trace-sampling modulus ticks off this
+    /// count inside the admission critical section, so "every Nth" is
+    /// exact even under concurrent submitters.
+    admitted: u64,
     shutting_down: bool,
 }
 
@@ -231,7 +259,12 @@ impl<P: SourceProvider> std::fmt::Debug for Server<P> {
 impl<P: SourceProvider> Server<P> {
     /// Starts a server over `provider` with the given configuration.
     pub fn new(provider: P, config: ServerConfig) -> Self {
-        let telemetry = ServerTelemetry::new(config.recorder_capacity, config.metrics_threshold_us);
+        let telemetry = ServerTelemetry::new(
+            config.recorder_capacity,
+            config.metrics_threshold_us,
+            config.trace_sample_every,
+            config.trace_capacity,
+        );
         // The provider hooks its own metrics (store opens, refresh costs,
         // schema memo rebuilds) into the same registry the serving stages
         // record into, so one `metrics` scrape covers the whole path.
@@ -291,6 +324,17 @@ impl<P: SourceProvider> Server<P> {
     /// rejected with a typed [`ServeError::Overloaded`] instead of
     /// queueing without bound.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        self.submit_inner(query, false)
+    }
+
+    /// Submits one query with tracing forced on, whatever the sampling
+    /// knob says: the reply always carries its execution profile.  This
+    /// backs the wire protocol's per-request `trace` prefix.
+    pub fn submit_traced(&self, query: Query) -> Result<Ticket, ServeError> {
+        self.submit_inner(query, true)
+    }
+
+    fn submit_inner(&self, query: Query, force_trace: bool) -> Result<Ticket, ServeError> {
         // One admission sample per attempt, whatever the outcome — the
         // span records on every exit path below.
         let _admission = Span::enter(&self.shared.telemetry.admission);
@@ -298,7 +342,7 @@ impl<P: SourceProvider> Server<P> {
             return Err(ServeError::InvalidQuery(err.to_string()));
         }
         let slot = Arc::new(ReplySlot::default());
-        {
+        let trace_id = {
             let mut queue = lock(&self.shared.queue);
             if queue.shutting_down {
                 return Err(ServeError::ShuttingDown);
@@ -312,17 +356,35 @@ impl<P: SourceProvider> Server<P> {
                     .record("overload", [("depth", EventValue::from(depth))]);
                 return Err(ServeError::Overloaded { depth });
             }
+            // The sampling decision rides the admission critical section:
+            // every Nth *admitted* request gets an id, so with N = 1 the
+            // `traces_started` counter equals `submitted` exactly.  With
+            // sampling off this is one branch.
+            let sample_every = self.shared.telemetry.trace_sample_every;
+            let trace_id = if force_trace
+                || (sample_every > 0 && queue.admitted.is_multiple_of(sample_every))
+            {
+                self.shared.telemetry.traces.allocate()
+            } else {
+                0
+            };
+            queue.admitted += 1;
             queue.pending.push_back(Pending {
                 query,
                 slot: Arc::clone(&slot),
                 enqueued: Instant::now(),
+                trace_id,
             });
             self.shared
                 .counters
                 .max_queue_depth
                 .bump_max(depth as i64 + 1);
-        }
+            trace_id
+        };
         self.shared.counters.submitted.inc();
+        if trace_id != 0 {
+            self.shared.counters.traces_started.inc();
+        }
         self.shared.arrived.notify_one();
         Ok(Ticket { slot })
     }
@@ -349,6 +411,27 @@ impl<P: SourceProvider> Server<P> {
     /// what the `recorder` protocol command returns.
     pub fn recorder_dump(&self) -> Vec<EventRecord> {
         self.shared.telemetry.recorder.dump()
+    }
+
+    /// The recorder events with `seq >= since`, oldest first — the
+    /// incremental scrape behind the `recorder since <seq>` protocol
+    /// command (sequence numbers never reset, so repeated scrapes
+    /// correlate exactly).
+    pub fn recorder_dump_since(&self, since: u64) -> Vec<EventRecord> {
+        self.shared.telemetry.recorder.dump_since(since)
+    }
+
+    /// Looks up a trace by id — the `trace <id>` protocol command.
+    /// Distinguishes retained, evicted (a real id whose record aged out)
+    /// and unknown (never issued by this server).
+    pub fn trace(&self, id: u64) -> TraceLookup {
+        self.shared.telemetry.traces.lookup(id)
+    }
+
+    /// The `n` slowest retained traces, slowest first — the
+    /// `trace slowest N` protocol command.
+    pub fn slowest_traces(&self, n: usize) -> Vec<TraceRecord> {
+        self.shared.telemetry.traces.slowest(n)
     }
 
     /// Stops accepting requests, drains the queue (every accepted ticket
@@ -410,19 +493,47 @@ fn worker_loop<P: SourceProvider>(shared: &Shared<P>) {
     }
 }
 
+/// Per-unique-query scan detail captured while a batch executes, for
+/// traced member requests: the scan-stage duration (the same clock read
+/// the scan histogram recorded), the plan-derived attribution, the
+/// partial-cache traffic and the per-shard child spans (trial path only,
+/// with start offsets relative to the scan's own start).
+struct ScanDetail {
+    micros: u64,
+    attribution: Option<ScanAttribution>,
+    partial_hits: u64,
+    partial_misses: u64,
+    children: Vec<TraceSpan>,
+}
+
 /// Executes one batch: refreshes the provider (newly committed segments
 /// become visible and stale cache generations retire), dedups identical
 /// queries across submitters, answers what it can from the result cache,
 /// runs the remaining misses through one fused scan (the session
 /// additionally dedups shared scan specs), and fulfils every reply slot.
+///
+/// When any member of the batch is traced, the batch-level stage timings
+/// (refresh, cache lookup, scan) are captured once from the spans' own
+/// clock reads and fanned back out into each traced member's span tree —
+/// a trace can never disagree with the histograms because both consumed
+/// the same measured value.
 fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
     let started = Instant::now();
+    // First traced member, if any: the batch-level exemplar id (stamped
+    // on the batch-exec histogram bucket and the slow-batch event).
+    let batch_trace = batch
+        .iter()
+        .map(|pending| pending.trace_id)
+        .find(|&id| id != 0)
+        .unwrap_or(0);
+    let any_traced = batch_trace != 0;
     // Refresh before snapshotting, so a query submitted after a commit
     // was published observes it; the refresh cost is attributed to this
     // batch's exec time.
     let refresh_span = Span::enter(&shared.telemetry.refresh_probe);
     let refreshed = shared.provider.refresh();
-    refresh_span.finish();
+    let refresh_micros = refresh_span.finish();
+    let refreshed_shards = refreshed.len() as u64;
     if !refreshed.is_empty() {
         shared.counters.refreshes.add(refreshed.len() as u64);
         shared.telemetry.recorder.record(
@@ -450,8 +561,22 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
         .collect();
     drop(index_of);
 
+    // The representative trace id of each unique query: the first traced
+    // member that mapped to it.  Scan-stage exemplars and per-shard child
+    // spans are attributed to the representative.
+    let mut rep_trace: Vec<u64> = vec![0; unique.len()];
+    if any_traced {
+        for (pending, &index) in batch.iter().zip(&assignment) {
+            if pending.trace_id != 0 && rep_trace[index] == 0 {
+                rep_trace[index] = pending.trace_id;
+            }
+        }
+    }
+
     let mut batch_hits = 0usize;
     let mut batch_misses = 0usize;
+    let mut cache_lookup_micros = 0u64;
+    let mut scan_details: Vec<Option<ScanDetail>> = (0..unique.len()).map(|_| None).collect();
     let outcomes: Vec<Result<QueryResult, ServeError>> = shared.provider.with_source(|snapshot| {
         let source = snapshot.source;
         let generations = snapshot.generations;
@@ -461,7 +586,7 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
         //    fresh scan of this snapshot by the cache's key contract.
         let mut misses: Vec<usize> = Vec::new();
         {
-            let _cache_lookup = Span::enter(&shared.telemetry.cache_lookup);
+            let cache_lookup = Span::enter(&shared.telemetry.cache_lookup);
             let mut cache = lock(&shared.cache);
             for (index, query) in unique.iter().enumerate() {
                 match cache.get(query, generations) {
@@ -469,6 +594,7 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                     None => misses.push(index),
                 }
             }
+            cache_lookup_micros = cache_lookup.finish_with_exemplar(batch_trace);
         }
         batch_hits = unique.len() - misses.len();
         batch_misses = misses.len();
@@ -482,13 +608,24 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
             for &index in &misses {
                 // One scan-stage sample per result-cache miss, so the
                 // scan histogram's count always equals `cache_misses`.
-                let _scan = Span::enter(&shared.telemetry.scan);
-                let outcome =
-                    run_from_partials(shared, source, generations, windows, &unique[index]);
+                let scan = Span::enter(&shared.telemetry.scan);
+                let (outcome, detail) = run_from_partials(
+                    shared,
+                    source,
+                    generations,
+                    windows,
+                    &unique[index],
+                    rep_trace[index],
+                );
                 if let Ok(result) = &outcome {
                     lock(&shared.cache).insert(unique[index].clone(), generations, result.clone());
                 }
                 results[index] = Some(outcome);
+                let scan_micros = scan.finish_with_exemplar(rep_trace[index]);
+                if let Some(mut detail) = detail {
+                    detail.micros = scan_micros;
+                    scan_details[index] = Some(detail);
+                }
             }
         } else if !misses.is_empty() {
             // 2b. One fused scan for the misses.  Every miss rode the
@@ -522,8 +659,24 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                 }
             }
             let scan_micros = scan_started.elapsed().as_micros() as u64;
-            for _ in &misses {
-                shared.telemetry.scan.record(scan_micros);
+            for &index in &misses {
+                shared
+                    .telemetry
+                    .scan
+                    .record_with_exemplar(scan_micros, rep_trace[index]);
+                if rep_trace[index] != 0 {
+                    // Attribution replans the query — pushdown only, no
+                    // loss data — and is paid only for traced misses.
+                    scan_details[index] = Some(ScanDetail {
+                        micros: scan_micros,
+                        attribution: QueryPlan::new(source, &unique[index])
+                            .ok()
+                            .map(|plan| plan.attribution()),
+                        partial_hits: 0,
+                        partial_misses: 0,
+                        children: Vec::new(),
+                    });
+                }
             }
         }
         results
@@ -533,7 +686,10 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
     });
 
     let exec_micros = started.elapsed().as_micros() as u64;
-    shared.telemetry.batch_exec.record(exec_micros);
+    shared
+        .telemetry
+        .batch_exec
+        .record_with_exemplar(exec_micros, batch_trace);
     let batch_size = batch.len() as u32;
     // Counters bump before the slots are fulfilled, so a client that just
     // received its reply already sees itself counted.
@@ -560,9 +716,13 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                 ("exec_micros", EventValue::from(exec_micros)),
                 ("threshold_micros", EventValue::from(threshold)),
                 ("batch_size", EventValue::from(batch.len())),
+                // Exemplar: the first traced member of the slow batch
+                // (0 when none was sampled) — resolvable via `trace <id>`.
+                ("trace", EventValue::from(batch_trace)),
             ],
         );
     }
+    let unique_count = unique.len() as u64;
     let _finalize = Span::enter(&shared.telemetry.finalize);
     for (pending, unique_index) in batch.into_iter().zip(assignment) {
         let queue_micros = started
@@ -570,18 +730,81 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
             .as_micros() as u64;
         // One queue sample per admitted request, so the queue histogram's
         // count always equals `completed + failed`.
-        shared.telemetry.queue.record(queue_micros);
+        shared
+            .telemetry
+            .queue
+            .record_with_exemplar(queue_micros, pending.trace_id);
         let timings = RequestTimings {
             queue_micros,
             exec_micros,
             batch_size,
         };
+        // The trace is assembled from the *same* u64 values the stats and
+        // histograms consumed — `queue_micros` and `exec_micros` above —
+        // never a fresh clock read, which is what makes
+        // `trace.total_micros == queue_micros + exec_micros` an exact
+        // contract rather than an approximation.
+        let trace = (pending.trace_id != 0).then(|| {
+            let total_micros = queue_micros + exec_micros;
+            let mut root = TraceSpan::new("request", 0, total_micros);
+            root.push_child(TraceSpan::new("queue", 0, queue_micros));
+            let mut exec_span = TraceSpan::new("exec", queue_micros, exec_micros)
+                .attr("batch_size", u64::from(batch_size))
+                .attr("batch_unique", unique_count);
+            exec_span.push_child(
+                TraceSpan::new("refresh", exec_span.next_child_start(), refresh_micros)
+                    .attr("shards", refreshed_shards),
+            );
+            let detail = &scan_details[unique_index];
+            exec_span.push_child(
+                TraceSpan::new(
+                    "cache_lookup",
+                    exec_span.next_child_start(),
+                    cache_lookup_micros,
+                )
+                .attr("hit", u64::from(detail.is_none())),
+            );
+            if let Some(detail) = detail {
+                let scan_start = exec_span.next_child_start();
+                let mut scan_span = TraceSpan::new("scan", scan_start, detail.micros);
+                if let Some(attribution) = detail.attribution {
+                    scan_span = scan_span
+                        .attr("segments", attribution.segments as u64)
+                        .attr("trials", attribution.trials as u64)
+                        .attr("groups", attribution.groups as u64)
+                        .attr("bytes", attribution.bytes as u64);
+                }
+                if detail.partial_hits + detail.partial_misses > 0 {
+                    scan_span = scan_span
+                        .attr("partial_hits", detail.partial_hits)
+                        .attr("partial_misses", detail.partial_misses);
+                }
+                for child in &detail.children {
+                    scan_span.push_child(child.shifted(scan_start));
+                }
+                exec_span.push_child(scan_span);
+            }
+            root.push_child(exec_span);
+            TraceRecord {
+                id: pending.trace_id,
+                total_micros,
+                root,
+            }
+        });
+        // Retain the trace *before* fulfilling the slot, so a client that
+        // just received its traced reply can immediately resolve the id.
+        if let Some(trace) = &trace {
+            if shared.telemetry.traces.insert(trace.clone()) {
+                shared.counters.traces_retained.inc();
+            }
+        }
         let outcome = match &outcomes[unique_index] {
             Ok(result) => {
                 shared.counters.completed.inc();
                 Ok(Reply {
                     result: result.clone(),
                     timings,
+                    trace,
                 })
             }
             Err(err) => {
@@ -605,15 +828,25 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
 /// query's own trial filter clips each shard's window (clamping is
 /// monotone, so the clipped windows stay adjacent and shards outside the
 /// filter contribute exact zero-trial partials).
+///
+/// `trace_id` is the representative trace of the request(s) that asked
+/// for this query (0 = untraced).  When traced, the returned
+/// [`ScanDetail`] carries one `scan_shard` child span per rescanned
+/// window plus the `stitch` span — each duration the **same** clock read
+/// its stage histogram recorded — so the per-trace `scan_shard` count
+/// equals this call's contribution to `partial_misses` exactly.
 fn run_from_partials<P: SourceProvider>(
     shared: &Shared<P>,
     source: &dyn SegmentSource,
     generations: &[u64],
     windows: &[(usize, usize)],
     query: &Query,
-) -> Result<QueryResult, ServeError> {
-    let plan =
-        QueryPlan::new(source, query).map_err(|err| ServeError::InvalidQuery(err.to_string()))?;
+    trace_id: u64,
+) -> (Result<QueryResult, ServeError>, Option<ScanDetail>) {
+    let plan = match QueryPlan::new(source, query) {
+        Ok(plan) => plan,
+        Err(err) => return (Err(ServeError::InvalidQuery(err.to_string())), None),
+    };
     let num_segments = source.num_segments();
     let clips: Vec<(usize, usize)> = windows
         .iter()
@@ -645,14 +878,32 @@ fn run_from_partials<P: SourceProvider>(
 
     // Phase 2: rescan only the missing windows (no cache lock held —
     // scans are the expensive part and other workers may be probing).
+    // Traced requests capture each rescan as a child span built from the
+    // span's own measured value (start offsets are packed sequentially,
+    // relative to the scan stage's start).
+    let mut children: Vec<TraceSpan> = Vec::new();
+    let mut next_start = 0u64;
     let mut scanned: Vec<(usize, catrisk_riskquery::TrialPartial)> = Vec::new();
     for (shard, part) in parts.iter_mut().enumerate() {
         if part.is_none() {
             let (start, end) = clips[shard];
             // One shard-scan sample per rescanned window, so the
             // histogram's count always equals `partial_misses`.
-            let _shard_scan = Span::enter(&shared.telemetry.scan_shard);
+            let shard_scan = Span::enter(&shared.telemetry.scan_shard);
             let fresh = scan_trial_partial(source, &plan, start, end);
+            let shard_micros = shard_scan.finish_with_exemplar(trace_id);
+            if trace_id != 0 {
+                let attribution = plan.attribution_for_window(start, end);
+                children.push(
+                    TraceSpan::new("scan_shard", next_start, shard_micros)
+                        .attr("shard", shard as u64)
+                        .attr("window_start", start as u64)
+                        .attr("window_end", end as u64)
+                        .attr("segments", attribution.segments as u64)
+                        .attr("bytes", attribution.bytes as u64),
+                );
+                next_start += shard_micros;
+            }
             scanned.push((shard, fresh.clone()));
             *part = Some(fresh);
         }
@@ -674,8 +925,22 @@ fn run_from_partials<P: SourceProvider>(
         .collect();
     let stitch = Span::enter(&shared.telemetry.stitch);
     let stitched = combine_trial_partials(query, parts);
-    stitch.finish();
-    match stitched {
+    let stitch_micros = stitch.finish_with_exemplar(trace_id);
+    if trace_id != 0 {
+        children.push(
+            TraceSpan::new("stitch", next_start, stitch_micros).attr("parts", windows.len() as u64),
+        );
+    }
+    let detail = (trace_id != 0).then(|| ScanDetail {
+        // Filled in by the caller from the enclosing scan span's own
+        // measured value, so the trace and the scan histogram agree.
+        micros: 0,
+        attribution: Some(plan.attribution()),
+        partial_hits: hits as u64,
+        partial_misses: rescans as u64,
+        children,
+    });
+    let outcome = match stitched {
         Ok(result) => Ok(result),
         Err(_) => {
             // Cached parts disagreed with the fresh ones (they cannot
@@ -699,7 +964,8 @@ fn run_from_partials<P: SourceProvider>(
             catrisk_riskquery::execute(source, query)
                 .map_err(|err| ServeError::InvalidQuery(err.to_string()))
         }
-    }
+    };
+    (outcome, detail)
 }
 
 #[cfg(test)]

@@ -41,6 +41,8 @@ pub(crate) struct Counters {
     pub partial_hits: Arc<Counter>,
     pub partial_misses: Arc<Counter>,
     pub refreshes: Arc<Counter>,
+    pub traces_started: Arc<Counter>,
+    pub traces_retained: Arc<Counter>,
 }
 
 impl Counters {
@@ -60,6 +62,8 @@ impl Counters {
             partial_hits: registry.counter("partial_hits"),
             partial_misses: registry.counter("partial_misses"),
             refreshes: registry.counter("refreshes"),
+            traces_started: registry.counter("traces_started"),
+            traces_retained: registry.counter("traces_retained"),
         }
     }
 
@@ -77,6 +81,8 @@ impl Counters {
             partial_hits: self.partial_hits.get(),
             partial_misses: self.partial_misses.get(),
             refreshes: self.refreshes.get(),
+            traces_started: self.traces_started.get(),
+            traces_retained: self.traces_retained.get(),
         }
     }
 }
@@ -122,6 +128,17 @@ pub struct StatsSnapshot {
     /// Post-v1 field, defaults to 0.
     #[serde(default)]
     pub refreshes: u64,
+    /// Requests admitted with a trace id assigned.  With sampling set to
+    /// "always" (`trace_sample_every = 1`) this equals `submitted`
+    /// exactly — the id is allocated inside the admission critical
+    /// section, next to the `submitted` bump.  Post-v1 field, defaults
+    /// to 0.
+    #[serde(default)]
+    pub traces_started: u64,
+    /// Completed traces retained by the trace store (recency ring or
+    /// slowest pool).  Post-v1 field, defaults to 0.
+    #[serde(default)]
+    pub traces_retained: u64,
 }
 
 impl StatsSnapshot {
@@ -195,6 +212,8 @@ mod tests {
         assert_eq!(snap.partial_hits, 0);
         assert_eq!(snap.partial_misses, 0);
         assert_eq!(snap.refreshes, 0);
+        assert_eq!(snap.traces_started, 0);
+        assert_eq!(snap.traces_retained, 0);
     }
 
     #[test]

@@ -186,6 +186,13 @@ fn handle_connection<P: SourceProvider>(connection: TcpStream, shared: &TcpShare
             Ok(Some(Request::Stats)) => WireReply::stats(shared.server.stats()),
             Ok(Some(Request::Metrics)) => WireReply::metrics(shared.server.metrics()),
             Ok(Some(Request::Recorder)) => WireReply::recorder(shared.server.recorder_dump()),
+            Ok(Some(Request::RecorderSince(since))) => {
+                WireReply::recorder(shared.server.recorder_dump_since(since))
+            }
+            Ok(Some(Request::Trace(id))) => WireReply::trace_lookup(id, shared.server.trace(id)),
+            Ok(Some(Request::TraceSlowest(n))) => {
+                WireReply::traces(shared.server.slowest_traces(n))
+            }
             Ok(Some(Request::Quit)) => {
                 let _ = write_line(&mut writer, &WireReply::bye());
                 break;
@@ -195,11 +202,25 @@ fn handle_connection<P: SourceProvider>(connection: TcpStream, shared: &TcpShare
                 shared.stop();
                 break;
             }
-            Ok(Some(Request::Query(query))) => match shared.server.submit(query) {
+            Ok(Some(Request::Query { query, trace })) => match if trace {
+                // The wire flag forces a trace whatever the sampling knob
+                // says — a client asking for a profile always gets one.
+                shared.server.submit_traced(query)
+            } else {
+                shared.server.submit(query)
+            } {
                 // The wait blocks this connection only; other connections'
                 // requests coalesce into the same batch meanwhile.
                 Ok(ticket) => match ticket.wait() {
-                    Ok(reply) => WireReply::result(reply),
+                    Ok(mut reply) => {
+                        // The profile rides the wire only when this line
+                        // asked for it — sampling alone never widens a
+                        // reply an existing client did not opt into.
+                        if !trace {
+                            reply.trace = None;
+                        }
+                        WireReply::result(reply)
+                    }
                     Err(err) => WireReply::serve_error(&err),
                 },
                 Err(err) => WireReply::serve_error(&err),
@@ -253,6 +274,7 @@ mod tests {
             Arc::clone(&store),
             ServerConfig {
                 batch_window: Duration::from_micros(100),
+                trace_sample_every: 1,
                 ..ServerConfig::default()
             },
         );
@@ -271,6 +293,48 @@ mod tests {
         assert!(reply.ok, "{reply:?}");
         assert_eq!(reply.result.as_ref().unwrap(), &expected[0]);
         assert!(reply.timings.batch_size >= 1);
+        // Sampling is on, but this line did not carry the `trace` prefix:
+        // the profile stays server-side.
+        assert_eq!(reply.trace, None);
+
+        // A traced query gets its profile inline, timed from the same
+        // clock reads as the timings it rides with.
+        let traced = roundtrip(
+            &mut lines,
+            &mut stream,
+            "trace select mean, tvar(0.99) where peril=HU|FL group by region",
+        );
+        assert!(traced.ok, "{traced:?}");
+        assert_eq!(traced.result.as_ref().unwrap(), &expected[0]);
+        let profile = traced.trace.expect("traced reply carries its profile");
+        assert_eq!(
+            profile.total_micros,
+            traced.timings.queue_micros + traced.timings.exec_micros
+        );
+        assert_eq!(profile.root.name, "request");
+        // ... and is retained server-side, resolvable by id.
+        let lookup = roundtrip(&mut lines, &mut stream, &format!("trace {}", profile.id));
+        assert_eq!(lookup.kind, "trace");
+        assert_eq!(lookup.trace.as_ref().unwrap().id, profile.id);
+        let unknown = roundtrip(&mut lines, &mut stream, "trace 999999");
+        assert_eq!(unknown.error.as_ref().unwrap().kind, "invalid");
+        let slowest = roundtrip(&mut lines, &mut stream, "trace slowest 3");
+        assert_eq!(slowest.kind, "traces");
+        assert!(!slowest.traces.as_ref().unwrap().is_empty());
+
+        // `recorder since` scrapes incrementally: a later `since` returns
+        // a strict suffix of the full dump.
+        let full = roundtrip(&mut lines, &mut stream, "recorder");
+        let events = full.recorder.expect("recorder payload");
+        let last_seq = events.last().expect("at least one event").seq;
+        let since = roundtrip(
+            &mut lines,
+            &mut stream,
+            &format!("recorder since {last_seq}"),
+        );
+        let tail = since.recorder.expect("recorder payload");
+        assert!(tail.iter().all(|e| e.seq >= last_seq));
+        assert!(tail.iter().any(|e| e.seq == last_seq));
 
         let bad = roundtrip(&mut lines, &mut stream, "select nonsense");
         assert!(!bad.ok);

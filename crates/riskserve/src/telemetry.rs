@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use catrisk_telemetry::{FlightRecorder, Histogram, Registry};
+use catrisk_telemetry::{FlightRecorder, Histogram, Registry, TraceStore};
 
 /// Metric names of the per-stage latency histograms (all in microseconds).
 ///
@@ -76,6 +76,10 @@ pub(crate) struct ServerTelemetry {
     /// Batches slower than this many microseconds emit a `slow-batch`
     /// flight-recorder event; 0 disables the check.
     pub slow_batch_threshold_micros: u64,
+    /// Retained request traces plus the trace-id allocator.
+    pub traces: TraceStore,
+    /// Trace every Nth admitted request (1 = every request, 0 = never).
+    pub trace_sample_every: u64,
     pub admission: Arc<Histogram>,
     pub queue: Arc<Histogram>,
     pub refresh_probe: Arc<Histogram>,
@@ -90,12 +94,19 @@ pub(crate) struct ServerTelemetry {
 
 impl ServerTelemetry {
     /// Builds the bundle: a fresh registry, a recorder of the given
-    /// capacity, and every stage histogram pre-resolved.
-    pub fn new(recorder_capacity: usize, slow_batch_threshold_micros: u64) -> Self {
+    /// capacity, a trace store, and every stage histogram pre-resolved.
+    pub fn new(
+        recorder_capacity: usize,
+        slow_batch_threshold_micros: u64,
+        trace_sample_every: u64,
+        trace_capacity: usize,
+    ) -> Self {
         let registry = Arc::new(Registry::new());
         Self {
             recorder: Arc::new(FlightRecorder::new(recorder_capacity)),
             slow_batch_threshold_micros,
+            traces: TraceStore::new(trace_capacity),
+            trace_sample_every,
             admission: registry.histogram(stage::ADMISSION),
             queue: registry.histogram(stage::QUEUE),
             refresh_probe: registry.histogram(stage::REFRESH_PROBE),

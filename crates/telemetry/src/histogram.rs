@@ -59,6 +59,9 @@ pub fn bucket_bounds(index: usize) -> (u64, u64) {
 /// individually atomic); quiesce writers when exact consistency matters.
 pub struct Histogram {
     buckets: Vec<AtomicU64>,
+    /// Last trace id recorded into each bucket (0 = none) — the exemplar
+    /// link from "this bucket is hot" to one concrete trace.
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
@@ -76,8 +79,11 @@ impl Histogram {
     pub fn new() -> Self {
         let mut buckets = Vec::with_capacity(NUM_BUCKETS);
         buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        let mut exemplars = Vec::with_capacity(NUM_BUCKETS);
+        exemplars.resize_with(NUM_BUCKETS, AtomicU64::default);
         Self {
             buckets,
+            exemplars,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
@@ -92,6 +98,16 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one observation and stamps `trace_id` as the bucket's
+    /// exemplar (one relaxed atomic store on top of [`Histogram::record`]).
+    /// A `trace_id` of 0 means "untraced" and leaves the exemplar alone.
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id != 0 {
+            self.exemplars[bucket_index(value)].store(trace_id, Ordering::Relaxed);
+        }
     }
 
     /// Number of recorded observations.
@@ -111,6 +127,15 @@ impl Histogram {
                 .filter_map(|(i, b)| {
                     let n = b.load(Ordering::Relaxed);
                     (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| {
+                    let id = e.load(Ordering::Relaxed);
+                    (id > 0).then_some((i as u32, id))
                 })
                 .collect(),
             count,
@@ -137,6 +162,11 @@ impl std::fmt::Debug for Histogram {
 pub struct HistogramSnapshot {
     /// Sparse non-empty buckets as `(index, count)`, ascending by index.
     pub buckets: Vec<(u32, u64)>,
+    /// Sparse bucket exemplars as `(index, trace id)`, ascending by index:
+    /// the last traced request that landed in that bucket.  **Post-v1
+    /// field**: absent on the wire from older servers, defaults to empty.
+    #[serde(default)]
+    pub exemplars: Vec<(u32, u64)>,
     /// Total observations.
     pub count: u64,
     /// Sum of all observed values.
@@ -193,6 +223,42 @@ impl HistogramSnapshot {
             }
         }
         self.buckets = merged;
+        // Exemplars keep `self`'s id where both sides stamped the bucket
+        // (either is a valid representative; preferring self keeps merging
+        // idempotent), otherwise whichever side has one.
+        let mut exemplars: Vec<(u32, u64)> =
+            Vec::with_capacity(self.exemplars.len() + other.exemplars.len());
+        let (mut a, mut b) = (
+            self.exemplars.iter().peekable(),
+            other.exemplars.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ea)), Some(&&(ib, eb))) => {
+                    if ia == ib {
+                        exemplars.push((ia, ea));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        exemplars.push((ia, ea));
+                        a.next();
+                    } else {
+                        exemplars.push((ib, eb));
+                        b.next();
+                    }
+                }
+                (Some(&&e), None) => {
+                    exemplars.push(e);
+                    a.next();
+                }
+                (None, Some(&&e)) => {
+                    exemplars.push(e);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.exemplars = exemplars;
         self.sum += other.sum;
         self.min = match (self.count, other.count) {
             (0, _) => other.min,
@@ -225,6 +291,19 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// The exemplar trace id stamped on the bucket at `index`, if any.
+    pub fn exemplar(&self, index: u32) -> Option<u64> {
+        self.exemplars
+            .binary_search_by_key(&index, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.exemplars[pos].1)
+    }
+
+    /// Iterates every exemplar trace id in the snapshot.
+    pub fn exemplar_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.exemplars.iter().map(|&(_, id)| id)
     }
 
     /// Iterates `(upper bound, cumulative count)` over the non-empty
@@ -335,5 +414,45 @@ mod tests {
         assert_eq!(snap, HistogramSnapshot::default());
         assert_eq!(snap.percentile(99.0), 0);
         assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn exemplars_stamp_the_bucket_and_survive_snapshots() {
+        let h = Histogram::new();
+        h.record(500); // untraced sample in some other bucket
+        h.record_with_exemplar(1_000_000, 42);
+        h.record_with_exemplar(1_000_001, 43); // same bucket: last wins
+        h.record_with_exemplar(7, 0); // id 0 = untraced, no stamp
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        let bucket = bucket_index(1_000_000) as u32;
+        assert_eq!(snap.exemplar(bucket), Some(43));
+        assert_eq!(snap.exemplar(bucket_index(500) as u32), None);
+        assert_eq!(snap.exemplar(bucket_index(7) as u32), None);
+        assert_eq!(snap.exemplar_ids().collect::<Vec<_>>(), vec![43]);
+    }
+
+    #[test]
+    fn merge_prefers_self_exemplars_and_keeps_counts_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_with_exemplar(100, 1);
+        b.record_with_exemplar(100, 2); // same bucket, different server
+        b.record_with_exemplar(9_999, 3);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.exemplar(bucket_index(100) as u32), Some(1));
+        assert_eq!(m.exemplar(bucket_index(9_999) as u32), Some(3));
+        // Bucket counts are unaffected by exemplar bookkeeping.
+        assert_eq!(m.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn v1_snapshots_without_exemplars_still_parse() {
+        let json = r#"{"buckets":[[3,1]],"count":1,"sum":3,"min":3,"max":3}"#;
+        let snap: HistogramSnapshot = serde_json::from_str(json).expect("v1 parse");
+        assert_eq!(snap.count, 1);
+        assert!(snap.exemplars.is_empty());
     }
 }

@@ -20,7 +20,13 @@
 //! * [`Span`] — RAII stage timer: `Span::enter(&hist)` at stage entry,
 //!   the drop records elapsed microseconds.
 //! * [`FlightRecorder`] — fixed-capacity ring of recent structured
-//!   [`EventRecord`]s for post-hoc debugging, dumpable on demand.
+//!   [`EventRecord`]s for post-hoc debugging, dumpable on demand
+//!   (incrementally via [`FlightRecorder::dump_since`]).
+//! * [`TraceRecord`] / [`TraceStore`] — request-scoped traces: span trees
+//!   with numeric attribution built from the same clock reads the stage
+//!   histograms record, retained under watermarked sequential ids so
+//!   histogram bucket *exemplars* ([`Histogram::record_with_exemplar`])
+//!   always resolve.  See [`trace`].
 //! * [`MetricsSnapshot`] / [`HistogramSnapshot`] — plain serializable
 //!   copies that cross the wire in the `metrics` protocol reply, with
 //!   Prometheus text rendering
@@ -36,6 +42,7 @@ pub mod histogram;
 pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{
     bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_BITS,
@@ -43,3 +50,4 @@ pub use histogram::{
 pub use recorder::{EventRecord, EventValue, FlightRecorder};
 pub use registry::{Counter, Gauge, MetricsSnapshot, Registry};
 pub use span::Span;
+pub use trace::{TraceLookup, TraceRecord, TraceSpan, TraceStore, SLOWEST_POOL};

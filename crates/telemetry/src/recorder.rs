@@ -142,6 +142,23 @@ impl FlightRecorder {
         self.inner.lock().unwrap().events.iter().cloned().collect()
     }
 
+    /// Copies the events with `seq >= since`, oldest first — the
+    /// incremental scrape behind the `recorder since <seq>` wire command.
+    /// A client that has seen up to sequence number `S` asks for
+    /// `since = S + 1` and receives only what it is missing; `since = 0`
+    /// is a full dump.  Because `seq` is never reused, repeated scrapes
+    /// correlate and deduplicate exactly even after the ring wraps.
+    pub fn dump_since(&self, since: u64) -> Vec<EventRecord> {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| e.seq >= since)
+            .cloned()
+            .collect()
+    }
+
     /// Total events ever recorded (including evicted ones).
     pub fn recorded(&self) -> u64 {
         self.inner.lock().unwrap().next_seq
@@ -175,6 +192,20 @@ mod tests {
         );
         assert_eq!(rec.recorded(), 5);
         assert_eq!(dump[0].fields, vec![("i".to_string(), EventValue::U64(2))]);
+    }
+
+    #[test]
+    fn dump_since_is_an_exact_incremental_scrape() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..6u64 {
+            rec.record("tick", [("i", EventValue::from(i))]);
+        }
+        // Ring holds seqs 2..=5.  A client that saw up to 3 asks since=4.
+        let fresh = rec.dump_since(4);
+        assert_eq!(fresh.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        // since=0 is the full dump; a future seq yields nothing.
+        assert_eq!(rec.dump_since(0), rec.dump());
+        assert!(rec.dump_since(100).is_empty());
     }
 
     #[test]

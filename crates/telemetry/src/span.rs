@@ -49,6 +49,17 @@ impl Span {
         elapsed
     }
 
+    /// Like [`Span::finish`], but also stamps `trace_id` as the exemplar of
+    /// the bucket the value lands in (no stamp when `trace_id` is 0).  The
+    /// returned value is the *same* clock read the histogram recorded, so a
+    /// trace built from it can never disagree with the aggregate metrics.
+    pub fn finish_with_exemplar(mut self, trace_id: u64) -> u64 {
+        let elapsed = self.elapsed_micros();
+        self.armed = false;
+        self.histogram.record_with_exemplar(elapsed, trace_id);
+        elapsed
+    }
+
     /// Consumes the span without recording anything (for abandoned stages).
     pub fn discard(mut self) {
         self.armed = false;

@@ -1,0 +1,441 @@
+//! Request-scoped traces: span trees with attribution payloads.
+//!
+//! Where histograms answer "how long does this stage usually take" across
+//! the whole fleet of requests, a trace answers "where did *this* request's
+//! time go": a tree of named spans, each carrying the microseconds measured
+//! by the **same clock reads** the stage histograms recorded (never a second
+//! timer), plus numeric attribution — shards scanned, trial windows, rows,
+//! cache hit-vs-miss, bytes decoded.
+//!
+//! The pieces:
+//!
+//! * [`TraceSpan`] — one node of the tree: a name, a start offset and a
+//!   duration (both in microseconds relative to the trace start), ordered
+//!   `(name, value)` attribution pairs, and child spans that are disjoint
+//!   subintervals of their parent;
+//! * [`TraceRecord`] — a completed trace: its wire-visible id, the total
+//!   duration and the root span.  `Display` renders the indented tree;
+//! * [`TraceStore`] — allocates sequential trace ids and retains completed
+//!   traces: a bounded ring of the most recent plus a small pool of the
+//!   slowest ever seen, so "show me the worst request" survives recency
+//!   eviction.  [`TraceStore::lookup`] distinguishes *retained*, *evicted*
+//!   (a real id whose record aged out) and *unknown* (never issued) — the
+//!   watermark semantics histogram exemplars rely on.
+//!
+//! The serving-path span taxonomy and attribution schema are documented
+//! normatively in `docs/OBSERVABILITY.md`; the wire commands (`trace <id>`,
+//! `trace slowest N`, the per-request `trace` flag) in `docs/PROTOCOL.md`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// How many of the slowest traces a [`TraceStore`] keeps outside the
+/// recency ring.
+pub const SLOWEST_POOL: usize = 32;
+
+/// One node of a trace's span tree.
+///
+/// Invariants the serving path maintains (and the property tests assert):
+/// children are disjoint subintervals of their parent in execution order,
+/// so the sum of child durations never exceeds the parent's duration, and
+/// every child's `[start, start + micros]` interval lies inside its
+/// parent's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Stage name — the histogram stage this span's duration was recorded
+    /// into (`queue`, `exec`, `refresh`, `scan_shard`, …).
+    pub name: String,
+    /// Microseconds from the trace's start to this span's start.
+    pub start_micros: u64,
+    /// Duration in microseconds — the exact value recorded into the
+    /// corresponding stage histogram (shared clock read, never re-timed).
+    pub micros: u64,
+    /// Numeric attribution payload as ordered `(name, value)` pairs.
+    #[serde(default)]
+    pub attrs: Vec<(String, u64)>,
+    /// Child spans: disjoint subintervals of this span, in execution order.
+    #[serde(default)]
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// Creates a leaf span.
+    pub fn new(name: &str, start_micros: u64, micros: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            start_micros,
+            micros,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends one attribution pair (builder style).
+    pub fn attr(mut self, name: &str, value: u64) -> Self {
+        self.attrs.push((name.to_string(), value));
+        self
+    }
+
+    /// Appends a child span.
+    pub fn push_child(&mut self, child: TraceSpan) {
+        self.children.push(child);
+    }
+
+    /// Sum of the direct children's durations.
+    pub fn child_micros(&self) -> u64 {
+        self.children.iter().map(|c| c.micros).sum()
+    }
+
+    /// Microsecond offset (relative to the trace start) where the next
+    /// sequential child would begin: after the last child, or at this
+    /// span's own start when it has none.
+    pub fn next_child_start(&self) -> u64 {
+        self.children
+            .last()
+            .map(|c| c.start_micros + c.micros)
+            .unwrap_or(self.start_micros)
+    }
+
+    /// A copy of this subtree with every start offset shifted by `offset`
+    /// microseconds — how a span subtree built relative to its own stage
+    /// start is re-anchored into a specific request's timeline (the same
+    /// batch-level work fans out to members with different queue waits).
+    pub fn shifted(&self, offset: u64) -> TraceSpan {
+        TraceSpan {
+            name: self.name.clone(),
+            start_micros: self.start_micros + offset,
+            micros: self.micros,
+            attrs: self.attrs.clone(),
+            children: self.children.iter().map(|c| c.shifted(offset)).collect(),
+        }
+    }
+
+    /// Total number of spans in this subtree (including `self`).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceSpan::span_count)
+            .sum::<usize>()
+    }
+
+    /// Counts the spans named `name` in this subtree.
+    pub fn count_named(&self, name: &str) -> usize {
+        usize::from(self.name == name)
+            + self
+                .children
+                .iter()
+                .map(|c| c.count_named(name))
+                .sum::<usize>()
+    }
+
+    /// Finds the first span named `name` in this subtree, depth first.
+    pub fn find(&self, name: &str) -> Option<&TraceSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render(&self, f: &mut std::fmt::Formatter<'_>, depth: usize) -> std::fmt::Result {
+        write!(
+            f,
+            "{:indent$}{:<width$} {:>10}us  +{}",
+            "",
+            self.name,
+            self.micros,
+            self.start_micros,
+            indent = depth * 2,
+            width = 24usize.saturating_sub(depth * 2),
+        )?;
+        for (name, value) in &self.attrs {
+            write!(f, "  {name}={value}")?;
+        }
+        writeln!(f)?;
+        for child in &self.children {
+            child.render(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// A completed request trace: the wire-visible id, the total duration and
+/// the span tree.  `Display` renders the indented tree (what
+/// `catrisk query --profile` and `catrisk stats --slowest` print).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The trace id: sequential per server, starting at 1 (0 is never a
+    /// valid id and means "untraced" wherever an id field can be absent).
+    pub id: u64,
+    /// Total duration in microseconds.  For a served request this is
+    /// exactly `queue_micros + exec_micros` from the reply's timings —
+    /// an exact contract, not an approximation (same clock reads).
+    pub total_micros: u64,
+    /// The root span (named `request` on the serving path).
+    pub root: TraceSpan,
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "trace {} ({}us total)", self.id, self.total_micros)?;
+        self.root.render(f, 1)
+    }
+}
+
+/// Outcome of a [`TraceStore::lookup`].
+///
+/// The three-way split is the exemplar contract: an exemplar trace id read
+/// from a histogram bucket always resolves to `Retained` or `Evicted`,
+/// never `Unknown` — `Unknown` means the id was never issued by this
+/// server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceLookup {
+    /// The trace is retained; here is its record.
+    Retained(TraceRecord),
+    /// The id was issued by this server, but its record has been evicted
+    /// from both the recency ring and the slowest pool (or retention is
+    /// disabled).
+    Evicted,
+    /// The id was never issued (0, or above the allocation watermark).
+    Unknown,
+}
+
+struct StoreInner {
+    /// Most recent completed traces, oldest first.
+    recent: VecDeque<TraceRecord>,
+    /// The slowest traces ever completed, unordered, at most
+    /// [`SLOWEST_POOL`] of them.
+    slowest: Vec<TraceRecord>,
+}
+
+/// Allocates trace ids and retains completed traces.
+///
+/// Ids are sequential starting at 1, handed out with one relaxed atomic
+/// add (safe inside the admission lock).  Retention is two-tier: a bounded
+/// ring of the `capacity` most recent traces plus a fixed pool of the
+/// [`SLOWEST_POOL`] slowest, so the worst requests stay resolvable after
+/// the ring has churned past them.  A `capacity` of 0 disables retention
+/// (ids are still allocated; every issued id looks up as `Evicted`).
+pub struct TraceStore {
+    next_id: AtomicU64,
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl TraceStore {
+    /// Creates a store retaining at most `capacity` recent traces (plus
+    /// the fixed slowest pool).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            next_id: AtomicU64::new(1),
+            capacity,
+            inner: Mutex::new(StoreInner {
+                recent: VecDeque::with_capacity(capacity.min(1024)),
+                slowest: Vec::new(),
+            }),
+        }
+    }
+
+    /// Configured recency-ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates the next trace id (sequential, starting at 1).
+    pub fn allocate(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The highest id allocated so far (0 when none have been).
+    pub fn watermark(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed) - 1
+    }
+
+    /// Retains a completed trace.  Returns `true` when the record was kept
+    /// (always, unless retention is disabled).
+    pub fn insert(&self, record: TraceRecord) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.slowest.len() < SLOWEST_POOL {
+            inner.slowest.push(record.clone());
+        } else if let Some(min) = inner
+            .slowest
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.total_micros)
+            .map(|(i, _)| i)
+        {
+            if inner.slowest[min].total_micros < record.total_micros {
+                inner.slowest[min] = record.clone();
+            }
+        }
+        if inner.recent.len() == self.capacity {
+            inner.recent.pop_front();
+        }
+        inner.recent.push_back(record);
+        true
+    }
+
+    /// Looks an id up against the watermark and both retention tiers.
+    pub fn lookup(&self, id: u64) -> TraceLookup {
+        if id == 0 || id > self.watermark() {
+            return TraceLookup::Unknown;
+        }
+        let inner = self.inner.lock().unwrap();
+        if let Some(record) = inner
+            .recent
+            .iter()
+            .rev()
+            .chain(inner.slowest.iter())
+            .find(|r| r.id == id)
+        {
+            return TraceLookup::Retained(record.clone());
+        }
+        TraceLookup::Evicted
+    }
+
+    /// The `n` slowest retained traces, slowest first, deduplicated across
+    /// both retention tiers.
+    pub fn slowest(&self, n: usize) -> Vec<TraceRecord> {
+        let inner = self.inner.lock().unwrap();
+        let mut all: Vec<&TraceRecord> = inner.slowest.iter().chain(inner.recent.iter()).collect();
+        all.sort_by(|a, b| b.total_micros.cmp(&a.total_micros).then(a.id.cmp(&b.id)));
+        all.dedup_by_key(|r| r.id);
+        all.into_iter().take(n).cloned().collect()
+    }
+
+    /// Number of traces currently retained in the recency ring.
+    pub fn retained(&self) -> usize {
+        self.inner.lock().unwrap().recent.len()
+    }
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("capacity", &self.capacity)
+            .field("watermark", &self.watermark())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total: u64) -> TraceRecord {
+        TraceRecord {
+            id,
+            total_micros: total,
+            root: TraceSpan::new("request", 0, total),
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_from_one() {
+        let store = TraceStore::new(4);
+        assert_eq!(store.watermark(), 0);
+        assert_eq!(store.allocate(), 1);
+        assert_eq!(store.allocate(), 2);
+        assert_eq!(store.watermark(), 2);
+    }
+
+    #[test]
+    fn lookup_distinguishes_retained_evicted_unknown() {
+        let store = TraceStore::new(2);
+        for id in 1..=4u64 {
+            assert_eq!(store.allocate(), id);
+            store.insert(trace(id, id));
+        }
+        // 3 and 4 are in the ring; 1 and 2 were evicted from it but the
+        // slowest pool still has room, so they remain retained.
+        assert!(matches!(store.lookup(4), TraceLookup::Retained(r) if r.id == 4));
+        assert!(matches!(store.lookup(1), TraceLookup::Retained(_)));
+        assert_eq!(store.lookup(0), TraceLookup::Unknown);
+        assert_eq!(store.lookup(99), TraceLookup::Unknown);
+    }
+
+    #[test]
+    fn evicted_ids_stay_resolvable_as_evicted() {
+        let store = TraceStore::new(1);
+        // Flood both tiers with slow traces, then a fast one that the
+        // slowest pool refuses and the ring churns past.
+        for _ in 0..(SLOWEST_POOL as u64) {
+            let id = store.allocate();
+            store.insert(trace(id, 1_000_000));
+        }
+        let fast = store.allocate();
+        store.insert(trace(fast, 1));
+        let churn = store.allocate();
+        store.insert(trace(churn, 2_000_000));
+        assert_eq!(store.lookup(fast), TraceLookup::Evicted);
+        assert!(matches!(store.lookup(churn), TraceLookup::Retained(_)));
+    }
+
+    #[test]
+    fn slowest_survive_ring_eviction() {
+        let store = TraceStore::new(2);
+        let slow = store.allocate();
+        store.insert(trace(slow, 5_000_000));
+        for _ in 0..10 {
+            let id = store.allocate();
+            store.insert(trace(id, 10));
+        }
+        let top = store.slowest(3);
+        assert_eq!(top[0].id, slow, "slowest pool must outlive the ring");
+        assert!(top
+            .windows(2)
+            .all(|w| w[0].total_micros >= w[1].total_micros));
+        let ids: Vec<u64> = top.iter().map(|r| r.id).collect();
+        let mut deduped = ids.clone();
+        deduped.dedup();
+        assert_eq!(ids, deduped, "no duplicate ids across tiers");
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let store = TraceStore::new(0);
+        let id = store.allocate();
+        assert!(!store.insert(trace(id, 7)));
+        assert_eq!(store.lookup(id), TraceLookup::Evicted);
+        assert!(store.slowest(5).is_empty());
+    }
+
+    #[test]
+    fn display_renders_the_tree_with_attrs() {
+        let mut root = TraceSpan::new("request", 0, 100);
+        let mut exec = TraceSpan::new("exec", 40, 60).attr("batch_size", 7);
+        exec.push_child(TraceSpan::new("scan", 40, 50).attr("segments", 3));
+        root.push_child(TraceSpan::new("queue", 0, 40));
+        root.push_child(exec);
+        let record = TraceRecord {
+            id: 42,
+            total_micros: 100,
+            root,
+        };
+        let text = record.to_string();
+        assert!(text.contains("trace 42"), "{text}");
+        assert!(text.contains("queue"), "{text}");
+        assert!(text.contains("batch_size=7"), "{text}");
+        assert!(text.contains("segments=3"), "{text}");
+        assert_eq!(record.root.span_count(), 4);
+        assert_eq!(record.root.count_named("scan"), 1);
+        assert_eq!(record.root.find("exec").unwrap().child_micros(), 50);
+    }
+
+    #[test]
+    fn next_child_start_advances_sequentially() {
+        let mut span = TraceSpan::new("exec", 10, 90);
+        assert_eq!(span.next_child_start(), 10);
+        span.push_child(TraceSpan::new("refresh", 10, 5));
+        assert_eq!(span.next_child_start(), 15);
+        span.push_child(TraceSpan::new("scan", 15, 30));
+        assert_eq!(span.next_child_start(), 45);
+        assert!(span.child_micros() <= span.micros);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the trace span tree and histogram exemplars: the
+//! packed-start child layout always nests inside its parent, child
+//! durations never sum past the parent's, re-anchoring via `shifted`
+//! preserves every duration, and an exemplar always lands in exactly the
+//! bucket its value was recorded into.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use catrisk_telemetry::{Histogram, TraceRecord, TraceSpan};
+
+/// Builds a parent whose children are packed back to back with
+/// [`TraceSpan::next_child_start`], the way the server builds real
+/// traces.
+fn packed_parent(start: u64, total: u64, durations: &[u64]) -> TraceSpan {
+    let mut parent = TraceSpan::new("parent", start, total);
+    for (i, &d) in durations.iter().enumerate() {
+        let child_start = parent.next_child_start();
+        parent.push_child(TraceSpan::new(&format!("child{i}"), child_start, d));
+    }
+    parent
+}
+
+proptest! {
+    #[test]
+    fn packed_children_nest_within_the_parent(
+        durations in vec(0u64..10_000, 0..20),
+        slack in 0u64..1_000,
+        start in 0u64..1_000_000,
+    ) {
+        let children_total: u64 = durations.iter().sum();
+        let parent = packed_parent(start, children_total + slack, &durations);
+
+        // Durations: children never sum past the parent.
+        prop_assert_eq!(parent.child_micros(), children_total);
+        prop_assert!(parent.child_micros() <= parent.micros);
+
+        // Intervals: each child starts where the previous ended, and the
+        // last child's end never leaves the parent's interval.
+        let mut cursor = start;
+        for child in &parent.children {
+            prop_assert_eq!(child.start_micros, cursor);
+            cursor += child.micros;
+        }
+        prop_assert!(cursor <= start + parent.micros);
+        prop_assert_eq!(parent.next_child_start(), cursor);
+    }
+
+    #[test]
+    fn shifted_preserves_durations_and_packing(
+        durations in vec(0u64..10_000, 0..12),
+        start in 0u64..100_000,
+        offset in 0u64..1_000_000,
+    ) {
+        let total: u64 = durations.iter().sum();
+        let parent = packed_parent(start, total, &durations);
+        let shifted = parent.shifted(offset);
+
+        prop_assert_eq!(shifted.start_micros, start + offset);
+        prop_assert_eq!(shifted.micros, parent.micros);
+        prop_assert_eq!(shifted.child_micros(), parent.child_micros());
+        prop_assert_eq!(shifted.span_count(), parent.span_count());
+        for (a, b) in shifted.children.iter().zip(&parent.children) {
+            prop_assert_eq!(a.start_micros, b.start_micros + offset);
+            prop_assert_eq!(a.micros, b.micros);
+        }
+    }
+
+    #[test]
+    fn exemplar_lands_in_the_value_bucket(
+        value in 0u64..u64::MAX / 2,
+        id in 1u64..u64::MAX,
+    ) {
+        let h = Histogram::new();
+        h.record_with_exemplar(value, id);
+        let snap = h.snapshot();
+        // One value recorded: exactly one occupied bucket, whose exemplar
+        // is exactly the id that stamped it.
+        prop_assert_eq!(snap.buckets.len(), 1);
+        let (bucket, count) = snap.buckets[0];
+        prop_assert_eq!(count, 1);
+        prop_assert_eq!(snap.exemplars.clone(), vec![(bucket, id)]);
+        prop_assert_eq!(snap.exemplar(bucket), Some(id));
+    }
+
+    #[test]
+    fn trace_records_survive_json_round_trips(
+        durations in vec(0u64..10_000, 0..10),
+        id in 1u64..u64::MAX,
+    ) {
+        let total: u64 = durations.iter().sum();
+        let mut root = packed_parent(0, total, &durations);
+        root = root.attr("batch_size", durations.len() as u64);
+        let record = TraceRecord { id, total_micros: total, root };
+        let json = serde_json::to_string(&record).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, record);
+    }
+}
