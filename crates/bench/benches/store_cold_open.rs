@@ -14,6 +14,17 @@
 //!
 //! The `cold_open_summary` target prints the acceptance numbers and
 //! asserts bit-identical results across all three paths.
+//!
+//! The `backing_comparison`/`backing_summary` targets open the same
+//! store under both column backings — `Mapped` (mmap'd shared
+//! read-only, the serving default) and `Loaded` (private heap copy,
+//! the pre-mmap behaviour, selectable fleet-wide with
+//! `CATRISK_STORE_BACKING=loaded`) — and report cold-open latency and
+//! pinned bytes for each.  The mapped backing skips the column copy at
+//! open (verification still touches every page, so the numbers are
+//! honest about fault-in cost), and its pinned bytes are file-backed
+//! address space shared across a whole replica fleet rather than
+//! per-process heap.
 
 use std::time::Instant;
 
@@ -23,7 +34,7 @@ use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
 use catrisk_eventgen::peril::{Peril, Region};
 use catrisk_finterms::layer::LayerId;
 use catrisk_riskquery::prelude::*;
-use catrisk_riskstore::{StoreReader, StoreWriter};
+use catrisk_riskstore::{RegionBacking, StoreReader, StoreWriter};
 use catrisk_simkit::rng::RngFactory;
 
 const TRIALS: usize = 20_000;
@@ -118,6 +129,84 @@ fn store_query_paths(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Cold open + query under each column backing: `Mapped` pays page
+/// faults during verification but never copies the columns; `Loaded`
+/// reads them into a private heap region.
+fn backing_comparison(c: &mut Criterion) {
+    let store = build_store(TRIALS, BOOKS, 2012);
+    let path = bench_path("backing");
+    write_store(&store, &path);
+    let query = serving_query();
+
+    let mut group = c.benchmark_group("store_backing_cold_open");
+    group.sample_size(15);
+    for (name, backing) in [
+        ("mapped", RegionBacking::Mapped),
+        ("loaded", RegionBacking::Loaded),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let reader =
+                    StoreReader::open_with_backing(&path, backing).expect("open store file");
+                execute(&reader, &query).unwrap()
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Prints the mapped-versus-loaded acceptance numbers — cold open+query
+/// latency, open-only time, and pinned bytes per backing — after
+/// asserting the two backings answer bit-identically.  Mapped pinned
+/// bytes are shared file-backed address space (one set of page-cache
+/// pages across a replica fleet); loaded pinned bytes are per-process
+/// heap.
+fn backing_summary(_c: &mut Criterion) {
+    let store = build_store(TRIALS, BOOKS, 2012);
+    let path = bench_path("backing-summary");
+    write_store(&store, &path);
+    let query = serving_query();
+
+    let mapped = StoreReader::open_with_backing(&path, RegionBacking::Mapped).expect("open mapped");
+    let loaded = StoreReader::open_with_backing(&path, RegionBacking::Loaded).expect("open loaded");
+    assert_eq!(
+        execute(&mapped, &query).unwrap(),
+        execute(&loaded, &query).unwrap(),
+        "the two backings must answer bit-identically"
+    );
+
+    let samples = 10;
+    let measure = |backing: RegionBacking| {
+        let best = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                let reader =
+                    StoreReader::open_with_backing(&path, backing).expect("open store file");
+                let _ = execute(&reader, &query).unwrap();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let reader = StoreReader::open_with_backing(&path, backing).expect("open store file");
+        (best, reader.open_micros(), reader.memory_bytes())
+    };
+    let (mapped_secs, mapped_open_us, mapped_bytes) = measure(RegionBacking::Mapped);
+    let (loaded_secs, loaded_open_us, loaded_bytes) = measure(RegionBacking::Loaded);
+    println!(
+        "backing_summary: mapped cold open+query {:.2} ms (open {:.2} ms, \
+         {:.1} MB shared map), loaded {:.2} ms (open {:.2} ms, {:.1} MB \
+         private heap) — mapped/loaded {:.2}x",
+        mapped_secs * 1e3,
+        mapped_open_us as f64 / 1e3,
+        mapped_bytes as f64 / 1.0e6,
+        loaded_secs * 1e3,
+        loaded_open_us as f64 / 1e3,
+        loaded_bytes as f64 / 1.0e6,
+        mapped_secs / loaded_secs,
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Prints the acceptance numbers: cold-open and warm query latency against
 /// the in-memory baseline, after asserting all three paths agree bitwise.
 fn cold_open_summary(_c: &mut Criterion) {
@@ -171,5 +260,11 @@ fn cold_open_summary(_c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
-criterion_group!(store_cold_open, store_query_paths, cold_open_summary);
+criterion_group!(
+    store_cold_open,
+    store_query_paths,
+    backing_comparison,
+    backing_summary,
+    cold_open_summary
+);
 criterion_main!(store_cold_open);

@@ -38,9 +38,12 @@ commands:
            queries it without re-simulation, `store catalog` inspects a
            multi-store catalog shard by shard
              run `catrisk store --help` for the full reference and examples
-  serve    micro-batched TCP query server over a catalog of one or more
-           persistent stores (--store A --store B ...), refreshed live as
-           ingest writers commit, with a generation-keyed result cache
+  serve    micro-batched TCP query server over a catalog of persistent
+           stores — `serve DIR` watches the directory and adopts new
+           store files live; `serve a.clm b.clm` serves a fixed list —
+           refreshed live as ingest writers commit, with a
+           generation-keyed result cache; --replicas N runs a replica
+           fleet over one directory (clients fail over between replicas)
              run `catrisk serve --help` for the protocol and options
   loadgen  drive open-loop load at a running serve instance and print
            throughput and latency percentiles; --refresh-writer appends
@@ -122,10 +125,14 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
-    // `store` dispatches on its own `write`/`query` action word, so it
-    // receives the raw arguments.
+    // `store` dispatches on its own `write`/`query` action word and
+    // `serve` takes positional catalog paths, so both receive the raw
+    // arguments.
     if command == "store" {
         return store::run(&args[1..]);
+    }
+    if command == "serve" {
+        return serve::run_serve_args(&args[1..]);
     }
     let options = Options::parse(&args[1..])?;
     match command.as_str() {
@@ -133,7 +140,6 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "engines" => engines::run(&options),
         "quote" => quote::run(&options),
         "query" => query::run(&options),
-        "serve" => serve::run_serve(&options),
         "loadgen" => serve::run_loadgen(&options),
         "stats" => stats::run(&options),
         "info" => info::run(&options),

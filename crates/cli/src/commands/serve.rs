@@ -13,26 +13,42 @@
 //! `--refresh-writer` it also appends and commits segments to one shard
 //! mid-run, exercising the serve-while-ingesting path under load.
 
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use catrisk_riskserve::{loadgen, LoadgenOptions, Server, ServerConfig, StoreCatalog, TcpFrontEnd};
+use catrisk_riskclient::ClientConfig;
+use catrisk_riskserve::{
+    loadgen, Fleet, FleetOptions, LoadgenOptions, Server, ServerConfig, StoreCatalog, TcpFrontEnd,
+};
 
 use super::Options;
 
 /// Detailed usage of the serve command, shown by `catrisk serve --help`.
-pub const SERVE_HELP: &str = "usage: catrisk serve [options]
+pub const SERVE_HELP: &str = "usage: catrisk serve <CATALOG...> [options]
 
 Serves ad-hoc aggregate queries over a catalog of persistent store files,
 coalescing concurrent requests into micro-batches (one fused scan per
 batch), refreshing shards as ingest writers commit, and caching per-query
-results keyed on each shard's committed generation.  The sharding axis is
-detected from the stores' trial offsets: offset-0 shards union along the
-segment axis; shards written with distinct --trial-offset windows (see
-`catrisk store write/split`) stitch along the trial axis, where the
-server additionally caches per-shard partial aggregates so a refresh of
-one shard rescans only that shard's trial window.  Speaks a line
-protocol: one query text per line in, one JSON reply per line out (the
-normative spec is docs/PROTOCOL.md):
+results keyed on each shard's committed generation.
+
+CATALOG is either one *directory* of store files, or one or more store
+*file* paths:
+
+  catrisk serve /data/stores           every *.clm in the directory, with
+                                       auto-discovery: new store files
+                                       dropped in later (a `store split`
+                                       output, an ingest writer's next
+                                       --trial-offset window) are adopted
+                                       and served live, without restart
+  catrisk serve eu.clm na.clm          a fixed file list (no discovery)
+
+The sharding axis is detected from the stores' trial offsets: offset-0
+shards union along the segment axis; shards written with distinct
+--trial-offset windows (see `catrisk store write/split`) stitch along
+the trial axis, where the server additionally caches per-shard partial
+aggregates so a refresh of one shard rescans only that shard's trial
+window.  Speaks a line protocol: one query text per line in, one JSON
+reply per line out (the normative spec is docs/PROTOCOL.md):
 
   select mean, tvar(0.99) where peril=HU|FL group by region
   ping | stats | quit | shutdown
@@ -41,10 +57,14 @@ The server runs until a client sends `shutdown` (see `catrisk loadgen
 --shutdown`).
 
 options:
-  --store PATH     a shard file to serve; repeat for a multi-store catalog
-                   (segment axis: one shared trial count; trial axis:
-                   windows must tile [0, total) with no gap or overlap)
-  --in PATH        alias for a single --store (kept for compatibility)
+  --replicas N     serve a replica fleet: spawn N child serve processes
+                   over the same catalog directory (requires the
+                   directory form), print each replica's address on its
+                   own stdout line, restart replicas that die, and exit
+                   once every replica has drained a protocol shutdown.
+                   Clients spread over the addresses and fail over to a
+                   live sibling when a replica dies (see `catrisk
+                   loadgen --addr A --addr B`)
   --addr A         listen address (default 127.0.0.1:7433, port 0 = ephemeral)
   --max-batch N    close a batch window at N requests (default 64)
   --window-us U    batch window in microseconds (default 200)
@@ -71,7 +91,11 @@ options:
                    execution profile and stamp histogram exemplars
   --trace-capacity N  completed traces retained for `trace <id>` lookups
                    and `catrisk stats --slowest` (default 256, plus a
-                   fixed pool of the slowest; 0 disables retention)";
+                   fixed pool of the slowest; 0 disables retention)
+
+deprecated (still accepted, with a warning):
+  --store PATH     pass the path as a positional CATALOG argument instead
+  --in PATH        pass the path as a positional CATALOG argument instead";
 
 /// Detailed usage of the loadgen command, shown by `catrisk loadgen --help`.
 pub const LOADGEN_HELP: &str = "usage: catrisk loadgen [options]
@@ -82,7 +106,10 @@ cache/refresh counters.  Fails (exit 1) if any request errors or every
 reply is empty, so it doubles as a smoke check.
 
 options:
-  --addr A         server address (default 127.0.0.1:7433)
+  --addr A         server address (default 127.0.0.1:7433); repeat for
+                   every replica of a fleet — clients then spread
+                   round-robin and fail over to a live sibling when a
+                   replica dies mid-run
   --clients N      concurrent connections (default 32)
   --requests N     total requests across all clients (default 3200)
   --rps R          open-loop target rate, requests/second across all
@@ -115,13 +142,82 @@ The report includes the server's own per-stage latency histograms
 (queue wait, scan, batch execution) scraped via the `metrics` protocol
 command — see docs/OBSERVABILITY.md for the stage taxonomy.";
 
-/// Runs the serve command: binds the front-end and blocks until shutdown.
-pub fn run_serve(options: &Options) -> Result<(), String> {
+/// What the positional `CATALOG` arguments (plus the deprecated
+/// `--store`/`--in` aliases) resolved to.
+pub(crate) enum ServeSource {
+    /// A fixed list of store files.
+    Files(Vec<String>),
+    /// One catalog directory, served with auto-discovery on.
+    Dir(PathBuf),
+}
+
+/// Resolves the serve addressing form: positional paths first (a
+/// directory means auto-discovery), deprecated `--store`/`--in` merged
+/// in with a one-line warning.
+pub(crate) fn resolve_sources(
+    positionals: &[String],
+    options: &Options,
+) -> Result<ServeSource, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for arg in positionals {
+        let path = Path::new(arg);
+        if path.is_dir() {
+            dirs.push(path.to_path_buf());
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    let mut deprecated = options.get_all("store");
+    let input = options.get("in", String::new())?;
+    if !input.is_empty() {
+        deprecated.push(input);
+    }
+    if !deprecated.is_empty() {
+        eprintln!(
+            "warning: --store/--in are deprecated; pass store files or a catalog \
+             directory as positional arguments (e.g. `catrisk serve /data/stores`)"
+        );
+        files.append(&mut deprecated);
+    }
+    match (dirs.len(), files.is_empty()) {
+        (0, true) => Err(
+            "a catalog argument is required: one directory of store files \
+             (auto-discovering) or one or more store file paths (create stores \
+             with `catrisk store write`)"
+                .to_string(),
+        ),
+        (0, false) => Ok(ServeSource::Files(files)),
+        (1, true) => Ok(ServeSource::Dir(dirs.remove(0))),
+        (1, false) => Err("cannot mix a catalog directory with store file paths".to_string()),
+        _ => Err("at most one catalog directory is allowed".to_string()),
+    }
+}
+
+/// Runs the serve command from raw arguments: leading non-`--`
+/// arguments are the positional CATALOG paths.
+pub fn run_serve_args(args: &[String]) -> Result<(), String> {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (positionals, rest) = args.split_at(split);
+    let options = Options::parse(rest)?;
+    run_serve(positionals, &options)
+}
+
+/// Runs the serve command: binds the front-end (or spawns the replica
+/// fleet) and blocks until shutdown.
+pub fn run_serve(positionals: &[String], options: &Options) -> Result<(), String> {
     if options.has_flag("help") {
         println!("{SERVE_HELP}");
         return Ok(());
     }
-    let front = bind_front_end(options)?;
+    let replicas = options.get("replicas", 1usize)?;
+    if replicas > 1 {
+        return run_fleet(positionals, options, replicas);
+    }
+    let front = bind_front_end(positionals, options)?;
     front
         .wait()
         .map_err(|e| format!("server terminated abnormally: {e}"))?;
@@ -132,18 +228,11 @@ pub fn run_serve(options: &Options) -> Result<(), String> {
 /// Opens the catalog, starts the batching server and binds the TCP
 /// listener (split from [`run_serve`] so tests can drive an
 /// ephemeral-port instance).
-pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatalog>, String> {
-    let mut stores = options.get_all("store");
-    let input = options.get("in", String::new())?;
-    if !input.is_empty() {
-        stores.push(input);
-    }
-    if stores.is_empty() {
-        return Err(
-            "serve needs at least one --store PATH (create one with `catrisk store write`)"
-                .to_string(),
-        );
-    }
+pub(crate) fn bind_front_end(
+    positionals: &[String],
+    options: &Options,
+) -> Result<TcpFrontEnd<StoreCatalog>, String> {
+    let source = resolve_sources(positionals, options)?;
     let addr = options.get("addr", "127.0.0.1:7433".to_string())?;
     let config = ServerConfig {
         max_batch: options.get("max-batch", 64usize)?,
@@ -158,7 +247,10 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         trace_capacity: options.get("trace-capacity", 256usize)?,
     };
 
-    let catalog = StoreCatalog::open(&stores).map_err(|e| e.to_string())?;
+    let catalog = match &source {
+        ServeSource::Files(stores) => StoreCatalog::open(stores).map_err(|e| e.to_string())?,
+        ServeSource::Dir(dir) => StoreCatalog::open_dir(dir).map_err(|e| e.to_string())?,
+    };
     catalog.set_refresh_interval(Duration::from_millis(options.get("refresh-ms", 0u64)?));
     if catalog.shard_segments().iter().sum::<usize>() == 0 {
         return Err(format!(
@@ -172,6 +264,12 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         catalog.axis(),
         catalog.memory_bytes() as f64 / 1.0e6
     );
+    if let ServeSource::Dir(dir) = &source {
+        eprintln!(
+            "  auto-discovery on: new store files dropped into {} are adopted live",
+            dir.display()
+        );
+    }
     for line in catalog.describe().lines() {
         eprintln!("    {line}");
     }
@@ -191,6 +289,115 @@ pub(crate) fn bind_front_end(options: &Options) -> Result<TcpFrontEnd<StoreCatal
         config.cache_capacity
     );
     Ok(front)
+}
+
+/// Server-tuning options a fleet parent forwards verbatim to each
+/// replica child.
+const FORWARDED_OPTIONS: &[&str] = &[
+    "max-batch",
+    "window-us",
+    "queue-depth",
+    "workers",
+    "cache",
+    "partial-cache",
+    "refresh-ms",
+    "metrics-threshold-us",
+    "recorder-capacity",
+    "trace-sample",
+    "trace-capacity",
+];
+
+/// `serve --replicas N`: spawn N child serve processes over one catalog
+/// directory, print each replica's address on its own stdout line, then
+/// monitor — restarting replicas that die on their old address (so
+/// client address lists stay valid) — until every replica has drained a
+/// protocol shutdown.
+fn run_fleet(positionals: &[String], options: &Options, replicas: usize) -> Result<(), String> {
+    let ServeSource::Dir(dir) = resolve_sources(positionals, options)? else {
+        return Err(
+            "--replicas needs a catalog directory every replica can share \
+             (`catrisk serve DIR --replicas N`)"
+                .to_string(),
+        );
+    };
+    if options.has_value("addr") {
+        return Err(
+            "--addr cannot be combined with --replicas: each replica picks its own \
+             ephemeral port and announces it on stdout"
+                .to_string(),
+        );
+    }
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the catrisk binary: {e}"))?;
+    let mut forwarded: Vec<String> = Vec::new();
+    for key in FORWARDED_OPTIONS {
+        for value in options.get_all(key) {
+            forwarded.push(format!("--{key}"));
+            forwarded.push(value);
+        }
+    }
+    let dir_arg = dir.to_string_lossy().into_owned();
+    let command: catrisk_riskserve::fleet::ReplicaCommand = Box::new(move |_index, pin| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve")
+            .arg(&dir_arg)
+            .arg("--addr")
+            .arg(pin.unwrap_or("127.0.0.1:0"))
+            .args(&forwarded);
+        cmd
+    });
+    let mut fleet = Fleet::spawn(
+        command,
+        FleetOptions {
+            replicas,
+            client: ClientConfig {
+                connect_timeout: Duration::from_millis(500),
+                read_timeout: Some(Duration::from_secs(10)),
+            },
+            spawn_timeout: Duration::from_secs(60),
+            stats_staleness: Duration::from_secs(60),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // The replica addresses go to stdout, one per line, in replica
+    // order — the fleet-aware equivalent of single-serve's bound-addr
+    // line — so scripts can capture them for `loadgen --addr`.
+    for addr in fleet.addrs() {
+        println!("{addr}");
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    for (index, (addr, pid)) in fleet.addrs().iter().zip(fleet.pids()).enumerate() {
+        eprintln!("  replica {index} (pid {pid}) listening on {addr}");
+    }
+    eprintln!(
+        "  fleet of {replicas} replicas over {} (auto-discovery on); \
+         stop with `catrisk loadgen --shutdown` against every replica",
+        dir.display()
+    );
+
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        match fleet.restart_dead() {
+            Ok(restarted) => {
+                for index in restarted {
+                    eprintln!(
+                        "  replica {index} died; restarted on {} (pid {})",
+                        fleet.addrs()[index],
+                        fleet.pids()[index]
+                    );
+                }
+            }
+            Err(err) => eprintln!("  warning: replica restart failed (will retry): {err}"),
+        }
+        if fleet.drained() {
+            break;
+        }
+        let _ = fleet.probe();
+    }
+    eprintln!("  fleet drained and stopped cleanly");
+    Ok(())
 }
 
 /// Runs the loadgen command.
@@ -247,8 +454,12 @@ pub fn run_loadgen(options: &Options) -> Result<(), String> {
 }
 
 pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, String> {
+    let mut addrs = options.get_all("addr");
+    if addrs.is_empty() {
+        addrs.push("127.0.0.1:7433".to_string());
+    }
     let mut loadgen_options = LoadgenOptions {
-        addr: options.get("addr", "127.0.0.1:7433".to_string())?,
+        addrs,
         clients: options.get("clients", 32usize)?,
         requests: options.get("requests", 3200usize)?,
         rps: options.get("rps", 0.0f64)?,
@@ -271,8 +482,7 @@ pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, Strin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use catrisk_riskserve::WireReply;
-    use std::io::{BufRead, BufReader, Write};
+    use catrisk_riskclient::Client;
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -313,16 +523,9 @@ mod tests {
         write_small_store(&out, "5");
 
         // Ephemeral port: bind the front-end the way `serve` does.
-        let serve_options = Options::parse(&strings(&[
-            "--in",
-            &out,
-            "--addr",
-            "127.0.0.1:0",
-            "--trace-sample",
-            "1",
-        ]))
-        .unwrap();
-        let front = bind_front_end(&serve_options).unwrap();
+        let serve_options =
+            Options::parse(&strings(&["--addr", "127.0.0.1:0", "--trace-sample", "1"])).unwrap();
+        let front = bind_front_end(std::slice::from_ref(&out), &serve_options).unwrap();
         let addr = front.local_addr().to_string();
 
         // Drive it the way `loadgen` does, including the shutdown line and
@@ -352,6 +555,7 @@ mod tests {
         write_small_store(&shard_a, "5");
         write_small_store(&shard_b, "7");
 
+        // The deprecated --store aliases still resolve (with a warning).
         let serve_options = Options::parse(&strings(&[
             "--store",
             &shard_a,
@@ -361,7 +565,7 @@ mod tests {
             "127.0.0.1:0",
         ]))
         .unwrap();
-        let front = bind_front_end(&serve_options).unwrap();
+        let front = bind_front_end(&[], &serve_options).unwrap();
         assert_eq!(front.server().provider().num_shards(), 2);
         let addr = front.local_addr().to_string();
 
@@ -400,16 +604,8 @@ mod tests {
         super::super::store::run(&strings(&["split", "--in", &whole, "--shards", "2"])).unwrap();
         let parts: Vec<String> = (0..2).map(|k| format!("{prefix}-part{k}.clm")).collect();
 
-        let serve_options = Options::parse(&strings(&[
-            "--store",
-            &parts[0],
-            "--store",
-            &parts[1],
-            "--addr",
-            "127.0.0.1:0",
-        ]))
-        .unwrap();
-        let front = bind_front_end(&serve_options).unwrap();
+        let serve_options = Options::parse(&strings(&["--addr", "127.0.0.1:0"])).unwrap();
+        let front = bind_front_end(&[parts[0].clone(), parts[1].clone()], &serve_options).unwrap();
         assert_eq!(front.server().provider().axis(), ShardAxis::Trial);
         let addr = front.local_addr().to_string();
 
@@ -451,41 +647,85 @@ mod tests {
     fn serve_speaks_the_line_protocol() {
         let out = temp_store("protocol");
         write_small_store(&out, "5");
-        let serve_options =
-            Options::parse(&strings(&["--store", &out, "--addr", "127.0.0.1:0"])).unwrap();
-        let front = bind_front_end(&serve_options).unwrap();
+        let serve_options = Options::parse(&strings(&["--addr", "127.0.0.1:0"])).unwrap();
+        let front = bind_front_end(std::slice::from_ref(&out), &serve_options).unwrap();
 
-        let stream = std::net::TcpStream::connect(front.local_addr()).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        let mut lines = BufReader::new(stream).lines();
-        writeln!(
-            writer,
-            "select mean, tvar(0.9) where peril=HU|FL group by region"
+        let mut client = Client::connect(
+            &front.local_addr().to_string(),
+            catrisk_riskclient::ClientConfig::default(),
         )
         .unwrap();
-        let reply = WireReply::from_line(&lines.next().unwrap().unwrap()).unwrap();
+        let reply = client
+            .round_trip("select mean, tvar(0.9) where peril=HU|FL group by region")
+            .unwrap();
         assert!(reply.ok, "{reply:?}");
         assert!(!reply.result.unwrap().rows.is_empty());
-        writeln!(writer, "shutdown").unwrap();
-        let ack = WireReply::from_line(&lines.next().unwrap().unwrap()).unwrap();
+        let ack = client.round_trip("shutdown").unwrap();
         assert_eq!(ack.kind, "shutting-down");
         front.wait().unwrap();
         let _ = std::fs::remove_file(&out);
     }
 
     #[test]
+    fn serve_directory_catalog_discovers_new_stores() {
+        let dir = {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("catrisk-cli-serve-dir-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            dir
+        };
+        let dir_arg = dir.to_string_lossy().into_owned();
+        write_small_store(&format!("{dir_arg}/a.clm"), "5");
+
+        let serve_options = Options::parse(&strings(&["--addr", "127.0.0.1:0"])).unwrap();
+        let front = bind_front_end(std::slice::from_ref(&dir_arg), &serve_options).unwrap();
+        assert_eq!(front.server().provider().num_shards(), 1);
+        let addr = front.local_addr().to_string();
+        let mut client =
+            Client::connect(&addr, catrisk_riskclient::ClientConfig::default()).unwrap();
+        assert!(client.round_trip("select mean group by region").unwrap().ok);
+
+        // Drop a sibling store into the directory: the next query's
+        // refresh adopts it, no restart.
+        write_small_store(&format!("{dir_arg}/b.clm"), "7");
+        assert!(client.round_trip("select mean group by region").unwrap().ok);
+        assert_eq!(front.server().provider().num_shards(), 2);
+        let stats = client.round_trip("stats").unwrap().stats.unwrap();
+        assert_eq!(stats.discovered_stores, 1);
+
+        assert_eq!(client.round_trip("shutdown").unwrap().kind, "shutting-down");
+        front.wait().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn serve_errors_are_graceful() {
+        let no_args = Options::parse(&strings(&[])).unwrap();
         assert!(
-            run_serve(&Options::parse(&strings(&[])).unwrap()).is_err(),
-            "--store is required"
+            run_serve(&[], &no_args).is_err(),
+            "a catalog argument is required"
         );
-        assert!(
-            run_serve(&Options::parse(&strings(&["--in", "/nonexistent/x.clm"])).unwrap()).is_err()
-        );
+        assert!(run_serve(
+            &[],
+            &Options::parse(&strings(&["--in", "/nonexistent/x.clm"])).unwrap()
+        )
+        .is_err());
         // An all-empty (never committed) catalog is rejected up front.
         let out = temp_store("empty");
         drop(catrisk_riskstore::StoreWriter::create(&out, 8).unwrap());
-        assert!(run_serve(&Options::parse(&strings(&["--store", &out])).unwrap()).is_err());
+        assert!(run_serve(std::slice::from_ref(&out), &no_args).is_err());
+        // A directory mixed with files, or several directories, is
+        // ambiguous and refused.
+        let dir = std::env::temp_dir().to_string_lossy().into_owned();
+        assert!(run_serve(&[dir.clone(), out.clone()], &no_args).is_err());
+        assert!(run_serve(&[dir.clone(), dir.clone()], &no_args).is_err());
+        // --replicas requires the directory form and forbids --addr.
+        let replicas = Options::parse(&strings(&["--replicas", "2"])).unwrap();
+        assert!(run_serve(std::slice::from_ref(&out), &replicas).is_err());
+        let pinned =
+            Options::parse(&strings(&["--replicas", "2", "--addr", "127.0.0.1:0"])).unwrap();
+        assert!(run_serve(&[dir], &pinned).is_err());
         let _ = std::fs::remove_file(&out);
     }
 
@@ -506,7 +746,7 @@ mod tests {
 
     #[test]
     fn help_flags_print() {
-        run_serve(&Options::parse(&strings(&["--help"])).unwrap()).unwrap();
+        run_serve(&[], &Options::parse(&strings(&["--help"])).unwrap()).unwrap();
         run_loadgen(&Options::parse(&strings(&["--help"])).unwrap()).unwrap();
     }
 }

@@ -8,11 +8,9 @@
 //! names and the flight-recorder event schema are documented in
 //! `docs/OBSERVABILITY.md`; the wire commands in `docs/PROTOCOL.md`.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::time::Duration;
 
-use catrisk_riskserve::WireReply;
+use catrisk_riskclient::{ClientConfig, WireReply};
 
 use super::Options;
 
@@ -150,32 +148,15 @@ pub fn run(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// One request/reply round trip on a fresh connection, with connect retry
-/// (mirrors loadgen's behaviour so `stats` works against a just-spawned
-/// server).
+/// One request/reply round trip on a fresh [`catrisk_riskclient`]
+/// connection (connect retry included, so `stats` works against a
+/// just-spawned server).
 fn round_trip(addr: &str, timeout: Duration, line: &str) -> Result<WireReply, String> {
-    let deadline = std::time::Instant::now() + timeout;
-    let stream = loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => break stream,
-            Err(_) if std::time::Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(100));
-            }
-            Err(err) => return Err(format!("connect to {addr}: {err}")),
-        }
+    let config = ClientConfig {
+        connect_timeout: timeout,
+        read_timeout: Some(Duration::from_secs(30)),
     };
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    writeln!(writer, "{line}")
-        .and_then(|_| writer.flush())
-        .map_err(|e| e.to_string())?;
-    let mut lines = BufReader::new(stream).lines();
-    match lines.next() {
-        Some(Ok(reply)) => WireReply::from_line(&reply),
-        _ => Err(format!("no reply to `{line}`")),
-    }
+    catrisk_riskclient::round_trip(addr, config, line).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -209,9 +190,9 @@ mod tests {
             "parallel",
         ]))
         .unwrap();
-        let serve_options =
-            Options::parse(&strings(&["--store", &out, "--addr", "127.0.0.1:0"])).unwrap();
-        let front = super::super::serve::bind_front_end(&serve_options).unwrap();
+        let serve_options = Options::parse(&strings(&["--addr", "127.0.0.1:0"])).unwrap();
+        let front = super::super::serve::bind_front_end(std::slice::from_ref(&out), &serve_options)
+            .unwrap();
         let addr = front.local_addr().to_string();
 
         // A query first, so the stage histograms hold samples.

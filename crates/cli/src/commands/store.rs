@@ -59,9 +59,10 @@ split   cut an existing store into trial-window shards — the trial-axis
 
 catalog inspect a multi-store catalog: per-shard segment counts, trial
         counts and windows, the sharding axis, commit generations and
-        resident sizes, plus the union the query router would serve
-        (`catrisk serve --store ...` takes the same shard list):
-  --store PATH     a shard file; repeat for more shards (at least one)
+        resident sizes, plus the union the query router would serve.
+        Takes the same positional CATALOG arguments as `catrisk serve`:
+        one directory of store files, or one or more store file paths
+        (--store PATH is still accepted, deprecated)
 
 examples:
   catrisk store write --out portfolio.clm --trials 50000 --engine streaming
@@ -69,8 +70,9 @@ examples:
   catrisk store query --in portfolio.clm \\
       --select \"tvar(0.99),aep(10)\" --where \"peril=HU|FL\" --group-by region
   catrisk store split --in portfolio.clm --shards 4
-  catrisk store catalog --store eu.clm --store na.clm
-  catrisk store catalog --store portfolio-part0.clm --store portfolio-part1.clm";
+  catrisk store catalog /data/stores
+  catrisk store catalog eu.clm na.clm
+  catrisk store catalog portfolio-part0.clm portfolio-part1.clm";
 
 /// Runs the store command: dispatches on the `write` / `query` action.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -86,7 +88,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "write" => write(&Options::parse(&args[1..])?),
         "query" => query(&Options::parse(&args[1..])?),
         "split" => split(&Options::parse(&args[1..])?),
-        "catalog" => catalog(&Options::parse(&args[1..])?),
+        "catalog" => {
+            // Same addressing as `catrisk serve`: leading positional
+            // paths (a directory or store files), --store deprecated.
+            let split = args[1..]
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .map_or(args.len(), |p| p + 1);
+            catalog(&args[1..split], &Options::parse(&args[split..])?)
+        }
         other => Err(format!(
             "unknown store action `{other}` (expected write, query, split or catalog)"
         )),
@@ -334,19 +344,20 @@ fn split(options: &Options) -> Result<(), String> {
 /// [`StoreCatalog`] path `catrisk serve` uses (so accept/reject
 /// behaviour cannot drift) and print the per-shard state plus the union
 /// view the query router serves.
-fn catalog(options: &Options) -> Result<(), String> {
+fn catalog(positionals: &[String], options: &Options) -> Result<(), String> {
     if options.has_flag("help") {
         println!("{STORE_HELP}");
         return Ok(());
     }
-    let stores = options.get_all("store");
-    if stores.is_empty() {
-        return Err("store catalog needs at least one --store PATH".to_string());
-    }
+    let source = super::serve::resolve_sources(positionals, options)
+        .map_err(|e| format!("store catalog: {e}"))?;
 
     let sw = Stopwatch::start();
-    let catalog = StoreCatalog::open(&stores)
-        .map_err(|e| format!("these shards cannot form one catalog: {e}"))?;
+    let catalog = match &source {
+        super::serve::ServeSource::Files(stores) => StoreCatalog::open(stores),
+        super::serve::ServeSource::Dir(dir) => StoreCatalog::open_dir(dir),
+    }
+    .map_err(|e| format!("these shards cannot form one catalog: {e}"))?;
     println!("{}", catalog.describe());
     catalog.with_source(|snapshot| {
         let union = snapshot.source;
@@ -443,6 +454,8 @@ mod tests {
         let b = temp_store("catalog-b");
         run(&[vec!["write".to_string()], small_world(&a, &[])].concat()).unwrap();
         run(&[vec!["write".to_string()], small_world(&b, &["--seed", "9"])].concat()).unwrap();
+        // Positional form, plus the deprecated --store alias.
+        run(&strings(&["catalog", &a, &b])).unwrap();
         run(&strings(&["catalog", "--store", &a, "--store", &b])).unwrap();
 
         // A shard with a different trial count cannot join the catalog.
@@ -451,10 +464,13 @@ mod tests {
         let trials_at = mismatched.iter().position(|arg| arg == "120").unwrap();
         mismatched[trials_at] = "64".to_string();
         run(&[vec!["write".to_string()], mismatched].concat()).unwrap();
-        assert!(run(&strings(&["catalog", "--store", &a, "--store", &c])).is_err());
+        assert!(run(&strings(&["catalog", &a, &c])).is_err());
 
-        assert!(run(&strings(&["catalog"])).is_err(), "--store is required");
-        assert!(run(&strings(&["catalog", "--store", "/nonexistent/x.clm"])).is_err());
+        assert!(
+            run(&strings(&["catalog"])).is_err(),
+            "a catalog is required"
+        );
+        assert!(run(&strings(&["catalog", "/nonexistent/x.clm"])).is_err());
         for path in [&a, &b, &c] {
             let _ = std::fs::remove_file(path);
         }
@@ -471,10 +487,7 @@ mod tests {
         let parts: Vec<String> = (0..3).map(|k| format!("{prefix}-part{k}.clm")).collect();
 
         // The parts form a trial-axis catalog the inspector accepts...
-        run(&strings(&[
-            "catalog", "--store", &parts[0], "--store", &parts[1], "--store", &parts[2],
-        ]))
-        .unwrap();
+        run(&strings(&["catalog", &parts[0], &parts[1], &parts[2]])).unwrap();
 
         // ...whose stitched answers are bit-identical to the original.
         let whole = StoreReader::open(&out).unwrap();

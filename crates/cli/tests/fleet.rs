@@ -1,0 +1,253 @@
+//! End-to-end fleet tests over the real `catrisk` binary: replicated
+//! serve processes sharing one catalog directory, client-side failover
+//! when a replica is killed mid-load, live store discovery, and the
+//! `--replicas` fleet parent's spawn/drain lifecycle.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn catrisk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_catrisk"))
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("catrisk-fleet-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `catrisk store write` a small store at `out`.
+fn write_store(out: &str, seed: &str) {
+    let status = catrisk()
+        .args([
+            "store",
+            "write",
+            "--out",
+            out,
+            "--trials",
+            "150",
+            "--locations",
+            "80",
+            "--events",
+            "1500",
+            "--seed",
+            seed,
+            "--engine",
+            "parallel",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "store write failed for {out}");
+}
+
+/// A spawned serve process plus the address it announced.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns `catrisk serve <dir>` on an ephemeral port and reads the
+/// announced address (first stdout line).
+fn spawn_serve(dir: &str) -> ServeProc {
+    // The ring is sized so the whole run's per-batch events cannot
+    // evict the one store-discovered event the test asserts on.
+    let mut child = catrisk()
+        .args([
+            "serve",
+            dir,
+            "--addr",
+            "127.0.0.1:0",
+            "--recorder-capacity",
+            "8192",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = read_line(&mut child);
+    ServeProc { child, addr }
+}
+
+/// Reads one stdout line from a child, leaving the pipe draining in a
+/// detached thread so the child never blocks on stdout.
+fn read_line(child: &mut Child) -> String {
+    let stdout = child.stdout.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+            let _ = tx.send(line.trim().to_string());
+            line.clear();
+        }
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("the serve process never announced its address")
+}
+
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let end = Instant::now() + deadline;
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if Instant::now() >= end {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("child did not exit within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Kill one of two replicas mid-load and drop a new store into the
+/// shared catalog directory: every accepted request must still be
+/// answered (loadgen exits 0, which asserts zero errors), the survivors
+/// must report the failovers, and the surviving replica must have
+/// discovered and served the new store.
+#[test]
+fn killing_a_replica_mid_load_loses_no_requests_and_discovery_continues() {
+    let dir = temp_dir("failover");
+    let dir_arg = dir.to_string_lossy().into_owned();
+    write_store(&format!("{dir_arg}/a.clm"), "5");
+
+    let mut survivor = spawn_serve(&dir_arg);
+    let mut victim = spawn_serve(&dir_arg);
+
+    // An open-loop run long enough (~2s) to straddle the kill and the
+    // store drop below.
+    let loadgen = catrisk()
+        .args([
+            "loadgen",
+            "--addr",
+            &survivor.addr,
+            "--addr",
+            &victim.addr,
+            "--clients",
+            "4",
+            "--requests",
+            "800",
+            "--rps",
+            "400",
+            "--require-stats",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Mid-run: a new store lands in the watched directory...
+    std::thread::sleep(Duration::from_millis(300));
+    write_store(&format!("{dir_arg}/b.clm"), "7");
+    // ...and one replica dies without warning.
+    victim.child.kill().unwrap();
+    let _ = victim.child.wait();
+
+    let out = loadgen.wait_with_output().unwrap();
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "loadgen failed (a request was lost):\n{report}"
+    );
+    assert!(
+        report.contains("failovers:"),
+        "the report must surface the failovers:\n{report}"
+    );
+
+    // The surviving replica adopted the dropped store, and its counter
+    // agrees with its flight-recorder events.
+    let stats = catrisk()
+        .args(["stats", "--addr", &survivor.addr, "--prometheus"])
+        .output()
+        .unwrap();
+    let exposition = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        exposition.lines().any(|l| l == "discovered_stores 1"),
+        "expected one discovered store in:\n{exposition}"
+    );
+    let recorder = catrisk()
+        .args(["stats", "--addr", &survivor.addr, "--recorder"])
+        .output()
+        .unwrap();
+    let events = String::from_utf8_lossy(&recorder.stdout);
+    assert_eq!(
+        events.matches("store-discovered").count(),
+        1,
+        "counter and recorder events must agree:\n{events}"
+    );
+
+    // And the survivor answers bit-identically to a fresh single
+    // server over the same (now two-store) catalog.
+    let mut fresh = spawn_serve(&dir_arg);
+    let config = catrisk_riskclient::ClientConfig::default();
+    let line = "select mean, tvar(0.9) group by region";
+    let from_survivor = catrisk_riskclient::round_trip(&survivor.addr, config, line).unwrap();
+    let from_fresh = catrisk_riskclient::round_trip(&fresh.addr, config, line).unwrap();
+    assert!(from_survivor.ok && from_fresh.ok);
+    assert_eq!(
+        from_survivor.result, from_fresh.result,
+        "failover must not change any answer"
+    );
+
+    for proc in [&mut survivor, &mut fresh] {
+        proc.child.kill().unwrap();
+        let _ = proc.child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `catrisk serve DIR --replicas 2`: the parent announces both replica
+/// addresses, the replicas answer queries, and once every replica
+/// drains a protocol shutdown the parent exits cleanly.
+#[test]
+fn replicas_flag_spawns_and_drains_a_fleet() {
+    let dir = temp_dir("replicas");
+    let dir_arg = dir.to_string_lossy().into_owned();
+    write_store(&format!("{dir_arg}/a.clm"), "5");
+
+    let mut parent = catrisk()
+        .args(["serve", &dir_arg, "--replicas", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = parent.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let addr = line.trim().to_string();
+        assert!(addr.contains(':'), "not an address: {addr:?}");
+        addrs.push(addr);
+    }
+
+    let status = catrisk()
+        .args([
+            "loadgen",
+            "--addr",
+            &addrs[0],
+            "--addr",
+            &addrs[1],
+            "--clients",
+            "4",
+            "--requests",
+            "64",
+            "--shutdown",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "loadgen against the fleet failed");
+
+    // Both replicas drained their shutdown, so the parent exits 0.
+    let status = wait_with_deadline(&mut parent, Duration::from_secs(60));
+    assert!(status.success(), "fleet parent exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,224 @@
+//! A typed client for one serving endpoint: a retrying connect, line
+//! framing, and one method per protocol command.
+
+use std::io::{BufRead, BufReader, BufWriter, Lines, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use catrisk_telemetry::{EventRecord, MetricsSnapshot, TraceRecord};
+
+use crate::wire::{StatsSnapshot, WireReply};
+
+/// What went wrong talking to a server.
+///
+/// Only [`ClientError::Transport`] means the *connection* is unusable
+/// (refused, reset, timed out, EOF mid-reply) — the signal a routing
+/// layer fails over on.  A reply that arrives but carries `ok=false` is
+/// **not** an error at this level: the server answered, and the typed
+/// error payload (overloaded, parse, ...) is the caller's to interpret.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection could not be established, died mid-exchange, or
+    /// never produced a reply line.
+    Transport(std::io::Error),
+    /// A reply line arrived but was not valid reply JSON.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(err) => write!(f, "transport error: {err}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Transport(err) => Some(err),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Transport(err)
+    }
+}
+
+/// Result alias for client operations.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Connection knobs shared by [`Client`] and
+/// [`RoutedClient`](crate::RoutedClient).
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// How long [`Client::connect`] keeps retrying a refused connect
+    /// (100 ms between attempts) before giving up — covers the race
+    /// against a just-spawned server that has not bound yet.
+    pub connect_timeout: Duration,
+    /// Per-reply read timeout; `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config with the given connect timeout and the default read
+    /// timeout.
+    pub fn with_connect_timeout(timeout: Duration) -> Self {
+        Self {
+            connect_timeout: timeout,
+            ..Self::default()
+        }
+    }
+}
+
+/// One persistent connection to a serving endpoint.
+///
+/// The protocol is strictly request/reply on a single line each way, so
+/// the client owns a buffered writer and a line iterator over the same
+/// socket and exposes [`Client::round_trip`] plus one typed method per
+/// command.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    writer: BufWriter<TcpStream>,
+    lines: Lines<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying refused connects every 100 ms until
+    /// the config's connect timeout elapses (a freshly spawned server
+    /// needs a beat to bind).
+    pub fn connect(addr: &str, config: ClientConfig) -> Result<Client> {
+        let deadline = Instant::now() + config.connect_timeout;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(err) => return Err(ClientError::Transport(err)),
+            }
+        };
+        stream.set_read_timeout(config.read_timeout)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let lines = BufReader::new(stream).lines();
+        Ok(Client {
+            addr: addr.to_string(),
+            writer,
+            lines,
+        })
+    }
+
+    /// The address this client connected to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request line and reads the one reply line it produces.
+    pub fn round_trip(&mut self, line: &str) -> Result<WireReply> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        match self.lines.next() {
+            Some(Ok(reply)) => WireReply::from_line(&reply).map_err(ClientError::Protocol),
+            Some(Err(err)) => Err(ClientError::Transport(err)),
+            None => Err(ClientError::Transport(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("connection to {} closed before a reply", self.addr),
+            ))),
+        }
+    }
+
+    /// Liveness probe: sends `ping`, succeeds on any parseable reply of
+    /// kind `pong`.
+    pub fn ping(&mut self) -> Result<()> {
+        let reply = self.round_trip("ping")?;
+        if reply.kind == "pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "ping answered with kind `{}`",
+                reply.kind
+            )))
+        }
+    }
+
+    /// Submits a query line (`[trace] select ...`) and returns the
+    /// reply — which may be a well-formed `ok=false` error reply
+    /// (overloaded, parse); only transport failures are `Err`.
+    pub fn query(&mut self, line: &str) -> Result<WireReply> {
+        self.round_trip(line)
+    }
+
+    /// Fetches the server-counters snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        self.round_trip("stats")?
+            .stats
+            .ok_or_else(|| ClientError::Protocol("the reply carried no stats".to_string()))
+    }
+
+    /// Fetches the full metric snapshot (counters, gauges, histograms).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        self.round_trip("metrics")?
+            .metrics
+            .ok_or_else(|| ClientError::Protocol("the reply carried no metrics".to_string()))
+    }
+
+    /// Dumps the flight recorder.
+    pub fn recorder(&mut self) -> Result<Vec<EventRecord>> {
+        self.round_trip("recorder")?
+            .recorder
+            .ok_or_else(|| ClientError::Protocol("the reply carried no recorder dump".to_string()))
+    }
+
+    /// Dumps flight-recorder events with `seq >= since` (incremental
+    /// scrape).
+    pub fn recorder_since(&mut self, since: u64) -> Result<Vec<EventRecord>> {
+        self.round_trip(&format!("recorder since {since}"))?
+            .recorder
+            .ok_or_else(|| ClientError::Protocol("the reply carried no recorder dump".to_string()))
+    }
+
+    /// Looks up one retained trace by id.  The reply distinguishes
+    /// retained / evicted / never-issued, so it is returned whole.
+    pub fn trace(&mut self, id: u64) -> Result<WireReply> {
+        self.round_trip(&format!("trace {id}"))
+    }
+
+    /// The `n` slowest retained traces.
+    pub fn slowest_traces(&mut self, n: usize) -> Result<Vec<TraceRecord>> {
+        self.round_trip(&format!("trace slowest {n}"))?
+            .traces
+            .ok_or_else(|| ClientError::Protocol("the reply carried no traces".to_string()))
+    }
+
+    /// Sends `quit`, closing this connection server-side (the server
+    /// keeps running).
+    pub fn quit(&mut self) -> Result<WireReply> {
+        self.round_trip("quit")
+    }
+
+    /// Sends `shutdown`: the server acknowledges, then drains and stops.
+    pub fn shutdown(&mut self) -> Result<WireReply> {
+        self.round_trip("shutdown")
+    }
+}
+
+/// One request/reply exchange on a fresh connection — the idiom for
+/// one-shot commands (a stats scrape, a shutdown) where holding a
+/// connection open buys nothing.
+pub fn round_trip(addr: &str, config: ClientConfig, line: &str) -> Result<WireReply> {
+    Client::connect(addr, config)?.round_trip(line)
+}

@@ -1,0 +1,35 @@
+//! # catrisk-riskclient
+//!
+//! The typed TCP client for the catrisk serving protocol — the one
+//! implementation of connect/retry, line framing and reply parsing that
+//! every consumer shares.  Three call sites used to hand-roll this
+//! (the load generator, the CLI `stats` scraper, the TCP test helper);
+//! they now all go through here, as does the serving fleet's routing
+//! tier.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — the reply schema ([`WireReply`], [`StatsSnapshot`],
+//!   [`RequestTimings`]) shared with the server (`catrisk-riskserve`
+//!   re-exports these at their old paths).  The normative protocol
+//!   specification is `docs/PROTOCOL.md` at the repository root.
+//! * [`Client`] — one persistent connection: a retrying
+//!   [`connect`](Client::connect), [`round_trip`](Client::round_trip),
+//!   and a typed method per command (`ping`, `stats`, `metrics`,
+//!   `recorder [since]`, `trace`, queries, `quit`/`shutdown`).
+//! * [`RoutedClient`] — the fleet entry point: round-robin routing over
+//!   N replica endpoints with health marking and failover that
+//!   resubmits a request whose replica died to the next live one
+//!   (sound because every protocol request is idempotent — see the
+//!   [`routed`] module docs).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod routed;
+pub mod wire;
+
+pub use client::{round_trip, Client, ClientConfig, ClientError};
+pub use routed::RoutedClient;
+pub use wire::{percentile, RequestTimings, StatsSnapshot, WireError, WireReply};

@@ -1,0 +1,190 @@
+//! Client-side routing across a fleet of replica endpoints: round-robin
+//! spreading, health marking, and failover that resubmits a request to
+//! the next live replica when its connection dies mid-exchange.
+//!
+//! Failover is sound because every request in the protocol is
+//! **idempotent**: queries are pure reads over a committed snapshot, and
+//! the observability commands are snapshots too.  A request that died on
+//! one replica can therefore be replayed verbatim on another — the reply
+//! is bit-identical (replicas serve the same committed stores) and no
+//! accepted ticket is ever dropped on the floor.  Server-side *error
+//! replies* (`ok=false`: parse errors, overload backpressure) do **not**
+//! fail over — the replica answered, and replaying a rejected request on
+//! a sibling would turn typed backpressure into silent retry storms.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::client::{Client, ClientConfig, ClientError, Result};
+use crate::wire::WireReply;
+
+/// One replica endpoint: its address, a pooled connection, and a health
+/// bit flipped by failovers and probes.
+struct Replica {
+    addr: String,
+    /// The pooled connection, lazily established and dropped on
+    /// transport failure.  A `Mutex` (not per-thread pools) because the
+    /// protocol is strictly serial per connection anyway.
+    connection: Mutex<Option<Client>>,
+    /// 0 = healthy, 1 = marked dead (skipped by routing until a probe
+    /// revives it).
+    dead: AtomicU64,
+}
+
+/// A routing client over N replica endpoints.
+///
+/// Requests spread round-robin across the live replicas; a replica whose
+/// connection fails is marked dead and the request is resubmitted to the
+/// next live one (see the module docs for why that is sound).  Dead
+/// replicas are skipped until [`RoutedClient::probe`] revives them.
+pub struct RoutedClient {
+    replicas: Vec<Replica>,
+    cursor: AtomicUsize,
+    config: ClientConfig,
+    /// Requests that were resubmitted to a sibling after their replica's
+    /// connection died.
+    failovers: AtomicU64,
+}
+
+impl RoutedClient {
+    /// A router over the given replica addresses.  Connections are
+    /// established lazily, per replica, on first use.
+    pub fn new(addrs: impl IntoIterator<Item = impl Into<String>>, config: ClientConfig) -> Self {
+        RoutedClient {
+            replicas: addrs
+                .into_iter()
+                .map(|addr| Replica {
+                    addr: addr.into(),
+                    connection: Mutex::new(None),
+                    dead: AtomicU64::new(0),
+                })
+                .collect(),
+            cursor: AtomicUsize::new(0),
+            config,
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// The replica addresses, in routing order.
+    pub fn addrs(&self) -> Vec<&str> {
+        self.replicas.iter().map(|r| r.addr.as_str()).collect()
+    }
+
+    /// Number of replicas (live or dead).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Replicas currently marked live.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.dead.load(Ordering::Relaxed) == 0)
+            .count()
+    }
+
+    /// Requests resubmitted to a sibling after a replica died
+    /// mid-exchange.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    fn round_trip_on(&self, replica: &Replica, line: &str) -> Result<WireReply> {
+        let mut slot = replica
+            .connection
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(Client::connect(&replica.addr, self.config)?);
+        }
+        let client = slot.as_mut().expect("connection was just established");
+        match client.round_trip(line) {
+            Ok(reply) => Ok(reply),
+            Err(err) => {
+                // Whatever failed, this pooled connection is suspect;
+                // drop it so the next use reconnects from scratch.
+                *slot = None;
+                Err(err)
+            }
+        }
+    }
+
+    /// Sends one request line to the next live replica, failing over to
+    /// siblings on transport errors.  Errors only when every replica is
+    /// unreachable; server-side `ok=false` replies are returned as-is.
+    pub fn round_trip(&self, line: &str) -> Result<WireReply> {
+        let n = self.replicas.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut last_err: Option<ClientError> = None;
+        let mut attempted = 0usize;
+        // Two passes: live replicas first, then — if everything live
+        // failed — the dead ones too, so a fully-recovered fleet is never
+        // reported down just because probes have not run yet.
+        for include_dead in [false, true] {
+            for k in 0..n {
+                let replica = &self.replicas[(start + k) % n];
+                let dead = replica.dead.load(Ordering::Relaxed) != 0;
+                if dead != include_dead {
+                    continue;
+                }
+                match self.round_trip_on(replica, line) {
+                    Ok(reply) => {
+                        replica.dead.store(0, Ordering::Relaxed);
+                        if attempted > 0 {
+                            self.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(reply);
+                    }
+                    Err(ClientError::Transport(err)) => {
+                        replica.dead.store(1, Ordering::Relaxed);
+                        attempted += 1;
+                        last_err = Some(ClientError::Transport(err));
+                    }
+                    // A malformed reply is not worth replaying the
+                    // request for — surface it.
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ClientError::Transport(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "routed client has no replicas",
+            ))
+        }))
+    }
+
+    /// Submits a query line through the router (alias of
+    /// [`RoutedClient::round_trip`], named for call-site clarity).
+    pub fn query(&self, line: &str) -> Result<WireReply> {
+        self.round_trip(line)
+    }
+
+    /// Pings every replica on a fresh connection, reviving the ones that
+    /// answer and marking the ones that don't.  Returns the per-replica
+    /// health, in address order.
+    pub fn probe(&self) -> Vec<bool> {
+        self.replicas
+            .iter()
+            .map(|replica| {
+                let alive = Client::connect(&replica.addr, self.config)
+                    .and_then(|mut client| client.ping())
+                    .is_ok();
+                replica
+                    .dead
+                    .store(if alive { 0 } else { 1 }, Ordering::Relaxed);
+                alive
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for RoutedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedClient")
+            .field("replicas", &self.addrs())
+            .field("live", &self.live_replicas())
+            .field("failovers", &self.failover_count())
+            .finish()
+    }
+}

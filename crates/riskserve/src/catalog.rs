@@ -48,6 +48,7 @@
 //! protocol).  A shard whose file is temporarily unreadable keeps serving
 //! its current snapshot; the failure is counted, not propagated.
 
+use std::collections::HashSet;
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
@@ -157,8 +158,44 @@ struct CatalogShard {
     seen_footer_len: AtomicU64,
 }
 
-/// N persistent stores served as one logical, refreshable store.
-pub struct StoreCatalog {
+impl CatalogShard {
+    fn new(path: PathBuf, reader: StoreReader) -> CatalogShard {
+        CatalogShard {
+            num_trials: reader.num_trials(),
+            trial_offset: reader.trial_offset(),
+            generation: AtomicU64::new(stamp(0, reader.commit_seq())),
+            epoch: AtomicU64::new(0),
+            seen_footer_offset: AtomicU64::new(u64::MAX),
+            seen_footer_len: AtomicU64::new(u64::MAX),
+            reader: RwLock::new(reader),
+            path,
+        }
+    }
+}
+
+/// Every `.clm` file directly inside `dir`, sorted by path for a
+/// deterministic open/adopt order.
+fn list_store_files(dir: &Path) -> std::result::Result<Vec<PathBuf>, StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| {
+        StoreError::InvalidArgument(format!(
+            "cannot read catalog directory `{}`: {e}",
+            dir.display()
+        ))
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "clm") && path.is_file())
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// The catalog's shard topology — everything that changes when a new
+/// store file is adopted by directory discovery, grouped under one
+/// `RwLock` so a scan always sees shards, axis and windows from the
+/// same instant.  For a catalog opened over a fixed file list the
+/// topology never changes after open.
+struct Topology {
     /// Shards in serving order: open order for the segment axis, window
     /// order (ascending trial offset) for the trial axis.
     shards: Vec<CatalogShard>,
@@ -169,94 +206,18 @@ pub struct StoreCatalog {
     /// The global trial window of each shard, in shard order — only
     /// meaningful (non-empty) on the trial axis.
     windows: Vec<(usize, usize)>,
-    /// The merged union schema memoized against the generation vector it
-    /// was built under, so cache-hit batches skip the O(total segments)
-    /// dictionary merge (segment axis only).
-    schema_cache: Mutex<Option<(Vec<u64>, Arc<MergedSchema>)>>,
-    /// The generation vector under which the trial-axis layout
-    /// (per-segment meta equality across windows) last validated, so
-    /// unchanged batches skip the O(segments × shards) re-validation
-    /// (trial axis only) — the trial-axis analogue of `schema_cache`.
-    trial_layout_cache: Mutex<Option<Vec<u64>>>,
-    /// Epoch for the probe throttle clock.
-    opened: Instant,
-    /// Minimum µs between on-disk generation probes (0 = probe on every
-    /// [`SourceProvider::refresh`] call).
-    probe_interval_micros: AtomicU64,
-    /// `opened`-relative µs of the last probe sweep (`u64::MAX` =
-    /// never).
-    last_probe_micros: AtomicU64,
-    refreshes: AtomicU64,
-    refresh_errors: AtomicU64,
-    /// Set by [`SourceProvider::attach_telemetry`] when the catalog backs
-    /// an instrumented server; `None` for a bare catalog.
-    telemetry: Mutex<Option<CatalogTelemetry>>,
 }
 
-/// The catalog's resolved metric handles (see [`crate::telemetry::stage`]).
-struct CatalogTelemetry {
-    /// Snapshot-assembly cost: memo validation plus (on generation
-    /// movement) the union schema / trial-layout rebuild.
-    schema_memo: Arc<Histogram>,
-}
-
-impl std::fmt::Debug for StoreCatalog {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StoreCatalog")
-            .field("axis", &self.axis)
-            .field("shards", &self.shards.len())
-            .field("trials", &self.num_trials)
-            .field("segments", &SourceProvider::num_segments(self))
-            .finish()
-    }
-}
-
-impl StoreCatalog {
-    /// Opens every shard file, detects the sharding axis from the
-    /// stores' persisted trial offsets, and validates the shards fit
-    /// together on it: a segment-axis catalog (all offsets zero) needs
-    /// one shared trial count; a trial-axis catalog (distinct offsets)
-    /// needs its windows — sorted by offset — to tile `[0, total)` with
-    /// no gap or overlap.  Shards with no committed segments are
-    /// accepted — that is exactly the serve-while-ingesting starting
-    /// state; their segments appear at the first refresh after their
-    /// first commit.
-    pub fn open(
-        paths: impl IntoIterator<Item = impl AsRef<Path>>,
-    ) -> std::result::Result<StoreCatalog, StoreError> {
-        let mut shards = Vec::new();
-        let mut identities = std::collections::HashSet::new();
-        for path in paths {
-            let path = path.as_ref().to_path_buf();
-            // A duplicated shard would silently double-count every one of
-            // its segments (or serve one trial window twice); reject it
-            // (resolving symlinks — and lexically normalising when
-            // canonicalisation fails — so `--store x.clm --store ./x.clm`
-            // is caught too).
-            if !identities.insert(path_identity(&path)) {
-                return Err(StoreError::InvalidArgument(format!(
-                    "shard `{}` is listed more than once",
-                    path.display()
-                )));
-            }
-            let reader = StoreReader::open(&path)?;
-            shards.push(CatalogShard {
-                num_trials: reader.num_trials(),
-                trial_offset: reader.trial_offset(),
-                generation: AtomicU64::new(stamp(0, reader.commit_seq())),
-                epoch: AtomicU64::new(0),
-                seen_footer_offset: AtomicU64::new(u64::MAX),
-                seen_footer_len: AtomicU64::new(u64::MAX),
-                reader: RwLock::new(reader),
-                path,
-            });
-        }
+impl Topology {
+    /// Detects the sharding axis from the shards' persisted trial
+    /// offsets and validates they fit together on it (the rules
+    /// documented on [`StoreCatalog::open`]).
+    fn build(mut shards: Vec<CatalogShard>) -> std::result::Result<Topology, StoreError> {
         if shards.is_empty() {
             return Err(StoreError::InvalidArgument(
                 "a catalog needs at least one store".to_string(),
             ));
         }
-
         let axis = if shards.iter().all(|shard| shard.trial_offset == 0) {
             ShardAxis::Segment
         } else {
@@ -300,12 +261,179 @@ impl StoreCatalog {
                 at
             }
         };
-
-        Ok(StoreCatalog {
+        Ok(Topology {
             shards,
             num_trials,
             axis,
             windows,
+        })
+    }
+
+    /// Adopts a discovered store into the serving topology, when its
+    /// geometry fits: another segment-axis shard sharing the catalog
+    /// trial count, or the store whose trial window starts exactly where
+    /// the current axis ends (which may convert a single-shard
+    /// segment-axis catalog into a trial-axis one — a one-window axis is
+    /// both).  Anything else is a topology the catalog cannot serve
+    /// exactly, and is rejected.
+    fn adopt(&mut self, path: PathBuf, reader: StoreReader) -> std::result::Result<(), StoreError> {
+        let trials = reader.num_trials();
+        let offset = reader.trial_offset();
+        if offset == 0 {
+            if self.axis != ShardAxis::Segment {
+                return Err(StoreError::InvalidArgument(format!(
+                    "store `{}` has trial offset 0, which overlaps the trial-axis \
+                     catalog's first window",
+                    path.display()
+                )));
+            }
+            if trials != self.num_trials {
+                return Err(StoreError::InvalidArgument(format!(
+                    "store `{}` holds {trials}-trial segments but the catalog serves \
+                     {}-trial segments",
+                    path.display(),
+                    self.num_trials
+                )));
+            }
+        } else {
+            if offset != self.num_trials as u64 {
+                return Err(StoreError::InvalidArgument(format!(
+                    "store `{}` covers trials {offset}..{} but the catalog's axis ends \
+                     at trial {}; a discovered window must start exactly there",
+                    path.display(),
+                    offset + trials as u64,
+                    self.num_trials
+                )));
+            }
+            if self.axis == ShardAxis::Segment && self.shards.len() > 1 {
+                return Err(StoreError::InvalidArgument(format!(
+                    "store `{}` opens a trial window, but the catalog already unions \
+                     {} segment-axis shards",
+                    path.display(),
+                    self.shards.len()
+                )));
+            }
+            if self.axis == ShardAxis::Segment {
+                // One offset-0 shard is equally window [0, n): reinterpret.
+                self.axis = ShardAxis::Trial;
+                self.windows = vec![(0, self.num_trials)];
+            }
+            self.windows
+                .push((self.num_trials, self.num_trials + trials));
+            self.num_trials += trials;
+        }
+        self.shards.push(CatalogShard::new(path, reader));
+        Ok(())
+    }
+}
+
+/// Directory-watch state for catalog auto-discovery (see
+/// [`StoreCatalog::open_dir`]).
+struct DirWatch {
+    dir: PathBuf,
+    /// Identities (see [`path_identity`]) of every adopted store, so a
+    /// sweep never re-opens what is already serving.
+    adopted: HashSet<PathBuf>,
+    /// Identities whose geometry can never join this catalog (wrong
+    /// trial count, out-of-sequence window): rejected once, with one
+    /// error count, instead of re-failing every sweep.
+    rejected: HashSet<PathBuf>,
+}
+
+/// N persistent stores served as one logical, refreshable store.
+pub struct StoreCatalog {
+    /// The live shard topology; read by every batch, written only when
+    /// discovery adopts a new store.
+    topology: RwLock<Topology>,
+    /// `Some` when the catalog watches a directory for new stores.
+    watch: Mutex<Option<DirWatch>>,
+    /// Paths adopted by discovery since the server last drained them
+    /// (the server turns the drain into counters + recorder events).
+    discovered_queue: Mutex<Vec<PathBuf>>,
+    /// Total stores adopted by discovery over the catalog's lifetime.
+    discovered: AtomicU64,
+    /// The merged union schema memoized against the generation vector it
+    /// was built under, so cache-hit batches skip the O(total segments)
+    /// dictionary merge (segment axis only).
+    schema_cache: Mutex<Option<(Vec<u64>, Arc<MergedSchema>)>>,
+    /// The generation vector under which the trial-axis layout
+    /// (per-segment meta equality across windows) last validated, so
+    /// unchanged batches skip the O(segments × shards) re-validation
+    /// (trial axis only) — the trial-axis analogue of `schema_cache`.
+    trial_layout_cache: Mutex<Option<Vec<u64>>>,
+    /// Epoch for the probe throttle clock.
+    opened: Instant,
+    /// Minimum µs between on-disk generation probes (0 = probe on every
+    /// [`SourceProvider::refresh`] call).
+    probe_interval_micros: AtomicU64,
+    /// `opened`-relative µs of the last probe sweep (`u64::MAX` =
+    /// never).
+    last_probe_micros: AtomicU64,
+    refreshes: AtomicU64,
+    refresh_errors: AtomicU64,
+    /// Set by [`SourceProvider::attach_telemetry`] when the catalog backs
+    /// an instrumented server; `None` for a bare catalog.
+    telemetry: Mutex<Option<CatalogTelemetry>>,
+}
+
+/// The catalog's resolved metric handles (see [`crate::telemetry::stage`]).
+struct CatalogTelemetry {
+    /// Snapshot-assembly cost: memo validation plus (on generation
+    /// movement) the union schema / trial-layout rebuild.
+    schema_memo: Arc<Histogram>,
+    /// Store-open cost, also recorded for stores adopted by discovery.
+    store_open: Arc<Histogram>,
+    /// Refresh cost, attached to every reader including discovered ones.
+    store_refresh: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for StoreCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topology = read_lock(&self.topology);
+        f.debug_struct("StoreCatalog")
+            .field("axis", &topology.axis)
+            .field("shards", &topology.shards.len())
+            .field("trials", &topology.num_trials)
+            .finish()
+    }
+}
+
+impl StoreCatalog {
+    /// Opens every shard file, detects the sharding axis from the
+    /// stores' persisted trial offsets, and validates the shards fit
+    /// together on it: a segment-axis catalog (all offsets zero) needs
+    /// one shared trial count; a trial-axis catalog (distinct offsets)
+    /// needs its windows — sorted by offset — to tile `[0, total)` with
+    /// no gap or overlap.  Shards with no committed segments are
+    /// accepted — that is exactly the serve-while-ingesting starting
+    /// state; their segments appear at the first refresh after their
+    /// first commit.
+    pub fn open(
+        paths: impl IntoIterator<Item = impl AsRef<Path>>,
+    ) -> std::result::Result<StoreCatalog, StoreError> {
+        let mut shards = Vec::new();
+        let mut identities = std::collections::HashSet::new();
+        for path in paths {
+            let path = path.as_ref().to_path_buf();
+            // A duplicated shard would silently double-count every one of
+            // its segments (or serve one trial window twice); reject it
+            // (resolving symlinks — and lexically normalising when
+            // canonicalisation fails — so `--store x.clm --store ./x.clm`
+            // is caught too).
+            if !identities.insert(path_identity(&path)) {
+                return Err(StoreError::InvalidArgument(format!(
+                    "shard `{}` is listed more than once",
+                    path.display()
+                )));
+            }
+            let reader = StoreReader::open(&path)?;
+            shards.push(CatalogShard::new(path, reader));
+        }
+        Ok(StoreCatalog {
+            topology: RwLock::new(Topology::build(shards)?),
+            watch: Mutex::new(None),
+            discovered_queue: Mutex::new(Vec::new()),
+            discovered: AtomicU64::new(0),
             schema_cache: Mutex::new(None),
             trial_layout_cache: Mutex::new(None),
             opened: Instant::now(),
@@ -317,25 +445,120 @@ impl StoreCatalog {
         })
     }
 
+    /// Opens every `.clm` store file in `dir` as a catalog and keeps
+    /// **watching the directory**: each refresh sweep (throttled by the
+    /// same [`StoreCatalog::set_refresh_interval`] knob as the header
+    /// probes) re-lists the directory, and a new store file whose
+    /// geometry fits the serving axis — another segment-axis shard with
+    /// the shared trial count, or the exact next trial window — is
+    /// adopted and served without a restart.  That is how `store split`
+    /// output or a fresh `--trial-offset` window dropped by an ingest
+    /// writer joins a running fleet.  Files that fail to open (typically
+    /// still being written) are retried on later sweeps; files whose
+    /// geometry can never fit are rejected once and counted in
+    /// [`StoreCatalog::refresh_error_count`].
+    pub fn open_dir(dir: impl AsRef<Path>) -> std::result::Result<StoreCatalog, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let paths = list_store_files(&dir)?;
+        if paths.is_empty() {
+            return Err(StoreError::InvalidArgument(format!(
+                "directory `{}` holds no .clm store files",
+                dir.display()
+            )));
+        }
+        let adopted = paths.iter().map(|p| path_identity(p)).collect();
+        let catalog = Self::open(&paths)?;
+        *lock(&catalog.watch) = Some(DirWatch {
+            dir,
+            adopted,
+            rejected: HashSet::new(),
+        });
+        Ok(catalog)
+    }
+
+    /// The directory this catalog watches for new stores, when opened
+    /// via [`StoreCatalog::open_dir`].
+    pub fn watched_dir(&self) -> Option<PathBuf> {
+        lock(&self.watch).as_ref().map(|watch| watch.dir.clone())
+    }
+
+    /// Total store files adopted by directory discovery since open.
+    pub fn discovered_count(&self) -> u64 {
+        self.discovered.load(Ordering::Relaxed)
+    }
+
+    /// One discovery sweep: re-list the watched directory and try to
+    /// adopt every store file not yet serving.  No-op without a watch.
+    fn discover(&self) {
+        let mut watch_slot = lock(&self.watch);
+        let Some(watch) = watch_slot.as_mut() else {
+            return;
+        };
+        let candidates = match list_store_files(&watch.dir) {
+            Ok(paths) => paths,
+            Err(_) => {
+                // The directory itself went unreadable; the shards keep
+                // serving and the sweep retries later.
+                self.refresh_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        for path in candidates {
+            let identity = path_identity(&path);
+            if watch.adopted.contains(&identity) || watch.rejected.contains(&identity) {
+                continue;
+            }
+            // An unopenable file is usually a store still being written
+            // (the header commits last): retry on the next sweep.
+            let Ok(reader) = StoreReader::open(&path) else {
+                continue;
+            };
+            let mut topology = write_lock(&self.topology);
+            match topology.adopt(path.clone(), reader) {
+                Ok(()) => {
+                    if let Some(telemetry) = lock(&self.telemetry).as_ref() {
+                        let shard = topology.shards.last().expect("just adopted");
+                        let mut reader = write_lock(&shard.reader);
+                        telemetry.store_open.record(reader.open_micros());
+                        reader.attach_refresh_histogram(Arc::clone(&telemetry.store_refresh));
+                    }
+                    drop(topology);
+                    watch.adopted.insert(identity);
+                    self.discovered.fetch_add(1, Ordering::Relaxed);
+                    lock(&self.discovered_queue).push(path);
+                }
+                Err(_) => {
+                    drop(topology);
+                    watch.rejected.insert(identity);
+                    self.refresh_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        read_lock(&self.topology).shards.len()
     }
 
     /// The axis this catalog's shards partition.
     pub fn axis(&self) -> ShardAxis {
-        self.axis
+        read_lock(&self.topology).axis
     }
 
     /// The global trial window of each shard, in shard order — empty for
     /// a segment-axis catalog (whose shards all share the full axis).
-    pub fn shard_windows(&self) -> &[(usize, usize)] {
-        &self.windows
+    pub fn shard_windows(&self) -> Vec<(usize, usize)> {
+        read_lock(&self.topology).windows.clone()
     }
 
     /// The shard files in shard order (window order on the trial axis).
-    pub fn shard_paths(&self) -> Vec<&Path> {
-        self.shards.iter().map(|s| s.path.as_path()).collect()
+    pub fn shard_paths(&self) -> Vec<PathBuf> {
+        read_lock(&self.topology)
+            .shards
+            .iter()
+            .map(|s| s.path.clone())
+            .collect()
     }
 
     /// The current generation vector: one stamp per shard (commit
@@ -343,7 +566,8 @@ impl StoreCatalog {
     /// visible data changes and never repeating across a file
     /// replacement.
     pub fn generations(&self) -> Vec<u64> {
-        self.shards
+        read_lock(&self.topology)
+            .shards
             .iter()
             .map(|s| s.generation.load(Ordering::Acquire))
             .collect()
@@ -351,15 +575,18 @@ impl StoreCatalog {
 
     /// Per-shard committed segment counts.
     pub fn shard_segments(&self) -> Vec<usize> {
-        self.shards
+        read_lock(&self.topology)
+            .shards
             .iter()
             .map(|s| read_lock(&s.reader).num_segments())
             .collect()
     }
 
-    /// Resident bytes of every shard's loaded loss columns.
+    /// Resident bytes of every shard's loaded loss columns (zero-copy
+    /// mapped columns count their mapped extent).
     pub fn memory_bytes(&self) -> usize {
-        self.shards
+        read_lock(&self.topology)
+            .shards
             .iter()
             .map(|s| read_lock(&s.reader).memory_bytes())
             .sum()
@@ -389,15 +616,17 @@ impl StoreCatalog {
 
     /// One human-readable line per shard, for serving logs.
     pub fn describe(&self) -> String {
-        self.shards
+        let topology = read_lock(&self.topology);
+        topology
+            .shards
             .iter()
             .enumerate()
             .map(|(index, shard)| {
                 let reader = read_lock(&shard.reader);
-                let window = match self.axis {
+                let window = match topology.axis {
                     ShardAxis::Segment => String::new(),
                     ShardAxis::Trial => {
-                        let (start, end) = self.windows[index];
+                        let (start, end) = topology.windows[index];
                         format!(" covering trials {start}..{end}")
                     }
                 };
@@ -416,8 +645,13 @@ impl StoreCatalog {
 
     /// Runs `f` over the degraded empty-store shape: queries still
     /// answer (with no rows) instead of hanging or panicking a worker.
-    fn with_empty<R>(&self, generations: &[u64], f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R {
-        let empty = ResultStore::new(self.num_trials);
+    fn with_empty<R>(
+        &self,
+        num_trials: usize,
+        generations: &[u64],
+        f: impl FnOnce(SourceSnapshot<'_>) -> R,
+    ) -> R {
+        let empty = ResultStore::new(num_trials);
         f(SourceSnapshot {
             source: &empty,
             generations,
@@ -428,11 +662,11 @@ impl StoreCatalog {
 
 impl SourceProvider for StoreCatalog {
     fn num_trials(&self) -> usize {
-        self.num_trials
+        read_lock(&self.topology).num_trials
     }
 
     fn num_segments(&self) -> usize {
-        match self.axis {
+        match self.axis() {
             ShardAxis::Segment => self.shard_segments().iter().sum(),
             // The served set is the common committed prefix.
             ShardAxis::Trial => self.shard_segments().into_iter().min().unwrap_or(0),
@@ -441,7 +675,9 @@ impl SourceProvider for StoreCatalog {
 
     /// Probes every shard's committed generation (a 128-byte header
     /// read, no locks) and maps new commits in under the shard's write
-    /// lock.  Returns the shards whose visible state advanced.
+    /// lock.  A watching catalog first sweeps its directory for new
+    /// store files to adopt (same throttle).  Returns the shards whose
+    /// visible state advanced.
     fn refresh(&self) -> Vec<usize> {
         let interval = self.probe_interval_micros.load(Ordering::Relaxed);
         if interval > 0 {
@@ -453,8 +689,10 @@ impl SourceProvider for StoreCatalog {
             // Racing workers may both probe; the store is best-effort.
             self.last_probe_micros.store(now, Ordering::Relaxed);
         }
+        self.discover();
+        let topology = read_lock(&self.topology);
         let mut advanced = Vec::new();
-        for (index, shard) in self.shards.iter().enumerate() {
+        for (index, shard) in topology.shards.iter().enumerate() {
             let seen_seq = shard.generation.load(Ordering::Acquire) & SEQ_MASK;
             let header = match StoreReader::peek_header(&shard.path) {
                 Ok(header) => header,
@@ -529,28 +767,40 @@ impl SourceProvider for StoreCatalog {
     fn attach_telemetry(&self, registry: &Registry) {
         let open_hist = registry.histogram(stage::STORE_OPEN);
         let refresh_hist = registry.histogram(stage::STORE_REFRESH);
-        for shard in &self.shards {
+        for shard in &read_lock(&self.topology).shards {
             let mut reader = write_lock(&shard.reader);
             open_hist.record(reader.open_micros());
             reader.attach_refresh_histogram(Arc::clone(&refresh_hist));
         }
         *lock(&self.telemetry) = Some(CatalogTelemetry {
             schema_memo: registry.histogram(stage::SCHEMA_MEMO),
+            store_open: open_hist,
+            store_refresh: refresh_hist,
         });
     }
 
+    fn drain_discovered(&self) -> Vec<PathBuf> {
+        std::mem::take(&mut *lock(&self.discovered_queue))
+    }
+
     fn with_source<R>(&self, f: impl FnOnce(SourceSnapshot<'_>) -> R) -> R {
-        // All read locks taken in shard order and held for the whole
-        // batch; refresh takes write locks one shard at a time, so there
-        // is no ordering cycle.
-        let guards: Vec<RwLockReadGuard<'_, StoreReader>> =
-            self.shards.iter().map(|s| read_lock(&s.reader)).collect();
+        // The topology read lock pins the shard set for the whole batch
+        // (discovery adopts under the write lock); then all shard read
+        // locks are taken in shard order and held for the whole batch —
+        // refresh takes write locks one shard at a time under the same
+        // topology read lock, so there is no ordering cycle.
+        let topology = read_lock(&self.topology);
+        let guards: Vec<RwLockReadGuard<'_, StoreReader>> = topology
+            .shards
+            .iter()
+            .map(|s| read_lock(&s.reader))
+            .collect();
         // Stamps combine the locked reader's commit counter with the
         // shard's replacement epoch — the epoch is only ever written
         // under the shard's write lock, which cannot be held while we
         // hold the read lock, so stamp and data describe exactly this
         // snapshot.
-        let generations: Vec<u64> = self
+        let generations: Vec<u64> = topology
             .shards
             .iter()
             .zip(&guards)
@@ -560,11 +810,11 @@ impl SourceProvider for StoreCatalog {
             .as_ref()
             .map(|telemetry| Arc::clone(&telemetry.schema_memo));
 
-        if self.axis == ShardAxis::Trial {
+        if topology.axis == ShardAxis::Trial {
             // Every window must still be covered by the store registered
             // for it; a geometry-changing replacement leaves a hole in
             // the trial axis, and a partial axis cannot answer exactly.
-            let intact = self.shards.iter().zip(&guards).all(|(shard, guard)| {
+            let intact = topology.shards.iter().zip(&guards).all(|(shard, guard)| {
                 guard.num_trials() == shard.num_trials && guard.trial_offset() == shard.trial_offset
             });
             let refs: Vec<&dyn SegmentSource> = guards
@@ -599,10 +849,10 @@ impl SourceProvider for StoreCatalog {
                     f(SourceSnapshot {
                         source: &stitched,
                         generations: &generations,
-                        trial_windows: Some(&self.windows),
+                        trial_windows: Some(&topology.windows),
                     })
                 }
-                _ => self.with_empty(&generations, f),
+                _ => self.with_empty(topology.num_trials, &generations, f),
             };
         }
 
@@ -611,14 +861,14 @@ impl SourceProvider for StoreCatalog {
         // rather than panicking a worker and stranding the batch.
         let usable: Vec<&dyn SegmentSource> = guards
             .iter()
-            .filter(|guard| guard.num_trials() == self.num_trials)
+            .filter(|guard| guard.num_trials() == topology.num_trials)
             .map(|guard| &**guard as &dyn SegmentSource)
             .collect();
         match usable.as_slice() {
             [] => {
                 // Every shard diverged: serve the empty store shape so
                 // queries still answer (with no rows) instead of hanging.
-                self.with_empty(&generations, f)
+                self.with_empty(topology.num_trials, &generations, f)
             }
             [only] => f(SourceSnapshot {
                 source: *only,
@@ -1294,6 +1544,161 @@ mod tests {
         for path in &paths {
             let _ = std::fs::remove_file(path);
         }
+    }
+
+    /// A fresh, empty temp directory for discovery tests.
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "catrisk-catalog-dir-{}-{}",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn open_dir_discovers_segment_shards_dropped_later() {
+        let dir = temp_dir("discover-segment");
+        write_shard(&dir.join("a.clm"), 8, 0..3);
+        // Non-store files in the directory are ignored.
+        std::fs::write(dir.join("notes.txt"), "not a store").unwrap();
+
+        let catalog = StoreCatalog::open_dir(&dir).unwrap();
+        assert_eq!(catalog.num_shards(), 1);
+        assert_eq!(catalog.watched_dir().as_deref(), Some(dir.as_path()));
+        assert_eq!(catalog.discovered_count(), 0);
+
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let rows_before = catalog.with_source(|s| execute(s.source, &query).unwrap().rows.len());
+
+        // An ingest pipeline drops a second shard into the directory.
+        write_shard(&dir.join("b.clm"), 8, 3..5);
+        assert!(SourceProvider::refresh(&catalog).is_empty());
+        assert_eq!(catalog.num_shards(), 2);
+        assert_eq!(catalog.discovered_count(), 1);
+        assert_eq!(
+            SourceProvider::drain_discovered(&catalog),
+            vec![dir.join("b.clm")]
+        );
+        assert!(
+            SourceProvider::drain_discovered(&catalog).is_empty(),
+            "the drain is a take, not a read"
+        );
+        assert_eq!(
+            catalog.with_source(|s| execute(s.source, &query).unwrap().rows.len()),
+            rows_before + 2,
+            "the discovered shard's layers must be served"
+        );
+        // Bit-identical to a cold open over both files.
+        let cold = StoreCatalog::open([dir.join("a.clm"), dir.join("b.clm")]).unwrap();
+        assert_eq!(
+            catalog.with_source(|s| execute(s.source, &query).unwrap()),
+            cold.with_source(|s| execute(s.source, &query).unwrap())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_dir_discovers_the_next_trial_window() {
+        let trials = 16;
+        let (paths, whole) = write_trial_shards("discover-window", trials, &[10]);
+        let dir = temp_dir("discover-trial");
+        // Start with only window [0, 10): a one-window axis opens as a
+        // (trivially) segment-axis catalog.
+        std::fs::copy(&paths[0], dir.join("w0.clm")).unwrap();
+        let catalog = StoreCatalog::open_dir(&dir).unwrap();
+        assert_eq!(catalog.axis(), ShardAxis::Segment);
+        assert_eq!(SourceProvider::num_trials(&catalog), 10);
+
+        // The ingest writer drops the next trial window: the catalog
+        // reinterprets its single shard as window 0 and grows the axis.
+        std::fs::copy(&paths[1], dir.join("w1.clm")).unwrap();
+        SourceProvider::refresh(&catalog);
+        assert_eq!(catalog.axis(), ShardAxis::Trial);
+        assert_eq!(SourceProvider::num_trials(&catalog), trials);
+        assert_eq!(catalog.shard_windows(), vec![(0, 10), (10, 16)]);
+        assert_eq!(catalog.discovered_count(), 1);
+
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.9 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            catalog.with_source(|s| execute(s.source, &query).unwrap()),
+            execute(&whole, &query).unwrap(),
+            "the grown axis must stitch bit-identically to the whole store"
+        );
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incompatible_discovered_stores_are_rejected_once() {
+        let dir = temp_dir("discover-reject");
+        write_shard(&dir.join("a.clm"), 8, 0..2);
+        let catalog = StoreCatalog::open_dir(&dir).unwrap();
+
+        // Wrong trial count: can never join the 8-trial union.
+        write_shard(&dir.join("bad.clm"), 16, 0..1);
+        // Not a store at all: unopenable, retried (not rejected) in case
+        // it is still being written.
+        std::fs::write(dir.join("torn.clm"), b"garbage").unwrap();
+
+        SourceProvider::refresh(&catalog);
+        assert_eq!(catalog.num_shards(), 1);
+        assert_eq!(catalog.discovered_count(), 0);
+        let errors_after_first = catalog.refresh_error_count();
+        assert!(errors_after_first >= 1, "the rejection must be counted");
+
+        // The rejection is remembered: later sweeps do not re-count it.
+        SourceProvider::refresh(&catalog);
+        assert_eq!(catalog.refresh_error_count(), errors_after_first);
+        assert_eq!(catalog.num_shards(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_dir_rejects_storeless_directories() {
+        let dir = temp_dir("discover-empty");
+        assert!(matches!(
+            StoreCatalog::open_dir(&dir),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        assert!(StoreCatalog::open_dir(dir.join("never-made")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discovery_respects_the_refresh_throttle() {
+        let dir = temp_dir("discover-throttle");
+        write_shard(&dir.join("a.clm"), 8, 0..2);
+        let catalog = StoreCatalog::open_dir(&dir).unwrap();
+        catalog.set_refresh_interval(Duration::from_secs(3600));
+        // First refresh after open always probes (and sweeps).
+        SourceProvider::refresh(&catalog);
+
+        write_shard(&dir.join("b.clm"), 8, 2..3);
+        SourceProvider::refresh(&catalog);
+        assert_eq!(
+            catalog.num_shards(),
+            1,
+            "the sweep must wait out the same throttle as the header probes"
+        );
+        catalog.set_refresh_interval(Duration::ZERO);
+        SourceProvider::refresh(&catalog);
+        assert_eq!(catalog.num_shards(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

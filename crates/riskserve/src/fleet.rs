@@ -1,0 +1,512 @@
+//! Replica fleet: N `serve` processes over one catalog directory.
+//!
+//! A [`Fleet`] spawns replica processes, registers the address each one
+//! announces on its first stdout line, and watches their health.  Every
+//! replica serves the *same* catalog directory with auto-discovery on,
+//! so the fleet is N identical read-only views of one store set — which
+//! is what makes client-side failover
+//! ([`RoutedClient`](catrisk_riskclient::RoutedClient)) sound: any
+//! replica can answer any query, bit-identically.
+//!
+//! Health is judged by two probes, both over a fresh connection so a
+//! wedged pooled socket cannot mask a dead process:
+//!
+//! * **ping** — the protocol-level liveness check; answered before the
+//!   queue, so it proves the process accepts connections and parses
+//!   requests even when the queue is saturated.
+//! * **stats staleness** — a `stats` round trip must parse within the
+//!   configured window.  A replica that pings but cannot produce a
+//!   stats snapshot is wedged past its accept loop and counts as
+//!   unhealthy once the window lapses.
+//!
+//! The fleet restarts replicas whose *process* has exited, re-pinning
+//! the replacement to the dead replica's address so client address
+//! lists stay valid across the restart.  In-flight queries lost with
+//! the dead process are the client's job to resubmit (the routed
+//! client does, counting each resubmission as a failover).
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use catrisk_riskclient::{Client, ClientConfig};
+
+/// How a [`Fleet`] spawns and probes its replicas.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetOptions {
+    /// Replica processes to run.
+    pub replicas: usize,
+    /// Per-probe connect/read budget.
+    pub client: ClientConfig,
+    /// How long a freshly spawned replica may take to announce its
+    /// address on stdout before the spawn is declared failed.
+    pub spawn_timeout: Duration,
+    /// A replica whose last successful stats round trip is older than
+    /// this is reported stale by [`Fleet::probe`].
+    pub stats_staleness: Duration,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            replicas: 2,
+            client: ClientConfig::default(),
+            spawn_timeout: Duration::from_secs(10),
+            stats_staleness: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One replica's probe verdict.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// Index into the fleet's replica list (stable across restarts).
+    pub index: usize,
+    /// The address the replica announced.
+    pub addr: String,
+    /// The replica process has not exited.
+    pub process_alive: bool,
+    /// A fresh-connection `ping` round trip succeeded.
+    pub ping_ok: bool,
+    /// The last successful `stats` round trip is within the staleness
+    /// window.
+    pub stats_fresh: bool,
+}
+
+impl ReplicaHealth {
+    /// Healthy = running, answering pings, and producing fresh stats.
+    pub fn healthy(&self) -> bool {
+        self.process_alive && self.ping_ok && self.stats_fresh
+    }
+}
+
+struct Replica {
+    addr: String,
+    child: Child,
+    /// Instant of the last successful stats round trip (spawn counts:
+    /// announcing an address proves the process came up).
+    last_stats: Instant,
+    /// The replica exited cleanly (a drained protocol `shutdown`): it
+    /// is done, not dead, and must not be restarted.
+    retired: bool,
+}
+
+/// Builds the command that runs one replica.  `pin` is `Some(addr)`
+/// when the fleet is restarting a dead replica and the replacement
+/// must bind the same address; `None` for the initial spawn, where the
+/// replica picks its own port and announces it.
+pub type ReplicaCommand = Box<dyn FnMut(usize, Option<&str>) -> Command + Send>;
+
+/// A set of replica `serve` processes over one catalog directory.
+pub struct Fleet {
+    replicas: Vec<Replica>,
+    command: ReplicaCommand,
+    options: FleetOptions,
+    restarts: u64,
+}
+
+impl Fleet {
+    /// Spawns `options.replicas` replica processes and waits for each
+    /// to announce its bound address (first stdout line).  Fails — and
+    /// reaps everything already spawned — if any replica fails to come
+    /// up within `spawn_timeout`.
+    pub fn spawn(mut command: ReplicaCommand, options: FleetOptions) -> Result<Fleet, FleetError> {
+        if options.replicas == 0 {
+            return Err(FleetError::new("a fleet needs at least one replica"));
+        }
+        let mut replicas: Vec<Replica> = Vec::with_capacity(options.replicas);
+        for index in 0..options.replicas {
+            match spawn_replica(&mut command, index, None, options.spawn_timeout) {
+                Ok(replica) => replicas.push(replica),
+                Err(err) => {
+                    for mut replica in replicas {
+                        let _ = replica.child.kill();
+                        let _ = replica.child.wait();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(Fleet {
+            replicas,
+            command,
+            options,
+            restarts: 0,
+        })
+    }
+
+    /// The announced replica addresses, in spawn order.  Stable across
+    /// restarts: a replacement replica re-binds its predecessor's
+    /// address.
+    pub fn addrs(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.addr.clone()).collect()
+    }
+
+    /// The replica process ids, in spawn order (for external fault
+    /// injection — the CI smoke kills a replica by pid).
+    pub fn pids(&self) -> Vec<u32> {
+        self.replicas.iter().map(|r| r.child.id()).collect()
+    }
+
+    /// Replicas restarted since spawn.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Every replica has exited cleanly (as observed by
+    /// [`Fleet::restart_dead`]): the fleet is done and the monitor can
+    /// stop.
+    pub fn drained(&self) -> bool {
+        self.replicas.iter().all(|r| r.retired)
+    }
+
+    /// Probes every replica (fresh connection each, so a poisoned
+    /// pooled socket cannot fake health) and reports per-replica
+    /// verdicts in spawn order.
+    pub fn probe(&mut self) -> Vec<ReplicaHealth> {
+        let config = self.options.client;
+        let staleness = self.options.stats_staleness;
+        self.replicas
+            .iter_mut()
+            .enumerate()
+            .map(|(index, replica)| {
+                let process_alive =
+                    !replica.retired && matches!(replica.child.try_wait(), Ok(None));
+                let mut ping_ok = false;
+                let mut stats_ok = false;
+                if process_alive {
+                    if let Ok(mut client) = Client::connect(&replica.addr, config) {
+                        ping_ok = matches!(client.round_trip("ping"), Ok(reply) if reply.ok);
+                        stats_ok = match client.round_trip("stats") {
+                            Ok(reply) => reply.ok && reply.stats.is_some(),
+                            Err(_) => false,
+                        };
+                    }
+                }
+                if stats_ok {
+                    replica.last_stats = Instant::now();
+                }
+                ReplicaHealth {
+                    index,
+                    addr: replica.addr.clone(),
+                    process_alive,
+                    ping_ok,
+                    stats_fresh: replica.last_stats.elapsed() <= staleness,
+                }
+            })
+            .collect()
+    }
+
+    /// Restarts every replica whose process *died* — exited unclean or
+    /// was killed — re-pinning the replacement to the dead replica's
+    /// address.  Returns the indices restarted.  A replica that exited
+    /// cleanly is retired, not restarted: a drained protocol `shutdown`
+    /// is the fleet winding down, and resurrecting it would make the
+    /// fleet unstoppable.  A replica that is merely unhealthy (wedged
+    /// but running) is also left alone — killing a live process is the
+    /// operator's call, via [`Fleet::kill`].
+    pub fn restart_dead(&mut self) -> Result<Vec<usize>, FleetError> {
+        let mut restarted = Vec::new();
+        for index in 0..self.replicas.len() {
+            if self.replicas[index].retired {
+                continue;
+            }
+            match self.replicas[index].child.try_wait() {
+                Ok(None) => continue,
+                Ok(Some(status)) if status.success() => {
+                    self.replicas[index].retired = true;
+                    continue;
+                }
+                _ => {}
+            }
+            let addr = self.replicas[index].addr.clone();
+            let replacement = spawn_replica(
+                &mut self.command,
+                index,
+                Some(&addr),
+                self.options.spawn_timeout,
+            )?;
+            self.replicas[index] = replacement;
+            self.restarts += 1;
+            restarted.push(index);
+        }
+        Ok(restarted)
+    }
+
+    /// Kills one replica process outright (no drain) — the fault
+    /// injection the failover tests are built on.
+    pub fn kill(&mut self, index: usize) -> Result<(), FleetError> {
+        let replica = self
+            .replicas
+            .get_mut(index)
+            .ok_or_else(|| FleetError::new(format!("no replica {index}")))?;
+        replica
+            .child
+            .kill()
+            .map_err(|err| FleetError::new(format!("kill replica {index}: {err}")))?;
+        let _ = replica.child.wait();
+        Ok(())
+    }
+
+    /// Gracefully stops the fleet: sends each replica the protocol
+    /// `shutdown`, waits for the processes to drain and exit, and
+    /// force-kills any that outlive `grace`.  Returns how many replicas
+    /// acknowledged the shutdown.
+    pub fn shutdown(mut self, grace: Duration) -> usize {
+        let mut config = self.options.client;
+        config.connect_timeout = config.connect_timeout.min(Duration::from_secs(1));
+        let mut acked = 0;
+        for replica in &self.replicas {
+            if let Ok(mut client) = Client::connect(&replica.addr, config) {
+                if matches!(client.round_trip("shutdown"), Ok(reply) if reply.ok) {
+                    acked += 1;
+                }
+            }
+        }
+        let deadline = Instant::now() + grace;
+        for replica in &mut self.replicas {
+            loop {
+                match replica.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    _ if Instant::now() >= deadline => {
+                        let _ = replica.child.kill();
+                        let _ = replica.child.wait();
+                        break;
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        }
+        acked
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for replica in &mut self.replicas {
+            let _ = replica.child.kill();
+            let _ = replica.child.wait();
+        }
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("addrs", &self.addrs())
+            .field("restarts", &self.restarts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fleet management failure: a replica that would not spawn, announce,
+/// or die on request.
+#[derive(Debug)]
+pub struct FleetError(String);
+
+impl FleetError {
+    fn new(message: impl Into<String>) -> Self {
+        FleetError(message.into())
+    }
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+fn spawn_replica(
+    command: &mut ReplicaCommand,
+    index: usize,
+    pin: Option<&str>,
+    timeout: Duration,
+) -> Result<Replica, FleetError> {
+    let mut child = command(index, pin)
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(|err| FleetError::new(format!("spawn replica {index}: {err}")))?;
+    let stdout = child.stdout.take().expect("stdout was piped at spawn");
+    match read_announcement(stdout, timeout) {
+        Some(addr) if !addr.is_empty() => {
+            if let Some(pinned) = pin {
+                if addr != pinned {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(FleetError::new(format!(
+                        "replica {index} rebound to {addr}, expected pinned {pinned}"
+                    )));
+                }
+            }
+            Ok(Replica {
+                addr,
+                child,
+                last_stats: Instant::now(),
+                retired: false,
+            })
+        }
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(FleetError::new(format!(
+                "replica {index} did not announce an address within {timeout:?}"
+            )))
+        }
+    }
+}
+
+/// Reads the replica's first stdout line (its announced address) with
+/// a timeout, then detaches a drain thread so the child never blocks
+/// on a full stdout pipe.
+fn read_announcement(stdout: impl Read + Send + 'static, timeout: Duration) -> Option<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() {
+            let _ = tx.send(line.trim().to_string());
+        }
+        // Keep draining so the replica's later stdout writes (reports,
+        // shutdown notices) cannot fill the pipe and wedge it.
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    rx.recv_timeout(timeout).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::tcp::TcpFrontEnd;
+    use crate::test_store::random_store;
+    use std::sync::Arc;
+
+    /// A fleet whose "replica processes" are shell stubs announcing the
+    /// address of an in-process front end — exercises spawn, announce,
+    /// probe, kill, and restart mechanics without needing the real
+    /// binary (the CLI integration tests cover that end).
+    fn stub_fleet(addrs: &[String], replicas: usize) -> Fleet {
+        let addrs = addrs.to_vec();
+        let command: ReplicaCommand = Box::new(move |index, pin| {
+            let addr = pin
+                .map(str::to_string)
+                .unwrap_or_else(|| addrs[index].clone());
+            let mut cmd = Command::new("sh");
+            cmd.arg("-c").arg(format!("echo {addr}; exec sleep 600"));
+            cmd
+        });
+        Fleet::spawn(
+            command,
+            FleetOptions {
+                replicas,
+                client: ClientConfig {
+                    connect_timeout: Duration::from_millis(500),
+                    read_timeout: Some(Duration::from_secs(5)),
+                },
+                spawn_timeout: Duration::from_secs(5),
+                stats_staleness: Duration::from_secs(30),
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_registers_announced_addrs_and_probes_health() {
+        let store = Arc::new(random_store(64, 6, 7));
+        let fronts: Vec<_> = (0..2)
+            .map(|_| {
+                TcpFrontEnd::bind(Server::with_defaults(Arc::clone(&store)), "127.0.0.1:0").unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = fronts.iter().map(|f| f.local_addr().to_string()).collect();
+
+        let mut fleet = stub_fleet(&addrs, 2);
+        assert_eq!(fleet.addrs(), addrs);
+
+        let health = fleet.probe();
+        assert!(health.iter().all(ReplicaHealth::healthy));
+
+        // Stop one backend: its stub process still runs, but ping and
+        // stats go dark — the probe must say so without restarting it.
+        fronts[1].stop();
+        let health = fleet.probe();
+        assert!(health[0].healthy());
+        assert!(health[1].process_alive);
+        assert!(!health[1].ping_ok);
+        assert!(fleet.restart_dead().unwrap().is_empty());
+        fronts[0].stop();
+    }
+
+    #[test]
+    fn dead_replicas_are_restarted_on_their_old_addr() {
+        let store = Arc::new(random_store(32, 4, 3));
+        let front =
+            TcpFrontEnd::bind(Server::with_defaults(Arc::clone(&store)), "127.0.0.1:0").unwrap();
+        let addrs = vec![front.local_addr().to_string()];
+
+        let mut fleet = stub_fleet(&addrs, 1);
+        fleet.kill(0).unwrap();
+        assert!(!fleet.probe()[0].process_alive);
+
+        let restarted = fleet.restart_dead().unwrap();
+        assert_eq!(restarted, vec![0]);
+        assert_eq!(fleet.restart_count(), 1);
+        assert_eq!(fleet.addrs(), addrs, "the replacement re-pins the address");
+        assert!(fleet.probe()[0].healthy());
+        front.stop();
+    }
+
+    #[test]
+    fn cleanly_exited_replicas_retire_instead_of_restarting() {
+        let command: ReplicaCommand = Box::new(|_, _| {
+            let mut cmd = Command::new("sh");
+            cmd.arg("-c").arg("echo 127.0.0.1:1; exit 0"); // drains instantly
+            cmd
+        });
+        let mut fleet = Fleet::spawn(
+            command,
+            FleetOptions {
+                replicas: 1,
+                spawn_timeout: Duration::from_secs(5),
+                ..FleetOptions::default()
+            },
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !fleet.drained() {
+            assert!(Instant::now() < deadline, "the clean exit never retired");
+            assert!(
+                fleet.restart_dead().unwrap().is_empty(),
+                "retire, not restart"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(fleet.restart_count(), 0);
+    }
+
+    #[test]
+    fn spawn_failure_reports_the_silent_replica() {
+        let command: ReplicaCommand = Box::new(|_, _| {
+            let mut cmd = Command::new("sh");
+            cmd.arg("-c").arg("exec sleep 600"); // never announces
+            cmd
+        });
+        let err = Fleet::spawn(
+            command,
+            FleetOptions {
+                replicas: 1,
+                spawn_timeout: Duration::from_millis(200),
+                ..FleetOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("did not announce"));
+    }
+}

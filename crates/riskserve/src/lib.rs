@@ -117,6 +117,7 @@ mod cache;
 mod sync;
 
 pub mod catalog;
+pub mod fleet;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
@@ -126,6 +127,7 @@ pub mod tcp;
 pub mod telemetry;
 
 pub use catalog::{ShardAxis, StoreCatalog};
+pub use fleet::{Fleet, FleetError, FleetOptions, ReplicaHealth};
 pub use loadgen::{default_mix, IngestReport, LoadReport, LoadgenOptions};
 pub use protocol::{parse_request, Request, WireError, WireReply};
 pub use server::{Reply, ServeError, Server, ServerConfig, Ticket};

@@ -1,8 +1,11 @@
 //! Open-loop load generation against a running TCP front-end, with an
 //! optional ingest-writer companion that commits segments mid-run.
 //!
-//! Each client thread owns one connection and fires its share of the
-//! request schedule.  In open-loop mode (`rps > 0`) send times are fixed
+//! Each client thread owns one [`RoutedClient`] over the listed replica
+//! addresses and fires its share of the request schedule; with several
+//! addresses the load spreads round-robin and a request whose replica
+//! dies mid-exchange is resubmitted to a live sibling (counted in
+//! [`LoadReport::failovers`]).  In open-loop mode (`rps > 0`) send times are fixed
 //! up front — request `k` of a client is due at `start + k / client_rate`
 //! — and a request's latency is measured from its *scheduled* time, so a
 //! slow server accrues queueing delay instead of silently slowing the
@@ -26,27 +29,29 @@
 //! commit-and-refresh window versus steady-state requests — the measured
 //! latency impact of refresh.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use catrisk_eventgen::peril::{Peril, Region};
 use catrisk_finterms::layer::LayerId;
+use catrisk_riskclient::{round_trip, ClientConfig, ClientError, RoutedClient};
 use catrisk_riskquery::{LineOfBusiness, SegmentMeta};
 use catrisk_riskstore::StoreWriter;
 
 use catrisk_telemetry::{MetricsSnapshot, TraceRecord};
 
-use crate::protocol::WireReply;
 use crate::stats::{percentile, StatsSnapshot};
 use crate::telemetry::stage;
 
 /// Load-generation options.
 #[derive(Debug, Clone)]
 pub struct LoadgenOptions {
-    /// Server address, e.g. `127.0.0.1:7433`.
-    pub addr: String,
+    /// Server addresses, e.g. `127.0.0.1:7433`.  One entry is classic
+    /// single-server load; several entries are treated as replicas of
+    /// one fleet — each client spreads requests round-robin across them
+    /// through a [`RoutedClient`] and fails over to a sibling when the
+    /// replica serving it dies mid-run.
+    pub addrs: Vec<String>,
     /// Concurrent client connections.
     pub clients: usize,
     /// Total requests across all clients.
@@ -85,7 +90,7 @@ pub struct LoadgenOptions {
 impl Default for LoadgenOptions {
     fn default() -> Self {
         Self {
-            addr: "127.0.0.1:7433".to_string(),
+            addrs: vec!["127.0.0.1:7433".to_string()],
             clients: 32,
             requests: 3200,
             rps: 0.0,
@@ -158,6 +163,9 @@ pub struct LoadReport {
     pub overloaded: u64,
     /// Any other error reply or transport failure.
     pub errors: u64,
+    /// Requests resubmitted to a sibling replica after the one serving
+    /// them died mid-exchange (always 0 in single-server runs).
+    pub failovers: u64,
     /// Total result rows across successful replies.
     pub rows: u64,
     /// Wall-clock of the whole run.
@@ -202,6 +210,13 @@ impl std::fmt::Display for LoadReport {
             self.rows
         )?;
         writeln!(f, "throughput: {:.0} req/s", self.throughput)?;
+        if self.failovers > 0 {
+            writeln!(
+                f,
+                "failovers: {} requests resubmitted to a sibling replica",
+                self.failovers
+            )?;
+        }
         writeln!(
             f,
             "latency: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
@@ -288,6 +303,8 @@ struct ClientOutcome {
     errors: u64,
     rows: u64,
     batch_sum: u64,
+    /// Requests this client's router resubmitted to a sibling replica.
+    failovers: u64,
     /// `(send offset since run start, latency)` per successful reply, µs.
     samples: Vec<(u64, u64)>,
     /// The slowest execution profile among this client's traced replies.
@@ -309,41 +326,10 @@ impl ClientOutcome {
     }
 }
 
-/// Connects with retry: the server may still be opening its store.
-fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(err) if Instant::now() < deadline => {
-                let _ = err;
-                std::thread::sleep(Duration::from_millis(100));
-            }
-            Err(err) => return Err(format!("connect to {addr}: {err}")),
-        }
-    }
-}
-
-/// One request/reply round trip on a fresh connection.
-fn round_trip(addr: &str, timeout: Duration, line: &str) -> Result<WireReply, String> {
-    let stream = connect(addr, timeout)?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    writeln!(writer, "{line}")
-        .and_then(|_| writer.flush())
-        .map_err(|e| e.to_string())?;
-    let mut lines = BufReader::new(stream).lines();
-    match lines.next() {
-        Some(Ok(reply)) => WireReply::from_line(&reply),
-        _ => Err(format!("no reply to `{line}`")),
-    }
-}
-
-/// Row count of the layer-grouping probe query.
-fn probe_layer_rows(addr: &str, timeout: Duration) -> Result<usize, String> {
-    let reply = round_trip(addr, timeout, PROBE_QUERY)?;
+/// Row count of the layer-grouping probe query, fetched through the
+/// run's control-plane router (any live replica serves the same union).
+fn probe_layer_rows(control: &RoutedClient) -> Result<usize, String> {
+    let reply = control.round_trip(PROBE_QUERY).map_err(|e| e.to_string())?;
     match reply.result {
         Some(result) if reply.ok => Ok(result.rows.len()),
         _ => Err(format!("probe query failed: {reply:?}")),
@@ -479,12 +465,18 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     } else {
         options.queries.clone()
     };
-    let connect_timeout = Duration::from_secs(options.connect_timeout_secs);
+    let config = ClientConfig {
+        connect_timeout: Duration::from_secs(options.connect_timeout_secs),
+        read_timeout: Some(Duration::from_secs(60)),
+    };
+    // Control-plane router for the probes and post-run scrapes; the data
+    // plane gets one router per client thread.
+    let control = RoutedClient::new(options.addrs.iter().cloned(), config);
     let ingesting = !options.refresh_writers.is_empty();
 
     // Baseline for the visibility probe, before any mid-run commit.
     let rows_before = if ingesting {
-        Some(probe_layer_rows(&options.addr, connect_timeout)?)
+        Some(probe_layer_rows(&control)?)
     } else {
         None
     };
@@ -514,14 +506,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                     let queries = &queries;
                     let options = &options;
                     scope.spawn(move || {
-                        run_client(
-                            options,
-                            client_index,
-                            share,
-                            queries,
-                            connect_timeout,
-                            started,
-                        )
+                        run_client(options, client_index, share, queries, config, started)
                     })
                 })
                 .collect();
@@ -549,6 +534,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                 merged.errors += outcome.errors;
                 merged.rows += outcome.rows;
                 merged.batch_sum += outcome.batch_sum;
+                merged.failovers += outcome.failovers;
                 merged.samples.extend(outcome.samples);
                 merged.keep_slowest(outcome.slowest_trace);
             }
@@ -573,7 +559,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
             };
             let before = rows_before.unwrap_or(0);
             for _ in 0..50 {
-                match probe_layer_rows(&options.addr, connect_timeout) {
+                match probe_layer_rows(&control) {
                     Ok(rows) if rows > before => {
                         report.visible = true;
                         break;
@@ -591,14 +577,14 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     // failed scrape warns but only fails the run under `require_stats` —
     // and the shutdown still goes out first, so a CI server never
     // lingers behind the nonzero exit.
-    let server_stats = match round_trip(&options.addr, connect_timeout, "stats") {
+    let server_stats = match control.round_trip("stats") {
         Ok(reply) => reply.stats,
         Err(err) => {
             eprintln!("warning: server stats fetch failed: {err}");
             None
         }
     };
-    let server_metrics = match round_trip(&options.addr, connect_timeout, "metrics") {
+    let server_metrics = match control.round_trip("metrics") {
         Ok(reply) => reply.metrics,
         Err(err) => {
             eprintln!("warning: server metrics fetch failed: {err}");
@@ -607,7 +593,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     };
 
     if options.shutdown {
-        send_shutdown(&options.addr, connect_timeout)?;
+        send_shutdown(&options.addrs, config)?;
     }
     if options.require_stats && (server_stats.is_none() || server_metrics.is_none()) {
         let missing = match (&server_stats, &server_metrics) {
@@ -627,6 +613,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         ok: merged.ok,
         overloaded: merged.overloaded,
         errors: merged.errors + connect_failures.len() as u64,
+        failovers: merged.failovers,
         rows: merged.rows,
         elapsed,
         throughput: merged.ok as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -651,19 +638,30 @@ fn run_client(
     client_index: usize,
     share: usize,
     queries: &[String],
-    connect_timeout: Duration,
+    config: ClientConfig,
     run_start: Instant,
 ) -> Result<ClientOutcome, String> {
     let mut outcome = ClientOutcome::default();
     if share == 0 {
         return Ok(outcome);
     }
-    let stream = connect(&options.addr, connect_timeout)?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut lines = BufReader::new(stream).lines();
+    // Each client owns a router over the whole fleet, rotated by client
+    // index so the pooled connections spread across replicas from the
+    // first request on.  The probe both preserves the old "total connect
+    // failure is fatal" semantics and seeds the health marks.
+    let mut addrs = options.addrs.clone();
+    if addrs.is_empty() {
+        return Err("no server address configured".to_string());
+    }
+    let offset = client_index % addrs.len();
+    addrs.rotate_left(offset);
+    let routed = RoutedClient::new(addrs, config);
+    if !routed.probe().iter().any(|&alive| alive) {
+        return Err(format!(
+            "connect: no replica of {:?} is reachable",
+            options.addrs
+        ));
+    }
 
     // Open-loop pacing: this client's inter-arrival gap.
     let clients = options.clients.max(1);
@@ -689,17 +687,6 @@ fn run_client(
         let prefix = if traced { "trace " } else { "" };
         outcome.sent += 1;
         let sent_at = Instant::now();
-        if writeln!(writer, "{prefix}{query}")
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
-            outcome.errors += 1;
-            continue;
-        }
-        let Some(Ok(line)) = lines.next() else {
-            outcome.errors += 1;
-            break; // connection gone; stop this client
-        };
         // Open loop measures from the *scheduled* send (so falling behind
         // schedule shows up as latency), closed loop from the actual one.
         let reference = if gap > Duration::ZERO {
@@ -707,9 +694,9 @@ fn run_client(
         } else {
             sent_at
         };
-        let latency = Instant::now().saturating_duration_since(reference);
-        match WireReply::from_line(&line) {
+        match routed.round_trip(&format!("{prefix}{query}")) {
             Ok(reply) if reply.ok => {
+                let latency = Instant::now().saturating_duration_since(reference);
                 outcome.ok += 1;
                 outcome.rows += reply.result.map_or(0, |r| r.rows.len() as u64);
                 outcome.batch_sum += u64::from(reply.timings.batch_size);
@@ -726,20 +713,46 @@ fn run_client(
                     outcome.errors += 1;
                 }
             }
-            Err(_) => outcome.errors += 1,
+            Err(ClientError::Transport(_)) => {
+                outcome.errors += 1;
+                break; // every replica is unreachable; stop this client
+            }
+            Err(ClientError::Protocol(_)) => outcome.errors += 1,
         }
     }
+    outcome.failovers = routed.failover_count();
     Ok(outcome)
 }
 
-/// Sends a `shutdown` line on a fresh connection and waits for the ack.
-fn send_shutdown(addr: &str, timeout: Duration) -> Result<(), String> {
-    let reply = round_trip(addr, timeout, "shutdown")?;
-    if reply.kind == "shutting-down" {
-        Ok(())
-    } else {
-        Err(format!("unexpected shutdown ack: {reply:?}"))
+/// Sends a `shutdown` line to every replica and waits for the acks.
+/// Replicas that already died (e.g. were killed mid-run in a failover
+/// exercise) are warned about, not fatal; only a fleet where *no*
+/// replica acknowledges fails.  Connect retries are capped so a dead
+/// replica cannot stall the teardown for the full connect timeout.
+fn send_shutdown(addrs: &[String], config: ClientConfig) -> Result<(), String> {
+    let config = ClientConfig {
+        connect_timeout: config.connect_timeout.min(Duration::from_secs(1)),
+        ..config
+    };
+    let mut acked = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for addr in addrs {
+        match round_trip(addr, config, "shutdown") {
+            Ok(reply) if reply.kind == "shutting-down" => acked += 1,
+            Ok(reply) => failures.push(format!("unexpected shutdown ack from {addr}: {reply:?}")),
+            Err(err) => failures.push(format!("shutdown of {addr}: {err}")),
+        }
     }
+    if acked == 0 {
+        return Err(failures
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "no replica to shut down".to_string()));
+    }
+    for failure in &failures {
+        eprintln!("warning: {failure}");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -766,7 +779,7 @@ mod tests {
         )
         .expect("bind");
         let options = LoadgenOptions {
-            addr: front.local_addr().to_string(),
+            addrs: vec![front.local_addr().to_string()],
             clients: 8,
             requests: 64,
             shutdown: true,
@@ -832,7 +845,7 @@ mod tests {
         let front = TcpFrontEnd::bind(Server::new(catalog, ServerConfig::default()), "127.0.0.1:0")
             .expect("bind");
         let options = LoadgenOptions {
-            addr: front.local_addr().to_string(),
+            addrs: vec![front.local_addr().to_string()],
             clients: 4,
             requests: 48,
             refresh_writers: vec![path.to_string_lossy().into_owned()],
@@ -901,7 +914,7 @@ mod tests {
         // (populating per-shard partials) and between the two shards'
         // commits (where the untouched shard's partials must hit).
         let options = LoadgenOptions {
-            addr: front.local_addr().to_string(),
+            addrs: vec![front.local_addr().to_string()],
             clients: 4,
             requests: 120,
             rps: 300.0,
@@ -941,7 +954,7 @@ mod tests {
         let store = Arc::new(random_store(64, 4, 5));
         let front = TcpFrontEnd::bind(Server::with_defaults(store), "127.0.0.1:0").expect("bind");
         let options = LoadgenOptions {
-            addr: front.local_addr().to_string(),
+            addrs: vec![front.local_addr().to_string()],
             clients: 2,
             requests: 10,
             rps: 200.0,
@@ -960,13 +973,40 @@ mod tests {
     #[test]
     fn connect_failure_is_a_typed_error() {
         let options = LoadgenOptions {
-            addr: "127.0.0.1:1".to_string(),
+            addrs: vec!["127.0.0.1:1".to_string()],
             clients: 2,
             requests: 4,
             connect_timeout_secs: 0,
             ..LoadgenOptions::default()
         };
         assert!(run(&options).is_err());
+    }
+
+    #[test]
+    fn loadgen_routes_around_a_dead_replica() {
+        let store = Arc::new(random_store(64, 4, 11));
+        let live = TcpFrontEnd::bind(Server::with_defaults(Arc::clone(&store)), "127.0.0.1:0")
+            .expect("bind");
+        let dead = TcpFrontEnd::bind(Server::with_defaults(Arc::clone(&store)), "127.0.0.1:0")
+            .expect("bind");
+        let dead_addr = dead.local_addr().to_string();
+        dead.stop();
+        dead.wait().expect("clean stop");
+        // The dead replica is listed *first*, so round-robin routing must
+        // skip it for every request; all load lands on the live one.
+        let options = LoadgenOptions {
+            addrs: vec![dead_addr, live.local_addr().to_string()],
+            clients: 4,
+            requests: 32,
+            connect_timeout_secs: 1,
+            shutdown: false,
+            ..LoadgenOptions::default()
+        };
+        let report = run(&options).expect("load run");
+        assert_eq!(report.ok, 32, "{report}");
+        assert_eq!(report.errors, 0, "{report}");
+        live.stop();
+        live.wait().expect("clean stop");
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //! * `stats` — a snapshot of the server counters;
 //! * `metrics` — a snapshot of every metric (counters, gauges and the
 //!   per-stage latency histograms); render it as Prometheus text with
-//!   [`MetricsSnapshot::to_prometheus`];
+//!   [`MetricsSnapshot::to_prometheus`](catrisk_telemetry::MetricsSnapshot::to_prometheus);
 //! * `recorder` — the flight recorder's recent structured events;
 //! * `recorder since <seq>` — only events with `seq >= <seq>`
 //!   (incremental scrape);
@@ -71,13 +71,16 @@
 //! well-formed reply, not a dropped connection, so clients can implement
 //! typed backoff.
 
-use catrisk_telemetry::{EventRecord, MetricsSnapshot, TraceLookup, TraceRecord};
-use serde::{Deserialize, Serialize};
-
 use catrisk_riskquery::{parse_group_by, parse_select, parse_where, Query, QueryBuilder};
 
 use crate::server::{Reply, ServeError};
-use crate::stats::{RequestTimings, StatsSnapshot};
+
+// The reply types live in `catrisk-riskclient` (clients parse them
+// without linking the serving stack); re-exported here at their
+// long-standing paths.  This crate supplies the server-side
+// constructors as `From` conversions below — `Reply` and `ServeError`
+// are this crate's types, so the impls cannot live client-side.
+pub use catrisk_riskclient::{WireError, WireReply};
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -284,71 +287,11 @@ fn parse_query_line(line: &str) -> Result<Query, String> {
     builder.build().map_err(|e| e.to_string())
 }
 
-/// A wire-level error payload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct WireError {
-    /// Machine-readable kind: `parse`, `invalid`, `evicted`,
-    /// `overloaded` or `shutting-down`.
-    pub kind: String,
-    /// Human-readable message.
-    pub message: String,
-}
-
-/// One reply line, serialised as a single JSON object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct WireReply {
-    /// False exactly when `error` is set.
-    pub ok: bool,
-    /// `result`, `pong`, `stats`, `metrics`, `recorder`, `trace`,
-    /// `traces`, `bye`, `shutting-down` or `error`.
-    pub kind: String,
-    /// The query result, for `kind == "result"`.
-    pub result: Option<catrisk_riskquery::QueryResult>,
-    /// The error payload, for `kind == "error"`.
-    pub error: Option<WireError>,
-    /// The counters snapshot, for `kind == "stats"`.
-    pub stats: Option<StatsSnapshot>,
-    /// The metric snapshot, for `kind == "metrics"`.  Post-v1 field: a
-    /// v1 server never sends it, so it defaults to `None` on parse.
-    #[serde(default)]
-    pub metrics: Option<MetricsSnapshot>,
-    /// The flight-recorder dump, for `kind == "recorder"`.  Post-v1
-    /// field, defaults to `None`.
-    #[serde(default)]
-    pub recorder: Option<Vec<EventRecord>>,
-    /// The execution profile of a traced query (`kind == "result"` with
-    /// the `trace` request prefix) or of a `trace <id>` lookup
-    /// (`kind == "trace"`).  Post-v1 field, defaults to `None`.
-    #[serde(default)]
-    pub trace: Option<TraceRecord>,
-    /// The slowest retained traces, for `kind == "traces"`.  Post-v1
-    /// field, defaults to `None`.
-    #[serde(default)]
-    pub traces: Option<Vec<TraceRecord>>,
-    /// Latency attribution of a `result` reply.
-    pub timings: RequestTimings,
-}
-
-impl WireReply {
-    fn base(kind: &str) -> Self {
-        Self {
-            ok: true,
-            kind: kind.to_string(),
-            result: None,
-            error: None,
-            stats: None,
-            metrics: None,
-            recorder: None,
-            trace: None,
-            traces: None,
-            timings: RequestTimings::default(),
-        }
-    }
-
+impl From<Reply> for WireReply {
     /// A successful query reply.  The trace rides along exactly when the
     /// server sampled the request *and* the caller asked for it (the
     /// connection handler clears it otherwise).
-    pub fn result(reply: Reply) -> Self {
+    fn from(reply: Reply) -> Self {
         Self {
             result: Some(reply.result),
             trace: reply.trace,
@@ -356,99 +299,12 @@ impl WireReply {
             ..Self::base("result")
         }
     }
+}
 
-    /// A `pong` reply.
-    pub fn pong() -> Self {
-        Self::base("pong")
-    }
-
-    /// A counters-snapshot reply.
-    pub fn stats(snapshot: StatsSnapshot) -> Self {
-        Self {
-            stats: Some(snapshot),
-            ..Self::base("stats")
-        }
-    }
-
-    /// A metric-snapshot reply.
-    pub fn metrics(snapshot: MetricsSnapshot) -> Self {
-        Self {
-            metrics: Some(snapshot),
-            ..Self::base("metrics")
-        }
-    }
-
-    /// A flight-recorder dump reply.
-    pub fn recorder(events: Vec<EventRecord>) -> Self {
-        Self {
-            recorder: Some(events),
-            ..Self::base("recorder")
-        }
-    }
-
-    /// The reply to a `trace <id>` lookup: the retained record, or a
-    /// typed error distinguishing "was sampled but evicted" from "never
-    /// issued".
-    pub fn trace_lookup(id: u64, lookup: TraceLookup) -> Self {
-        match lookup {
-            TraceLookup::Retained(record) => Self {
-                trace: Some(record),
-                ..Self::base("trace")
-            },
-            TraceLookup::Evicted => Self::error(
-                "evicted",
-                format!("trace {id} was recorded but has been evicted from the trace store"),
-            ),
-            TraceLookup::Unknown => {
-                Self::error("invalid", format!("trace id {id} was never issued"))
-            }
-        }
-    }
-
-    /// The reply to `trace slowest [n]`.
-    pub fn traces(records: Vec<TraceRecord>) -> Self {
-        Self {
-            traces: Some(records),
-            ..Self::base("traces")
-        }
-    }
-
-    /// The goodbye reply to `quit`.
-    pub fn bye() -> Self {
-        Self::base("bye")
-    }
-
-    /// The acknowledgement of a `shutdown` request.
-    pub fn shutting_down() -> Self {
-        Self::base("shutting-down")
-    }
-
-    /// An error reply with an explicit kind.
-    pub fn error(kind: &str, message: impl Into<String>) -> Self {
-        Self {
-            ok: false,
-            error: Some(WireError {
-                kind: kind.to_string(),
-                message: message.into(),
-            }),
-            ..Self::base("error")
-        }
-    }
-
+impl From<&ServeError> for WireReply {
     /// The error reply for a typed serving error.
-    pub fn serve_error(err: &ServeError) -> Self {
+    fn from(err: &ServeError) -> Self {
         Self::error(err.kind(), err.to_string())
-    }
-
-    /// Serialises the reply as one line of JSON (no interior newlines —
-    /// JSON strings escape them).
-    pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("wire replies always serialise")
-    }
-
-    /// Parses one reply line.
-    pub fn from_line(line: &str) -> Result<Self, String> {
-        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
     }
 }
 
@@ -561,21 +417,10 @@ mod tests {
     }
 
     #[test]
-    fn wire_replies_round_trip() {
-        let reply = WireReply::error("overloaded", "server overloaded: 64 requests queued");
-        let line = reply.to_line();
-        assert!(!line.contains('\n'));
-        assert_eq!(WireReply::from_line(&line).unwrap(), reply);
-
-        let pong = WireReply::pong().to_line();
-        let parsed = WireReply::from_line(&pong).unwrap();
-        assert!(parsed.ok);
-        assert_eq!(parsed.kind, "pong");
-
-        let stats = WireReply::stats(StatsSnapshot::default());
-        let parsed = WireReply::from_line(&stats.to_line()).unwrap();
-        assert_eq!(parsed.stats, Some(StatsSnapshot::default()));
-
+    fn wire_replies_round_trip_with_live_telemetry_payloads() {
+        // The pure wire-schema round trips live in `catrisk-riskclient`;
+        // this pins the server-built payloads (metrics registry, flight
+        // recorder) through the same serialisation.
         let registry = catrisk_telemetry::Registry::new();
         registry.counter("completed").add(3);
         registry.histogram("stage_scan_micros").record(120);
@@ -591,13 +436,11 @@ mod tests {
         let parsed = WireReply::from_line(&WireReply::recorder(recorder.dump()).to_line()).unwrap();
         assert_eq!(parsed.kind, "recorder");
         assert_eq!(parsed.recorder.unwrap().len(), 1);
-
-        assert!(WireReply::from_line("not json").is_err());
     }
 
     #[test]
     fn trace_replies_round_trip_and_map_lookup_outcomes() {
-        use catrisk_telemetry::TraceSpan;
+        use catrisk_telemetry::{TraceLookup, TraceRecord, TraceSpan};
         let record = TraceRecord {
             id: 9,
             total_micros: 120,
@@ -624,27 +467,11 @@ mod tests {
     }
 
     #[test]
-    fn v1_replies_without_metrics_fields_still_parse() {
-        // A protocol-v1 server's reply has no `metrics` / `recorder`
-        // fields; a newer client must parse it with both defaulting to
-        // null rather than failing.
-        let v1 = r#"{"ok":true,"kind":"pong","result":null,"error":null,
-                     "stats":null,
-                     "timings":{"queue_micros":0,"exec_micros":0,"batch_size":0}}"#;
-        let parsed = WireReply::from_line(v1).expect("v1 reply must parse");
-        assert_eq!(parsed.kind, "pong");
-        assert_eq!(parsed.metrics, None);
-        assert_eq!(parsed.recorder, None);
-        assert_eq!(parsed.trace, None);
-        assert_eq!(parsed.traces, None);
-    }
-
-    #[test]
     fn serve_errors_map_to_wire_kinds() {
-        let reply = WireReply::serve_error(&ServeError::Overloaded { depth: 9 });
+        let reply = WireReply::from(&ServeError::Overloaded { depth: 9 });
         assert!(!reply.ok);
         assert_eq!(reply.error.as_ref().unwrap().kind, "overloaded");
-        let reply = WireReply::serve_error(&ServeError::InvalidQuery("x".to_string()));
+        let reply = WireReply::from(&ServeError::InvalidQuery("x".to_string()));
         assert_eq!(reply.error.as_ref().unwrap().kind, "invalid");
     }
 }

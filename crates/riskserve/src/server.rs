@@ -544,6 +544,22 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
             ],
         );
     }
+    // Stores a watching catalog adopted during that refresh surface as
+    // one counter bump and one recorder event per store, so the fleet
+    // smoke can cross-check `discovered_stores` against the event log.
+    let discovered = shared.provider.drain_discovered();
+    if !discovered.is_empty() {
+        shared
+            .counters
+            .discovered_stores
+            .add(discovered.len() as u64);
+        for path in &discovered {
+            shared.telemetry.recorder.record(
+                "store-discovered",
+                [("path", EventValue::from(path.display().to_string()))],
+            );
+        }
+    }
 
     let mut unique: Vec<Query> = Vec::with_capacity(batch.len());
     let mut index_of: HashMap<&Query, usize> = HashMap::with_capacity(batch.len());
@@ -1002,6 +1018,70 @@ mod tests {
         assert_eq!(stats.rejected, 0);
         assert!(stats.batches >= 1);
         assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn discovered_stores_surface_in_stats_and_recorder() {
+        use crate::catalog::StoreCatalog;
+        use catrisk_eventgen::peril::{Peril, Region};
+        use catrisk_finterms::layer::LayerId;
+        use catrisk_riskstore::StoreWriter;
+
+        let dir = {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("catrisk-server-discover-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            dir
+        };
+        let write = |name: &str, layers: std::ops::Range<u32>| {
+            let mut writer = StoreWriter::create(dir.join(name), 8).unwrap();
+            for layer in layers {
+                let losses: Vec<f64> = (0..8).map(|t| (layer as usize + t) as f64).collect();
+                let meta = SegmentMeta::new(
+                    LayerId(layer),
+                    Peril::ALL[layer as usize % Peril::ALL.len()],
+                    Region::Europe,
+                    LineOfBusiness::Property,
+                );
+                writer.append_segment(meta, &losses, &losses).unwrap();
+            }
+            writer.finish().unwrap();
+        };
+        write("a.clm", 0..2);
+        let catalog = StoreCatalog::open_dir(&dir).unwrap();
+        catalog.set_refresh_interval(Duration::ZERO);
+        let server = Server::with_defaults(catalog);
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        let rows_before = server.query(query.clone()).unwrap().result.rows.len();
+        assert_eq!(server.stats().discovered_stores, 0);
+
+        // The ingest writer drops a sibling shard; the next batch's
+        // refresh adopts it and announces it through both channels.
+        write("b.clm", 2..4);
+        let rows_after = server.query(query).unwrap().result.rows.len();
+        assert_eq!(rows_after, rows_before + 2);
+        let stats = server.stats();
+        assert_eq!(stats.discovered_stores, 1);
+        let events: Vec<_> = server
+            .recorder_dump()
+            .into_iter()
+            .filter(|e| e.kind == "store-discovered")
+            .collect();
+        assert_eq!(
+            events.len() as u64,
+            stats.discovered_stores,
+            "counter and recorder events must agree"
+        );
+        assert!(
+            matches!(&events[0].fields[0].1, EventValue::Str(path) if path.contains("b.clm")),
+            "the event names the adopted file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

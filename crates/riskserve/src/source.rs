@@ -44,10 +44,13 @@ pub struct SourceSnapshot<'a> {
 /// Storage behind a [`Server`](crate::server::Server): snapshots,
 /// generations, refresh.
 pub trait SourceProvider: Send + Sync + 'static {
-    /// Trials every scan sees — fixed for the provider's lifetime
-    /// (refreshes add segments, never trials), so the admission path can
-    /// validate queries without taking any snapshot lock.  For a
-    /// trial-sharded catalog this is the *total* over the shard windows.
+    /// Trials every scan sees.  This may *grow* over the provider's
+    /// lifetime — a directory-watching catalog that adopts the next
+    /// trial window appends trials — but never shrinks or reorders, so
+    /// any query that was admitted stays valid and the admission path
+    /// can read the current value without holding it across the batch.
+    /// For a trial-sharded catalog this is the *total* over the shard
+    /// windows.
     fn num_trials(&self) -> usize;
 
     /// Total committed segments currently visible (diagnostics).
@@ -57,6 +60,15 @@ pub trait SourceProvider: Send + Sync + 'static {
     /// it.  Returns the indices of the shards whose visible state
     /// advanced.  The default is the immutable no-op.
     fn refresh(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Store files a watching provider adopted since the last drain (see
+    /// [`StoreCatalog::open_dir`](crate::catalog::StoreCatalog::open_dir));
+    /// the server turns the drained paths into the `discovered_stores`
+    /// counter and `store-discovered` recorder events.  The default (for
+    /// providers that never discover anything) is always empty.
+    fn drain_discovered(&self) -> Vec<std::path::PathBuf> {
         Vec::new()
     }
 

@@ -1,25 +1,16 @@
 //! Latency accounting and server counters.
+//!
+//! The snapshot types clients parse ([`StatsSnapshot`],
+//! [`RequestTimings`], the [`percentile`] helper) live in
+//! `catrisk-riskclient` and are re-exported here at their long-standing
+//! paths; this module keeps the server-side half — the lock-free
+//! `Counters` the registry resolves them from.
 
 use std::sync::Arc;
 
 use catrisk_telemetry::{Counter, Gauge, Registry};
-use serde::{Deserialize, Serialize};
 
-/// Per-request timing attribution, attached to every successful reply.
-///
-/// `queue_micros` covers admission to batch-execution start — it includes
-/// the batch window the scheduler deliberately held the request for.
-/// `exec_micros` is the wall-clock of the fused batch scan the request rode
-/// in (shared by every request of the batch, not divided among them).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RequestTimings {
-    /// Microseconds between `submit` and the start of the batch execution.
-    pub queue_micros: u64,
-    /// Microseconds the batch execution took.
-    pub exec_micros: u64,
-    /// Number of requests coalesced into the batch this request rode in.
-    pub batch_size: u32,
-}
+pub use catrisk_riskclient::{percentile, RequestTimings, StatsSnapshot};
 
 /// The server counters, as lock-free handles registered in the server's
 /// metric [`Registry`] — the same values surface both as the legacy
@@ -43,6 +34,7 @@ pub(crate) struct Counters {
     pub refreshes: Arc<Counter>,
     pub traces_started: Arc<Counter>,
     pub traces_retained: Arc<Counter>,
+    pub discovered_stores: Arc<Counter>,
 }
 
 impl Counters {
@@ -64,6 +56,7 @@ impl Counters {
             refreshes: registry.counter("refreshes"),
             traces_started: registry.counter("traces_started"),
             traces_retained: registry.counter("traces_retained"),
+            discovered_stores: registry.counter("discovered_stores"),
         }
     }
 
@@ -83,138 +76,14 @@ impl Counters {
             refreshes: self.refreshes.get(),
             traces_started: self.traces_started.get(),
             traces_retained: self.traces_retained.get(),
+            discovered_stores: self.discovered_stores.get(),
         }
     }
-}
-
-/// A point-in-time copy of the server counters (the `stats` protocol
-/// command returns this as JSON).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StatsSnapshot {
-    /// Requests accepted into the queue.
-    pub submitted: u64,
-    /// Requests rejected by admission control (`Overloaded`).
-    pub rejected: u64,
-    /// Requests answered successfully.
-    pub completed: u64,
-    /// Requests answered with an error after admission.
-    pub failed: u64,
-    /// Batches executed.
-    pub batches: u64,
-    /// Largest batch executed.
-    pub largest_batch: u64,
-    /// Deepest queue observed at submit time.
-    pub max_queue_depth: u64,
-    /// Unique batch queries answered from the generation-keyed result
-    /// cache without scanning.  Post-v1 field: defaults to 0 when absent,
-    /// so a newer client can parse an older server's snapshot.
-    #[serde(default)]
-    pub cache_hits: u64,
-    /// Unique batch queries that had to scan (then populated the cache).
-    /// Post-v1 field, defaults to 0.
-    #[serde(default)]
-    pub cache_misses: u64,
-    /// Per-shard partial aggregates reused from the partial cache on a
-    /// trial-sharded catalog: each hit is one shard's trial window that
-    /// did **not** need rescanning for a query that missed the result
-    /// cache.  Post-v1 field, defaults to 0.
-    #[serde(default)]
-    pub partial_hits: u64,
-    /// Per-shard trial windows that had to be rescanned (then populated
-    /// the partial cache).  Post-v1 field, defaults to 0.
-    #[serde(default)]
-    pub partial_misses: u64,
-    /// Store refreshes that made newly committed segments visible.
-    /// Post-v1 field, defaults to 0.
-    #[serde(default)]
-    pub refreshes: u64,
-    /// Requests admitted with a trace id assigned.  With sampling set to
-    /// "always" (`trace_sample_every = 1`) this equals `submitted`
-    /// exactly — the id is allocated inside the admission critical
-    /// section, next to the `submitted` bump.  Post-v1 field, defaults
-    /// to 0.
-    #[serde(default)]
-    pub traces_started: u64,
-    /// Completed traces retained by the trace store (recency ring or
-    /// slowest pool).  Post-v1 field, defaults to 0.
-    #[serde(default)]
-    pub traces_retained: u64,
-}
-
-impl StatsSnapshot {
-    /// Mean requests per executed batch.
-    pub fn mean_batch(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            (self.completed + self.failed) as f64 / self.batches as f64
-        }
-    }
-
-    /// Fraction of unique batch queries answered from the result cache.
-    pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
-    }
-
-    /// Fraction of per-shard trial windows served from cached partials
-    /// (trial-sharded catalogs only; 0 when the partial path never ran).
-    pub fn partial_hit_rate(&self) -> f64 {
-        let total = self.partial_hits + self.partial_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.partial_hits as f64 / total as f64
-        }
-    }
-}
-
-/// The `p`-th percentile (0–100) of an **ascending-sorted** sample set,
-/// by the nearest-rank method.  Returns 0 for an empty set.
-pub fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        assert_eq!(percentile(&[], 99.0), 0);
-        let samples: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&samples, 50.0), 50);
-        assert_eq!(percentile(&samples, 99.0), 99);
-        assert_eq!(percentile(&samples, 100.0), 100);
-        assert_eq!(percentile(&samples, 0.0), 1);
-        assert_eq!(percentile(&[7], 50.0), 7);
-    }
-
-    #[test]
-    fn stats_snapshot_parses_v1_wire_shape() {
-        // A protocol-v1 server sends only the seven original counters; every
-        // later field must default to 0 instead of failing the parse.
-        let v1 = r#"{"submitted":5,"rejected":1,"completed":4,"failed":0,
-                     "batches":2,"largest_batch":3,"max_queue_depth":2}"#;
-        let snap: StatsSnapshot = serde_json::from_str(v1).expect("v1 stats must parse");
-        assert_eq!(snap.submitted, 5);
-        assert_eq!(snap.largest_batch, 3);
-        assert_eq!(snap.cache_hits, 0);
-        assert_eq!(snap.cache_misses, 0);
-        assert_eq!(snap.partial_hits, 0);
-        assert_eq!(snap.partial_misses, 0);
-        assert_eq!(snap.refreshes, 0);
-        assert_eq!(snap.traces_started, 0);
-        assert_eq!(snap.traces_retained, 0);
-    }
 
     #[test]
     fn snapshot_mean_batch() {
@@ -232,5 +101,14 @@ mod tests {
         let metrics = registry.snapshot();
         assert_eq!(metrics.counter("completed"), Some(30));
         assert_eq!(metrics.gauge("largest_batch"), Some(5));
+    }
+
+    #[test]
+    fn discovery_counter_surfaces_in_both_expositions() {
+        let registry = Registry::new();
+        let counters = Counters::register(&registry);
+        counters.discovered_stores.add(2);
+        assert_eq!(counters.snapshot().discovered_stores, 2);
+        assert_eq!(registry.snapshot().counter("discovered_stores"), Some(2));
     }
 }

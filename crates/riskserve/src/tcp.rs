@@ -219,11 +219,11 @@ fn handle_connection<P: SourceProvider>(connection: TcpStream, shared: &TcpShare
                         if !trace {
                             reply.trace = None;
                         }
-                        WireReply::result(reply)
+                        WireReply::from(reply)
                     }
-                    Err(err) => WireReply::serve_error(&err),
+                    Err(err) => WireReply::from(&err),
                 },
-                Err(err) => WireReply::serve_error(&err),
+                Err(err) => WireReply::from(&err),
             },
             Err(message) => WireReply::error("parse", message),
         };
@@ -243,27 +243,16 @@ mod tests {
     use super::*;
     use crate::server::ServerConfig;
     use crate::test_store::{random_store, sample_queries};
+    use catrisk_riskclient::{Client, ClientConfig};
     use catrisk_riskquery::QuerySession;
     use std::time::Duration;
 
-    fn client(addr: SocketAddr) -> (std::io::Lines<BufReader<TcpStream>>, TcpStream) {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .unwrap();
-        let reader = BufReader::new(stream.try_clone().unwrap()).lines();
-        (reader, stream)
+    fn client(addr: SocketAddr) -> Client {
+        Client::connect(&addr.to_string(), ClientConfig::default()).expect("connect")
     }
 
-    fn roundtrip(
-        lines: &mut std::io::Lines<BufReader<TcpStream>>,
-        stream: &mut TcpStream,
-        request: &str,
-    ) -> WireReply {
-        writeln!(stream, "{request}").unwrap();
-        stream.flush().unwrap();
-        let line = lines.next().expect("a reply line").expect("readable");
-        WireReply::from_line(&line).expect("valid reply JSON")
+    fn roundtrip(client: &mut Client, request: &str) -> WireReply {
+        client.round_trip(request).expect("a reply line")
     }
 
     #[test]
@@ -281,13 +270,12 @@ mod tests {
         let front = TcpFrontEnd::bind(server, "127.0.0.1:0").expect("bind");
         let addr = front.local_addr();
 
-        let (mut lines, mut stream) = client(addr);
-        let pong = roundtrip(&mut lines, &mut stream, "ping");
+        let mut conn = client(addr);
+        let pong = roundtrip(&mut conn, "ping");
         assert_eq!(pong.kind, "pong");
 
         let reply = roundtrip(
-            &mut lines,
-            &mut stream,
+            &mut conn,
             "select mean, tvar(0.99) where peril=HU|FL group by region",
         );
         assert!(reply.ok, "{reply:?}");
@@ -300,8 +288,7 @@ mod tests {
         // A traced query gets its profile inline, timed from the same
         // clock reads as the timings it rides with.
         let traced = roundtrip(
-            &mut lines,
-            &mut stream,
+            &mut conn,
             "trace select mean, tvar(0.99) where peril=HU|FL group by region",
         );
         assert!(traced.ok, "{traced:?}");
@@ -313,37 +300,33 @@ mod tests {
         );
         assert_eq!(profile.root.name, "request");
         // ... and is retained server-side, resolvable by id.
-        let lookup = roundtrip(&mut lines, &mut stream, &format!("trace {}", profile.id));
+        let lookup = roundtrip(&mut conn, &format!("trace {}", profile.id));
         assert_eq!(lookup.kind, "trace");
         assert_eq!(lookup.trace.as_ref().unwrap().id, profile.id);
-        let unknown = roundtrip(&mut lines, &mut stream, "trace 999999");
+        let unknown = roundtrip(&mut conn, "trace 999999");
         assert_eq!(unknown.error.as_ref().unwrap().kind, "invalid");
-        let slowest = roundtrip(&mut lines, &mut stream, "trace slowest 3");
+        let slowest = roundtrip(&mut conn, "trace slowest 3");
         assert_eq!(slowest.kind, "traces");
         assert!(!slowest.traces.as_ref().unwrap().is_empty());
 
         // `recorder since` scrapes incrementally: a later `since` returns
         // a strict suffix of the full dump.
-        let full = roundtrip(&mut lines, &mut stream, "recorder");
+        let full = roundtrip(&mut conn, "recorder");
         let events = full.recorder.expect("recorder payload");
         let last_seq = events.last().expect("at least one event").seq;
-        let since = roundtrip(
-            &mut lines,
-            &mut stream,
-            &format!("recorder since {last_seq}"),
-        );
+        let since = roundtrip(&mut conn, &format!("recorder since {last_seq}"));
         let tail = since.recorder.expect("recorder payload");
         assert!(tail.iter().all(|e| e.seq >= last_seq));
         assert!(tail.iter().any(|e| e.seq == last_seq));
 
-        let bad = roundtrip(&mut lines, &mut stream, "select nonsense");
+        let bad = roundtrip(&mut conn, "select nonsense");
         assert!(!bad.ok);
         assert_eq!(bad.error.as_ref().unwrap().kind, "parse");
 
-        let stats = roundtrip(&mut lines, &mut stream, "stats");
+        let stats = roundtrip(&mut conn, "stats");
         assert!(stats.stats.unwrap().completed >= 1);
 
-        let metrics = roundtrip(&mut lines, &mut stream, "metrics");
+        let metrics = roundtrip(&mut conn, "metrics");
         let snapshot = metrics.metrics.expect("metrics payload");
         assert!(snapshot.counter("completed").unwrap() >= 1);
         // The count-consistency contract, over the wire: every
@@ -353,7 +336,7 @@ mod tests {
             snapshot.counter("cache_misses").unwrap(),
         );
 
-        let recorder = roundtrip(&mut lines, &mut stream, "recorder");
+        let recorder = roundtrip(&mut conn, "recorder");
         let events = recorder.recorder.expect("recorder payload");
         assert!(
             events.iter().any(|event| event.kind == "batch"),
@@ -373,14 +356,14 @@ mod tests {
                 }
             })
         };
-        let (mut lines2, mut stream2) = client(addr);
+        let mut conn2 = client(addr);
         assert!(registered_count(2), "second connection never registered");
-        let bye = roundtrip(&mut lines2, &mut stream2, "quit");
+        let bye = roundtrip(&mut conn2, "quit");
         assert_eq!(bye.kind, "bye");
-        drop((lines2, stream2));
+        drop(conn2);
         assert!(registered_count(1), "closed connection stayed registered");
 
-        let ack = roundtrip(&mut lines, &mut stream, "shutdown");
+        let ack = roundtrip(&mut conn, "shutdown");
         assert_eq!(ack.kind, "shutting-down");
         front.wait().expect("clean shutdown");
     }
@@ -389,11 +372,12 @@ mod tests {
     fn stop_unblocks_idle_connections() {
         let store = Arc::new(random_store(32, 4, 3));
         let front = TcpFrontEnd::bind(Server::with_defaults(store), "127.0.0.1:0").expect("bind");
-        // An idle connection sitting in a blocked read ...
-        let (mut lines, _stream) = client(front.local_addr());
+        // An idle connection's handler sits in a blocked read ...
+        let mut conn = client(front.local_addr());
         front.stop();
         front.wait().expect("clean shutdown");
-        // ... was shut down server-side: EOF, not a hang.
-        assert!(lines.next().is_none());
+        // ... and was shut down server-side: the next exchange surfaces
+        // EOF as a transport error instead of hanging.
+        assert!(conn.round_trip("ping").is_err());
     }
 }

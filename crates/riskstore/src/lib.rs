@@ -7,11 +7,14 @@
 //!
 //! [`StoreWriter`] spills segments — one YLT tagged with its dimensions —
 //! into an append-only file; [`StoreReader`] reopens it, verifies every
-//! checksum, loads the loss columns into one 8-aligned region, and
-//! implements `catrisk-riskquery`'s
+//! checksum, `mmap(2)`s the committed loss columns shared and read-only
+//! (falling back to one loaded 8-aligned heap region where maps are
+//! unavailable — see [`RegionBacking`]), and implements
+//! `catrisk-riskquery`'s
 //! [`SegmentSource`](catrisk_riskquery::SegmentSource), so the parallel
-//! query scan reads column slices borrowed straight from that region —
-//! no per-query deserialisation of loss pages into fresh `Vec`s.
+//! query scan reads column slices borrowed straight from the page cache —
+//! no per-query deserialisation of loss pages into fresh `Vec`s, and N
+//! serving processes over the same shard files share one set of pages.
 //! Incremental ingest is first-class: [`StoreWriter::append_segment`] adds
 //! segments to an existing store and [`StoreWriter::commit`] publishes
 //! them; a reader opening the file mid-write always sees the latest
@@ -153,11 +156,12 @@ mod commit;
 pub mod footer;
 pub mod format;
 pub mod ingest;
+mod mmap;
 pub mod reader;
 pub mod writer;
 
 pub use ingest::StreamIngestor;
-pub use reader::StoreReader;
+pub use reader::{RegionBacking, StoreReader};
 pub use writer::{StoreOptions, StoreWriter};
 
 /// Errors produced while writing, opening or validating store files.

@@ -12,31 +12,91 @@ use catrisk_riskquery::{Dictionary, LineOfBusiness, QuerySession, SegmentMeta, S
 use crate::commit::{read_committed_state, CommittedState};
 use crate::footer::{decode_layer, decode_lob, decode_peril, decode_region, Footer};
 use crate::format::{crc32, read_up_to, Header, HEADER_LEN};
+use crate::mmap::MapExtent;
 use crate::{Result, StoreError};
 
-/// The loss columns of every committed segment, loaded once into a single
-/// 8-aligned region.
+/// How a [`StoreReader`] backs its loss columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegionBacking {
+    /// Columns are `mmap(2)`-mapped shared and read-only straight from
+    /// the store file: no copy at open, and N serving processes over the
+    /// same shard files share one set of page-cache pages.  The default
+    /// on platforms that support it (little-endian Linux/macOS).
+    #[default]
+    Mapped,
+    /// Columns are read into a private heap allocation at open — the
+    /// pre-mmap behaviour, and the fallback on platforms without shared
+    /// maps (or on big-endian hosts, which must byte-swap a copy anyway).
+    Loaded,
+}
+
+impl RegionBacking {
+    /// The backing [`StoreReader::open`] uses on this host: [`Mapped`]
+    /// where the platform supports it, overridable to the heap region
+    /// with `CATRISK_STORE_BACKING=loaded` (used by the cold-open bench
+    /// to compare the two).
+    ///
+    /// [`Mapped`]: RegionBacking::Mapped
+    pub fn default_for_host() -> RegionBacking {
+        static CHOICE: std::sync::OnceLock<RegionBacking> = std::sync::OnceLock::new();
+        *CHOICE.get_or_init(|| {
+            if !crate::mmap::supported() {
+                return RegionBacking::Loaded;
+            }
+            match std::env::var("CATRISK_STORE_BACKING").as_deref() {
+                Ok("loaded") | Ok("heap") => RegionBacking::Loaded,
+                _ => RegionBacking::Mapped,
+            }
+        })
+    }
+}
+
+/// The loss columns of every committed segment: either `mmap(2)` extents
+/// shared with the file's page cache, or a single 8-aligned heap region
+/// loaded at open.
 ///
-/// The backing allocation is `u64`s, so reinterpreting any sub-range as
-/// `f64`s is free: same size, same alignment, and every bit pattern is a
-/// valid `f64`.  Column slices handed to the query scan borrow straight
-/// from this region — opening the file is the only copy, queries
-/// deserialise nothing.  (A true `mmap(2)` would satisfy the same
-/// interface; the loaded region keeps the crate dependency-free and the
-/// swap is confined to this type.)
+/// Both backings hand the query scan the same thing — a contiguous
+/// `&[f64]` pair (year column then occurrence column) per segment,
+/// borrowed with no copy and no deserialisation:
+///
+/// * **Mapped**: the writer 8-aligns every segment's `data_offset` and
+///   lays the two columns out contiguously, so each segment is one
+///   aligned slice of a shared read-only map.  Opening maps the committed
+///   prefix once; refresh maps *only the newly committed tail* as an
+///   additional extent, leaving existing extents (and any page-cache
+///   pages other serving processes share) untouched.  The safety
+///   contract — why slicing a shared map is sound, and how truncation
+///   underneath it is handled — is documented on
+///   [`MapExtent`](crate::mmap::MapExtent).
+/// * **Loaded**: the heap allocation is `u64`s, so reinterpreting any
+///   sub-range as `f64`s is free: same size, same alignment, and every
+///   bit pattern is a valid `f64`.  Segments are packed segment-major
+///   (`[seg_k year | seg_k occ | ...]`).
+///
+/// A region is exclusively one backing or the other; [`StoreReader`]
+/// fixes the choice at open and stages every refresh with the same kind.
 #[derive(Debug, Default)]
 struct ColumnRegion {
+    /// Heap backing: packed segment-major values.  Empty when mapped.
     bits: Vec<u64>,
+    /// Mapped backing: one extent per open/refresh that absorbed
+    /// segments.  Empty when loaded.
+    extents: Vec<MapExtent>,
+    /// Mapped backing: per segment, the extent holding it and the
+    /// segment's absolute file offset (8-aligned, bounds-checked at map
+    /// time).  Empty when loaded.
+    spans: Vec<(u32, u64)>,
 }
 
 impl ColumnRegion {
-    fn with_len(values: usize) -> Self {
+    fn loaded_with_len(values: usize) -> Self {
         Self {
             bits: vec![0u64; values],
+            ..Self::default()
         }
     }
 
-    /// Mutable byte view for loading from the file.
+    /// Mutable byte view for loading from the file (heap backing only).
     fn bytes_mut(&mut self) -> &mut [u8] {
         // SAFETY: `u64` has no padding or invalid bit patterns, the
         // allocation is valid for `len * 8` bytes, and `u8` has alignment 1.
@@ -45,21 +105,41 @@ impl ColumnRegion {
         }
     }
 
-    /// Shared byte view for checksum verification.
+    /// Shared byte view for checksum verification (heap backing only).
     fn bytes(&self) -> &[u8] {
         // SAFETY: as above, shared.
         unsafe { std::slice::from_raw_parts(self.bits.as_ptr().cast::<u8>(), self.bits.len() * 8) }
     }
 
-    /// The region as losses.
+    /// The heap region as losses.
     fn losses(&self) -> &[f64] {
         // SAFETY: `f64` and `u64` share size and alignment and every `u64`
         // bit pattern is a valid `f64` (the file stores IEEE-754 bits).
         unsafe { std::slice::from_raw_parts(self.bits.as_ptr().cast::<f64>(), self.bits.len()) }
     }
 
+    /// One segment's contiguous column pair: `trials` year losses
+    /// followed by `trials` occurrence losses.
+    fn segment_pair(&self, segment: usize, trials: usize) -> &[f64] {
+        if let Some(&(extent, offset)) = self.spans.get(segment) {
+            let bytes = self.extents[extent as usize]
+                .slice(offset, 2 * trials * 8)
+                .expect("segment spans are bounds-checked at map time");
+            // SAFETY: the span's file offset is 8-aligned (validated at
+            // map time) and the extent base is page-aligned, so the
+            // pointer is 8-aligned; the file stores IEEE-754 little-endian
+            // bits and this branch only exists on little-endian hosts,
+            // where every u64 bit pattern is a valid f64.
+            unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), 2 * trials) }
+        } else {
+            let start = segment * 2 * trials;
+            &self.losses()[start..start + 2 * trials]
+        }
+    }
+
     /// Converts the little-endian file bytes to native byte order in
-    /// place.  A no-op on little-endian targets.
+    /// place.  A no-op on little-endian targets (and never applicable to
+    /// the mapped backing, which only exists on little-endian hosts).
     fn make_native_endian(&mut self) {
         if cfg!(target_endian = "big") {
             for bits in &mut self.bits {
@@ -68,10 +148,25 @@ impl ColumnRegion {
         }
     }
 
-    /// Appends another region's values (used by refresh to map newly
-    /// committed segments behind the already-loaded prefix).
+    /// Bytes this region pins: heap bytes plus mapped address space
+    /// (mapped pages are file-backed and evictable, so the latter is an
+    /// upper bound on residency).
+    fn region_bytes(&self) -> usize {
+        self.bits.len() * 8 + self.extents.iter().map(MapExtent::len).sum::<usize>()
+    }
+
+    /// Appends a staged tail region behind the existing segments (used by
+    /// refresh to absorb newly committed segments).  Both regions must
+    /// share a backing kind.
     fn append(&mut self, mut tail: ColumnRegion) {
+        let base = self.extents.len() as u32;
         self.bits.append(&mut tail.bits);
+        self.extents.append(&mut tail.extents);
+        self.spans.extend(
+            tail.spans
+                .drain(..)
+                .map(|(extent, offset)| (extent + base, offset)),
+        );
     }
 }
 
@@ -150,6 +245,12 @@ pub struct StoreReader {
     region_dict: Dictionary<Region>,
     lob_dict: Dictionary<LineOfBusiness>,
     columns: ColumnRegion,
+    /// Backing fixed at open: every refresh stages with the same kind.
+    backing: RegionBacking,
+    /// One past the highest committed byte this reader has mapped or
+    /// loaded — the watermark refresh probes against the live file length
+    /// to detect truncation underneath a mapping before touching it.
+    committed_end: u64,
     /// Wall-clock microseconds the last full open (or full reload) took.
     open_micros: u64,
     /// Optional latency sink for [`StoreReader::refresh`] calls; attached
@@ -158,8 +259,19 @@ pub struct StoreReader {
 }
 
 impl StoreReader {
-    /// Opens and fully validates the committed prefix of a store file.
+    /// Opens and fully validates the committed prefix of a store file,
+    /// with the host's default [`RegionBacking`] (mmap where supported).
     pub fn open(path: impl AsRef<Path>) -> Result<StoreReader> {
+        Self::open_with_backing(path, RegionBacking::default_for_host())
+    }
+
+    /// Opens a store with an explicit column backing.  `Mapped` fails
+    /// with an I/O error on platforms without shared-map support; use
+    /// [`StoreReader::open`] to take the host default.
+    pub fn open_with_backing(
+        path: impl AsRef<Path>,
+        backing: RegionBacking,
+    ) -> Result<StoreReader> {
         let opened_at = std::time::Instant::now();
         let path = path.as_ref().to_path_buf();
         let mut file = File::open(&path)?;
@@ -170,6 +282,8 @@ impl StoreReader {
             page_trials: state.header.page_trials,
             trial_offset: state.header.trial_offset,
             commit_seq: state.header.commit_seq,
+            backing,
+            committed_end: state.committed_end,
             ..StoreReader::default()
         };
         if let Some(footer) = &state.footer {
@@ -250,13 +364,25 @@ impl StoreReader {
     fn refresh_inner(&mut self) -> Result<bool> {
         let mut file = File::open(&self.path)?;
         let state = read_committed_state(&mut file)?;
-        if state.header.commit_seq == self.commit_seq
+        // Truncation probe: the committed region this reader absorbed must
+        // still be present in full.  A shorter file means the append-only
+        // contract was violated underneath us (for the mapped backing,
+        // faulting the vanished pages in would SIGBUS), so nothing about
+        // the current prefix can be trusted or extended: skip straight to
+        // a full reload, which re-validates — and, when mapped, re-maps —
+        // from scratch.  A shrunk file that no longer decodes surfaces a
+        // typed [`StoreError::Truncated`] from `read_committed_state`
+        // rather than a fault.
+        let shrank = state.file_len < self.committed_end;
+        if !shrank
+            && state.header.commit_seq == self.commit_seq
             && state.num_trials == self.num_trials
             && state.footer.as_ref().map_or(0, |f| f.segments.len()) == self.metas.len()
         {
             return Ok(false);
         }
-        let diverged = state.header.commit_seq < self.commit_seq
+        let diverged = shrank
+            || state.header.commit_seq < self.commit_seq
             || state.num_trials != self.num_trials
             || state.header.page_trials != self.page_trials
             || state.header.trial_offset != self.trial_offset;
@@ -272,7 +398,7 @@ impl StoreReader {
         // scratch and swap in the result only on success.  The telemetry
         // attachment belongs to the serving layer, not the snapshot, so it
         // carries over to the reloaded reader.
-        let mut reloaded = StoreReader::open(&self.path)?;
+        let mut reloaded = StoreReader::open_with_backing(&self.path, self.backing)?;
         reloaded.refresh_histogram = self.refresh_histogram.take();
         *self = reloaded;
         Ok(true)
@@ -345,11 +471,12 @@ impl StoreReader {
             return Ok(Absorb::Diverged);
         }
 
-        // Load and CRC-verify the new segments into a staging region, so
-        // an I/O error mid-load leaves this reader untouched.
-        let tail = load_segment_columns(file, state, footer, known, self.num_trials)?;
+        // Load (or map) and CRC-verify the new segments into a staging
+        // region, so an I/O error mid-load leaves this reader untouched.
+        let tail = load_segment_columns(file, state, footer, known, self.num_trials, self.backing)?;
 
         self.columns.append(tail);
+        self.committed_end = state.committed_end;
         self.layer_dict = layer_dict;
         self.peril_dict = peril_dict;
         self.region_dict = region_dict;
@@ -424,9 +551,18 @@ impl StoreReader {
         &self.metas
     }
 
-    /// Resident bytes of the loaded loss columns.
+    /// Bytes of loss columns this reader pins: heap bytes for the loaded
+    /// backing, mapped address-space bytes for the mmap backing (an upper
+    /// bound on residency — mapped pages are file-backed, shared across
+    /// processes, and evictable).
     pub fn memory_bytes(&self) -> usize {
-        self.columns.bits.len() * 8
+        self.columns.region_bytes()
+    }
+
+    /// How this reader backs its loss columns ([`RegionBacking::Mapped`]
+    /// unless the host forced or defaulted to the heap region).
+    pub fn backing(&self) -> RegionBacking {
+        self.backing
     }
 
     /// A batched query session over this reader — the open-from-file
@@ -436,18 +572,24 @@ impl StoreReader {
     }
 }
 
-/// Loads the loss columns of `footer.segments[from..]` into a fresh
-/// native-endian region (segment-major: `[seg_k year | seg_k occ | ...]`),
-/// verifying every directory entry's bounds and every page checksum
-/// against the footer watermarks.  This is the single checksum
-/// verification path — cold opens and incremental refreshes both go
-/// through it.
+/// Loads (or maps) the loss columns of `footer.segments[from..]` into a
+/// fresh staging region, verifying every directory entry's bounds and
+/// every page checksum against the footer watermarks.  This is the single
+/// checksum verification path — cold opens and incremental refreshes,
+/// mapped and loaded backings, all go through it.
+///
+/// For the mapped backing, verification doubles as the fault-in pass:
+/// every page of the new extent is touched while the bounds just probed
+/// (directory entries against the observed file length) still hold, so a
+/// file honouring the append-only contract can never SIGBUS afterwards —
+/// see [`MapExtent`] for the full safety contract.
 fn load_segment_columns(
     file: &mut File,
     state: &CommittedState,
     footer: &Footer,
     from: usize,
     trials: usize,
+    backing: RegionBacking,
 ) -> Result<ColumnRegion> {
     let file_len = state.file_len;
     // Validate every directory entry against the real file size before
@@ -490,31 +632,89 @@ fn load_segment_columns(
              {file_len} bytes"
         )));
     }
-    let mut columns = ColumnRegion::with_len(new_segments * 2 * trials);
-    for (index, entry) in footer.segments.iter().enumerate().skip(from) {
-        file.seek(SeekFrom::Start(entry.data_offset))?;
-        let start = (index - from) * 2 * trials * 8;
-        let end = start + 2 * trials * 8;
-        file.read_exact(&mut columns.bytes_mut()[start..end])?;
+    // Zero new bytes (or zero-width segments) need no region of either
+    // kind; the empty default serves both backings.
+    if new_segments == 0 || trials == 0 {
+        return Ok(ColumnRegion::default());
+    }
 
-        let page_bytes = state.header.page_trials as usize * 8;
-        let segment_bytes = &columns.bytes()[start..end];
-        let (year_bytes, occ_bytes) = segment_bytes.split_at(trials * 8);
-        for (column, crcs, what) in [
-            (year_bytes, &entry.year_page_crcs, "year-loss"),
-            (occ_bytes, &entry.occ_page_crcs, "occurrence-loss"),
-        ] {
-            for (page_index, page) in column.chunks(page_bytes.max(1)).enumerate() {
-                if crc32(page) != crcs[page_index] {
-                    return Err(StoreError::ChecksumMismatch {
-                        what: format!("segment {index} {what} page {page_index}"),
-                    });
+    let page_bytes = state.header.page_trials as usize * 8;
+    match backing {
+        RegionBacking::Loaded => {
+            let mut columns = ColumnRegion::loaded_with_len(new_segments * 2 * trials);
+            for (index, entry) in footer.segments.iter().enumerate().skip(from) {
+                file.seek(SeekFrom::Start(entry.data_offset))?;
+                let start = (index - from) * 2 * trials * 8;
+                let end = start + 2 * trials * 8;
+                file.read_exact(&mut columns.bytes_mut()[start..end])?;
+                verify_segment_pages(&columns.bytes()[start..end], entry, page_bytes, index)?;
+            }
+            columns.make_native_endian();
+            Ok(columns)
+        }
+        RegionBacking::Mapped => {
+            // Mapping hands the scan aligned `&[f64]` views straight into
+            // the file, so the alignment the writer guarantees becomes a
+            // hard admission requirement here: an unaligned directory
+            // offset (a corrupt or foreign file) must be a typed error,
+            // not undefined behaviour.
+            let mut start = u64::MAX;
+            let mut end = 0u64;
+            for (index, entry) in footer.segments.iter().enumerate().skip(from) {
+                if entry.data_offset % 8 != 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "segment {index} data offset {} is not 8-aligned; cannot map",
+                        entry.data_offset
+                    )));
                 }
+                start = start.min(entry.data_offset);
+                end = end.max(entry.data_offset + segment_bytes);
+            }
+            // One extent covers every new segment (the writer appends, so
+            // the new tail is one contiguous committed range, padding and
+            // interleaved footers included).  Bounds were validated above,
+            // so `end <= file_len`.
+            let extent = MapExtent::map(file, start, end).map_err(StoreError::Io)?;
+            let mut spans = Vec::with_capacity(new_segments);
+            for (index, entry) in footer.segments.iter().enumerate().skip(from) {
+                let bytes = extent
+                    .slice(entry.data_offset, 2 * trials * 8)
+                    .expect("entry bounds validated against file length");
+                verify_segment_pages(bytes, entry, page_bytes, index)?;
+                spans.push((0u32, entry.data_offset));
+            }
+            Ok(ColumnRegion {
+                bits: Vec::new(),
+                extents: vec![extent],
+                spans,
+            })
+        }
+    }
+}
+
+/// CRC-verifies one segment's column pair (`trials` year losses then
+/// `trials` occurrence losses) against its directory entry's per-page
+/// checksums.
+fn verify_segment_pages(
+    segment_bytes: &[u8],
+    entry: &crate::footer::SegmentEntry,
+    page_bytes: usize,
+    index: usize,
+) -> Result<()> {
+    let (year_bytes, occ_bytes) = segment_bytes.split_at(segment_bytes.len() / 2);
+    for (column, crcs, what) in [
+        (year_bytes, &entry.year_page_crcs, "year-loss"),
+        (occ_bytes, &entry.occ_page_crcs, "occurrence-loss"),
+    ] {
+        for (page_index, page) in column.chunks(page_bytes.max(1)).enumerate() {
+            if crc32(page) != crcs[page_index] {
+                return Err(StoreError::ChecksumMismatch {
+                    what: format!("segment {index} {what} page {page_index}"),
+                });
             }
         }
     }
-    columns.make_native_endian();
-    Ok(columns)
+    Ok(())
 }
 
 // The serving front-end shares one reader across worker and connection
@@ -534,13 +734,11 @@ impl SegmentSource for StoreReader {
     }
 
     fn year_losses(&self, segment: usize) -> &[f64] {
-        let start = segment * 2 * self.num_trials;
-        &self.columns.losses()[start..start + self.num_trials]
+        &self.columns.segment_pair(segment, self.num_trials)[..self.num_trials]
     }
 
     fn max_occ_losses(&self, segment: usize) -> &[f64] {
-        let start = segment * 2 * self.num_trials + self.num_trials;
-        &self.columns.losses()[start..start + self.num_trials]
+        &self.columns.segment_pair(segment, self.num_trials)[self.num_trials..]
     }
 
     fn layer_codes(&self) -> &[u32] {
@@ -581,6 +779,7 @@ mod tests {
     use super::*;
     use crate::writer::{StoreOptions, StoreWriter};
     use catrisk_riskquery::prelude::*;
+    use std::fs::OpenOptions;
     use std::path::PathBuf;
 
     fn temp_path(name: &str) -> PathBuf {
@@ -883,6 +1082,138 @@ mod tests {
                 });
             }
         });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Writes a small multi-commit store and returns its path.
+    fn build_store(name: &str, trials: usize, commits: usize) -> PathBuf {
+        let path = temp_path(name);
+        let mut writer = StoreWriter::create_with(
+            &path,
+            trials,
+            StoreOptions {
+                page_trials: 2,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        for c in 0..commits as u32 {
+            let losses: Vec<f64> = (0..trials)
+                .map(|t| (c as usize * trials + t) as f64)
+                .collect();
+            writer
+                .append_segment(
+                    meta(c, Peril::ALL[c as usize % Peril::ALL.len()], Region::Europe),
+                    &losses,
+                    &losses,
+                )
+                .unwrap();
+            writer.commit().unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn mapped_and_loaded_backings_are_bit_identical() {
+        let path = build_store("backing-equivalence", 5, 4);
+        let loaded = StoreReader::open_with_backing(&path, RegionBacking::Loaded).unwrap();
+        assert_eq!(loaded.backing(), RegionBacking::Loaded);
+        if !crate::mmap::supported() {
+            let _ = std::fs::remove_file(&path);
+            return;
+        }
+        let mapped = StoreReader::open_with_backing(&path, RegionBacking::Mapped).unwrap();
+        assert_eq!(mapped.backing(), RegionBacking::Mapped);
+        assert_eq!(mapped.num_segments(), loaded.num_segments());
+        for segment in 0..loaded.num_segments() {
+            // Bit-identical column views, not just numerically equal.
+            let bits = |losses: &[f64]| losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(SegmentSource::year_losses(&mapped, segment)),
+                bits(SegmentSource::year_losses(&loaded, segment))
+            );
+            assert_eq!(
+                bits(SegmentSource::max_occ_losses(&mapped, segment)),
+                bits(SegmentSource::max_occ_losses(&loaded, segment))
+            );
+            assert_eq!(mapped.meta(segment), loaded.meta(segment));
+        }
+
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.9 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            execute(&mapped, &query).unwrap(),
+            execute(&loaded, &query).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_refresh_maps_only_new_segments() {
+        if !crate::mmap::supported() {
+            return;
+        }
+        let path = build_store("mapped-refresh", 4, 1);
+        let mut reader = StoreReader::open_with_backing(&path, RegionBacking::Mapped).unwrap();
+        let extents_after_open = reader.columns.extents.len();
+        assert_eq!(extents_after_open, 1);
+
+        let mut writer = StoreWriter::open_append(&path).unwrap();
+        writer
+            .append_segment(
+                meta(9, Peril::Flood, Region::Japan),
+                &[5.0, 6.0, 7.0, 8.0],
+                &[5.0, 5.0, 6.0, 6.0],
+            )
+            .unwrap();
+        writer.commit().unwrap();
+
+        assert!(reader.refresh().unwrap());
+        // The already-mapped prefix is untouched; the new tail is one
+        // additional extent.
+        assert_eq!(reader.columns.extents.len(), extents_after_open + 1);
+        assert_eq!(reader.num_segments(), 2);
+        assert_eq!(
+            SegmentSource::year_losses(&reader, 1),
+            &[5.0, 6.0, 7.0, 8.0]
+        );
+        // Results match a cold open of the same commit bit-for-bit.
+        let fresh = StoreReader::open(&path).unwrap();
+        let query = QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .build()
+            .unwrap();
+        assert_eq!(
+            execute(&reader, &query).unwrap(),
+            execute(&fresh, &query).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_underneath_surfaces_typed_error() {
+        let path = build_store("truncated-under", 4, 2);
+        let mut reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.num_segments(), 2);
+
+        // The file shrinks underneath the reader — an append-only
+        // violation.  The refresh probe must report a typed error (here
+        // the committed-state decode finds the footer past EOF), never
+        // fault, and the snapshot keeps serving previously verified data.
+        let committed_len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(committed_len - 16).unwrap();
+        drop(file);
+        match reader.refresh() {
+            Err(StoreError::Truncated { .. }) | Err(StoreError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected a typed truncation error, got {other:?}"),
+        }
+        assert_eq!(reader.num_segments(), 2);
         let _ = std::fs::remove_file(&path);
     }
 
