@@ -115,6 +115,13 @@ options:
   --rps R          open-loop target rate, requests/second across all
                    clients; 0 = closed loop (default 0)
   --query LINE     use this query line instead of the built-in mix
+  --skewed         replace the mix with the power-law trial-window
+                   preset: the run probes the server for its trial
+                   count, then fires windowed queries whose lengths
+                   halve geometrically — a few full-axis scans among
+                   many small windows, the per-request cost skew the
+                   scan layer's self-scheduling exists for (takes
+                   precedence over --query)
   --connect-timeout S  seconds to retry the initial connect (default 30)
   --refresh-writer PATH  append+commit segments to this served shard file
                    while the clients run (serve-while-ingesting); fails if
@@ -470,6 +477,7 @@ pub(crate) fn loadgen_options(options: &Options) -> Result<LoadgenOptions, Strin
         refresh_every_ms: options.get("refresh-every-ms", 250u64)?,
         require_stats: options.has_flag("require-stats"),
         trace_every: options.get("trace-every", 0u64)?,
+        skewed: options.has_flag("skewed"),
         ..LoadgenOptions::default()
     };
     let query = options.get("query", String::new())?;

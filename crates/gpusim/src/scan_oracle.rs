@@ -1,0 +1,292 @@
+//! Bit-identity oracle for the CPU scan kernels in `catrisk-riskquery`.
+//!
+//! The [`executor`](crate::executor) layer already checks the simulated
+//! device kernels bit-for-bit against the sequential CPU engine (every
+//! launch asserts `max_abs_difference == 0.0`).  This module extends
+//! that oracle contract to the host-side vectorized scan kernels: every
+//! SIMD lane width must reproduce the scalar reference **bit-for-bit**
+//! on the fused add/max accumulation, the lazy first-segment
+//! initialisation, and the loss-range compaction — and whole query
+//! results must stay bit-identical across thread counts, scheduling
+//! granularities, and lane widths.
+//!
+//! The kernel-level checks compare raw `f64::to_bits`, so even the
+//! `±0.0` ties that value equality would hide are pinned.  The inputs
+//! deliberately mix zeros, `-0.0`, denormals and huge magnitudes, at
+//! lengths that exercise every vector tail path.
+
+use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::kernel::{self, SimdLevel};
+use catrisk_riskquery::prelude::*;
+
+/// What one [`verify_scan_kernels`] pass covered.
+#[derive(Debug, Clone)]
+pub struct ScanOracleReport {
+    /// Lane widths verified against the scalar reference on this
+    /// machine.
+    pub levels: Vec<SimdLevel>,
+    /// `(slice length, lane width)` kernel cases checked bit-for-bit.
+    pub kernel_cases: usize,
+    /// `(query, threads, granularity, lane width)` whole-pipeline
+    /// configurations checked against the sequential reference.
+    pub pipeline_cases: usize,
+}
+
+/// Slice lengths covering every lane-width tail path (0..=8 remainders)
+/// plus a few cache-line-straddling sizes.
+const LENGTHS: [usize; 16] = [0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 129, 1021];
+
+/// Deterministic pseudo-random losses with awkward cases mixed in:
+/// zeros, `-0.0`, denormals and huge magnitudes.
+fn loss_slices(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+        match state % 11 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 5e-324,
+            3 => 1.0e18 * x,
+            _ => 1.0e6 * x,
+        }
+    };
+    (
+        (0..n).map(|_| next()).collect(),
+        (0..n).map(|_| next()).collect(),
+    )
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Restores the global kernel knobs on scope exit, so a failed check
+/// cannot leak a forced lane width or granularity into the rest of the
+/// process.
+struct RestoreKnobs;
+
+impl Drop for RestoreKnobs {
+    fn drop(&mut self) {
+        kernel::force_level(None);
+        kernel::set_scan_chunks_per_thread(None);
+    }
+}
+
+/// Verifies the scan kernels bit-for-bit, the same contract the
+/// simulated device kernels are held to.
+///
+/// Two layers:
+///
+/// 1. **Kernel slices** — for every available [`SimdLevel`] and every
+///    tail-exercising length, the fused accumulate must match the
+///    scalar reference on raw bits; lazy initialisation must match
+///    accumulating into the zero identity (including `-0.0 → +0.0`
+///    normalisation); the branchless compaction must match the branchy
+///    reference.
+/// 2. **Whole pipeline** — a mixed query batch over a generated store
+///    must return identical results for every combination of thread
+///    count (1/2/8), scan granularity (1 = the old static split, and
+///    the self-scheduling default) and lane width.
+///
+/// Returns what was covered, or the first divergence as an error.
+pub fn verify_scan_kernels(seed: u64) -> std::result::Result<ScanOracleReport, String> {
+    let levels = kernel::available_levels();
+    let mut kernel_cases = 0usize;
+
+    // Layer 1: kernel slices against the scalar reference, on raw bits.
+    for (case, &n) in LENGTHS.iter().enumerate() {
+        let (year, occ) = loss_slices(n, seed.wrapping_add(case as u64));
+        let (acc_year0, acc_occ0) = loss_slices(n, seed.wrapping_add(1000 + case as u64));
+        let (mut ref_year, mut ref_occ) = (acc_year0.clone(), acc_occ0.clone());
+        kernel::accumulate_fused_at(SimdLevel::Scalar, &mut ref_year, &mut ref_occ, &year, &occ);
+        for &level in &levels {
+            let (mut got_year, mut got_occ) = (acc_year0.clone(), acc_occ0.clone());
+            kernel::accumulate_fused_at(level, &mut got_year, &mut got_occ, &year, &occ);
+            if bits(&got_year) != bits(&ref_year) || bits(&got_occ) != bits(&ref_occ) {
+                return Err(format!(
+                    "accumulate_fused at {} diverges from scalar on length {n}",
+                    level.name()
+                ));
+            }
+            kernel_cases += 1;
+        }
+
+        // Lazy init ≡ accumulate into the zero identity, bit for bit.
+        let (mut init_year, mut init_occ) = (Vec::new(), Vec::new());
+        kernel::init_fused(&mut init_year, &mut init_occ, &year, &occ);
+        let (mut zero_year, mut zero_occ) = (vec![0.0; n], vec![0.0; n]);
+        kernel::accumulate_fused_at(
+            SimdLevel::Scalar,
+            &mut zero_year,
+            &mut zero_occ,
+            &year,
+            &occ,
+        );
+        if bits(&init_year) != bits(&zero_year) || bits(&init_occ) != bits(&zero_occ) {
+            return Err(format!(
+                "init_fused diverges from zero-identity accumulate on length {n}"
+            ));
+        }
+        kernel_cases += 1;
+
+        // Branchless compaction ≡ the branchy reference.
+        let range = LossRange {
+            min: 1.0e4,
+            max: 9.0e5,
+        };
+        let (mut ref_keep_year, mut ref_keep_occ) = (Vec::new(), Vec::new());
+        for (&y, &o) in year.iter().zip(&occ) {
+            if range.contains(y) {
+                ref_keep_year.push(y);
+                ref_keep_occ.push(o);
+            }
+        }
+        let (mut got_year, mut got_occ) = (year.clone(), occ.clone());
+        kernel::retain_fused(&mut got_year, &mut got_occ, range);
+        if bits(&got_year) != bits(&ref_keep_year) || bits(&got_occ) != bits(&ref_keep_occ) {
+            return Err(format!("retain_fused diverges on length {n}"));
+        }
+        kernel_cases += 1;
+    }
+
+    // Layer 2: whole queries across thread counts × granularities ×
+    // lane widths, against the single-threaded scalar static reference.
+    let store = oracle_store(101, 9, seed);
+    let queries = oracle_queries(101);
+    let _restore = RestoreKnobs;
+
+    kernel::force_level(Some(SimdLevel::Scalar));
+    kernel::set_scan_chunks_per_thread(Some(1));
+    let reference_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let reference: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| reference_pool.install(|| execute(&store, q).expect("reference query")))
+        .collect();
+
+    let mut pipeline_cases = 0usize;
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| e.to_string())?;
+        for granularity in [1usize, 4] {
+            kernel::set_scan_chunks_per_thread(Some(granularity));
+            for &level in &levels {
+                kernel::force_level(Some(level));
+                for (query, expected) in queries.iter().zip(&reference) {
+                    let got = pool
+                        .install(|| execute(&store, query))
+                        .map_err(|e| format!("oracle query failed: {e:?}"))?;
+                    if &got != expected {
+                        return Err(format!(
+                            "pipeline diverges at threads={threads} granularity={granularity} \
+                             level={}",
+                            level.name()
+                        ));
+                    }
+                    pipeline_cases += 1;
+                }
+            }
+        }
+    }
+
+    Ok(ScanOracleReport {
+        levels,
+        kernel_cases,
+        pipeline_cases,
+    })
+}
+
+/// A store shaped like production output: several segments per peril and
+/// region, sparse losses, a non-round trial count.
+fn oracle_store(trials: usize, segments: usize, seed: u64) -> ResultStore {
+    let mut store = ResultStore::new(trials);
+    for s in 0..segments {
+        let (year, occ) = loss_slices(trials, seed.wrapping_add(5000 + s as u64));
+        let outcomes: Vec<TrialOutcome> = year
+            .iter()
+            .zip(&occ)
+            .map(|(&y, &o)| TrialOutcome {
+                year_loss: y.abs(),
+                max_occurrence_loss: o.abs().min(y.abs()),
+                nonzero_events: u32::from(y != 0.0),
+            })
+            .collect();
+        let meta = SegmentMeta::new(
+            LayerId((s / 2) as u32),
+            Peril::ALL[s % Peril::ALL.len()],
+            Region::ALL[s % Region::ALL.len()],
+            LineOfBusiness::ALL[s % LineOfBusiness::ALL.len()],
+        );
+        store
+            .ingest(&YearLossTable::new(LayerId((s / 2) as u32), outcomes), meta)
+            .expect("oracle ingest");
+    }
+    store
+}
+
+/// A query batch touching every kernel: plain accumulation, grouping,
+/// loss-range compaction (both columns), trial windows and order
+/// statistics.
+fn oracle_queries(trials: usize) -> Vec<Query> {
+    vec![
+        QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.95 })
+            .build()
+            .expect("query"),
+        QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .loss_at_least(1.0e4)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Pml {
+                return_period: 25.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .expect("query"),
+        QueryBuilder::new()
+            .trials(3..trials - 2)
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 7,
+            })
+            .aggregate(Aggregate::StdDev)
+            .build()
+            .expect("query"),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::MaxLoss)
+            .aggregate(Aggregate::AttachProb)
+            .build()
+            .expect("query"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_kernels_pass_the_bit_identity_oracle() {
+        let report = verify_scan_kernels(2012).expect("oracle must pass");
+        assert!(report.levels.contains(&SimdLevel::Scalar));
+        assert!(report.kernel_cases >= LENGTHS.len() * (report.levels.len() + 2));
+        assert!(report.pipeline_cases > 0);
+    }
+
+    #[test]
+    fn oracle_covers_every_available_level() {
+        let report = verify_scan_kernels(77).expect("oracle must pass");
+        assert_eq!(report.levels, kernel::available_levels());
+    }
+}

@@ -19,6 +19,7 @@ use catrisk_simkit::stats::{
     tail_mean_sorted,
 };
 
+use crate::kernel;
 use crate::plan::QueryPlan;
 use crate::query::{Aggregate, Basis, LossRange, Query};
 use crate::result::{AggValue, QueryResult, ResultRow};
@@ -50,17 +51,46 @@ impl PartialAggregate {
         }
     }
 
-    /// Accumulates one segment's loss slices into `group`.
+    /// A partial with `groups` groups and *no* trials materialised yet —
+    /// the starting state for [`accumulate_or_init`](Self::accumulate_or_init),
+    /// which lets a block's first segment per group write the vectors
+    /// directly instead of accumulating into freshly zeroed ones.
+    pub fn empty(groups: usize) -> Self {
+        Self {
+            year: vec![Vec::new(); groups],
+            maxocc: vec![Vec::new(); groups],
+        }
+    }
+
+    /// Accumulates one segment's loss slices into `group` through the
+    /// fused add/max kernel ([`kernel::accumulate_fused`]).  The group's
+    /// vectors must already be the slice length.
     #[inline]
     pub fn accumulate(&mut self, group: usize, year: &[f64], maxocc: &[f64]) {
-        let acc_year = &mut self.year[group];
-        debug_assert_eq!(acc_year.len(), year.len());
-        for (acc, v) in acc_year.iter_mut().zip(year) {
-            *acc += v;
+        kernel::accumulate_fused(&mut self.year[group], &mut self.maxocc[group], year, maxocc);
+    }
+
+    /// [`accumulate`](Self::accumulate) that initialises an untouched
+    /// group from its first segment (bit-identical to accumulating into
+    /// the zero identity, without allocating and zeroing it first).
+    #[inline]
+    pub fn accumulate_or_init(&mut self, group: usize, year: &[f64], maxocc: &[f64]) {
+        if self.year[group].is_empty() && !year.is_empty() {
+            kernel::init_fused(&mut self.year[group], &mut self.maxocc[group], year, maxocc);
+        } else {
+            self.accumulate(group, year, maxocc);
         }
-        let acc_occ = &mut self.maxocc[group];
-        for (acc, v) in acc_occ.iter_mut().zip(maxocc) {
-            *acc = acc.max(*v);
+    }
+
+    /// Zero-fills any group no segment touched, so a partial built with
+    /// [`empty`](Self::empty) + [`accumulate_or_init`](Self::accumulate_or_init)
+    /// ends exactly where `identity` + `accumulate` would.
+    pub(crate) fn fill_untouched(&mut self, trials: usize) {
+        for (year, maxocc) in self.year.iter_mut().zip(&mut self.maxocc) {
+            if year.is_empty() && trials > 0 {
+                year.resize(trials, 0.0);
+                maxocc.resize(trials, 0.0);
+            }
         }
     }
 
@@ -85,16 +115,7 @@ impl PartialAggregate {
     /// concatenation stays exact.
     pub fn retain_by_year(&mut self, range: LossRange) {
         for (year, maxocc) in self.year.iter_mut().zip(&mut self.maxocc) {
-            let mut keep = 0usize;
-            for t in 0..year.len() {
-                if range.contains(year[t]) {
-                    year[keep] = year[t];
-                    maxocc[keep] = maxocc[t];
-                    keep += 1;
-                }
-            }
-            year.truncate(keep);
-            maxocc.truncate(keep);
+            kernel::retain_fused(year, maxocc, range);
         }
     }
 
@@ -191,22 +212,21 @@ pub(crate) fn scan_window<S: SegmentSource + ?Sized>(
 ) -> PartialAggregate {
     debug_assert!(plan.trial_start <= start && end <= plan.trial_end && start <= end);
     let groups = plan.num_groups();
-    let blocks = trial_blocks_cut(
-        start,
-        end,
-        rayon::current_num_threads(),
-        &store.trial_cuts(),
-    );
+    // Finer blocks than workers (see `kernel::scan_parts`) give the
+    // shim's self-scheduling claim loop room to rebalance skewed blocks;
+    // block boundaries never change bits.
+    let blocks = trial_blocks_cut(start, end, kernel::scan_parts(), &store.trial_cuts());
     let partials: Vec<PartialAggregate> = blocks
         .into_par_iter()
         .map(|(block_start, block_end)| {
             let len = block_end - block_start;
-            let mut partial = PartialAggregate::identity(groups, len);
+            let mut partial = PartialAggregate::empty(groups);
             for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
                 let year = store.year_losses_in(segment, block_start, block_end);
                 let occ = store.max_occ_losses_in(segment, block_start, block_end);
-                partial.accumulate(group, year, occ);
+                partial.accumulate_or_init(group, year, occ);
             }
+            partial.fill_untouched(len);
             if let Some(range) = plan.loss {
                 partial.retain_by_year(range);
             }

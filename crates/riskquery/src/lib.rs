@@ -92,6 +92,7 @@
 pub mod dict;
 pub mod dims;
 pub mod exec;
+pub mod kernel;
 pub mod parse;
 pub mod partial;
 pub mod plan;
@@ -106,6 +107,7 @@ pub mod trial_sharded;
 pub use dict::Dictionary;
 pub use dims::{Dimension, LineOfBusiness, SegmentMeta};
 pub use exec::{execute, PartialAggregate};
+pub use kernel::SimdLevel;
 pub use parse::{parse_group_by, parse_select, parse_where};
 pub use partial::{combine_trial_partials, scan_trial_partial, TrialPartial};
 pub use plan::{QueryPlan, ScanAttribution};

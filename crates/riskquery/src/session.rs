@@ -186,10 +186,13 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
             .map(|&si| specs[si].plan.num_groups())
             .collect();
 
+        // Finer blocks than workers (see `kernel::scan_parts`) give the
+        // shim's self-scheduling claim loop room to rebalance skewed
+        // blocks; block boundaries never change bits.
         let blocks = exec::trial_blocks_cut(
             start,
             end,
-            rayon::current_num_threads(),
+            crate::kernel::scan_parts(),
             &self.store.trial_cuts(),
         );
         let partial_sets: Vec<Vec<PartialAggregate>> = blocks
@@ -198,7 +201,7 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
                 let len = block_end - block_start;
                 let mut partials: Vec<PartialAggregate> = group_counts
                     .iter()
-                    .map(|&g| PartialAggregate::identity(g, len))
+                    .map(|&g| PartialAggregate::empty(g))
                     .collect();
                 for &segment in &touched {
                     let year = self.store.year_losses_in(segment, block_start, block_end);
@@ -206,10 +209,11 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
                         .store
                         .max_occ_losses_in(segment, block_start, block_end);
                     for &(mi, group) in &routing[segment] {
-                        partials[mi as usize].accumulate(group as usize, year, occ);
+                        partials[mi as usize].accumulate_or_init(group as usize, year, occ);
                     }
                 }
                 for (partial, &si) in partials.iter_mut().zip(members) {
+                    partial.fill_untouched(len);
                     if let Some(range) = specs[si].plan.loss {
                         partial.retain_by_year(range);
                     }

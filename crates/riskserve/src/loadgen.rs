@@ -85,6 +85,13 @@ pub struct LoadgenOptions {
     /// never): the reply carries the server's execution profile, and the
     /// report keeps the slowest one seen.
     pub trace_every: u64,
+    /// Replace the query mix with the skewed power-law trial-window
+    /// preset (see [`skewed_mix`]): the run probes the server for its
+    /// trial count, then generates windowed queries whose lengths halve
+    /// geometrically — a few full-axis scans among many small windows,
+    /// the imbalanced per-request costs the self-scheduling scan layer
+    /// exists for.  Takes precedence over [`LoadgenOptions::queries`].
+    pub skewed: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -102,6 +109,7 @@ impl Default for LoadgenOptions {
             refresh_every_ms: 250,
             require_stats: false,
             trace_every: 0,
+            skewed: false,
         }
     }
 }
@@ -120,6 +128,57 @@ pub fn default_mix() -> Vec<String> {
     ]
     .map(str::to_string)
     .to_vec()
+}
+
+/// The skewed power-law trial-window mix: `lines` query lines whose
+/// windows start uniformly across the axis and whose lengths halve
+/// geometrically (a ~`2^-k` length distribution), cycling through a few
+/// select/group-by shapes.  Most requests scan a small window while a
+/// few scan most of the axis — the per-request cost skew that drives
+/// the scan layer's chunked self-scheduling (a static split would park
+/// whole workers behind the rare long scans).  Deterministic in
+/// `(trials, lines, seed)`, so a smoke run is reproducible.
+pub fn skewed_mix(trials: usize, lines: usize, seed: u64) -> Vec<String> {
+    let trials = trials.max(2);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let selects = ["mean", "mean, maxloss", "stddev", "tvar(0.95)", "attach"];
+    let groups = ["", " group by peril", "", " group by region"];
+    (0..lines.max(1))
+        .map(|k| {
+            let mut len = trials;
+            while len > 2 && next() < 0.5 {
+                len /= 2;
+            }
+            let start = (next() * (trials - len) as f64) as usize;
+            format!(
+                "select {} where trial={start}..{}{}",
+                selects[k % selects.len()],
+                start + len,
+                groups[k % groups.len()]
+            )
+        })
+        .collect()
+}
+
+/// The probe line the skewed preset uses to learn the served trial
+/// count before generating its windows.
+const TRIALS_PROBE_QUERY: &str = "select maxloss";
+
+/// The served trial count, fetched through the control-plane router.
+fn probe_trials(control: &RoutedClient) -> Result<usize, String> {
+    let reply = control
+        .round_trip(TRIALS_PROBE_QUERY)
+        .map_err(|e| e.to_string())?;
+    match reply.result {
+        Some(result) if reply.ok => Ok(result.trials),
+        _ => Err(format!("trial-count probe failed: {reply:?}")),
+    }
 }
 
 /// The probe line the ingest exercise uses to detect refresh visibility:
@@ -460,11 +519,6 @@ fn attribute_refresh_latency(
 /// every client errors out.
 pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     let clients = options.clients.max(1);
-    let queries = if options.queries.is_empty() {
-        default_mix()
-    } else {
-        options.queries.clone()
-    };
     let config = ClientConfig {
         connect_timeout: Duration::from_secs(options.connect_timeout_secs),
         read_timeout: Some(Duration::from_secs(60)),
@@ -472,6 +526,14 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     // Control-plane router for the probes and post-run scrapes; the data
     // plane gets one router per client thread.
     let control = RoutedClient::new(options.addrs.iter().cloned(), config);
+    let queries = if options.skewed {
+        let trials = probe_trials(&control)?;
+        skewed_mix(trials, 16, 0x5EED ^ trials as u64)
+    } else if options.queries.is_empty() {
+        default_mix()
+    } else {
+        options.queries.clone()
+    };
     let ingesting = !options.refresh_writers.is_empty();
 
     // Baseline for the visibility probe, before any mid-run commit.
@@ -947,6 +1009,51 @@ mod tests {
         for path in &paths {
             let _ = std::fs::remove_file(path);
         }
+    }
+
+    #[test]
+    fn skewed_mix_is_deterministic_and_power_law() {
+        let mix = skewed_mix(10_000, 32, 7);
+        assert_eq!(mix, skewed_mix(10_000, 32, 7), "same inputs, same mix");
+        let mut lengths = Vec::new();
+        for line in &mix {
+            assert!(line.starts_with("select "), "{line}");
+            let window = line
+                .split("trial=")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next())
+                .expect("every line carries a trial window");
+            let (start, end) = window.split_once("..").expect("start..end");
+            let (start, end): (usize, usize) = (start.parse().unwrap(), end.parse().unwrap());
+            assert!(start < end && end <= 10_000, "{line}");
+            lengths.push(end - start);
+        }
+        // Power law: both tails present — full-axis scans and windows at
+        // least 8x shorter.
+        let max = *lengths.iter().max().unwrap();
+        let min = *lengths.iter().min().unwrap();
+        assert!(max == 10_000, "the mix must include full-axis scans");
+        assert!(min * 8 <= max, "the mix must include much shorter windows");
+    }
+
+    #[test]
+    fn skewed_preset_probes_the_server_and_runs_windowed_queries() {
+        let store = Arc::new(random_store(512, 8, 13));
+        let front = TcpFrontEnd::bind(Server::with_defaults(Arc::clone(&store)), "127.0.0.1:0")
+            .expect("bind");
+        let options = LoadgenOptions {
+            addrs: vec![front.local_addr().to_string()],
+            clients: 4,
+            requests: 32,
+            skewed: true,
+            shutdown: true,
+            ..LoadgenOptions::default()
+        };
+        let report = run(&options).expect("load run");
+        assert_eq!(report.ok, 32, "{report}");
+        assert_eq!(report.errors, 0, "{report}");
+        assert!(report.rows > 0);
+        front.wait().expect("clean shutdown");
     }
 
     #[test]

@@ -6,21 +6,42 @@
 //! the `collect` / `reduce` / `sum` terminals, and explicit thread pools
 //! (`ThreadPoolBuilder`, `ThreadPool::install`).
 //!
-//! Execution model: terminals split the materialised items into one
-//! contiguous chunk per worker and run the chunks on a **persistent
-//! worker pool** (lazily started, one thread per logical CPU, shared by
-//! the whole process), so small inputs do not pay a thread spawn per
-//! terminal operation.  Results are concatenated (or reduced) **in chunk
-//! order**, so `collect` preserves input order exactly like rayon's
-//! indexed collect, and `reduce` combines partial results
-//! deterministically for a fixed thread count.  Nested terminals — a
-//! parallel iterator used inside a worker's chunk — fall back to scoped
-//! threads, which keeps the pool deadlock-free without work stealing.
-//! The engines in this workspace parallelise over uniformly sized trials,
-//! where static chunking is a good fit.
+//! Execution model: terminals split the materialised items into
+//! **fine-grained chunks** — [`chunks_per_worker`] chunks per worker
+//! rather than one — and run them with **chunked self-scheduling**: the
+//! chunks sit behind a shared atomic claim index, and every executor
+//! (the persistent pool's workers *and* the submitting thread, which
+//! helps rather than blocking) loops claim-next-chunk → run → store
+//! until the supply is drained.  A worker that lands on a cheap chunk
+//! simply claims another, so skewed workloads (uneven segment sizes,
+//! cut-split trial blocks) keep all cores busy without deque-based
+//! stealing.  Results are stored by chunk index and concatenated (or
+//! reduced) **in chunk order**, so `collect` preserves input order
+//! exactly like rayon's indexed collect and `reduce` combines partials
+//! deterministically — claim interleaving can never change output
+//! order, which is what lets bit-exact callers tolerate any schedule.
+//! The persistent pool is lazily started and process-wide; nested
+//! terminals — a parallel iterator used inside a worker's chunk — fall
+//! back to scoped threads running the same claim loop, which keeps the
+//! pool deadlock-free.
+//!
+//! Environment knobs (shim extensions; upstream rayon equivalents in
+//! parentheses):
+//!
+//! * `CATRISK_THREADS` (`RAYON_NUM_THREADS`) pins the default worker
+//!   count — both [`current_num_threads`]'s default and the size of the
+//!   persistent pool — so benches and tests can run deterministically
+//!   sized (`CATRISK_THREADS=1` runs every terminal inline on the
+//!   calling thread).
+//! * `CATRISK_CHUNKS_PER_WORKER` (no upstream equivalent) sets the
+//!   self-scheduling granularity; `1` reproduces the old static
+//!   one-contiguous-chunk-per-worker split, which is the baseline the
+//!   `scan_kernel` bench compares against.  [`set_chunks_per_worker`]
+//!   overrides it programmatically.
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
@@ -32,9 +53,56 @@ thread_local! {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CATRISK_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Unset sentinel for the granularity knob (0 chunks is meaningless).
+const CHUNKS_UNSET: usize = 0;
+
+static CHUNKS_PER_WORKER: AtomicUsize = AtomicUsize::new(CHUNKS_UNSET);
+
+/// Default self-scheduling granularity: enough chunks per worker that
+/// the claim loop can rebalance skew, few enough that per-chunk
+/// dispatch overhead stays negligible.
+const DEFAULT_CHUNKS_PER_WORKER: usize = 4;
+
+/// Chunks each terminal splits its items into, per worker thread (a
+/// shim extension; upstream rayon splits adaptively).  Defaults to 4;
+/// `CATRISK_CHUNKS_PER_WORKER` or [`set_chunks_per_worker`] override.
+/// `1` reproduces the old static one-chunk-per-worker split.
+pub fn chunks_per_worker() -> usize {
+    match CHUNKS_PER_WORKER.load(Ordering::Relaxed) {
+        CHUNKS_UNSET => {
+            let chunks = std::env::var("CATRISK_CHUNKS_PER_WORKER")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(DEFAULT_CHUNKS_PER_WORKER);
+            CHUNKS_PER_WORKER.store(chunks, Ordering::Relaxed);
+            chunks
+        }
+        chunks => chunks,
+    }
+}
+
+/// Overrides [`chunks_per_worker`] programmatically (a shim extension
+/// used by scheduling benches and granularity-invariance tests).
+/// `None` clears the override and re-reads the environment.  Chunk
+/// granularity never changes what a terminal returns — results are
+/// always collected in chunk order — only how evenly chunks schedule.
+pub fn set_chunks_per_worker(chunks: Option<usize>) {
+    CHUNKS_PER_WORKER.store(chunks.map_or(CHUNKS_UNSET, |c| c.max(1)), Ordering::Relaxed);
 }
 
 /// Number of worker threads terminals on this thread will use: the
@@ -144,7 +212,8 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// The process-wide persistent worker pool.
 ///
 /// Started lazily on the first multi-chunk terminal; one worker per
-/// logical CPU, fed from a single queue.  Workers live for the rest of
+/// logical CPU (or `CATRISK_THREADS` when set), fed from a single
+/// queue.  Workers live for the rest of
 /// the process (the submitting side blocks until its jobs finish, so an
 /// idle pool merely parks in `recv`).
 struct WorkerPool {
@@ -225,8 +294,75 @@ impl Latch {
     }
 }
 
-/// Splits `items` into one contiguous chunk per worker, runs `per_chunk`
-/// on each chunk — on the persistent pool, or on scoped threads when
+/// The shared state of one self-scheduled terminal: fine-grained chunks
+/// behind an atomic claim index, with a result slot per chunk so output
+/// order is chunk order no matter which executor ran what.
+struct ChunkQueue<T, R> {
+    /// Unclaimed chunks; an executor that wins index `i` takes the chunk
+    /// out of slot `i` exactly once.
+    pending: Vec<Mutex<Option<Vec<T>>>>,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Per-chunk outcomes, stored at the chunk's index.
+    results: Vec<Mutex<Option<std::thread::Result<R>>>>,
+}
+
+impl<T: Send, R: Send> ChunkQueue<T, R> {
+    fn new(chunks: Vec<Vec<T>>) -> Self {
+        let results = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+        Self {
+            pending: chunks.into_iter().map(|c| Mutex::new(Some(c))).collect(),
+            next: AtomicUsize::new(0),
+            results,
+        }
+    }
+
+    /// The claim loop every executor runs: claim the next chunk index,
+    /// run it, store the outcome at that index; repeat until the supply
+    /// is drained.  Never blocks on other executors, so an executor
+    /// stuck behind a heavy chunk simply stops claiming while the rest
+    /// drain the queue — self-scheduling without a deque.
+    fn drain(&self, per_chunk: &(impl Fn(Vec<T>) -> R + Sync)) {
+        loop {
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            if index >= self.pending.len() {
+                break;
+            }
+            let chunk = self.pending[index]
+                .lock()
+                .expect("rayon shim: chunk slot poisoned")
+                .take()
+                .expect("rayon shim: chunk claimed twice");
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| per_chunk(chunk)));
+            *self.results[index]
+                .lock()
+                .expect("rayon shim: result slot poisoned") = Some(outcome);
+        }
+    }
+
+    /// Unpacks the outcomes in chunk order, re-raising the first
+    /// panicking chunk's payload on the calling thread.
+    fn into_results(self) -> Vec<R> {
+        self.results
+            .into_iter()
+            .map(|slot| {
+                let outcome = slot
+                    .into_inner()
+                    .expect("rayon shim: result slot poisoned")
+                    .expect("rayon shim: chunk finished without a result");
+                match outcome {
+                    Ok(result) => result,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Splits `items` into [`chunks_per_worker`] contiguous chunks per
+/// worker and self-schedules them — on the persistent pool (with the
+/// submitting thread claiming chunks too), or on scoped threads when
 /// already running inside a pool worker (nested parallelism) — and
 /// returns the per-chunk results in chunk order.
 fn run_chunks<T: Send, R: Send>(items: Vec<T>, per_chunk: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
@@ -234,8 +370,8 @@ fn run_chunks<T: Send, R: Send>(items: Vec<T>, per_chunk: impl Fn(Vec<T>) -> R +
     if threads == 1 || items.len() <= 1 {
         return vec![per_chunk(items)];
     }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let chunk_size = items.len().div_ceil(threads * chunks_per_worker()).max(1);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(items.len().div_ceil(chunk_size));
     let mut rest = items;
     while rest.len() > chunk_size {
         let tail = rest.split_off(chunk_size);
@@ -243,36 +379,39 @@ fn run_chunks<T: Send, R: Send>(items: Vec<T>, per_chunk: impl Fn(Vec<T>) -> R +
     }
     chunks.push(rest);
     if IS_POOL_WORKER.with(Cell::get) {
-        run_chunks_scoped(chunks, &per_chunk)
+        run_chunks_scoped(chunks, &per_chunk, threads)
     } else {
-        run_chunks_pooled(chunks, &per_chunk)
+        run_chunks_pooled(chunks, &per_chunk, threads)
     }
 }
 
-/// Runs the chunks as jobs on the persistent pool, blocking until all of
-/// them finish.  The first panicking chunk's payload is re-raised on the
-/// submitting thread.
+/// Self-schedules the chunks across the persistent pool *and* the
+/// submitting thread: up to `threads - 1` pool jobs each run the claim
+/// loop, and the submitter runs it too instead of blocking — so
+/// progress never depends on pool capacity, and a pool smaller than the
+/// installed thread count just rebalances over fewer executors.  The
+/// first panicking chunk's payload is re-raised on the submitting
+/// thread after all chunks ran.
 fn run_chunks_pooled<T: Send, R: Send>(
     chunks: Vec<Vec<T>>,
     per_chunk: &(impl Fn(Vec<T>) -> R + Sync),
+    threads: usize,
 ) -> Vec<R> {
     let pool = worker_pool();
-    let results: Vec<Mutex<Option<std::thread::Result<R>>>> =
-        (0..chunks.len()).map(|_| Mutex::new(None)).collect();
-    let latch = Latch::new(chunks.len());
+    // The submitter is one executor; extra claimants beyond the chunk
+    // count could never win a claim, so don't submit them.
+    let helpers = (threads - 1).min(chunks.len().saturating_sub(1));
+    let queue = ChunkQueue::new(chunks);
+    let latch = Latch::new(helpers);
     {
-        let results = &results;
+        let queue = &queue;
         let latch = &latch;
-        for (index, chunk) in chunks.into_iter().enumerate() {
+        for _ in 0..helpers {
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| per_chunk(chunk)));
-                *results[index]
-                    .lock()
-                    .expect("rayon shim: result slot poisoned") = Some(outcome);
+                queue.drain(per_chunk);
                 latch.count_down();
             });
-            // SAFETY: the job borrows `per_chunk`, `results` and `latch`
+            // SAFETY: the job borrows `per_chunk`, `queue` and `latch`
             // from this stack frame.  `latch.wait()` below blocks until
             // every submitted job has run its closure to completion (the
             // count-down is the closure's last action), so the erased
@@ -281,48 +420,39 @@ fn run_chunks_pooled<T: Send, R: Send>(
             let job: Job = unsafe { std::mem::transmute(job) };
             pool.submit(job);
         }
+        // Claim chunks on this thread too — the submitter is the one
+        // executor guaranteed to exist even when the pool is saturated
+        // by other terminals.
+        queue.drain(per_chunk);
         latch.wait();
     }
-    results
-        .into_iter()
-        .map(|slot| {
-            let outcome = slot
-                .into_inner()
-                .expect("rayon shim: result slot poisoned")
-                .expect("rayon shim: job finished without a result");
-            match outcome {
-                Ok(result) => result,
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        })
-        .collect()
+    queue.into_results()
 }
 
-/// Scoped-thread fallback used for nested terminals: a chunk running on a
-/// pool worker can not wait for queue capacity without risking deadlock,
-/// so nested splits spawn their own short-lived scope instead.
+/// Scoped-thread fallback used for nested terminals: a chunk running on
+/// a pool worker cannot wait for queue capacity without risking
+/// deadlock, so nested splits run the same claim loop on their own
+/// short-lived scope instead (at most one scoped thread per chunk).
 fn run_chunks_scoped<T: Send, R: Send>(
     chunks: Vec<Vec<T>>,
     per_chunk: &(impl Fn(Vec<T>) -> R + Sync),
+    threads: usize,
 ) -> Vec<R> {
+    let workers = threads.min(chunks.len()).max(1);
+    let queue = ChunkQueue::new(chunks);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    // Deeper nesting must keep using scoped threads: the
-                    // pool's workers may all be blocked under this very
-                    // call chain.
-                    IS_POOL_WORKER.with(|flag| flag.set(true));
-                    per_chunk(chunk)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon shim: worker thread panicked"))
-            .collect()
-    })
+        for _ in 0..workers {
+            let queue = &queue;
+            scope.spawn(move || {
+                // Deeper nesting must keep using scoped threads: the
+                // pool's workers may all be blocked under this very
+                // call chain.
+                IS_POOL_WORKER.with(|flag| flag.set(true));
+                queue.drain(per_chunk);
+            });
+        }
+    });
+    queue.into_results()
 }
 
 // ---------------------------------------------------------------------------
@@ -663,6 +793,32 @@ mod tests {
         // The pool survives a panicked job and keeps serving.
         let out: Vec<u32> = (0..100u32).into_par_iter().map(|i| i * 3).collect();
         assert_eq!(out[99], 297);
+    }
+
+    #[test]
+    fn chunk_granularity_never_changes_output() {
+        let expected: Vec<usize> = (0..500).map(|i| i * i).collect();
+        for chunks in [1, 2, 4, 16] {
+            set_chunks_per_worker(Some(chunks));
+            let out: Vec<usize> = (0..500usize).into_par_iter().map(|i| i * i).collect();
+            assert_eq!(out, expected, "chunks_per_worker={chunks}");
+        }
+        set_chunks_per_worker(None);
+    }
+
+    #[test]
+    fn self_scheduling_runs_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..333usize)
+            .into_par_iter()
+            .map(|i| {
+                count.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..333).collect::<Vec<_>>());
+        assert_eq!(count.load(Ordering::Relaxed), 333);
     }
 
     #[test]

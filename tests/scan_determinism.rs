@@ -1,0 +1,164 @@
+//! Scheduling can never change bits: scan results are bit-identical
+//! across thread counts (1/2/8), scan granularities, and shim chunking
+//! — the invariant that lets the self-scheduling claim loop and the
+//! SIMD kernels replace the old static scalar scan without a results
+//! audit.
+//!
+//! The per-trial-block partials merge by exact adjacent-window
+//! concatenation in block order, so neither block boundaries (thread
+//! count × granularity) nor claim interleaving (which executor ran
+//! which block) can reach the arithmetic.  `catrisk-gpusim`'s
+//! `scan_oracle` holds the kernels themselves to the same bit-for-bit
+//! contract; here the whole pipeline is pinned across schedules on
+//! random stores.
+
+use proptest::prelude::*;
+
+use catrisk_engine::ylt::{TrialOutcome, YearLossTable};
+use catrisk_eventgen::peril::{Peril, Region};
+use catrisk_finterms::layer::LayerId;
+use catrisk_riskquery::kernel;
+use catrisk_riskquery::prelude::*;
+use catrisk_simkit::rng::RngFactory;
+
+/// Restores the scan-granularity and shim-chunking knobs on scope exit.
+struct RestoreKnobs;
+
+impl Drop for RestoreKnobs {
+    fn drop(&mut self) {
+        kernel::set_scan_chunks_per_thread(None);
+        rayon::set_chunks_per_worker(None);
+    }
+}
+
+fn random_store(trials: usize, segments: usize, seed: u64) -> ResultStore {
+    let factory = RngFactory::new(seed).derive("scan-determinism");
+    let mut store = ResultStore::new(trials);
+    for s in 0..segments {
+        let mut rng = factory.stream(s as u64);
+        let outcomes: Vec<TrialOutcome> = (0..trials)
+            .map(|_| {
+                let year = if rng.uniform() < 0.4 {
+                    rng.uniform() * 1.0e6
+                } else {
+                    0.0
+                };
+                TrialOutcome {
+                    year_loss: year,
+                    max_occurrence_loss: year * rng.uniform(),
+                    nonzero_events: u32::from(year > 0.0),
+                }
+            })
+            .collect();
+        let meta = SegmentMeta::new(
+            LayerId((s / 2) as u32),
+            Peril::ALL[s % Peril::ALL.len()],
+            Region::ALL[(s / 3) % Region::ALL.len()],
+            LineOfBusiness::ALL[s % LineOfBusiness::ALL.len()],
+        );
+        store
+            .ingest(&YearLossTable::new(LayerId((s / 2) as u32), outcomes), meta)
+            .expect("ingest");
+    }
+    store
+}
+
+fn query_batch(trials: usize) -> Vec<Query> {
+    vec![
+        QueryBuilder::new()
+            .group_by(Dimension::Peril)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.97 })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Region)
+            .loss_at_least(3.0e5)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Pml {
+                return_period: 50.0,
+                basis: Basis::Oep,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .trials(1..trials.max(2) - 1)
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 5,
+            })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Lob)
+            .aggregate(Aggregate::StdDev)
+            .aggregate(Aggregate::MaxLoss)
+            .build()
+            .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The 1-vs-N invariant: any thread count, scan granularity and shim
+    /// chunk granularity reproduces the single-threaded scan bit for
+    /// bit, through both `execute` and the batched session.
+    #[test]
+    fn scan_is_bit_identical_across_schedules(
+        trials in 8..160usize,
+        segments in 1..14usize,
+        seed in 0..400u64,
+    ) {
+        let _restore = RestoreKnobs;
+        let store = random_store(trials, segments, seed);
+        let queries = query_batch(trials);
+
+        kernel::set_scan_chunks_per_thread(Some(1));
+        let single = catrisk_simkit::parallel::build_pool(1);
+        let expected: Vec<QueryResult> = single.install(|| {
+            queries.iter().map(|q| execute(&store, q).expect("query")).collect()
+        });
+        let expected_batch = single
+            .install(|| QuerySession::new(&store).run(&queries))
+            .expect("batch");
+
+        for threads in [2usize, 8] {
+            let pool = catrisk_simkit::parallel::build_pool(threads);
+            for granularity in [1usize, 3, 8] {
+                kernel::set_scan_chunks_per_thread(Some(granularity));
+                for chunking in [1usize, 4] {
+                    rayon::set_chunks_per_worker(Some(chunking));
+                    let got: Vec<QueryResult> = pool.install(|| {
+                        queries.iter().map(|q| execute(&store, q).expect("query")).collect()
+                    });
+                    prop_assert_eq!(
+                        &got, &expected,
+                        "execute diverged at threads={} granularity={} chunking={}",
+                        threads, granularity, chunking
+                    );
+                    let got_batch = pool
+                        .install(|| QuerySession::new(&store).run(&queries))
+                        .expect("batch");
+                    prop_assert_eq!(
+                        &got_batch, &expected_batch,
+                        "session diverged at threads={} granularity={} chunking={}",
+                        threads, granularity, chunking
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The gpusim bit-identity oracle runs as part of tier-1: kernel slices
+/// on raw bits, plus the pipeline sweep over thread counts ×
+/// granularities × SIMD lane widths.
+#[test]
+fn gpusim_scan_oracle_passes() {
+    let report = catrisk_gpusim::verify_scan_kernels(424242).expect("oracle must pass");
+    assert!(
+        report.kernel_cases > 0 && report.pipeline_cases > 0,
+        "oracle must actually check cases: {report:?}"
+    );
+}
