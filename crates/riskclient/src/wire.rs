@@ -66,6 +66,16 @@ pub struct StatsSnapshot {
     /// the partial cache).  Post-v1 field, defaults to 0.
     #[serde(default)]
     pub partial_misses: u64,
+    /// Fused partial scans actually issued: the batch planner groups all
+    /// cache-missing `(query, shard)` pairs by shard window and walks
+    /// each window **once** for the whole group, so this counts shard
+    /// walks, not pairs — `fused_partial_scans <= partial_misses`, with
+    /// equality only when no two missing queries shared a window.  The
+    /// `stage_scan_shard_micros` histogram records exactly one sample per
+    /// fused scan, so its count equals this counter.  Post-v1 field,
+    /// defaults to 0.
+    #[serde(default)]
+    pub fused_partial_scans: u64,
     /// Store refreshes that made newly committed segments visible.
     /// Post-v1 field, defaults to 0.
     #[serde(default)]

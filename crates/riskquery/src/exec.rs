@@ -239,6 +239,87 @@ pub(crate) fn scan_window<S: SegmentSource + ?Sized>(
         .unwrap_or_else(|| PartialAggregate::identity(groups, 0))
 }
 
+/// One fused pass over the trial window `[start, end)` serving every plan
+/// in `plans`: within each trial block, each segment's loss slices are
+/// read once and accumulated into every plan that selected the segment —
+/// the shared scan core behind both [`QuerySession`](crate::QuerySession)
+/// batches and the fused trial-partial path
+/// ([`scan_trial_partials_fused`](crate::partial::scan_trial_partials_fused)).
+///
+/// Returns one [`PartialAggregate`] per plan, in input order, each
+/// bit-identical to [`scan_window`] of that plan alone: the fusion only
+/// changes *when* a loss slice is read, never the per-plan accumulation
+/// order, and block boundaries cannot change bits (the adjacent-window
+/// monoid).  Every plan's trial window must contain `[start, end)`.
+pub(crate) fn fused_scan_plans<S: SegmentSource + ?Sized>(
+    store: &S,
+    plans: &[&QueryPlan],
+    start: usize,
+    end: usize,
+) -> Vec<PartialAggregate> {
+    for plan in plans {
+        debug_assert!(plan.trial_start <= start && end <= plan.trial_end && start <= end);
+    }
+    // Routing table: segment -> [(plan index, group)].
+    let mut routing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); store.num_segments()];
+    for (pi, plan) in plans.iter().enumerate() {
+        for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+            routing[segment].push((pi as u32, group as u32));
+        }
+    }
+    let touched: Vec<usize> = (0..store.num_segments())
+        .filter(|&s| !routing[s].is_empty())
+        .collect();
+    let group_counts: Vec<usize> = plans.iter().map(|plan| plan.num_groups()).collect();
+
+    // Finer blocks than workers (see `kernel::scan_parts`) give the
+    // shim's self-scheduling claim loop room to rebalance skewed blocks;
+    // block boundaries never change bits.
+    let blocks = trial_blocks_cut(start, end, kernel::scan_parts(), &store.trial_cuts());
+    let partial_sets: Vec<Vec<PartialAggregate>> = blocks
+        .into_par_iter()
+        .map(|(block_start, block_end)| {
+            let len = block_end - block_start;
+            let mut partials: Vec<PartialAggregate> = group_counts
+                .iter()
+                .map(|&g| PartialAggregate::empty(g))
+                .collect();
+            for &segment in &touched {
+                let year = store.year_losses_in(segment, block_start, block_end);
+                let occ = store.max_occ_losses_in(segment, block_start, block_end);
+                for &(pi, group) in &routing[segment] {
+                    partials[pi as usize].accumulate_or_init(group as usize, year, occ);
+                }
+            }
+            for (partial, plan) in partials.iter_mut().zip(plans) {
+                partial.fill_untouched(len);
+                if let Some(range) = plan.loss {
+                    partial.retain_by_year(range);
+                }
+            }
+            partials
+        })
+        .collect();
+
+    // Adjacent-window concatenation per plan, in block order.
+    let mut iter = partial_sets.into_iter();
+    let mut merged = match iter.next() {
+        Some(first) => first,
+        None => group_counts
+            .iter()
+            .map(|&g| PartialAggregate::identity(g, 0))
+            .collect(),
+    };
+    for set in iter {
+        merged = merged
+            .into_iter()
+            .zip(set)
+            .map(|(acc, block)| acc.combine_adjacent(block))
+            .collect();
+    }
+    merged
+}
+
 /// Sorted copies of a group's loss vectors, computed lazily — VaR, TVaR,
 /// PML and EP curves all need order statistics over the same data.
 #[derive(Debug, Default)]

@@ -109,7 +109,11 @@ pub use dims::{Dimension, LineOfBusiness, SegmentMeta};
 pub use exec::{execute, PartialAggregate};
 pub use kernel::SimdLevel;
 pub use parse::{parse_group_by, parse_select, parse_where};
-pub use partial::{combine_trial_partials, scan_trial_partial, TrialPartial};
+pub use partial::{
+    combine_segment_partials, combine_trial_partial_refs, combine_trial_partials,
+    plan_is_shard_aligned, restrict_plan_to_segments, scan_trial_partial,
+    scan_trial_partials_fused, TrialPartial,
+};
 pub use plan::{QueryPlan, ScanAttribution};
 pub use query::{Aggregate, Basis, Filter, LossRange, Query, QueryBuilder};
 pub use result::{AggValue, DimValue, QueryResult, ResultRow};

@@ -22,6 +22,21 @@
 //! windows in order, and finalises through the same metric kernels
 //! [`execute`](crate::exec::execute) uses — so a result assembled from
 //! cached partials is bit-identical to a fresh scan of the whole window.
+//!
+//! Two extensions make the partial the universal unit of reuse:
+//!
+//! * **Fusion** — [`scan_trial_partials_fused`] emits one partial *per
+//!   query* from a single walk of a shard window, so a batch of N
+//!   cache-missing queries costs one scan per window instead of N.
+//! * **The segment axis** — [`restrict_plan_to_segments`] /
+//!   [`combine_segment_partials`] cache per-*segment-shard* partials
+//!   (pre-loss-range, keyed by decoded group keys) and recombine them by
+//!   element-wise sum/max in shard order.  That combine is only bitwise
+//!   exact when [`plan_is_shard_aligned`] holds — every group's segments
+//!   in one shard, so the zero vector's monoid identity (±0.0-normalised
+//!   by the scan kernel) is the only other contribution per group.
+
+use std::collections::HashMap;
 
 use crate::exec::{self, PartialAggregate, SortedCache};
 use crate::plan::QueryPlan;
@@ -90,6 +105,85 @@ pub fn scan_trial_partial<S: SegmentSource + ?Sized>(
     }
 }
 
+/// [`scan_trial_partial`] for a whole batch: one fused pass over the
+/// shard window `[start, end)` emits a [`TrialPartial`] per plan.
+///
+/// Plans that resolve to the same scan shape (same surviving segments,
+/// group assignment, decoded keys *and* loss range — two group-bys can
+/// coincide on segments and group indices yet differ in keys) share one
+/// set of accumulated vectors, and the remaining distinct shapes ride a
+/// single [`exec::fused_scan_plans`] pass: each segment's loss slices are
+/// read once per trial block and routed to every plan, so a 50-query
+/// batch costs one walk of the window instead of 50.  Each returned
+/// partial is bit-identical to [`scan_trial_partial`] of its plan alone.
+///
+/// Every plan's trial window must contain `[start, end)`; an empty
+/// window yields valid zero-trial partials, exactly like
+/// [`scan_trial_partial`].
+pub fn scan_trial_partials_fused<S: SegmentSource + ?Sized>(
+    store: &S,
+    plans: &[&QueryPlan],
+    start: usize,
+    end: usize,
+) -> Vec<TrialPartial> {
+    // Dedup identical scan shapes (linear probe: batches are small and
+    // the comparison is cheap next to a scan).
+    let mut uniques: Vec<&QueryPlan> = Vec::new();
+    let mut member_of: Vec<usize> = Vec::with_capacity(plans.len());
+    for &plan in plans {
+        let found = uniques.iter().position(|&unique| {
+            std::ptr::eq(unique, plan)
+                || (unique.loss == plan.loss
+                    && unique.segments == plan.segments
+                    && unique.groups == plan.groups
+                    && unique.keys == plan.keys)
+        });
+        match found {
+            Some(ui) => member_of.push(ui),
+            None => {
+                member_of.push(uniques.len());
+                uniques.push(plan);
+            }
+        }
+    }
+
+    let aggregates = exec::fused_scan_plans(store, &uniques, start, end);
+    let mut unique_parts: Vec<Option<TrialPartial>> = uniques
+        .iter()
+        .zip(aggregates)
+        .map(|(plan, aggregate)| {
+            let mut segment_counts = vec![0usize; plan.num_groups()];
+            for &group in &plan.groups {
+                segment_counts[group] += 1;
+            }
+            Some(TrialPartial {
+                keys: plan.keys.clone(),
+                segment_counts,
+                window: (start, end),
+                aggregate,
+            })
+        })
+        .collect();
+
+    // Fan the unique partials back out: the last member of each shape
+    // takes ownership, earlier duplicates clone.
+    let mut remaining = vec![0usize; uniques.len()];
+    for &ui in &member_of {
+        remaining[ui] += 1;
+    }
+    member_of
+        .into_iter()
+        .map(|ui| {
+            remaining[ui] -= 1;
+            if remaining[ui] == 0 {
+                unique_parts[ui].take().expect("one take per unique shape")
+            } else {
+                unique_parts[ui].clone().expect("not yet taken")
+            }
+        })
+        .collect()
+}
+
 /// Stitches per-shard partials (in window order) into the final
 /// [`QueryResult`], bit-identical to scanning the whole window at once.
 ///
@@ -99,18 +193,28 @@ pub fn scan_trial_partial<S: SegmentSource + ?Sized>(
 /// scan) and their windows must be adjacent: each part starts where the
 /// previous ended.
 pub fn combine_trial_partials(query: &Query, parts: Vec<TrialPartial>) -> Result<QueryResult> {
-    let mut iter = parts.into_iter();
-    let Some(first) = iter.next() else {
+    let refs: Vec<&TrialPartial> = parts.iter().collect();
+    combine_trial_partial_refs(query, &refs)
+}
+
+/// [`combine_trial_partials`] over borrowed parts — the serving layer
+/// stitches cache-shared (`Arc`ed) partials without copying them first.
+/// Concatenating by `extend_from_slice` is bit-identical to the
+/// by-value `combine_adjacent` append: both are pure concatenation.
+pub fn combine_trial_partial_refs(
+    query: &Query,
+    parts: &[&TrialPartial],
+) -> Result<QueryResult> {
+    let Some(first) = parts.first() else {
         return Err(QueryError::Store(
             "no trial partials to combine".to_string(),
         ));
     };
-    let keys = first.keys;
-    let segment_counts = first.segment_counts;
+    let keys = &first.keys;
+    let segment_counts = &first.segment_counts;
     let (window_start, mut window_end) = first.window;
-    let mut aggregate = first.aggregate;
-    for part in iter {
-        if part.keys != keys || part.segment_counts != segment_counts {
+    for part in &parts[1..] {
+        if part.keys != *keys || part.segment_counts != *segment_counts {
             return Err(QueryError::Store(
                 "trial partials disagree on group keys; they describe different snapshots"
                     .to_string(),
@@ -123,8 +227,30 @@ pub fn combine_trial_partials(query: &Query, parts: Vec<TrialPartial>) -> Result
             )));
         }
         window_end = part.window.1;
-        aggregate = aggregate.combine_adjacent(part.aggregate);
     }
+
+    // Adjacent-window concatenation, group by group, without consuming
+    // (or cloning) any part.
+    let groups = keys.len();
+    let concat = |column: fn(&PartialAggregate) -> &Vec<Vec<f64>>| -> Vec<Vec<f64>> {
+        (0..groups)
+            .map(|group| {
+                let total: usize = parts
+                    .iter()
+                    .map(|part| column(&part.aggregate)[group].len())
+                    .sum();
+                let mut merged = Vec::with_capacity(total);
+                for part in parts {
+                    merged.extend_from_slice(&column(&part.aggregate)[group]);
+                }
+                merged
+            })
+            .collect()
+    };
+    let aggregate = PartialAggregate {
+        year: concat(|aggregate| &aggregate.year),
+        maxocc: concat(|aggregate| &aggregate.maxocc),
+    };
 
     // Canonical row order, exactly as `exec::assemble` derives it from a
     // plan: ascending by decoded key.
@@ -145,6 +271,156 @@ pub fn combine_trial_partials(query: &Query, parts: Vec<TrialPartial>) -> Result
         group_by: query.group_by.clone(),
         aggregates: query.aggregates.clone(),
         trials: window_end - window_start,
+        rows,
+    })
+}
+
+/// Restricts `plan` to the segments in the global range `[lo, hi)` — one
+/// shard of a segment-axis union — with group indices remapped
+/// shard-locally (in order of first appearance, preserving global
+/// segment order) and the loss-range predicate **stripped**: per-shard
+/// segment partials are cached *pre* loss range, and
+/// [`combine_segment_partials`] applies the range once after the shards
+/// combine.  Groups with no segment in the range are dropped; their
+/// absence from the shard's partial is the monoid identity.
+pub fn restrict_plan_to_segments(plan: &QueryPlan, lo: usize, hi: usize) -> QueryPlan {
+    let mut local: Vec<Option<usize>> = vec![None; plan.num_groups()];
+    let mut segments = Vec::new();
+    let mut groups = Vec::new();
+    let mut keys: Vec<Vec<DimValue>> = Vec::new();
+    for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+        if segment < lo || segment >= hi {
+            continue;
+        }
+        let lg = match local[group] {
+            Some(lg) => lg,
+            None => {
+                let lg = keys.len();
+                keys.push(plan.keys[group].clone());
+                local[group] = Some(lg);
+                lg
+            }
+        };
+        segments.push(segment);
+        groups.push(lg);
+    }
+    QueryPlan {
+        trial_start: plan.trial_start,
+        trial_end: plan.trial_end,
+        loss: None,
+        segments,
+        groups,
+        keys,
+    }
+}
+
+/// Whether every group of `plan` draws all of its segments from a single
+/// shard of the segment-axis layout `ranges` (each entry the global
+/// segment range `[lo, hi)` one shard contributes).
+///
+/// This is the gate for segment-axis partial caching: per-shard partials
+/// combine by element-wise sum, and floating-point addition is not
+/// associative — a group whose segments span shards would see a
+/// different accumulation bracketing than the flat union scan and could
+/// differ in the last ulp.  When every group lives in one shard, exactly
+/// one shard contributes a non-identity vector per group, the
+/// (normalised, `-0.0`-free) zero vector is a *bitwise* identity for
+/// `+`/`max`, and the combined result is exactly the flat scan's bits.
+/// Unaligned plans fall back to the fused whole-union scan.
+pub fn plan_is_shard_aligned(plan: &QueryPlan, ranges: &[(usize, usize)]) -> bool {
+    let shard_of =
+        |segment: usize| ranges.iter().position(|&(lo, hi)| lo <= segment && segment < hi);
+    let mut owner: Vec<Option<usize>> = vec![None; plan.num_groups()];
+    for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
+        let Some(shard) = shard_of(segment) else {
+            return false;
+        };
+        match owner[group] {
+            None => owner[group] = Some(shard),
+            Some(own) if own == shard => {}
+            Some(_) => return false,
+        }
+    }
+    true
+}
+
+/// Combines per-shard **segment-axis** partials (in shard order) into the
+/// final [`QueryResult`] of `plan` — bit-identical to the flat union scan
+/// when [`plan_is_shard_aligned`] holds (the caller's obligation).
+///
+/// Each part is the output of scanning a
+/// [`restrict_plan_to_segments`]-restricted plan over the full plan
+/// window: pre-loss-range vectors keyed by decoded group keys.  Groups
+/// are re-aligned **by key** (a shard's local group order is an artifact
+/// of its own first-appearance order and survives other shards'
+/// refreshes; a key a shard does not carry contributes the identity),
+/// summed element-wise through the same add/max kernel the scan uses,
+/// then the plan's loss range — deferred by the restriction exactly so
+/// cached shard partials stay range-independent — is applied once and
+/// the rows finalise in canonical key order.
+pub fn combine_segment_partials(
+    query: &Query,
+    plan: &QueryPlan,
+    parts: &[&TrialPartial],
+) -> Result<QueryResult> {
+    let window = (plan.trial_start, plan.trial_end);
+    let trials = plan.trial_end - plan.trial_start;
+    let groups = plan.num_groups();
+    let mut acc = PartialAggregate::identity(groups, trials);
+    for part in parts {
+        if part.window != window {
+            return Err(QueryError::Store(format!(
+                "segment partial covers window {}..{}, plan scans {}..{}",
+                part.window.0, part.window.1, window.0, window.1
+            )));
+        }
+        let index: HashMap<&Vec<DimValue>, usize> = part
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(j, key)| (key, j))
+            .collect();
+        for (group, key) in plan.keys.iter().enumerate() {
+            let Some(&j) = index.get(key) else {
+                continue; // this shard holds no segment of the group: identity
+            };
+            let year = &part.aggregate.year[j];
+            let occ = &part.aggregate.maxocc[j];
+            if year.len() != trials || occ.len() != trials {
+                return Err(QueryError::Store(
+                    "segment partial vectors do not span the plan window; \
+                     they describe a different snapshot"
+                        .to_string(),
+                ));
+            }
+            acc.accumulate(group, year, occ);
+        }
+    }
+    if let Some(range) = plan.loss {
+        acc.retain_by_year(range);
+    }
+
+    let mut segment_counts = vec![0usize; groups];
+    for &group in &plan.groups {
+        segment_counts[group] += 1;
+    }
+    let mut order: Vec<usize> = (0..groups).collect();
+    order.sort_by(|&a, &b| DimValue::compare_keys(&plan.keys[a], &plan.keys[b]));
+    let rows: Vec<ResultRow> = order
+        .into_iter()
+        .map(|group| {
+            let mut cache = SortedCache::default();
+            ResultRow {
+                key: plan.keys[group].clone(),
+                segments: segment_counts[group],
+                values: exec::finalize_group(&query.aggregates, &acc, group, &mut cache),
+            }
+        })
+        .collect();
+    Ok(QueryResult {
+        group_by: query.group_by.clone(),
+        aggregates: query.aggregates.clone(),
+        trials,
         rows,
     })
 }

@@ -23,8 +23,6 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use rayon::prelude::*;
-
 use crate::dims::Dimension;
 use crate::exec::{self, PartialAggregate};
 use crate::plan::QueryPlan;
@@ -162,7 +160,9 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
 
     /// One pass over the trial window `[start, end)` serving every spec in
     /// `members`: per trial block, each segment's loss slices are read once
-    /// and accumulated into every spec that selected the segment.
+    /// and accumulated into every spec that selected the segment.  The
+    /// pass itself is [`exec::fused_scan_plans`] — the same core the
+    /// trial-partial path fuses its per-shard rescans through.
     fn fused_scan(
         &self,
         start: usize,
@@ -170,75 +170,8 @@ impl<'a, S: SegmentSource + ?Sized> QuerySession<'a, S> {
         members: &[usize],
         specs: &[Spec],
     ) -> Vec<PartialAggregate> {
-        // Routing table: segment -> [(member index, group)].
-        let mut routing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.store.num_segments()];
-        for (mi, &si) in members.iter().enumerate() {
-            let plan = &specs[si].plan;
-            for (&segment, &group) in plan.segments.iter().zip(&plan.groups) {
-                routing[segment].push((mi as u32, group as u32));
-            }
-        }
-        let touched: Vec<usize> = (0..self.store.num_segments())
-            .filter(|&s| !routing[s].is_empty())
-            .collect();
-        let group_counts: Vec<usize> = members
-            .iter()
-            .map(|&si| specs[si].plan.num_groups())
-            .collect();
-
-        // Finer blocks than workers (see `kernel::scan_parts`) give the
-        // shim's self-scheduling claim loop room to rebalance skewed
-        // blocks; block boundaries never change bits.
-        let blocks = exec::trial_blocks_cut(
-            start,
-            end,
-            crate::kernel::scan_parts(),
-            &self.store.trial_cuts(),
-        );
-        let partial_sets: Vec<Vec<PartialAggregate>> = blocks
-            .into_par_iter()
-            .map(|(block_start, block_end)| {
-                let len = block_end - block_start;
-                let mut partials: Vec<PartialAggregate> = group_counts
-                    .iter()
-                    .map(|&g| PartialAggregate::empty(g))
-                    .collect();
-                for &segment in &touched {
-                    let year = self.store.year_losses_in(segment, block_start, block_end);
-                    let occ = self
-                        .store
-                        .max_occ_losses_in(segment, block_start, block_end);
-                    for &(mi, group) in &routing[segment] {
-                        partials[mi as usize].accumulate_or_init(group as usize, year, occ);
-                    }
-                }
-                for (partial, &si) in partials.iter_mut().zip(members) {
-                    partial.fill_untouched(len);
-                    if let Some(range) = specs[si].plan.loss {
-                        partial.retain_by_year(range);
-                    }
-                }
-                partials
-            })
-            .collect();
-
-        // Adjacent-window concatenation per member, in block order.
-        let mut iter = partial_sets.into_iter();
-        let mut merged = match iter.next() {
-            Some(first) => first,
-            None => group_counts
-                .iter()
-                .map(|&g| PartialAggregate::identity(g, 0))
-                .collect(),
-        };
-        for set in iter {
-            merged = merged
-                .into_iter()
-                .zip(set)
-                .map(|(acc, block)| acc.combine_adjacent(block))
-                .collect();
-        }
-        merged
+        let plans: Vec<&QueryPlan> = members.iter().map(|&si| &specs[si].plan).collect();
+        exec::fused_scan_plans(self.store, &plans, start, end)
     }
 }
 

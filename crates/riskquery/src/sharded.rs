@@ -209,6 +209,17 @@ impl MergedSchema {
         self.seg_starts
             .push(self.seg_starts.last().unwrap() + shard.num_segments());
     }
+
+    /// The global segment range `[lo, hi)` each shard contributes, in
+    /// shard order — the layout a segment-axis partial cache gates its
+    /// shard-alignment check on
+    /// ([`plan_is_shard_aligned`](crate::partial::plan_is_shard_aligned)).
+    pub fn segment_ranges(&self) -> Vec<(usize, usize)> {
+        self.seg_starts
+            .windows(2)
+            .map(|window| (window[0], window[1]))
+            .collect()
+    }
 }
 
 impl<'a, S: SegmentSource + ?Sized> ShardedSource<'a, S> {

@@ -12,13 +12,18 @@
 //!
 //! [`ResultCache`] keys `(query, whole generation vector)`: any shard's
 //! refresh retires the entry, because the final result mixes every
-//! shard's data.  [`PartialCache`] is the trial-axis refinement: it keys
-//! `(query, shard)` and stamps each entry with only *that shard's*
-//! generation plus the union's segment prefix, so a refresh of one shard
-//! leaves every other shard's cached partial valid — the whole point of
-//! caching partials instead of results.
+//! shard's data.  [`PartialCache`] is the per-shard refinement — on
+//! *either* axis: it keys `(query, shard)` and stamps each entry with
+//! only *that shard's* generation plus a segment-count check (on the
+//! trial axis the union's committed prefix, on the segment axis the
+//! shard's own count), so a refresh of one shard leaves every other
+//! shard's cached partial valid — the whole point of caching partials
+//! instead of results.  Entries hand out [`Arc`]s: a hit is a pointer
+//! bump, and publishing a freshly scanned partial shares the same
+//! allocation the stitch is about to read.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use catrisk_riskquery::{Query, QueryResult, TrialPartial};
 
@@ -105,12 +110,13 @@ impl ResultCache {
 struct PartialEntry {
     /// The owning shard's generation stamp when the partial was scanned.
     generation: u64,
-    /// The union's committed segment prefix the producing plan saw.  The
-    /// prefix is part of the key contract: when a lagging shard catches
-    /// up and the prefix grows, *every* shard's partial covers too few
-    /// segments, even shards whose own stamp did not move.
+    /// The segment-count half of the key contract.  Trial axis: the
+    /// union's committed segment prefix the producing plan saw — when a
+    /// lagging shard catches up and the prefix grows, *every* shard's
+    /// partial covers too few segments, even shards whose own stamp did
+    /// not move.  Segment axis: the shard's own segment count.
     num_segments: usize,
-    partial: TrialPartial,
+    partial: Arc<TrialPartial>,
     last_used: u64,
 }
 
@@ -141,15 +147,16 @@ impl PartialCache {
     }
 
     /// Looks up the partial of `query` on `shard` under the shard's
-    /// current `generation` and the union's current segment prefix.  A
-    /// stale entry is evicted on sight.
+    /// current `generation` and the axis's segment-count check.  A stale
+    /// entry is evicted on sight.  The returned `Arc` shares the cached
+    /// allocation — a hit never copies the loss vectors.
     pub fn get(
         &mut self,
         query: &Query,
         shard: usize,
         generation: u64,
         num_segments: usize,
-    ) -> Option<TrialPartial> {
+    ) -> Option<Arc<TrialPartial>> {
         self.tick += 1;
         // The tuple key forces one Query clone per probe; queries are
         // cheap to clone (Arc-free but small vectors) and probes are
@@ -159,7 +166,7 @@ impl PartialCache {
         match self.entries.get_mut(&key) {
             Some(entry) if entry.generation == generation && entry.num_segments == num_segments => {
                 entry.last_used = self.tick;
-                Some(entry.partial.clone())
+                Some(Arc::clone(&entry.partial))
             }
             Some(_) => {
                 self.entries.remove(&key);
@@ -170,14 +177,15 @@ impl PartialCache {
     }
 
     /// Caches one shard's partial, evicting the least-recently-used
-    /// entry when full.
+    /// entry when full.  Takes an `Arc` so the caller publishes the same
+    /// allocation it is about to stitch from, without a copy.
     pub fn insert(
         &mut self,
         query: &Query,
         shard: usize,
         generation: u64,
         num_segments: usize,
-        partial: TrialPartial,
+        partial: Arc<TrialPartial>,
     ) {
         if self.capacity == 0 {
             return;
@@ -291,12 +299,12 @@ mod tests {
     #[test]
     fn partials_hit_per_shard_generation_only() {
         let mut cache = PartialCache::new(8);
-        cache.insert(&query(1), 0, 7, 3, partial((0, 2)));
-        cache.insert(&query(1), 1, 9, 3, partial((2, 5)));
+        cache.insert(&query(1), 0, 7, 3, Arc::new(partial((0, 2))));
+        cache.insert(&query(1), 1, 9, 3, Arc::new(partial((2, 5))));
         // Shard 1's generation moves: only shard 1's entry goes stale.
         assert_eq!(
-            cache.get(&query(1), 0, 7, 3),
-            Some(partial((0, 2))),
+            cache.get(&query(1), 0, 7, 3).as_deref(),
+            Some(&partial((0, 2))),
             "untouched shard must keep hitting"
         );
         assert!(cache.get(&query(1), 1, 10, 3).is_none());
@@ -304,9 +312,21 @@ mod tests {
     }
 
     #[test]
+    fn partial_hits_share_the_cached_allocation() {
+        let mut cache = PartialCache::new(8);
+        let published = Arc::new(partial((0, 2)));
+        cache.insert(&query(1), 0, 7, 3, Arc::clone(&published));
+        let hit = cache.get(&query(1), 0, 7, 3).expect("hit");
+        assert!(
+            Arc::ptr_eq(&published, &hit),
+            "a hit must be a pointer bump, not a copy"
+        );
+    }
+
+    #[test]
     fn partials_go_stale_when_the_segment_prefix_grows() {
         let mut cache = PartialCache::new(8);
-        cache.insert(&query(1), 0, 7, 3, partial((0, 2)));
+        cache.insert(&query(1), 0, 7, 3, Arc::new(partial((0, 2))));
         // A lagging shard caught up: the union now serves 4 segments, so
         // every 3-segment partial is too narrow even at the same stamp.
         assert!(cache.get(&query(1), 0, 7, 4).is_none());
@@ -316,17 +336,17 @@ mod tests {
     #[test]
     fn partial_capacity_evicts_least_recently_used() {
         let mut cache = PartialCache::new(2);
-        cache.insert(&query(1), 0, 1, 1, partial((0, 2)));
-        cache.insert(&query(2), 0, 1, 1, partial((0, 2)));
+        cache.insert(&query(1), 0, 1, 1, Arc::new(partial((0, 2))));
+        cache.insert(&query(2), 0, 1, 1, Arc::new(partial((0, 2))));
         assert!(cache.get(&query(1), 0, 1, 1).is_some());
-        cache.insert(&query(3), 0, 1, 1, partial((0, 2)));
+        cache.insert(&query(3), 0, 1, 1, Arc::new(partial((0, 2))));
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&query(1), 0, 1, 1).is_some());
         assert!(cache.get(&query(2), 0, 1, 1).is_none(), "LRU evicted");
         assert!(cache.get(&query(3), 0, 1, 1).is_some());
 
         let mut off = PartialCache::new(0);
-        off.insert(&query(1), 0, 1, 1, partial((0, 2)));
+        off.insert(&query(1), 0, 1, 1, Arc::new(partial((0, 2))));
         assert!(off.get(&query(1), 0, 1, 1).is_none());
     }
 }

@@ -656,6 +656,7 @@ impl StoreCatalog {
             source: &empty,
             generations,
             trial_windows: None,
+            segment_ranges: None,
         })
     }
 }
@@ -850,6 +851,7 @@ impl SourceProvider for StoreCatalog {
                         source: &stitched,
                         generations: &generations,
                         trial_windows: Some(&topology.windows),
+                        segment_ranges: None,
                     })
                 }
                 _ => self.with_empty(topology.num_trials, &generations, f),
@@ -874,8 +876,13 @@ impl SourceProvider for StoreCatalog {
                 source: *only,
                 generations: &generations,
                 trial_windows: None,
+                segment_ranges: None,
             }),
             _ => {
+                // The segment-partial cache keys `(query, shard)` against
+                // `generations[shard]`, so shard-indexed ranges are only
+                // sound when no shard was excluded above.
+                let all_usable = usable.len() == guards.len();
                 // Re-attach the memoized merged schema when nothing
                 // changed since it was built; otherwise rebuild and
                 // memoize it for the next batch.
@@ -896,10 +903,12 @@ impl SourceProvider for StoreCatalog {
                 if let Some(histogram) = &schema_memo {
                     histogram.record(memo_started.elapsed().as_micros() as u64);
                 }
+                let ranges = all_usable.then(|| sharded.schema().segment_ranges());
                 f(SourceSnapshot {
                     source: &sharded,
                     generations: &generations,
                     trial_windows: None,
+                    segment_ranges: ranges.as_deref(),
                 })
             }
         }

@@ -7,8 +7,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use catrisk_riskquery::{
-    combine_trial_partials, scan_trial_partial, Query, QueryPlan, QueryResult, QuerySession,
-    ScanAttribution, SegmentSource,
+    combine_segment_partials, combine_trial_partial_refs, plan_is_shard_aligned,
+    restrict_plan_to_segments, scan_trial_partials_fused, Query, QueryPlan, QueryResult,
+    QuerySession, ScanAttribution, SegmentSource, TrialPartial,
 };
 use catrisk_telemetry::{
     EventRecord, EventValue, MetricsSnapshot, Span, TraceLookup, TraceRecord, TraceSpan,
@@ -42,10 +43,12 @@ pub struct ServerConfig {
     /// without scanning until any shard's committed generation moves.
     pub cache_capacity: usize,
     /// Entries the per-shard partial-aggregate cache holds (0 disables
-    /// it).  Only exercised by trial-sharded catalogs: an entry is one
-    /// `(query, shard)` partial, valid until *that shard's* generation
-    /// moves (or the union's segment prefix grows), so a single-shard
-    /// refresh rescans one trial window instead of every one.
+    /// it).  Exercised by multi-shard catalogs on either axis: an entry
+    /// is one `(query, shard)` partial, valid until *that shard's*
+    /// generation moves (or the keyed segment count changes), so a
+    /// single-shard refresh rescans one trial window (trial axis) or one
+    /// shard's segments (segment axis, shard-aligned plans) instead of
+    /// everything.
     pub partial_cache_capacity: usize,
     /// Batches whose execution exceeds this many microseconds emit a
     /// `slow-batch` flight-recorder event.  0 (the default) disables the
@@ -496,8 +499,9 @@ fn worker_loop<P: SourceProvider>(shared: &Shared<P>) {
 /// Per-unique-query scan detail captured while a batch executes, for
 /// traced member requests: the scan-stage duration (the same clock read
 /// the scan histogram recorded), the plan-derived attribution, the
-/// partial-cache traffic and the per-shard child spans (trial path only,
-/// with start offsets relative to the scan's own start).
+/// partial-cache traffic and the per-shard child spans (partial-cache
+/// paths on either axis, with start offsets relative to the scan's own
+/// start).
 struct ScanDetail {
     micros: u64,
     attribution: Option<ScanAttribution>,
@@ -617,60 +621,70 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
         shared.counters.cache_hits.add(batch_hits as u64);
         shared.counters.cache_misses.add(batch_misses as u64);
 
-        // 2a. Trial-sharded snapshot: answer each miss from cached
-        //     per-shard partials, rescanning only the windows whose
-        //     shard generation moved since they were cached.
+        // 2a. Trial-sharded snapshot: answer the misses from cached
+        //     per-shard partials, with ONE fused scan per (shard,
+        //     window) the batch actually needs — every missing query on
+        //     that window rides the same pass.
         if let Some(windows) = snapshot.trial_windows {
-            for &index in &misses {
-                // One scan-stage sample per result-cache miss, so the
-                // scan histogram's count always equals `cache_misses`.
-                let scan = Span::enter(&shared.telemetry.scan);
-                let (outcome, detail) = run_from_partials(
+            run_trial_partial_batch(
+                shared,
+                source,
+                generations,
+                windows,
+                &unique,
+                &rep_trace,
+                &misses,
+                &mut results,
+                &mut scan_details,
+            );
+        } else if !misses.is_empty() {
+            // 2b. Segment-axis partials where the snapshot supports them
+            //     (shard-aligned plans over an all-usable segment
+            //     catalog), one fused session scan for everything else.
+            //     Every miss rode the same branch, so each one's
+            //     scan-stage sample is the whole branch's elapsed time
+            //     (keeping the count == cache_misses invariant), like
+            //     `exec_micros` in `RequestTimings`.
+            let scan_started = Instant::now();
+            let session_misses: Vec<usize> = match snapshot.segment_ranges {
+                Some(ranges) => run_segment_partial_batch(
                     shared,
                     source,
                     generations,
-                    windows,
-                    &unique[index],
-                    rep_trace[index],
-                );
-                if let Ok(result) = &outcome {
-                    lock(&shared.cache).insert(unique[index].clone(), generations, result.clone());
-                }
-                results[index] = Some(outcome);
-                let scan_micros = scan.finish_with_exemplar(rep_trace[index]);
-                if let Some(mut detail) = detail {
-                    detail.micros = scan_micros;
-                    scan_details[index] = Some(detail);
-                }
-            }
-        } else if !misses.is_empty() {
-            // 2b. One fused scan for the misses.  Every miss rode the
-            //     same pass, so each one's scan-stage sample is the whole
-            //     pass's elapsed time (keeping the count == cache_misses
-            //     invariant), like `exec_micros` in `RequestTimings`.
-            let scan_started = Instant::now();
-            let to_run: Vec<Query> = misses.iter().map(|&i| unique[i].clone()).collect();
-            let session =
-                QuerySession::new(source).with_scan_histogram(&shared.telemetry.session_scan);
-            match session.run(&to_run) {
-                Ok(scanned) => {
-                    let mut cache = lock(&shared.cache);
-                    for (&index, result) in misses.iter().zip(scanned) {
-                        cache.insert(unique[index].clone(), generations, result.clone());
-                        results[index] = Some(Ok(result));
+                    ranges,
+                    &unique,
+                    &rep_trace,
+                    &misses,
+                    &mut results,
+                    &mut scan_details,
+                ),
+                None => misses.clone(),
+            };
+            if !session_misses.is_empty() {
+                let to_run: Vec<Query> =
+                    session_misses.iter().map(|&i| unique[i].clone()).collect();
+                let session =
+                    QuerySession::new(source).with_scan_histogram(&shared.telemetry.session_scan);
+                match session.run(&to_run) {
+                    Ok(scanned) => {
+                        let mut cache = lock(&shared.cache);
+                        for (&index, result) in session_misses.iter().zip(scanned) {
+                            cache.insert(unique[index].clone(), generations, result.clone());
+                            results[index] = Some(Ok(result));
+                        }
                     }
-                }
-                Err(_) => {
-                    // Unreachable in practice: every query was
-                    // validated at submit time and the trial count
-                    // never changes.  Fall back to per-query execution
-                    // so each request still gets its own reply (a
-                    // batch-wide error must never take out neighbours).
-                    for &index in &misses {
-                        results[index] = Some(
-                            catrisk_riskquery::execute(source, &unique[index])
-                                .map_err(|err| ServeError::InvalidQuery(err.to_string())),
-                        );
+                    Err(_) => {
+                        // Unreachable in practice: every query was
+                        // validated at submit time and the trial count
+                        // never changes.  Fall back to per-query execution
+                        // so each request still gets its own reply (a
+                        // batch-wide error must never take out neighbours).
+                        for &index in &session_misses {
+                            results[index] = Some(
+                                catrisk_riskquery::execute(source, &unique[index])
+                                    .map_err(|err| ServeError::InvalidQuery(err.to_string())),
+                            );
+                        }
                     }
                 }
             }
@@ -681,17 +695,25 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
                     .scan
                     .record_with_exemplar(scan_micros, rep_trace[index]);
                 if rep_trace[index] != 0 {
-                    // Attribution replans the query — pushdown only, no
-                    // loss data — and is paid only for traced misses.
-                    scan_details[index] = Some(ScanDetail {
-                        micros: scan_micros,
-                        attribution: QueryPlan::new(source, &unique[index])
-                            .ok()
-                            .map(|plan| plan.attribution()),
-                        partial_hits: 0,
-                        partial_misses: 0,
-                        children: Vec::new(),
-                    });
+                    match &mut scan_details[index] {
+                        // A segment-partial miss already has its detail;
+                        // stamp it with the branch's measured elapsed.
+                        Some(detail) => detail.micros = scan_micros,
+                        // Attribution replans the query — pushdown only,
+                        // no loss data — and is paid only for traced
+                        // misses.
+                        None => {
+                            scan_details[index] = Some(ScanDetail {
+                                micros: scan_micros,
+                                attribution: QueryPlan::new(source, &unique[index])
+                                    .ok()
+                                    .map(|plan| plan.attribution()),
+                                partial_hits: 0,
+                                partial_misses: 0,
+                                children: Vec::new(),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -832,156 +854,482 @@ fn execute_batch<P: SourceProvider>(shared: &Shared<P>, batch: Vec<Pending>) {
     }
 }
 
-/// Answers one query over a trial-sharded snapshot from per-shard
-/// partial aggregates: cached partials are reused for every shard whose
-/// generation (and the union's segment prefix) is unchanged, only the
-/// remaining windows are rescanned, and the parts stitch through the
-/// exact adjacent-window monoid — bit-identical to one fused scan of the
-/// whole axis.
+/// One result-cache miss mid-flight through a partial-cache planner:
+/// its plan, the per-shard partial slots being filled, its cache
+/// traffic, and (when traced) the child spans accumulated so far.
+struct PartialMiss {
+    /// Index into the batch's `unique` queries.
+    index: usize,
+    plan: QueryPlan,
+    /// One slot per shard, in shard order; `None` until probed or
+    /// freshly scanned.
+    parts: Vec<Option<Arc<TrialPartial>>>,
+    hits: u64,
+    rescans: u64,
+    /// Traced members' `scan_shard` / `stitch` child spans, start
+    /// offsets packed sequentially relative to the scan stage's start.
+    children: Vec<TraceSpan>,
+    next_start: u64,
+}
+
+impl PartialMiss {
+    fn new(index: usize, plan: QueryPlan, shards: usize) -> Self {
+        Self {
+            index,
+            plan,
+            parts: vec![None; shards],
+            hits: 0,
+            rescans: 0,
+            children: Vec::new(),
+            next_start: 0,
+        }
+    }
+
+    fn count_probe(&mut self) {
+        self.hits = self.parts.iter().filter(|part| part.is_some()).count() as u64;
+        self.rescans = self.parts.len() as u64 - self.hits;
+    }
+}
+
+/// Groups the missing `(miss, shard)` pairs of one shard by scan window,
+/// in first-appearance (deterministic) order: every member of a group
+/// shares one fused scan of that window.
+fn group_missing_by_window(
+    states: &[PartialMiss],
+    shard: usize,
+    window_of: impl Fn(&PartialMiss) -> (usize, usize),
+) -> Vec<((usize, usize), Vec<usize>)> {
+    let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+    for (slot, state) in states.iter().enumerate() {
+        if state.parts[shard].is_none() {
+            let window = window_of(state);
+            match groups.iter_mut().find(|(existing, _)| *existing == window) {
+                Some((_, members)) => members.push(slot),
+                None => groups.push((window, vec![slot])),
+            }
+        }
+    }
+    groups
+}
+
+/// The first traced member of a group (0 when none): the exemplar id
+/// stamped on the group's `scan_shard` histogram sample.
+fn group_exemplar(states: &[PartialMiss], members: &[usize], rep_trace: &[u64]) -> u64 {
+    members
+        .iter()
+        .map(|&slot| rep_trace[states[slot].index])
+        .find(|&id| id != 0)
+        .unwrap_or(0)
+}
+
+/// Answers a batch's result-cache misses over a trial-sharded snapshot
+/// from per-shard partial aggregates: cached partials are reused for
+/// every shard whose generation (and the union's segment prefix) is
+/// unchanged, the remaining `(query, shard)` pairs are grouped by
+/// `(shard, clipped window)` and each group is rescanned by **one**
+/// fused scan, and each query's parts stitch through the exact
+/// adjacent-window monoid — bit-identical to one fused scan of the whole
+/// axis.  The number of `scan_shard` samples (and `fused_partial_scans`
+/// bumps) is therefore the number of distinct windows the batch touched,
+/// not `queries × windows`.
 ///
 /// `windows[j]` corresponds to `generations[j]` by the
-/// [`SourceSnapshot`](crate::source::SourceSnapshot) contract.  The
+/// [`SourceSnapshot`](crate::source::SourceSnapshot) contract.  Each
 /// query's own trial filter clips each shard's window (clamping is
 /// monotone, so the clipped windows stay adjacent and shards outside the
-/// filter contribute exact zero-trial partials).
+/// filter contribute exact zero-trial partials); queries whose filters
+/// clip a shard differently land in different groups.
 ///
-/// `trace_id` is the representative trace of the request(s) that asked
-/// for this query (0 = untraced).  When traced, the returned
-/// [`ScanDetail`] carries one `scan_shard` child span per rescanned
-/// window plus the `stitch` span — each duration the **same** clock read
-/// its stage histogram recorded — so the per-trace `scan_shard` count
-/// equals this call's contribution to `partial_misses` exactly.
-fn run_from_partials<P: SourceProvider>(
+/// Every miss records one scan-stage sample carrying the whole phase's
+/// elapsed time (all misses rode the same pass), keeping the scan
+/// histogram's count equal to `cache_misses`.  Traced members' child
+/// spans carry their group's measured duration — the same clock read the
+/// `scan_shard` histogram consumed — so a trace's `scan_shard` child
+/// count still equals that query's contribution to `partial_misses`.
+#[allow(clippy::too_many_arguments)]
+fn run_trial_partial_batch<P: SourceProvider>(
     shared: &Shared<P>,
     source: &dyn SegmentSource,
     generations: &[u64],
     windows: &[(usize, usize)],
-    query: &Query,
-    trace_id: u64,
-) -> (Result<QueryResult, ServeError>, Option<ScanDetail>) {
-    let plan = match QueryPlan::new(source, query) {
-        Ok(plan) => plan,
-        Err(err) => return (Err(ServeError::InvalidQuery(err.to_string())), None),
-    };
+    unique: &[Query],
+    rep_trace: &[u64],
+    misses: &[usize],
+    results: &mut [Option<Result<QueryResult, ServeError>>],
+    scan_details: &mut [Option<ScanDetail>],
+) {
+    let phase_started = Instant::now();
     let num_segments = source.num_segments();
-    let clips: Vec<(usize, usize)> = windows
-        .iter()
-        .map(|&(start, end)| {
-            (
-                start.clamp(plan.trial_start, plan.trial_end),
-                end.clamp(plan.trial_start, plan.trial_end),
-            )
-        })
-        .collect();
+    let mut states: Vec<PartialMiss> = Vec::with_capacity(misses.len());
+    for &index in misses {
+        match QueryPlan::new(source, &unique[index]) {
+            Ok(plan) => states.push(PartialMiss::new(index, plan, windows.len())),
+            Err(err) => results[index] = Some(Err(ServeError::InvalidQuery(err.to_string()))),
+        }
+    }
+    let clip_of = |plan: &QueryPlan, (start, end): (usize, usize)| {
+        (
+            start.clamp(plan.trial_start, plan.trial_end),
+            end.clamp(plan.trial_start, plan.trial_end),
+        )
+    };
 
-    // Phase 1: collect cached partials under one short lock.
-    let mut parts: Vec<Option<catrisk_riskquery::TrialPartial>> = {
+    // Phase 1: probe every (miss, shard) pair under one short lock.
+    {
         let mut partials = lock(&shared.partials);
-        clips
-            .iter()
-            .enumerate()
-            .map(|(shard, &clip)| {
-                partials
-                    .get(query, shard, generations[shard], num_segments)
+        for state in &mut states {
+            for (shard, &window) in windows.iter().enumerate() {
+                let clip = clip_of(&state.plan, window);
+                state.parts[shard] = partials
+                    .get(&unique[state.index], shard, generations[shard], num_segments)
                     // The cached window is derived from the same fixed
                     // shard windows and query, but verify rather than
                     // assume — a mismatch is a miss, never a wrong stitch.
-                    .filter(|partial| partial.window == clip)
-            })
-            .collect()
-    };
-    let hits = parts.iter().filter(|part| part.is_some()).count();
-
-    // Phase 2: rescan only the missing windows (no cache lock held —
-    // scans are the expensive part and other workers may be probing).
-    // Traced requests capture each rescan as a child span built from the
-    // span's own measured value (start offsets are packed sequentially,
-    // relative to the scan stage's start).
-    let mut children: Vec<TraceSpan> = Vec::new();
-    let mut next_start = 0u64;
-    let mut scanned: Vec<(usize, catrisk_riskquery::TrialPartial)> = Vec::new();
-    for (shard, part) in parts.iter_mut().enumerate() {
-        if part.is_none() {
-            let (start, end) = clips[shard];
-            // One shard-scan sample per rescanned window, so the
-            // histogram's count always equals `partial_misses`.
-            let shard_scan = Span::enter(&shared.telemetry.scan_shard);
-            let fresh = scan_trial_partial(source, &plan, start, end);
-            let shard_micros = shard_scan.finish_with_exemplar(trace_id);
-            if trace_id != 0 {
-                let attribution = plan.attribution_for_window(start, end);
-                children.push(
-                    TraceSpan::new("scan_shard", next_start, shard_micros)
-                        .attr("shard", shard as u64)
-                        .attr("window_start", start as u64)
-                        .attr("window_end", end as u64)
-                        .attr("segments", attribution.segments as u64)
-                        .attr("bytes", attribution.bytes as u64),
-                );
-                next_start += shard_micros;
+                    .filter(|partial| partial.window == clip);
             }
-            scanned.push((shard, fresh.clone()));
-            *part = Some(fresh);
+            state.count_probe();
         }
     }
-    let rescans = scanned.len();
-    shared.counters.partial_hits.add(hits as u64);
-    shared.counters.partial_misses.add(rescans as u64);
+    shared
+        .counters
+        .partial_hits
+        .add(states.iter().map(|state| state.hits).sum());
+    shared
+        .counters
+        .partial_misses
+        .add(states.iter().map(|state| state.rescans).sum());
 
-    // Phase 3: publish the fresh partials, then stitch.
+    // Phase 2: one fused scan per (shard, clipped window) the batch
+    // misses (no cache lock held — scans are the expensive part and
+    // other workers may be probing).
+    let mut scanned: Vec<(usize, usize)> = Vec::new();
+    for shard in 0..windows.len() {
+        let groups =
+            group_missing_by_window(&states, shard, |state| clip_of(&state.plan, windows[shard]));
+        for ((start, end), members) in groups {
+            let exemplar = group_exemplar(&states, &members, rep_trace);
+            let (fresh, group_micros) = {
+                let plans: Vec<&QueryPlan> =
+                    members.iter().map(|&slot| &states[slot].plan).collect();
+                // One shard-scan sample per fused scan, so the
+                // histogram's count always equals `fused_partial_scans`.
+                let shard_scan = Span::enter(&shared.telemetry.scan_shard);
+                let fresh = scan_trial_partials_fused(source, &plans, start, end);
+                (fresh, shard_scan.finish_with_exemplar(exemplar))
+            };
+            shared.counters.fused_partial_scans.inc();
+            for (&slot, partial) in members.iter().zip(fresh) {
+                let state = &mut states[slot];
+                if rep_trace[state.index] != 0 {
+                    let attribution = state.plan.attribution_for_window(start, end);
+                    state.children.push(
+                        TraceSpan::new("scan_shard", state.next_start, group_micros)
+                            .attr("shard", shard as u64)
+                            .attr("window_start", start as u64)
+                            .attr("window_end", end as u64)
+                            .attr("segments", attribution.segments as u64)
+                            .attr("bytes", attribution.bytes as u64),
+                    );
+                    state.next_start += group_micros;
+                }
+                state.parts[shard] = Some(Arc::new(partial));
+                scanned.push((slot, shard));
+            }
+        }
+    }
+
+    // Phase 3: publish the fresh partials — the same allocations the
+    // stitches below read, no copy.
     if !scanned.is_empty() {
         let mut partials = lock(&shared.partials);
-        for (shard, partial) in scanned {
-            partials.insert(query, shard, generations[shard], num_segments, partial);
-        }
-    }
-    let parts: Vec<catrisk_riskquery::TrialPartial> = parts
-        .into_iter()
-        .map(|part| part.expect("filled"))
-        .collect();
-    let stitch = Span::enter(&shared.telemetry.stitch);
-    let stitched = combine_trial_partials(query, parts);
-    let stitch_micros = stitch.finish_with_exemplar(trace_id);
-    if trace_id != 0 {
-        children.push(
-            TraceSpan::new("stitch", next_start, stitch_micros).attr("parts", windows.len() as u64),
-        );
-    }
-    let detail = (trace_id != 0).then(|| ScanDetail {
-        // Filled in by the caller from the enclosing scan span's own
-        // measured value, so the trace and the scan histogram agree.
-        micros: 0,
-        attribution: Some(plan.attribution()),
-        partial_hits: hits as u64,
-        partial_misses: rescans as u64,
-        children,
-    });
-    let outcome = match stitched {
-        Ok(result) => Ok(result),
-        Err(_) => {
-            // Cached parts disagreed with the fresh ones (they cannot
-            // stitch) — unreachable while the cache key contract holds,
-            // but a valid query must never error over cache state: purge
-            // the untrustworthy entries so the next execution rescans
-            // cleanly, and answer this one with a full fresh scan.
-            shared.telemetry.recorder.record(
-                "stitch-fallback",
-                [
-                    ("shards", EventValue::from(windows.len())),
-                    ("cached_parts", EventValue::from(hits)),
-                    ("rescanned", EventValue::from(rescans)),
-                ],
+        for &(slot, shard) in &scanned {
+            let state = &states[slot];
+            partials.insert(
+                &unique[state.index],
+                shard,
+                generations[shard],
+                num_segments,
+                Arc::clone(state.parts[shard].as_ref().expect("scanned")),
             );
-            lock(&shared.partials).purge(query, windows.len());
-            shared
-                .telemetry
-                .recorder
-                .record("cache-purge", [("shards", EventValue::from(windows.len()))]);
-            catrisk_riskquery::execute(source, query)
-                .map_err(|err| ServeError::InvalidQuery(err.to_string()))
         }
-    };
-    (outcome, detail)
+    }
+
+    // Phase 4: stitch each miss from its (now complete) parts.
+    for state in &mut states {
+        let trace_id = rep_trace[state.index];
+        let (stitched, stitch_micros) = {
+            let parts: Vec<&TrialPartial> = state
+                .parts
+                .iter()
+                .map(|part| part.as_deref().expect("filled"))
+                .collect();
+            let stitch = Span::enter(&shared.telemetry.stitch);
+            let stitched = combine_trial_partial_refs(&unique[state.index], &parts);
+            (stitched, stitch.finish_with_exemplar(trace_id))
+        };
+        if trace_id != 0 {
+            state.children.push(
+                TraceSpan::new("stitch", state.next_start, stitch_micros)
+                    .attr("parts", windows.len() as u64),
+            );
+            state.next_start += stitch_micros;
+        }
+        let outcome = match stitched {
+            Ok(result) => Ok(result),
+            Err(_) => partial_fallback(
+                shared,
+                source,
+                &unique[state.index],
+                windows.len(),
+                state.hits,
+                state.rescans,
+            ),
+        };
+        if let Ok(result) = &outcome {
+            lock(&shared.cache).insert(unique[state.index].clone(), generations, result.clone());
+        }
+        results[state.index] = Some(outcome);
+    }
+
+    // Phase 5: one scan-stage sample per miss (plan failures included),
+    // each carrying the whole phase's elapsed time.
+    let phase_micros = phase_started.elapsed().as_micros() as u64;
+    for &index in misses {
+        shared
+            .telemetry
+            .scan
+            .record_with_exemplar(phase_micros, rep_trace[index]);
+    }
+    for state in states {
+        if rep_trace[state.index] != 0 {
+            scan_details[state.index] = Some(ScanDetail {
+                micros: phase_micros,
+                attribution: Some(state.plan.attribution()),
+                partial_hits: state.hits,
+                partial_misses: state.rescans,
+                children: state.children,
+            });
+        }
+    }
+}
+
+/// Answers the shard-aligned subset of a batch's misses over a
+/// multi-shard **segment**-axis snapshot from per-segment-shard partial
+/// aggregates, and returns the misses it did *not* answer (unaligned
+/// plans, plan failures) for the caller's fused session scan.
+///
+/// A plan is eligible when [`plan_is_shard_aligned`] holds — every
+/// group's segments live in one shard — which is exactly the condition
+/// under which summing per-shard partials in shard order reproduces the
+/// flat scan bit-for-bit (each group receives one non-identity
+/// contribution; identity vectors are bitwise no-ops by the kernel's
+/// ±0.0 normalisation, ARCHITECTURE.md §3).  Cached partials are keyed
+/// `(query, shard)` and stamped with that shard's generation and its own
+/// segment count, so a single-store commit invalidates — and rescans —
+/// exactly one shard.  Missing pairs are grouped by `(shard, trial
+/// window)` and each group runs **one** fused scan of the
+/// shard-restricted plans; the per-query loss clip is applied after the
+/// combine, inside [`combine_segment_partials`].
+///
+/// Counter and span contracts match the trial path: one
+/// `partial_hits`/`partial_misses` bump per probed pair, one
+/// `scan_shard` sample and one `fused_partial_scans` bump per fused
+/// scan, one `stitch` sample per answered query.  The caller records the
+/// scan-stage samples (whole-branch elapsed) for every miss, including
+/// the ones this path answered, and stamps `ScanDetail.micros`.
+#[allow(clippy::too_many_arguments)]
+fn run_segment_partial_batch<P: SourceProvider>(
+    shared: &Shared<P>,
+    source: &dyn SegmentSource,
+    generations: &[u64],
+    ranges: &[(usize, usize)],
+    unique: &[Query],
+    rep_trace: &[u64],
+    misses: &[usize],
+    results: &mut [Option<Result<QueryResult, ServeError>>],
+    scan_details: &mut [Option<ScanDetail>],
+) -> Vec<usize> {
+    let mut session_misses: Vec<usize> = Vec::new();
+    let mut states: Vec<PartialMiss> = Vec::new();
+    for &index in misses {
+        match QueryPlan::new(source, &unique[index]) {
+            Ok(plan) if plan_is_shard_aligned(&plan, ranges) => {
+                states.push(PartialMiss::new(index, plan, ranges.len()));
+            }
+            // Unaligned plans (a group spans shards: shard-ordered
+            // summation would change the float fold) and plan failures
+            // take the fused session path, which replans and reports
+            // per query.
+            _ => session_misses.push(index),
+        }
+    }
+    if states.is_empty() {
+        return session_misses;
+    }
+
+    // Phase 1: probe every (miss, shard) pair under one short lock.
+    // The segment-count half of the key is the shard's own count, and
+    // the cached window must equal the plan's whole trial window (the
+    // loss clip is applied after the combine, so partials are
+    // clip-independent).
+    {
+        let mut partials = lock(&shared.partials);
+        for state in &mut states {
+            let window = (state.plan.trial_start, state.plan.trial_end);
+            for (shard, &(lo, hi)) in ranges.iter().enumerate() {
+                state.parts[shard] = partials
+                    .get(&unique[state.index], shard, generations[shard], hi - lo)
+                    .filter(|partial| partial.window == window);
+            }
+            state.count_probe();
+        }
+    }
+    shared
+        .counters
+        .partial_hits
+        .add(states.iter().map(|state| state.hits).sum());
+    shared
+        .counters
+        .partial_misses
+        .add(states.iter().map(|state| state.rescans).sum());
+
+    // Phase 2: one fused scan per (shard, trial window) the batch
+    // misses, over the shard-restricted plans.
+    let mut scanned: Vec<(usize, usize)> = Vec::new();
+    for (shard, &(lo, hi)) in ranges.iter().enumerate() {
+        let groups = group_missing_by_window(&states, shard, |state| {
+            (state.plan.trial_start, state.plan.trial_end)
+        });
+        for ((start, end), members) in groups {
+            let exemplar = group_exemplar(&states, &members, rep_trace);
+            let restricted: Vec<QueryPlan> = members
+                .iter()
+                .map(|&slot| restrict_plan_to_segments(&states[slot].plan, lo, hi))
+                .collect();
+            let (fresh, group_micros) = {
+                let plans: Vec<&QueryPlan> = restricted.iter().collect();
+                let shard_scan = Span::enter(&shared.telemetry.scan_shard);
+                let fresh = scan_trial_partials_fused(source, &plans, start, end);
+                (fresh, shard_scan.finish_with_exemplar(exemplar))
+            };
+            shared.counters.fused_partial_scans.inc();
+            for ((&slot, partial), plan) in members.iter().zip(fresh).zip(&restricted) {
+                let state = &mut states[slot];
+                if rep_trace[state.index] != 0 {
+                    let attribution = plan.attribution_for_window(start, end);
+                    state.children.push(
+                        TraceSpan::new("scan_shard", state.next_start, group_micros)
+                            .attr("shard", shard as u64)
+                            .attr("window_start", start as u64)
+                            .attr("window_end", end as u64)
+                            .attr("segments", attribution.segments as u64)
+                            .attr("bytes", attribution.bytes as u64),
+                    );
+                    state.next_start += group_micros;
+                }
+                state.parts[shard] = Some(Arc::new(partial));
+                scanned.push((slot, shard));
+            }
+        }
+    }
+
+    // Phase 3: publish the fresh partials.
+    if !scanned.is_empty() {
+        let mut partials = lock(&shared.partials);
+        for &(slot, shard) in &scanned {
+            let (lo, hi) = ranges[shard];
+            let state = &states[slot];
+            partials.insert(
+                &unique[state.index],
+                shard,
+                generations[shard],
+                hi - lo,
+                Arc::clone(state.parts[shard].as_ref().expect("scanned")),
+            );
+        }
+    }
+
+    // Phase 4: combine each miss's per-shard partials in shard order.
+    for state in &mut states {
+        let trace_id = rep_trace[state.index];
+        let (combined, stitch_micros) = {
+            let parts: Vec<&TrialPartial> = state
+                .parts
+                .iter()
+                .map(|part| part.as_deref().expect("filled"))
+                .collect();
+            let stitch = Span::enter(&shared.telemetry.stitch);
+            let combined = combine_segment_partials(&unique[state.index], &state.plan, &parts);
+            (combined, stitch.finish_with_exemplar(trace_id))
+        };
+        if trace_id != 0 {
+            state.children.push(
+                TraceSpan::new("stitch", state.next_start, stitch_micros)
+                    .attr("parts", ranges.len() as u64),
+            );
+            state.next_start += stitch_micros;
+        }
+        let outcome = match combined {
+            Ok(result) => Ok(result),
+            Err(_) => partial_fallback(
+                shared,
+                source,
+                &unique[state.index],
+                ranges.len(),
+                state.hits,
+                state.rescans,
+            ),
+        };
+        if let Ok(result) = &outcome {
+            lock(&shared.cache).insert(unique[state.index].clone(), generations, result.clone());
+        }
+        results[state.index] = Some(outcome);
+    }
+
+    // The caller records scan-stage samples and stamps `micros` for
+    // every miss; this path only pre-fills the traced details it owns.
+    for state in states {
+        if rep_trace[state.index] != 0 {
+            scan_details[state.index] = Some(ScanDetail {
+                micros: 0,
+                attribution: Some(state.plan.attribution()),
+                partial_hits: state.hits,
+                partial_misses: state.rescans,
+                children: state.children,
+            });
+        }
+    }
+    session_misses
+}
+
+/// The self-heal path after a failed stitch/combine: cached parts that
+/// cannot combine disagree with each other, so none of them can be
+/// trusted — unreachable while the cache key contract holds, but a
+/// valid query must never error over cache state.  Purges the
+/// untrustworthy entries so the next execution rescans cleanly, and
+/// answers this one with a full fresh scan.
+fn partial_fallback<P: SourceProvider>(
+    shared: &Shared<P>,
+    source: &dyn SegmentSource,
+    query: &Query,
+    shards: usize,
+    hits: u64,
+    rescans: u64,
+) -> Result<QueryResult, ServeError> {
+    shared.telemetry.recorder.record(
+        "stitch-fallback",
+        [
+            ("shards", EventValue::from(shards)),
+            ("cached_parts", EventValue::from(hits)),
+            ("rescanned", EventValue::from(rescans)),
+        ],
+    );
+    lock(&shared.partials).purge(query, shards);
+    shared
+        .telemetry
+        .recorder
+        .record("cache-purge", [("shards", EventValue::from(shards))]);
+    catrisk_riskquery::execute(source, query).map_err(|err| ServeError::InvalidQuery(err.to_string()))
 }
 
 #[cfg(test)]

@@ -39,6 +39,15 @@ pub struct SourceSnapshot<'a> {
     /// cache one [`TrialPartial`](catrisk_riskquery::TrialPartial) per
     /// `(query, shard)` and rescan only the shards whose stamp moved.
     pub trial_windows: Option<&'a [(usize, usize)]>,
+    /// The global segment range `[lo, hi)` each shard contributes, in
+    /// shard order, when the provider serves a multi-shard **segment**-axis
+    /// catalog with every shard usable (so range `j` corresponds to
+    /// `generations[j]`) — `None` for a single store, a trial-sharded
+    /// catalog, or a degraded segment catalog.  Present ranges partition
+    /// `[0, source.num_segments())`, which is what lets the server cache
+    /// per-segment-shard partials and, for shard-aligned plans, rescan
+    /// only the shard whose stamp moved.
+    pub segment_ranges: Option<&'a [(usize, usize)]>,
 }
 
 /// Storage behind a [`Server`](crate::server::Server): snapshots,
@@ -100,6 +109,7 @@ impl<S: SegmentSource + Send + Sync + 'static> SourceProvider for Arc<S> {
             source: &**self,
             generations: &[0],
             trial_windows: None,
+            segment_ranges: None,
         })
     }
 }

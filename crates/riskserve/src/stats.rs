@@ -31,6 +31,7 @@ pub(crate) struct Counters {
     pub cache_misses: Arc<Counter>,
     pub partial_hits: Arc<Counter>,
     pub partial_misses: Arc<Counter>,
+    pub fused_partial_scans: Arc<Counter>,
     pub refreshes: Arc<Counter>,
     pub traces_started: Arc<Counter>,
     pub traces_retained: Arc<Counter>,
@@ -53,6 +54,7 @@ impl Counters {
             cache_misses: registry.counter("cache_misses"),
             partial_hits: registry.counter("partial_hits"),
             partial_misses: registry.counter("partial_misses"),
+            fused_partial_scans: registry.counter("fused_partial_scans"),
             refreshes: registry.counter("refreshes"),
             traces_started: registry.counter("traces_started"),
             traces_retained: registry.counter("traces_retained"),
@@ -73,6 +75,7 @@ impl Counters {
             cache_misses: self.cache_misses.get(),
             partial_hits: self.partial_hits.get(),
             partial_misses: self.partial_misses.get(),
+            fused_partial_scans: self.fused_partial_scans.get(),
             refreshes: self.refreshes.get(),
             traces_started: self.traces_started.get(),
             traces_retained: self.traces_retained.get(),

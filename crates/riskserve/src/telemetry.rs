@@ -42,8 +42,12 @@ pub mod stage {
     /// trial-sharded catalog, its share of the fused scan otherwise).
     /// Total count equals the `cache_misses` counter.
     pub const SCAN: &str = "stage_scan_micros";
-    /// Per-shard rescans: one sample per trial window actually rescanned
-    /// by the partial-cache path.  Total count equals `partial_misses`.
+    /// Fused per-shard rescans: one sample per **fused scan** the
+    /// partial-cache planner runs — all of a batch's missing queries on
+    /// one shard window share one scan and one sample.  Total count
+    /// equals `fused_partial_scans` (and is `<= partial_misses`, with
+    /// equality only when no two queries ever miss the same shard
+    /// together).
     pub const SCAN_SHARD: &str = "stage_scan_shard_micros";
     /// Stitch: one sample per partial-cache query, the adjacent-window
     /// combine of the per-shard partials.

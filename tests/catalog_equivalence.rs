@@ -521,6 +521,201 @@ fn trial_sharded_server_rescans_only_the_refreshed_shard() {
     }
 }
 
+/// The segment-axis refinement of the tentpole: a catalog-backed server
+/// serving two **segment**-axis shard files answers shard-aligned
+/// queries from per-segment-shard partial aggregates, and after a
+/// *single-shard* commit the stats counters prove exactly one shard was
+/// rescanned — including when the *first* shard grows and every later
+/// shard's global segment indices shift (the cached partials align by
+/// decoded key, not index).
+#[test]
+fn segment_sharded_server_rescans_only_the_refreshed_shard() {
+    let trials = 40;
+    // Shard A owns layers 0-1, shard B owns layers 2-3: every
+    // layer-grouped plan is shard-aligned.
+    let mut raw = random_segments(trials, 8, 1212);
+    for (index, segment) in raw.iter_mut().enumerate() {
+        segment.meta = SegmentMeta::new(
+            LayerId((index / 2) as u32),
+            segment.meta.peril,
+            segment.meta.region,
+            segment.meta.lob,
+        );
+    }
+    let (side_a, side_b) = raw.split_at(4);
+    let path_a = temp_shard("segment", 0);
+    let path_b = temp_shard("segment", 1);
+    write_shard(&path_a, trials, side_a);
+    write_shard(&path_b, trials, side_b);
+
+    let catalog = StoreCatalog::open([&path_a, &path_b]).unwrap();
+    assert_eq!(catalog.axis(), ShardAxis::Segment);
+    let server = Server::new(catalog, ServerConfig::default());
+    // Every query groups by Layer, so each group's segments live in one
+    // shard and the whole batch takes the segment-partial path — the
+    // counter arithmetic below depends on that.
+    let queries = vec![
+        QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::Tvar { level: 0.99 })
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .loss_at_least(2.0e5)
+            .aggregate(Aggregate::Mean)
+            .aggregate(Aggregate::MaxLoss)
+            .build()
+            .unwrap(),
+        QueryBuilder::new()
+            .group_by(Dimension::Layer)
+            .trials(0..trials / 2)
+            .aggregate(Aggregate::EpCurve {
+                basis: Basis::Aep,
+                points: 5,
+            })
+            .build()
+            .unwrap(),
+    ];
+    let shards = 2u64;
+    let queries_u64 = queries.len() as u64;
+
+    let mut reference = ResultStore::new(trials);
+    for segment in side_a.iter().chain(side_b) {
+        ingest(&mut reference, segment);
+    }
+    let expected = QuerySession::new(&reference).run(&queries).unwrap();
+    for (query, expected) in queries.iter().zip(&expected) {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "segment-partial serving diverged from the sequential session"
+        );
+    }
+    let stats = server.stats();
+    // Cold: every query probed (and missed) both shards.
+    assert_eq!(stats.partial_misses, shards * queries_u64, "{stats:?}");
+    assert_eq!(stats.partial_hits, 0, "{stats:?}");
+    assert!(
+        stats.fused_partial_scans > 0 && stats.fused_partial_scans <= stats.partial_misses,
+        "the rescans must have run through fused scans: {stats:?}"
+    );
+
+    // Commit a new layer to shard B only: B's generation moves, the
+    // result cache misses, and exactly B rescans — shard A's partials
+    // are re-served from the cache.
+    let extra = random_segments(trials, 9, 99).pop().unwrap();
+    let mut writer = StoreWriter::open_append(&path_b).unwrap();
+    writer
+        .append_ylt(
+            &YearLossTable::new(LayerId(9), extra.outcomes.clone()),
+            SegmentMeta::new(LayerId(9), extra.meta.peril, extra.meta.region, extra.meta.lob),
+        )
+        .unwrap();
+    writer.commit().unwrap();
+    drop(writer);
+
+    let mut reference = ResultStore::new(trials);
+    for segment in side_a.iter().chain(side_b) {
+        ingest(&mut reference, segment);
+    }
+    reference
+        .ingest(
+            &YearLossTable::new(LayerId(9), extra.outcomes.clone()),
+            SegmentMeta::new(LayerId(9), extra.meta.peril, extra.meta.region, extra.meta.lob),
+        )
+        .unwrap();
+    let expected_b = QuerySession::new(&reference).run(&queries).unwrap();
+    for (query, expected) in queries.iter().zip(&expected_b) {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "segment-partial serving diverged after the shard-B commit"
+        );
+    }
+    let stats = server.stats();
+    assert!(stats.refreshes >= 1, "{stats:?}");
+    assert_eq!(
+        stats.partial_hits, queries_u64,
+        "shard A's partials must be re-served from the cache: {stats:?}"
+    );
+    assert_eq!(
+        stats.partial_misses,
+        (shards + 1) * queries_u64,
+        "only the refreshed shard rescans: {stats:?}"
+    );
+
+    // Commit a new layer to shard A: every shard-B segment's *global*
+    // index shifts by one, but B's cached partials still hit and still
+    // combine correctly, because the combine aligns by decoded key.
+    let extra_a = random_segments(trials, 10, 123).pop().unwrap();
+    let mut writer = StoreWriter::open_append(&path_a).unwrap();
+    writer
+        .append_ylt(
+            &YearLossTable::new(LayerId(8), extra_a.outcomes.clone()),
+            SegmentMeta::new(
+                LayerId(8),
+                extra_a.meta.peril,
+                extra_a.meta.region,
+                extra_a.meta.lob,
+            ),
+        )
+        .unwrap();
+    writer.commit().unwrap();
+    drop(writer);
+
+    // Union order is shard-major: A's segments (new one last), then B's.
+    let mut reference = ResultStore::new(trials);
+    for segment in side_a {
+        ingest(&mut reference, segment);
+    }
+    reference
+        .ingest(
+            &YearLossTable::new(LayerId(8), extra_a.outcomes.clone()),
+            SegmentMeta::new(
+                LayerId(8),
+                extra_a.meta.peril,
+                extra_a.meta.region,
+                extra_a.meta.lob,
+            ),
+        )
+        .unwrap();
+    for segment in side_b {
+        ingest(&mut reference, segment);
+    }
+    reference
+        .ingest(
+            &YearLossTable::new(LayerId(9), extra.outcomes.clone()),
+            SegmentMeta::new(LayerId(9), extra.meta.peril, extra.meta.region, extra.meta.lob),
+        )
+        .unwrap();
+    let expected_a = QuerySession::new(&reference).run(&queries).unwrap();
+    for (query, expected) in queries.iter().zip(&expected_a) {
+        assert_eq!(
+            &server.query(query.clone()).unwrap().result,
+            expected,
+            "segment-partial serving diverged after the index-shifting shard-A commit"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.partial_hits,
+        2 * queries_u64,
+        "shard B's partials must survive the index shift: {stats:?}"
+    );
+    assert_eq!(
+        stats.partial_misses,
+        (shards + 2) * queries_u64,
+        "only shard A rescans: {stats:?}"
+    );
+    assert_ne!(expected, expected_a, "the new layers must change results");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
 /// An uncommitted shard joining the catalog serves nothing until its
 /// first commit, then exactly its committed prefix — the canonical
 /// serve-while-ingesting startup shape.

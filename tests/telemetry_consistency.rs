@@ -182,8 +182,16 @@ fn trial_sharded_scan_shard_count_matches_partial_misses() {
         .histogram(stage::SCAN_SHARD)
         .expect("per-shard scan histogram");
     assert_eq!(
-        shard_scans.count, stats.partial_misses,
-        "one per-shard sample per trial-window rescan: {stats:?}"
+        shard_scans.count, stats.fused_partial_scans,
+        "one per-shard sample per fused partial scan: {stats:?}"
+    );
+    assert!(
+        stats.fused_partial_scans > 0,
+        "the rescans must have run through fused scans: {stats:?}"
+    );
+    assert!(
+        stats.fused_partial_scans <= stats.partial_misses,
+        "a fused scan covers at least one missing (query, shard) pair: {stats:?}"
     );
     let stitch = metrics.histogram(stage::STITCH).expect("stitch histogram");
     assert!(stitch.count > 0, "the trial path always stitches");
